@@ -1,0 +1,121 @@
+// Experiment E7 (ablation) — churn resilience: how an instance's size
+// evolves under receiver on/off churn, with and without the Controller's
+// recomposition (wakeup retransmission). The paper motivates retransmission
+// in Section 3.2 ("a PNA can generally be switched off at the will of its
+// owner ... the Controller may need to retransmit wakeup control messages
+// to recompose OddCI instances") but does not quantify it; this ablation
+// does.
+
+#include <iostream>
+#include <vector>
+
+#include "core/system.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace oddci;
+
+struct ChurnResult {
+  double mean_size = 0.0;
+  double min_size = 0.0;
+  std::uint64_t recompositions = 0;
+  std::uint64_t pruned = 0;
+};
+
+ChurnResult run(double mean_on_s, double mean_off_s, bool recomposition,
+                std::uint64_t seed) {
+  core::SystemConfig config;
+  config.receivers = 400;
+  config.seed = seed;
+  config.controller_overshoot = 1.3;
+  core::ChurnOptions churn;
+  churn.mean_on_seconds = mean_on_s;
+  churn.mean_off_seconds = mean_off_s;
+  config.churn = churn;
+
+  core::OddciSystem system(config);
+  system.controller().deploy_pna();
+  system.simulation().run_until(sim::SimTime::from_seconds(120));
+
+  core::InstanceSpec spec;
+  spec.name = "churn-ablation";
+  spec.target_size = 100;
+  spec.image_size = util::Bits::from_megabytes(2);
+  const auto id =
+      system.provider().request_instance(spec, system.backend().node_id());
+
+  // Let the instance form; then optionally stop recruiting (no wakeup
+  // retransmission, wakeup taken off air) — pruning and trimming continue
+  // either way, so the comparison isolates recomposition itself.
+  system.simulation().run_until(sim::SimTime::from_minutes(15));
+  if (!recomposition) {
+    system.controller().set_recruiting(id, false);
+  }
+  util::RunningStats size;
+  for (int minute = 0; minute < 240; ++minute) {
+    system.simulation().run_until(system.simulation().now() +
+                                  sim::SimTime::from_minutes(1));
+    size.add(static_cast<double>(
+        system.controller().status(id)->current_size));
+  }
+
+  ChurnResult result;
+  result.mean_size = size.mean();
+  result.min_size = size.min();
+  result.recompositions = system.controller().stats().recompositions;
+  result.pruned = system.controller().stats().members_pruned;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: instance size under churn, with vs without "
+               "recomposition ===\n"
+            << "(target size 100, population 400, 4 h observation)\n\n";
+
+  struct Scenario {
+    const char* label;
+    double on_s;
+    double off_s;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"gentle (2h on / 30min off)", 7200, 1800},
+      {"moderate (1h on / 30min off)", 3600, 1800},
+      {"harsh (20min on / 20min off)", 1200, 1200},
+  };
+
+  util::Table table({"churn", "recompose", "mean size", "min size",
+                     "rebroadcasts", "members pruned"});
+
+  util::ThreadPool pool;
+  std::vector<std::future<ChurnResult>> futures;
+  for (const auto& s : scenarios) {
+    for (bool recompose : {true, false}) {
+      futures.push_back(pool.submit([s, recompose] {
+        return run(s.on_s, s.off_s, recompose, 31337);
+      }));
+    }
+  }
+  std::size_t i = 0;
+  for (const auto& s : scenarios) {
+    for (bool recompose : {true, false}) {
+      const ChurnResult r = futures[i++].get();
+      table.add_row({s.label, recompose ? "yes" : "no",
+                     util::Table::fmt(r.mean_size, 1),
+                     util::Table::fmt(r.min_size, 0),
+                     util::Table::fmt_int(
+                         static_cast<long long>(r.recompositions)),
+                     util::Table::fmt_int(static_cast<long long>(r.pruned))});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape: without recomposition the instance decays toward the"
+               " churn's steady state;\nwith recomposition it hovers near the"
+               " target at the cost of periodic rebroadcasts.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Experiment E9 (ablation) — heartbeat load on the Controller. The paper
+// notes that "millions of PNA may be simultaneously sending heartbeat
+// messages to the Controller [so] the PNA must be appropriately configured
+// ... so that the handling of these messages will not consume too much of
+// the Controller's processing and networking resources" (Section 3.2), and
+// leaves the mechanism to future work. This ablation quantifies the
+// trade-off: heartbeat interval vs Controller message/bit load vs how fast
+// lost members are detected (staleness latency).
+
+#include <iostream>
+#include <vector>
+
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace oddci;
+
+struct LoadResult {
+  double controller_msgs_per_second = 0.0;  ///< heartbeats or reports
+  double controller_mbps = 0.0;
+  double detection_seconds = -1.0;  ///< outage -> membership reflects it
+};
+
+LoadResult run(std::size_t population, double interval_s,
+               std::size_t aggregators, std::uint64_t seed) {
+  core::SystemConfig config;
+  config.receivers = population;
+  config.seed = seed;
+  config.aggregators = aggregators;
+  config.heartbeat_interval = sim::SimTime::from_seconds(interval_s);
+  config.monitor_interval =
+      sim::SimTime::from_seconds(std::max(10.0, interval_s / 2.0));
+  config.controller_overshoot = 1.3;
+  core::OddciSystem system(config);
+  system.controller().deploy_pna();
+  // Warm-up: let every PNA launch and start heartbeating.
+  system.simulation().run_until(sim::SimTime::from_seconds(90));
+
+  core::InstanceSpec spec;
+  spec.name = "hb-ablation";
+  spec.target_size = population / 2;
+  spec.image_size = util::Bits::from_megabytes(1);
+  spec.heartbeat_interval = config.heartbeat_interval;
+  const auto id =
+      system.provider().request_instance(spec, system.backend().node_id());
+  system.simulation().run_until(sim::SimTime::from_minutes(10));
+
+  // Measure steady-state Controller-side load over 10 simulated minutes.
+  auto controller_msgs = [&] {
+    return system.controller().stats().heartbeats_received +
+           system.controller().stats().aggregate_reports_received;
+  };
+  const auto msg0 = controller_msgs();
+  const auto bits0 = system.network().stats().bits_sent;
+  system.simulation().run_until(system.simulation().now() +
+                                sim::SimTime::from_minutes(10));
+  const auto msg1 = controller_msgs();
+  const auto bits1 = system.network().stats().bits_sent;
+
+  LoadResult result;
+  result.controller_msgs_per_second =
+      static_cast<double>(msg1 - msg0) / 600.0;
+  result.controller_mbps =
+      static_cast<double>(bits1 - bits0) / 600.0 / 1e6;
+
+  // Outage detection: kill 25% of the population, measure how long the
+  // Controller takes to reflect the loss in the instance size.
+  const std::size_t before = system.controller().status(id)->current_size;
+  const auto& receivers = system.receivers();
+  for (std::size_t i = 0; i < receivers.size(); i += 4) {
+    receivers[i]->set_power_mode(dtv::PowerMode::kOff);
+  }
+  const sim::SimTime outage = system.simulation().now();
+  while (system.simulation().now() - outage < sim::SimTime::from_hours(2)) {
+    system.simulation().run_until(system.simulation().now() +
+                                  sim::SimTime::from_seconds(10));
+    if (system.controller().status(id)->current_size <
+        before - before / 8) {
+      result.detection_seconds =
+          (system.simulation().now() - outage).seconds();
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: heartbeat interval vs Controller load and "
+               "failure-detection latency ===\n\n";
+
+  struct Case {
+    std::size_t population;
+    double interval_s;
+    std::size_t aggregators;
+  };
+  const std::vector<Case> cases = {
+      {500, 10, 0},  {500, 30, 0},  {500, 60, 0},  {500, 120, 0},
+      {2000, 30, 0}, {2000, 120, 0}, {5000, 30, 0}, {5000, 120, 0},
+      // The aggregation tier (paper future work): same populations,
+      // Controller sees k reports per window instead of N heartbeats.
+      {2000, 30, 8}, {5000, 30, 8}, {5000, 30, 32},
+  };
+
+  util::Table table({"PNAs", "interval (s)", "aggregators", "ctrl msgs/s",
+                     "ctrl traffic (Mbps)", "loss detected in (s)",
+                     "extrapolated msgs/s @1e6 nodes"});
+
+  util::ThreadPool pool;
+  std::vector<std::future<LoadResult>> futures;
+  for (const auto& c : cases) {
+    futures.push_back(pool.submit([c] {
+      return run(c.population, c.interval_s, c.aggregators, 555);
+    }));
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const LoadResult r = futures[i].get();
+    // Direct reporting scales with N; aggregated reporting does not (the
+    // report *size* grows instead).
+    const double extrapolated =
+        cases[i].aggregators == 0
+            ? r.controller_msgs_per_second * 1e6 /
+                  static_cast<double>(cases[i].population)
+            : r.controller_msgs_per_second;
+    table.add_row(
+        {util::Table::fmt_int(static_cast<long long>(cases[i].population)),
+         util::Table::fmt(cases[i].interval_s, 0),
+         util::Table::fmt_int(static_cast<long long>(cases[i].aggregators)),
+         util::Table::fmt(r.controller_msgs_per_second, 1),
+         util::Table::fmt(r.controller_mbps, 3),
+         r.detection_seconds < 0 ? "not detected"
+                                 : util::Table::fmt(r.detection_seconds, 0),
+         util::Table::fmt(extrapolated, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape: direct heartbeat load scales as N/interval — the"
+               " paper's future-work concern\nis real (1e6 nodes at 30 s"
+               " interval is ~33k messages/s at the Controller). The\n"
+               "aggregation tier caps the Controller's message rate at"
+               " k/window regardless of N,\ntrading a small report-latency"
+               " penalty in failure detection.\n";
+  return 0;
+}

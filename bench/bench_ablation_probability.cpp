@@ -1,0 +1,119 @@
+// Experiment E8 (ablation) — the probability-gated wakeup: the wakeup
+// message's `probability` attribute is the Controller's instrument for
+// sizing an instance out of a large idle pool (Section 3.2). This ablation
+// sweeps the initial probability and measures overshoot (joins beyond the
+// target, later trimmed) and the time to reach the target, including the
+// auto policy (deficit / idle-pool estimate, with overshoot margin).
+
+#include <iostream>
+#include <vector>
+
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace oddci;
+
+struct ProbeResult {
+  double wakeup_seconds = -1.0;
+  std::size_t peak_joins = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t rebroadcasts = 0;
+};
+
+ProbeResult run(std::size_t population, std::size_t target,
+                double probability, double overshoot, std::uint64_t seed) {
+  core::SystemConfig config;
+  config.receivers = population;
+  config.seed = seed;
+  config.controller_overshoot = overshoot;
+  core::OddciSystem system(config);
+  system.controller().deploy_pna();
+  system.simulation().run_until(sim::SimTime::from_seconds(120));
+
+  core::InstanceSpec spec;
+  spec.name = "prob-ablation";
+  spec.target_size = target;
+  spec.image_size = util::Bits::from_megabytes(2);
+  spec.initial_probability = probability;  // <= 0: controller auto policy
+  const sim::SimTime t0 = system.simulation().now();
+
+  ProbeResult result;
+  const auto id = system.provider().request_instance(
+      spec, system.backend().node_id(),
+      [&](core::InstanceId, sim::SimTime at) {
+        result.wakeup_seconds = (at - t0).seconds();
+      });
+
+  // Observe for 20 minutes, tracking the join peak.
+  for (int tick = 0; tick < 120; ++tick) {
+    system.simulation().run_until(system.simulation().now() +
+                                  sim::SimTime::from_seconds(10));
+    result.peak_joins = std::max(result.peak_joins, system.busy_pna_count());
+  }
+  const auto* status = system.controller().status(id);
+  result.trims = status->unicast_resets;
+  result.rebroadcasts = status->wakeups_broadcast - 1;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: wakeup probability vs instance formation ===\n"
+            << "(population 1000 idle PNAs, target 100)\n\n";
+
+  constexpr std::size_t kPopulation = 1000;
+  constexpr std::size_t kTarget = 100;
+
+  struct Case {
+    const char* label;
+    double probability;  // <= 0 means controller auto policy
+    double overshoot;
+  };
+  const std::vector<Case> cases = {
+      {"p = 1.0 (address everyone)", 1.0, 1.0},
+      {"p = 0.5", 0.5, 1.0},
+      {"p = 0.2", 0.2, 1.0},
+      {"p = 0.1 (exact expectation)", 0.1, 1.0},
+      {"p = 0.05 (undershoot)", 0.05, 1.0},
+      {"auto (deficit/idle)", -1.0, 1.0},
+      {"auto, margin 1.2", -1.0, 1.2},
+      {"auto, margin 1.5", -1.0, 1.5},
+  };
+
+  util::Table table({"policy", "wakeup (s)", "peak joins", "overshoot",
+                     "trims", "rebroadcasts"});
+
+  util::ThreadPool pool;
+  std::vector<std::future<ProbeResult>> futures;
+  for (const auto& c : cases) {
+    futures.push_back(pool.submit([c] {
+      return run(kPopulation, kTarget, c.probability, c.overshoot, 9001);
+    }));
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const ProbeResult r = futures[i].get();
+    table.add_row(
+        {cases[i].label,
+         r.wakeup_seconds < 0 ? "never" : util::Table::fmt(r.wakeup_seconds, 1),
+         util::Table::fmt_int(static_cast<long long>(r.peak_joins)),
+         util::Table::fmt_int(
+             static_cast<long long>(r.peak_joins > kTarget
+                                        ? r.peak_joins - kTarget
+                                        : 0)),
+         util::Table::fmt_int(static_cast<long long>(r.trims)),
+         util::Table::fmt_int(static_cast<long long>(r.rebroadcasts))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape: p = 1 floods the instance (10x overshoot, heavy"
+               " trimming); the exact\nexpectation p = target/pool risks"
+               " binomial shortfall (extra rebroadcast rounds);\na small"
+               " overshoot margin forms the instance in one round with"
+               " modest trimming.\n";
+  return 0;
+}

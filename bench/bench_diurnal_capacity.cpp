@@ -1,0 +1,118 @@
+// Experiment E11 (extension) — the diurnal capacity rhythm of a TV
+// audience. The paper's vision statement ("millions of underutilized
+// devices") implicitly depends on when you ask: at prime time most powered
+// boxes are in use (slow, 20.6x the PC); in the small hours they idle in
+// standby (1.65x faster) or are off. This bench drives a 24 h audience
+// model and measures (a) hourly capacity and (b) the makespan of the same
+// job launched at prime time vs. at night.
+
+#include <iostream>
+
+#include "core/churn.hpp"
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace oddci;
+
+constexpr std::size_t kReceivers = 800;
+
+core::SystemConfig base_config(std::uint64_t seed) {
+  core::SystemConfig config;
+  config.receivers = kReceivers;
+  config.profile = dtv::DeviceProfile::stb_st7109();
+  config.initial_power = dtv::PowerMode::kStandby;
+  config.controller_overshoot = 1.3;
+  config.seed = seed;
+  return config;
+}
+
+/// Aggregate compute capacity in reference-PC equivalents.
+double capacity_pc_equivalents(const core::OddciSystem& system) {
+  double capacity = 0.0;
+  for (const auto& receiver : system.receivers()) {
+    if (!receiver->powered()) continue;
+    capacity += 1.0 / receiver->profile().slowdown(receiver->power_mode());
+  }
+  return capacity;
+}
+
+double run_job_at_hour(double launch_hour, std::uint64_t seed) {
+  core::OddciSystem system(base_config(seed));
+  std::vector<dtv::Receiver*> raw;
+  for (const auto& r : system.receivers()) raw.push_back(r.get());
+  core::DiurnalAudience audience(system.simulation(), std::move(raw),
+                                 seed * 7 + 1, core::DiurnalOptions{});
+  // Simulation starts at simulated noon; deploy and settle, then wait
+  // until the requested launch hour.
+  audience.start(/*start_hour=*/12.0);
+  system.controller().deploy_pna();
+  const double wait_hours =
+      launch_hour >= 12.0 ? launch_hour - 12.0 : launch_hour + 12.0;
+  system.simulation().run_until(system.simulation().now() +
+                                sim::SimTime::from_hours(wait_hours));
+
+  const workload::Job job = workload::make_uniform_job(
+      "diurnal", util::Bits::from_megabytes(4), 2000,
+      util::Bits::from_bytes(512), util::Bits::from_bytes(512),
+      /*reference PC seconds=*/10.0);
+  const auto result =
+      system.run_job(job, 150, sim::SimTime::from_hours(48));
+  return result.completed ? result.makespan_seconds : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Diurnal audience: capacity rhythm and launch timing ===\n"
+            << "(" << kReceivers << " ST7109 STBs, personal daily viewing "
+               "schedules)\n\n";
+
+  // (a) Hourly population profile over 24 h.
+  core::OddciSystem system(base_config(2026));
+  std::vector<dtv::Receiver*> raw;
+  for (const auto& r : system.receivers()) raw.push_back(r.get());
+  core::DiurnalAudience audience(system.simulation(), std::move(raw), 11,
+                                 core::DiurnalOptions{});
+  audience.start(/*start_hour=*/0.0);
+
+  util::Table profile({"hour", "in use", "standby", "off",
+                       "capacity (PC-equivalents)"});
+  for (int hour = 0; hour < 24; hour += 2) {
+    system.simulation().run_until(sim::SimTime::from_hours(hour));
+    profile.add_row(
+        {util::Table::fmt_int(hour),
+         util::Table::fmt_int(
+             static_cast<long long>(audience.in_use_count())),
+         util::Table::fmt_int(
+             static_cast<long long>(audience.standby_count())),
+         util::Table::fmt_int(static_cast<long long>(audience.off_count())),
+         util::Table::fmt(capacity_pc_equivalents(system), 1)});
+  }
+  profile.print(std::cout);
+
+  // (b) Same job, launched at prime time vs at night.
+  util::ThreadPool pool;
+  auto prime = pool.submit([] { return run_job_at_hour(20.0, 3); });
+  auto night = pool.submit([] { return run_job_at_hour(3.0, 3); });
+  const double prime_m = prime.get();
+  const double night_m = night.get();
+
+  std::cout << "\nSame job (2000 x 10 s-PC tasks, 150-node instance):\n";
+  util::Table launch({"launch time", "makespan (h)"});
+  launch.add_row({"20:00 (prime time)",
+                  prime_m < 0 ? "timeout" : util::Table::fmt(prime_m / 3600.0, 2)});
+  launch.add_row({"03:00 (night)",
+                  night_m < 0 ? "timeout" : util::Table::fmt(night_m / 3600.0, 2)});
+  launch.print(std::cout);
+  if (prime_m > 0 && night_m > 0) {
+    std::cout << "\nNight launch advantage: "
+              << util::Table::fmt(prime_m / night_m, 2)
+              << "x faster (standby boxes run 1.65x faster and fewer join/"
+                 "leave events disturb the instance).\n";
+  }
+  return 0;
+}

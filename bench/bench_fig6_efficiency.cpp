@@ -1,0 +1,138 @@
+// Experiment E5 — Figure 6 of the paper: efficiency E of an OddCI-DTV
+// instance as a function of the application suitability Phi, for
+// n/N in {1, 10, 100, 1000}, with (s+r) = 1 KB, I = 10 MB, beta = 1 Mbps,
+// delta = 150 Kbps.
+//
+// Prints the full analytical curve family (Eq. 2) and, for a subset of
+// points, the efficiency measured by running the job end-to-end in the
+// discrete-event simulation (N = 50 reference set-top boxes).
+
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "analytical/models.hpp"
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace oddci;
+
+constexpr std::size_t kSimNodes = 50;
+const util::Bits kImage = util::Bits::from_megabytes(10);
+const util::Bits kPayload = util::Bits::from_kilobytes(1);
+
+analytical::JobModel job_model(double phi, std::size_t n) {
+  analytical::SystemModel sm;
+  analytical::JobModel jm;
+  jm.n = n;
+  jm.s_bits = kPayload.count() / 2.0;
+  jm.r_bits = kPayload.count() / 2.0;
+  jm.p_seconds =
+      analytical::task_seconds_for_suitability(
+          static_cast<double>(kPayload.count()), sm.delta, phi);
+  jm.image = kImage;
+  return jm;
+}
+
+double simulate_efficiency(double phi, std::size_t ratio,
+                           std::uint64_t seed) {
+  analytical::SystemModel sm;
+  core::SystemConfig config;
+  config.receivers = 3 * kSimNodes;
+  config.seed = seed;
+  config.controller_overshoot = 1.3;
+  // For very long jobs (high phi), thin out heartbeats so the event count
+  // stays bounded; the protocol tolerates any interval.
+  const double est_makespan =
+      analytical::makespan_seconds(sm, job_model(phi, ratio * kSimNodes),
+                                   kSimNodes);
+  config.heartbeat_interval = sim::SimTime::from_seconds(
+      std::max(30.0, est_makespan / 500.0));
+  config.monitor_interval = config.heartbeat_interval;
+
+  core::OddciSystem system(config);
+  const workload::Job job = workload::make_job_for_suitability(
+      "fig6", kImage, ratio * kSimNodes, kPayload,
+      config.delta, phi);
+  const auto result = system.run_job(
+      job, kSimNodes,
+      sim::SimTime::from_seconds(est_makespan * 4.0 + 3600.0));
+  if (!result.completed) return -1.0;
+  return result.efficiency(job.task_count(), job.avg_reference_seconds(),
+                           kSimNodes);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 6: efficiency vs suitability Phi ===\n"
+            << "(s+r) = 1 KB, I = 10 MB, beta = 1 Mbps, delta = 150 Kbps\n\n";
+
+  analytical::SystemModel sm;
+  const std::vector<std::size_t> ratios = {1, 10, 100, 1000};
+  std::vector<double> phis;
+  for (double e = 0.0; e <= 5.0; e += 0.5) phis.push_back(std::pow(10.0, e));
+
+  util::Table analytic({"Phi", "task p (s)", "E n/N=1", "E n/N=10",
+                        "E n/N=100", "E n/N=1000"});
+  for (double phi : phis) {
+    std::vector<std::string> row;
+    row.push_back(util::Table::fmt(phi, phi < 10 ? 1 : 0));
+    row.push_back(util::Table::fmt(
+        analytical::task_seconds_for_suitability(
+            static_cast<double>(kPayload.count()), sm.delta, phi),
+        4));
+    for (std::size_t ratio : ratios) {
+      const double e = analytical::efficiency(
+          sm, job_model(phi, ratio * 100), 100);
+      row.push_back(util::Table::fmt(e, 4));
+    }
+    analytic.add_row(row);
+  }
+  std::cout << "Analytical (Eq. 2):\n";
+  analytic.print(std::cout);
+
+  // Simulated subset: full ratio family at a few Phi values (the largest
+  // phi x ratio combinations are hours of simulated time; keep the sweep
+  // in seconds of wall clock).
+  struct SimPoint {
+    double phi;
+    std::size_t ratio;
+  };
+  const std::vector<SimPoint> sim_points = {
+      {1.0, 1},    {1.0, 10},   {1.0, 100},  {10.0, 1},  {10.0, 10},
+      {10.0, 100}, {100.0, 1},  {100.0, 10}, {100.0, 100},
+      {1000.0, 10}, {1000.0, 100},
+  };
+
+  util::ThreadPool pool;
+  std::vector<std::future<double>> futures;
+  for (const auto& p : sim_points) {
+    futures.push_back(pool.submit(
+        [p] { return simulate_efficiency(p.phi, p.ratio, 4242); }));
+  }
+
+  util::Table simulated({"Phi", "n/N", "E analytical", "E simulated"});
+  for (std::size_t i = 0; i < sim_points.size(); ++i) {
+    const auto& p = sim_points[i];
+    const double analytical_e = analytical::efficiency(
+        sm, job_model(p.phi, p.ratio * kSimNodes), kSimNodes);
+    const double sim_e = futures[i].get();
+    simulated.add_row({util::Table::fmt(p.phi, 0),
+                       util::Table::fmt_int(static_cast<long long>(p.ratio)),
+                       util::Table::fmt(analytical_e, 4),
+                       sim_e < 0 ? "timeout" : util::Table::fmt(sim_e, 4)});
+  }
+  std::cout << "\nSimulated (discrete-event, N = " << kSimNodes << "):\n";
+  simulated.print(std::cout);
+
+  std::cout << "\nShape checks (paper): E rises with Phi; larger n/N shifts"
+               " the knee left;\nn/N >= 100 yields very high efficiency for"
+               " most practical applications.\n";
+  return 0;
+}

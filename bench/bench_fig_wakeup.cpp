@@ -1,0 +1,183 @@
+// Experiment E4 — Section 5.1: the wakeup-process overhead W = 1.5 I/beta.
+//
+// Sweeps image size I and unused broadcast capacity beta, comparing the
+// analytical model (best I/beta, mean 1.5 I/beta, worst 2 I/beta) against
+// the discrete-event simulation: for each point the measured value is the
+// time from the Provider's request until the instance reaches its target
+// size, averaged over seeds (the carousel rotation is random per wakeup, so
+// single runs land anywhere in [best, worst]).
+
+#include <iostream>
+#include <tuple>
+#include <vector>
+
+#include "analytical/models.hpp"
+#include "core/system.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace oddci;
+
+double measure_wakeup(util::Bits image, util::BitRate beta,
+                      std::uint64_t seed, double section_loss = 0.0,
+                      core::BroadcastTechnology technology =
+                          core::BroadcastTechnology::kDtvCarousel) {
+  core::SystemConfig config;
+  config.receivers = 150;
+  config.beta = beta;
+  config.seed = seed;
+  config.section_loss = section_loss;
+  config.technology = technology;
+  config.multicast.block_loss = section_loss;
+  config.controller_overshoot = 1.3;
+  core::OddciSystem system(config);
+  // Measure instance formation directly: request an instance and wait for
+  // the Provider's readiness callback.
+  system.controller().deploy_pna();
+  system.simulation().run_until(sim::SimTime::from_seconds(90));
+
+  core::InstanceSpec spec;
+  spec.name = "wakeup-probe";
+  spec.target_size = 100;
+  spec.image_size = image;
+  const sim::SimTime t0 = system.simulation().now();
+  double wakeup = -1.0;
+  system.provider().request_instance(
+      spec, system.backend().node_id(),
+      [&](core::InstanceId, sim::SimTime at) {
+        wakeup = (at - t0).seconds();
+        system.simulation().stop();
+      });
+  system.simulation().run_until(t0 + sim::SimTime::from_hours(12));
+  return wakeup;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Section 5.1: wakeup overhead W vs image size and beta ===\n"
+            << "(measured = first time the instance reaches its target size;"
+            << " mean/min/max over 8 seeds)\n\n";
+
+  struct Point {
+    int image_mb;
+    double beta_mbps;
+  };
+  const std::vector<Point> points = {
+      {1, 1.0}, {2, 1.0}, {4, 1.0}, {8, 1.0}, {16, 1.0},
+      {8, 0.5}, {8, 2.0}, {8, 4.0}, {8, 8.0},
+  };
+  constexpr int kSeeds = 8;
+
+  util::Table table({"I (MB)", "beta (Mbps)", "model best (s)",
+                     "model mean 1.5I/b (s)", "model worst (s)",
+                     "measured mean (s)", "measured min", "measured max"});
+
+  util::ThreadPool pool;
+  for (const auto& point : points) {
+    const auto image = util::Bits::from_megabytes(point.image_mb);
+    const auto beta = util::BitRate::from_mbps(point.beta_mbps);
+
+    std::vector<std::future<double>> futures;
+    for (int s = 0; s < kSeeds; ++s) {
+      futures.push_back(pool.submit([image, beta, s] {
+        return measure_wakeup(image, beta, 101 + 13 * s);
+      }));
+    }
+    util::RunningStats stats;
+    for (auto& f : futures) {
+      const double w = f.get();
+      if (w > 0) stats.add(w);
+    }
+
+    table.add_row({util::Table::fmt_int(point.image_mb),
+                   util::Table::fmt(point.beta_mbps, 1),
+                   util::Table::fmt(
+                       analytical::wakeup_best_seconds(image, beta), 1),
+                   util::Table::fmt(analytical::wakeup_seconds(image, beta),
+                                    1),
+                   util::Table::fmt(
+                       analytical::wakeup_worst_seconds(image, beta), 1),
+                   util::Table::fmt(stats.mean(), 1),
+                   util::Table::fmt(stats.min(), 1),
+                   util::Table::fmt(stats.max(), 1)});
+  }
+  table.print(std::cout);
+
+  // Extension: wakeup under broadcast loss. Lost DSM-CC sections are
+  // recovered on later cycles, so reception noise stretches the tail of the
+  // join wave — each percent of loss costs extra full cycles for unlucky
+  // receivers.
+  std::cout << "\nWakeup under per-section broadcast loss (8 MB, 1 Mbps, "
+               "4 KB sections, 8 seeds):\n";
+  util::Table loss_table({"section loss", "measured mean (s)",
+                          "measured max (s)", "vs clean mean"});
+  const auto image8 = util::Bits::from_megabytes(8);
+  const auto beta1 = util::BitRate::from_mbps(1.0);
+  double clean_mean = 0.0;
+  for (double loss : {0.0, 0.01, 0.05, 0.10}) {
+    std::vector<std::future<double>> futures;
+    for (int s = 0; s < kSeeds; ++s) {
+      futures.push_back(pool.submit([image8, beta1, s, loss] {
+        return measure_wakeup(image8, beta1, 301 + 17 * s, loss);
+      }));
+    }
+    util::RunningStats stats;
+    for (auto& f : futures) {
+      const double w = f.get();
+      if (w > 0) stats.add(w);
+    }
+    if (loss == 0.0) clean_mean = stats.mean();
+    loss_table.add_row({util::Table::fmt(loss, 2),
+                        util::Table::fmt(stats.mean(), 1),
+                        util::Table::fmt(stats.max(), 1),
+                        util::Table::fmt(stats.mean() / clean_mean, 2)});
+  }
+  loss_table.print(std::cout);
+
+  // Extension: DTV carousel vs OddCI-IPTV (block-coded multicast, Section
+  // 3.3). Multicast has no carousel phase wait, so wakeup approaches
+  // I/beta; and loss degrades it gracefully instead of costing cycles.
+  std::cout << "\nSubstrate comparison (8 MB image, 1 Mbps, 8 seeds):\n";
+  util::Table medium_table(
+      {"substrate", "loss", "measured mean (s)", "measured max (s)"});
+  for (const auto& [label, tech, loss] :
+       std::vector<std::tuple<const char*, core::BroadcastTechnology,
+                              double>>{
+           {"DTV carousel", core::BroadcastTechnology::kDtvCarousel, 0.0},
+           {"IPTV multicast", core::BroadcastTechnology::kIpMulticast, 0.0},
+           {"DTV carousel", core::BroadcastTechnology::kDtvCarousel, 0.05},
+           {"IPTV multicast", core::BroadcastTechnology::kIpMulticast,
+            0.05},
+       }) {
+    std::vector<std::future<double>> futures;
+    for (int s = 0; s < kSeeds; ++s) {
+      futures.push_back(pool.submit([s, tech = tech, loss = loss, image8,
+                                     beta1] {
+        return measure_wakeup(image8, beta1, 401 + 23 * s, loss, tech);
+      }));
+    }
+    util::RunningStats stats;
+    for (auto& f : futures) {
+      const double w = f.get();
+      if (w > 0) stats.add(w);
+    }
+    medium_table.add_row({label, util::Table::fmt(loss, 2),
+                          util::Table::fmt(stats.mean(), 1),
+                          util::Table::fmt(stats.max(), 1)});
+  }
+  medium_table.print(std::cout);
+
+  std::cout << "\nPaper claim check: an 8 MB image at beta = 1 Mbps wakes up"
+               " millions of nodes in ~"
+            << util::Table::fmt(analytical::wakeup_seconds(
+                                    util::Bits::from_megabytes(8),
+                                    util::BitRate::from_mbps(1.0)),
+                                0)
+            << " s on average, independent of N.\n";
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Experiment E10 — microbenchmarks of the substrates (google-benchmark):
+// simulation-kernel event throughput, direct-channel message path, carousel
+// acquisition math, signature, and the alignment workload engine.
+
+#include <benchmark/benchmark.h>
+
+#include "broadcast/carousel.hpp"
+#include "broadcast/signature.hpp"
+#include "core/messages.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "workload/alignment.hpp"
+#include "workload/blast.hpp"
+#include "workload/sequence.hpp"
+
+namespace {
+
+using namespace oddci;
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int counter = 0;
+    for (int i = 0; i < events; ++i) {
+      sim.schedule_at(sim::SimTime::from_micros(i), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulationEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_SimulationSelfScheduling(benchmark::State& state) {
+  // Chained events (timer-style), the kernel's common pattern.
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) {
+        sim.schedule_in(sim::SimTime::from_micros(10), tick);
+      }
+    };
+    sim.schedule_in(sim::SimTime::from_micros(10), tick);
+    sim.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulationSelfScheduling);
+
+class Sink final : public net::Endpoint {
+ public:
+  void on_message(net::NodeId, const net::MessagePtr&) override { ++count; }
+  std::uint64_t count = 0;
+};
+
+void BM_NetworkMessagePath(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::Network net(sim);
+    Sink a, b;
+    const auto na = net.register_endpoint(
+        &a, {util::BitRate::from_mbps(100), util::BitRate::from_mbps(100),
+             sim::SimTime::from_millis(1)});
+    const auto nb = net.register_endpoint(
+        &b, {util::BitRate::from_mbps(100), util::BitRate::from_mbps(100),
+             sim::SimTime::from_millis(1)});
+    for (int i = 0; i < 10000; ++i) {
+      net.send(na, nb,
+               std::make_shared<core::HeartbeatMessage>(
+                   i, core::PnaState::kIdle, core::kNoInstance));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(b.count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_NetworkMessagePath);
+
+void BM_CarouselAcquisitionQuery(benchmark::State& state) {
+  broadcast::ObjectCarousel carousel(util::BitRate::from_mbps(1.0));
+  for (int i = 0; i < 32; ++i) {
+    carousel.put_file("file-" + std::to_string(i),
+                      util::Bits::from_kilobytes(64 + i), i);
+  }
+  carousel.commit(sim::SimTime::zero(), 12345);
+  util::Random rng(1);
+  for (auto _ : state) {
+    const auto listen =
+        sim::SimTime::from_seconds(rng.uniform(0.0, 1000.0));
+    benchmark::DoNotOptimize(
+        carousel.read_completion_time("file-17", listen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CarouselAcquisitionQuery);
+
+void BM_ControlMessageSignVerify(benchmark::State& state) {
+  core::ControlMessage m;
+  m.type = core::ControlType::kWakeup;
+  m.instance = 7;
+  m.probability = 0.25;
+  m.image = {3, "image-3", util::Bits::from_megabytes(10)};
+  for (auto _ : state) {
+    m.sign_with(0xABCD);
+    benchmark::DoNotOptimize(m.verify_with(0xABCD));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControlMessageSignVerify);
+
+void BM_SmithWaterman(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  workload::SequenceGenerator gen(42);
+  const std::string a = gen.random_dna(len);
+  const std::string b = gen.mutate(a, 0.05, 0.01);
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r = workload::smith_waterman(a, b);
+    cells += r.cells;
+    benchmark::DoNotOptimize(r.score);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.SetLabel("items = DP cells");
+}
+BENCHMARK(BM_SmithWaterman)->Arg(256)->Arg(1024);
+
+void BM_BlastSearch(benchmark::State& state) {
+  const auto db_seqs = static_cast<std::size_t>(state.range(0));
+  workload::SequenceGenerator gen(43);
+  const std::string query = gen.random_dna(500);
+  auto seqs = gen.random_database(db_seqs, 800, 1200);
+  seqs[db_seqs / 2] = gen.mutate(query, 0.05, 0.005);
+  workload::BlastDatabase database(std::move(seqs), 11);
+  workload::BlastParams params;
+  params.word_size = 11;
+  for (auto _ : state) {
+    const auto result = workload::blast_search(query, database, params);
+    benchmark::DoNotOptimize(result.hits.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(database.total_residues()));
+  state.SetLabel("items = db residues scanned");
+}
+BENCHMARK(BM_BlastSearch)->Arg(100)->Arg(1000);
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Random rng(7);
+  double acc = 0;
+  for (auto _ : state) {
+    acc += rng.uniform();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

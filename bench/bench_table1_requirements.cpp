@@ -1,0 +1,69 @@
+// Experiment E1 — Table I of the paper: which requirements (extremely high
+// scalability, efficient setup, on-demand instantiation) each technology
+// class meets. Regenerated from executable comparator models rather than
+// transcribed: each model answers "how long to assemble N productive
+// workers, with how many per-node interventions, and can the pool be
+// retargeted on demand?", and a uniform judge converts the evidence into
+// check marks.
+
+#include <iostream>
+
+#include "baseline/infrastructure.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace oddci;
+
+  std::cout << "=== Table I: Requirements vs Available Technologies ===\n\n";
+
+  const auto models = baseline::default_models();
+  const baseline::JudgeThresholds thresholds;
+
+  util::Table evidence({"technology", "assemble 100 (s)", "assemble 1e6 (s)",
+                        "interventions @1e6", "scale limit",
+                        "retarget 1e4 (s)"});
+  util::Table verdicts({"requirement", "Voluntary", "Desktop Grid", "IaaS",
+                        "OddCI"});
+
+  std::vector<baseline::RequirementVerdict> vs;
+  for (const auto& model : models) {
+    vs.push_back(baseline::judge(*model, thresholds));
+    const auto& v = vs.back();
+    auto fmt_or_dash = [](double x) {
+      return x < 0 ? std::string("unreachable") : util::Table::fmt(x, 0);
+    };
+    evidence.add_row({v.technology, fmt_or_dash(v.assemble_1e2_seconds),
+                      fmt_or_dash(v.assemble_1e6_seconds),
+                      fmt_or_dash(v.interventions_1e6),
+                      util::Table::fmt_int(
+                          static_cast<long long>(model->scale_limit())),
+                      util::Table::fmt(model->reconfigure_seconds(10'000),
+                                       0)});
+  }
+
+  auto mark = [](bool b) { return b ? std::string("yes") : std::string("-"); };
+  verdicts.add_row({"Extremely high scalability",
+                    mark(vs[0].extremely_high_scalability),
+                    mark(vs[1].extremely_high_scalability),
+                    mark(vs[2].extremely_high_scalability),
+                    mark(vs[3].extremely_high_scalability)});
+  verdicts.add_row({"Efficient setup", mark(vs[0].efficient_setup),
+                    mark(vs[1].efficient_setup), mark(vs[2].efficient_setup),
+                    mark(vs[3].efficient_setup)});
+  verdicts.add_row({"On-demand instantiation",
+                    mark(vs[0].on_demand_instantiation),
+                    mark(vs[1].on_demand_instantiation),
+                    mark(vs[2].on_demand_instantiation),
+                    mark(vs[3].on_demand_instantiation)});
+
+  std::cout << "Evidence (model measurements):\n";
+  evidence.print(std::cout);
+  std::cout << "\nVerdicts (thresholds: reachable scale >= "
+            << thresholds.scale_nodes << " nodes; zero-touch setup of "
+            << thresholds.setup_probe_nodes << " nodes within "
+            << thresholds.setup_seconds << " s):\n";
+  verdicts.print(std::cout);
+  std::cout << "\nPaper's Table I shape: every requirement met by some "
+               "existing technology;\nonly OddCI meets all three.\n";
+  return 0;
+}

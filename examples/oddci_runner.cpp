@@ -1,0 +1,169 @@
+// oddci_runner — scenario driver: build an OddCI system from a key=value
+// configuration file (see examples/scenarios/*.cfg), run one job, and print
+// the measured metrics next to the paper's analytical model.
+//
+// Usage:
+//   oddci_runner <scenario.cfg> [key=value overrides...]
+//
+// Every parameter has a default, so `oddci_runner /dev/null` runs a sane
+// baseline scenario. Overrides on the command line win over the file.
+
+#include <cstring>
+#include <iostream>
+
+#include "analytical/models.hpp"
+#include "core/system.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace oddci;
+
+core::SystemConfig system_config(const util::Config& cfg) {
+  core::SystemConfig config;
+  config.receivers =
+      static_cast<std::size_t>(cfg.get_int("receivers", 1000));
+  config.channels = static_cast<std::size_t>(cfg.get_int("channels", 1));
+  config.beta = util::BitRate::from_mbps(cfg.get_double("beta_mbps", 1.0));
+  config.delta =
+      util::BitRate::from_kbps(cfg.get_double("delta_kbps", 150.0));
+  config.section_loss = cfg.get_double("section_loss", 0.0);
+  config.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  config.controller_overshoot = cfg.get_double("overshoot", 1.3);
+  config.heartbeat_interval =
+      sim::SimTime::from_seconds(cfg.get_double("heartbeat_s", 30.0));
+  config.tuned_fraction = cfg.get_double("tuned_fraction", 1.0);
+  config.aggregators =
+      static_cast<std::size_t>(cfg.get_int("aggregators", 0));
+
+  const std::string technology = cfg.get_string("technology", "dtv");
+  if (technology == "iptv") {
+    config.technology = core::BroadcastTechnology::kIpMulticast;
+    config.multicast.block_loss = config.section_loss;
+  } else if (technology != "dtv") {
+    throw std::runtime_error("technology must be 'dtv' or 'iptv'");
+  }
+
+  const std::string profile = cfg.get_string("profile", "reference-stb");
+  if (profile == "stb-st7109") {
+    config.profile = dtv::DeviceProfile::stb_st7109();
+  } else if (profile == "reference-pc") {
+    config.profile = dtv::DeviceProfile::reference_pc();
+  } else if (profile == "mobile-phone") {
+    config.profile = dtv::DeviceProfile::mobile_phone();
+  } else if (profile == "reference-stb") {
+    config.profile = dtv::DeviceProfile::reference_stb();
+  } else {
+    throw std::runtime_error("unknown device profile: " + profile);
+  }
+
+  const std::string power = cfg.get_string("power", "standby");
+  config.initial_power = power == "in-use" ? dtv::PowerMode::kInUse
+                                           : dtv::PowerMode::kStandby;
+
+  if (cfg.get_bool("churn", false)) {
+    core::ChurnOptions churn;
+    churn.mean_on_seconds = cfg.get_double("churn_on_s", 3600.0);
+    churn.mean_off_seconds = cfg.get_double("churn_off_s", 1800.0);
+    churn.in_use_probability = cfg.get_double("churn_in_use", 0.7);
+    config.churn = churn;
+  }
+  return config;
+}
+
+workload::Job job_from(const util::Config& cfg) {
+  return workload::make_uniform_job(
+      cfg.get_string("job_name", "scenario-job"),
+      util::Bits::from_megabytes(cfg.get_int("image_mb", 10)),
+      static_cast<std::size_t>(cfg.get_int("tasks", 2000)),
+      util::Bits::from_bytes(cfg.get_int("task_input_bytes", 512)),
+      util::Bits::from_bytes(cfg.get_int("task_result_bytes", 512)),
+      cfg.get_double("task_seconds", 30.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: oddci_runner <scenario.cfg> [key=value ...]\n";
+    return 2;
+  }
+  util::Config cfg;
+  try {
+    cfg = util::Config::load(argv[1]);
+    for (int i = 2; i < argc; ++i) {
+      const char* eq = std::strchr(argv[i], '=');
+      if (eq == nullptr) {
+        throw std::runtime_error(std::string("override without '=': ") +
+                                 argv[i]);
+      }
+      cfg.set(std::string(argv[i], static_cast<std::size_t>(eq - argv[i])),
+              std::string(eq + 1));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 2;
+  }
+
+  try {
+    const core::SystemConfig config = system_config(cfg);
+    const workload::Job job = job_from(cfg);
+    const auto instance_size =
+        static_cast<std::size_t>(cfg.get_int("instance_size", 200));
+    const double deadline_h = cfg.get_double("deadline_hours", 48.0);
+
+    std::cout << "scenario: " << argv[1] << "\n"
+              << "  " << config.receivers << " receivers ("
+              << config.profile.name << ", "
+              << (config.technology ==
+                          core::BroadcastTechnology::kIpMulticast
+                      ? "iptv"
+                      : "dtv")
+              << ", " << config.channels << " channel(s)), instance "
+              << instance_size << ", " << job.task_count() << " tasks x "
+              << job.avg_reference_seconds() << " s\n\n";
+
+    core::OddciSystem system(config);
+    const auto result = system.run_job(
+        job, instance_size, sim::SimTime::from_hours(deadline_h));
+
+    analytical::SystemModel sm{config.beta, config.delta};
+    analytical::JobModel jm;
+    jm.n = job.task_count();
+    jm.s_bits = job.avg_input_bits();
+    jm.r_bits = job.avg_result_bits();
+    jm.p_seconds = job.avg_reference_seconds() *
+                   config.profile.slowdown(config.initial_power);
+    jm.image = job.image_size;
+
+    util::Table table({"metric", "analytical", "measured"});
+    table.add_row({"wakeup W (s)",
+                   util::Table::fmt(
+                       analytical::wakeup_seconds(job.image_size, config.beta),
+                       1),
+                   util::Table::fmt(result.wakeup_seconds, 1)});
+    table.add_row(
+        {"makespan M (s)",
+         util::Table::fmt(
+             analytical::makespan_seconds(sm, jm, instance_size), 1),
+         util::Table::fmt(result.makespan_seconds, 1)});
+    table.add_row(
+        {"efficiency E",
+         util::Table::fmt(analytical::efficiency(sm, jm, instance_size), 3),
+         util::Table::fmt(result.efficiency(job.task_count(), jm.p_seconds,
+                                            instance_size),
+                          3)});
+    table.print(std::cout);
+    std::cout << "\n  completed: " << (result.completed ? "yes" : "NO")
+              << " (" << result.job.results_received << "/"
+              << job.task_count() << " tasks, "
+              << result.job.reassignments << " reassignments, "
+              << result.controller.recompositions << " recompositions)\n";
+    return result.completed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,80 @@
+// Domain example: overnight computing — exploiting the diurnal rhythm of a
+// TV audience. During the evening most powered boxes are *in use* (slow:
+// the middleware competes for the CPU); after midnight the same boxes sit
+// in *standby* (1.65x faster) or switch off. This example runs the same
+// workload in an "evening" and a "night" population and shows the standby
+// advantage the paper measured in Section 4.4, end to end.
+//
+// Usage: overnight_compute [receivers]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace oddci;
+
+struct Outcome {
+  double makespan_h;
+  double compute_h;  ///< makespan minus wakeup
+  bool completed;
+};
+
+Outcome run_shift(const char* label, dtv::PowerMode mode,
+                  std::size_t receivers) {
+  core::SystemConfig config;
+  config.receivers = receivers;
+  config.profile = dtv::DeviceProfile::stb_st7109();
+  config.initial_power = mode;
+  config.controller_overshoot = 1.3;
+  config.seed = 20260704;
+  core::OddciSystem system(config);
+
+  const workload::Job job = workload::make_uniform_job(
+      "overnight", util::Bits::from_megabytes(8), 3000,
+      util::Bits::from_kilobytes(1), util::Bits::from_kilobytes(2),
+      /*reference PC seconds=*/20.0);
+
+  const auto result =
+      system.run_job(job, receivers / 4, sim::SimTime::from_hours(100));
+  std::cout << "  [" << label << "] "
+            << (result.completed ? "completed" : "TIMED OUT") << " in "
+            << util::Table::fmt(result.makespan_seconds / 3600.0, 2)
+            << " h (wakeup " << util::Table::fmt(result.wakeup_seconds, 0)
+            << " s)\n";
+  return {result.makespan_seconds / 3600.0,
+          (result.makespan_seconds - result.wakeup_seconds) / 3600.0,
+          result.completed};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t receivers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 600;
+
+  std::cout << "Overnight computing: same job, evening (in-use) vs night "
+               "(standby) population\n"
+            << "  " << receivers << " ST7109 STBs, instance size "
+            << receivers / 4 << ", 3000 tasks x 20 s (reference PC)\n\n";
+
+  const Outcome evening =
+      run_shift("evening: boxes in use ", dtv::PowerMode::kInUse, receivers);
+  const Outcome night =
+      run_shift("night:   boxes standby", dtv::PowerMode::kStandby,
+                receivers);
+
+  if (!evening.completed || !night.completed) return 1;
+
+  const double speedup = evening.compute_h / night.compute_h;
+  std::cout << "\nStandby advantage (compute phase): "
+            << util::Table::fmt(speedup, 2)
+            << "x  (paper's device measurement: 1.65x, max error 17%)\n";
+  // The end-to-end ratio should land close to the device-level 1.65x since
+  // these tasks are compute-bound.
+  return (speedup > 1.3 && speedup < 2.0) ? 0 : 1;
+}

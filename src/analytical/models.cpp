@@ -1,0 +1,103 @@
+#include "analytical/models.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace oddci::analytical {
+
+namespace {
+void check_beta(util::BitRate beta) {
+  if (beta.bps() <= 0.0) {
+    throw std::invalid_argument("analytical: beta must be > 0");
+  }
+}
+void check_job(const JobModel& job) {
+  if (job.n == 0) {
+    throw std::invalid_argument("analytical: job must have tasks");
+  }
+  if (job.p_seconds <= 0.0) {
+    throw std::invalid_argument("analytical: p must be > 0");
+  }
+  if (job.s_bits < 0.0 || job.r_bits < 0.0) {
+    throw std::invalid_argument("analytical: negative payload");
+  }
+}
+}  // namespace
+
+double wakeup_seconds(util::Bits image, util::BitRate beta) {
+  check_beta(beta);
+  return 1.5 * static_cast<double>(image.count()) / beta.bps();
+}
+
+double wakeup_best_seconds(util::Bits image, util::BitRate beta) {
+  check_beta(beta);
+  return static_cast<double>(image.count()) / beta.bps();
+}
+
+double wakeup_worst_seconds(util::Bits image, util::BitRate beta) {
+  check_beta(beta);
+  return 2.0 * static_cast<double>(image.count()) / beta.bps();
+}
+
+double makespan_seconds(const SystemModel& system, const JobModel& job,
+                        std::size_t N) {
+  check_job(job);
+  if (N == 0) {
+    throw std::invalid_argument("analytical: N must be > 0");
+  }
+  if (system.delta.bps() <= 0.0) {
+    throw std::invalid_argument("analytical: delta must be > 0");
+  }
+  const double W = wakeup_seconds(job.image, system.beta);
+  const double per_task =
+      (job.s_bits + job.r_bits) / system.delta.bps() + job.p_seconds;
+  return W + static_cast<double>(job.n) / static_cast<double>(N) * per_task;
+}
+
+double efficiency(const SystemModel& system, const JobModel& job,
+                  std::size_t N) {
+  const double M = makespan_seconds(system, job, N);
+  return static_cast<double>(job.n) * job.p_seconds /
+         (M * static_cast<double>(N));
+}
+
+double suitability(double s_bits, double r_bits, util::BitRate delta,
+                   double p_seconds) {
+  if (delta.bps() <= 0.0 || p_seconds <= 0.0) {
+    throw std::invalid_argument("analytical: delta and p must be > 0");
+  }
+  if (s_bits + r_bits <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return delta.bps() * p_seconds / (s_bits + r_bits);
+}
+
+double task_seconds_for_suitability(double payload_bits, util::BitRate delta,
+                                    double phi) {
+  if (delta.bps() <= 0.0 || phi <= 0.0 || payload_bits <= 0.0) {
+    throw std::invalid_argument("analytical: invalid suitability inversion");
+  }
+  return phi * payload_bits / delta.bps();
+}
+
+double asymptotic_efficiency(const SystemModel& system, const JobModel& job) {
+  check_job(job);
+  const double c = (job.s_bits + job.r_bits) / system.delta.bps();
+  return job.p_seconds / (c + job.p_seconds);
+}
+
+double ratio_for_efficiency(const SystemModel& system, const JobModel& job,
+                            double target_efficiency) {
+  check_job(job);
+  if (target_efficiency <= 0.0 || target_efficiency >= 1.0) {
+    throw std::invalid_argument("analytical: target efficiency in (0,1)");
+  }
+  const double W = wakeup_seconds(job.image, system.beta);
+  const double c = (job.s_bits + job.r_bits) / system.delta.bps();
+  const double denom =
+      job.p_seconds - target_efficiency * (c + job.p_seconds);
+  if (denom <= 0.0) return -1.0;  // unreachable
+  return target_efficiency * W / denom;
+}
+
+}  // namespace oddci::analytical

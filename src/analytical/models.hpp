@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/quantity.hpp"
+
+/// Closed-form performance models from Section 5 of the paper, used both to
+/// generate the analytical curves of Figures 6/7 and to cross-validate the
+/// discrete-event simulation.
+namespace oddci::analytical {
+
+/// Infrastructure parameters: unused broadcast capacity beta and the
+/// per-node direct-channel capacity delta.
+struct SystemModel {
+  util::BitRate beta = util::BitRate::from_mbps(1.0);
+  util::BitRate delta = util::BitRate::from_kbps(150.0);
+};
+
+/// Application parameters: n tasks, per-task average input s and result r
+/// (bits), average per-task processing time p on a member node (seconds),
+/// and the image size I.
+struct JobModel {
+  std::size_t n = 0;
+  double s_bits = 0.0;
+  double r_bits = 0.0;
+  double p_seconds = 0.0;
+  util::Bits image;
+};
+
+/// Average wakeup overhead, Section 5.1: W = 1.5 * I / beta
+/// (half a carousel cycle of waiting plus a full cycle to read the image,
+/// assuming the image dominates the carousel contents).
+[[nodiscard]] double wakeup_seconds(util::Bits image, util::BitRate beta);
+/// Best case: the node starts reading exactly at the image start.
+[[nodiscard]] double wakeup_best_seconds(util::Bits image,
+                                         util::BitRate beta);
+/// Worst case: the node just missed the image start and waits a full cycle.
+[[nodiscard]] double wakeup_worst_seconds(util::Bits image,
+                                          util::BitRate beta);
+
+/// Average makespan, Eq. (1):
+///   M = 1.5*I/beta + (n/N) * ((s + r)/delta + p)
+[[nodiscard]] double makespan_seconds(const SystemModel& system,
+                                      const JobModel& job, std::size_t N);
+
+/// Efficiency, Eq. (2): E = n * p / (M * N).
+[[nodiscard]] double efficiency(const SystemModel& system, const JobModel& job,
+                                std::size_t N);
+
+/// Suitability Phi = (delta * p) / (s + r): compute per unit of
+/// communication.
+///
+/// NOTE on the paper: Section 5.2.2 *prints* Phi = (s+r)/(delta*p) but then
+/// states that low Phi means unsuitable (communication-heavy), that
+/// efficiency grows with Phi, and that Phi = 1 corresponds to p = 53 ms
+/// while Phi = 100,000 corresponds to ~1.5 h. Those statements are only
+/// mutually consistent if Phi grows with p — i.e. the printed formula is
+/// inverted. We implement the operationally correct orientation,
+/// Phi = delta*p/(s+r), which reproduces Figures 6 and 7 exactly as drawn.
+[[nodiscard]] double suitability(double s_bits, double r_bits,
+                                 util::BitRate delta, double p_seconds);
+
+/// Task processing time that yields a target suitability:
+/// p = Phi * (s + r) / delta.
+[[nodiscard]] double task_seconds_for_suitability(double payload_bits,
+                                                  util::BitRate delta,
+                                                  double phi);
+
+/// Task ratio n/N required to reach efficiency E (inverting Eq. 2 with Eq. 1):
+///   k = E*W / (p - E*(c + p)),  c = (s+r)/delta.
+/// Returns a negative value when E is unreachable for these parameters
+/// (i.e. E >= p / (c + p), the asymptotic efficiency).
+[[nodiscard]] double ratio_for_efficiency(const SystemModel& system,
+                                          const JobModel& job,
+                                          double target_efficiency);
+
+/// Asymptotic efficiency as n/N -> infinity: p / (c + p).
+[[nodiscard]] double asymptotic_efficiency(const SystemModel& system,
+                                           const JobModel& job);
+
+}  // namespace oddci::analytical

@@ -1,0 +1,134 @@
+#include "baseline/infrastructure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oddci::baseline {
+
+namespace {
+constexpr double kDaySeconds = 86400.0;
+}
+
+AssemblyResult VoluntaryComputingModel::assemble(std::size_t nodes) const {
+  AssemblyResult r;
+  if (nodes > params_.reachable_population) return r;
+  r.achievable = true;
+  // Logistic-ramped recruitment: rate(t) = peak / (1 + e^-(t - ramp)/tau).
+  // Integrate numerically (day granularity) until the cumulative joins
+  // reach `nodes`.
+  const double tau = params_.ramp_days / 4.0;
+  double joined = 0.0;
+  double day = 0.0;
+  while (joined < static_cast<double>(nodes) && day < 365.0 * 20.0) {
+    const double rate =
+        params_.peak_joins_per_day /
+        (1.0 + std::exp(-(day - params_.ramp_days) / tau));
+    joined += rate;
+    day += 1.0;
+  }
+  r.seconds = day * kDaySeconds;
+  r.interventions =
+      params_.interventions_per_node * static_cast<double>(nodes);
+  return r;
+}
+
+double VoluntaryComputingModel::reconfigure_seconds(std::size_t nodes) const {
+  // Retargeting needs volunteers to explicitly attach the new project: a
+  // fresh (shorter) campaign reaching nodes / opt_in volunteers.
+  const auto needed = static_cast<std::size_t>(
+      static_cast<double>(nodes) / params_.retarget_opt_in);
+  (void)needed;
+  return params_.retarget_campaign_days * kDaySeconds;
+}
+
+AssemblyResult DesktopGridModel::assemble(std::size_t nodes) const {
+  AssemblyResult r;
+  if (nodes > params_.federation_ceiling) return r;
+  r.achievable = true;
+  r.seconds = params_.admin_seconds_per_node *
+              static_cast<double>(nodes) / params_.parallel_admins;
+  r.interventions = static_cast<double>(nodes);  // one admin touch per node
+  return r;
+}
+
+double DesktopGridModel::reconfigure_seconds(std::size_t nodes) const {
+  return params_.software_swap_seconds_per_node *
+         static_cast<double>(nodes) / params_.parallel_admins;
+}
+
+AssemblyResult IaasModel::assemble(std::size_t nodes) const {
+  AssemblyResult r;
+  if (nodes > params_.quota) return r;
+  r.achievable = true;
+  // Pipeline of `provisioning_concurrency` simultaneous boots, each gated
+  // by its share of the image-serving storage throughput.
+  const double image_s =
+      static_cast<double>(params_.vm_image.count()) /
+      (params_.storage_throughput.bps() / params_.provisioning_concurrency);
+  const double per_vm = params_.vm_boot_seconds + image_s;
+  const double waves = std::ceil(static_cast<double>(nodes) /
+                                 params_.provisioning_concurrency);
+  r.seconds = waves * per_vm;
+  r.interventions = 0.0;
+  return r;
+}
+
+double IaasModel::reconfigure_seconds(std::size_t nodes) const {
+  // Re-imaging is a fresh launch of the same pool.
+  return assemble(nodes).seconds;
+}
+
+AssemblyResult OddciModel::assemble(std::size_t nodes) const {
+  AssemblyResult r;
+  if (nodes > params_.tuned_population) return r;
+  r.achievable = true;
+  // The wakeup process: every tuned receiver loads the image from the
+  // carousel concurrently — time does not depend on N.
+  r.seconds = 1.5 * static_cast<double>(params_.image.count()) /
+              params_.beta.bps();
+  r.interventions = 0.0;
+  return r;
+}
+
+double OddciModel::reconfigure_seconds(std::size_t nodes) const {
+  // Reset + new wakeup: another broadcast cycle.
+  return assemble(nodes).seconds;
+}
+
+RequirementVerdict judge(const InfrastructureModel& model,
+                         const JudgeThresholds& thresholds) {
+  RequirementVerdict v;
+  v.technology = model.name();
+
+  const AssemblyResult small = model.assemble(100);
+  const AssemblyResult big = model.assemble(thresholds.scale_nodes);
+  v.assemble_1e2_seconds = small.achievable ? small.seconds : -1.0;
+  v.assemble_1e6_seconds = big.achievable ? big.seconds : -1.0;
+  v.interventions_1e6 = big.achievable ? big.interventions : -1.0;
+
+  v.extremely_high_scalability =
+      big.achievable && model.scale_limit() >= thresholds.scale_nodes;
+
+  // Setup efficiency is about the *process*, not the reachable scale: probe
+  // at a size within the technology's own ceiling.
+  const std::size_t probe =
+      std::min(thresholds.setup_probe_nodes, model.scale_limit());
+  const AssemblyResult probe_result = model.assemble(probe);
+  v.efficient_setup = probe_result.achievable &&
+                      probe_result.interventions == 0.0 &&
+                      probe_result.seconds <= thresholds.setup_seconds;
+
+  v.on_demand_instantiation = model.on_demand();
+  return v;
+}
+
+std::vector<std::unique_ptr<InfrastructureModel>> default_models() {
+  std::vector<std::unique_ptr<InfrastructureModel>> models;
+  models.push_back(std::make_unique<VoluntaryComputingModel>());
+  models.push_back(std::make_unique<DesktopGridModel>());
+  models.push_back(std::make_unique<IaasModel>());
+  models.push_back(std::make_unique<OddciModel>());
+  return models;
+}
+
+}  // namespace oddci::baseline

@@ -1,0 +1,59 @@
+#include "broadcast/ait.hpp"
+
+#include <algorithm>
+
+namespace oddci::broadcast {
+
+void Ait::upsert(const AitEntry& entry) {
+  for (auto& e : entries_) {
+    if (e.application_id == entry.application_id) {
+      e = entry;
+      ++version_;
+      return;
+    }
+  }
+  entries_.push_back(entry);
+  ++version_;
+}
+
+bool Ait::remove(std::uint32_t application_id) {
+  auto it = std::remove_if(entries_.begin(), entries_.end(),
+                           [application_id](const AitEntry& e) {
+                             return e.application_id == application_id;
+                           });
+  if (it == entries_.end()) return false;
+  entries_.erase(it, entries_.end());
+  ++version_;
+  return true;
+}
+
+std::optional<AitEntry> Ait::find(std::uint32_t application_id) const {
+  for (const auto& e : entries_) {
+    if (e.application_id == application_id) return e;
+  }
+  return std::nullopt;
+}
+
+std::vector<AitEntry> Ait::autostart_entries() const {
+  std::vector<AitEntry> out;
+  for (const auto& e : entries_) {
+    if (e.control_code == AppControlCode::kAutostart) out.push_back(e);
+  }
+  return out;
+}
+
+const char* to_string(AppControlCode code) {
+  switch (code) {
+    case AppControlCode::kAutostart:
+      return "AUTOSTART";
+    case AppControlCode::kPresent:
+      return "PRESENT";
+    case AppControlCode::kDestroy:
+      return "DESTROY";
+    case AppControlCode::kKill:
+      return "KILL";
+  }
+  return "?";
+}
+
+}  // namespace oddci::broadcast

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// Application Information Table (AIT).
+///
+/// The AIT is carried in the transport stream and tells the receiver which
+/// interactive applications exist and what to do with them. The field that
+/// drives the OddCI wakeup process is `application_control_code`: a value of
+/// AUTOSTART makes every tuned receiver launch the application (the PNA
+/// Xlet) without user intervention — a "trigger application".
+namespace oddci::broadcast {
+
+enum class AppControlCode : std::uint8_t {
+  kAutostart = 0x01,  ///< start immediately, no user action (trigger app)
+  kPresent = 0x02,    ///< available, user-launched
+  kDestroy = 0x03,    ///< stop gracefully (destroyXlet)
+  kKill = 0x04,       ///< stop immediately
+};
+
+struct AitEntry {
+  std::uint32_t application_id = 0;
+  AppControlCode control_code = AppControlCode::kPresent;
+  std::string application_name;
+  /// Name of the carousel file holding the application's code base.
+  std::string base_file;
+};
+
+class Ait {
+ public:
+  Ait() = default;
+
+  /// Insert or replace the entry for `application_id`; bumps the table
+  /// version.
+  void upsert(const AitEntry& entry);
+
+  /// Remove an application from the table; bumps the version if present.
+  bool remove(std::uint32_t application_id);
+
+  [[nodiscard]] std::optional<AitEntry> find(
+      std::uint32_t application_id) const;
+  [[nodiscard]] const std::vector<AitEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+
+  /// Applications the receiver must launch automatically.
+  [[nodiscard]] std::vector<AitEntry> autostart_entries() const;
+
+ private:
+  std::vector<AitEntry> entries_;
+  std::uint32_t version_ = 0;
+};
+
+[[nodiscard]] const char* to_string(AppControlCode code);
+
+}  // namespace oddci::broadcast

@@ -1,0 +1,131 @@
+#include "broadcast/carousel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oddci::broadcast {
+
+util::Bits CarouselSnapshot::total_size() const {
+  util::Bits total;
+  for (const auto& f : files) total += f.size;
+  return total;
+}
+
+double CarouselSnapshot::cycle_seconds() const {
+  return util::transmission_seconds(total_size(), rate);
+}
+
+const CarouselFile* CarouselSnapshot::find(const std::string& name) const {
+  for (const auto& f : files) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+ObjectCarousel::ObjectCarousel(util::BitRate rate) : staged_rate_(rate) {
+  if (rate.bps() <= 0.0) {
+    throw std::invalid_argument("ObjectCarousel: rate must be > 0");
+  }
+}
+
+void ObjectCarousel::put_file(const std::string& name, util::Bits size,
+                              std::uint64_t content_id) {
+  if (name.empty()) {
+    throw std::invalid_argument("ObjectCarousel: empty file name");
+  }
+  if (size.count() <= 0) {
+    throw std::invalid_argument("ObjectCarousel: file size must be > 0");
+  }
+  auto it = staged_.find(name);
+  if (it != staged_.end()) {
+    it->second.size = size;
+    it->second.content_id = content_id;
+    ++it->second.version;
+  } else {
+    staged_.emplace(name, CarouselFile{name, size, 1, content_id});
+  }
+}
+
+bool ObjectCarousel::remove_file(const std::string& name) {
+  return staged_.erase(name) > 0;
+}
+
+void ObjectCarousel::set_rate(util::BitRate rate) {
+  if (rate.bps() <= 0.0) {
+    throw std::invalid_argument("ObjectCarousel: rate must be > 0");
+  }
+  staged_rate_ = rate;
+}
+
+std::uint64_t ObjectCarousel::commit(sim::SimTime now,
+                                     std::int64_t phase_bits) {
+  active_.generation = next_generation_++;
+  active_.epoch = now;
+  active_.rate = staged_rate_;
+  active_.phase_bits = phase_bits;
+  active_.files.clear();
+  active_.files.reserve(staged_.size());
+  offsets_.clear();
+  offsets_.reserve(staged_.size());
+  std::int64_t offset = 0;
+  for (const auto& [name, file] : staged_) {
+    active_.files.push_back(file);
+    offsets_.push_back(offset);
+    offset += file.size.count();
+  }
+  if (offset > 0) {
+    active_.phase_bits = ((phase_bits % offset) + offset) % offset;
+  } else {
+    active_.phase_bits = 0;
+  }
+  return active_.generation;
+}
+
+std::optional<sim::SimTime> ObjectCarousel::read_completion_time(
+    const std::string& file_name, sim::SimTime listen_from) const {
+  if (!has_committed()) return std::nullopt;
+  if (listen_from < active_.epoch) {
+    throw std::invalid_argument(
+        "ObjectCarousel: listen_from precedes the generation epoch");
+  }
+  const std::int64_t cycle_bits = active_.total_size().count();
+  if (cycle_bits == 0) return std::nullopt;
+
+  for (std::size_t i = 0; i < active_.files.size(); ++i) {
+    const CarouselFile& f = active_.files[i];
+    if (f.name != file_name) continue;
+
+    const double beta = active_.rate.bps();
+    const double cycle_s = static_cast<double>(cycle_bits) / beta;
+    const double start_offset_s = static_cast<double>(offsets_[i]) / beta;
+    const double read_s = static_cast<double>(f.size.count()) / beta;
+
+    // Phase of the carousel at listen_from, in seconds within the cycle,
+    // accounting for the rotation the generation started at.
+    const double phase0 = static_cast<double>(active_.phase_bits) / beta;
+    const double elapsed = (listen_from - active_.epoch).seconds() + phase0;
+    const double phase = std::fmod(elapsed, cycle_s);
+
+    // Wait until the next emission of the file's first byte.
+    double wait = start_offset_s - phase;
+    if (wait < 0.0) wait += cycle_s;
+
+    return listen_from + sim::SimTime::from_seconds(wait + read_s);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ObjectCarousel::mean_acquisition_seconds(
+    const std::string& file_name) const {
+  if (!has_committed()) return std::nullopt;
+  const CarouselFile* f = active_.find(file_name);
+  if (f == nullptr) return std::nullopt;
+  const double beta = active_.rate.bps();
+  const double cycle_s =
+      static_cast<double>(active_.total_size().count()) / beta;
+  const double read_s = static_cast<double>(f->size.count()) / beta;
+  // Uniform phase => mean wait of half a cycle, plus the read itself.
+  return 0.5 * cycle_s + read_s;
+}
+
+}  // namespace oddci::broadcast

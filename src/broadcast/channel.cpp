@@ -1,0 +1,112 @@
+#include "broadcast/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oddci::broadcast {
+
+BroadcastChannel::BroadcastChannel(sim::Simulation& simulation,
+                                   TransportStream transport,
+                                   std::uint64_t seed,
+                                   sim::SimTime table_repetition)
+    : simulation_(simulation),
+      transport_(std::move(transport)),
+      carousel_(transport_.unused()),
+      table_repetition_(table_repetition),
+      rng_(seed) {
+  if (table_repetition <= sim::SimTime::zero()) {
+    throw std::invalid_argument(
+        "BroadcastChannel: table repetition must be positive");
+  }
+}
+
+std::uint64_t BroadcastChannel::commit() {
+  carousel_.set_rate(transport_.unused());
+  // Continuous-multiplex semantics: the new generation picks up at a
+  // random rotation of its cycle (the stream never "restarts"), which is
+  // what gives acquisition its half-cycle average wait.
+  const std::int64_t phase =
+      static_cast<std::int64_t>(rng_.engine().next() >> 1);
+  const std::uint64_t generation =
+      carousel_.commit(simulation_.now(), phase);
+  ++commit_count_;
+  for (const auto& [id, listener] : listeners_) {
+    (void)listener;
+    schedule_acquisition(id);
+  }
+  return generation;
+}
+
+void BroadcastChannel::schedule_acquisition(ListenerId id) {
+  // Phase delay until the receiver sees the updated tables on air.
+  const double phase_s =
+      rng_.uniform(0.0, table_repetition_.seconds());
+  const std::uint64_t generation = carousel_.current().generation;
+  simulation_.schedule_in(
+      sim::SimTime::from_seconds(phase_s),
+      [this, id, generation] {
+        auto it = listeners_.find(id);
+        if (it == listeners_.end()) return;        // untuned meanwhile
+        if (carousel_.current().generation != generation) {
+          return;  // superseded by a newer commit; its own event will fire
+        }
+        it->second->on_signalling(ait_, carousel_.current());
+      },
+      sim::EventPriority::kDelivery);
+}
+
+void BroadcastChannel::set_section_loss(double per_section_loss,
+                                        util::Bits section_size) {
+  if (per_section_loss < 0.0 || per_section_loss >= 1.0) {
+    throw std::invalid_argument(
+        "BroadcastChannel: section loss must be in [0, 1)");
+  }
+  if (section_size.count() <= 0) {
+    throw std::invalid_argument(
+        "BroadcastChannel: section size must be positive");
+  }
+  section_loss_ = per_section_loss;
+  section_size_ = section_size;
+}
+
+std::optional<sim::SimTime> BroadcastChannel::file_ready_at(
+    const std::string& name, sim::SimTime listen_from) {
+  auto base = carousel_.read_completion_time(name, listen_from);
+  if (!base || section_loss_ <= 0.0) return base;
+
+  const CarouselFile* file = carousel_.current().find(name);
+  const auto sections = static_cast<double>(
+      (file->size.count() + section_size_.count() - 1) /
+      section_size_.count());
+
+  // Each section needs Geometric(1 - p) passes; the file completes when
+  // the slowest section lands. P(max passes <= m) = (1 - p^m)^k, inverted
+  // with a single uniform draw:
+  //   m = ceil( log(1 - U^(1/k)) / log(p) ).
+  const double u = rng_.uniform();
+  const double root = std::pow(u, 1.0 / sections);
+  double passes = 1.0;
+  if (root < 1.0) {
+    passes = std::ceil(std::log1p(-root) / std::log(section_loss_));
+    passes = std::max(passes, 1.0);
+  }
+  const double extra_cycles = passes - 1.0;
+  return *base + sim::SimTime::from_seconds(
+                     extra_cycles * carousel_.current().cycle_seconds());
+}
+
+ListenerId BroadcastChannel::tune(BroadcastListener* listener) {
+  if (listener == nullptr) {
+    throw std::invalid_argument("BroadcastChannel: null listener");
+  }
+  const ListenerId id = next_listener_++;
+  listeners_.emplace(id, listener);
+  if (carousel_.has_committed()) {
+    schedule_acquisition(id);
+  }
+  return id;
+}
+
+void BroadcastChannel::untune(ListenerId id) { listeners_.erase(id); }
+
+}  // namespace oddci::broadcast

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "broadcast/ait.hpp"
+#include "broadcast/carousel.hpp"
+#include "broadcast/medium.hpp"
+#include "broadcast/transport_stream.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+/// One broadcast (TV) channel: a transport stream carrying A/V elementary
+/// streams, PSI/SI signalling (including the AIT) and a DSM-CC object
+/// carousel on the unused capacity.
+///
+/// Receivers `tune()` in and are notified whenever new signalling starts to
+/// be transmitted. Acquisition is not instantaneous: tables repeat with a
+/// configurable period, so each receiver observes a change after a random
+/// phase delay in [0, repetition_period) — this models the real spread in
+/// trigger-application launch times across a population of set-top boxes.
+namespace oddci::broadcast {
+
+class BroadcastListener {
+ public:
+  virtual ~BroadcastListener() = default;
+
+  /// New signalling (AIT version and/or carousel generation) acquired.
+  virtual void on_signalling(const Ait& ait,
+                             const CarouselSnapshot& snapshot) = 0;
+};
+
+class BroadcastChannel final : public BroadcastMedium {
+ public:
+  BroadcastChannel(sim::Simulation& simulation, TransportStream transport,
+                   std::uint64_t seed,
+                   sim::SimTime table_repetition =
+                       sim::SimTime::from_millis(500));
+
+  BroadcastChannel(const BroadcastChannel&) = delete;
+  BroadcastChannel& operator=(const BroadcastChannel&) = delete;
+
+  [[nodiscard]] const TransportStream& transport() const { return transport_; }
+  [[nodiscard]] util::BitRate carousel_rate() const {
+    return transport_.unused();
+  }
+
+  /// Staging interface: mutate the AIT and carousel contents, then commit.
+  Ait& ait() override { return ait_; }
+  ObjectCarousel& carousel() { return carousel_; }
+  [[nodiscard]] const ObjectCarousel& carousel() const { return carousel_; }
+
+  void put_file(const std::string& name, util::Bits size,
+                std::uint64_t content_id) override {
+    carousel_.put_file(name, size, content_id);
+  }
+  bool remove_file(const std::string& name) override {
+    return carousel_.remove_file(name);
+  }
+  [[nodiscard]] const CarouselSnapshot& current() const override {
+    return carousel_.current();
+  }
+
+  /// Atomically start transmitting the staged carousel and current AIT.
+  /// Every tuned listener is scheduled to acquire the new signalling after
+  /// its own phase delay. Returns the new carousel generation.
+  std::uint64_t commit() override;
+
+  /// Attach a listener (receiver tuned to this channel). If signalling is
+  /// already on air, the listener acquires it after a phase delay.
+  ListenerId tune(BroadcastListener* listener) override;
+
+  /// Detach; pending acquisitions for this listener are dropped.
+  void untune(ListenerId id) override;
+
+  [[nodiscard]] std::size_t tuned_count() const override {
+    return listeners_.size();
+  }
+
+  /// Mean acquisition is 1.5 cycles; by two full cycles a clean-channel
+  /// receiver has certainly seen every module once.
+  [[nodiscard]] double acquisition_horizon_seconds() const override {
+    if (!carousel_.has_committed()) return 0.0;
+    return 2.0 * carousel_.current().cycle_seconds();
+  }
+
+  /// Broadcast reception is not loss-free: model an i.i.d. per-section
+  /// loss probability (DSM-CC sections are ~4 KB). Receivers accumulate
+  /// sections across cycles, so a lost section costs one extra carousel
+  /// cycle for that section; a file completes when its last section lands.
+  /// Default 0 (clean channel).
+  void set_section_loss(
+      double per_section_loss,
+      util::Bits section_size = util::Bits::from_kilobytes(4));
+  [[nodiscard]] double section_loss() const { return section_loss_; }
+
+  /// When a listener that starts reading at `listen_from` will have the
+  /// named carousel file fully acquired. With section loss enabled the
+  /// extra cycles are sampled from the channel's RNG (per call — each
+  /// receiver's reception experiences independent losses).
+  [[nodiscard]] std::optional<sim::SimTime> file_ready_at(
+      const std::string& name, sim::SimTime listen_from) override;
+
+  [[nodiscard]] std::uint64_t commits() const { return commit_count_; }
+
+ private:
+  void schedule_acquisition(ListenerId id);
+
+  sim::Simulation& simulation_;
+  TransportStream transport_;
+  Ait ait_;
+  ObjectCarousel carousel_;
+  sim::SimTime table_repetition_;
+  double section_loss_ = 0.0;
+  util::Bits section_size_ = util::Bits::from_kilobytes(4);
+  util::Random rng_;
+  std::unordered_map<ListenerId, BroadcastListener*> listeners_;
+  ListenerId next_listener_ = 1;
+  std::uint64_t commit_count_ = 0;
+};
+
+}  // namespace oddci::broadcast

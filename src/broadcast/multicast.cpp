@@ -1,0 +1,155 @@
+#include "broadcast/multicast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oddci::broadcast {
+
+void MulticastOptions::validate() const {
+  if (fec_overhead < 0.0) {
+    throw std::invalid_argument("MulticastOptions: negative FEC overhead");
+  }
+  if (block_loss < 0.0 || block_loss >= 1.0) {
+    throw std::invalid_argument(
+        "MulticastOptions: block loss must be in [0, 1)");
+  }
+  if (join_latency < sim::SimTime::zero()) {
+    throw std::invalid_argument("MulticastOptions: negative join latency");
+  }
+  if (announce_repetition <= sim::SimTime::zero()) {
+    throw std::invalid_argument(
+        "MulticastOptions: announce repetition must be positive");
+  }
+}
+
+MulticastChannel::MulticastChannel(sim::Simulation& simulation,
+                                   util::BitRate capacity,
+                                   std::uint64_t seed,
+                                   MulticastOptions options)
+    : simulation_(simulation),
+      capacity_(capacity),
+      options_(options),
+      rng_(seed) {
+  if (capacity.bps() <= 0.0) {
+    throw std::invalid_argument("MulticastChannel: capacity must be > 0");
+  }
+  options_.validate();
+}
+
+void MulticastChannel::put_file(const std::string& name, util::Bits size,
+                                std::uint64_t content_id) {
+  if (name.empty()) {
+    throw std::invalid_argument("MulticastChannel: empty file name");
+  }
+  if (size.count() <= 0) {
+    throw std::invalid_argument("MulticastChannel: file size must be > 0");
+  }
+  auto it = staged_.find(name);
+  if (it != staged_.end()) {
+    it->second.size = size;
+    it->second.content_id = content_id;
+    ++it->second.version;
+  } else {
+    staged_.emplace(name, CarouselFile{name, size, 1, content_id});
+  }
+}
+
+bool MulticastChannel::remove_file(const std::string& name) {
+  return staged_.erase(name) > 0;
+}
+
+std::uint64_t MulticastChannel::commit() {
+  active_.generation = next_generation_++;
+  active_.epoch = simulation_.now();
+  active_.rate = capacity_;
+  active_.phase_bits = 0;  // block coding: phase is meaningless
+  active_.files.clear();
+  active_.files.reserve(staged_.size());
+  for (const auto& [name, file] : staged_) {
+    active_.files.push_back(file);
+  }
+  for (const auto& [id, listener] : listeners_) {
+    (void)listener;
+    schedule_announcement(id);
+  }
+  return active_.generation;
+}
+
+void MulticastChannel::schedule_announcement(ListenerId id) {
+  const double jitter_s =
+      rng_.uniform(0.0, options_.announce_repetition.seconds());
+  const std::uint64_t generation = active_.generation;
+  simulation_.schedule_in(
+      sim::SimTime::from_seconds(jitter_s),
+      [this, id, generation] {
+        auto it = listeners_.find(id);
+        if (it == listeners_.end()) return;
+        if (active_.generation != generation) return;  // superseded
+        it->second->on_signalling(ait_, active_);
+      },
+      sim::EventPriority::kDelivery);
+}
+
+ListenerId MulticastChannel::tune(BroadcastListener* listener) {
+  if (listener == nullptr) {
+    throw std::invalid_argument("MulticastChannel: null listener");
+  }
+  const ListenerId id = next_listener_++;
+  listeners_.emplace(id, listener);
+  if (active_.generation > 0) {
+    schedule_announcement(id);
+  }
+  return id;
+}
+
+void MulticastChannel::untune(ListenerId id) { listeners_.erase(id); }
+
+double MulticastChannel::session_rate_bps(const CarouselFile& file) const {
+  // Sessions are sized proportionally to their content, with a small floor
+  // so tiny signalling files still repeat at a useful rate (the usual
+  // FLUTE deployment pattern). Shares are normalized so the multiplex is
+  // never oversubscribed.
+  constexpr double kMinShare = 0.02;
+  const double total =
+      static_cast<double>(active_.total_size().count());
+  double share_sum = 0.0;
+  double my_share = kMinShare;
+  for (const auto& f : active_.files) {
+    const double share =
+        std::max(kMinShare, static_cast<double>(f.size.count()) / total);
+    share_sum += share;
+    if (f.name == file.name) my_share = share;
+  }
+  if (share_sum <= 0.0) return capacity_.bps();
+  return capacity_.bps() * my_share / share_sum;
+}
+
+std::optional<double> MulticastChannel::acquisition_seconds(
+    const std::string& name) const {
+  const CarouselFile* file = active_.find(name);
+  if (file == nullptr) return std::nullopt;
+  const double effective_rate =
+      session_rate_bps(*file) * (1.0 - options_.block_loss);
+  const double bits =
+      static_cast<double>(file->size.count()) * (1.0 + options_.fec_overhead);
+  return options_.join_latency.seconds() + bits / effective_rate;
+}
+
+std::optional<sim::SimTime> MulticastChannel::file_ready_at(
+    const std::string& name, sim::SimTime listen_from) {
+  const auto seconds = acquisition_seconds(name);
+  if (!seconds) return std::nullopt;
+  // Mild stochastic spread (block-arrival granularity, +-2%).
+  const double jitter = rng_.uniform(0.98, 1.02);
+  return listen_from + sim::SimTime::from_seconds(*seconds * jitter);
+}
+
+double MulticastChannel::acquisition_horizon_seconds() const {
+  double horizon = 0.0;
+  for (const auto& file : active_.files) {
+    horizon = std::max(horizon, acquisition_seconds(file.name).value_or(0.0));
+  }
+  return 2.0 * horizon;
+}
+
+}  // namespace oddci::broadcast

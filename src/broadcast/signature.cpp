@@ -1,0 +1,63 @@
+#include "broadcast/signature.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace oddci::broadcast {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t avalanche(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Signature sign(SigningKey key, std::string_view content) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, &key, sizeof(key));
+  h = fnv1a(h, content.data(), content.size());
+  return avalanche(h);
+}
+
+bool verify(SigningKey key, std::string_view content, Signature signature) {
+  return sign(key, content) == signature;
+}
+
+SignBuffer& SignBuffer::add(std::string_view s) {
+  add_u64(s.size());
+  buffer_.append(s.data(), s.size());
+  return *this;
+}
+
+SignBuffer& SignBuffer::add_u64(std::uint64_t v) {
+  char raw[sizeof(v)];
+  std::memcpy(raw, &v, sizeof(v));
+  buffer_.append(raw, sizeof(v));
+  return *this;
+}
+
+SignBuffer& SignBuffer::add_i64(std::int64_t v) {
+  return add_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+SignBuffer& SignBuffer::add_double(double v) {
+  return add_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace oddci::broadcast

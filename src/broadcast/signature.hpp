@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// Keyed-hash message signatures.
+///
+/// Section 3.2 of the paper requires that "the PNA are configured to only
+/// accept messages broadcast by their associated Controller (this can be
+/// easily achieved through a digital signature mechanism)". We model that
+/// contract with a keyed 64-bit hash: it is interface-compatible with a real
+/// MAC (sign/verify over the message bytes with a shared key) while staying
+/// dependency-free. It is NOT cryptographically secure and must not be used
+/// outside the simulation.
+namespace oddci::broadcast {
+
+using SigningKey = std::uint64_t;
+using Signature = std::uint64_t;
+
+/// FNV-1a 64-bit over the key bytes followed by the content bytes, with a
+/// finalizing avalanche mix.
+[[nodiscard]] Signature sign(SigningKey key, std::string_view content);
+
+[[nodiscard]] bool verify(SigningKey key, std::string_view content,
+                          Signature signature);
+
+/// Canonical byte serialization helpers so that logically-equal messages
+/// sign identically.
+class SignBuffer {
+ public:
+  SignBuffer& add(std::string_view s);
+  SignBuffer& add_u64(std::uint64_t v);
+  SignBuffer& add_i64(std::int64_t v);
+  SignBuffer& add_double(double v);
+
+  [[nodiscard]] const std::string& bytes() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace oddci::broadcast

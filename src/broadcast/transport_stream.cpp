@@ -1,0 +1,56 @@
+#include "broadcast/transport_stream.hpp"
+
+#include <stdexcept>
+
+namespace oddci::broadcast {
+
+TransportStream::TransportStream(util::BitRate total,
+                                 util::BitRate signalling_overhead)
+    : total_(total), signalling_(signalling_overhead) {
+  if (total.bps() <= 0.0) {
+    throw std::invalid_argument("TransportStream: total capacity must be > 0");
+  }
+  if (signalling_overhead.bps() < 0.0 ||
+      signalling_overhead.bps() >= total.bps()) {
+    throw std::invalid_argument(
+        "TransportStream: signalling overhead out of range");
+  }
+}
+
+void TransportStream::add_stream(const ElementaryStream& stream) {
+  if (stream.rate.bps() <= 0.0) {
+    throw std::invalid_argument("TransportStream: stream rate must be > 0");
+  }
+  for (const auto& s : streams_) {
+    if (s.pid == stream.pid) {
+      throw std::invalid_argument("TransportStream: duplicate PID");
+    }
+  }
+  const double new_reserved = reserved().bps() + stream.rate.bps();
+  if (new_reserved > total_.bps()) {
+    throw std::invalid_argument("TransportStream: multiplex oversubscribed");
+  }
+  streams_.push_back(stream);
+}
+
+bool TransportStream::remove_stream(std::uint16_t pid) {
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->pid == pid) {
+      streams_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+util::BitRate TransportStream::reserved() const {
+  double r = signalling_.bps();
+  for (const auto& s : streams_) r += s.rate.bps();
+  return util::BitRate(r);
+}
+
+util::BitRate TransportStream::unused() const {
+  return util::BitRate(total_.bps() - reserved().bps());
+}
+
+}  // namespace oddci::broadcast

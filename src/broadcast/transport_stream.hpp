@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/quantity.hpp"
+
+/// MPEG-2 transport stream multiplexer model.
+///
+/// A DTV transport stream carries elementary streams (audio, video,
+/// subtitles, ...) plus data services. The OddCI carousel only gets the
+/// *unused* capacity beta = total - sum(elementary stream rates) minus a
+/// fixed signalling overhead (PSI/SI tables: PAT, PMT, AIT repetition).
+/// Benches vary the A/V load to sweep beta.
+namespace oddci::broadcast {
+
+struct ElementaryStream {
+  std::uint16_t pid = 0;  ///< packet identifier
+  std::string kind;       ///< "video", "audio", ...
+  util::BitRate rate;
+};
+
+class TransportStream {
+ public:
+  /// `total` is the full multiplex capacity (e.g. ~19 Mbps for ISDB-T/ATSC).
+  /// `signalling_overhead` is reserved for PSI/SI tables.
+  explicit TransportStream(util::BitRate total,
+                           util::BitRate signalling_overhead =
+                               util::BitRate::from_kbps(100));
+
+  /// Add an elementary stream; throws if the multiplex would be oversubscribed.
+  void add_stream(const ElementaryStream& stream);
+
+  /// Remove by PID. Returns false if absent.
+  bool remove_stream(std::uint16_t pid);
+
+  [[nodiscard]] util::BitRate total() const { return total_; }
+  [[nodiscard]] util::BitRate reserved() const;
+  /// Capacity left over for the data carousel (beta).
+  [[nodiscard]] util::BitRate unused() const;
+
+  [[nodiscard]] const std::vector<ElementaryStream>& streams() const {
+    return streams_;
+  }
+
+ private:
+  util::BitRate total_;
+  util::BitRate signalling_;
+  std::vector<ElementaryStream> streams_;
+};
+
+}  // namespace oddci::broadcast

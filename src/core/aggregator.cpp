@@ -1,0 +1,50 @@
+#include "core/aggregator.hpp"
+
+#include <stdexcept>
+
+namespace oddci::core {
+
+HeartbeatAggregator::HeartbeatAggregator(sim::Simulation& simulation,
+                                         net::Network& network,
+                                         net::NodeId controller,
+                                         const net::LinkSpec& link,
+                                         AggregatorOptions options)
+    : simulation_(simulation),
+      network_(network),
+      controller_(controller),
+      options_(options) {
+  if (options_.report_interval <= sim::SimTime::zero()) {
+    throw std::invalid_argument(
+        "HeartbeatAggregator: report interval must be > 0");
+  }
+  node_id_ = network_.register_endpoint(this, link);
+  reporter_ = sim::PeriodicTask(
+      simulation_, simulation_.now() + options_.report_interval,
+      options_.report_interval, [this] { flush(); });
+}
+
+HeartbeatAggregator::~HeartbeatAggregator() { reporter_.cancel(); }
+
+void HeartbeatAggregator::on_message(net::NodeId /*from*/,
+                                     const net::MessagePtr& message) {
+  if (message->tag() != kTagHeartbeat) return;
+  const auto& hb = static_cast<const HeartbeatMessage&>(*message);
+  ++stats_.heartbeats_received;
+  window_[hb.pna_id()] = Record{hb.state(), hb.instance()};
+}
+
+void HeartbeatAggregator::flush() {
+  if (window_.empty()) return;
+  std::vector<AggregateReportMessage::Entry> entries;
+  entries.reserve(window_.size());
+  for (const auto& [pna, rec] : window_) {
+    entries.push_back({pna, rec.state, rec.instance});
+  }
+  window_.clear();
+  stats_.entries_forwarded += entries.size();
+  ++stats_.reports_sent;
+  network_.send(node_id_, controller_,
+                std::make_shared<AggregateReportMessage>(std::move(entries)));
+}
+
+}  // namespace oddci::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/messages.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+/// Heartbeat aggregation tier.
+///
+/// The paper notes that millions of PNAs heartbeating a single Controller
+/// would "consume too much of the Controller's processing and networking
+/// resources" and defers the mechanism to future research (Section 3.2,
+/// footnote 3). This is that mechanism: regional aggregators receive raw
+/// heartbeats from a shard of the PNA population (each agent picks
+/// aggregators[pna_id % k] from the control message) and forward one
+/// consolidated report per window, covering every PNA heard from in that
+/// window — so the Controller's liveness view stays fresh while its message
+/// rate drops from N/interval to k/window and its byte rate loses the
+/// per-message header overhead.
+namespace oddci::core {
+
+struct AggregatorOptions {
+  /// How often the consolidated report is sent upstream.
+  sim::SimTime report_interval = sim::SimTime::from_seconds(10);
+};
+
+class HeartbeatAggregator final : public net::Endpoint {
+ public:
+  HeartbeatAggregator(sim::Simulation& simulation, net::Network& network,
+                      net::NodeId controller, const net::LinkSpec& link,
+                      AggregatorOptions options = {});
+  ~HeartbeatAggregator() override;
+
+  HeartbeatAggregator(const HeartbeatAggregator&) = delete;
+  HeartbeatAggregator& operator=(const HeartbeatAggregator&) = delete;
+
+  [[nodiscard]] net::NodeId node_id() const { return node_id_; }
+
+  struct Stats {
+    std::uint64_t heartbeats_received = 0;
+    std::uint64_t reports_sent = 0;
+    std::uint64_t entries_forwarded = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Downstream messages (heartbeat replies from the Controller addressed
+  /// to the aggregator) are not expected: the Controller replies directly
+  /// to PNAs. Heartbeats are absorbed; everything else is ignored.
+  void on_message(net::NodeId from, const net::MessagePtr& message) override;
+
+ private:
+  void flush();
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  net::NodeId controller_;
+  AggregatorOptions options_;
+  net::NodeId node_id_ = net::kInvalidNode;
+
+  struct Record {
+    PnaState state = PnaState::kIdle;
+    InstanceId instance = kNoInstance;
+  };
+  /// Latest state per PNA heard from since the last flush.
+  std::unordered_map<std::uint64_t, Record> window_;
+  sim::PeriodicTask reporter_;
+  Stats stats_;
+};
+
+}  // namespace oddci::core

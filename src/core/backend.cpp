@@ -1,0 +1,148 @@
+#include "core/backend.hpp"
+
+#include <stdexcept>
+
+namespace oddci::core {
+
+Backend::Backend(sim::Simulation& simulation, net::Network& network,
+                 const net::LinkSpec& link, BackendOptions options)
+    : simulation_(simulation), network_(network), options_(options) {
+  node_id_ = network_.register_endpoint(this, link);
+}
+
+Backend::~Backend() {
+  if (sweeper_running_) sweeper_.cancel();
+}
+
+void Backend::submit(const workload::Job& job, InstanceId instance,
+                     std::function<void()> on_complete,
+                     std::optional<sim::SimTime> clock_start) {
+  if (active_) {
+    throw std::logic_error("Backend: a job is already active");
+  }
+  job.validate();
+  if (instance == kNoInstance) {
+    throw std::invalid_argument("Backend: invalid instance id");
+  }
+
+  active_ = true;
+  instance_ = instance;
+  job_ = job;
+  on_complete_ = std::move(on_complete);
+
+  pending_.clear();
+  outstanding_.clear();
+  done_.assign(job_.tasks.size(), false);
+  done_count_ = 0;
+  completion_times_.clear();
+  completion_times_.reserve(job_.tasks.size());
+  for (std::uint64_t i = 0; i < job_.tasks.size(); ++i) {
+    pending_.push_back(i);
+  }
+
+  metrics_ = JobMetrics{};
+  metrics_.submitted_at = clock_start.value_or(simulation_.now());
+  metrics_.task_count = job_.tasks.size();
+
+  if (options_.task_timeout > sim::SimTime::zero()) {
+    sweeper_ = sim::PeriodicTask(
+        simulation_, simulation_.now() + options_.sweep_interval,
+        options_.sweep_interval, [this] { sweep_timeouts(); });
+    sweeper_running_ = true;
+  }
+}
+
+void Backend::on_message(net::NodeId from, const net::MessagePtr& message) {
+  switch (message->tag()) {
+    case kTagTaskRequest:
+      handle_request(from, static_cast<const TaskRequestMessage&>(*message));
+      break;
+    case kTagTaskResult:
+      handle_result(static_cast<const TaskResultMessage&>(*message));
+      break;
+    case kTagTaskAbort: {
+      const auto& abort = static_cast<const TaskAbortMessage&>(*message);
+      if (!active_ || abort.instance() != instance_) break;
+      const std::uint64_t index = abort.task_index();
+      if (index < done_.size() && !done_[index] &&
+          outstanding_.erase(index) > 0) {
+        pending_.push_back(index);
+        ++metrics_.aborts_received;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Backend::handle_request(net::NodeId from,
+                             const TaskRequestMessage& request) {
+  if (!active_ || request.instance() != instance_ || pending_.empty()) {
+    ++metrics_.requests_denied;
+    network_.send(node_id_, from,
+                  std::make_shared<NoTaskMessage>(instance_));
+    return;
+  }
+  const std::uint64_t index = pending_.front();
+  pending_.pop_front();
+  outstanding_[index] = Outstanding{from, simulation_.now()};
+  ++metrics_.assignments;
+
+  const workload::Task& task = job_.tasks[index];
+  network_.send(node_id_, from,
+                std::make_shared<TaskAssignMessage>(
+                    instance_, index, task.input_size, task.result_size,
+                    task.reference_seconds));
+}
+
+void Backend::handle_result(const TaskResultMessage& result) {
+  // Late results (after completion) still count as duplicates: re-dispatched
+  // or trim-raced tasks legitimately finish twice.
+  if (result.instance() != instance_) return;
+  const std::uint64_t index = result.task_index();
+  if (index >= done_.size()) return;
+  ++metrics_.results_received;
+  if (done_[index]) {
+    ++metrics_.duplicate_results;
+    return;
+  }
+  if (!active_) return;
+  done_[index] = true;
+  ++done_count_;
+  outstanding_.erase(index);
+  completion_times_.push_back(
+      (simulation_.now() - metrics_.submitted_at).seconds());
+
+  if (done_count_ == done_.size()) {
+    metrics_.completed_at = simulation_.now();
+    active_ = false;
+    if (sweeper_running_) {
+      sweeper_.cancel();
+      sweeper_running_ = false;
+    }
+    if (on_complete_) {
+      // Move out first: the callback may submit a new job.
+      auto cb = std::move(on_complete_);
+      on_complete_ = nullptr;
+      cb();
+    }
+  }
+}
+
+void Backend::sweep_timeouts() {
+  if (!active_) return;
+  std::vector<std::uint64_t> expired;
+  for (const auto& [index, out] : outstanding_) {
+    if (simulation_.now() - out.assigned_at > options_.task_timeout) {
+      expired.push_back(index);
+    }
+  }
+  for (std::uint64_t index : expired) {
+    outstanding_.erase(index);
+    pending_.push_back(index);
+    ++metrics_.reassignments;
+  }
+}
+
+}  // namespace oddci::core

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "workload/job.hpp"
+
+/// The OddCI Backend: manages the particular activities of one running
+/// application — scheduling (bag-of-tasks dispatch to pulling PNAs),
+/// provision of input data, and gathering of results.
+///
+/// Fault tolerance: tasks assigned to PNAs that disappear (churn) are
+/// re-queued after `task_timeout`; duplicate results (a re-queued task
+/// completed twice) are counted but only the first is kept.
+namespace oddci::core {
+
+struct BackendOptions {
+  /// An outstanding assignment is re-queued after this long. Zero disables
+  /// re-dispatch (suitable for churn-free runs).
+  sim::SimTime task_timeout = sim::SimTime::zero();
+  /// Cadence of the timeout sweep (only when task_timeout > 0).
+  sim::SimTime sweep_interval = sim::SimTime::from_seconds(15);
+};
+
+struct JobMetrics {
+  sim::SimTime submitted_at;
+  std::optional<sim::SimTime> completed_at;
+  std::size_t task_count = 0;
+  std::uint64_t assignments = 0;
+  std::uint64_t reassignments = 0;
+  std::uint64_t results_received = 0;
+  std::uint64_t duplicate_results = 0;
+  std::uint64_t aborts_received = 0;  ///< tasks handed back by reset PNAs
+  std::uint64_t requests_denied = 0;  ///< NoTask replies
+
+  [[nodiscard]] double makespan_seconds() const {
+    return completed_at ? (*completed_at - submitted_at).seconds() : -1.0;
+  }
+};
+
+class Backend final : public net::Endpoint {
+ public:
+  Backend(sim::Simulation& simulation, net::Network& network,
+          const net::LinkSpec& link, BackendOptions options = {});
+  ~Backend() override;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  [[nodiscard]] net::NodeId node_id() const { return node_id_; }
+
+  /// Adjust the re-dispatch timeout; takes effect at the next submit().
+  void set_task_timeout(sim::SimTime timeout) {
+    options_.task_timeout = timeout;
+  }
+  [[nodiscard]] sim::SimTime task_timeout() const {
+    return options_.task_timeout;
+  }
+
+  /// Submit a job to be served to PNAs of `instance`. Only one job may be
+  /// active at a time (the paper pairs one Backend with one application).
+  /// `on_complete` fires when the last result arrives. The makespan clock
+  /// starts now unless an explicit `clock_start` is given (e.g. the moment
+  /// the Provider requested the instance, to include the wakeup overhead).
+  void submit(const workload::Job& job, InstanceId instance,
+              std::function<void()> on_complete,
+              std::optional<sim::SimTime> clock_start = std::nullopt);
+
+  [[nodiscard]] bool job_active() const { return active_; }
+  [[nodiscard]] std::size_t tasks_remaining() const {
+    return pending_.size() + outstanding_.size();
+  }
+  [[nodiscard]] std::size_t tasks_done() const { return done_count_; }
+  [[nodiscard]] const JobMetrics& metrics() const { return metrics_; }
+
+  /// Per-task completion times (seconds since clock start), for percentile
+  /// analyses.
+  [[nodiscard]] const std::vector<double>& completion_times() const {
+    return completion_times_;
+  }
+
+  // --- net::Endpoint -------------------------------------------------------
+  void on_message(net::NodeId from, const net::MessagePtr& message) override;
+
+ private:
+  struct Outstanding {
+    net::NodeId assignee;
+    sim::SimTime assigned_at;
+  };
+
+  void handle_request(net::NodeId from, const TaskRequestMessage& request);
+  void handle_result(const TaskResultMessage& result);
+  void sweep_timeouts();
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  BackendOptions options_;
+  net::NodeId node_id_ = net::kInvalidNode;
+
+  bool active_ = false;
+  InstanceId instance_ = kNoInstance;
+  workload::Job job_;
+  std::function<void()> on_complete_;
+
+  std::deque<std::uint64_t> pending_;                     // task indices
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::vector<bool> done_;
+  std::size_t done_count_ = 0;
+  JobMetrics metrics_;
+  std::vector<double> completion_times_;
+
+  sim::PeriodicTask sweeper_;
+  bool sweeper_running_ = false;
+};
+
+}  // namespace oddci::core

@@ -1,0 +1,31 @@
+#include "core/content_store.hpp"
+
+#include "core/wire.hpp"
+
+namespace oddci::core {
+
+std::uint64_t ContentStore::put_control(const ControlMessage& message) {
+  const std::uint64_t id = next_id_++;
+  blobs_.emplace(id, wire::encode(message));
+  return id;
+}
+
+std::optional<ControlMessage> ContentStore::get_control(
+    std::uint64_t id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return std::nullopt;
+  try {
+    return wire::decode_control(it->second);
+  } catch (const wire::WireError&) {
+    return std::nullopt;
+  }
+}
+
+const std::string* ContentStore::get_bytes(std::uint64_t id) const {
+  auto it = blobs_.find(id);
+  return it == blobs_.end() ? nullptr : &it->second;
+}
+
+bool ContentStore::remove(std::uint64_t id) { return blobs_.erase(id) > 0; }
+
+}  // namespace oddci::core

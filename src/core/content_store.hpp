@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/messages.hpp"
+
+/// Logical contents of carousel files.
+///
+/// The broadcast layer schedules *bits*; the payloads live here, keyed by
+/// the carousel file's content id — stored as the actual wire encoding
+/// (core/wire.hpp), exactly the bytes a real carousel module would carry.
+/// The Controller writes, PNAs read-and-decode once the carousel says the
+/// file has been acquired.
+namespace oddci::core {
+
+class ContentStore {
+ public:
+  /// Encode and store a control message; returns its content id.
+  std::uint64_t put_control(const ControlMessage& message);
+
+  /// Fetch and decode by content id; nullopt if absent or (defensively)
+  /// if the stored bytes fail to parse.
+  [[nodiscard]] std::optional<ControlMessage> get_control(
+      std::uint64_t id) const;
+
+  /// Raw stored bytes (diagnostics/tests); nullptr if absent.
+  [[nodiscard]] const std::string* get_bytes(std::uint64_t id) const;
+
+  /// Drop a superseded payload (it left the carousel). Returns false if
+  /// the id was unknown.
+  bool remove(std::uint64_t id);
+
+  [[nodiscard]] std::size_t size() const { return blobs_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::string> blobs_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace oddci::core

@@ -1,0 +1,470 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oddci::core {
+
+Controller::Controller(sim::Simulation& simulation, net::Network& network,
+                       broadcast::BroadcastMedium& channel,
+                       ContentStore& store, broadcast::SigningKey key,
+                       const net::LinkSpec& link, ControllerOptions options)
+    : Controller(simulation, network,
+                 std::vector<broadcast::BroadcastMedium*>{&channel}, store,
+                 key, link, std::move(options)) {}
+
+Controller::Controller(sim::Simulation& simulation, net::Network& network,
+                       std::vector<broadcast::BroadcastMedium*> channels,
+                       ContentStore& store, broadcast::SigningKey key,
+                       const net::LinkSpec& link, ControllerOptions options)
+    : simulation_(simulation),
+      network_(network),
+      channels_(std::move(channels)),
+      store_(store),
+      key_(key),
+      options_(std::move(options)) {
+  if (channels_.empty()) {
+    throw std::invalid_argument("Controller: need at least one channel");
+  }
+  for (auto* c : channels_) {
+    if (c == nullptr) {
+      throw std::invalid_argument("Controller: null channel");
+    }
+  }
+  if (options_.monitor_interval <= sim::SimTime::zero()) {
+    throw std::invalid_argument("Controller: monitor interval must be > 0");
+  }
+  if (options_.stale_factor <= 1.0) {
+    throw std::invalid_argument("Controller: stale factor must be > 1");
+  }
+  default_heartbeat_ = options_.default_heartbeat;
+  node_id_ = network_.register_endpoint(this, link);
+}
+
+Controller::~Controller() {
+  if (monitor_running_) monitor_.cancel();
+}
+
+void Controller::deploy_pna() {
+  if (deployed_) return;
+  deployed_ = true;
+
+  // AIT: the PNA is a trigger application (AUTOSTART).
+  broadcast::AitEntry entry;
+  entry.application_id = options_.pna_application_id;
+  entry.control_code = broadcast::AppControlCode::kAutostart;
+  entry.application_name = options_.pna_application_name;
+  entry.base_file = options_.pna_file;
+  for (auto* channel : channels_) {
+    channel->ait().upsert(entry);
+    channel->put_file(options_.pna_file, options_.pna_xlet_size,
+                      /*content_id=*/0);
+  }
+
+  // A signed no-op control message so freshly launched agents learn their
+  // Controller's direct-channel address and begin heartbeating.
+  ControlMessage hello;
+  hello.type = ControlType::kReset;
+  hello.instance = kNoInstance;  // matches no instance: a pure "hello"
+  hello.probability = 0.0;
+  hello.controller_node = node_id_;
+  hello.backend_node = net::kInvalidNode;
+  hello.heartbeat_interval = default_heartbeat_;
+  broadcast_control(hello);
+
+  monitor_ = sim::PeriodicTask(simulation_,
+                               simulation_.now() + options_.monitor_interval,
+                               options_.monitor_interval,
+                               [this] { monitor_tick(); });
+  monitor_running_ = true;
+}
+
+void Controller::set_aggregators(std::vector<net::NodeId> aggregators) {
+  if (deployed_) {
+    throw std::logic_error(
+        "Controller: set_aggregators must precede deploy_pna");
+  }
+  aggregators_ = std::move(aggregators);
+}
+
+void Controller::broadcast_control(const ControlMessage& message) {
+  ControlMessage signed_message = message;
+  signed_message.aggregators = aggregators_;
+  signed_message.sign_with(key_);
+  const std::uint64_t content = store_.put_control(signed_message);
+  // The configuration file is small; its size models a compact encoding.
+  for (auto* channel : channels_) {
+    channel->put_file(options_.config_file, util::Bits::from_bytes(512),
+                      content);
+  }
+  stage_and_commit();
+  // The previous configuration payload left the carousel; in-flight reads
+  // of it were invalidated by the module-version bump anyway.
+  if (last_config_content_ != 0) {
+    store_.remove(last_config_content_);
+  }
+  last_config_content_ = content;
+  if (message.type == ControlType::kWakeup) {
+    ++stats_.wakeup_broadcasts;
+  } else {
+    ++stats_.reset_broadcasts;
+  }
+}
+
+void Controller::stage_and_commit() {
+  for (auto* channel : channels_) {
+    channel->commit();
+  }
+}
+
+InstanceId Controller::create_instance(const InstanceSpec& spec,
+                                       net::NodeId backend_node) {
+  if (!deployed_) {
+    throw std::logic_error("Controller: deploy_pna() before create_instance");
+  }
+  if (spec.target_size == 0) {
+    throw std::invalid_argument("Controller: target size must be > 0");
+  }
+  if (spec.image_size.count() <= 0) {
+    throw std::invalid_argument("Controller: image size must be > 0");
+  }
+
+  const InstanceId id = next_instance_++;
+  Instance inst;
+  inst.status.id = id;
+  inst.status.name = spec.name;
+  inst.status.active = true;
+  inst.status.target_size = spec.target_size;
+  inst.status.created_at = simulation_.now();
+  inst.spec = spec;
+  inst.backend_node = backend_node;
+  inst.image.image_id = next_image_++;
+  inst.image.name = "image-" + std::to_string(inst.image.image_id);
+  inst.image.size = spec.image_size;
+  default_heartbeat_ = spec.heartbeat_interval;
+
+  // Stage the user image on the carousel.
+  for (auto* channel : channels_) {
+    channel->put_file(inst.image.name, inst.image.size,
+                      inst.image.image_id);
+  }
+
+  ControlMessage wakeup;
+  wakeup.type = ControlType::kWakeup;
+  wakeup.instance = id;
+  wakeup.requirements = spec.requirements;
+  wakeup.heartbeat_interval = spec.heartbeat_interval;
+  wakeup.image = inst.image;
+  wakeup.controller_node = node_id_;
+  wakeup.backend_node = backend_node;
+  wakeup.probability = spec.initial_probability > 0.0
+                           ? std::min(1.0, spec.initial_probability)
+                           : choose_probability(inst, spec.target_size);
+
+  instances_.emplace(id, std::move(inst));
+  broadcast_control(wakeup);
+  Instance& live = instances_.at(id);
+  live.status.wakeups_broadcast++;
+  live.last_wakeup_at = simulation_.now();
+  return id;
+}
+
+double Controller::choose_probability(const Instance& /*instance*/,
+                                      std::size_t deficit) const {
+  const std::size_t idle = idle_pool_estimate();
+  if (idle == 0) {
+    // No population information yet (e.g. first wakeup right after
+    // deployment): address everyone; trimming will shed the excess.
+    return 1.0;
+  }
+  const double p = options_.overshoot_margin * static_cast<double>(deficit) /
+                   static_cast<double>(idle);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+void Controller::destroy_instance(InstanceId id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    throw std::invalid_argument("Controller: unknown instance");
+  }
+  Instance& inst = it->second;
+  if (!inst.status.active) return;
+  inst.status.active = false;
+  inst.status.target_size = 0;
+  inst.pending_trims = 0;
+
+  for (auto* channel : channels_) {
+    channel->remove_file(inst.image.name);
+  }
+
+  ControlMessage reset;
+  reset.type = ControlType::kReset;
+  reset.instance = id;
+  reset.controller_node = node_id_;
+  reset.heartbeat_interval = inst.spec.heartbeat_interval;
+  broadcast_control(reset);
+}
+
+void Controller::set_recruiting(InstanceId id, bool recruiting) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    throw std::invalid_argument("Controller: unknown instance");
+  }
+  if (it->second.recruiting == recruiting) return;
+  it->second.recruiting = recruiting;
+  if (!recruiting) {
+    // Supersede the on-air wakeup so returning receivers stop joining.
+    ControlMessage hello;
+    hello.type = ControlType::kReset;
+    hello.instance = kNoInstance;
+    hello.probability = 0.0;
+    hello.controller_node = node_id_;
+    hello.heartbeat_interval = it->second.spec.heartbeat_interval;
+    broadcast_control(hello);
+  }
+  // Re-enabling recruiting needs no immediate action: the maintenance loop
+  // rebroadcasts a wakeup on its next tick if there is a deficit.
+}
+
+void Controller::resize_instance(InstanceId id, std::size_t new_target) {
+  auto it = instances_.find(id);
+  if (it == instances_.end() || !it->second.status.active) {
+    throw std::invalid_argument("Controller: unknown or inactive instance");
+  }
+  if (new_target == 0) {
+    throw std::invalid_argument("Controller: resize target must be > 0 (use destroy_instance)");
+  }
+  it->second.status.target_size = new_target;
+  it->second.spec.target_size = new_target;
+  // The maintenance loop performs the growth/trim on its next tick.
+}
+
+const InstanceStatus* Controller::status(InstanceId id) const {
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : &it->second.status;
+}
+
+std::vector<InstanceStatus> Controller::all_statuses() const {
+  std::vector<InstanceStatus> out;
+  out.reserve(instances_.size());
+  for (const auto& [id, inst] : instances_) out.push_back(inst.status);
+  std::sort(out.begin(), out.end(),
+            [](const InstanceStatus& a, const InstanceStatus& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::size_t Controller::idle_pool_estimate() const {
+  const sim::SimTime horizon =
+      sim::SimTime::from_seconds(default_heartbeat_.seconds() *
+                                 options_.stale_factor);
+  std::size_t count = 0;
+  for (const auto& [id, rec] : pnas_) {
+    if (rec.state == PnaState::kIdle &&
+        simulation_.now() - rec.last_seen <= horizon) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t Controller::known_pna_count() const {
+  const sim::SimTime horizon =
+      sim::SimTime::from_seconds(default_heartbeat_.seconds() *
+                                 options_.stale_factor);
+  std::size_t count = 0;
+  for (const auto& [id, rec] : pnas_) {
+    if (simulation_.now() - rec.last_seen <= horizon) ++count;
+  }
+  return count;
+}
+
+void Controller::set_size_callback(SizeCallback callback) {
+  size_callback_ = std::move(callback);
+}
+
+void Controller::note_member_change(Instance& inst) {
+  inst.status.current_size = inst.members.size();
+  if (!inst.status.reached_target_at &&
+      inst.status.current_size >= inst.status.target_size &&
+      inst.status.active) {
+    inst.status.reached_target_at = simulation_.now();
+  }
+  if (size_callback_) {
+    size_callback_(inst.status.id, inst.status.current_size,
+                   inst.status.target_size);
+  }
+}
+
+void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
+  switch (message->tag()) {
+    case kTagHeartbeat: {
+      const auto& hb = static_cast<const HeartbeatMessage&>(*message);
+      ++stats_.heartbeats_received;
+      handle_status(hb.pna_id(), hb.state(), hb.instance(), from);
+      break;
+    }
+    case kTagAggregateReport: {
+      const auto& report =
+          static_cast<const AggregateReportMessage&>(*message);
+      ++stats_.aggregate_reports_received;
+      for (const auto& entry : report.entries()) {
+        // The PNA id is its direct-channel address, so unicast replies can
+        // bypass the aggregation tier.
+        handle_status(entry.pna_id, entry.state, entry.instance,
+                      static_cast<net::NodeId>(entry.pna_id));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Controller::handle_status(std::uint64_t pna_id, PnaState state,
+                               InstanceId instance, net::NodeId reply_to) {
+  const HeartbeatMessage hb(pna_id, state, instance);
+  const net::NodeId from = reply_to;
+  PnaRecord& rec = pnas_[hb.pna_id()];
+  const PnaState old_state = rec.state;
+  const InstanceId old_instance = rec.instance;
+  rec.state = hb.state();
+  rec.instance = hb.instance();
+  rec.last_seen = simulation_.now();
+
+  // Membership bookkeeping: drop from the previous instance's sets if the
+  // association changed, then (re)index under the reported state.
+  if (old_instance != kNoInstance &&
+      (old_instance != hb.instance() || old_state != hb.state())) {
+    auto it = instances_.find(old_instance);
+    if (it != instances_.end()) {
+      it->second.joining.erase(hb.pna_id());
+      if (it->second.members.erase(hb.pna_id())) {
+        note_member_change(it->second);
+      }
+    }
+  }
+  if (hb.instance() != kNoInstance) {
+    auto it = instances_.find(hb.instance());
+    if (it != instances_.end()) {
+      Instance& inst = it->second;
+      if (hb.state() == PnaState::kBusy) {
+        inst.joining.erase(hb.pna_id());
+        if (inst.members.insert(hb.pna_id()).second) {
+          note_member_change(inst);
+        }
+      } else if (hb.state() == PnaState::kJoining) {
+        inst.joining.insert(hb.pna_id());
+      }
+    }
+  }
+
+  // Trimming: answer heartbeats of oversized instances with unicast resets.
+  if (hb.state() == PnaState::kBusy && hb.instance() != kNoInstance) {
+    auto it = instances_.find(hb.instance());
+    if (it != instances_.end()) {
+      Instance& inst = it->second;
+      const bool over_target =
+          inst.status.active && inst.members.size() > inst.status.target_size;
+      if ((over_target && inst.pending_trims > 0) || !inst.status.active) {
+        if (inst.pending_trims > 0) --inst.pending_trims;
+        ++inst.status.unicast_resets;
+        ++stats_.unicast_resets;
+        network_.send(node_id_, from,
+                      std::make_shared<HeartbeatReplyMessage>(
+                          hb.instance(), HeartbeatCommand::kReset));
+        if (inst.members.erase(hb.pna_id())) {
+          note_member_change(inst);
+        }
+        pnas_[hb.pna_id()].instance = kNoInstance;
+        pnas_[hb.pna_id()].state = PnaState::kIdle;
+      }
+    }
+  }
+}
+
+sim::SimTime Controller::staleness_horizon(const Instance& inst) const {
+  return sim::SimTime::from_seconds(inst.spec.heartbeat_interval.seconds() *
+                                    options_.stale_factor);
+}
+
+void Controller::monitor_tick() {
+  for (auto& [id, inst] : instances_) {
+    if (!inst.status.active) continue;
+
+    // Prune members whose heartbeats stopped (receiver switched off or
+    // tuned away): they are presumed lost and must be replaced.
+    const sim::SimTime horizon = staleness_horizon(inst);
+    std::vector<std::uint64_t> stale;
+    for (std::uint64_t member : inst.members) {
+      auto rec = pnas_.find(member);
+      if (rec == pnas_.end() ||
+          simulation_.now() - rec->second.last_seen > horizon) {
+        stale.push_back(member);
+      }
+    }
+    for (std::uint64_t member : stale) {
+      inst.members.erase(member);
+      ++stats_.members_pruned;
+    }
+    if (!stale.empty()) note_member_change(inst);
+    std::vector<std::uint64_t> stale_joining;
+    for (std::uint64_t j : inst.joining) {
+      auto rec = pnas_.find(j);
+      if (rec == pnas_.end() ||
+          simulation_.now() - rec->second.last_seen > horizon) {
+        stale_joining.push_back(j);
+      }
+    }
+    for (std::uint64_t j : stale_joining) inst.joining.erase(j);
+
+    const std::size_t current = inst.members.size() + inst.joining.size();
+    const std::size_t target = inst.status.target_size;
+
+    if (current < target && inst.recruiting) {
+      // Recomposition: retransmit the wakeup with a probability sized to
+      // the deficit and the current idle pool — but only after the previous
+      // wakeup has had time to propagate (mean acquisition is 1.5 carousel
+      // cycles; we wait twice that before concluding that members are
+      // missing rather than still joining).
+      const sim::SimTime cooldown =
+          sim::SimTime::from_seconds(
+              1.5 * channels_.front()->acquisition_horizon_seconds()) +
+          inst.spec.heartbeat_interval;
+      if (simulation_.now() - inst.last_wakeup_at < cooldown) {
+        continue;
+      }
+      if (idle_pool_estimate() == 0) {
+        // Nobody to recruit: rebroadcasting would only churn the carousel.
+        // A future idle heartbeat re-enables recomposition.
+        continue;
+      }
+      const std::size_t deficit = target - current;
+      ControlMessage wakeup;
+      wakeup.type = ControlType::kWakeup;
+      wakeup.instance = id;
+      wakeup.requirements = inst.spec.requirements;
+      wakeup.heartbeat_interval = inst.spec.heartbeat_interval;
+      wakeup.image = inst.image;
+      wakeup.controller_node = node_id_;
+      wakeup.backend_node = inst.backend_node;
+      wakeup.probability = choose_probability(inst, deficit);
+      if (wakeup.probability > 0.0) {
+        broadcast_control(wakeup);
+        inst.last_wakeup_at = simulation_.now();
+        ++inst.status.wakeups_broadcast;
+        ++stats_.recompositions;
+      }
+      inst.pending_trims = 0;
+    } else if (inst.members.size() > target) {
+      // Trim only confirmed members; joiners that push past the target are
+      // shed as their busy heartbeats arrive.
+      inst.pending_trims = inst.members.size() - target;
+    } else {
+      inst.pending_trims = 0;
+    }
+  }
+}
+
+}  // namespace oddci::core

@@ -1,0 +1,220 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "broadcast/channel.hpp"
+#include "core/content_store.hpp"
+#include "core/messages.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+/// The OddCI Controller.
+///
+/// As instructed by the Provider, the Controller sets up instances by
+/// formatting and sending control messages — including software images —
+/// through the broadcast channel, and maintains them afterwards:
+///  * consolidates heartbeats into per-PNA and per-instance state,
+///  * trims oversized instances by answering heartbeats with unicast
+///    resets,
+///  * recomposes instances that lost members (receivers switched off) by
+///    retransmitting wakeup messages with a recomputed probability,
+///  * reports size changes to the Provider.
+namespace oddci::core {
+
+struct InstanceSpec {
+  std::string name;
+  std::size_t target_size = 0;
+  util::Bits image_size;
+  Requirements requirements;
+  sim::SimTime heartbeat_interval = sim::SimTime::from_seconds(30);
+  /// Idle-PNA handling probability for the first wakeup; <= 0 lets the
+  /// Controller pick one from its idle-pool estimate.
+  double initial_probability = -1.0;
+};
+
+struct InstanceStatus {
+  InstanceId id = kNoInstance;
+  std::string name;
+  bool active = false;
+  std::size_t target_size = 0;
+  std::size_t current_size = 0;
+  sim::SimTime created_at;
+  /// First time current_size reached target_size (instantiation latency).
+  std::optional<sim::SimTime> reached_target_at;
+  std::uint64_t wakeups_broadcast = 0;
+  std::uint64_t unicast_resets = 0;
+};
+
+struct ControllerOptions {
+  /// Cadence of the maintenance loop (prune stale members, recompose).
+  sim::SimTime monitor_interval = sim::SimTime::from_seconds(10);
+  /// A member is presumed lost after this many missed heartbeat intervals.
+  double stale_factor = 3.0;
+  /// Extra margin applied to the auto-chosen wakeup probability.
+  double overshoot_margin = 1.0;
+  /// Size of the PNA Xlet staged on the carousel.
+  util::Bits pna_xlet_size = util::Bits::from_kilobytes(64);
+  /// Heartbeat interval announced in the deployment hello (agents adopt
+  /// per-instance intervals from later wakeups).
+  sim::SimTime default_heartbeat = sim::SimTime::from_seconds(30);
+  /// Carousel file names.
+  std::string pna_file = "pna.xlet";
+  std::string config_file = "oddci.config";
+  /// AIT identity of the PNA trigger application.
+  std::uint32_t pna_application_id = 0x4F44;  // "OD"
+  std::string pna_application_name = "oddci-pna";
+};
+
+class Controller final : public net::Endpoint {
+ public:
+  Controller(sim::Simulation& simulation, net::Network& network,
+             broadcast::BroadcastMedium& channel, ContentStore& store,
+             broadcast::SigningKey key, const net::LinkSpec& link,
+             ControllerOptions options = {});
+
+  /// Multi-channel variant (Section 4.3: "multiple channels to distribute
+  /// the trigger application increases the potential number of receivers
+  /// connected, with a direct impact on the maximum size of the OddCI-DTV
+  /// systems that can be instantiated"). Control messages and images are
+  /// staged on every channel; receivers join from whichever channel they
+  /// are tuned to.
+  Controller(sim::Simulation& simulation, net::Network& network,
+             std::vector<broadcast::BroadcastMedium*> channels,
+             ContentStore& store, broadcast::SigningKey key,
+             const net::LinkSpec& link, ControllerOptions options = {});
+  ~Controller() override;
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  [[nodiscard]] net::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] broadcast::SigningKey signing_key() const { return key_; }
+
+  /// Route PNA heartbeats through an aggregation tier: the node list is
+  /// included in every subsequent control message, and each agent reports
+  /// to aggregators[pna_id % size]. Must be called before deploy_pna() so
+  /// the deployment hello already carries the routing. Pass an empty
+  /// vector for direct reporting (the default).
+  void set_aggregators(std::vector<net::NodeId> aggregators);
+
+  /// Stage the PNA trigger application (AUTOSTART) on the carousel and
+  /// start the maintenance loop. Must be called once before instances are
+  /// created. A first signed "no-op" reset control message accompanies it
+  /// so agents learn the Controller's address and begin heartbeating.
+  void deploy_pna();
+
+  [[nodiscard]] bool deployed() const { return deployed_; }
+
+  /// Create an instance: stages image + wakeup config on the carousel and
+  /// commits. Returns the new instance id.
+  InstanceId create_instance(const InstanceSpec& spec,
+                             net::NodeId backend_node);
+
+  /// Broadcast reset for the instance and drop its image from the carousel.
+  void destroy_instance(InstanceId id);
+
+  /// Change the target size; the maintenance loop grows/trims toward it.
+  void resize_instance(InstanceId id, std::size_t new_target);
+
+  /// Enable/disable recruiting for an instance. Disabling stops wakeup
+  /// retransmissions (recomposition) AND replaces the on-air wakeup with a
+  /// neutral control message, so returning receivers no longer join; the
+  /// maintenance loop keeps pruning and trimming. Used to quiesce an
+  /// instance and by the churn ablation.
+  void set_recruiting(InstanceId id, bool recruiting);
+
+  [[nodiscard]] const InstanceStatus* status(InstanceId id) const;
+  [[nodiscard]] std::vector<InstanceStatus> all_statuses() const;
+
+  /// PNAs that reported idle within the staleness window.
+  [[nodiscard]] std::size_t idle_pool_estimate() const;
+  /// All PNAs heard from within the staleness window.
+  [[nodiscard]] std::size_t known_pna_count() const;
+
+  using SizeCallback =
+      std::function<void(InstanceId, std::size_t current, std::size_t target)>;
+  /// Invoked on every instance-membership change (Provider consumption).
+  void set_size_callback(SizeCallback callback);
+
+  struct Stats {
+    std::uint64_t heartbeats_received = 0;
+    std::uint64_t aggregate_reports_received = 0;
+    std::uint64_t wakeup_broadcasts = 0;
+    std::uint64_t reset_broadcasts = 0;
+    std::uint64_t unicast_resets = 0;
+    std::uint64_t recompositions = 0;
+    std::uint64_t members_pruned = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // --- net::Endpoint -------------------------------------------------------
+  void on_message(net::NodeId from, const net::MessagePtr& message) override;
+
+ private:
+  struct PnaRecord {
+    PnaState state = PnaState::kIdle;
+    InstanceId instance = kNoInstance;
+    sim::SimTime last_seen;
+  };
+
+  struct Instance {
+    InstanceStatus status;
+    InstanceSpec spec;
+    ImageSpec image;
+    net::NodeId backend_node = net::kInvalidNode;
+    /// PNAs executing the instance's image (the instance's actual size).
+    std::unordered_set<std::uint64_t> members;
+    /// PNAs that accepted the wakeup and are still loading the image;
+    /// counted against the recruitment deficit but not as members.
+    std::unordered_set<std::uint64_t> joining;
+    /// Members we still owe a unicast reset (trimming).
+    std::size_t pending_trims = 0;
+    bool recruiting = true;
+    /// Last wakeup broadcast, for recomposition rate-limiting: a retransmit
+    /// sooner than the expected acquisition time would bump the carousel
+    /// config version before slow receivers finish reading it.
+    sim::SimTime last_wakeup_at;
+  };
+
+  void broadcast_control(const ControlMessage& message);
+  void stage_and_commit();
+  void monitor_tick();
+  void note_member_change(Instance& instance);
+  [[nodiscard]] double choose_probability(const Instance& instance,
+                                          std::size_t deficit) const;
+  [[nodiscard]] sim::SimTime staleness_horizon(const Instance& inst) const;
+  void handle_status(std::uint64_t pna_id, PnaState state,
+                     InstanceId instance, net::NodeId reply_to);
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  std::vector<broadcast::BroadcastMedium*> channels_;
+  ContentStore& store_;
+  broadcast::SigningKey key_;
+  ControllerOptions options_;
+  net::NodeId node_id_ = net::kInvalidNode;
+
+  bool deployed_ = false;
+  std::vector<net::NodeId> aggregators_;
+  std::uint64_t last_config_content_ = 0;
+  InstanceId next_instance_ = 1;
+  std::uint64_t next_image_ = 1;
+  std::unordered_map<InstanceId, Instance> instances_;
+  std::unordered_map<std::uint64_t, PnaRecord> pnas_;
+  /// Default staleness window for idle-pool estimation (set from the most
+  /// recent instance's heartbeat interval; falls back to 30 s).
+  sim::SimTime default_heartbeat_ = sim::SimTime::from_seconds(30);
+
+  sim::PeriodicTask monitor_;
+  bool monitor_running_ = false;
+  SizeCallback size_callback_;
+  Stats stats_;
+};
+
+}  // namespace oddci::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/messages.hpp"
+#include "sim/time.hpp"
+
+/// Device Virtual Environment: the sandbox a PNA creates to load and run a
+/// user application image (Section 3.2). Destroying the DVE frees the node
+/// and returns the PNA to idle.
+namespace oddci::core {
+
+class Dve {
+ public:
+  Dve(InstanceId instance, ImageSpec image, sim::SimTime created_at)
+      : instance_(instance), image_(std::move(image)),
+        created_at_(created_at) {}
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] const ImageSpec& image() const { return image_; }
+  [[nodiscard]] sim::SimTime created_at() const { return created_at_; }
+
+  [[nodiscard]] std::uint64_t tasks_completed() const {
+    return tasks_completed_;
+  }
+  void record_task_completed() { ++tasks_completed_; }
+
+ private:
+  InstanceId instance_;
+  ImageSpec image_;
+  sim::SimTime created_at_;
+  std::uint64_t tasks_completed_ = 0;
+};
+
+}  // namespace oddci::core

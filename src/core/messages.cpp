@@ -1,0 +1,32 @@
+#include "core/messages.hpp"
+
+namespace oddci::core {
+
+std::string ControlMessage::canonical_bytes() const {
+  broadcast::SignBuffer buf;
+  buf.add_u64(static_cast<std::uint64_t>(type));
+  buf.add_u64(instance);
+  buf.add_double(probability);
+  buf.add_i64(requirements.min_ram.count());
+  buf.add_i64(requirements.min_flash.count());
+  buf.add(requirements.device_kind);
+  buf.add_i64(heartbeat_interval.micros());
+  buf.add_u64(image.image_id);
+  buf.add(image.name);
+  buf.add_i64(image.size.count());
+  buf.add_u64(controller_node);
+  buf.add_u64(backend_node);
+  buf.add_u64(aggregators.size());
+  for (auto node : aggregators) buf.add_u64(node);
+  return buf.bytes();
+}
+
+void ControlMessage::sign_with(broadcast::SigningKey key) {
+  signature = broadcast::sign(key, canonical_bytes());
+}
+
+bool ControlMessage::verify_with(broadcast::SigningKey key) const {
+  return broadcast::verify(key, canonical_bytes(), signature);
+}
+
+}  // namespace oddci::core

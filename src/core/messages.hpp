@@ -1,0 +1,293 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "broadcast/signature.hpp"
+#include "net/message.hpp"
+#include "sim/time.hpp"
+#include "util/quantity.hpp"
+
+/// OddCI protocol messages.
+///
+/// Two planes:
+///  * the *broadcast plane* carries `ControlMessage`s (wakeup / reset)
+///    inside the carousel's configuration file, signed by the Controller;
+///  * the *direct channels* carry heartbeats, Controller replies, and the
+///    Backend task-distribution protocol as `net::Message`s whose wire
+///    sizes model the paper's s and r payloads.
+namespace oddci::core {
+
+using InstanceId = std::uint64_t;
+inline constexpr InstanceId kNoInstance = 0;
+
+/// The application image that a wakeup stages on the carousel.
+struct ImageSpec {
+  std::uint64_t image_id = 0;
+  std::string name;
+  util::Bits size;
+};
+
+/// Node requirements carried in a wakeup; a PNA joins only if compliant.
+struct Requirements {
+  util::Bits min_ram;                 ///< 0 = no constraint
+  util::Bits min_flash;               ///< 0 = no constraint
+  std::string device_kind;            ///< empty = any
+};
+
+enum class ControlType : std::uint8_t { kWakeup = 1, kReset = 2 };
+
+/// Contents of the carousel "configuration file" (plus the image file it
+/// references). Broadcast to all tuned PNAs; idle PNAs handle a wakeup with
+/// the given probability, busy PNAs drop it; a reset destroys the DVE of
+/// PNAs belonging to `instance`.
+struct ControlMessage {
+  ControlType type = ControlType::kWakeup;
+  InstanceId instance = kNoInstance;
+  double probability = 1.0;  ///< handling probability for idle PNAs
+  Requirements requirements;
+  sim::SimTime heartbeat_interval = sim::SimTime::from_seconds(30);
+  ImageSpec image;            ///< wakeup only
+  net::NodeId controller_node = net::kInvalidNode;
+  net::NodeId backend_node = net::kInvalidNode;
+  /// Optional heartbeat-aggregation tier (the paper defers the Controller
+  /// bottleneck to future work; this is that mechanism). When non-empty,
+  /// each PNA reports to aggregators[pna_id % size()] instead of to the
+  /// Controller directly; aggregators forward consolidated reports.
+  std::vector<net::NodeId> aggregators;
+  broadcast::Signature signature = 0;
+
+  /// Canonical bytes covered by the signature.
+  [[nodiscard]] std::string canonical_bytes() const;
+  void sign_with(broadcast::SigningKey key);
+  [[nodiscard]] bool verify_with(broadcast::SigningKey key) const;
+};
+
+// ---------------------------------------------------------------------------
+// Direct-channel messages.
+// ---------------------------------------------------------------------------
+
+enum MessageTag : int {
+  kTagHeartbeat = 1,
+  kTagHeartbeatReply = 2,
+  kTagTaskRequest = 3,
+  kTagTaskAssign = 4,
+  kTagTaskResult = 5,
+  kTagNoTask = 6,
+  kTagRemoteQuery = 7,
+  kTagRemoteAnswer = 8,
+  kTagTaskAbort = 9,
+  kTagAggregateReport = 10,
+};
+
+/// Fixed protocol header modelled on a compact binary encoding.
+inline constexpr util::Bits kHeaderBits = util::Bits(64 * 8);
+
+/// Agent status reported in heartbeats. kJoining (accepted a wakeup, image
+/// still being acquired from the carousel) refines the paper's idle/busy
+/// dichotomy so the Controller can count committed-but-not-ready nodes
+/// without treating them as instance members.
+enum class PnaState : std::uint8_t { kIdle = 0, kJoining = 1, kBusy = 2 };
+
+/// Periodic PNA -> Controller status report.
+class HeartbeatMessage final : public net::Message {
+ public:
+  HeartbeatMessage(std::uint64_t pna_id, PnaState state, InstanceId instance)
+      : pna_id_(pna_id), state_(state), instance_(instance) {}
+
+  [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
+  [[nodiscard]] int tag() const override { return kTagHeartbeat; }
+
+  [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
+  [[nodiscard]] PnaState state() const { return state_; }
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+
+ private:
+  std::uint64_t pna_id_;
+  PnaState state_;
+  InstanceId instance_;
+};
+
+enum class HeartbeatCommand : std::uint8_t { kNone = 0, kReset = 1 };
+
+/// Controller -> PNA heartbeat reply. Only sent when carrying a command
+/// (e.g. trimming an oversized instance with a unicast reset).
+class HeartbeatReplyMessage final : public net::Message {
+ public:
+  HeartbeatReplyMessage(InstanceId instance, HeartbeatCommand command)
+      : instance_(instance), command_(command) {}
+
+  [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
+  [[nodiscard]] int tag() const override { return kTagHeartbeatReply; }
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] HeartbeatCommand command() const { return command_; }
+
+ private:
+  InstanceId instance_;
+  HeartbeatCommand command_;
+};
+
+/// PNA -> Backend: ask for work.
+class TaskRequestMessage final : public net::Message {
+ public:
+  TaskRequestMessage(InstanceId instance, std::uint64_t pna_id)
+      : instance_(instance), pna_id_(pna_id) {}
+
+  [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
+  [[nodiscard]] int tag() const override { return kTagTaskRequest; }
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
+
+ private:
+  InstanceId instance_;
+  std::uint64_t pna_id_;
+};
+
+/// Backend -> PNA: a task assignment; the wire size includes the task's
+/// input payload (the paper's s term).
+class TaskAssignMessage final : public net::Message {
+ public:
+  TaskAssignMessage(InstanceId instance, std::uint64_t task_index,
+                    util::Bits input_size, util::Bits result_size,
+                    double reference_seconds)
+      : instance_(instance),
+        task_index_(task_index),
+        input_size_(input_size),
+        result_size_(result_size),
+        reference_seconds_(reference_seconds) {}
+
+  [[nodiscard]] util::Bits wire_size() const override {
+    return kHeaderBits + input_size_;
+  }
+  [[nodiscard]] int tag() const override { return kTagTaskAssign; }
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] std::uint64_t task_index() const { return task_index_; }
+  [[nodiscard]] util::Bits input_size() const { return input_size_; }
+  [[nodiscard]] util::Bits result_size() const { return result_size_; }
+  [[nodiscard]] double reference_seconds() const { return reference_seconds_; }
+
+ private:
+  InstanceId instance_;
+  std::uint64_t task_index_;
+  util::Bits input_size_;
+  util::Bits result_size_;
+  double reference_seconds_;
+};
+
+/// PNA -> Backend: a task's result; wire size includes the r payload.
+class TaskResultMessage final : public net::Message {
+ public:
+  TaskResultMessage(InstanceId instance, std::uint64_t task_index,
+                    std::uint64_t pna_id, util::Bits result_size)
+      : instance_(instance),
+        task_index_(task_index),
+        pna_id_(pna_id),
+        result_size_(result_size) {}
+
+  [[nodiscard]] util::Bits wire_size() const override {
+    return kHeaderBits + result_size_;
+  }
+  [[nodiscard]] int tag() const override { return kTagTaskResult; }
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] std::uint64_t task_index() const { return task_index_; }
+  [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
+
+ private:
+  InstanceId instance_;
+  std::uint64_t task_index_;
+  std::uint64_t pna_id_;
+  util::Bits result_size_;
+};
+
+/// PNA -> Backend: the agent is abandoning an assigned task without a
+/// result (it was reset while executing — trimming or instance teardown).
+/// Lets the Backend requeue immediately instead of waiting for the
+/// re-dispatch timeout. A power-off cannot send this; those losses are
+/// still covered by the timeout sweep.
+class TaskAbortMessage final : public net::Message {
+ public:
+  TaskAbortMessage(InstanceId instance, std::uint64_t task_index,
+                   std::uint64_t pna_id)
+      : instance_(instance), task_index_(task_index), pna_id_(pna_id) {}
+
+  [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
+  [[nodiscard]] int tag() const override { return kTagTaskAbort; }
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] std::uint64_t task_index() const { return task_index_; }
+  [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
+
+ private:
+  InstanceId instance_;
+  std::uint64_t task_index_;
+  std::uint64_t pna_id_;
+};
+
+/// Backend -> PNA: queue exhausted (the PNA stays a member of the instance
+/// until reset, per the paper's lifecycle, but stops polling aggressively).
+class NoTaskMessage final : public net::Message {
+ public:
+  explicit NoTaskMessage(InstanceId instance) : instance_(instance) {}
+
+  [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
+  [[nodiscard]] int tag() const override { return kTagNoTask; }
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+
+ private:
+  InstanceId instance_;
+};
+
+/// Aggregator -> Controller: consolidated status of every PNA that
+/// reported during the last aggregation window. Wire size scales with the
+/// number of entries (16 bytes each) — the bandwidth saving over raw
+/// heartbeats comes from batching the per-message header.
+class AggregateReportMessage final : public net::Message {
+ public:
+  struct Entry {
+    std::uint64_t pna_id;
+    PnaState state;
+    InstanceId instance;
+  };
+
+  explicit AggregateReportMessage(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+
+  [[nodiscard]] util::Bits wire_size() const override {
+    return kHeaderBits +
+           util::Bits::from_bytes(
+               static_cast<std::int64_t>(entries_.size()) * 16);
+  }
+  [[nodiscard]] int tag() const override { return kTagAggregateReport; }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Generic payload message used by the remote (BLASTCL3-style) workload:
+/// a query shipped to a provisioned server and its answer.
+class BlobMessage final : public net::Message {
+ public:
+  BlobMessage(int tag, std::uint64_t correlation, util::Bits payload)
+      : tag_(tag), correlation_(correlation), payload_(payload) {}
+
+  [[nodiscard]] util::Bits wire_size() const override {
+    return kHeaderBits + payload_;
+  }
+  [[nodiscard]] int tag() const override { return tag_; }
+  [[nodiscard]] std::uint64_t correlation() const { return correlation_; }
+
+ private:
+  int tag_;
+  std::uint64_t correlation_;
+  util::Bits payload_;
+};
+
+}  // namespace oddci::core

@@ -1,0 +1,313 @@
+#include "core/pna.hpp"
+
+#include <stdexcept>
+
+namespace oddci::core {
+
+PnaXlet::PnaXlet(const PnaEnvironment& environment, std::uint64_t seed)
+    : env_(environment), rng_(seed), alive_(std::make_shared<bool>(true)) {
+  if (env_.content_store == nullptr) {
+    throw std::invalid_argument("PnaXlet: null content store");
+  }
+}
+
+PnaXlet::~PnaXlet() { *alive_ = false; }
+
+std::uint64_t PnaXlet::pna_id() const {
+  return context_ != nullptr ? context_->receiver().node_id() : 0;
+}
+
+void PnaXlet::init_xlet(dtv::XletContext& context) { context_ = &context; }
+
+void PnaXlet::start_xlet() {
+  if (context_ == nullptr) {
+    throw std::logic_error("PnaXlet: started before init");
+  }
+  started_ = true;
+  context_->receiver().set_message_handler(
+      [this](net::NodeId from, const net::MessagePtr& msg) {
+        on_direct_message(from, msg);
+      });
+  // The carousel generation that delivered this Xlet also carries the
+  // configuration file; acquire it.
+  acquire_config();
+}
+
+void PnaXlet::pause_xlet() {
+  started_ = false;
+  context_->receiver().clear_message_handler();
+}
+
+void PnaXlet::destroy_xlet(bool /*unconditional*/) {
+  *alive_ = false;
+  started_ = false;
+  if (heartbeat_running_) {
+    heartbeat_.cancel();
+    heartbeat_running_ = false;
+  }
+  if (running_exec_) {
+    context_->receiver().cancel_execution(*running_exec_);
+    running_exec_.reset();
+  }
+  // Teardown with a task in flight (e.g. a channel change destroying the
+  // Xlet): hand the task back like a reset does. If the receiver is being
+  // powered off the send is dropped, and the Backend's timeout covers it.
+  if (running_task_ && dve_ && backend_node_ != net::kInvalidNode &&
+      context_ != nullptr) {
+    context_->receiver().send(
+        backend_node_, std::make_shared<TaskAbortMessage>(
+                           dve_->instance(), *running_task_, pna_id()));
+    running_task_.reset();
+  }
+  if (context_ != nullptr) {
+    context_->receiver().clear_message_handler();
+  }
+  dve_.reset();
+  pending_join_.reset();
+}
+
+void PnaXlet::on_carousel_update(const broadcast::CarouselSnapshot&) {
+  if (!started_) return;
+  acquire_config();
+}
+
+void PnaXlet::acquire_config() {
+  std::weak_ptr<bool> alive = alive_;
+  context_->read_carousel_file(
+      env_.config_file,
+      [this, alive](bool ok, const broadcast::CarouselFile& file) {
+        auto guard = alive.lock();
+        if (!guard || !*guard || !started_) return;
+        if (!ok) return;
+        // Decode the configuration file's wire bytes, as a real agent
+        // parses the carousel module it assembled.
+        const std::optional<ControlMessage> control =
+            env_.content_store->get_control(file.content_id);
+        if (!control) return;
+        handle_control(*control);
+      });
+}
+
+void PnaXlet::handle_control(const ControlMessage& message) {
+  ++stats_.control_messages_seen;
+  // Accept only messages signed by the associated Controller.
+  if (!message.verify_with(env_.trusted_key)) {
+    ++stats_.signature_failures;
+    return;
+  }
+  // The control message tells the agent where its Controller lives; start
+  // heartbeating as soon as that is known (idle PNAs report too — this is
+  // how the Controller sizes the idle pool).
+  ensure_heartbeat(message);
+
+  switch (message.type) {
+    case ControlType::kWakeup:
+      handle_wakeup(message);
+      break;
+    case ControlType::kReset:
+      handle_reset(message);
+      break;
+  }
+}
+
+void PnaXlet::handle_wakeup(const ControlMessage& message) {
+  // Busy PNAs simply drop wakeup messages.
+  if (dve_ || pending_join_) {
+    ++stats_.wakeups_dropped_busy;
+    return;
+  }
+  // Compliance with the requirements present in the message.
+  const auto& profile = context_->receiver().profile();
+  const Requirements& req = message.requirements;
+  const bool compliant =
+      (req.min_ram.count() == 0 || profile.ram >= req.min_ram) &&
+      (req.min_flash.count() == 0 || profile.flash >= req.min_flash) &&
+      (req.device_kind.empty() || req.device_kind == profile.name);
+  if (!compliant) {
+    ++stats_.wakeups_rejected_requirements;
+    return;
+  }
+  // The probability attribute throttles how many idle PNAs handle the
+  // message (instance-size control).
+  if (!rng_.bernoulli(message.probability)) {
+    ++stats_.wakeups_dropped_probability;
+    return;
+  }
+  join_instance(message);
+}
+
+void PnaXlet::handle_reset(const ControlMessage& message) {
+  // A reset targets exactly one instance (a reset for kNoInstance is the
+  // Controller's deployment hello and matches nothing).
+  const bool match =
+      message.instance != kNoInstance &&
+      ((dve_ && dve_->instance() == message.instance) ||
+       (pending_join_ && *pending_join_ == message.instance));
+  if (!match) return;
+  ++stats_.resets;
+  leave_instance();
+}
+
+void PnaXlet::join_instance(const ControlMessage& message) {
+  pending_join_ = message.instance;
+  backend_node_ = message.backend_node;
+  // Event-driven status change: tell the Controller immediately so its
+  // idle-pool estimate does not lag a full heartbeat interval.
+  send_heartbeat();
+
+  // Load the user application image from the carousel — the dominant cost
+  // of the wakeup process (W = 1.5 I / beta on average).
+  std::weak_ptr<bool> alive = alive_;
+  const InstanceId instance = message.instance;
+  const ImageSpec image = message.image;
+  context_->read_carousel_file(
+      image.name,
+      [this, alive, instance, image](bool ok,
+                                     const broadcast::CarouselFile&) {
+        auto guard = alive.lock();
+        if (!guard || !*guard || !started_) return;
+        if (!pending_join_ || *pending_join_ != instance) return;  // reset
+        pending_join_.reset();
+        if (!ok) {
+          // The module went off air (instance destroyed mid-join) or was
+          // superseded; report the state change so the Controller's
+          // accounting stays fresh.
+          send_heartbeat();
+          return;
+        }
+        ++stats_.joins;
+        dve_ = std::make_unique<Dve>(instance, image,
+                                     context_->simulation().now());
+        send_heartbeat();  // joining -> busy: membership is event-driven
+        request_task();
+      });
+}
+
+void PnaXlet::leave_instance() {
+  if (running_exec_) {
+    context_->receiver().cancel_execution(*running_exec_);
+    running_exec_.reset();
+  }
+  // Hand the abandoned task back so the Backend can requeue it now rather
+  // than after the re-dispatch timeout.
+  if (running_task_ && dve_ && backend_node_ != net::kInvalidNode) {
+    context_->receiver().send(
+        backend_node_, std::make_shared<TaskAbortMessage>(
+                           dve_->instance(), *running_task_, pna_id()));
+  }
+  running_task_.reset();
+  dve_.reset();
+  pending_join_.reset();
+  send_heartbeat();
+}
+
+void PnaXlet::ensure_heartbeat(const ControlMessage& message) {
+  if (message.controller_node == net::kInvalidNode) return;
+  controller_node_ = message.controller_node;
+  // With an aggregation tier, heartbeats go to this agent's shard
+  // aggregator instead of straight to the Controller.
+  heartbeat_target_ =
+      message.aggregators.empty()
+          ? message.controller_node
+          : message.aggregators[pna_id() % message.aggregators.size()];
+  if (message.heartbeat_interval <= sim::SimTime::zero()) return;
+  if (heartbeat_running_) {
+    if (message.heartbeat_interval == heartbeat_interval_) return;
+    // The Controller re-parameterized the reporting cadence: re-arm.
+    heartbeat_.cancel();
+    heartbeat_running_ = false;
+  }
+  heartbeat_interval_ = message.heartbeat_interval;
+
+  auto& simulation = context_->simulation();
+  // Desynchronize the population: first beat at a random phase.
+  const double phase =
+      rng_.uniform(0.0, message.heartbeat_interval.seconds());
+  heartbeat_ = sim::PeriodicTask(
+      simulation, simulation.now() + sim::SimTime::from_seconds(phase),
+      message.heartbeat_interval, [this] { send_heartbeat(); });
+  heartbeat_running_ = true;
+}
+
+void PnaXlet::send_heartbeat() {
+  if (!started_ || heartbeat_target_ == net::kInvalidNode) return;
+  ++stats_.heartbeats_sent;
+  context_->receiver().send(
+      heartbeat_target_,
+      std::make_shared<HeartbeatMessage>(pna_id(), state(), instance()));
+}
+
+void PnaXlet::request_task() {
+  if (!dve_ || backend_node_ == net::kInvalidNode) return;
+  context_->receiver().send(
+      backend_node_,
+      std::make_shared<TaskRequestMessage>(dve_->instance(), pna_id()));
+}
+
+void PnaXlet::schedule_task_poll() {
+  std::weak_ptr<bool> alive = alive_;
+  context_->simulation().schedule_in(env_.task_poll_interval,
+                                     [this, alive] {
+                                       auto guard = alive.lock();
+                                       if (!guard || !*guard || !started_) {
+                                         return;
+                                       }
+                                       request_task();
+                                     });
+}
+
+void PnaXlet::on_direct_message(net::NodeId /*from*/,
+                                const net::MessagePtr& message) {
+  switch (message->tag()) {
+    case kTagHeartbeatReply: {
+      const auto& reply =
+          static_cast<const HeartbeatReplyMessage&>(*message);
+      if (reply.command() == HeartbeatCommand::kReset) {
+        const bool match = reply.instance() != kNoInstance &&
+                           ((dve_ && dve_->instance() == reply.instance()) ||
+                            (pending_join_ &&
+                             *pending_join_ == reply.instance()));
+        if (match) {
+          ++stats_.resets;
+          leave_instance();
+        }
+      }
+      break;
+    }
+    case kTagTaskAssign: {
+      if (!dve_) break;  // reset raced with an in-flight assignment
+      const auto& assign = static_cast<const TaskAssignMessage&>(*message);
+      if (assign.instance() != dve_->instance()) break;
+      const std::uint64_t task_index = assign.task_index();
+      const util::Bits result_size = assign.result_size();
+      const InstanceId instance = dve_->instance();
+      running_task_ = task_index;
+      running_exec_ = context_->receiver().execute(
+          assign.reference_seconds(),
+          [this, task_index, result_size, instance] {
+            running_exec_.reset();
+            running_task_.reset();
+            if (!dve_ || dve_->instance() != instance) return;
+            ++stats_.tasks_completed;
+            dve_->record_task_completed();
+            context_->receiver().send(
+                backend_node_,
+                std::make_shared<TaskResultMessage>(instance, task_index,
+                                                    pna_id(), result_size));
+            request_task();
+          });
+      break;
+    }
+    case kTagNoTask: {
+      if (!dve_) break;
+      // Queue exhausted: the PNA remains a member of the instance until a
+      // reset, polling lazily in case tasks are re-queued (churn recovery).
+      schedule_task_poll();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace oddci::core

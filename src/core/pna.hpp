@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/content_store.hpp"
+#include "core/dve.hpp"
+#include "core/messages.hpp"
+#include "dtv/receiver.hpp"
+#include "dtv/xlet.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+/// Processing Node Agent (PNA).
+///
+/// The PNA is deployed as a trigger Xlet (AUTOSTART in the AIT): every
+/// tuned receiver loads and starts it. It listens to the broadcast channel
+/// for signed control messages, manages the DVE that runs the user image,
+/// sends periodic heartbeats to the Controller over the direct channel, and
+/// drives the Backend task-pull loop while busy.
+namespace oddci::core {
+
+/// Deployment-wide PNA configuration (what the carousel's configuration
+/// file and the agent's build-time defaults provide).
+struct PnaEnvironment {
+  const ContentStore* content_store = nullptr;
+  broadcast::SigningKey trusted_key = 0;
+  std::string config_file = "oddci.config";
+  /// Retry period for polling the Backend after a NoTask reply.
+  sim::SimTime task_poll_interval = sim::SimTime::from_seconds(10);
+};
+
+struct PnaStats {
+  std::uint64_t control_messages_seen = 0;
+  std::uint64_t signature_failures = 0;
+  std::uint64_t wakeups_dropped_busy = 0;
+  std::uint64_t wakeups_rejected_requirements = 0;
+  std::uint64_t wakeups_dropped_probability = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t heartbeats_sent = 0;
+};
+
+class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
+ public:
+  PnaXlet(const PnaEnvironment& environment, std::uint64_t seed);
+  ~PnaXlet() override;
+
+  // --- dtv::Xlet ----------------------------------------------------------
+  void init_xlet(dtv::XletContext& context) override;
+  void start_xlet() override;
+  void pause_xlet() override;
+  void destroy_xlet(bool unconditional) override;
+
+  // --- dtv::CarouselAware ---------------------------------------------------
+  void on_carousel_update(
+      const broadcast::CarouselSnapshot& snapshot) override;
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] PnaState state() const {
+    if (dve_) return PnaState::kBusy;
+    if (pending_join_) return PnaState::kJoining;
+    return PnaState::kIdle;
+  }
+  [[nodiscard]] InstanceId instance() const {
+    if (dve_) return dve_->instance();
+    if (pending_join_) return *pending_join_;
+    return kNoInstance;
+  }
+  [[nodiscard]] const Dve* dve() const { return dve_.get(); }
+  [[nodiscard]] const PnaStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t pna_id() const;
+
+ private:
+  void acquire_config();
+  void handle_control(const ControlMessage& message);
+  void handle_wakeup(const ControlMessage& message);
+  void handle_reset(const ControlMessage& message);
+  void join_instance(const ControlMessage& message);
+  void leave_instance();
+
+  void ensure_heartbeat(const ControlMessage& message);
+  void send_heartbeat();
+
+  void request_task();
+  void schedule_task_poll();
+  void on_direct_message(net::NodeId from, const net::MessagePtr& message);
+
+  PnaEnvironment env_;
+  util::Random rng_;
+  dtv::XletContext* context_ = nullptr;
+  bool started_ = false;
+
+  /// Guards async callbacks (carousel reads, scheduled polls) against the
+  /// Xlet having been destroyed.
+  std::shared_ptr<bool> alive_;
+
+  std::unique_ptr<Dve> dve_;
+  /// A wakeup accepted but whose image is still being read from the
+  /// carousel; a reset or a competing wakeup cancels it.
+  std::optional<InstanceId> pending_join_;
+
+  net::NodeId controller_node_ = net::kInvalidNode;
+  /// Where heartbeats go: the Controller itself, or this agent's shard
+  /// aggregator when the control message configured an aggregation tier.
+  net::NodeId heartbeat_target_ = net::kInvalidNode;
+  net::NodeId backend_node_ = net::kInvalidNode;
+  sim::PeriodicTask heartbeat_;
+  bool heartbeat_running_ = false;
+  sim::SimTime heartbeat_interval_;
+
+  std::optional<dtv::Receiver::ExecToken> running_exec_;
+  /// Task index currently executing (for abort notification on reset).
+  std::optional<std::uint64_t> running_task_;
+  PnaStats stats_;
+};
+
+}  // namespace oddci::core

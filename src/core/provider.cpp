@@ -1,0 +1,131 @@
+#include "core/provider.hpp"
+
+#include <stdexcept>
+
+namespace oddci::core {
+
+Provider::Provider(Controller& controller) : controller_(&controller) {
+  controller_->set_size_callback(
+      [this](InstanceId id, std::size_t current, std::size_t target) {
+        on_size_change(id, current, target);
+      });
+}
+
+Provider::Provider(Controller& controller, sim::Simulation& simulation,
+                   AdmissionOptions admission)
+    : Provider(controller) {
+  if (admission.capacity_margin <= 0.0) {
+    throw std::invalid_argument("Provider: capacity margin must be > 0");
+  }
+  if (admission.review_interval <= sim::SimTime::zero()) {
+    throw std::invalid_argument("Provider: review interval must be > 0");
+  }
+  simulation_ = &simulation;
+  admission_ = admission;
+  reviewer_ = sim::PeriodicTask(
+      simulation, simulation.now() + admission_.review_interval,
+      admission_.review_interval, [this] { review_queue(); });
+  reviewer_running_ = true;
+}
+
+Provider::~Provider() {
+  if (reviewer_running_) reviewer_.cancel();
+  // The Controller may outlive this Provider; the size callback captures
+  // `this` and must not dangle.
+  controller_->set_size_callback(nullptr);
+}
+
+InstanceId Provider::request_instance(const InstanceSpec& spec,
+                                      net::NodeId backend_node,
+                                      ReadyCallback on_ready) {
+  ++stats_.instances_requested;
+  const InstanceId id = controller_->create_instance(spec, backend_node);
+  if (on_ready) {
+    waiting_ready_.emplace(id, std::move(on_ready));
+  }
+  return id;
+}
+
+void Provider::release_instance(InstanceId id) {
+  ++stats_.instances_released;
+  waiting_ready_.erase(id);
+  controller_->destroy_instance(id);
+  // Freed capacity may admit the queue head (heartbeats from the released
+  // members will also trigger size callbacks, but be eager).
+  review_queue();
+}
+
+void Provider::resize_instance(InstanceId id, std::size_t new_target) {
+  ++stats_.resizes;
+  controller_->resize_instance(id, new_target);
+}
+
+Provider::Ticket Provider::enqueue_request(const InstanceSpec& spec,
+                                           net::NodeId backend_node,
+                                           AdmittedCallback on_admitted,
+                                           ReadyCallback on_ready) {
+  if (simulation_ == nullptr) {
+    throw std::logic_error(
+        "Provider: admission queue requires the simulation-aware "
+        "constructor");
+  }
+  if (spec.target_size == 0) {
+    throw std::invalid_argument("Provider: target size must be > 0");
+  }
+  const Ticket ticket = next_ticket_++;
+  queue_.push_back(Queued{ticket, spec, backend_node,
+                          std::move(on_admitted), std::move(on_ready)});
+  ++stats_.requests_queued;
+  review_queue();
+  return ticket;
+}
+
+bool Provider::cancel_request(Ticket ticket) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->ticket == ticket) {
+      queue_.erase(it);
+      ++stats_.requests_cancelled;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Provider::review_queue() {
+  // Strict FIFO: stop at the first request that does not fit.
+  while (!queue_.empty()) {
+    const Queued& head = queue_.front();
+    const double required = static_cast<double>(head.spec.target_size) *
+                            admission_.capacity_margin;
+    if (static_cast<double>(controller_->idle_pool_estimate()) < required) {
+      return;
+    }
+    Queued admitted = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.requests_admitted;
+    const InstanceId id =
+        request_instance(admitted.spec, admitted.backend,
+                         std::move(admitted.on_ready));
+    if (admitted.on_admitted) {
+      admitted.on_admitted(admitted.ticket, id);
+    }
+  }
+}
+
+void Provider::on_size_change(InstanceId id, std::size_t current,
+                              std::size_t target) {
+  if (current < target) {
+    // Shrinkage may have freed idle capacity for queued requests.
+    if (!queue_.empty()) review_queue();
+    return;
+  }
+  auto it = waiting_ready_.find(id);
+  if (it == waiting_ready_.end()) return;
+  auto cb = std::move(it->second);
+  waiting_ready_.erase(it);
+  const InstanceStatus* st = controller_->status(id);
+  cb(id, st && st->reached_target_at ? *st->reached_target_at
+                                     : sim::SimTime::zero());
+}
+
+}  // namespace oddci::core

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "core/controller.hpp"
+#include "sim/simulation.hpp"
+
+/// The OddCI Provider: the user-facing component that creates, manages and
+/// destroys OddCI instances according to user requests, instructing the
+/// Controller to provision or release them.
+///
+/// Besides immediate instantiation, the Provider offers *admission
+/// control*: requests larger than the currently idle pool are queued and
+/// admitted FIFO as capacity frees up (instances released, receivers
+/// switched on) — so a burst of user requests does not thrash the
+/// broadcast channel with unsatisfiable wakeups.
+namespace oddci::core {
+
+struct AdmissionOptions {
+  /// A request is admitted when idle_pool_estimate >= target * margin.
+  double capacity_margin = 1.0;
+  /// Cadence of queue re-evaluation (on top of event-driven checks).
+  sim::SimTime review_interval = sim::SimTime::from_seconds(30);
+};
+
+class Provider {
+ public:
+  /// The Provider installs itself as the Controller's size observer; only
+  /// one Provider per Controller.
+  explicit Provider(Controller& controller);
+
+  /// With a simulation handle the Provider also runs the admission queue
+  /// (enqueue_request / queued_requests).
+  Provider(Controller& controller, sim::Simulation& simulation,
+           AdmissionOptions admission = {});
+  ~Provider();
+
+  Provider(const Provider&) = delete;
+  Provider& operator=(const Provider&) = delete;
+
+  using ReadyCallback =
+      std::function<void(InstanceId, sim::SimTime ready_at)>;
+
+  /// Request a new instance. `on_ready` fires the first time the instance
+  /// reaches its target size (the end of the wakeup process).
+  InstanceId request_instance(const InstanceSpec& spec,
+                              net::NodeId backend_node,
+                              ReadyCallback on_ready = nullptr);
+
+  /// Dismantle an instance (broadcast reset; resources return to the pool).
+  void release_instance(InstanceId id);
+
+  /// Grow or shrink an active instance.
+  void resize_instance(InstanceId id, std::size_t new_target);
+
+  // --- admission queue ------------------------------------------------------
+
+  using Ticket = std::uint64_t;
+  /// Called when a queued request is admitted (instance created).
+  using AdmittedCallback = std::function<void(Ticket, InstanceId)>;
+
+  /// Queue a request; it is admitted (create_instance) once the idle pool
+  /// can cover it. Requires the simulation-aware constructor.
+  /// Requests are admitted strictly FIFO — a small head-of-line request
+  /// does not jump a large one (no starvation).
+  Ticket enqueue_request(const InstanceSpec& spec, net::NodeId backend_node,
+                         AdmittedCallback on_admitted = nullptr,
+                         ReadyCallback on_ready = nullptr);
+
+  /// Remove a still-queued request. False if already admitted/unknown.
+  bool cancel_request(Ticket ticket);
+
+  [[nodiscard]] std::size_t queued_requests() const { return queue_.size(); }
+
+  [[nodiscard]] const InstanceStatus* status(InstanceId id) const {
+    return controller_->status(id);
+  }
+
+  struct Stats {
+    std::uint64_t instances_requested = 0;
+    std::uint64_t instances_released = 0;
+    std::uint64_t resizes = 0;
+    std::uint64_t requests_queued = 0;
+    std::uint64_t requests_admitted = 0;
+    std::uint64_t requests_cancelled = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void on_size_change(InstanceId id, std::size_t current, std::size_t target);
+  void review_queue();
+
+  struct Queued {
+    Ticket ticket;
+    InstanceSpec spec;
+    net::NodeId backend;
+    AdmittedCallback on_admitted;
+    ReadyCallback on_ready;
+  };
+
+  Controller* controller_;
+  sim::Simulation* simulation_ = nullptr;
+  AdmissionOptions admission_;
+  std::unordered_map<InstanceId, ReadyCallback> waiting_ready_;
+  std::deque<Queued> queue_;
+  Ticket next_ticket_ = 1;
+  sim::PeriodicTask reviewer_;
+  bool reviewer_running_ = false;
+  Stats stats_;
+};
+
+}  // namespace oddci::core

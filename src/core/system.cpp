@@ -1,0 +1,218 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+#include "broadcast/transport_stream.hpp"
+
+namespace oddci::core {
+
+void SystemConfig::validate() const {
+  if (receivers == 0) {
+    throw std::invalid_argument("SystemConfig: need at least one receiver");
+  }
+  if (channels == 0) {
+    throw std::invalid_argument("SystemConfig: need at least one channel");
+  }
+  if (beta.bps() <= 0.0 || delta.bps() <= 0.0) {
+    throw std::invalid_argument("SystemConfig: channel capacities must be > 0");
+  }
+  if (tuned_fraction < 0.0 || tuned_fraction > 1.0) {
+    throw std::invalid_argument("SystemConfig: tuned_fraction out of [0,1]");
+  }
+  if (initial_power == dtv::PowerMode::kOff && !churn) {
+    throw std::invalid_argument(
+        "SystemConfig: all receivers off with no churn would deadlock");
+  }
+}
+
+double RunResult::efficiency(std::size_t n, double device_task_seconds,
+                             std::size_t node_count) const {
+  if (makespan_seconds <= 0.0 || node_count == 0) return 0.0;
+  return static_cast<double>(n) * device_task_seconds /
+         (makespan_seconds * static_cast<double>(node_count));
+}
+
+OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
+  config_.validate();
+
+  simulation_ = std::make_unique<sim::Simulation>();
+  network_ = std::make_unique<net::Network>(*simulation_);
+  store_ = std::make_unique<ContentStore>();
+
+  util::Random rng(config_.seed);
+  key_ = rng.engine().next() | 1;  // non-zero signing key
+
+  // Transport streams: model the carousel capacity directly as the unused
+  // rate (examples that want explicit A/V elementary streams can build
+  // their own BroadcastChannel).
+  const auto signalling = util::BitRate::from_kbps(100.0);
+  channels_.reserve(config_.channels);
+  for (std::size_t c = 0; c < config_.channels; ++c) {
+    if (config_.technology == BroadcastTechnology::kIpMulticast) {
+      broadcast::MulticastOptions mopts = config_.multicast;
+      mopts.announce_repetition = config_.table_repetition;
+      channels_.push_back(std::make_unique<broadcast::MulticastChannel>(
+          *simulation_, config_.beta, rng.engine().next(), mopts));
+      continue;
+    }
+    broadcast::TransportStream ts(
+        util::BitRate(config_.beta.bps() + signalling.bps()), signalling);
+    auto dtv = std::make_unique<broadcast::BroadcastChannel>(
+        *simulation_, std::move(ts), rng.engine().next(),
+        config_.table_repetition);
+    if (config_.section_loss > 0.0) {
+      dtv->set_section_loss(config_.section_loss);
+    }
+    channels_.push_back(std::move(dtv));
+  }
+
+  const net::LinkSpec server_link{config_.server_capacity,
+                                  config_.server_capacity,
+                                  config_.server_latency};
+  ControllerOptions copts;
+  copts.monitor_interval = config_.monitor_interval;
+  copts.pna_xlet_size = config_.pna_xlet_size;
+  copts.overshoot_margin = config_.controller_overshoot;
+  copts.default_heartbeat = config_.heartbeat_interval;
+  std::vector<broadcast::BroadcastMedium*> channel_ptrs;
+  channel_ptrs.reserve(channels_.size());
+  for (auto& c : channels_) channel_ptrs.push_back(c.get());
+  controller_ = std::make_unique<Controller>(*simulation_, *network_,
+                                             std::move(channel_ptrs), *store_,
+                                             key_, server_link, copts);
+
+  if (config_.aggregators > 0) {
+    AggregatorOptions aopts;
+    aopts.report_interval = config_.aggregator_report_interval;
+    std::vector<net::NodeId> aggregator_nodes;
+    for (std::size_t a = 0; a < config_.aggregators; ++a) {
+      aggregators_.push_back(std::make_unique<HeartbeatAggregator>(
+          *simulation_, *network_, controller_->node_id(), server_link,
+          aopts));
+      aggregator_nodes.push_back(aggregators_.back()->node_id());
+    }
+    controller_->set_aggregators(std::move(aggregator_nodes));
+  }
+
+  provider_ = std::make_unique<Provider>(*controller_);
+
+  BackendOptions bopts;
+  bopts.task_timeout = config_.task_timeout;
+  backend_ =
+      std::make_unique<Backend>(*simulation_, *network_, server_link, bopts);
+
+  pna_env_.content_store = store_.get();
+  pna_env_.trusted_key = key_;
+  pna_env_.task_poll_interval = config_.task_poll_interval;
+
+  const net::LinkSpec stb_link{config_.delta, config_.delta,
+                               config_.receiver_latency};
+  receivers_.reserve(config_.receivers);
+  for (std::size_t i = 0; i < config_.receivers; ++i) {
+    auto receiver = std::make_unique<dtv::Receiver>(
+        *simulation_, *network_, config_.profile, stb_link);
+    receiver->set_power_mode(config_.initial_power);
+    const std::uint64_t pna_seed = rng.engine().next();
+    const PnaEnvironment* env = &pna_env_;
+    receiver->application_manager().register_factory(
+        "oddci-pna", [env, pna_seed] {
+          return std::make_unique<PnaXlet>(*env, pna_seed);
+        });
+    if (rng.uniform() < config_.tuned_fraction) {
+      receiver->tune(*channels_[i % channels_.size()]);
+    }
+    receivers_.push_back(std::move(receiver));
+  }
+
+  if (config_.churn) {
+    std::vector<dtv::Receiver*> raw;
+    raw.reserve(receivers_.size());
+    for (auto& r : receivers_) raw.push_back(r.get());
+    churn_ = std::make_unique<ChurnProcess>(*simulation_, std::move(raw),
+                                            rng.engine().next(),
+                                            *config_.churn);
+    churn_->start();
+  }
+}
+
+OddciSystem::~OddciSystem() = default;
+
+std::size_t OddciSystem::busy_pna_count() const {
+  std::size_t busy = 0;
+  for (const auto& receiver : receivers_) {
+    if (!receiver->powered()) continue;
+    auto& apps =
+        const_cast<dtv::Receiver&>(*receiver).application_manager();
+    if (auto* xlet = apps.find(0x4F44)) {
+      auto* pna = dynamic_cast<PnaXlet*>(xlet);
+      if (pna != nullptr && pna->state() == PnaState::kBusy) ++busy;
+    }
+  }
+  return busy;
+}
+
+RunResult OddciSystem::run_job(const workload::Job& job,
+                               std::size_t instance_size,
+                               sim::SimTime deadline) {
+  if (!controller_->deployed()) {
+    controller_->deploy_pna();
+    simulation_->run_until(simulation_->now() + config_.warmup);
+  }
+
+  RunResult result;
+  const sim::SimTime t0 = simulation_->now();
+
+  InstanceSpec spec;
+  spec.name = job.name;
+  spec.target_size = instance_size;
+  spec.image_size = job.image_size;
+  spec.heartbeat_interval = config_.heartbeat_interval;
+
+  // Tasks assigned to PNAs that are reset (trimming) or churned away must
+  // be re-dispatched; derive a timeout from the worst-case task cycle if
+  // none was configured.
+  if (config_.task_timeout <= sim::SimTime::zero()) {
+    const double payload_s =
+        (job.avg_input_bits() + job.avg_result_bits()) / config_.delta.bps();
+    const double exec_s =
+        job.avg_reference_seconds() *
+        config_.profile.slowdown(dtv::PowerMode::kInUse);
+    backend_->set_task_timeout(sim::SimTime::from_seconds(
+        3.0 * (payload_s + exec_s) + 2.0 * config_.heartbeat_interval.seconds() +
+        30.0));
+  }
+
+  const InstanceId id = provider_->request_instance(
+      spec, backend_->node_id(),
+      [&result, t0](InstanceId, sim::SimTime ready_at) {
+        result.wakeup_seconds = (ready_at - t0).seconds();
+      });
+
+  bool done = false;
+  backend_->submit(job, id, [this, &done] {
+    done = true;
+    simulation_->stop();
+  }, t0);
+
+  simulation_->run_until(t0 + deadline);
+
+  result.completed = done;
+  result.job = backend_->metrics();
+  if (done) {
+    result.makespan_seconds = result.job.makespan_seconds();
+  }
+  const InstanceStatus* st = controller_->status(id);
+  if (st != nullptr) {
+    result.final_instance_size = st->current_size;
+    if (result.wakeup_seconds < 0.0 && st->reached_target_at) {
+      result.wakeup_seconds = (*st->reached_target_at - t0).seconds();
+    }
+  }
+  result.controller = controller_->stats();
+  result.network = network_->stats();
+
+  provider_->release_instance(id);
+  return result;
+}
+
+}  // namespace oddci::core

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "broadcast/channel.hpp"
+#include "broadcast/multicast.hpp"
+#include "core/aggregator.hpp"
+#include "core/backend.hpp"
+#include "core/churn.hpp"
+#include "core/content_store.hpp"
+#include "core/controller.hpp"
+#include "core/pna.hpp"
+#include "core/provider.hpp"
+#include "dtv/receiver.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "workload/job.hpp"
+
+/// End-to-end OddCI-DTV system harness: wires the simulation kernel, the
+/// broadcast channel, a population of receivers running the PNA trigger
+/// application, and the Provider/Controller/Backend trio. This is the
+/// public entry point the examples and the benchmark harnesses use.
+namespace oddci::core {
+
+/// Which one-to-many substrate carries the PNA and images (Section 3.3).
+enum class BroadcastTechnology {
+  kDtvCarousel,   ///< DSM-CC object carousel on a DTV transport stream
+  kIpMulticast,   ///< block-coded IP multicast sessions (OddCI-IPTV)
+};
+
+struct SystemConfig {
+  std::size_t receivers = 1000;
+  BroadcastTechnology technology = BroadcastTechnology::kDtvCarousel;
+  /// Parameters of the multicast delivery (kIpMulticast only).
+  broadcast::MulticastOptions multicast;
+  /// Number of broadcast (TV) channels carrying the PNA (Section 4.3:
+  /// more channels reach more receivers). Receivers are spread uniformly
+  /// across channels; the Controller stages control messages on all.
+  std::size_t channels = 1;
+  /// Unused broadcast capacity available to the carousel (the paper's beta),
+  /// per channel.
+  util::BitRate beta = util::BitRate::from_mbps(1.0);
+  /// Per-section broadcast loss probability (0 = clean channel); lost
+  /// sections are recovered on later carousel cycles.
+  double section_loss = 0.0;
+  /// Per-receiver direct-channel capacity, both directions (delta).
+  util::BitRate delta = util::BitRate::from_kbps(150.0);
+  sim::SimTime receiver_latency = sim::SimTime::from_millis(50);
+  /// Controller/Backend access capacity (well provisioned by assumption).
+  util::BitRate server_capacity = util::BitRate::from_mbps(10000.0);
+  sim::SimTime server_latency = sim::SimTime::from_millis(5);
+
+  dtv::DeviceProfile profile = dtv::DeviceProfile::reference_stb();
+  dtv::PowerMode initial_power = dtv::PowerMode::kStandby;
+  /// Fraction of receivers tuned to the OddCI channel (the rest never see
+  /// the carousel).
+  double tuned_fraction = 1.0;
+
+  sim::SimTime heartbeat_interval = sim::SimTime::from_seconds(30);
+  sim::SimTime monitor_interval = sim::SimTime::from_seconds(10);
+  /// Margin the Controller applies to the auto-chosen wakeup probability:
+  /// >1 over-recruits slightly (then trims) so the target is likely met by
+  /// the first broadcast instead of waiting a recomposition round.
+  double controller_overshoot = 1.0;
+  sim::SimTime task_poll_interval = sim::SimTime::from_seconds(10);
+  sim::SimTime task_timeout = sim::SimTime::zero();
+  sim::SimTime table_repetition = sim::SimTime::from_millis(500);
+  util::Bits pna_xlet_size = util::Bits::from_kilobytes(64);
+  /// Settling time between PNA deployment and the first instance request in
+  /// run_job(): lets the agent population launch and heartbeat so the
+  /// Controller's idle-pool estimate is populated (the paper's steady-state
+  /// assumption — processing nodes are switched on and reporting before an
+  /// instance is requested).
+  sim::SimTime warmup = sim::SimTime::from_seconds(90);
+
+  /// Heartbeat-aggregation tier: number of regional aggregators (0 = PNAs
+  /// report straight to the Controller). See core/aggregator.hpp.
+  std::size_t aggregators = 0;
+  sim::SimTime aggregator_report_interval = sim::SimTime::from_seconds(10);
+
+  std::optional<ChurnOptions> churn;  ///< nullopt = static population
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// Metrics of one job executed over one instance.
+struct RunResult {
+  /// Time from the instance request until the target size was reached (the
+  /// measured wakeup overhead W); <0 if the target was never reached.
+  double wakeup_seconds = -1.0;
+  /// Time from the instance request until the last result arrived; <0 if
+  /// the job did not finish before the deadline.
+  double makespan_seconds = -1.0;
+  bool completed = false;
+  JobMetrics job;
+  Controller::Stats controller;
+  net::NetworkStats network;
+  std::size_t final_instance_size = 0;
+
+  /// Efficiency per the paper's Eq. (2): E = n * p / (M * N) with p the
+  /// per-task time on the member device (pass the *device-scaled* value).
+  [[nodiscard]] double efficiency(std::size_t n, double device_task_seconds,
+                                  std::size_t node_count) const;
+};
+
+class OddciSystem {
+ public:
+  explicit OddciSystem(const SystemConfig& config);
+  ~OddciSystem();
+
+  OddciSystem(const OddciSystem&) = delete;
+  OddciSystem& operator=(const OddciSystem&) = delete;
+
+  [[nodiscard]] sim::Simulation& simulation() { return *simulation_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  /// The first (or only) broadcast medium.
+  [[nodiscard]] broadcast::BroadcastMedium& channel() {
+    return *channels_.front();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<broadcast::BroadcastMedium>>&
+  channels() const {
+    return channels_;
+  }
+  [[nodiscard]] Controller& controller() { return *controller_; }
+  [[nodiscard]] Provider& provider() { return *provider_; }
+  [[nodiscard]] Backend& backend() { return *backend_; }
+  [[nodiscard]] ChurnProcess* churn() { return churn_.get(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<HeartbeatAggregator>>&
+  aggregators() const {
+    return aggregators_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<dtv::Receiver>>& receivers()
+      const {
+    return receivers_;
+  }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+  /// Number of PNAs currently busy (joined or joining an instance).
+  [[nodiscard]] std::size_t busy_pna_count() const;
+
+  /// Convenience: deploy the PNA (if not yet), request an instance of
+  /// `instance_size` nodes, submit `job`, run until completion or
+  /// `deadline`, and collect the metrics. Leaves the instance dismantled.
+  RunResult run_job(const workload::Job& job, std::size_t instance_size,
+                    sim::SimTime deadline = sim::SimTime::from_hours(24));
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<sim::Simulation> simulation_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<broadcast::BroadcastMedium>> channels_;
+  std::unique_ptr<ContentStore> store_;
+  std::unique_ptr<Controller> controller_;
+  std::vector<std::unique_ptr<HeartbeatAggregator>> aggregators_;
+  std::unique_ptr<Provider> provider_;
+  std::unique_ptr<Backend> backend_;
+  std::vector<std::unique_ptr<dtv::Receiver>> receivers_;
+  PnaEnvironment pna_env_;
+  std::unique_ptr<ChurnProcess> churn_;
+  broadcast::SigningKey key_ = 0;
+};
+
+}  // namespace oddci::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/messages.hpp"
+
+/// Binary wire codec for the OddCI protocol.
+///
+/// The simulation passes messages as in-memory objects; this codec defines
+/// the actual byte encoding a deployment would put on the air and on the
+/// direct channels — little-endian fixed-width integers, length-prefixed
+/// strings, one tag byte for direct messages — with strict, throwing
+/// decoders. Round-trip and truncation behaviour are property-tested.
+namespace oddci::core::wire {
+
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only byte sink.
+class Writer {
+ public:
+  Writer& u8(std::uint8_t v);
+  Writer& u32(std::uint32_t v);
+  Writer& u64(std::uint64_t v);
+  Writer& i64(std::int64_t v);
+  Writer& f64(double v);
+  Writer& str(std::string_view s);  ///< u32 length prefix + bytes
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Strict cursor over a byte buffer; every getter throws WireError when the
+/// remaining bytes are insufficient.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : data_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- control plane ---------------------------------------------------------
+
+/// Serialize a (signed) control message — the bytes of the carousel's
+/// configuration file.
+[[nodiscard]] std::string encode(const ControlMessage& message);
+
+/// Parse a configuration file. Throws WireError on truncation, trailing
+/// garbage, or unknown control type. Signature validity is NOT checked
+/// here — the PNA verifies it separately against its trusted key.
+[[nodiscard]] ControlMessage decode_control(std::string_view bytes);
+
+// --- direct channels ---------------------------------------------------------
+
+/// Serialize any direct-channel protocol message (dispatch on tag()).
+/// Throws std::invalid_argument for tags without a wire format (e.g. the
+/// simulation-only BlobMessage).
+[[nodiscard]] std::string encode(const net::Message& message);
+
+/// Parse a direct-channel message. Throws WireError on malformed input.
+[[nodiscard]] net::MessagePtr decode_message(std::string_view bytes);
+
+}  // namespace oddci::core::wire

@@ -1,0 +1,145 @@
+#include "dtv/application_manager.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace oddci::dtv {
+
+const char* to_string(XletState s) {
+  switch (s) {
+    case XletState::kLoaded:
+      return "Loaded";
+    case XletState::kPaused:
+      return "Paused";
+    case XletState::kStarted:
+      return "Started";
+    case XletState::kDestroyed:
+      return "Destroyed";
+  }
+  return "?";
+}
+
+void ApplicationManager::register_factory(const std::string& application_name,
+                                          XletFactory factory) {
+  if (!factory) {
+    throw std::invalid_argument("ApplicationManager: empty factory");
+  }
+  factories_[application_name] = std::move(factory);
+}
+
+void ApplicationManager::process_ait(const broadcast::Ait& ait) {
+  // Teardowns first so capacity frees before new launches.
+  std::vector<std::uint32_t> to_destroy;
+  for (const auto& entry : ait.entries()) {
+    if (entry.control_code == broadcast::AppControlCode::kDestroy ||
+        entry.control_code == broadcast::AppControlCode::kKill) {
+      if (apps_.count(entry.application_id) > 0) {
+        to_destroy.push_back(entry.application_id);
+      }
+    }
+  }
+  for (auto id : to_destroy) {
+    destroy(id, /*unconditional=*/true);
+  }
+  for (const auto& entry : ait.autostart_entries()) {
+    if (apps_.count(entry.application_id) == 0) {
+      launch(entry.application_id, entry.application_name);
+    }
+  }
+}
+
+bool ApplicationManager::launch(std::uint32_t application_id,
+                                const std::string& name) {
+  if (apps_.count(application_id) > 0) return false;
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return false;
+
+  App app;
+  app.name = name;
+  app.xlet = it->second();
+  if (!app.xlet) return false;
+  app.context = std::make_unique<XletContext>(*receiver_);
+  app.state = XletState::kLoaded;
+
+  auto [slot, inserted] = apps_.emplace(application_id, std::move(app));
+  (void)inserted;
+  App& live = slot->second;
+  // Loaded -> initXlet -> Paused -> startXlet -> Started, per Figure 4.
+  live.xlet->init_xlet(*live.context);
+  live.state = XletState::kPaused;
+  live.xlet->start_xlet();
+  live.state = XletState::kStarted;
+  return true;
+}
+
+bool ApplicationManager::pause(std::uint32_t application_id) {
+  auto it = apps_.find(application_id);
+  if (it == apps_.end() || it->second.state != XletState::kStarted) {
+    return false;
+  }
+  it->second.xlet->pause_xlet();
+  it->second.state = XletState::kPaused;
+  return true;
+}
+
+bool ApplicationManager::resume(std::uint32_t application_id) {
+  auto it = apps_.find(application_id);
+  if (it == apps_.end() || it->second.state != XletState::kPaused) {
+    return false;
+  }
+  it->second.xlet->start_xlet();
+  it->second.state = XletState::kStarted;
+  return true;
+}
+
+bool ApplicationManager::destroy(std::uint32_t application_id,
+                                 bool unconditional) {
+  auto it = apps_.find(application_id);
+  if (it == apps_.end()) return false;
+  it->second.xlet->destroy_xlet(unconditional);
+  it->second.state = XletState::kDestroyed;
+  // A destroyed Xlet instance can never be restarted; drop it entirely.
+  apps_.erase(it);
+  return true;
+}
+
+void ApplicationManager::destroy_all() {
+  // Collect ids first: destroy() mutates the map.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(apps_.size());
+  for (const auto& [id, app] : apps_) ids.push_back(id);
+  for (auto id : ids) destroy(id, /*unconditional=*/true);
+}
+
+XletState ApplicationManager::state(std::uint32_t application_id) const {
+  auto it = apps_.find(application_id);
+  if (it == apps_.end()) return XletState::kDestroyed;
+  return it->second.state;
+}
+
+bool ApplicationManager::running(std::uint32_t application_id) const {
+  return apps_.count(application_id) > 0;
+}
+
+Xlet* ApplicationManager::find(std::uint32_t application_id) {
+  auto it = apps_.find(application_id);
+  return it == apps_.end() ? nullptr : it->second.xlet.get();
+}
+
+void ApplicationManager::notify_carousel(
+    const broadcast::CarouselSnapshot& snapshot) {
+  // Collect first: a callback may launch/destroy apps and mutate the map.
+  std::vector<Xlet*> aware;
+  for (auto& [id, app] : apps_) {
+    if (app.state == XletState::kStarted) {
+      aware.push_back(app.xlet.get());
+    }
+  }
+  for (Xlet* xlet : aware) {
+    if (auto* c = dynamic_cast<CarouselAware*>(xlet)) {
+      c->on_carousel_update(snapshot);
+    }
+  }
+}
+
+}  // namespace oddci::dtv

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "broadcast/ait.hpp"
+#include "dtv/xlet.hpp"
+
+/// The middleware's application manager: tracks running Xlets, enforces the
+/// legal lifecycle transitions, and reacts to AIT updates (AUTOSTART
+/// launches, DESTROY/KILL teardowns).
+namespace oddci::dtv {
+
+class Receiver;
+
+class ApplicationManager {
+ public:
+  explicit ApplicationManager(Receiver& receiver) : receiver_(&receiver) {}
+
+  ApplicationManager(const ApplicationManager&) = delete;
+  ApplicationManager& operator=(const ApplicationManager&) = delete;
+
+  /// Register the code for an application name (stands in for the class
+  /// loader resolving the AIT's base file from the carousel).
+  void register_factory(const std::string& application_name,
+                        XletFactory factory);
+
+  /// Process a (new version of the) AIT: autostart trigger applications
+  /// that are not yet running, destroy applications signalled
+  /// DESTROY/KILL. Called by the Receiver when signalling is acquired.
+  void process_ait(const broadcast::Ait& ait);
+
+  /// Explicit lifecycle controls (also used by tests).
+  /// Launch = load + initXlet + startXlet. Returns false if no factory is
+  /// registered or the app is already running.
+  bool launch(std::uint32_t application_id, const std::string& name);
+  bool pause(std::uint32_t application_id);
+  bool resume(std::uint32_t application_id);
+  bool destroy(std::uint32_t application_id, bool unconditional = true);
+
+  /// Destroy every running Xlet (receiver switched off / channel change).
+  void destroy_all();
+
+  [[nodiscard]] XletState state(std::uint32_t application_id) const;
+  [[nodiscard]] bool running(std::uint32_t application_id) const;
+  [[nodiscard]] std::size_t active_count() const { return apps_.size(); }
+
+  /// Access a live Xlet instance (tests/harness); nullptr if absent.
+  [[nodiscard]] Xlet* find(std::uint32_t application_id);
+
+  /// Forward a carousel update to running CarouselAware Xlets.
+  void notify_carousel(const broadcast::CarouselSnapshot& snapshot);
+
+ private:
+  struct App {
+    std::unique_ptr<Xlet> xlet;
+    std::unique_ptr<XletContext> context;
+    XletState state = XletState::kLoaded;
+    std::string name;
+  };
+
+  Receiver* receiver_;
+  std::map<std::string, XletFactory> factories_;
+  std::map<std::uint32_t, App> apps_;
+};
+
+}  // namespace oddci::dtv

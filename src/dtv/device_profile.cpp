@@ -1,0 +1,72 @@
+#include "dtv/device_profile.hpp"
+
+#include <stdexcept>
+
+namespace oddci::dtv {
+
+double DeviceProfile::slowdown(PowerMode mode) const {
+  switch (mode) {
+    case PowerMode::kStandby:
+      return standby_slowdown;
+    case PowerMode::kInUse:
+      return standby_slowdown * in_use_penalty;
+    case PowerMode::kOff:
+      throw std::logic_error("DeviceProfile: no slowdown for a device that is off");
+  }
+  throw std::logic_error("DeviceProfile: unknown power mode");
+}
+
+DeviceProfile DeviceProfile::reference_pc() {
+  DeviceProfile p;
+  p.name = "reference-pc";
+  p.standby_slowdown = 1.0;
+  p.in_use_penalty = 1.0;
+  p.ram = util::Bits::from_megabytes(1024);
+  p.flash = util::Bits::from_megabytes(0x7FFF);  // disk, effectively unbounded
+  return p;
+}
+
+DeviceProfile DeviceProfile::stb_st7109() {
+  DeviceProfile p;
+  p.name = "stb-st7109";
+  // Paper: STB in use = 20.6x PC; standby = in-use / 1.65.
+  p.in_use_penalty = 1.65;
+  p.standby_slowdown = 20.6 / 1.65;
+  p.ram = util::Bits::from_megabytes(256);
+  p.flash = util::Bits::from_megabytes(32);
+  return p;
+}
+
+DeviceProfile DeviceProfile::mobile_phone() {
+  DeviceProfile p;
+  p.name = "mobile-phone";
+  p.standby_slowdown = 8.0;
+  p.in_use_penalty = 2.0;
+  p.ram = util::Bits::from_megabytes(128);
+  p.flash = util::Bits::from_megabytes(512);
+  return p;
+}
+
+DeviceProfile DeviceProfile::reference_stb() {
+  DeviceProfile p;
+  p.name = "reference-stb";
+  p.standby_slowdown = 1.0;
+  p.in_use_penalty = 1.0;
+  p.ram = util::Bits::from_megabytes(256);
+  p.flash = util::Bits::from_megabytes(32);
+  return p;
+}
+
+const char* to_string(PowerMode mode) {
+  switch (mode) {
+    case PowerMode::kOff:
+      return "off";
+    case PowerMode::kStandby:
+      return "standby";
+    case PowerMode::kInUse:
+      return "in-use";
+  }
+  return "?";
+}
+
+}  // namespace oddci::dtv

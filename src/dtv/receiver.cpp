@@ -1,0 +1,220 @@
+#include "dtv/receiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace oddci::dtv {
+
+sim::Simulation& XletContext::simulation() { return receiver_->simulation(); }
+
+void XletContext::read_carousel_file(
+    const std::string& name,
+    std::function<void(bool, broadcast::CarouselFile)> on_done) {
+  receiver_->read_carousel_file(name, std::move(on_done));
+}
+
+Receiver::Receiver(sim::Simulation& simulation, net::Network& network,
+                   DeviceProfile profile, net::LinkSpec link)
+    : simulation_(simulation),
+      network_(network),
+      profile_(std::move(profile)),
+      apps_(*this),
+      cpu_free_at_(simulation.now()) {
+  node_id_ = network_.register_endpoint(this, link);
+}
+
+Receiver::~Receiver() {
+  if (channel_ != nullptr) {
+    channel_->untune(listener_id_);
+  }
+  if (node_id_ != net::kInvalidNode && network_.attached(node_id_)) {
+    network_.unregister_endpoint(node_id_);
+  }
+}
+
+void Receiver::set_power_mode(PowerMode mode) {
+  if (mode == power_) return;
+  const PowerMode previous = power_;
+  power_ = mode;
+
+  if (mode == PowerMode::kOff) {
+    ++session_;
+    apps_.destroy_all();
+    for (auto& [token, event] : running_) {
+      simulation_.cancel(event);
+    }
+    running_.clear();
+    cpu_free_at_ = simulation_.now();
+    handler_ = nullptr;
+    if (channel_ != nullptr) {
+      channel_->untune(listener_id_);
+      listener_id_ = 0;
+    }
+    network_.unregister_endpoint(node_id_);
+    return;
+  }
+
+  if (previous == PowerMode::kOff) {
+    // Coming back: re-attach the return channel and re-acquire signalling.
+    network_.reattach_endpoint(node_id_, this);
+    cpu_free_at_ = simulation_.now();
+    if (channel_ != nullptr) {
+      listener_id_ = channel_->tune(this);
+    }
+  }
+  // Standby <-> in-use transitions only change the slowdown of *future*
+  // dispatches; jobs already running keep their speed (documented).
+}
+
+void Receiver::tune(broadcast::BroadcastMedium& channel) {
+  if (channel_ == &channel) return;
+  if (channel_ != nullptr) {
+    untune();
+  }
+  channel_ = &channel;
+  if (powered()) {
+    ++session_;  // invalidate carousel reads from the previous channel
+    listener_id_ = channel_->tune(this);
+  }
+}
+
+void Receiver::untune() {
+  if (channel_ == nullptr) return;
+  ++session_;
+  apps_.destroy_all();  // a channel change kills broadcast applications
+  if (powered()) {
+    channel_->untune(listener_id_);
+  }
+  channel_ = nullptr;
+  listener_id_ = 0;
+}
+
+double Receiver::scaled_seconds(double reference_seconds) const {
+  if (!powered()) {
+    throw std::logic_error("Receiver: cannot execute while powered off");
+  }
+  return reference_seconds * profile_.slowdown(power_);
+}
+
+Receiver::ExecToken Receiver::execute(double reference_seconds,
+                                      std::function<void()> on_done) {
+  if (reference_seconds < 0.0) {
+    throw std::invalid_argument("Receiver: negative execution time");
+  }
+  if (!on_done) {
+    throw std::invalid_argument("Receiver: empty completion callback");
+  }
+  const double local = scaled_seconds(reference_seconds);
+  const sim::SimTime begin = std::max(simulation_.now(), cpu_free_at_);
+  const sim::SimTime done = begin + sim::SimTime::from_seconds(local);
+  cpu_free_at_ = done;
+
+  const ExecToken token = next_token_++;
+  const sim::EventId event = simulation_.schedule_at(
+      done, [this, token, cb = std::move(on_done)] {
+        running_.erase(token);
+        cb();
+      });
+  running_.emplace(token, event);
+  return token;
+}
+
+bool Receiver::cancel_execution(ExecToken token) {
+  auto it = running_.find(token);
+  if (it == running_.end()) return false;
+  simulation_.cancel(it->second);
+  running_.erase(it);
+  // Note: the FIFO reservation is not reclaimed; a real STB would also not
+  // compact its schedule instantaneously.
+  return true;
+}
+
+void Receiver::read_carousel_file(
+    const std::string& name,
+    std::function<void(bool, broadcast::CarouselFile)> on_done) {
+  if (!on_done) {
+    throw std::invalid_argument("Receiver: empty carousel callback");
+  }
+  if (!powered() || channel_ == nullptr) {
+    on_done(false, broadcast::CarouselFile{});
+    return;
+  }
+  const auto ready = channel_->file_ready_at(name, simulation_.now());
+  if (!ready) {
+    on_done(false, broadcast::CarouselFile{});
+    return;
+  }
+  const broadcast::CarouselFile file = *channel_->current().find(name);
+  const std::uint64_t session = session_;
+  simulation_.schedule_at(
+      *ready, [this, session, file, cb = std::move(on_done)] {
+        // Invalidated by power-off/channel change. A new carousel
+        // generation does NOT abort the read as long as the module itself
+        // is unchanged (same name/version/content): real DSM-CC receivers
+        // keep assembling a module across unrelated carousel updates and
+        // only restart on a module-version bump.
+        if (session_ != session || channel_ == nullptr) {
+          cb(false, broadcast::CarouselFile{});
+          return;
+        }
+        const broadcast::CarouselFile* now_on_air =
+            channel_->current().find(file.name);
+        if (now_on_air == nullptr || now_on_air->version != file.version ||
+            now_on_air->content_id != file.content_id) {
+          cb(false, broadcast::CarouselFile{});
+          return;
+        }
+        cb(true, file);
+      });
+}
+
+void Receiver::set_message_handler(MessageHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void Receiver::clear_message_handler() { handler_ = nullptr; }
+
+void Receiver::send(net::NodeId to, net::MessagePtr message) {
+  if (!powered()) return;
+  network_.send(node_id_, to, std::move(message));
+}
+
+void Receiver::on_signalling(const broadcast::Ait& ait,
+                             const broadcast::CarouselSnapshot& snapshot) {
+  if (!powered()) return;
+  autostart_from_ait(ait);
+  // DESTROY/KILL codes are processed immediately.
+  apps_.process_ait(ait);
+  // Already-running trigger applications observe the fresh carousel.
+  apps_.notify_carousel(snapshot);
+}
+
+void Receiver::autostart_from_ait(const broadcast::Ait& ait) {
+  for (const auto& entry : ait.autostart_entries()) {
+    if (apps_.running(entry.application_id)) continue;
+    if (entry.base_file.empty()) {
+      apps_.launch(entry.application_id, entry.application_name);
+      continue;
+    }
+    // The trigger application's code base must first be read from the
+    // carousel (this is what spreads PNA launch times across receivers).
+    read_carousel_file(
+        entry.base_file,
+        [this, entry](bool ok, const broadcast::CarouselFile&) {
+          if (!ok) return;
+          if (!apps_.running(entry.application_id)) {
+            apps_.launch(entry.application_id, entry.application_name);
+          }
+        });
+  }
+}
+
+void Receiver::on_message(net::NodeId from, const net::MessagePtr& message) {
+  if (!powered()) return;
+  if (handler_) {
+    handler_(from, message);
+  }
+}
+
+}  // namespace oddci::dtv

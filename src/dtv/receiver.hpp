@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "broadcast/channel.hpp"
+#include "dtv/application_manager.hpp"
+#include "dtv/device_profile.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+/// A DTV receiver (set-top box): tuner + middleware + interactive-apps
+/// processor + return channel.
+///
+/// The receiver is the host environment for the PNA Xlet. It:
+///  * tunes a broadcast medium (DTV channel, multicast group) and forwards
+///    acquired AITs to its
+///    ApplicationManager (AUTOSTART apps launch after their code base has
+///    been read from the carousel);
+///  * models the dedicated interactive-application processor as a FIFO
+///    resource whose speed depends on the device profile and power mode;
+///  * owns the direct (return) channel endpoint used by Xlets to talk to
+///    the Controller and Backend.
+namespace oddci::dtv {
+
+class Receiver final : public broadcast::BroadcastListener,
+                       public net::Endpoint {
+ public:
+  Receiver(sim::Simulation& simulation, net::Network& network,
+           DeviceProfile profile, net::LinkSpec link);
+  ~Receiver() override;
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  // --- identity / capabilities -------------------------------------------
+  [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+  [[nodiscard]] net::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] sim::Simulation& simulation() { return simulation_; }
+  [[nodiscard]] ApplicationManager& application_manager() { return apps_; }
+
+  // --- power --------------------------------------------------------------
+  [[nodiscard]] PowerMode power_mode() const { return power_; }
+  /// Switching off destroys all Xlets, cancels executions and detaches the
+  /// return channel. Switching on re-attaches; if a channel was tuned it is
+  /// re-acquired (signalling will be re-delivered by the carousel).
+  void set_power_mode(PowerMode mode);
+  [[nodiscard]] bool powered() const { return power_ != PowerMode::kOff; }
+
+  // --- tuner ----------------------------------------------------------------
+  /// Tune to `channel` (replacing any previous channel; running broadcast
+  /// apps are destroyed, as a real channel change does).
+  void tune(broadcast::BroadcastMedium& channel);
+  void untune();
+  [[nodiscard]] broadcast::BroadcastMedium* tuned_channel() {
+    return channel_;
+  }
+
+  // --- interactive-apps processor ------------------------------------------
+  using ExecToken = std::uint64_t;
+  /// Run a job that takes `reference_seconds` on the reference PC. The
+  /// actual duration is scaled by the profile slowdown for the *current*
+  /// power mode and serialized FIFO after previously submitted jobs.
+  /// Returns a token usable with `cancel_execution`.
+  ExecToken execute(double reference_seconds, std::function<void()> on_done);
+  bool cancel_execution(ExecToken token);
+  /// Local duration a job of `reference_seconds` takes right now.
+  [[nodiscard]] double scaled_seconds(double reference_seconds) const;
+
+  // --- carousel access (used by XletContext) --------------------------------
+  void read_carousel_file(
+      const std::string& name,
+      std::function<void(bool ok, broadcast::CarouselFile file)> on_done);
+
+  // --- return channel --------------------------------------------------------
+  using MessageHandler =
+      std::function<void(net::NodeId from, const net::MessagePtr&)>;
+  /// Xlets install a handler to receive direct-channel messages.
+  void set_message_handler(MessageHandler handler);
+  void clear_message_handler();
+  /// Send on the return channel; silently dropped if powered off.
+  void send(net::NodeId to, net::MessagePtr message);
+
+  // --- BroadcastListener ------------------------------------------------------
+  void on_signalling(const broadcast::Ait& ait,
+                     const broadcast::CarouselSnapshot& snapshot) override;
+
+  // --- net::Endpoint ----------------------------------------------------------
+  void on_message(net::NodeId from, const net::MessagePtr& message) override;
+
+ private:
+  /// Bumped whenever in-flight async work must be invalidated (power off,
+  /// channel change).
+  std::uint64_t session_ = 0;
+
+  void autostart_from_ait(const broadcast::Ait& ait);
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  DeviceProfile profile_;
+  net::NodeId node_id_ = net::kInvalidNode;
+  PowerMode power_ = PowerMode::kStandby;
+
+  broadcast::BroadcastMedium* channel_ = nullptr;
+  broadcast::ListenerId listener_id_ = 0;
+
+  ApplicationManager apps_;
+  MessageHandler handler_;
+
+  sim::SimTime cpu_free_at_;
+  ExecToken next_token_ = 1;
+  std::unordered_map<ExecToken, sim::EventId> running_;
+};
+
+}  // namespace oddci::dtv

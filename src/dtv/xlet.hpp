@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "broadcast/carousel.hpp"
+#include "sim/simulation.hpp"
+
+/// Xlet application model (JavaTV-style), as used by MHP/ACAP/Ginga.
+///
+/// The lifecycle follows Figure 4 of the paper:
+///
+///     Loaded --initXlet--> Paused --startXlet--> Started
+///     Started --pauseXlet--> Paused --startXlet--> Started ...
+///     any --destroyXlet--> Destroyed (terminal)
+///
+/// Transitions are driven exclusively by the ApplicationManager; an Xlet
+/// never changes its own state field.
+namespace oddci::dtv {
+
+class Receiver;  // forward: the hosting set-top box
+
+enum class XletState { kLoaded, kPaused, kStarted, kDestroyed };
+
+[[nodiscard]] const char* to_string(XletState s);
+
+/// Services the middleware exposes to a running Xlet. Mirrors the subset of
+/// the JavaTV/DSM-CC APIs the PNA needs: simulated time, carousel file
+/// access (with carousel-cycle latency), CPU execution, and the return
+/// channel (provided by the Receiver).
+class XletContext {
+ public:
+  explicit XletContext(Receiver& receiver) : receiver_(&receiver) {}
+
+  [[nodiscard]] Receiver& receiver() { return *receiver_; }
+  [[nodiscard]] sim::Simulation& simulation();
+
+  /// Asynchronously acquire a file from the tuned channel's carousel.
+  /// The callback fires when the file has been fully received (respecting
+  /// the carousel cycle), with `ok == false` if the file is not on air or
+  /// the receiver is no longer tuned/powered.
+  void read_carousel_file(
+      const std::string& name,
+      std::function<void(bool ok, broadcast::CarouselFile file)> on_done);
+
+ private:
+  Receiver* receiver_;
+};
+
+class Xlet {
+ public:
+  virtual ~Xlet() = default;
+
+  /// Called once after loading; the Xlet may begin acquiring resources.
+  virtual void init_xlet(XletContext& context) = 0;
+  /// Enter the Started state: the Xlet provides its service.
+  virtual void start_xlet() = 0;
+  /// Enter the Paused state: release scarce resources.
+  virtual void pause_xlet() = 0;
+  /// Terminal: release everything. `unconditional` mirrors JavaTV: when
+  /// true the Xlet may not refuse.
+  virtual void destroy_xlet(bool unconditional) = 0;
+};
+
+/// Optional mixin for Xlets that track carousel updates (new generations of
+/// the object carousel and AIT, e.g. fresh OddCI control messages). The
+/// Receiver forwards acquired signalling to running Xlets implementing it.
+class CarouselAware {
+ public:
+  virtual ~CarouselAware() = default;
+  virtual void on_carousel_update(
+      const broadcast::CarouselSnapshot& snapshot) = 0;
+};
+
+/// Factory used by the ApplicationManager to instantiate the class named in
+/// the AIT once its code base has been read from the carousel. In a real
+/// receiver this is the Java class loader; here the harness registers
+/// factories keyed by application name.
+using XletFactory = std::function<std::unique_ptr<Xlet>()>;
+
+}  // namespace oddci::dtv

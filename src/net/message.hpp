@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/quantity.hpp"
+
+/// Message abstraction for the direct (one-to-one) channels.
+namespace oddci::net {
+
+/// Dense endpoint address assigned by the Network at registration.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Base class for all direct-channel messages. Concrete protocol messages
+/// (heartbeats, task requests, results, ...) derive from this; the network
+/// layer only needs the wire size for serialization-delay modelling.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Wire size, including any header overhead the protocol accounts for.
+  [[nodiscard]] virtual util::Bits wire_size() const = 0;
+
+  /// Small integer tag for cheap dispatch without RTTI on hot paths.
+  /// Tag spaces are defined by the protocol layer (see core/messages.hpp).
+  [[nodiscard]] virtual int tag() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Receiver interface registered with the Network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_message(NodeId from, const MessagePtr& message) = 0;
+};
+
+}  // namespace oddci::net

@@ -1,0 +1,104 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace oddci::net {
+
+NodeId Network::register_endpoint(Endpoint* endpoint, const LinkSpec& spec) {
+  if (endpoint == nullptr) {
+    throw std::invalid_argument("Network: null endpoint");
+  }
+  if (spec.uplink.bps() <= 0.0 || spec.downlink.bps() <= 0.0) {
+    throw std::invalid_argument("Network: link capacities must be > 0");
+  }
+  if (spec.latency < sim::SimTime::zero()) {
+    throw std::invalid_argument("Network: negative latency");
+  }
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{endpoint, spec, simulation_.now(), simulation_.now()});
+  return id;
+}
+
+Network::Node& Network::node_at(NodeId id) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network: unknown node id");
+  }
+  return nodes_[id];
+}
+
+const Network::Node& Network::node_at(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network: unknown node id");
+  }
+  return nodes_[id];
+}
+
+void Network::unregister_endpoint(NodeId id) { node_at(id).endpoint = nullptr; }
+
+void Network::reattach_endpoint(NodeId id, Endpoint* endpoint) {
+  if (endpoint == nullptr) {
+    throw std::invalid_argument("Network: null endpoint on reattach");
+  }
+  node_at(id).endpoint = endpoint;
+}
+
+bool Network::attached(NodeId id) const {
+  return node_at(id).endpoint != nullptr;
+}
+
+sim::SimTime Network::uplink_free_at(NodeId id) const {
+  return node_at(id).uplink_busy_until;
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr message) {
+  if (!message) {
+    throw std::invalid_argument("Network: null message");
+  }
+  Node& src = node_at(from);
+  node_at(to);  // validate destination id early
+
+  ++stats_.messages_sent;
+  stats_.bits_sent += message->wire_size().count();
+
+  // Serialize on the sender's uplink (FIFO).
+  const double tx_up =
+      util::transmission_seconds(message->wire_size(), src.spec.uplink);
+  const sim::SimTime start =
+      std::max(simulation_.now(), src.uplink_busy_until);
+  const sim::SimTime departed = start + sim::SimTime::from_seconds(tx_up);
+  src.uplink_busy_until = departed;
+
+  const sim::SimTime arrival_at_edge = departed + src.spec.latency;
+
+  // The receiver's downlink serialization is decided at edge-arrival time,
+  // because its busy window depends on messages that arrive before ours.
+  simulation_.schedule_at(
+      arrival_at_edge,
+      [this, from, to, message = std::move(message)] {
+        Node& dst = nodes_[to];
+        const double tx_down =
+            util::transmission_seconds(message->wire_size(),
+                                       dst.spec.downlink);
+        const sim::SimTime begin =
+            std::max(simulation_.now(), dst.downlink_busy_until);
+        const sim::SimTime done = begin + sim::SimTime::from_seconds(tx_down);
+        dst.downlink_busy_until = done;
+        simulation_.schedule_at(
+            done,
+            [this, from, to, message] {
+              Node& d = nodes_[to];
+              if (d.endpoint == nullptr) {
+                ++stats_.messages_dropped;
+                return;
+              }
+              ++stats_.messages_delivered;
+              d.endpoint->on_message(from, message);
+            },
+            sim::EventPriority::kDelivery);
+      },
+      sim::EventPriority::kDelivery);
+}
+
+}  // namespace oddci::net

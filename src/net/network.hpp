@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/simulation.hpp"
+#include "util/quantity.hpp"
+
+/// Direct-channel substrate.
+///
+/// The paper's system model gives every set-top box an individual
+/// full-duplex point-to-point channel of capacity delta linking it to both
+/// the Controller and the Backend. We model each endpoint with an access
+/// link: a FIFO uplink and a FIFO downlink, each with its own capacity and a
+/// fixed propagation latency. A message sent from A to B is serialized on
+/// A's uplink, propagates, then is serialized on B's downlink — so a
+/// capacity-limited Controller can actually be congested by heartbeats
+/// (exercised by bench_ablation_heartbeat).
+namespace oddci::net {
+
+struct LinkSpec {
+  util::BitRate uplink;    ///< endpoint -> network capacity
+  util::BitRate downlink;  ///< network -> endpoint capacity
+  sim::SimTime latency;    ///< one-way propagation delay
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  ///< destination unregistered/offline
+  std::int64_t bits_sent = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& simulation) : simulation_(simulation) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register an endpoint. The pointer must outlive the Network or be
+  /// detached with `unregister_endpoint`.
+  NodeId register_endpoint(Endpoint* endpoint, const LinkSpec& spec);
+
+  /// Detach an endpoint; in-flight messages to it are dropped on arrival.
+  void unregister_endpoint(NodeId id);
+
+  /// Re-attach a previously registered node (e.g. a set-top box switched
+  /// back on). The endpoint pointer may differ from the original.
+  void reattach_endpoint(NodeId id, Endpoint* endpoint);
+
+  [[nodiscard]] bool attached(NodeId id) const;
+
+  /// Send `message` from `from` to `to`. Serialization + propagation
+  /// delays apply; delivery is an event with EventPriority::kDelivery.
+  void send(NodeId from, NodeId to, MessagePtr message);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t endpoint_count() const { return nodes_.size(); }
+
+  /// Time at which `node`'s uplink frees up (diagnostics/backpressure).
+  [[nodiscard]] sim::SimTime uplink_free_at(NodeId node) const;
+
+ private:
+  struct Node {
+    Endpoint* endpoint = nullptr;  // nullptr while detached
+    LinkSpec spec;
+    sim::SimTime uplink_busy_until;
+    sim::SimTime downlink_busy_until;
+  };
+
+  Node& node_at(NodeId id);
+  [[nodiscard]] const Node& node_at(NodeId id) const;
+
+  sim::Simulation& simulation_;
+  std::vector<Node> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace oddci::net

@@ -1,0 +1,140 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace oddci::sim {
+
+std::string SimTime::to_string() const {
+  const double s = seconds();
+  if (s >= 3600.0) return std::to_string(s / 3600.0) + " h";
+  if (s >= 60.0) return std::to_string(s / 60.0) + " min";
+  if (s >= 1.0) return std::to_string(s) + " s";
+  return std::to_string(millis()) + " ms";
+}
+
+EventId Simulation::schedule_at(SimTime t, Callback cb,
+                                EventPriority priority) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulation: scheduling into the past");
+  }
+  if (!cb) {
+    throw std::invalid_argument("Simulation: empty callback");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, static_cast<int>(priority), id});
+  pending_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Simulation::schedule_in(SimTime delay, Callback cb,
+                                EventPriority priority) {
+  if (delay < SimTime::zero()) {
+    throw std::invalid_argument("Simulation: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(cb), priority);
+}
+
+bool Simulation::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  ++events_cancelled_;
+  return true;
+}
+
+bool Simulation::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (pending_.count(e.id) > 0) {
+      out = e;
+      return true;
+    }
+    // Cancelled tombstone: drop and continue.
+  }
+  return false;
+}
+
+bool Simulation::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.time;
+  auto it = pending_.find(e.id);
+  Callback cb = std::move(it->second);
+  pending_.erase(it);
+  ++events_executed_;
+  cb();
+  return true;
+}
+
+void Simulation::run() {
+  stopping_ = false;
+  while (!stopping_ && step()) {
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulation: run_until into the past");
+  }
+  stopping_ = false;
+  for (;;) {
+    if (stopping_) return;
+    Entry e;
+    if (!pop_next(e)) break;
+    if (e.time > t) {
+      // Put the event back: it belongs to the future beyond the horizon.
+      queue_.push(e);
+      break;
+    }
+    now_ = e.time;
+    auto it = pending_.find(e.id);
+    Callback cb = std::move(it->second);
+    pending_.erase(it);
+    ++events_executed_;
+    cb();
+  }
+  now_ = t;
+}
+
+PeriodicTask::PeriodicTask(Simulation& simulation, SimTime start,
+                           SimTime period, std::function<void()> on_tick) {
+  if (period <= SimTime::zero()) {
+    throw std::invalid_argument("PeriodicTask: period must be positive");
+  }
+  state_ = std::make_shared<State>();
+  state_->simulation = &simulation;
+  state_->period = period;
+  state_->on_tick = std::move(on_tick);
+  state_->active = true;
+  arm(state_, start);
+}
+
+void PeriodicTask::arm(const std::shared_ptr<State>& state, SimTime at) {
+  std::weak_ptr<State> weak = state;
+  state->pending = state->simulation->schedule_at(
+      at,
+      [weak] {
+        auto s = weak.lock();
+        if (!s || !s->active) return;
+        s->has_pending = false;
+        s->on_tick();
+        if (s->active) {
+          arm(s, s->simulation->now() + s->period);
+        }
+      },
+      EventPriority::kTimer);
+  state->has_pending = true;
+}
+
+void PeriodicTask::cancel() {
+  if (!state_) return;
+  state_->active = false;
+  if (state_->has_pending) {
+    state_->simulation->cancel(state_->pending);
+    state_->has_pending = false;
+  }
+}
+
+}  // namespace oddci::sim

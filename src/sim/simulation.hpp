@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// Deterministic discrete-event simulation kernel.
+///
+/// Events are `(time, priority, sequence)`-ordered: ties at equal time break
+/// first on explicit priority (lower runs first), then on scheduling order,
+/// so a fixed seed replays the exact same trajectory.
+namespace oddci::sim {
+
+using EventId = std::uint64_t;
+
+/// Priorities for same-timestamp ordering. Network deliveries run before
+/// periodic timers so state observed by timers is up to date.
+enum class EventPriority : int {
+  kDelivery = 0,
+  kDefault = 10,
+  kTimer = 20,
+  kMonitor = 30,
+};
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()).
+  /// Throws std::invalid_argument on scheduling into the past.
+  EventId schedule_at(SimTime t, Callback cb,
+                      EventPriority priority = EventPriority::kDefault);
+
+  /// Schedule `cb` after `delay` (must be >= 0).
+  EventId schedule_in(SimTime delay, Callback cb,
+                      EventPriority priority = EventPriority::kDefault);
+
+  /// Cancel a pending event. Returns false if it already ran, was already
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains or stop() is called.
+  void run();
+
+  /// Run until simulated time reaches `t` (events at exactly `t` run).
+  /// The clock is left at `t` even if the queue drains earlier.
+  void run_until(SimTime t);
+
+  /// Execute the single next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Request the current run()/run_until() to return after the current
+  /// event completes.
+  void stop() { stopping_ = true; }
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
+
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return next_id_; }
+  [[nodiscard]] std::uint64_t events_cancelled() const {
+    return events_cancelled_;
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    int priority;
+    EventId id;
+    // std::priority_queue is a max-heap, so the comparator is reversed:
+    // "greater" entries pop later.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      if (priority != other.priority) return priority > other.priority;
+      return id > other.id;
+    }
+  };
+
+  /// Pops heap entries until a live (non-cancelled) one is found.
+  bool pop_next(Entry& out);
+
+  SimTime now_;
+  bool stopping_ = false;
+  EventId next_id_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t events_cancelled_ = 0;
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<EventId, Callback> pending_;
+};
+
+/// A repeating timer with a fixed period. Safe to destroy before or after
+/// the simulation finishes; cancel() stops future ticks.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+
+  /// Starts ticking at absolute time `start` and then every `period`.
+  /// The callback runs with EventPriority::kTimer.
+  PeriodicTask(Simulation& simulation, SimTime start, SimTime period,
+               std::function<void()> on_tick);
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  PeriodicTask(PeriodicTask&&) noexcept = default;
+  PeriodicTask& operator=(PeriodicTask&&) noexcept = default;
+  ~PeriodicTask() = default;
+
+  void cancel();
+  [[nodiscard]] bool active() const { return state_ && state_->active; }
+
+ private:
+  struct State {
+    Simulation* simulation = nullptr;
+    SimTime period;
+    std::function<void()> on_tick;
+    EventId pending = 0;
+    bool has_pending = false;
+    bool active = false;
+  };
+  static void arm(const std::shared_ptr<State>& state, SimTime at);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace oddci::sim

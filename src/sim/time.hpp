@@ -1,0 +1,74 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+/// Simulated time.
+///
+/// `SimTime` is a strong integer count of microseconds since the start of
+/// the simulation. Integer ticks (rather than floating-point seconds) keep
+/// event ordering exact and runs bit-reproducible. Conversions to/from
+/// floating-point seconds happen only at the model/reporting boundary.
+namespace oddci::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double millis() const {
+    return static_cast<double>(us_) / 1e3;
+  }
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime from_micros(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime from_millis(std::int64_t ms) {
+    return SimTime(ms * 1000);
+  }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime from_minutes(double m) {
+    return from_seconds(m * 60.0);
+  }
+  static constexpr SimTime from_hours(double h) {
+    return from_seconds(h * 3600.0);
+  }
+  /// Sentinel greater than every reachable simulation time.
+  static constexpr SimTime max() {
+    return SimTime(INT64_MAX);
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime d) {
+    us_ += d.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime d) {
+    us_ -= d.us_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.us_ + b.us_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.us_ - b.us_);
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.us_ * k);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace oddci::sim

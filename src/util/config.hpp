@@ -1,0 +1,42 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+/// Tiny `key = value` configuration parser used by the examples to make
+/// scenario parameters editable without recompiling. Supports comments
+/// (`#`), blank lines, and typed getters with defaults.
+namespace oddci::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text. Throws std::runtime_error on malformed lines.
+  static Config parse(const std::string& text);
+  /// Parse a file; throws std::runtime_error if unreadable.
+  static Config load(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace oddci::util

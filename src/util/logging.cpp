@@ -1,0 +1,42 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace oddci::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::clog << "[" << to_string(level) << "] " << component << ": " << message
+            << "\n";
+}
+
+LogStream::~LogStream() {
+  Logger::instance().log(level_, component_, os_.str());
+}
+
+}  // namespace oddci::util

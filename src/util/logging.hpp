@@ -1,0 +1,70 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+/// Minimal leveled, thread-safe logger.
+///
+/// The simulation hot path never logs; logging exists for the examples and
+/// for debugging protocol traces (level Trace).
+namespace oddci::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const std::string& component,
+           const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Streaming helper: LOG_AT(kInfo, "controller") << "instance " << id;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream();
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace oddci::util
+
+#define ODDCI_LOG(level, component)                                     \
+  if (!::oddci::util::Logger::instance().enabled(level)) {              \
+  } else                                                                \
+    ::oddci::util::LogStream(level, component)
+
+#define ODDCI_LOG_INFO(component) \
+  ODDCI_LOG(::oddci::util::LogLevel::kInfo, component)
+#define ODDCI_LOG_DEBUG(component) \
+  ODDCI_LOG(::oddci::util::LogLevel::kDebug, component)
+#define ODDCI_LOG_WARN(component) \
+  ODDCI_LOG(::oddci::util::LogLevel::kWarn, component)
+#define ODDCI_LOG_ERROR(component) \
+  ODDCI_LOG(::oddci::util::LogLevel::kError, component)

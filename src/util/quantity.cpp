@@ -1,0 +1,42 @@
+#include "util/quantity.hpp"
+
+#include <sstream>
+
+namespace oddci::util {
+
+std::string Bits::to_string() const {
+  std::ostringstream os;
+  const double b = bytes();
+  if (b >= 1024.0 * 1024.0) {
+    os << megabytes() << " MB";
+  } else if (b >= 1024.0) {
+    os << kilobytes() << " KB";
+  } else {
+    os << bits_ << " bits";
+  }
+  return os.str();
+}
+
+std::string BitRate::to_string() const {
+  std::ostringstream os;
+  if (bps_ >= 1e6) {
+    os << mbps() << " Mbps";
+  } else if (bps_ >= 1e3) {
+    os << kbps() << " Kbps";
+  } else {
+    os << bps_ << " bps";
+  }
+  return os.str();
+}
+
+double transmission_seconds(Bits data, BitRate rate) {
+  if (rate.bps() <= 0.0) {
+    throw std::invalid_argument("transmission_seconds: rate must be > 0");
+  }
+  if (data.count() < 0) {
+    throw std::invalid_argument("transmission_seconds: negative data size");
+  }
+  return static_cast<double>(data.count()) / rate.bps();
+}
+
+}  // namespace oddci::util

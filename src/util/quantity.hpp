@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+/// Strong quantity types for data sizes and rates.
+///
+/// The paper's evaluation mixes Mbits/s (channel capacities beta and delta)
+/// with MBytes (image sizes). Encoding the unit in the type makes the
+/// bandwidth arithmetic (e.g. W = 1.5 * I / beta) impossible to get wrong by
+/// a factor of eight.
+namespace oddci::util {
+
+/// A quantity of data measured in bits. Supports exact integer arithmetic.
+class Bits {
+ public:
+  constexpr Bits() = default;
+  constexpr explicit Bits(std::int64_t bits) : bits_(bits) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return bits_; }
+  [[nodiscard]] constexpr double bytes() const {
+    return static_cast<double>(bits_) / 8.0;
+  }
+  [[nodiscard]] constexpr double kilobytes() const { return bytes() / 1024.0; }
+  [[nodiscard]] constexpr double megabytes() const {
+    return bytes() / (1024.0 * 1024.0);
+  }
+
+  static constexpr Bits from_bytes(std::int64_t b) { return Bits(b * 8); }
+  static constexpr Bits from_kilobytes(std::int64_t kb) {
+    return from_bytes(kb * 1024);
+  }
+  static constexpr Bits from_megabytes(std::int64_t mb) {
+    return from_kilobytes(mb * 1024);
+  }
+
+  constexpr auto operator<=>(const Bits&) const = default;
+
+  constexpr Bits& operator+=(Bits o) {
+    bits_ += o.bits_;
+    return *this;
+  }
+  constexpr Bits& operator-=(Bits o) {
+    bits_ -= o.bits_;
+    return *this;
+  }
+
+  friend constexpr Bits operator+(Bits a, Bits b) {
+    return Bits(a.bits_ + b.bits_);
+  }
+  friend constexpr Bits operator-(Bits a, Bits b) {
+    return Bits(a.bits_ - b.bits_);
+  }
+  friend constexpr Bits operator*(Bits a, std::int64_t k) {
+    return Bits(a.bits_ * k);
+  }
+  friend constexpr Bits operator*(std::int64_t k, Bits a) { return a * k; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t bits_ = 0;
+};
+
+/// A data rate in bits per second.
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+  constexpr explicit BitRate(double bits_per_second)
+      : bps_(bits_per_second) {}
+
+  [[nodiscard]] constexpr double bps() const { return bps_; }
+  [[nodiscard]] constexpr double kbps() const { return bps_ / 1e3; }
+  [[nodiscard]] constexpr double mbps() const { return bps_ / 1e6; }
+
+  static constexpr BitRate from_kbps(double k) { return BitRate(k * 1e3); }
+  static constexpr BitRate from_mbps(double m) { return BitRate(m * 1e6); }
+
+  constexpr auto operator<=>(const BitRate&) const = default;
+
+  friend constexpr BitRate operator+(BitRate a, BitRate b) {
+    return BitRate(a.bps_ + b.bps_);
+  }
+  friend constexpr BitRate operator-(BitRate a, BitRate b) {
+    return BitRate(a.bps_ - b.bps_);
+  }
+  friend constexpr BitRate operator*(BitRate a, double k) {
+    return BitRate(a.bps_ * k);
+  }
+  friend constexpr BitRate operator*(double k, BitRate a) { return a * k; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double bps_ = 0.0;
+};
+
+/// Transmission time in seconds for `data` at `rate`.
+/// Throws std::invalid_argument for non-positive rates.
+[[nodiscard]] double transmission_seconds(Bits data, BitRate rate);
+
+}  // namespace oddci::util

@@ -1,0 +1,140 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace oddci::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) {
+    s = sm.next();
+  }
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+double Random::uniform() {
+  // 53-bit mantissa trick: uniform double in [0, 1).
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double Random::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Random::uniform_u64(std::uint64_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("uniform_u64: n must be > 0");
+  }
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  std::uint64_t x = gen_.next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = gen_.next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Random::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Random::exponential(double mean) {
+  if (mean <= 0.0) {
+    throw std::invalid_argument("exponential: mean must be > 0");
+  }
+  double u = uniform();
+  // Avoid log(0); uniform() < 1 guarantees 1-u > 0.
+  return -mean * std::log(1.0 - u);
+}
+
+double Random::weibull(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument("weibull: shape and scale must be > 0");
+  }
+  const double u = uniform();
+  return scale * std::pow(-std::log(1.0 - u), 1.0 / shape);
+}
+
+double Random::pareto(double alpha, double xm) {
+  if (alpha <= 0.0 || xm <= 0.0) {
+    throw std::invalid_argument("pareto: alpha and xm must be > 0");
+  }
+  const double u = uniform();
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+double Random::normal(double mean, double stddev) {
+  // Box-Muller without caching the second variate (keeps state minimal and
+  // split()-safe).
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Random::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+Random Random::split() {
+  Random child = *this;
+  child.gen_.jump();
+  // Also advance the parent so subsequent splits differ.
+  gen_.next();
+  return child;
+}
+
+}  // namespace oddci::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// ASCII table renderer used by the benchmark harnesses to print rows in
+/// the same layout as the paper's tables.
+namespace oddci::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oddci::util

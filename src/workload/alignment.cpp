@@ -1,0 +1,224 @@
+#include "workload/alignment.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace oddci::workload {
+
+void Scoring::validate() const {
+  if (match <= 0) {
+    throw std::invalid_argument("Scoring: match must be positive");
+  }
+  if (mismatch >= 0) {
+    throw std::invalid_argument("Scoring: mismatch must be negative");
+  }
+  if (gap_open >= 0 || gap_extend >= 0) {
+    throw std::invalid_argument("Scoring: gap penalties must be negative");
+  }
+}
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+}  // namespace
+
+AlignmentResult smith_waterman(std::string_view query,
+                               std::string_view subject,
+                               const Scoring& scoring) {
+  scoring.validate();
+  AlignmentResult best;
+  if (query.empty() || subject.empty()) return best;
+
+  const std::size_t m = query.size();
+  const std::size_t n = subject.size();
+
+  // Rolling rows: H (match/mismatch lattice), E (gap in subject, i.e. the
+  // query consumed), F (gap in query).
+  std::vector<int> h_prev(n + 1, 0), h_cur(n + 1, 0);
+  std::vector<int> e_prev(n + 1, kNegInf), e_cur(n + 1, kNegInf);
+  std::vector<int> f_cur(n + 1, kNegInf);
+
+  std::size_t best_i = 0, best_j = 0;
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    h_cur[0] = 0;
+    e_cur[0] = kNegInf;
+    f_cur[0] = kNegInf;
+    const char qc = query[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      // E: gap opened/extended vertically (advance in query only).
+      e_cur[j] = std::max(h_prev[j] + scoring.gap_open,
+                          e_prev[j] + scoring.gap_extend);
+      // F: gap opened/extended horizontally (advance in subject only).
+      f_cur[j] = std::max(h_cur[j - 1] + scoring.gap_open,
+                          f_cur[j - 1] + scoring.gap_extend);
+      const int sub =
+          h_prev[j - 1] +
+          (qc == subject[j - 1] ? scoring.match : scoring.mismatch);
+      int h = std::max({0, sub, e_cur[j], f_cur[j]});
+      h_cur[j] = h;
+      if (h > best.score) {
+        best.score = h;
+        best_i = i;
+        best_j = j;
+      }
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(e_prev, e_cur);
+  }
+
+  best.cells = static_cast<std::uint64_t>(m) * n;
+  best.query_end = best_i;
+  best.subject_end = best_j;
+  // Without a traceback matrix we bound the start by the best-case span
+  // (pure matches): report a conservative begin. Callers that need exact
+  // spans re-align the window (banded_align keeps full rows and could; the
+  // workload model only needs score + cells).
+  const auto span =
+      static_cast<std::size_t>(best.score / scoring.match);
+  best.query_begin = best_i >= span ? best_i - span : 0;
+  best.subject_begin = best_j >= span ? best_j - span : 0;
+  return best;
+}
+
+AlignmentResult ungapped_extend(std::string_view query,
+                                std::string_view subject, std::size_t q_pos,
+                                std::size_t s_pos, std::size_t seed_len,
+                                const Scoring& scoring, int x_drop) {
+  scoring.validate();
+  if (x_drop <= 0) {
+    throw std::invalid_argument("ungapped_extend: x_drop must be positive");
+  }
+  if (q_pos + seed_len > query.size() || s_pos + seed_len > subject.size()) {
+    throw std::invalid_argument("ungapped_extend: seed out of range");
+  }
+
+  AlignmentResult r;
+  const int seed_score = static_cast<int>(seed_len) * scoring.match;
+  std::uint64_t cells = seed_len;
+
+  // Right extension.
+  int best_right = 0;
+  std::size_t right = 0;
+  {
+    int run = 0;
+    std::size_t qi = q_pos + seed_len;
+    std::size_t sj = s_pos + seed_len;
+    std::size_t k = 0;
+    while (qi + k < query.size() && sj + k < subject.size()) {
+      run += query[qi + k] == subject[sj + k] ? scoring.match
+                                              : scoring.mismatch;
+      ++cells;
+      if (run > best_right) {
+        best_right = run;
+        right = k + 1;
+      } else if (best_right - run > x_drop) {
+        break;
+      }
+      ++k;
+    }
+  }
+
+  // Left extension.
+  int best_left = 0;
+  std::size_t left = 0;
+  {
+    int run = 0;
+    std::size_t k = 0;
+    while (k < q_pos && k < s_pos) {
+      run += query[q_pos - 1 - k] == subject[s_pos - 1 - k] ? scoring.match
+                                                            : scoring.mismatch;
+      ++cells;
+      if (run > best_left) {
+        best_left = run;
+        left = k + 1;
+      } else if (best_left - run > x_drop) {
+        break;
+      }
+      ++k;
+    }
+  }
+
+  r.score = seed_score + best_left + best_right;
+  r.query_begin = q_pos - left;
+  r.query_end = q_pos + seed_len + right;
+  r.subject_begin = s_pos - left;
+  r.subject_end = s_pos + seed_len + right;
+  r.cells = cells;
+  return r;
+}
+
+AlignmentResult banded_align(std::string_view query, std::string_view subject,
+                             const Scoring& scoring, int band) {
+  scoring.validate();
+  if (band <= 0) {
+    throw std::invalid_argument("banded_align: band must be positive");
+  }
+  AlignmentResult best;
+  if (query.empty() || subject.empty()) return best;
+
+  const auto m = static_cast<std::ptrdiff_t>(query.size());
+  const auto n = static_cast<std::ptrdiff_t>(subject.size());
+  const std::ptrdiff_t b = band;
+
+  // Band around the main diagonal j - i in [-b, b]; windows handed to this
+  // function are pre-trimmed by the seeded search so the anchor diagonal is
+  // the main diagonal of the window.
+  const std::size_t width = static_cast<std::size_t>(2 * b + 1);
+  std::vector<int> h_prev(width, 0), h_cur(width, 0);
+  std::vector<int> e_prev(width, kNegInf), e_cur(width, kNegInf);
+
+  std::uint64_t cells = 0;
+  std::size_t best_i = 0, best_j = 0;
+
+  for (std::ptrdiff_t i = 1; i <= m; ++i) {
+    int f = kNegInf;  // horizontal gap, carried within the row
+    for (std::ptrdiff_t d = -b; d <= b; ++d) {
+      const std::ptrdiff_t j = i + d;
+      const auto col = static_cast<std::size_t>(d + b);
+      if (j < 1 || j > n) {
+        h_cur[col] = 0;
+        e_cur[col] = kNegInf;
+        continue;
+      }
+      ++cells;
+      // In band coordinates: (i-1, j-1) is the same column; (i-1, j) is
+      // column+1; (i, j-1) is column-1.
+      const int diag = h_prev[col];
+      const int up = col + 1 < width ? h_prev[col + 1] : kNegInf;
+      const int e_up = col + 1 < width ? e_prev[col + 1] : kNegInf;
+      const int left = col > 0 ? h_cur[col - 1] : kNegInf;
+
+      const int e = std::max(up == kNegInf ? kNegInf : up + scoring.gap_open,
+                             e_up == kNegInf ? kNegInf
+                                             : e_up + scoring.gap_extend);
+      f = std::max(left == kNegInf ? kNegInf : left + scoring.gap_open,
+                   f == kNegInf ? kNegInf : f + scoring.gap_extend);
+      const int sub = diag + (query[static_cast<std::size_t>(i - 1)] ==
+                                      subject[static_cast<std::size_t>(j - 1)]
+                                  ? scoring.match
+                                  : scoring.mismatch);
+      const int h = std::max({0, sub, e, f});
+      h_cur[col] = h;
+      e_cur[col] = e;
+      if (h > best.score) {
+        best.score = h;
+        best_i = static_cast<std::size_t>(i);
+        best_j = static_cast<std::size_t>(j);
+      }
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(e_prev, e_cur);
+  }
+
+  best.cells = cells;
+  best.query_end = best_i;
+  best.subject_end = best_j;
+  const auto span = static_cast<std::size_t>(best.score / scoring.match);
+  best.query_begin = best_i >= span ? best_i - span : 0;
+  best.subject_begin = best_j >= span ? best_j - span : 0;
+  return best;
+}
+
+}  // namespace oddci::workload

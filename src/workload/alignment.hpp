@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// Pairwise local alignment: full Smith-Waterman with affine gaps, plus the
+/// X-drop extensions (ungapped and banded gapped) used by the seeded search.
+namespace oddci::workload {
+
+/// Nucleotide scoring scheme. Defaults follow blastn-style megablast
+/// parameters (match +2, mismatch -3, gap open -5, gap extend -2).
+struct Scoring {
+  int match = 2;
+  int mismatch = -3;
+  int gap_open = -5;    ///< cost of opening a gap (applied to first gap base)
+  int gap_extend = -2;  ///< cost per additional gap base
+
+  void validate() const;  ///< throws std::invalid_argument on nonsense
+};
+
+struct AlignmentResult {
+  int score = 0;
+  /// Half-open local alignment spans [begin, end) in query and subject.
+  std::size_t query_begin = 0;
+  std::size_t query_end = 0;
+  std::size_t subject_begin = 0;
+  std::size_t subject_end = 0;
+  /// Dynamic-programming cells evaluated — the workload-cost unit used by
+  /// the device-performance model.
+  std::uint64_t cells = 0;
+};
+
+/// Full Smith-Waterman with affine gaps over the complete DP matrix.
+/// O(|query|*|subject|) time, O(|subject|) space.
+[[nodiscard]] AlignmentResult smith_waterman(std::string_view query,
+                                             std::string_view subject,
+                                             const Scoring& scoring = {});
+
+/// Ungapped X-drop extension from an exact seed match of length `seed_len`
+/// anchored at query[q_pos], subject[s_pos]. Extends both directions until
+/// the running score drops more than `x_drop` below the best seen.
+[[nodiscard]] AlignmentResult ungapped_extend(std::string_view query,
+                                              std::string_view subject,
+                                              std::size_t q_pos,
+                                              std::size_t s_pos,
+                                              std::size_t seed_len,
+                                              const Scoring& scoring,
+                                              int x_drop);
+
+/// Banded gapped Smith-Waterman constrained to +-`band` diagonals around the
+/// anchor diagonal, over the window implied by the ungapped hit. Used as the
+/// refinement stage of the seeded search.
+[[nodiscard]] AlignmentResult banded_align(std::string_view query,
+                                           std::string_view subject,
+                                           const Scoring& scoring, int band);
+
+}  // namespace oddci::workload

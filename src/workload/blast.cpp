@@ -1,0 +1,209 @@
+#include "workload/blast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/sequence.hpp"
+
+namespace oddci::workload {
+
+namespace {
+// Karlin-Altschul parameters for match +2 / mismatch -3 (approximate blastn
+// values; adequate for ranking and reporting in a synthetic workload).
+constexpr double kLambda = 0.625;
+constexpr double kK = 0.41;
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+void BlastParams::validate() const {
+  scoring.validate();
+  if (word_size < 4 || word_size > 31) {
+    throw std::invalid_argument("BlastParams: word_size must be in [4,31]");
+  }
+  if (x_drop_ungapped <= 0 || gapped_trigger <= 0 || band <= 0 ||
+      min_report_score <= 0 || max_hits == 0) {
+    throw std::invalid_argument("BlastParams: non-positive parameter");
+  }
+}
+
+std::uint64_t BlastDatabase::pack_word(const std::string& s, std::size_t pos,
+                                       std::size_t word_size) {
+  std::uint64_t key = 0;
+  for (std::size_t k = 0; k < word_size; ++k) {
+    const std::uint8_t code = dna_code(s[pos + k]);
+    if (code == 0xFF) {
+      throw std::invalid_argument("pack_word: non-ACGT character");
+    }
+    key = (key << 2) | code;
+  }
+  return key;
+}
+
+BlastDatabase::BlastDatabase(std::vector<std::string> sequences,
+                             std::size_t word_size)
+    : sequences_(std::move(sequences)), word_size_(word_size) {
+  if (sequences_.empty()) {
+    throw std::invalid_argument("BlastDatabase: empty database");
+  }
+  if (word_size_ < 4 || word_size_ > 31) {
+    throw std::invalid_argument("BlastDatabase: word_size must be in [4,31]");
+  }
+  for (std::size_t i = 0; i < sequences_.size(); ++i) {
+    const std::string& s = sequences_[i];
+    if (!is_valid_dna(s)) {
+      throw std::invalid_argument("BlastDatabase: non-ACGT sequence");
+    }
+    total_residues_ += s.size();
+    if (s.size() < word_size_) continue;
+    // Rolling 2-bit pack over the sequence.
+    const std::uint64_t mask =
+        word_size_ == 32 ? ~0ULL : ((1ULL << (2 * word_size_)) - 1);
+    std::uint64_t key = 0;
+    for (std::size_t p = 0; p < s.size(); ++p) {
+      key = ((key << 2) | dna_code(s[p])) & mask;
+      if (p + 1 >= word_size_) {
+        index_[key].push_back(Posting{
+            static_cast<std::uint32_t>(i),
+            static_cast<std::uint32_t>(p + 1 - word_size_)});
+      }
+    }
+  }
+}
+
+const std::vector<BlastDatabase::Posting>* BlastDatabase::lookup(
+    std::uint64_t key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+double bit_score(int raw_score) {
+  return (kLambda * raw_score - std::log(kK)) / kLn2;
+}
+
+double expect_value(int raw_score, std::uint64_t query_len,
+                    std::uint64_t db_residues) {
+  const double search_space =
+      static_cast<double>(query_len) * static_cast<double>(db_residues);
+  return kK * search_space * std::exp(-kLambda * raw_score);
+}
+
+BlastResult blast_search(const std::string& query,
+                         const BlastDatabase& database,
+                         const BlastParams& params) {
+  params.validate();
+  if (params.word_size != database.word_size()) {
+    throw std::invalid_argument(
+        "blast_search: params word_size differs from database index");
+  }
+  if (query.size() < params.word_size) {
+    throw std::invalid_argument("blast_search: query shorter than word size");
+  }
+  if (!is_valid_dna(query)) {
+    throw std::invalid_argument("blast_search: non-ACGT query");
+  }
+
+  BlastResult result;
+  BlastSearchStats& st = result.stats;
+
+  // Best ungapped hit per (subject, diagonal) to avoid re-extending the same
+  // alignment from every seed along it. diagonal = s_pos - q_pos + qlen.
+  // For each subject we remember, per diagonal, the query end of the last
+  // extension; seeds inside an already-extended region are skipped.
+  std::unordered_map<std::uint64_t, std::size_t> diag_extent;
+  auto diag_key = [&](std::uint32_t subject, std::size_t q_pos,
+                      std::size_t s_pos) {
+    const std::uint64_t diag =
+        static_cast<std::uint64_t>(s_pos + query.size() - q_pos);
+    return (static_cast<std::uint64_t>(subject) << 40) ^ diag;
+  };
+
+  // Best gapped hit per subject.
+  std::unordered_map<std::uint32_t, BlastHit> best_per_subject;
+
+  const std::uint64_t mask = (1ULL << (2 * params.word_size)) - 1;
+  std::uint64_t key = 0;
+  for (std::size_t p = 0; p < query.size(); ++p) {
+    key = ((key << 2) | dna_code(query[p])) & mask;
+    if (p + 1 < params.word_size) continue;
+    const std::size_t q_pos = p + 1 - params.word_size;
+    ++st.words_looked_up;
+    const auto* postings = database.lookup(key);
+    if (postings == nullptr) continue;
+
+    for (const auto& post : *postings) {
+      ++st.seed_hits;
+      const std::uint64_t dk = diag_key(post.sequence, q_pos, post.position);
+      auto extent_it = diag_extent.find(dk);
+      if (extent_it != diag_extent.end() && q_pos < extent_it->second) {
+        continue;  // inside a previously extended region on this diagonal
+      }
+
+      const std::string& subject = database.sequence(post.sequence);
+      ++st.ungapped_extensions;
+      const AlignmentResult ungapped =
+          ungapped_extend(query, subject, q_pos, post.position,
+                          params.word_size, params.scoring,
+                          params.x_drop_ungapped);
+      st.cells += ungapped.cells;
+      diag_extent[dk] = ungapped.query_end;
+
+      if (ungapped.score < params.gapped_trigger) continue;
+
+      // Gapped refinement over a window around the ungapped hit.
+      const std::size_t margin = static_cast<std::size_t>(params.band) * 2;
+      const std::size_t qb =
+          ungapped.query_begin > margin ? ungapped.query_begin - margin : 0;
+      const std::size_t qe =
+          std::min(query.size(), ungapped.query_end + margin);
+      const std::size_t sb = ungapped.subject_begin > margin
+                                 ? ungapped.subject_begin - margin
+                                 : 0;
+      const std::size_t se =
+          std::min(subject.size(), ungapped.subject_end + margin);
+
+      ++st.gapped_extensions;
+      const AlignmentResult gapped = banded_align(
+          std::string_view(query).substr(qb, qe - qb),
+          std::string_view(subject).substr(sb, se - sb), params.scoring,
+          params.band);
+      st.cells += gapped.cells;
+
+      const int score = std::max(gapped.score, ungapped.score);
+      if (score < params.min_report_score) continue;
+
+      BlastHit hit;
+      hit.subject = post.sequence;
+      hit.score = score;
+      hit.bit_score = bit_score(score);
+      hit.evalue =
+          expect_value(score, query.size(), database.total_residues());
+      hit.query_begin = qb + gapped.query_begin;
+      hit.query_end = qb + gapped.query_end;
+      hit.subject_begin = sb + gapped.subject_begin;
+      hit.subject_end = sb + gapped.subject_end;
+
+      auto best_it = best_per_subject.find(post.sequence);
+      if (best_it == best_per_subject.end() ||
+          best_it->second.score < hit.score) {
+        best_per_subject[post.sequence] = hit;
+      }
+    }
+  }
+
+  result.hits.reserve(best_per_subject.size());
+  for (const auto& [subject, hit] : best_per_subject) {
+    result.hits.push_back(hit);
+  }
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const BlastHit& a, const BlastHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.subject < b.subject;
+            });
+  if (result.hits.size() > params.max_hits) {
+    result.hits.resize(params.max_hits);
+  }
+  return result;
+}
+
+}  // namespace oddci::workload

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/alignment.hpp"
+
+/// Seeded local-alignment search in the style of NCBI blastn: exact k-mer
+/// seeding against an indexed database, ungapped X-drop extension, banded
+/// gapped refinement, Karlin-Altschul significance estimates.
+namespace oddci::workload {
+
+struct BlastParams {
+  std::size_t word_size = 11;    ///< seed length (blastn default)
+  int x_drop_ungapped = 20;      ///< X-drop for ungapped extension
+  int gapped_trigger = 25;       ///< ungapped score that triggers gapped ext.
+  int band = 16;                 ///< half-band width for gapped refinement
+  int min_report_score = 30;     ///< minimum gapped score to report
+  std::size_t max_hits = 100;    ///< hit-list cap (best kept)
+  Scoring scoring;
+
+  void validate() const;
+};
+
+/// Pre-indexed subject database.
+class BlastDatabase {
+ public:
+  /// Builds a k-mer index over `sequences`. Throws on empty database,
+  /// non-ACGT content, or word sizes outside [4, 31].
+  BlastDatabase(std::vector<std::string> sequences, std::size_t word_size);
+
+  [[nodiscard]] std::size_t size() const { return sequences_.size(); }
+  [[nodiscard]] const std::string& sequence(std::size_t i) const {
+    return sequences_.at(i);
+  }
+  [[nodiscard]] std::uint64_t total_residues() const {
+    return total_residues_;
+  }
+  [[nodiscard]] std::size_t word_size() const { return word_size_; }
+
+  struct Posting {
+    std::uint32_t sequence;
+    std::uint32_t position;
+  };
+
+  /// Postings for a packed k-mer key; empty span if absent.
+  [[nodiscard]] const std::vector<Posting>* lookup(std::uint64_t key) const;
+
+  /// Pack `word_size` bases starting at s[pos] into a 2-bit key.
+  [[nodiscard]] static std::uint64_t pack_word(const std::string& s,
+                                               std::size_t pos,
+                                               std::size_t word_size);
+
+ private:
+  std::vector<std::string> sequences_;
+  std::size_t word_size_;
+  std::uint64_t total_residues_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Posting>> index_;
+};
+
+struct BlastHit {
+  std::uint32_t subject = 0;
+  int score = 0;
+  double bit_score = 0.0;
+  double evalue = 0.0;
+  std::size_t query_begin = 0, query_end = 0;
+  std::size_t subject_begin = 0, subject_end = 0;
+};
+
+struct BlastSearchStats {
+  std::uint64_t words_looked_up = 0;
+  std::uint64_t seed_hits = 0;
+  std::uint64_t ungapped_extensions = 0;
+  std::uint64_t gapped_extensions = 0;
+  std::uint64_t cells = 0;  ///< DP + extension cells (workload-cost unit)
+};
+
+struct BlastResult {
+  std::vector<BlastHit> hits;  ///< sorted by descending score
+  BlastSearchStats stats;
+};
+
+/// Run a seeded search of `query` against `database`.
+/// Throws std::invalid_argument if the query is shorter than the word size
+/// or the params' word size differs from the database index.
+[[nodiscard]] BlastResult blast_search(const std::string& query,
+                                       const BlastDatabase& database,
+                                       const BlastParams& params = {});
+
+/// Karlin-Altschul significance for nucleotide scoring (blastn-style
+/// constants): bit score and E-value for a raw score against a search space
+/// of `query_len * db_residues`.
+[[nodiscard]] double bit_score(int raw_score);
+[[nodiscard]] double expect_value(int raw_score, std::uint64_t query_len,
+                                  std::uint64_t db_residues);
+
+}  // namespace oddci::workload

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/quantity.hpp"
+
+/// Specifications of the paper's Section 4.4 micro-benchmarks (Tables II
+/// and III): 15 BLAST runs — 9 with small databases (#1-9), 3 with large
+/// databases (#10-12), and 3 remote BLASTCL3 runs (#13-15).
+///
+/// The paper does not disclose the exact query/database inputs, only the
+/// measured wall-clock times; and the reference hardware (ST7109 STB,
+/// Pentium Dual Core PC) is unavailable. We therefore (a) fix a reference-PC
+/// alignment throughput (DP cells per second, representative of NCBI blastn
+/// on 2006-era hardware), (b) choose per-test problem sizes whose cell
+/// counts reproduce the paper's PC-side times under that throughput, and
+/// (c) let the device model (20.6x in-use slowdown, 1.65x standby speedup)
+/// produce the STB columns. The per-test workloads are *real* — the bench
+/// executes the seeded search and reports measured host times alongside the
+/// modelled reference-PC times.
+namespace oddci::workload {
+
+/// Reference-PC effective alignment throughput (DP cells per second).
+/// Calibration constant: with this value, test #12's modelled PC time is
+/// ~1886 s, matching the paper's 38858 s STB-in-use figure / 20.6.
+inline constexpr double kReferencePcCellsPerSecond = 5.0e7;
+
+struct BlastTestSpec {
+  int id = 0;                    ///< paper test number (1..15)
+  std::string category;          ///< "small-db", "large-db", "remote"
+  std::size_t query_length = 0;
+  std::size_t db_sequences = 0;
+  std::size_t avg_sequence_length = 0;
+  bool remote = false;           ///< BLASTCL3: query shipped to a server
+  /// Paper-reported wall-clock seconds (reproduction targets; 0 where the
+  /// source scan is illegible).
+  double paper_stb_in_use_seconds = 0.0;
+  double paper_stb_standby_seconds = 0.0;
+
+  /// Effective DP-cell count model (query residues x database residues —
+  /// BLASTALL's search-space scaling unit).
+  [[nodiscard]] double modelled_cells() const;
+  /// Modelled wall-clock on the reference PC.
+  [[nodiscard]] double reference_pc_seconds() const;
+
+  [[nodiscard]] std::uint64_t db_residues() const {
+    return static_cast<std::uint64_t>(db_sequences) * avg_sequence_length;
+  }
+};
+
+/// Tests #1-12 (Table II: BLASTALL, local processing).
+[[nodiscard]] std::vector<BlastTestSpec> table2_specs();
+
+/// Tests #13-15 (Table III: BLASTCL3, remote processing). The source scan
+/// of the paper is illegible for Table III's numbers; the reproduction
+/// targets the *structural* result instead: remote runs are network/server
+/// bound, so the STB/PC gap collapses to ~1 (see EXPERIMENTS.md).
+[[nodiscard]] std::vector<BlastTestSpec> table3_specs();
+
+}  // namespace oddci::workload

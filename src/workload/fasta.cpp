@@ -1,0 +1,86 @@
+#include "workload/fasta.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oddci::workload {
+
+std::vector<FastaRecord> parse_fasta(const std::string& text) {
+  std::vector<FastaRecord> records;
+  std::istringstream in(text);
+  std::string line;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      FastaRecord rec;
+      const std::string header = line.substr(1);
+      const auto space = header.find_first_of(" \t");
+      if (space == std::string::npos) {
+        rec.id = header;
+      } else {
+        rec.id = header.substr(0, space);
+        const auto rest = header.find_first_not_of(" \t", space);
+        if (rest != std::string::npos) rec.description = header.substr(rest);
+      }
+      if (rec.id.empty()) {
+        throw std::runtime_error("parse_fasta: empty record id");
+      }
+      records.push_back(std::move(rec));
+      have_record = true;
+    } else {
+      if (!have_record) {
+        throw std::runtime_error("parse_fasta: sequence before any header");
+      }
+      records.back().sequence += line;
+    }
+  }
+  for (const auto& rec : records) {
+    if (rec.sequence.empty()) {
+      throw std::runtime_error("parse_fasta: record '" + rec.id +
+                               "' has no sequence");
+    }
+  }
+  return records;
+}
+
+std::string write_fasta(const std::vector<FastaRecord>& records,
+                        std::size_t width) {
+  if (width == 0) {
+    throw std::invalid_argument("write_fasta: width must be > 0");
+  }
+  std::ostringstream out;
+  for (const auto& rec : records) {
+    out << '>' << rec.id;
+    if (!rec.description.empty()) out << ' ' << rec.description;
+    out << '\n';
+    for (std::size_t i = 0; i < rec.sequence.size(); i += width) {
+      out << rec.sequence.substr(i, width) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::vector<FastaRecord> load_fasta_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::runtime_error("load_fasta_file: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_fasta(ss.str());
+}
+
+void save_fasta_file(const std::string& path,
+                     const std::vector<FastaRecord>& records,
+                     std::size_t width) {
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("save_fasta_file: cannot open " + path);
+  }
+  f << write_fasta(records, width);
+}
+
+}  // namespace oddci::workload

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// Minimal FASTA reader/writer — the interchange format the BLAST workload
+/// uses for queries and databases (as the NCBI toolkit does).
+namespace oddci::workload {
+
+struct FastaRecord {
+  std::string id;           ///< first token after '>'
+  std::string description;  ///< remainder of the header line
+  std::string sequence;
+};
+
+/// Parse FASTA text. Throws std::runtime_error on structural errors
+/// (sequence data before any header, empty record).
+[[nodiscard]] std::vector<FastaRecord> parse_fasta(const std::string& text);
+
+/// Serialize records, wrapping sequence lines at `width` characters.
+[[nodiscard]] std::string write_fasta(const std::vector<FastaRecord>& records,
+                                      std::size_t width = 70);
+
+/// Read/parse a file. Throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<FastaRecord> load_fasta_file(
+    const std::string& path);
+
+void save_fasta_file(const std::string& path,
+                     const std::vector<FastaRecord>& records,
+                     std::size_t width = 70);
+
+}  // namespace oddci::workload

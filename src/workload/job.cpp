@@ -1,0 +1,118 @@
+#include "workload/job.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oddci::workload {
+
+double Job::avg_input_bits() const {
+  if (tasks.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& t : tasks) s += static_cast<double>(t.input_size.count());
+  return s / static_cast<double>(tasks.size());
+}
+
+double Job::avg_result_bits() const {
+  if (tasks.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& t : tasks) s += static_cast<double>(t.result_size.count());
+  return s / static_cast<double>(tasks.size());
+}
+
+double Job::avg_reference_seconds() const {
+  if (tasks.empty()) return 0.0;
+  return total_reference_seconds() / static_cast<double>(tasks.size());
+}
+
+double Job::total_reference_seconds() const {
+  double s = 0.0;
+  for (const auto& t : tasks) s += t.reference_seconds;
+  return s;
+}
+
+void Job::validate() const {
+  if (tasks.empty()) {
+    throw std::invalid_argument("Job: must have at least one task");
+  }
+  if (image_size.count() <= 0) {
+    throw std::invalid_argument("Job: image size must be positive");
+  }
+  for (const auto& t : tasks) {
+    if (t.input_size.count() < 0 || t.result_size.count() < 0) {
+      throw std::invalid_argument("Job: negative task payload");
+    }
+    if (t.reference_seconds <= 0.0) {
+      throw std::invalid_argument("Job: task processing time must be > 0");
+    }
+  }
+}
+
+double suitability(const Job& job, util::BitRate delta) {
+  if (delta.bps() <= 0.0) {
+    throw std::invalid_argument("suitability: delta must be > 0");
+  }
+  const double payload = job.avg_input_bits() + job.avg_result_bits();
+  const double p = job.avg_reference_seconds();
+  if (p <= 0.0) {
+    throw std::invalid_argument("suitability: zero average processing time");
+  }
+  if (payload <= 0.0) {
+    // A purely parametric application with no I/O at all: infinitely
+    // suitable.
+    return std::numeric_limits<double>::infinity();
+  }
+  return delta.bps() * p / payload;
+}
+
+Job make_uniform_job(const std::string& name, util::Bits image_size,
+                     std::size_t n, util::Bits input_size,
+                     util::Bits result_size, double reference_seconds) {
+  Job job;
+  job.name = name;
+  job.image_size = image_size;
+  job.tasks.assign(n, Task{input_size, result_size, reference_seconds});
+  job.validate();
+  return job;
+}
+
+Job make_job_for_suitability(const std::string& name, util::Bits image_size,
+                             std::size_t n, util::Bits payload_bits,
+                             util::BitRate delta, double phi) {
+  if (phi <= 0.0) {
+    throw std::invalid_argument("make_job_for_suitability: phi must be > 0");
+  }
+  if (payload_bits.count() <= 0) {
+    throw std::invalid_argument(
+        "make_job_for_suitability: payload must be positive");
+  }
+  // Phi = delta * p / (s + r)  =>  p = Phi * (s + r) / delta.
+  // Split the payload evenly between input and result.
+  const double p =
+      phi * static_cast<double>(payload_bits.count()) / delta.bps();
+  const util::Bits half(payload_bits.count() / 2);
+  const util::Bits rest(payload_bits.count() - half.count());
+  return make_uniform_job(name, image_size, n, half, rest, p);
+}
+
+Job make_lognormal_job(const std::string& name, util::Bits image_size,
+                       std::size_t n, util::Bits input_size,
+                       util::Bits result_size,
+                       double median_reference_seconds, double sigma,
+                       util::Random& rng) {
+  if (median_reference_seconds <= 0.0 || sigma < 0.0) {
+    throw std::invalid_argument("make_lognormal_job: bad duration params");
+  }
+  Job job;
+  job.name = name;
+  job.image_size = image_size;
+  job.tasks.reserve(n);
+  const double mu = std::log(median_reference_seconds);
+  for (std::size_t i = 0; i < n; ++i) {
+    job.tasks.push_back(
+        Task{input_size, result_size, rng.lognormal(mu, sigma)});
+  }
+  job.validate();
+  return job;
+}
+
+}  // namespace oddci::workload

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/quantity.hpp"
+#include "util/rng.hpp"
+
+/// The paper's MTC application model: a job is a tuple J = (I, n, T, R)
+/// where I is the image size in bits, n the number of independent tasks,
+/// T = {t_1..t_n} the tasks (each t = (s, p): input size in bits and
+/// processing time on a reference set-top box... in our formulation p is
+/// expressed on the *reference PC* and scaled by device profiles), and
+/// R = {r_1..r_n} the result sizes in bits.
+namespace oddci::workload {
+
+struct Task {
+  util::Bits input_size;    ///< t.s — bits fetched from the Backend (0 for
+                            ///< parametric applications)
+  util::Bits result_size;   ///< r — bits returned to the Backend
+  double reference_seconds; ///< t.p — processing time on the reference node
+};
+
+struct Job {
+  std::string name;
+  util::Bits image_size;  ///< I — the application image broadcast via carousel
+  std::vector<Task> tasks;
+
+  [[nodiscard]] std::size_t task_count() const { return tasks.size(); }
+  [[nodiscard]] double avg_input_bits() const;
+  [[nodiscard]] double avg_result_bits() const;
+  [[nodiscard]] double avg_reference_seconds() const;
+  [[nodiscard]] double total_reference_seconds() const;
+
+  /// Throws std::invalid_argument if the job is malformed (no tasks,
+  /// non-positive image, negative task fields).
+  void validate() const;
+};
+
+/// Suitability Φ = (δ · p̄) / (s + r): compute per unit of communication.
+/// The lower the value, the less suitable the application for an OddCI-DTV
+/// (communication-heavy relative to compute). See analytical/models.hpp for
+/// why this is the *corrected* orientation of the paper's printed formula.
+[[nodiscard]] double suitability(const Job& job, util::BitRate delta);
+
+/// Build a job with n identical tasks.
+[[nodiscard]] Job make_uniform_job(const std::string& name,
+                                   util::Bits image_size, std::size_t n,
+                                   util::Bits input_size,
+                                   util::Bits result_size,
+                                   double reference_seconds);
+
+/// Build a job whose average task matches a target suitability Φ given the
+/// direct-channel capacity δ and the per-task payload (s + r):
+/// p̄ = Φ · (s + r) / δ. Used by the Figure 6/7 sweeps.
+[[nodiscard]] Job make_job_for_suitability(const std::string& name,
+                                           util::Bits image_size,
+                                           std::size_t n,
+                                           util::Bits payload_bits,
+                                           util::BitRate delta, double phi);
+
+/// Build a job with lognormally distributed task durations around
+/// `median_reference_seconds` with the given sigma (heterogeneity study).
+[[nodiscard]] Job make_lognormal_job(const std::string& name,
+                                     util::Bits image_size, std::size_t n,
+                                     util::Bits input_size,
+                                     util::Bits result_size,
+                                     double median_reference_seconds,
+                                     double sigma, util::Random& rng);
+
+}  // namespace oddci::workload

@@ -1,0 +1,180 @@
+#include "workload/protein.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace oddci::workload {
+
+namespace {
+
+// BLOSUM62, rows/cols in kAminoAcids order: A R N D C Q E G H I L K M F P S
+// T W Y V.
+constexpr int kBlosum62[20][20] = {
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+    {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+    {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+    {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+    {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+    {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+    {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+    {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+    {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+    {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+    {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+    {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+    {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+    {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+    {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+    {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+    {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+    {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+    {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},
+    {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},
+};
+
+// Approximate Robinson-Robinson residue background frequencies, in
+// kAminoAcids order (A R N D C Q E G H I L K M F P S T W Y V).
+constexpr double kBackground[20] = {
+    0.078, 0.051, 0.045, 0.054, 0.019, 0.043, 0.063, 0.074, 0.022, 0.051,
+    0.090, 0.057, 0.022, 0.039, 0.052, 0.071, 0.058, 0.013, 0.032, 0.066,
+};
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+}  // namespace
+
+std::uint8_t amino_index(char residue) {
+  switch (residue) {
+    case 'A': return 0;
+    case 'R': return 1;
+    case 'N': return 2;
+    case 'D': return 3;
+    case 'C': return 4;
+    case 'Q': return 5;
+    case 'E': return 6;
+    case 'G': return 7;
+    case 'H': return 8;
+    case 'I': return 9;
+    case 'L': return 10;
+    case 'K': return 11;
+    case 'M': return 12;
+    case 'F': return 13;
+    case 'P': return 14;
+    case 'S': return 15;
+    case 'T': return 16;
+    case 'W': return 17;
+    case 'Y': return 18;
+    case 'V': return 19;
+    default: return 0xFF;
+  }
+}
+
+bool is_valid_protein(std::string_view s) {
+  for (char c : s) {
+    if (amino_index(c) == 0xFF) return false;
+  }
+  return true;
+}
+
+int blosum62(char a, char b) {
+  const std::uint8_t i = amino_index(a);
+  const std::uint8_t j = amino_index(b);
+  if (i == 0xFF || j == 0xFF) {
+    throw std::invalid_argument("blosum62: non-amino-acid residue");
+  }
+  return kBlosum62[i][j];
+}
+
+void ProteinScoring::validate() const {
+  if (gap_open >= 0 || gap_extend >= 0) {
+    throw std::invalid_argument(
+        "ProteinScoring: gap penalties must be negative");
+  }
+}
+
+AlignmentResult smith_waterman_protein(std::string_view query,
+                                       std::string_view subject,
+                                       const ProteinScoring& scoring) {
+  scoring.validate();
+  AlignmentResult best;
+  if (query.empty() || subject.empty()) return best;
+  if (!is_valid_protein(query) || !is_valid_protein(subject)) {
+    throw std::invalid_argument("smith_waterman_protein: invalid residue");
+  }
+
+  const std::size_t m = query.size();
+  const std::size_t n = subject.size();
+
+  std::vector<int> h_prev(n + 1, 0), h_cur(n + 1, 0);
+  std::vector<int> e_prev(n + 1, kNegInf), e_cur(n + 1, kNegInf);
+
+  std::size_t best_i = 0, best_j = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    int f = kNegInf;
+    const std::uint8_t qi = amino_index(query[i - 1]);
+    for (std::size_t j = 1; j <= n; ++j) {
+      e_cur[j] = std::max(h_prev[j] + scoring.gap_open,
+                          e_prev[j] + scoring.gap_extend);
+      f = std::max(h_cur[j - 1] + scoring.gap_open, f + scoring.gap_extend);
+      const int sub =
+          h_prev[j - 1] + kBlosum62[qi][amino_index(subject[j - 1])];
+      const int v = std::max({0, sub, e_cur[j], f});
+      h_cur[j] = v;
+      if (v > best.score) {
+        best.score = v;
+        best_i = i;
+        best_j = j;
+      }
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(e_prev, e_cur);
+  }
+  best.cells = static_cast<std::uint64_t>(m) * n;
+  best.query_end = best_i;
+  best.subject_end = best_j;
+  return best;
+}
+
+ProteinGenerator::ProteinGenerator(std::uint64_t seed) : rng_(seed) {
+  double total = 0.0;
+  for (double f : kBackground) total += f;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    acc += kBackground[i] / total;
+    cumulative_[i] = acc;
+  }
+  cumulative_[19] = 1.0;
+}
+
+std::string ProteinGenerator::random_protein(std::size_t length) {
+  std::string s;
+  s.resize(length);
+  for (auto& c : s) {
+    const double u = rng_.uniform();
+    std::size_t i = 0;
+    while (i < 19 && u > cumulative_[i]) ++i;
+    c = kAminoAcids[i];
+  }
+  return s;
+}
+
+std::string ProteinGenerator::mutate(std::string_view source, double rate) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("ProteinGenerator: rate out of [0,1]");
+  }
+  std::string out(source);
+  for (auto& c : out) {
+    if (rng_.bernoulli(rate)) {
+      const double u = rng_.uniform();
+      std::size_t i = 0;
+      while (i < 19 && u > cumulative_[i]) ++i;
+      c = kAminoAcids[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace oddci::workload

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+#include "workload/alignment.hpp"
+
+/// Protein alignment support: the 20-letter amino-acid alphabet and the
+/// BLOSUM62 substitution matrix (the paper's prototype ran protein BLAST —
+/// "amino-acid sequences of different proteins").
+namespace oddci::workload {
+
+inline constexpr std::string_view kAminoAcids = "ARNDCQEGHILKMFPSTWYV";
+
+/// Index of an amino acid in kAminoAcids order; 0xFF for invalid letters.
+[[nodiscard]] std::uint8_t amino_index(char residue);
+
+[[nodiscard]] bool is_valid_protein(std::string_view s);
+
+/// BLOSUM62 substitution score between two residues.
+/// Throws std::invalid_argument on non-amino-acid input.
+[[nodiscard]] int blosum62(char a, char b);
+
+/// Protein gap penalties (BLAST defaults: existence 11, extension 1).
+struct ProteinScoring {
+  int gap_open = -11;
+  int gap_extend = -1;
+
+  void validate() const;
+};
+
+/// Full local alignment under BLOSUM62 with affine gaps.
+/// O(|query|*|subject|) time, O(|subject|) space.
+[[nodiscard]] AlignmentResult smith_waterman_protein(
+    std::string_view query, std::string_view subject,
+    const ProteinScoring& scoring = {});
+
+/// Synthetic protein sequences with realistic residue frequencies
+/// (approximate Robinson-Robinson background distribution).
+class ProteinGenerator {
+ public:
+  explicit ProteinGenerator(std::uint64_t seed);
+
+  [[nodiscard]] std::string random_protein(std::size_t length);
+
+  /// Point-mutate: each residue substituted with `rate` probability; the
+  /// substitute is drawn from the background distribution.
+  [[nodiscard]] std::string mutate(std::string_view source, double rate);
+
+ private:
+  util::Random rng_;
+  std::array<double, 20> cumulative_{};
+};
+
+}  // namespace oddci::workload

@@ -1,0 +1,122 @@
+#include "workload/sequence.hpp"
+
+#include <stdexcept>
+
+namespace oddci::workload {
+
+std::uint8_t dna_code(char base) {
+  switch (base) {
+    case 'A':
+    case 'a':
+      return 0;
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      return 0xFF;
+  }
+}
+
+char dna_char(std::uint8_t code) {
+  if (code > 3) {
+    throw std::invalid_argument("dna_char: code out of range");
+  }
+  return kDnaAlphabet[code];
+}
+
+bool is_valid_dna(std::string_view s) {
+  for (char c : s) {
+    if (dna_code(c) == 0xFF) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_dna(std::string_view s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const std::uint8_t code = dna_code(c);
+    if (code == 0xFF) {
+      throw std::invalid_argument("encode_dna: non-ACGT character");
+    }
+    out.push_back(code);
+  }
+  return out;
+}
+
+std::string reverse_complement(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (auto it = s.rbegin(); it != s.rend(); ++it) {
+    const std::uint8_t code = dna_code(*it);
+    if (code == 0xFF) {
+      throw std::invalid_argument("reverse_complement: non-ACGT character");
+    }
+    out.push_back(dna_char(static_cast<std::uint8_t>(3 - code)));
+  }
+  return out;
+}
+
+std::string SequenceGenerator::random_dna(std::size_t length) {
+  std::string s;
+  s.resize(length);
+  for (auto& c : s) {
+    c = kDnaAlphabet[rng_.uniform_u64(4)];
+  }
+  return s;
+}
+
+std::string SequenceGenerator::mutate(std::string_view source,
+                                      double substitution_rate,
+                                      double indel_rate) {
+  if (substitution_rate < 0.0 || substitution_rate > 1.0 || indel_rate < 0.0 ||
+      indel_rate > 1.0) {
+    throw std::invalid_argument("mutate: rates must be in [0,1]");
+  }
+  std::string out;
+  out.reserve(source.size() + source.size() / 8);
+  for (char c : source) {
+    if (rng_.bernoulli(indel_rate)) {
+      if (rng_.bernoulli(0.5)) {
+        // Insertion: emit a random base, then the original.
+        out.push_back(kDnaAlphabet[rng_.uniform_u64(4)]);
+      } else {
+        // Deletion: skip the original base.
+        continue;
+      }
+    }
+    if (rng_.bernoulli(substitution_rate)) {
+      const std::uint8_t original = dna_code(c);
+      // Pick one of the three *other* bases.
+      const auto shift = 1 + rng_.uniform_u64(3);
+      out.push_back(dna_char(static_cast<std::uint8_t>(
+          (original + shift) & 0x3)));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SequenceGenerator::random_database(
+    std::size_t count, std::size_t min_length, std::size_t max_length) {
+  if (min_length == 0 || max_length < min_length) {
+    throw std::invalid_argument("random_database: bad length range");
+  }
+  std::vector<std::string> db;
+  db.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len =
+        min_length + rng_.uniform_u64(max_length - min_length + 1);
+    db.push_back(random_dna(len));
+  }
+  return db;
+}
+
+}  // namespace oddci::workload

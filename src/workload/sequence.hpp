@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+/// Nucleotide sequence utilities for the BLAST-like workload.
+///
+/// The paper's STB micro-benchmarks ran NCBI BLAST over protein/DNA
+/// databases. We reproduce the workload with a genuine local-alignment
+/// engine over synthetic DNA; sequences are plain `std::string`s over the
+/// alphabet {A, C, G, T} with a 2-bit packed encoding for k-mer indexing.
+namespace oddci::workload {
+
+inline constexpr std::string_view kDnaAlphabet = "ACGT";
+
+/// Map base -> 2-bit code. Returns 0xFF for non-ACGT characters.
+[[nodiscard]] std::uint8_t dna_code(char base);
+
+/// Inverse of dna_code for codes 0..3.
+[[nodiscard]] char dna_char(std::uint8_t code);
+
+/// True iff every character of `s` is one of A/C/G/T.
+[[nodiscard]] bool is_valid_dna(std::string_view s);
+
+/// Encode to 2-bit codes; throws std::invalid_argument on non-ACGT input.
+[[nodiscard]] std::vector<std::uint8_t> encode_dna(std::string_view s);
+
+/// Reverse complement (A<->T, C<->G, reversed).
+[[nodiscard]] std::string reverse_complement(std::string_view s);
+
+/// Deterministic synthetic-sequence generator.
+class SequenceGenerator {
+ public:
+  explicit SequenceGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Uniform random DNA of the given length.
+  [[nodiscard]] std::string random_dna(std::size_t length);
+
+  /// Copy of `source` with point substitutions at `substitution_rate` and
+  /// single-base indels at `indel_rate` (both per-position probabilities).
+  /// Used to plant homologous sequences a search should find.
+  [[nodiscard]] std::string mutate(std::string_view source,
+                                   double substitution_rate,
+                                   double indel_rate);
+
+  /// A database of `count` random sequences with lengths drawn uniformly
+  /// from [min_length, max_length].
+  [[nodiscard]] std::vector<std::string> random_database(
+      std::size_t count, std::size_t min_length, std::size_t max_length);
+
+  util::Random& rng() { return rng_; }
+
+ private:
+  util::Random rng_;
+};
+
+}  // namespace oddci::workload

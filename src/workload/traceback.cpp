@@ -1,0 +1,207 @@
+#include "workload/traceback.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace oddci::workload {
+
+std::size_t Alignment::matches() const {
+  std::size_t n = 0;
+  for (char c : midline) {
+    if (c == '|') ++n;
+  }
+  return n;
+}
+
+std::size_t Alignment::mismatches() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < midline.size(); ++i) {
+    if (midline[i] == ' ' && query_aligned[i] != '-' &&
+        subject_aligned[i] != '-') {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Alignment::gaps() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < query_aligned.size(); ++i) {
+    if (query_aligned[i] == '-' || subject_aligned[i] == '-') ++n;
+  }
+  return n;
+}
+
+double Alignment::identity() const {
+  if (midline.empty()) return 0.0;
+  return static_cast<double>(matches()) /
+         static_cast<double>(midline.size());
+}
+
+namespace {
+
+enum class Move : std::uint8_t { kStop = 0, kDiag, kUp, kLeft };
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+}  // namespace
+
+Alignment smith_waterman_traceback(std::string_view query,
+                                   std::string_view subject,
+                                   const Scoring& scoring,
+                                   std::uint64_t max_cells) {
+  scoring.validate();
+  Alignment out;
+  if (query.empty() || subject.empty()) return out;
+
+  const std::size_t m = query.size();
+  const std::size_t n = subject.size();
+  if (static_cast<std::uint64_t>(m) * n > max_cells) {
+    throw std::invalid_argument(
+        "smith_waterman_traceback: matrix exceeds max_cells");
+  }
+
+  // Full H matrix plus a move matrix; affine gaps with E/F rolling rows.
+  std::vector<int> h((m + 1) * (n + 1), 0);
+  std::vector<Move> moves((m + 1) * (n + 1), Move::kStop);
+  std::vector<int> e_prev(n + 1, kNegInf), e_cur(n + 1, kNegInf);
+
+  auto at = [n](std::size_t i, std::size_t j) { return i * (n + 1) + j; };
+
+  int best = 0;
+  std::size_t best_i = 0, best_j = 0;
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    int f = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      e_cur[j] = std::max(h[at(i - 1, j)] + scoring.gap_open,
+                          e_prev[j] + scoring.gap_extend);
+      f = std::max(h[at(i, j - 1)] + scoring.gap_open,
+                   f + scoring.gap_extend);
+      const int sub = h[at(i - 1, j - 1)] +
+                      (query[i - 1] == subject[j - 1] ? scoring.match
+                                                      : scoring.mismatch);
+      int v = 0;
+      Move move = Move::kStop;
+      if (sub > v) {
+        v = sub;
+        move = Move::kDiag;
+      }
+      if (e_cur[j] > v) {
+        v = e_cur[j];
+        move = Move::kUp;
+      }
+      if (f > v) {
+        v = f;
+        move = Move::kLeft;
+      }
+      h[at(i, j)] = v;
+      moves[at(i, j)] = move;
+      if (v > best) {
+        best = v;
+        best_i = i;
+        best_j = j;
+      }
+    }
+    std::swap(e_prev, e_cur);
+  }
+
+  out.summary.score = best;
+  out.summary.cells = static_cast<std::uint64_t>(m) * n;
+  out.summary.query_end = best_i;
+  out.summary.subject_end = best_j;
+  if (best == 0) return out;
+
+  // Walk back from the maximum until a zero cell.
+  std::string q_rev, s_rev, mid_rev;
+  std::size_t i = best_i, j = best_j;
+  while (i > 0 && j > 0 && moves[at(i, j)] != Move::kStop) {
+    switch (moves[at(i, j)]) {
+      case Move::kDiag:
+        q_rev.push_back(query[i - 1]);
+        s_rev.push_back(subject[j - 1]);
+        mid_rev.push_back(query[i - 1] == subject[j - 1] ? '|' : ' ');
+        --i;
+        --j;
+        break;
+      case Move::kUp:  // gap in subject (consume query)
+        q_rev.push_back(query[i - 1]);
+        s_rev.push_back('-');
+        mid_rev.push_back(' ');
+        --i;
+        break;
+      case Move::kLeft:  // gap in query (consume subject)
+        q_rev.push_back('-');
+        s_rev.push_back(subject[j - 1]);
+        mid_rev.push_back(' ');
+        --j;
+        break;
+      case Move::kStop:
+        break;
+    }
+  }
+  out.summary.query_begin = i;
+  out.summary.subject_begin = j;
+
+  std::reverse(q_rev.begin(), q_rev.end());
+  std::reverse(s_rev.begin(), s_rev.end());
+  std::reverse(mid_rev.begin(), mid_rev.end());
+  out.query_aligned = std::move(q_rev);
+  out.subject_aligned = std::move(s_rev);
+  out.midline = std::move(mid_rev);
+
+  // CIGAR (SAM semantics: M = aligned pair, I = insertion to subject
+  // i.e. query base absent from subject, D = deletion from query).
+  std::ostringstream cigar;
+  char op = 0;
+  std::size_t run = 0;
+  auto flush = [&] {
+    if (run > 0) cigar << run << op;
+  };
+  for (std::size_t k = 0; k < out.query_aligned.size(); ++k) {
+    char current;
+    if (out.query_aligned[k] == '-') {
+      current = 'D';
+    } else if (out.subject_aligned[k] == '-') {
+      current = 'I';
+    } else {
+      current = 'M';
+    }
+    if (current == op) {
+      ++run;
+    } else {
+      flush();
+      op = current;
+      run = 1;
+    }
+  }
+  flush();
+  out.cigar = cigar.str();
+  return out;
+}
+
+std::string format_alignment(const Alignment& alignment, std::size_t width) {
+  if (width == 0) {
+    throw std::invalid_argument("format_alignment: width must be > 0");
+  }
+  std::ostringstream os;
+  os << "Score " << alignment.summary.score << ", identity "
+     << static_cast<int>(alignment.identity() * 100.0 + 0.5) << "% ("
+     << alignment.matches() << "/" << alignment.midline.size()
+     << "), CIGAR " << alignment.cigar << "\n";
+  for (std::size_t start = 0; start < alignment.query_aligned.size();
+       start += width) {
+    const std::size_t len =
+        std::min(width, alignment.query_aligned.size() - start);
+    os << "Query  " << alignment.query_aligned.substr(start, len) << "\n"
+       << "       " << alignment.midline.substr(start, len) << "\n"
+       << "Sbjct  " << alignment.subject_aligned.substr(start, len) << "\n";
+    if (start + len < alignment.query_aligned.size()) os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace oddci::workload

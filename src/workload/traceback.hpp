@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "workload/alignment.hpp"
+
+/// Full Smith-Waterman with traceback: reconstructs the actual alignment
+/// (gapped strings + CIGAR), not just the score. O(m*n) memory — intended
+/// for result *presentation* on hits the seeded search found, not for
+/// database scans.
+namespace oddci::workload {
+
+struct Alignment {
+  AlignmentResult summary;
+  std::string query_aligned;    ///< query with '-' for gaps
+  std::string subject_aligned;  ///< subject with '-' for gaps
+  std::string midline;          ///< '|' match, ' ' mismatch/gap
+  std::string cigar;            ///< e.g. "12M1I30M2D5M" (SAM semantics)
+
+  [[nodiscard]] std::size_t matches() const;
+  [[nodiscard]] std::size_t mismatches() const;
+  [[nodiscard]] std::size_t gaps() const;
+  [[nodiscard]] double identity() const;  ///< matches / alignment columns
+};
+
+/// Local alignment with traceback over nucleotide sequences.
+/// Throws std::invalid_argument if m*n exceeds `max_cells` (default 64M:
+/// ~8k x 8k) to protect against accidental quadratic-memory blowups.
+[[nodiscard]] Alignment smith_waterman_traceback(
+    std::string_view query, std::string_view subject,
+    const Scoring& scoring = {}, std::uint64_t max_cells = 64ull << 20);
+
+/// Render a BLAST-style pairwise alignment block (for reports/examples).
+[[nodiscard]] std::string format_alignment(const Alignment& alignment,
+                                           std::size_t width = 60);
+
+}  // namespace oddci::workload

@@ -1,0 +1,130 @@
+#include "baseline/infrastructure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oddci::baseline {
+namespace {
+
+TEST(Voluntary, RecruitmentTakesMonthsForMillions) {
+  VoluntaryComputingModel model;
+  const auto r = model.assemble(1'000'000);
+  ASSERT_TRUE(r.achievable);
+  // ~5000/day peak: a million volunteers needs ~200 days.
+  EXPECT_GT(r.seconds, 100.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(r.interventions, 0.0);
+}
+
+TEST(Voluntary, ScalesBeyondDesktopGridsButNotOnDemand) {
+  VoluntaryComputingModel model;
+  EXPECT_GT(model.scale_limit(), std::size_t{100'000'000});
+  EXPECT_FALSE(model.on_demand());
+  // Retargeting requires a campaign, not an API call.
+  EXPECT_GT(model.reconfigure_seconds(1000), 86400.0);
+}
+
+TEST(Voluntary, UnreachablePopulationSignalled) {
+  VoluntaryComputingModel model;
+  EXPECT_FALSE(model.assemble(1'000'000'000).achievable);
+}
+
+TEST(DesktopGrid, SetupCostScalesLinearly) {
+  DesktopGridModel model;
+  const auto small = model.assemble(100);
+  const auto large = model.assemble(10'000);
+  ASSERT_TRUE(small.achievable);
+  ASSERT_TRUE(large.achievable);
+  EXPECT_NEAR(large.seconds / small.seconds, 100.0, 1.0);
+  EXPECT_EQ(large.interventions, 10'000.0);
+}
+
+TEST(DesktopGrid, CeilingBlocksMillionNodes) {
+  DesktopGridModel model;
+  EXPECT_FALSE(model.assemble(1'000'000).achievable);
+  EXPECT_TRUE(model.on_demand());
+}
+
+TEST(Iaas, ProvisioningIsZeroTouchButBounded) {
+  IaasModel model;
+  const auto r = model.assemble(1'000);
+  ASSERT_TRUE(r.achievable);
+  EXPECT_DOUBLE_EQ(r.interventions, 0.0);
+  EXPECT_FALSE(model.assemble(100'000).achievable);  // quota
+  EXPECT_TRUE(model.on_demand());
+}
+
+TEST(Iaas, WavesScaleWithConcurrency) {
+  IaasModel::Params p;
+  p.provisioning_concurrency = 10;
+  IaasModel model(p);
+  const auto r100 = model.assemble(100);
+  const auto r1000 = model.assemble(1000);
+  EXPECT_NEAR(r1000.seconds / r100.seconds, 10.0, 0.1);
+}
+
+TEST(Oddci, AssemblyTimeIndependentOfScale) {
+  OddciModel model;
+  const auto small = model.assemble(100);
+  const auto huge = model.assemble(100'000'000);
+  ASSERT_TRUE(small.achievable);
+  ASSERT_TRUE(huge.achievable);
+  EXPECT_DOUBLE_EQ(small.seconds, huge.seconds);
+  // 1.5 * 10 MB / 1 Mbps ~ 126 s.
+  EXPECT_NEAR(small.seconds, 1.5 * 83886080.0 / 1e6, 1e-6);
+  EXPECT_DOUBLE_EQ(huge.interventions, 0.0);
+  EXPECT_TRUE(model.on_demand());
+}
+
+TEST(Judge, ReproducesTableOne) {
+  // The paper's Table I: every requirement is met by at least one existing
+  // technology, but only OddCI meets all three.
+  const auto models = default_models();
+  int met_all = 0;
+  bool scal_met = false, setup_met = false, od_met = false;
+  for (const auto& model : models) {
+    const auto v = judge(*model);
+    if (v.technology == "voluntary-computing") {
+      // Table I: voluntary computing reaches extreme scale, but its setup
+      // (a months-long recruitment campaign) is not efficient and the pool
+      // cannot be instantiated on demand.
+      EXPECT_TRUE(v.extremely_high_scalability);
+      EXPECT_FALSE(v.efficient_setup);
+      EXPECT_FALSE(v.on_demand_instantiation);
+    }
+    if (v.technology == "desktop-grid") {
+      EXPECT_FALSE(v.extremely_high_scalability);
+      EXPECT_FALSE(v.efficient_setup);
+      EXPECT_TRUE(v.on_demand_instantiation);
+    }
+    if (v.technology == "iaas") {
+      // IaaS: zero-touch and on demand, but quota/provisioning bounded.
+      EXPECT_FALSE(v.extremely_high_scalability);
+      EXPECT_TRUE(v.efficient_setup);
+      EXPECT_TRUE(v.on_demand_instantiation);
+    }
+    if (v.technology == "oddci") {
+      EXPECT_TRUE(v.extremely_high_scalability);
+      EXPECT_TRUE(v.efficient_setup);
+      EXPECT_TRUE(v.on_demand_instantiation);
+    }
+    scal_met |= v.extremely_high_scalability;
+    setup_met |= v.efficient_setup;
+    od_met |= v.on_demand_instantiation;
+    if (v.extremely_high_scalability && v.efficient_setup &&
+        v.on_demand_instantiation) {
+      ++met_all;
+    }
+  }
+  EXPECT_TRUE(scal_met && setup_met && od_met);
+  EXPECT_EQ(met_all, 1);  // only OddCI
+}
+
+TEST(Judge, EvidenceFieldsPopulated) {
+  const OddciModel model;
+  const auto v = judge(model);
+  EXPECT_GT(v.assemble_1e2_seconds, 0.0);
+  EXPECT_GT(v.assemble_1e6_seconds, 0.0);
+  EXPECT_EQ(v.interventions_1e6, 0.0);
+}
+
+}  // namespace
+}  // namespace oddci::baseline

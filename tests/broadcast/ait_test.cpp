@@ -1,0 +1,73 @@
+#include "broadcast/ait.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oddci::broadcast {
+namespace {
+
+AitEntry entry(std::uint32_t id, AppControlCode code,
+               const std::string& name = "app") {
+  AitEntry e;
+  e.application_id = id;
+  e.control_code = code;
+  e.application_name = name;
+  e.base_file = name + ".jar";
+  return e;
+}
+
+TEST(Ait, UpsertInsertsAndBumpsVersion) {
+  Ait ait;
+  EXPECT_EQ(ait.version(), 0u);
+  ait.upsert(entry(1, AppControlCode::kAutostart));
+  EXPECT_EQ(ait.version(), 1u);
+  EXPECT_EQ(ait.entries().size(), 1u);
+  ait.upsert(entry(2, AppControlCode::kPresent));
+  EXPECT_EQ(ait.version(), 2u);
+  EXPECT_EQ(ait.entries().size(), 2u);
+}
+
+TEST(Ait, UpsertReplacesExisting) {
+  Ait ait;
+  ait.upsert(entry(1, AppControlCode::kAutostart, "a"));
+  ait.upsert(entry(1, AppControlCode::kKill, "a"));
+  EXPECT_EQ(ait.entries().size(), 1u);
+  EXPECT_EQ(ait.find(1)->control_code, AppControlCode::kKill);
+  EXPECT_EQ(ait.version(), 2u);
+}
+
+TEST(Ait, RemoveExistingAndMissing) {
+  Ait ait;
+  ait.upsert(entry(1, AppControlCode::kPresent));
+  EXPECT_TRUE(ait.remove(1));
+  EXPECT_EQ(ait.entries().size(), 0u);
+  EXPECT_EQ(ait.version(), 2u);
+  EXPECT_FALSE(ait.remove(1));
+  EXPECT_EQ(ait.version(), 2u);  // no bump on no-op
+}
+
+TEST(Ait, FindReturnsNulloptForUnknown) {
+  Ait ait;
+  EXPECT_FALSE(ait.find(7).has_value());
+}
+
+TEST(Ait, AutostartFilter) {
+  Ait ait;
+  ait.upsert(entry(1, AppControlCode::kAutostart, "trigger"));
+  ait.upsert(entry(2, AppControlCode::kPresent, "manual"));
+  ait.upsert(entry(3, AppControlCode::kAutostart, "trigger2"));
+  ait.upsert(entry(4, AppControlCode::kDestroy, "dying"));
+  const auto autos = ait.autostart_entries();
+  ASSERT_EQ(autos.size(), 2u);
+  EXPECT_EQ(autos[0].application_id, 1u);
+  EXPECT_EQ(autos[1].application_id, 3u);
+}
+
+TEST(Ait, ControlCodeNames) {
+  EXPECT_STREQ(to_string(AppControlCode::kAutostart), "AUTOSTART");
+  EXPECT_STREQ(to_string(AppControlCode::kPresent), "PRESENT");
+  EXPECT_STREQ(to_string(AppControlCode::kDestroy), "DESTROY");
+  EXPECT_STREQ(to_string(AppControlCode::kKill), "KILL");
+}
+
+}  // namespace
+}  // namespace oddci::broadcast

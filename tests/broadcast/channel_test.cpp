@@ -1,0 +1,138 @@
+#include "broadcast/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oddci::broadcast {
+namespace {
+
+constexpr auto kMbps = [](double m) { return util::BitRate::from_mbps(m); };
+
+class RecordingListener final : public BroadcastListener {
+ public:
+  explicit RecordingListener(sim::Simulation& sim) : sim_(&sim) {}
+  void on_signalling(const Ait& ait,
+                     const CarouselSnapshot& snapshot) override {
+    events.push_back({sim_->now(), ait.version(), snapshot.generation});
+  }
+  struct Event {
+    sim::SimTime at;
+    std::uint32_t ait_version;
+    std::uint64_t generation;
+  };
+  std::vector<Event> events;
+
+ private:
+  sim::Simulation* sim_;
+};
+
+struct ChannelTest : ::testing::Test {
+  sim::Simulation sim;
+  BroadcastChannel channel{
+      sim, TransportStream(kMbps(1.1), util::BitRate::from_kbps(100)), 42,
+      sim::SimTime::from_millis(500)};
+};
+
+TEST_F(ChannelTest, CarouselRateIsUnusedCapacity) {
+  EXPECT_NEAR(channel.carousel_rate().bps(), 1e6, 1.0);
+}
+
+TEST_F(ChannelTest, CommitNotifiesTunedListenersWithinRepetition) {
+  RecordingListener l1(sim), l2(sim);
+  channel.tune(&l1);
+  channel.tune(&l2);
+  channel.carousel().put_file("f", util::Bits(800), 1);
+  channel.commit();
+  sim.run();
+  ASSERT_EQ(l1.events.size(), 1u);
+  ASSERT_EQ(l2.events.size(), 1u);
+  EXPECT_LE(l1.events[0].at.seconds(), 0.5);
+  EXPECT_LE(l2.events[0].at.seconds(), 0.5);
+  EXPECT_NE(l1.events[0].at, l2.events[0].at);  // phase jitter differs
+}
+
+TEST_F(ChannelTest, LateTunerAcquiresCurrentSignalling) {
+  channel.carousel().put_file("f", util::Bits(800), 1);
+  channel.commit();
+  sim.run();
+  RecordingListener late(sim);
+  channel.tune(&late);
+  sim.run();
+  ASSERT_EQ(late.events.size(), 1u);
+  EXPECT_EQ(late.events[0].generation, 1u);
+}
+
+TEST_F(ChannelTest, TuneBeforeAnyCommitDeliversNothing) {
+  RecordingListener l(sim);
+  channel.tune(&l);
+  sim.run();
+  EXPECT_TRUE(l.events.empty());
+}
+
+TEST_F(ChannelTest, UntunedListenerMissesUpdates) {
+  RecordingListener l(sim);
+  const ListenerId id = channel.tune(&l);
+  channel.untune(id);
+  channel.carousel().put_file("f", util::Bits(800), 1);
+  channel.commit();
+  sim.run();
+  EXPECT_TRUE(l.events.empty());
+  EXPECT_EQ(channel.tuned_count(), 0u);
+}
+
+TEST_F(ChannelTest, UntuneDuringPendingAcquisitionDropsIt) {
+  RecordingListener l(sim);
+  const ListenerId id = channel.tune(&l);
+  channel.carousel().put_file("f", util::Bits(800), 1);
+  channel.commit();
+  channel.untune(id);  // before the phase delay elapses
+  sim.run();
+  EXPECT_TRUE(l.events.empty());
+}
+
+TEST_F(ChannelTest, SupersededCommitOnlyDeliversLatest) {
+  RecordingListener l(sim);
+  channel.tune(&l);
+  channel.carousel().put_file("f", util::Bits(800), 1);
+  channel.commit();
+  channel.carousel().put_file("f", util::Bits(800), 2);
+  channel.commit();  // same timestamp: supersedes generation 1
+  sim.run();
+  ASSERT_EQ(l.events.size(), 1u);
+  EXPECT_EQ(l.events[0].generation, 2u);
+}
+
+TEST_F(ChannelTest, AitTravelsWithSignalling) {
+  RecordingListener l(sim);
+  channel.tune(&l);
+  AitEntry e;
+  e.application_id = 1;
+  e.control_code = AppControlCode::kAutostart;
+  e.application_name = "pna";
+  channel.ait().upsert(e);
+  channel.carousel().put_file("pna.xlet", util::Bits(800), 1);
+  channel.commit();
+  sim.run();
+  ASSERT_EQ(l.events.size(), 1u);
+  EXPECT_EQ(l.events[0].ait_version, 1u);
+}
+
+TEST_F(ChannelTest, FileReadyAtDelegatesToCarousel) {
+  channel.carousel().put_file("f", util::Bits(1'000'000), 1);
+  channel.commit();
+  const auto t = channel.file_ready_at("f", sim.now());
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GE(t->seconds(), 1.0 - 1e-6);  // at least the read time at 1 Mbps
+  EXPECT_FALSE(channel.file_ready_at("missing", sim.now()));
+}
+
+TEST_F(ChannelTest, CommitCountTracks) {
+  channel.carousel().put_file("f", util::Bits(800), 1);
+  channel.commit();
+  channel.commit();
+  EXPECT_EQ(channel.commits(), 2u);
+}
+
+}  // namespace
+}  // namespace oddci::broadcast

@@ -1,0 +1,56 @@
+#include "broadcast/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oddci::broadcast {
+namespace {
+
+TEST(Signature, SignVerifyRoundTrip) {
+  const Signature s = sign(0xDEADBEEF, "wakeup instance 7");
+  EXPECT_TRUE(verify(0xDEADBEEF, "wakeup instance 7", s));
+}
+
+TEST(Signature, WrongKeyFails) {
+  const Signature s = sign(1, "content");
+  EXPECT_FALSE(verify(2, "content", s));
+}
+
+TEST(Signature, TamperedContentFails) {
+  const Signature s = sign(1, "content");
+  EXPECT_FALSE(verify(1, "contenT", s));
+  EXPECT_FALSE(verify(1, "content ", s));
+  EXPECT_FALSE(verify(1, "", s));
+}
+
+TEST(Signature, Deterministic) {
+  EXPECT_EQ(sign(7, "abc"), sign(7, "abc"));
+}
+
+TEST(Signature, EmptyContentIsSignable) {
+  const Signature s = sign(7, "");
+  EXPECT_TRUE(verify(7, "", s));
+  EXPECT_NE(s, 0u);
+}
+
+TEST(SignBuffer, FieldsAreLengthPrefixed) {
+  // "ab" + "c" must not collide with "a" + "bc".
+  SignBuffer a, b;
+  a.add("ab").add("c");
+  b.add("a").add("bc");
+  EXPECT_NE(a.bytes(), b.bytes());
+}
+
+TEST(SignBuffer, NumericEncodings) {
+  SignBuffer buf;
+  buf.add_u64(42).add_i64(-1).add_double(1.5);
+  EXPECT_EQ(buf.bytes().size(), 24u);
+  SignBuffer same;
+  same.add_u64(42).add_i64(-1).add_double(1.5);
+  EXPECT_EQ(buf.bytes(), same.bytes());
+  SignBuffer diff;
+  diff.add_u64(42).add_i64(-1).add_double(1.5000001);
+  EXPECT_NE(buf.bytes(), diff.bytes());
+}
+
+}  // namespace
+}  // namespace oddci::broadcast

@@ -1,0 +1,60 @@
+#include "broadcast/transport_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oddci::broadcast {
+namespace {
+
+constexpr auto kMbps = [](double m) { return util::BitRate::from_mbps(m); };
+
+TEST(TransportStream, UnusedIsTotalMinusReserved) {
+  TransportStream ts(kMbps(19.0), util::BitRate::from_kbps(100));
+  ts.add_stream({0x100, "video", kMbps(12.0)});
+  ts.add_stream({0x101, "audio", util::BitRate::from_kbps(256)});
+  EXPECT_NEAR(ts.unused().bps(), 19e6 - 12e6 - 256e3 - 100e3, 1.0);
+  EXPECT_NEAR(ts.reserved().bps(), 12e6 + 256e3 + 100e3, 1.0);
+}
+
+TEST(TransportStream, RejectsOversubscription) {
+  TransportStream ts(kMbps(10.0));
+  ts.add_stream({1, "video", kMbps(9.0)});
+  EXPECT_THROW(ts.add_stream({2, "video", kMbps(2.0)}),
+               std::invalid_argument);
+  // The failed add must not have been recorded.
+  EXPECT_EQ(ts.streams().size(), 1u);
+}
+
+TEST(TransportStream, RejectsDuplicatePid) {
+  TransportStream ts(kMbps(10.0));
+  ts.add_stream({1, "video", kMbps(1.0)});
+  EXPECT_THROW(ts.add_stream({1, "audio", kMbps(1.0)}),
+               std::invalid_argument);
+}
+
+TEST(TransportStream, RemoveStreamFreesCapacity) {
+  TransportStream ts(kMbps(10.0));
+  ts.add_stream({1, "video", kMbps(8.0)});
+  const double before = ts.unused().bps();
+  EXPECT_TRUE(ts.remove_stream(1));
+  EXPECT_FALSE(ts.remove_stream(1));
+  EXPECT_GT(ts.unused().bps(), before);
+}
+
+TEST(TransportStream, ConstructorValidation) {
+  EXPECT_THROW(TransportStream(util::BitRate(0)), std::invalid_argument);
+  EXPECT_THROW(TransportStream(kMbps(1.0), kMbps(1.0)),
+               std::invalid_argument);  // signalling >= total
+  EXPECT_THROW(TransportStream(kMbps(1.0), util::BitRate(-1.0)),
+               std::invalid_argument);
+}
+
+TEST(TransportStream, StreamRateValidation) {
+  TransportStream ts(kMbps(10.0));
+  EXPECT_THROW(ts.add_stream({1, "x", util::BitRate(0)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oddci::broadcast

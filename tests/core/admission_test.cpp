@@ -1,0 +1,186 @@
+// Provider admission-control queue tests.
+
+#include <gtest/gtest.h>
+
+#include "core/provider.hpp"
+
+namespace oddci::core {
+namespace {
+
+constexpr auto kMbps = [](double m) { return util::BitRate::from_mbps(m); };
+
+class BeatSource final : public net::Endpoint {
+ public:
+  explicit BeatSource(net::Network& net) : net_(&net) {
+    id_ = net.register_endpoint(
+        this, {kMbps(100), kMbps(100), sim::SimTime::zero()});
+  }
+  void beat(net::NodeId controller, PnaState state,
+            InstanceId instance = kNoInstance) {
+    net_->send(id_, controller,
+               std::make_shared<HeartbeatMessage>(id_, state, instance));
+  }
+  void on_message(net::NodeId, const net::MessagePtr&) override {}
+  [[nodiscard]] net::NodeId id() const { return id_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId id_;
+};
+
+struct AdmissionTest : ::testing::Test {
+  sim::Simulation sim;
+  net::Network net{sim};
+  broadcast::BroadcastChannel channel{
+      sim, broadcast::TransportStream(kMbps(1.1),
+                                      util::BitRate::from_kbps(100)),
+      3};
+  ContentStore store;
+  Controller controller{sim, net, channel, store, 1,
+                        net::LinkSpec{kMbps(1000), kMbps(1000),
+                                      sim::SimTime::zero()}};
+  Provider provider{controller, sim, AdmissionOptions{}};
+  std::vector<std::unique_ptr<BeatSource>> agents;
+
+  void SetUp() override { controller.deploy_pna(); }
+
+  /// Announce `n` idle agents so the idle-pool estimate covers them.
+  void announce_idle(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<BeatSource>(net));
+      agents.back()->beat(controller.node_id(), PnaState::kIdle);
+    }
+    sim.run_until(sim.now() + sim::SimTime::from_seconds(1));
+  }
+
+  InstanceSpec spec(std::size_t target) {
+    InstanceSpec s;
+    s.target_size = target;
+    s.image_size = util::Bits::from_megabytes(1);
+    return s;
+  }
+};
+
+TEST_F(AdmissionTest, AdmitsImmediatelyWhenCapacityExists) {
+  announce_idle(20);
+  InstanceId admitted_id = kNoInstance;
+  provider.enqueue_request(spec(10), 99,
+                           [&](Provider::Ticket, InstanceId id) {
+                             admitted_id = id;
+                           });
+  EXPECT_NE(admitted_id, kNoInstance);
+  EXPECT_EQ(provider.queued_requests(), 0u);
+  EXPECT_EQ(provider.stats().requests_admitted, 1u);
+}
+
+TEST_F(AdmissionTest, QueuesWhenPoolTooSmall) {
+  announce_idle(5);
+  InstanceId admitted_id = kNoInstance;
+  provider.enqueue_request(spec(10), 99,
+                           [&](Provider::Ticket, InstanceId id) {
+                             admitted_id = id;
+                           });
+  EXPECT_EQ(admitted_id, kNoInstance);
+  EXPECT_EQ(provider.queued_requests(), 1u);
+
+  // More capacity appears: the periodic review admits the request.
+  announce_idle(10);
+  sim.run_until(sim.now() + sim::SimTime::from_seconds(31));
+  EXPECT_NE(admitted_id, kNoInstance);
+  EXPECT_EQ(provider.queued_requests(), 0u);
+}
+
+TEST_F(AdmissionTest, FifoOrderIsStrict) {
+  announce_idle(8);
+  std::vector<int> admitted;
+  // Head request too large; the second would fit but must wait behind it.
+  provider.enqueue_request(spec(20), 99,
+                           [&](Provider::Ticket, InstanceId) {
+                             admitted.push_back(1);
+                           });
+  provider.enqueue_request(spec(4), 99,
+                           [&](Provider::Ticket, InstanceId) {
+                             admitted.push_back(2);
+                           });
+  sim.run_until(sim.now() + sim::SimTime::from_seconds(60));
+  EXPECT_TRUE(admitted.empty());
+  EXPECT_EQ(provider.queued_requests(), 2u);
+
+  announce_idle(20);
+  sim.run_until(sim.now() + sim::SimTime::from_seconds(31));
+  // Both admitted, head first.
+  EXPECT_EQ(admitted, (std::vector<int>{1, 2}));
+}
+
+TEST_F(AdmissionTest, CancelRemovesQueuedRequest) {
+  announce_idle(2);
+  const auto ticket = provider.enqueue_request(spec(10), 99);
+  EXPECT_EQ(provider.queued_requests(), 1u);
+  EXPECT_TRUE(provider.cancel_request(ticket));
+  EXPECT_FALSE(provider.cancel_request(ticket));
+  EXPECT_EQ(provider.queued_requests(), 0u);
+  EXPECT_EQ(provider.stats().requests_cancelled, 1u);
+}
+
+TEST_F(AdmissionTest, ReleaseTriggersReview) {
+  announce_idle(12);
+  // First instance consumes the pool (agents report busy for it).
+  const InstanceId first = provider.request_instance(spec(10), 99);
+  for (std::size_t i = 0; i < 10; ++i) {
+    agents[i]->beat(controller.node_id(), PnaState::kBusy, first);
+  }
+  sim.run_until(sim.now() + sim::SimTime::from_seconds(1));
+  ASSERT_EQ(controller.idle_pool_estimate(), 2u);
+
+  InstanceId admitted_id = kNoInstance;
+  provider.enqueue_request(spec(10), 99,
+                           [&](Provider::Ticket, InstanceId id) {
+                             admitted_id = id;
+                           });
+  EXPECT_EQ(admitted_id, kNoInstance);
+
+  // Releasing the first instance frees its members; once they report idle
+  // again the queue head is admitted.
+  provider.release_instance(first);
+  for (std::size_t i = 0; i < 10; ++i) {
+    agents[i]->beat(controller.node_id(), PnaState::kIdle);
+  }
+  sim.run_until(sim.now() + sim::SimTime::from_seconds(31));
+  EXPECT_NE(admitted_id, kNoInstance);
+}
+
+TEST_F(AdmissionTest, CapacityMarginRespected) {
+  Controller other_controller{sim, net, channel, store, 2,
+                              net::LinkSpec{kMbps(1000), kMbps(1000),
+                                            sim::SimTime::zero()}};
+  other_controller.deploy_pna();
+  AdmissionOptions strict;
+  strict.capacity_margin = 2.0;
+  Provider strict_provider{other_controller, sim, strict};
+
+  std::vector<std::unique_ptr<BeatSource>> local;
+  for (int i = 0; i < 15; ++i) {
+    local.push_back(std::make_unique<BeatSource>(net));
+    local.back()->beat(other_controller.node_id(), PnaState::kIdle);
+  }
+  sim.run_until(sim.now() + sim::SimTime::from_seconds(1));
+
+  // 15 idle, target 10, margin 2.0 => needs 20: queued.
+  strict_provider.enqueue_request(spec(10), 99);
+  EXPECT_EQ(strict_provider.queued_requests(), 1u);
+}
+
+TEST_F(AdmissionTest, Validation) {
+  EXPECT_THROW(provider.enqueue_request(spec(0), 99), std::invalid_argument);
+  Provider plain{controller};  // no simulation: queue unavailable
+  EXPECT_THROW(plain.enqueue_request(spec(1), 99), std::logic_error);
+  AdmissionOptions bad;
+  bad.capacity_margin = 0.0;
+  EXPECT_THROW(Provider(controller, sim, bad), std::invalid_argument);
+  bad = AdmissionOptions{};
+  bad.review_interval = sim::SimTime::zero();
+  EXPECT_THROW(Provider(controller, sim, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oddci::core

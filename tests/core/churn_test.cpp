@@ -1,0 +1,130 @@
+#include "core/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace oddci::core {
+namespace {
+
+struct ChurnTest : ::testing::Test {
+  sim::Simulation sim;
+  net::Network net{sim};
+  net::LinkSpec link{util::BitRate::from_mbps(1), util::BitRate::from_mbps(1),
+                     sim::SimTime::zero()};
+  std::vector<std::unique_ptr<dtv::Receiver>> receivers;
+  std::vector<dtv::Receiver*> raw;
+
+  void make_receivers(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      receivers.push_back(std::make_unique<dtv::Receiver>(
+          sim, net, dtv::DeviceProfile::reference_stb(), link));
+      raw.push_back(receivers.back().get());
+    }
+  }
+
+  std::size_t powered_count() const {
+    std::size_t on = 0;
+    for (const auto& r : receivers) {
+      if (r->powered()) ++on;
+    }
+    return on;
+  }
+};
+
+TEST_F(ChurnTest, OptionsValidation) {
+  ChurnOptions bad;
+  bad.mean_on_seconds = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ChurnOptions{};
+  bad.in_use_probability = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ChurnOptions{};
+  bad.initial_on_fraction = 2.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  ChurnOptions ok;
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_NEAR(ok.steady_state_on_fraction(), 3600.0 / 5400.0, 1e-12);
+}
+
+TEST_F(ChurnTest, StartSamplesInitialPowerStates) {
+  make_receivers(500);
+  ChurnOptions options;
+  options.mean_on_seconds = 3600;
+  options.mean_off_seconds = 3600;  // steady-state 50% on
+  ChurnProcess churn(sim, raw, 1, options);
+  churn.start();
+  const double frac = static_cast<double>(powered_count()) / 500.0;
+  EXPECT_NEAR(frac, 0.5, 0.08);
+}
+
+TEST_F(ChurnTest, InitialOnFractionOverride) {
+  make_receivers(300);
+  ChurnOptions options;
+  options.initial_on_fraction = 1.0;
+  ChurnProcess churn(sim, raw, 2, options);
+  churn.start();
+  EXPECT_EQ(powered_count(), 300u);
+}
+
+TEST_F(ChurnTest, TogglesAccumulateOverTime) {
+  make_receivers(100);
+  ChurnOptions options;
+  options.mean_on_seconds = 60;
+  options.mean_off_seconds = 60;
+  ChurnProcess churn(sim, raw, 3, options);
+  churn.start();
+  sim.run_until(sim::SimTime::from_minutes(30));
+  // Expected ~ 100 nodes * 30 min / (1 min dwell) / 2 per direction.
+  EXPECT_GT(churn.stats().switch_ons + churn.stats().switch_offs, 1000u);
+  // The on-fraction stays near steady state.
+  EXPECT_NEAR(static_cast<double>(powered_count()) / 100.0, 0.5, 0.15);
+}
+
+TEST_F(ChurnTest, InUseVsStandbySampling) {
+  make_receivers(400);
+  ChurnOptions options;
+  options.initial_on_fraction = 1.0;
+  options.in_use_probability = 0.25;
+  ChurnProcess churn(sim, raw, 4, options);
+  churn.start();
+  std::size_t in_use = 0;
+  for (const auto& r : receivers) {
+    if (r->power_mode() == dtv::PowerMode::kInUse) ++in_use;
+  }
+  EXPECT_NEAR(static_cast<double>(in_use) / 400.0, 0.25, 0.07);
+}
+
+TEST_F(ChurnTest, StopFreezesPopulation) {
+  make_receivers(50);
+  ChurnOptions options;
+  options.mean_on_seconds = 10;
+  options.mean_off_seconds = 10;
+  ChurnProcess churn(sim, raw, 5, options);
+  churn.start();
+  sim.run_until(sim::SimTime::from_seconds(100));
+  churn.stop();
+  const auto before = churn.stats();
+  sim.run_until(sim::SimTime::from_seconds(200));
+  EXPECT_EQ(churn.stats().switch_ons, before.switch_ons);
+  EXPECT_EQ(churn.stats().switch_offs, before.switch_offs);
+}
+
+TEST_F(ChurnTest, DeterministicUnderSeed) {
+  make_receivers(100);
+  ChurnOptions options;
+  auto run_once = [&](std::uint64_t seed) {
+    ChurnProcess churn(sim, raw, seed, options);
+    churn.start();
+    std::vector<bool> states;
+    for (const auto& r : receivers) states.push_back(r->powered());
+    churn.stop();
+    return states;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+}  // namespace
+}  // namespace oddci::core

@@ -1,0 +1,65 @@
+#include "core/content_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/wire.hpp"
+
+namespace oddci::core {
+namespace {
+
+TEST(ContentStore, PutGetRoundTripThroughWireBytes) {
+  ContentStore store;
+  ControlMessage m;
+  m.type = ControlType::kWakeup;
+  m.instance = 3;
+  m.image = {1, "image-1", util::Bits::from_megabytes(2)};
+  m.sign_with(0xAB);
+  const auto id = store.put_control(m);
+  const auto got = store.get_control(id);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->instance, 3u);
+  EXPECT_EQ(got->image.name, "image-1");
+  EXPECT_TRUE(got->verify_with(0xAB));  // signature survives the encoding
+  EXPECT_EQ(store.size(), 1u);
+  // The stored representation really is the wire encoding.
+  const std::string* bytes = store.get_bytes(id);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(*bytes, wire::encode(m));
+}
+
+TEST(ContentStore, IdsAreUniqueAndNonZero) {
+  ContentStore store;
+  ControlMessage m;
+  const auto a = store.put_control(m);
+  const auto b = store.put_control(m);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(ContentStore, UnknownIdReturnsNullopt) {
+  ContentStore store;
+  EXPECT_FALSE(store.get_control(42).has_value());
+  EXPECT_EQ(store.get_bytes(42), nullptr);
+}
+
+TEST(ContentStore, StoredCopyIsIndependent) {
+  ContentStore store;
+  ControlMessage m;
+  m.instance = 1;
+  const auto id = store.put_control(m);
+  m.instance = 2;  // mutate the original
+  EXPECT_EQ(store.get_control(id)->instance, 1u);
+}
+
+TEST(ContentStore, RemoveDropsBlob) {
+  ContentStore store;
+  ControlMessage m;
+  const auto id = store.put_control(m);
+  EXPECT_TRUE(store.remove(id));
+  EXPECT_FALSE(store.remove(id));
+  EXPECT_FALSE(store.get_control(id).has_value());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace oddci::core

@@ -1,0 +1,108 @@
+// Randomized invariants of the Controller's bookkeeping under arbitrary
+// heartbeat interleavings:
+//  * a PNA is a member of at most one instance at a time;
+//  * members and joining sets are disjoint (reflected via current_size);
+//  * idle pool <= known PNAs;
+//  * current_size never exceeds the number of distinct busy reporters.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace oddci::core {
+namespace {
+
+constexpr auto kMbps = [](double m) { return util::BitRate::from_mbps(m); };
+
+class Beater final : public net::Endpoint {
+ public:
+  explicit Beater(net::Network& net) : net_(&net) {
+    id_ = net.register_endpoint(
+        this, {kMbps(100), kMbps(100), sim::SimTime::zero()});
+  }
+  void beat(net::NodeId controller, PnaState state, InstanceId instance) {
+    net_->send(id_, controller,
+               std::make_shared<HeartbeatMessage>(id_, state, instance));
+  }
+  void on_message(net::NodeId, const net::MessagePtr&) override {}
+  [[nodiscard]] net::NodeId id() const { return id_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId id_;
+};
+
+class ControllerPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ControllerPropertyTest, BookkeepingInvariants) {
+  util::Random rng(GetParam());
+  sim::Simulation sim;
+  net::Network net(sim);
+  broadcast::BroadcastChannel channel{
+      sim,
+      broadcast::TransportStream(kMbps(1.1), util::BitRate::from_kbps(100)),
+      GetParam()};
+  ContentStore store;
+  Controller controller{sim, net, channel, store, 1,
+                        net::LinkSpec{kMbps(1000), kMbps(1000),
+                                      sim::SimTime::zero()}};
+  controller.deploy_pna();
+
+  // Two live instances.
+  InstanceSpec spec;
+  spec.target_size = 10;
+  spec.image_size = util::Bits::from_megabytes(1);
+  const InstanceId a = controller.create_instance(spec, 99);
+  const InstanceId b = controller.create_instance(spec, 99);
+
+  constexpr std::size_t kAgents = 30;
+  std::vector<std::unique_ptr<Beater>> agents;
+  for (std::size_t i = 0; i < kAgents; ++i) {
+    agents.push_back(std::make_unique<Beater>(net));
+  }
+
+  // Ground truth: the latest state each agent reported.
+  std::map<std::uint64_t, std::pair<PnaState, InstanceId>> truth;
+
+  for (int round = 0; round < 400; ++round) {
+    auto& agent = agents[rng.uniform_u64(kAgents)];
+    const auto state = static_cast<PnaState>(rng.uniform_u64(3));
+    const InstanceId instance =
+        state == PnaState::kIdle
+            ? kNoInstance
+            : (rng.bernoulli(0.5) ? a : b);
+    agent->beat(controller.node_id(), state, instance);
+    truth[agent->id()] = {state, instance};
+    sim.run_until(sim.now() + sim::SimTime::from_millis(200));
+
+    // Invariants after every delivery batch.
+    const auto* sa = controller.status(a);
+    const auto* sb = controller.status(b);
+    ASSERT_NE(sa, nullptr);
+    ASSERT_NE(sb, nullptr);
+
+    std::size_t busy_a = 0, busy_b = 0;
+    for (const auto& [pna, st] : truth) {
+      if (st.first == PnaState::kBusy && st.second == a) ++busy_a;
+      if (st.first == PnaState::kBusy && st.second == b) ++busy_b;
+    }
+    // Trimming may shrink membership below the reported-busy count (the
+    // Controller evicts without the agent knowing yet), so membership is
+    // bounded above by ground truth.
+    EXPECT_LE(sa->current_size, busy_a);
+    EXPECT_LE(sb->current_size, busy_b);
+    EXPECT_LE(controller.idle_pool_estimate(), controller.known_pna_count());
+    EXPECT_LE(controller.known_pna_count(), kAgents);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace oddci::core

@@ -1,0 +1,96 @@
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oddci::core {
+namespace {
+
+ControlMessage sample_wakeup() {
+  ControlMessage m;
+  m.type = ControlType::kWakeup;
+  m.instance = 7;
+  m.probability = 0.25;
+  m.requirements.min_ram = util::Bits::from_megabytes(128);
+  m.requirements.device_kind = "stb-st7109";
+  m.heartbeat_interval = sim::SimTime::from_seconds(30);
+  m.image = {3, "image-3", util::Bits::from_megabytes(10)};
+  m.controller_node = 1;
+  m.backend_node = 2;
+  return m;
+}
+
+TEST(ControlMessage, SignVerifyRoundTrip) {
+  ControlMessage m = sample_wakeup();
+  m.sign_with(0xABCD);
+  EXPECT_TRUE(m.verify_with(0xABCD));
+  EXPECT_FALSE(m.verify_with(0xABCE));
+}
+
+TEST(ControlMessage, AnyFieldChangeBreaksSignature) {
+  ControlMessage m = sample_wakeup();
+  m.sign_with(1);
+
+  auto tampered = m;
+  tampered.instance = 8;
+  EXPECT_FALSE(tampered.verify_with(1));
+
+  tampered = m;
+  tampered.probability = 0.26;
+  EXPECT_FALSE(tampered.verify_with(1));
+
+  tampered = m;
+  tampered.type = ControlType::kReset;
+  EXPECT_FALSE(tampered.verify_with(1));
+
+  tampered = m;
+  tampered.image.size = util::Bits::from_megabytes(11);
+  EXPECT_FALSE(tampered.verify_with(1));
+
+  tampered = m;
+  tampered.backend_node = 3;
+  EXPECT_FALSE(tampered.verify_with(1));
+
+  tampered = m;
+  tampered.requirements.device_kind = "other";
+  EXPECT_FALSE(tampered.verify_with(1));
+}
+
+TEST(ControlMessage, UnsignedDoesNotVerify) {
+  const ControlMessage m = sample_wakeup();
+  EXPECT_FALSE(m.verify_with(1));
+}
+
+TEST(DirectMessages, WireSizesIncludePayloads) {
+  const HeartbeatMessage hb(1, PnaState::kBusy, 7);
+  EXPECT_EQ(hb.wire_size(), kHeaderBits);
+  EXPECT_EQ(hb.tag(), kTagHeartbeat);
+  EXPECT_EQ(hb.state(), PnaState::kBusy);
+
+  const TaskAssignMessage assign(7, 42, util::Bits::from_bytes(512),
+                                 util::Bits::from_bytes(256), 30.0);
+  EXPECT_EQ(assign.wire_size().count(),
+            kHeaderBits.count() + 512 * 8);
+  EXPECT_EQ(assign.result_size(), util::Bits::from_bytes(256));
+  EXPECT_EQ(assign.tag(), kTagTaskAssign);
+
+  const TaskResultMessage result(7, 42, 1, util::Bits::from_bytes(256));
+  EXPECT_EQ(result.wire_size().count(), kHeaderBits.count() + 256 * 8);
+  EXPECT_EQ(result.tag(), kTagTaskResult);
+
+  const TaskRequestMessage req(7, 1);
+  EXPECT_EQ(req.wire_size(), kHeaderBits);
+
+  const NoTaskMessage none(7);
+  EXPECT_EQ(none.wire_size(), kHeaderBits);
+  EXPECT_EQ(none.tag(), kTagNoTask);
+
+  const HeartbeatReplyMessage reply(7, HeartbeatCommand::kReset);
+  EXPECT_EQ(reply.command(), HeartbeatCommand::kReset);
+
+  const BlobMessage blob(kTagRemoteQuery, 99, util::Bits::from_kilobytes(4));
+  EXPECT_EQ(blob.wire_size().count(), kHeaderBits.count() + 4 * 1024 * 8);
+  EXPECT_EQ(blob.correlation(), 99u);
+}
+
+}  // namespace
+}  // namespace oddci::core

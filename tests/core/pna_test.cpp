@@ -1,0 +1,308 @@
+#include "core/pna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace oddci::core {
+namespace {
+
+constexpr auto kMbps = [](double m) { return util::BitRate::from_mbps(m); };
+constexpr broadcast::SigningKey kKey = 0x0DDC1;
+constexpr std::uint32_t kAppId = 0x4F44;
+
+/// Captures heartbeats and can answer with reset commands.
+class FakeController final : public net::Endpoint {
+ public:
+  FakeController(sim::Simulation& sim, net::Network& net)
+      : net_(&net) {
+    id_ = net.register_endpoint(
+        this, {kMbps(1000), kMbps(1000), sim::SimTime::zero()});
+    (void)sim;
+  }
+
+  void on_message(net::NodeId from, const net::MessagePtr& message) override {
+    if (message->tag() != kTagHeartbeat) return;
+    const auto& hb = static_cast<const HeartbeatMessage&>(*message);
+    heartbeats.push_back({hb.pna_id(), hb.state(), hb.instance()});
+    if (reset_on_next_beat != kNoInstance) {
+      net_->send(id_, from,
+                 std::make_shared<HeartbeatReplyMessage>(
+                     reset_on_next_beat, HeartbeatCommand::kReset));
+      reset_on_next_beat = kNoInstance;
+    }
+  }
+
+  struct Beat {
+    std::uint64_t pna;
+    PnaState state;
+    InstanceId instance;
+  };
+  std::vector<Beat> heartbeats;
+  InstanceId reset_on_next_beat = kNoInstance;
+  [[nodiscard]] net::NodeId id() const { return id_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId id_ = net::kInvalidNode;
+};
+
+/// Serves a fixed number of scripted tasks.
+class FakeBackend final : public net::Endpoint {
+ public:
+  FakeBackend(sim::Simulation& sim, net::Network& net, int tasks)
+      : net_(&net), remaining_(tasks) {
+    id_ = net.register_endpoint(
+        this, {kMbps(1000), kMbps(1000), sim::SimTime::zero()});
+    (void)sim;
+  }
+
+  void on_message(net::NodeId from, const net::MessagePtr& message) override {
+    if (message->tag() == kTagTaskRequest) {
+      ++requests;
+      const auto& req = static_cast<const TaskRequestMessage&>(*message);
+      if (remaining_ > 0) {
+        --remaining_;
+        net_->send(id_, from,
+                   std::make_shared<TaskAssignMessage>(
+                       req.instance(), next_index_++,
+                       util::Bits::from_bytes(512),
+                       util::Bits::from_bytes(256), 2.0));
+      } else {
+        net_->send(id_, from, std::make_shared<NoTaskMessage>(req.instance()));
+      }
+    } else if (message->tag() == kTagTaskResult) {
+      ++results;
+    }
+  }
+
+  int requests = 0;
+  int results = 0;
+  [[nodiscard]] net::NodeId id() const { return id_; }
+
+ private:
+  net::Network* net_;
+  net::NodeId id_ = net::kInvalidNode;
+  int remaining_;
+  std::uint64_t next_index_ = 0;
+};
+
+struct PnaTest : ::testing::Test {
+  sim::Simulation sim;
+  net::Network net{sim};
+  broadcast::BroadcastChannel channel{
+      sim,
+      broadcast::TransportStream(kMbps(1.1), util::BitRate::from_kbps(100)),
+      5};
+  ContentStore store;
+  FakeController controller{sim, net};
+  FakeBackend backend{sim, net, /*tasks=*/3};
+  PnaEnvironment env;
+  std::unique_ptr<dtv::Receiver> receiver;
+
+  void SetUp() override {
+    env.content_store = &store;
+    env.trusted_key = kKey;
+    env.task_poll_interval = sim::SimTime::from_seconds(5);
+
+    receiver = std::make_unique<dtv::Receiver>(
+        sim, net, dtv::DeviceProfile::reference_stb(),
+        net::LinkSpec{util::BitRate::from_kbps(150),
+                      util::BitRate::from_kbps(150),
+                      sim::SimTime::from_millis(10)});
+    receiver->application_manager().register_factory(
+        "oddci-pna",
+        [this] { return std::make_unique<PnaXlet>(env, /*seed=*/77); });
+    receiver->tune(channel);
+
+    // Deploy the PNA trigger application, as the Controller would.
+    broadcast::AitEntry entry;
+    entry.application_id = kAppId;
+    entry.control_code = broadcast::AppControlCode::kAutostart;
+    entry.application_name = "oddci-pna";
+    entry.base_file = "pna.xlet";
+    channel.ait().upsert(entry);
+    channel.carousel().put_file("pna.xlet", util::Bits::from_kilobytes(64),
+                                0);
+  }
+
+  void stage_control(ControlMessage msg,
+                     broadcast::SigningKey key = kKey) {
+    msg.controller_node = controller.id();
+    if (msg.backend_node == net::kInvalidNode) {
+      msg.backend_node = backend.id();
+    }
+    msg.sign_with(key);
+    const auto content = store.put_control(msg);
+    channel.carousel().put_file("oddci.config", util::Bits::from_bytes(512),
+                                content);
+    channel.commit();
+  }
+
+  ControlMessage wakeup(InstanceId instance, double probability = 1.0) {
+    ControlMessage m;
+    m.type = ControlType::kWakeup;
+    m.instance = instance;
+    m.probability = probability;
+    m.heartbeat_interval = sim::SimTime::from_seconds(30);
+    m.image = {1, "image-1", util::Bits::from_megabytes(1)};
+    channel.carousel().put_file(m.image.name, m.image.size, m.image.image_id);
+    return m;
+  }
+
+  PnaXlet* pna() {
+    return dynamic_cast<PnaXlet*>(
+        receiver->application_manager().find(kAppId));
+  }
+};
+
+TEST_F(PnaTest, AutostartsAndHeartbeatsIdle) {
+  ControlMessage hello;
+  hello.type = ControlType::kReset;
+  hello.instance = kNoInstance;
+  stage_control(hello);
+  sim.run_until(sim::SimTime::from_seconds(120));
+  ASSERT_NE(pna(), nullptr);
+  EXPECT_EQ(pna()->state(), PnaState::kIdle);
+  ASSERT_FALSE(controller.heartbeats.empty());
+  EXPECT_EQ(controller.heartbeats[0].state, PnaState::kIdle);
+  EXPECT_EQ(controller.heartbeats[0].instance, kNoInstance);
+  // ~1 heartbeat per 30 s.
+  EXPECT_GE(controller.heartbeats.size(), 2u);
+}
+
+TEST_F(PnaTest, WakeupJoinsInstanceAndRunsTasks) {
+  stage_control(wakeup(7));
+  sim.run_until(sim::SimTime::from_seconds(300));
+  ASSERT_NE(pna(), nullptr);
+  EXPECT_EQ(pna()->state(), PnaState::kBusy);
+  EXPECT_EQ(pna()->instance(), 7u);
+  EXPECT_EQ(pna()->stats().joins, 1u);
+  ASSERT_NE(pna()->dve(), nullptr);
+  EXPECT_EQ(pna()->dve()->image().name, "image-1");
+  // All three scripted tasks executed (2 s each on the reference STB).
+  EXPECT_EQ(backend.results, 3);
+  EXPECT_EQ(pna()->stats().tasks_completed, 3u);
+  EXPECT_EQ(pna()->dve()->tasks_completed(), 3u);
+}
+
+TEST_F(PnaTest, ForgedSignatureRejected) {
+  stage_control(wakeup(7), /*key=*/0xBAD);
+  sim.run_until(sim::SimTime::from_seconds(120));
+  ASSERT_NE(pna(), nullptr);
+  EXPECT_EQ(pna()->state(), PnaState::kIdle);
+  EXPECT_GE(pna()->stats().signature_failures, 1u);
+  EXPECT_EQ(pna()->stats().joins, 0u);
+  // An unverified message must not even configure heartbeating.
+  EXPECT_TRUE(controller.heartbeats.empty());
+}
+
+TEST_F(PnaTest, ProbabilityZeroNeverJoins) {
+  stage_control(wakeup(7, 0.0));
+  sim.run_until(sim::SimTime::from_seconds(120));
+  ASSERT_NE(pna(), nullptr);
+  EXPECT_EQ(pna()->state(), PnaState::kIdle);
+  EXPECT_GE(pna()->stats().wakeups_dropped_probability, 1u);
+}
+
+TEST_F(PnaTest, RequirementsMismatchRejected) {
+  ControlMessage m = wakeup(7);
+  m.requirements.min_ram = util::Bits::from_megabytes(1024);  // > 256 MB
+  stage_control(m);
+  sim.run_until(sim::SimTime::from_seconds(120));
+  ASSERT_NE(pna(), nullptr);
+  EXPECT_EQ(pna()->state(), PnaState::kIdle);
+  EXPECT_GE(pna()->stats().wakeups_rejected_requirements, 1u);
+}
+
+TEST_F(PnaTest, DeviceKindRequirementMatches) {
+  ControlMessage m = wakeup(7);
+  m.requirements.device_kind = "reference-stb";
+  stage_control(m);
+  sim.run_until(sim::SimTime::from_seconds(300));
+  EXPECT_EQ(pna()->state(), PnaState::kBusy);
+}
+
+TEST_F(PnaTest, BusyPnaDropsSecondWakeup) {
+  stage_control(wakeup(7));
+  sim.run_until(sim::SimTime::from_seconds(300));
+  ASSERT_EQ(pna()->state(), PnaState::kBusy);
+  ControlMessage second = wakeup(8);
+  second.image.name = "image-2";
+  second.image.image_id = 2;
+  channel.carousel().put_file("image-2", second.image.size, 2);
+  stage_control(second);
+  sim.run_until(sim::SimTime::from_seconds(500));
+  EXPECT_EQ(pna()->instance(), 7u);
+  EXPECT_GE(pna()->stats().wakeups_dropped_busy, 1u);
+}
+
+TEST_F(PnaTest, BroadcastResetReturnsToIdle) {
+  stage_control(wakeup(7));
+  sim.run_until(sim::SimTime::from_seconds(300));
+  ASSERT_EQ(pna()->state(), PnaState::kBusy);
+  ControlMessage reset;
+  reset.type = ControlType::kReset;
+  reset.instance = 7;
+  stage_control(reset);
+  sim.run_until(sim::SimTime::from_seconds(400));
+  EXPECT_EQ(pna()->state(), PnaState::kIdle);
+  EXPECT_EQ(pna()->stats().resets, 1u);
+  EXPECT_EQ(pna()->dve(), nullptr);
+}
+
+TEST_F(PnaTest, ResetForOtherInstanceIgnored) {
+  stage_control(wakeup(7));
+  sim.run_until(sim::SimTime::from_seconds(300));
+  ASSERT_EQ(pna()->state(), PnaState::kBusy);
+  ControlMessage reset;
+  reset.type = ControlType::kReset;
+  reset.instance = 99;
+  stage_control(reset);
+  sim.run_until(sim::SimTime::from_seconds(400));
+  EXPECT_EQ(pna()->state(), PnaState::kBusy);
+}
+
+TEST_F(PnaTest, UnicastResetViaHeartbeatReply) {
+  stage_control(wakeup(7));
+  sim.run_until(sim::SimTime::from_seconds(300));
+  ASSERT_EQ(pna()->state(), PnaState::kBusy);
+  controller.reset_on_next_beat = 7;
+  sim.run_until(sim::SimTime::from_seconds(400));
+  EXPECT_EQ(pna()->state(), PnaState::kIdle);
+  EXPECT_EQ(pna()->stats().resets, 1u);
+}
+
+TEST_F(PnaTest, JoiningStateReportedWhileImageLoads) {
+  stage_control(wakeup(7));
+  // The 1 MB image at ~1 Mbps takes ~8.4 s+ to read; before that the PNA
+  // must have announced kJoining.
+  sim.run_until(sim::SimTime::from_seconds(4));
+  bool saw_joining = false;
+  for (const auto& hb : controller.heartbeats) {
+    if (hb.state == PnaState::kJoining && hb.instance == 7) {
+      saw_joining = true;
+    }
+  }
+  ASSERT_NE(pna(), nullptr);
+  EXPECT_TRUE(saw_joining || pna()->state() == PnaState::kJoining);
+}
+
+TEST_F(PnaTest, PowerOffDestroysXlet) {
+  stage_control(wakeup(7));
+  sim.run_until(sim::SimTime::from_seconds(300));
+  ASSERT_NE(pna(), nullptr);
+  receiver->set_power_mode(dtv::PowerMode::kOff);
+  EXPECT_EQ(pna(), nullptr);
+  sim.run_until(sim::SimTime::from_seconds(400));  // must not crash
+}
+
+TEST_F(PnaTest, NullContentStoreRejected) {
+  PnaEnvironment bad;
+  bad.content_store = nullptr;
+  EXPECT_THROW(PnaXlet(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oddci::core

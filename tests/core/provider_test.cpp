@@ -1,0 +1,109 @@
+#include "core/provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace oddci::core {
+namespace {
+
+constexpr auto kMbps = [](double m) { return util::BitRate::from_mbps(m); };
+
+class BeatSource final : public net::Endpoint {
+ public:
+  BeatSource(net::Network& net) : net_(&net) {
+    id_ = net.register_endpoint(
+        this, {kMbps(100), kMbps(100), sim::SimTime::zero()});
+  }
+  void beat(net::NodeId controller, PnaState state, InstanceId instance) {
+    net_->send(id_, controller,
+               std::make_shared<HeartbeatMessage>(id_, state, instance));
+  }
+  void on_message(net::NodeId, const net::MessagePtr&) override {}
+
+ private:
+  net::Network* net_;
+  net::NodeId id_;
+};
+
+struct ProviderTest : ::testing::Test {
+  sim::Simulation sim;
+  net::Network net{sim};
+  broadcast::BroadcastChannel channel{
+      sim,
+      broadcast::TransportStream(kMbps(1.1), util::BitRate::from_kbps(100)),
+      3};
+  ContentStore store;
+  Controller controller{sim, net, channel, store, 1,
+                        net::LinkSpec{kMbps(1000), kMbps(1000),
+                                      sim::SimTime::zero()}};
+  Provider provider{controller};
+
+  InstanceSpec spec(std::size_t target) {
+    InstanceSpec s;
+    s.target_size = target;
+    s.image_size = util::Bits::from_megabytes(1);
+    return s;
+  }
+};
+
+TEST_F(ProviderTest, RequestCreatesInstance) {
+  controller.deploy_pna();
+  const InstanceId id = provider.request_instance(spec(2), 99);
+  EXPECT_NE(id, kNoInstance);
+  EXPECT_EQ(provider.status(id)->target_size, 2u);
+  EXPECT_EQ(provider.stats().instances_requested, 1u);
+}
+
+TEST_F(ProviderTest, ReadyCallbackFiresWhenTargetReached) {
+  controller.deploy_pna();
+  int ready_calls = 0;
+  sim::SimTime ready_time;
+  const InstanceId id = provider.request_instance(
+      spec(2), 99, [&](InstanceId i, sim::SimTime at) {
+        ++ready_calls;
+        ready_time = at;
+        EXPECT_NE(i, kNoInstance);
+      });
+
+  BeatSource a(net), b(net);
+  sim.run_until(sim::SimTime::from_seconds(10));
+  a.beat(controller.node_id(), PnaState::kBusy, id);
+  sim.run_until(sim::SimTime::from_seconds(11));
+  EXPECT_EQ(ready_calls, 0);  // only 1 of 2
+  b.beat(controller.node_id(), PnaState::kBusy, id);
+  sim.run_until(sim::SimTime::from_seconds(12));
+  EXPECT_EQ(ready_calls, 1);
+  EXPECT_GT(ready_time.seconds(), 10.0);
+
+  // Shrinking and regrowing must not re-fire the one-shot callback.
+  a.beat(controller.node_id(), PnaState::kIdle, kNoInstance);
+  a.beat(controller.node_id(), PnaState::kBusy, id);
+  sim.run_until(sim::SimTime::from_seconds(13));
+  EXPECT_EQ(ready_calls, 1);
+}
+
+TEST_F(ProviderTest, ReleaseCancelsPendingReadiness) {
+  controller.deploy_pna();
+  int ready_calls = 0;
+  const InstanceId id = provider.request_instance(
+      spec(1), 99, [&](InstanceId, sim::SimTime) { ++ready_calls; });
+  provider.release_instance(id);
+  BeatSource a(net);
+  a.beat(controller.node_id(), PnaState::kBusy, id);
+  sim.run_until(sim.now() + sim::SimTime::from_seconds(5));
+  EXPECT_EQ(ready_calls, 0);
+  EXPECT_EQ(provider.stats().instances_released, 1u);
+  EXPECT_FALSE(provider.status(id)->active);
+}
+
+TEST_F(ProviderTest, ResizeDelegates) {
+  controller.deploy_pna();
+  const InstanceId id = provider.request_instance(spec(2), 99);
+  provider.resize_instance(id, 7);
+  EXPECT_EQ(provider.status(id)->target_size, 7u);
+  EXPECT_EQ(provider.stats().resizes, 1u);
+}
+
+}  // namespace
+}  // namespace oddci::core

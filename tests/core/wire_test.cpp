@@ -1,0 +1,182 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace oddci::core::wire {
+namespace {
+
+ControlMessage sample_control(util::Random& rng) {
+  ControlMessage m;
+  m.type = rng.bernoulli(0.5) ? ControlType::kWakeup : ControlType::kReset;
+  m.instance = rng.engine().next();
+  m.probability = rng.uniform();
+  m.requirements.min_ram = util::Bits(
+      static_cast<std::int64_t>(rng.uniform_u64(1u << 30)));
+  m.requirements.min_flash = util::Bits(
+      static_cast<std::int64_t>(rng.uniform_u64(1u << 20)));
+  m.requirements.device_kind =
+      rng.bernoulli(0.5) ? "stb-st7109" : std::string{};
+  m.heartbeat_interval =
+      sim::SimTime::from_seconds(rng.uniform(1.0, 300.0));
+  m.image.image_id = rng.engine().next();
+  m.image.name = "image-" + std::to_string(rng.uniform_u64(1000));
+  m.image.size = util::Bits(
+      static_cast<std::int64_t>(rng.uniform_u64(1u << 30)) + 1);
+  m.controller_node = static_cast<net::NodeId>(rng.uniform_u64(1000));
+  m.backend_node = static_cast<net::NodeId>(rng.uniform_u64(1000));
+  const auto aggregator_count = rng.uniform_u64(5);
+  for (std::uint64_t i = 0; i < aggregator_count; ++i) {
+    m.aggregators.push_back(static_cast<net::NodeId>(rng.uniform_u64(1000)));
+  }
+  m.sign_with(0xFEED);
+  return m;
+}
+
+bool control_equal(const ControlMessage& a, const ControlMessage& b) {
+  return a.canonical_bytes() == b.canonical_bytes() &&
+         a.signature == b.signature;
+}
+
+TEST(WirePrimitives, RoundTrip) {
+  Writer w;
+  w.u8(0xAB).u32(0xDEADBEEF).u64(0x0123456789ABCDEFull).i64(-42).f64(3.25)
+      .str("hello");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WirePrimitives, TruncationThrows) {
+  Writer w;
+  w.u64(7);
+  Reader r(std::string_view(w.bytes()).substr(0, 5));
+  EXPECT_THROW(r.u64(), WireError);
+  Reader r2("");
+  EXPECT_THROW(r2.u8(), WireError);
+  // String length prefix larger than the remaining bytes.
+  Writer w3;
+  w3.u32(100);
+  Reader r3(w3.bytes());
+  EXPECT_THROW(r3.str(), WireError);
+}
+
+// Property: every randomly generated control message survives the wire
+// byte-for-byte, including its signature (so verification still passes on
+// the receiver side).
+class ControlRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ControlRoundTrip, EncodeDecodePreservesEverything) {
+  util::Random rng(GetParam());
+  const ControlMessage original = sample_control(rng);
+  const std::string bytes = encode(original);
+  const ControlMessage decoded = decode_control(bytes);
+  EXPECT_TRUE(control_equal(original, decoded));
+  EXPECT_TRUE(decoded.verify_with(0xFEED));
+  EXPECT_FALSE(decoded.verify_with(0xBEEF));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControlRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(ControlWire, MalformedInputsThrow) {
+  util::Random rng(9);
+  const std::string good = encode(sample_control(rng));
+  // Bad magic.
+  std::string bad_magic = good;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0xFF);
+  EXPECT_THROW(decode_control(bad_magic), WireError);
+  // Every truncation point must throw, never crash or return garbage.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_THROW(decode_control(std::string_view(good).substr(0, cut)),
+                 WireError)
+        << "cut at " << cut;
+  }
+  // Trailing garbage rejected.
+  EXPECT_THROW(decode_control(good + "x"), WireError);
+  // Unknown control type rejected (type byte right after the magic).
+  std::string bad_type = good;
+  bad_type[4] = 0x7F;
+  EXPECT_THROW(decode_control(bad_type), WireError);
+}
+
+TEST(DirectWire, AllMessageTypesRoundTrip) {
+  const HeartbeatMessage hb(42, PnaState::kJoining, 7);
+  const auto hb2 = decode_message(encode(hb));
+  const auto& hbd = static_cast<const HeartbeatMessage&>(*hb2);
+  EXPECT_EQ(hbd.pna_id(), 42u);
+  EXPECT_EQ(hbd.state(), PnaState::kJoining);
+  EXPECT_EQ(hbd.instance(), 7u);
+
+  const HeartbeatReplyMessage reply(7, HeartbeatCommand::kReset);
+  const auto& rd = static_cast<const HeartbeatReplyMessage&>(
+      *decode_message(encode(reply)));
+  EXPECT_EQ(rd.command(), HeartbeatCommand::kReset);
+
+  const TaskRequestMessage req(7, 42);
+  const auto& reqd =
+      static_cast<const TaskRequestMessage&>(*decode_message(encode(req)));
+  EXPECT_EQ(reqd.pna_id(), 42u);
+
+  const TaskAssignMessage assign(7, 3, util::Bits(4096), util::Bits(2048),
+                                 12.5);
+  const auto& ad =
+      static_cast<const TaskAssignMessage&>(*decode_message(encode(assign)));
+  EXPECT_EQ(ad.task_index(), 3u);
+  EXPECT_EQ(ad.input_size(), util::Bits(4096));
+  EXPECT_EQ(ad.result_size(), util::Bits(2048));
+  EXPECT_DOUBLE_EQ(ad.reference_seconds(), 12.5);
+
+  const TaskResultMessage result(7, 3, 42, util::Bits(2048));
+  const auto& resd =
+      static_cast<const TaskResultMessage&>(*decode_message(encode(result)));
+  EXPECT_EQ(resd.wire_size(), result.wire_size());
+
+  const NoTaskMessage none(7);
+  EXPECT_EQ(decode_message(encode(none))->tag(), kTagNoTask);
+
+  const TaskAbortMessage abort_msg(7, 3, 42);
+  const auto& abd =
+      static_cast<const TaskAbortMessage&>(*decode_message(encode(abort_msg)));
+  EXPECT_EQ(abd.task_index(), 3u);
+
+  const AggregateReportMessage report(
+      {{1, PnaState::kIdle, 0}, {2, PnaState::kBusy, 9}});
+  const auto& repd = static_cast<const AggregateReportMessage&>(
+      *decode_message(encode(report)));
+  ASSERT_EQ(repd.entries().size(), 2u);
+  EXPECT_EQ(repd.entries()[1].instance, 9u);
+}
+
+TEST(DirectWire, MalformedInputsThrow) {
+  EXPECT_THROW(decode_message(""), WireError);
+  EXPECT_THROW(decode_message("\x7f"), WireError);  // unknown tag
+  const std::string good = encode(HeartbeatMessage(1, PnaState::kIdle, 0));
+  for (std::size_t cut = 1; cut < good.size(); ++cut) {
+    EXPECT_THROW(decode_message(std::string_view(good).substr(0, cut)),
+                 WireError);
+  }
+  EXPECT_THROW(decode_message(good + "x"), WireError);
+  // Invalid enum value on the wire.
+  std::string bad_state = good;
+  bad_state[9] = 0x55;  // state byte after tag + pna_id
+  EXPECT_THROW(decode_message(bad_state), WireError);
+  // Implausible aggregate count.
+  Writer w;
+  w.u8(kTagAggregateReport).u32(0xFFFFFFFF);
+  EXPECT_THROW(decode_message(w.bytes()), WireError);
+}
+
+TEST(DirectWire, BlobHasNoWireFormat) {
+  const BlobMessage blob(kTagRemoteQuery, 1, util::Bits(8));
+  EXPECT_THROW(encode(blob), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oddci::core::wire

@@ -1,0 +1,254 @@
+#include "dtv/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "broadcast/channel.hpp"
+
+namespace oddci::dtv {
+namespace {
+
+constexpr auto kMbps = [](double m) { return util::BitRate::from_mbps(m); };
+
+class SmallMessage final : public net::Message {
+ public:
+  [[nodiscard]] util::Bits wire_size() const override {
+    return util::Bits(800);
+  }
+  [[nodiscard]] int tag() const override { return 1; }
+};
+
+struct ReceiverTest : ::testing::Test {
+  sim::Simulation sim;
+  net::Network net{sim};
+  broadcast::BroadcastChannel channel{
+      sim, broadcast::TransportStream(kMbps(1.1),
+                                      util::BitRate::from_kbps(100)),
+      7, sim::SimTime::from_millis(500)};
+  net::LinkSpec link{util::BitRate::from_kbps(150),
+                     util::BitRate::from_kbps(150),
+                     sim::SimTime::from_millis(10)};
+  std::unique_ptr<Receiver> receiver = std::make_unique<Receiver>(
+      sim, net, DeviceProfile::stb_st7109(), link);
+};
+
+TEST_F(ReceiverTest, StartsInStandbyAndRegistered) {
+  EXPECT_EQ(receiver->power_mode(), PowerMode::kStandby);
+  EXPECT_TRUE(receiver->powered());
+  EXPECT_TRUE(net.attached(receiver->node_id()));
+}
+
+TEST_F(ReceiverTest, ExecutionScalesWithProfileAndPowerMode) {
+  // Standby: 20.6/1.65 = 12.4848x.
+  EXPECT_NEAR(receiver->scaled_seconds(1.0), 20.6 / 1.65, 1e-9);
+  receiver->set_power_mode(PowerMode::kInUse);
+  EXPECT_NEAR(receiver->scaled_seconds(1.0), 20.6, 1e-9);
+
+  bool done = false;
+  receiver->execute(1.0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(sim.now().seconds(), 20.6, 1e-3);
+}
+
+TEST_F(ReceiverTest, ExecutionsSerializeFifo) {
+  receiver->set_power_mode(PowerMode::kInUse);
+  std::vector<double> completions;
+  receiver->execute(1.0, [&] { completions.push_back(sim.now().seconds()); });
+  receiver->execute(1.0, [&] { completions.push_back(sim.now().seconds()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_NEAR(completions[0], 20.6, 1e-3);
+  EXPECT_NEAR(completions[1], 41.2, 1e-3);
+}
+
+TEST_F(ReceiverTest, CancelExecutionSuppressesCallback) {
+  bool done = false;
+  const auto token = receiver->execute(1.0, [&] { done = true; });
+  EXPECT_TRUE(receiver->cancel_execution(token));
+  EXPECT_FALSE(receiver->cancel_execution(token));
+  sim.run();
+  EXPECT_FALSE(done);
+}
+
+TEST_F(ReceiverTest, ExecuteValidatesArguments) {
+  EXPECT_THROW(receiver->execute(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(receiver->execute(1.0, nullptr), std::invalid_argument);
+  receiver->set_power_mode(PowerMode::kOff);
+  EXPECT_THROW(receiver->scaled_seconds(1.0), std::logic_error);
+}
+
+TEST_F(ReceiverTest, PowerOffCancelsExecutionsAndDetaches) {
+  bool done = false;
+  receiver->execute(1.0, [&] { done = true; });
+  receiver->set_power_mode(PowerMode::kOff);
+  sim.run();
+  EXPECT_FALSE(done);
+  EXPECT_FALSE(net.attached(receiver->node_id()));
+  EXPECT_FALSE(receiver->powered());
+}
+
+TEST_F(ReceiverTest, PowerOnReattaches) {
+  receiver->set_power_mode(PowerMode::kOff);
+  receiver->set_power_mode(PowerMode::kStandby);
+  EXPECT_TRUE(net.attached(receiver->node_id()));
+}
+
+TEST_F(ReceiverTest, MessagesReachInstalledHandler) {
+  Receiver peer(sim, net, DeviceProfile::reference_pc(), link);
+  int got = 0;
+  receiver->set_message_handler(
+      [&](net::NodeId, const net::MessagePtr&) { ++got; });
+  peer.send(receiver->node_id(), std::make_shared<SmallMessage>());
+  sim.run();
+  EXPECT_EQ(got, 1);
+  receiver->clear_message_handler();
+  peer.send(receiver->node_id(), std::make_shared<SmallMessage>());
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(ReceiverTest, SendWhileOffIsDropped) {
+  Receiver peer(sim, net, DeviceProfile::reference_pc(), link);
+  int got = 0;
+  peer.set_message_handler(
+      [&](net::NodeId, const net::MessagePtr&) { ++got; });
+  receiver->set_power_mode(PowerMode::kOff);
+  receiver->send(peer.node_id(), std::make_shared<SmallMessage>());
+  sim.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(ReceiverTest, CarouselReadFailsWhenUntunedOrMissing) {
+  int failures = 0;
+  receiver->read_carousel_file(
+      "f", [&](bool ok, const broadcast::CarouselFile&) {
+        if (!ok) ++failures;
+      });
+  EXPECT_EQ(failures, 1);  // not tuned
+
+  receiver->tune(channel);
+  receiver->read_carousel_file(
+      "f", [&](bool ok, const broadcast::CarouselFile&) {
+        if (!ok) ++failures;
+      });
+  EXPECT_EQ(failures, 2);  // nothing committed / file absent
+}
+
+TEST_F(ReceiverTest, CarouselReadCompletesAfterAcquisition) {
+  receiver->tune(channel);
+  channel.carousel().put_file("f", util::Bits(1'000'000), 1);
+  channel.commit();
+  bool ok_read = false;
+  sim::SimTime done_at;
+  receiver->read_carousel_file(
+      "f", [&](bool ok, const broadcast::CarouselFile& file) {
+        ok_read = ok;
+        done_at = sim.now();
+        EXPECT_EQ(file.name, "f");
+        EXPECT_EQ(file.content_id, 1u);
+      });
+  sim.run();
+  EXPECT_TRUE(ok_read);
+  // At 1 Mbps the 1 Mbit file needs at least 1 s (plus phase wait).
+  EXPECT_GE(done_at.seconds(), 1.0 - 1e-6);
+}
+
+TEST_F(ReceiverTest, CarouselReadInvalidatedByPowerOff) {
+  receiver->tune(channel);
+  channel.carousel().put_file("f", util::Bits(1'000'000), 1);
+  channel.commit();
+  bool ok_read = true;
+  bool called = false;
+  receiver->read_carousel_file(
+      "f", [&](bool ok, const broadcast::CarouselFile&) {
+        called = true;
+        ok_read = ok;
+      });
+  receiver->set_power_mode(PowerMode::kOff);
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok_read);
+}
+
+TEST_F(ReceiverTest, CarouselReadSurvivesUnrelatedCommit) {
+  receiver->tune(channel);
+  channel.carousel().put_file("f", util::Bits(1'000'000), 1);
+  channel.carousel().put_file("other", util::Bits(1'000'000), 2);
+  channel.commit();
+  bool ok_read = false;
+  receiver->read_carousel_file(
+      "f",
+      [&](bool ok, const broadcast::CarouselFile&) { ok_read = ok; });
+  // Update the *other* module: module-version semantics keep our read.
+  channel.carousel().put_file("other", util::Bits(1'000'000), 3);
+  channel.commit();
+  sim.run();
+  EXPECT_TRUE(ok_read);
+}
+
+TEST_F(ReceiverTest, CarouselReadInvalidatedByModuleUpdate) {
+  receiver->tune(channel);
+  channel.carousel().put_file("f", util::Bits(1'000'000), 1);
+  channel.commit();
+  bool ok_read = true;
+  receiver->read_carousel_file(
+      "f",
+      [&](bool ok, const broadcast::CarouselFile&) { ok_read = ok; });
+  channel.carousel().put_file("f", util::Bits(1'000'000), 5);  // version bump
+  channel.commit();
+  sim.run();
+  EXPECT_FALSE(ok_read);
+}
+
+TEST_F(ReceiverTest, AutostartLaunchesAfterBaseFileAcquisition) {
+  int launches = 0;
+  receiver->application_manager().register_factory("app", [&] {
+    ++launches;
+    class Nop final : public Xlet {
+      void init_xlet(XletContext&) override {}
+      void start_xlet() override {}
+      void pause_xlet() override {}
+      void destroy_xlet(bool) override {}
+    };
+    return std::make_unique<Nop>();
+  });
+  receiver->tune(channel);
+  broadcast::AitEntry e;
+  e.application_id = 1;
+  e.control_code = broadcast::AppControlCode::kAutostart;
+  e.application_name = "app";
+  e.base_file = "app.jar";
+  channel.ait().upsert(e);
+  channel.carousel().put_file("app.jar", util::Bits(100'000), 1);
+  channel.commit();
+  sim.run();
+  EXPECT_EQ(launches, 1);
+  EXPECT_TRUE(receiver->application_manager().running(1));
+}
+
+TEST_F(ReceiverTest, ChannelChangeDestroysApps) {
+  receiver->application_manager().register_factory("app", [] {
+    class Nop final : public Xlet {
+      void init_xlet(XletContext&) override {}
+      void start_xlet() override {}
+      void pause_xlet() override {}
+      void destroy_xlet(bool) override {}
+    };
+    return std::make_unique<Nop>();
+  });
+  receiver->application_manager().launch(1, "app");
+  broadcast::BroadcastChannel other{
+      sim, broadcast::TransportStream(kMbps(1.1),
+                                      util::BitRate::from_kbps(100)),
+      8};
+  receiver->tune(channel);
+  EXPECT_TRUE(receiver->application_manager().running(1));
+  receiver->tune(other);
+  EXPECT_FALSE(receiver->application_manager().running(1));
+}
+
+}  // namespace
+}  // namespace oddci::dtv

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "broadcast/channel.hpp"
+#include "dtv/receiver.hpp"
+
+namespace oddci::dtv {
+namespace {
+
+/// Records every lifecycle call in order.
+class TraceXlet final : public Xlet {
+ public:
+  explicit TraceXlet(std::vector<std::string>* trace) : trace_(trace) {}
+  void init_xlet(XletContext&) override { trace_->push_back("init"); }
+  void start_xlet() override { trace_->push_back("start"); }
+  void pause_xlet() override { trace_->push_back("pause"); }
+  void destroy_xlet(bool unconditional) override {
+    trace_->push_back(unconditional ? "destroy!" : "destroy");
+  }
+
+ private:
+  std::vector<std::string>* trace_;
+};
+
+struct XletLifecycleTest : ::testing::Test {
+  sim::Simulation sim;
+  net::Network net{sim};
+  net::LinkSpec link{util::BitRate::from_mbps(1), util::BitRate::from_mbps(1),
+                     sim::SimTime::zero()};
+  Receiver receiver{sim, net, DeviceProfile::reference_stb(), link};
+  std::vector<std::string> trace;
+
+  void SetUp() override {
+    receiver.application_manager().register_factory(
+        "trace", [this] { return std::make_unique<TraceXlet>(&trace); });
+  }
+};
+
+TEST_F(XletLifecycleTest, LaunchFollowsFigure4) {
+  auto& am = receiver.application_manager();
+  EXPECT_TRUE(am.launch(1, "trace"));
+  // Loaded -> initXlet -> Paused -> startXlet -> Started.
+  EXPECT_EQ(trace, (std::vector<std::string>{"init", "start"}));
+  EXPECT_EQ(am.state(1), XletState::kStarted);
+  EXPECT_TRUE(am.running(1));
+  EXPECT_EQ(am.active_count(), 1u);
+}
+
+TEST_F(XletLifecycleTest, LaunchUnknownFactoryFails) {
+  EXPECT_FALSE(receiver.application_manager().launch(1, "unknown"));
+}
+
+TEST_F(XletLifecycleTest, DoubleLaunchFails) {
+  auto& am = receiver.application_manager();
+  EXPECT_TRUE(am.launch(1, "trace"));
+  EXPECT_FALSE(am.launch(1, "trace"));
+  EXPECT_EQ(am.active_count(), 1u);
+}
+
+TEST_F(XletLifecycleTest, PauseResumeCycle) {
+  auto& am = receiver.application_manager();
+  am.launch(1, "trace");
+  EXPECT_TRUE(am.pause(1));
+  EXPECT_EQ(am.state(1), XletState::kPaused);
+  EXPECT_FALSE(am.pause(1));  // already paused
+  EXPECT_TRUE(am.resume(1));
+  EXPECT_EQ(am.state(1), XletState::kStarted);
+  EXPECT_FALSE(am.resume(1));  // already started
+  EXPECT_EQ(trace,
+            (std::vector<std::string>{"init", "start", "pause", "start"}));
+}
+
+TEST_F(XletLifecycleTest, DestroyIsTerminalAndRemoves) {
+  auto& am = receiver.application_manager();
+  am.launch(1, "trace");
+  EXPECT_TRUE(am.destroy(1));
+  EXPECT_EQ(trace.back(), "destroy!");
+  EXPECT_FALSE(am.running(1));
+  EXPECT_EQ(am.state(1), XletState::kDestroyed);
+  EXPECT_FALSE(am.destroy(1));
+  EXPECT_FALSE(am.pause(1));
+  EXPECT_FALSE(am.resume(1));
+  // A destroyed instance can never be restarted, but a *new* instance of
+  // the same application can be launched.
+  EXPECT_TRUE(am.launch(1, "trace"));
+}
+
+TEST_F(XletLifecycleTest, DestroyAllClearsEverything) {
+  auto& am = receiver.application_manager();
+  am.launch(1, "trace");
+  am.launch(2, "trace");
+  am.destroy_all();
+  EXPECT_EQ(am.active_count(), 0u);
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), "destroy!"), 2);
+}
+
+TEST_F(XletLifecycleTest, ProcessAitAutostartsAndDestroys) {
+  auto& am = receiver.application_manager();
+  broadcast::Ait ait;
+  broadcast::AitEntry e;
+  e.application_id = 5;
+  e.control_code = broadcast::AppControlCode::kAutostart;
+  e.application_name = "trace";
+  ait.upsert(e);
+  am.process_ait(ait);
+  EXPECT_TRUE(am.running(5));
+  // Re-processing the same AIT must not relaunch.
+  am.process_ait(ait);
+  EXPECT_EQ(am.active_count(), 1u);
+
+  e.control_code = broadcast::AppControlCode::kKill;
+  ait.upsert(e);
+  am.process_ait(ait);
+  EXPECT_FALSE(am.running(5));
+}
+
+TEST_F(XletLifecycleTest, StateNames) {
+  EXPECT_STREQ(to_string(XletState::kLoaded), "Loaded");
+  EXPECT_STREQ(to_string(XletState::kPaused), "Paused");
+  EXPECT_STREQ(to_string(XletState::kStarted), "Started");
+  EXPECT_STREQ(to_string(XletState::kDestroyed), "Destroyed");
+}
+
+}  // namespace
+}  // namespace oddci::dtv

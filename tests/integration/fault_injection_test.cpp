@@ -1,0 +1,136 @@
+// Failure-injection scenarios: receiver churn, mass outages, and the
+// Controller's recomposition keeping instances alive.
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "workload/job.hpp"
+
+namespace oddci::core {
+namespace {
+
+workload::Job job_of(std::size_t tasks, double p) {
+  return workload::make_uniform_job(
+      "fault", util::Bits::from_megabytes(1), tasks,
+      util::Bits::from_bytes(256), util::Bits::from_bytes(256), p);
+}
+
+TEST(FaultInjection, JobCompletesUnderChurn) {
+  SystemConfig config;
+  config.receivers = 300;
+  config.seed = 21;
+  ChurnOptions churn;
+  churn.mean_on_seconds = 1200;
+  churn.mean_off_seconds = 600;
+  config.churn = churn;
+  config.controller_overshoot = 1.3;
+
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(300, 10.0), 50, sim::SimTime::from_hours(12));
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.job.results_received, 300u);
+  // Churn forces re-dispatch and/or recomposition at some point.
+  EXPECT_GT(result.job.reassignments + result.controller.recompositions +
+                result.controller.members_pruned,
+            0u);
+}
+
+TEST(FaultInjection, RecompositionReplacesLostMembers) {
+  SystemConfig config;
+  config.receivers = 200;
+  config.seed = 22;
+  ChurnOptions churn;
+  churn.mean_on_seconds = 600;  // aggressive: ~10 min sessions
+  churn.mean_off_seconds = 300;
+  config.churn = churn;
+
+  OddciSystem system(config);
+  system.controller().deploy_pna();
+  system.simulation().run_until(sim::SimTime::from_seconds(120));
+
+  InstanceSpec spec;
+  spec.name = "churny";
+  spec.target_size = 30;
+  spec.image_size = util::Bits::from_megabytes(1);
+  const InstanceId id =
+      system.provider().request_instance(spec, system.backend().node_id());
+
+  system.simulation().run_until(sim::SimTime::from_hours(3));
+  const InstanceStatus* st = system.controller().status(id);
+  ASSERT_NE(st, nullptr);
+  // Members were lost (pruned) and wakeups were retransmitted to recompose.
+  EXPECT_GT(system.controller().stats().members_pruned, 0u);
+  EXPECT_GT(st->wakeups_broadcast, 1u);
+  // Despite the churn the instance hovers near its target.
+  EXPECT_GE(st->current_size, 20u);
+}
+
+TEST(FaultInjection, MassOutageThenRecovery) {
+  SystemConfig config;
+  config.receivers = 150;
+  config.seed = 23;
+  OddciSystem system(config);
+  system.controller().deploy_pna();
+  system.simulation().run_until(sim::SimTime::from_seconds(120));
+
+  InstanceSpec spec;
+  spec.name = "outage";
+  spec.target_size = 40;
+  spec.image_size = util::Bits::from_megabytes(1);
+  const InstanceId id =
+      system.provider().request_instance(spec, system.backend().node_id());
+  system.simulation().run_until(sim::SimTime::from_seconds(600));
+  ASSERT_GE(system.controller().status(id)->current_size, 40u);
+
+  // Power off 60% of the population at once.
+  const auto& receivers = system.receivers();
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    if (i % 5 < 3) {
+      receivers[i]->set_power_mode(dtv::PowerMode::kOff);
+    }
+  }
+  // The controller prunes the dead members (recomposition may already be
+  // refilling from survivors, so assert on the pruning counter, not size).
+  system.simulation().run_until(sim::SimTime::from_seconds(900));
+  EXPECT_GT(system.controller().stats().members_pruned, 0u);
+
+  // ...survivors return, and recomposition refills the instance.
+  for (const auto& receiver : receivers) {
+    if (!receiver->powered()) {
+      receiver->set_power_mode(dtv::PowerMode::kStandby);
+    }
+  }
+  system.simulation().run_until(sim::SimTime::from_hours(2));
+  EXPECT_GE(system.controller().status(id)->current_size, 40u);
+}
+
+TEST(FaultInjection, TasksLostToTrimmingAreRedispatched) {
+  // Deliberate heavy overshoot: many PNAs join, the trim resets some while
+  // they hold tasks; the Backend timeout must recover every task.
+  SystemConfig config;
+  config.receivers = 200;
+  config.seed = 24;
+  config.controller_overshoot = 4.0;
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(400, 20.0), 20, sim::SimTime::from_hours(12));
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.job.results_received, 400u);
+}
+
+TEST(FaultInjection, UntunedReceiversNeverParticipate) {
+  SystemConfig config;
+  config.receivers = 100;
+  config.tuned_fraction = 0.0;
+  config.seed = 25;
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(10, 1.0), 10, sim::SimTime::from_hours(1));
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.final_instance_size, 0u);
+  EXPECT_EQ(result.controller.heartbeats_received, 0u);
+}
+
+}  // namespace
+}  // namespace oddci::core

@@ -1,0 +1,131 @@
+// Cross-validation of the discrete-event simulation against the paper's
+// closed-form models (Section 5): the measured wakeup, makespan and
+// efficiency must track W = 1.5 I/beta, Eq. (1) and Eq. (2).
+
+#include <gtest/gtest.h>
+
+#include "analytical/models.hpp"
+#include "core/system.hpp"
+#include "util/stats.hpp"
+#include "workload/job.hpp"
+
+namespace oddci {
+namespace {
+
+core::SystemConfig base_config(std::uint64_t seed) {
+  core::SystemConfig config;
+  config.receivers = 400;
+  config.seed = seed;
+  config.controller_overshoot = 1.3;  // form the instance in one broadcast
+  return config;
+}
+
+TEST(ModelValidation, WakeupMeanApproaches1Point5Cycles) {
+  // Across seeds the measured wakeup time (first time the instance hits its
+  // target) averages close to the analytical 1.5 I/beta, within the spread
+  // allowed by the random carousel rotation.
+  const auto image = util::Bits::from_megabytes(4);
+  util::RunningStats w;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    core::OddciSystem system(base_config(seed));
+    const workload::Job job = workload::make_uniform_job(
+        "w", image, 100, util::Bits(0), util::Bits::from_bytes(128), 5.0);
+    const auto result = system.run_job(job, 100);
+    ASSERT_GT(result.wakeup_seconds, 0.0) << "seed " << seed;
+    w.add(result.wakeup_seconds);
+  }
+  const double model = analytical::wakeup_seconds(
+      image, util::BitRate::from_mbps(1.0));
+  const double best = analytical::wakeup_best_seconds(
+      image, util::BitRate::from_mbps(1.0));
+  const double worst = analytical::wakeup_worst_seconds(
+      image, util::BitRate::from_mbps(1.0));
+  // Every sample within [best, worst] + signalling/heartbeat slack.
+  EXPECT_GE(w.min(), best * 0.99);
+  EXPECT_LE(w.max(), worst + 40.0);
+  // Mean within 20% of 1.5 I/beta.
+  EXPECT_NEAR(w.mean(), model, model * 0.20);
+}
+
+TEST(ModelValidation, MakespanTracksEquationOne) {
+  analytical::SystemModel sm;
+  for (const double phi : {10.0, 100.0, 1000.0}) {
+    core::OddciSystem system(base_config(77));
+    const std::size_t N = 100;
+    const std::size_t n = 10 * N;
+    workload::Job job = workload::make_job_for_suitability(
+        "m", util::Bits::from_megabytes(10), n, util::Bits::from_kilobytes(1),
+        sm.delta, phi);
+    const auto result =
+        system.run_job(job, N, sim::SimTime::from_hours(48));
+    ASSERT_TRUE(result.completed) << "phi " << phi;
+
+    analytical::JobModel jm;
+    jm.n = n;
+    jm.s_bits = job.avg_input_bits();
+    jm.r_bits = job.avg_result_bits();
+    jm.p_seconds = job.avg_reference_seconds();
+    jm.image = job.image_size;
+    const double model = analytical::makespan_seconds(sm, jm, N);
+    // Eq. (1) ignores the per-task dispatch round trip, so short tasks
+    // (low phi) run measurably above the model; the gap closes as the task
+    // time dominates. Downward, a single run can only beat the model by
+    // the wakeup spread: W is a mean over carousel rotations, and a lucky
+    // rotation starts at the best case I/beta.
+    const double w_spread =
+        analytical::wakeup_seconds(jm.image, sm.beta) -
+        analytical::wakeup_best_seconds(jm.image, sm.beta);
+    const double tolerance = phi >= 1000.0 ? 0.25 : 0.60;
+    EXPECT_GE(result.makespan_seconds, model - w_spread - 10.0)
+        << "phi " << phi;
+    EXPECT_LE(result.makespan_seconds, model * (1.0 + tolerance) + w_spread)
+        << "phi " << phi;
+  }
+}
+
+TEST(ModelValidation, EfficiencyRisesWithSuitability) {
+  analytical::SystemModel sm;
+  double last_measured = 0.0;
+  for (const double phi : {1.0, 10.0, 100.0}) {
+    core::OddciSystem system(base_config(99));
+    const std::size_t N = 50;
+    const std::size_t n = 20 * N;
+    workload::Job job = workload::make_job_for_suitability(
+        "e", util::Bits::from_megabytes(10), n, util::Bits::from_kilobytes(1),
+        sm.delta, phi);
+    const auto result =
+        system.run_job(job, N, sim::SimTime::from_hours(48));
+    ASSERT_TRUE(result.completed);
+    const double measured =
+        result.efficiency(n, job.avg_reference_seconds(), N);
+    EXPECT_GT(measured, last_measured) << "phi " << phi;
+    last_measured = measured;
+  }
+  // Analytical E(phi=100, n/N=20) is ~0.46; the simulation additionally
+  // pays the per-task request round trip the model ignores.
+  EXPECT_GT(last_measured, 0.35);
+}
+
+TEST(ModelValidation, HigherRatioImprovesEfficiency) {
+  // Figure 6's family: at fixed phi, larger n/N gives higher efficiency.
+  analytical::SystemModel sm;
+  const double phi = 10.0;
+  double last = 0.0;
+  for (const std::size_t ratio : {1u, 10u, 50u}) {
+    core::OddciSystem system(base_config(55));
+    const std::size_t N = 50;
+    workload::Job job = workload::make_job_for_suitability(
+        "r", util::Bits::from_megabytes(10), ratio * N,
+        util::Bits::from_kilobytes(1), sm.delta, phi);
+    const auto result =
+        system.run_job(job, N, sim::SimTime::from_hours(100));
+    ASSERT_TRUE(result.completed);
+    const double measured =
+        result.efficiency(ratio * N, job.avg_reference_seconds(), N);
+    EXPECT_GT(measured, last) << "ratio " << ratio;
+    last = measured;
+  }
+}
+
+}  // namespace
+}  // namespace oddci

@@ -1,0 +1,136 @@
+// Randomized invariants of the direct-channel network:
+//  * conservation — every message is delivered exactly once (no detached
+//    endpoints in this test);
+//  * per-pair FIFO — two messages A -> B are delivered in send order;
+//  * physics — no delivery earlier than serialization + propagation allows.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace oddci::net {
+namespace {
+
+class SeqMessage final : public Message {
+ public:
+  SeqMessage(std::int64_t bits, std::uint64_t seq) : bits_(bits), seq_(seq) {}
+  [[nodiscard]] util::Bits wire_size() const override {
+    return util::Bits(bits_);
+  }
+  [[nodiscard]] int tag() const override { return 1; }
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+
+ private:
+  std::int64_t bits_;
+  std::uint64_t seq_;
+};
+
+class SeqSink final : public Endpoint {
+ public:
+  explicit SeqSink(sim::Simulation& sim) : sim_(&sim) {}
+  void on_message(NodeId from, const MessagePtr& message) override {
+    const auto& m = static_cast<const SeqMessage&>(*message);
+    received.push_back({from, m.seq(), sim_->now()});
+  }
+  struct Rx {
+    NodeId from;
+    std::uint64_t seq;
+    sim::SimTime at;
+  };
+  std::vector<Rx> received;
+
+ private:
+  sim::Simulation* sim_;
+};
+
+class NetworkPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkPropertyTest, ConservationFifoAndPhysics) {
+  util::Random rng(GetParam());
+  sim::Simulation sim;
+  Network net(sim);
+
+  constexpr std::size_t kNodes = 6;
+  std::vector<std::unique_ptr<SeqSink>> sinks;
+  std::vector<NodeId> ids;
+  std::vector<LinkSpec> specs;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    sinks.push_back(std::make_unique<SeqSink>(sim));
+    LinkSpec spec{util::BitRate::from_kbps(rng.uniform(100.0, 2000.0)),
+                  util::BitRate::from_kbps(rng.uniform(100.0, 2000.0)),
+                  sim::SimTime::from_millis(
+                      static_cast<std::int64_t>(rng.uniform_u64(80)))};
+    specs.push_back(spec);
+    ids.push_back(net.register_endpoint(sinks.back().get(), spec));
+  }
+
+  // Random traffic, recorded per (src, dst) pair with send time.
+  struct Sent {
+    std::uint64_t seq;
+    sim::SimTime sent_at;
+    std::int64_t bits;
+  };
+  std::map<std::pair<NodeId, NodeId>, std::vector<Sent>> sent;
+  std::uint64_t next_seq = 0;
+  const int rounds = 120;
+  for (int r = 0; r < rounds; ++r) {
+    sim.run_until(sim.now() + sim::SimTime::from_millis(
+                                  static_cast<std::int64_t>(
+                                      rng.uniform_u64(30))));
+    const NodeId src = ids[rng.uniform_u64(kNodes)];
+    NodeId dst = ids[rng.uniform_u64(kNodes)];
+    const auto bits =
+        static_cast<std::int64_t>(1 + rng.uniform_u64(200'000));
+    const std::uint64_t seq = next_seq++;
+    sent[{src, dst}].push_back({seq, sim.now(), bits});
+    net.send(src, dst, std::make_shared<SeqMessage>(bits, seq));
+  }
+  sim.run();
+
+  // Conservation.
+  std::size_t delivered = 0;
+  for (const auto& sink : sinks) delivered += sink->received.size();
+  EXPECT_EQ(delivered, static_cast<std::size_t>(rounds));
+  EXPECT_EQ(net.stats().messages_delivered, static_cast<std::uint64_t>(rounds));
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+
+  // FIFO per (src, dst) + physics lower bound per message.
+  for (std::size_t d = 0; d < kNodes; ++d) {
+    std::map<NodeId, std::uint64_t> last_seq_from;
+    for (const auto& rx : sinks[d]->received) {
+      auto it = last_seq_from.find(rx.from);
+      if (it != last_seq_from.end()) {
+        EXPECT_LT(it->second, rx.seq)
+            << "FIFO violated from " << rx.from << " to " << ids[d];
+      }
+      last_seq_from[rx.from] = rx.seq;
+
+      // Find the send record.
+      const auto& history = sent[{rx.from, ids[d]}];
+      const auto sent_it =
+          std::find_if(history.begin(), history.end(),
+                       [&](const Sent& s) { return s.seq == rx.seq; });
+      ASSERT_NE(sent_it, history.end());
+      const std::size_t src_index =
+          std::find(ids.begin(), ids.end(), rx.from) - ids.begin();
+      const double min_latency =
+          static_cast<double>(sent_it->bits) / specs[src_index].uplink.bps() +
+          specs[src_index].latency.seconds() +
+          static_cast<double>(sent_it->bits) / specs[d].downlink.bps();
+      // SimTime quantizes to whole microseconds (up to 3 rounding steps).
+      EXPECT_GE((rx.at - sent_it->sent_at).seconds() + 4e-6, min_latency);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace oddci::net

@@ -1,0 +1,175 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace oddci::net {
+namespace {
+
+/// Fixed-size test message.
+class TestMessage final : public Message {
+ public:
+  explicit TestMessage(std::int64_t bits, int id = 0)
+      : bits_(bits), id_(id) {}
+  [[nodiscard]] util::Bits wire_size() const override {
+    return util::Bits(bits_);
+  }
+  [[nodiscard]] int tag() const override { return 99; }
+  [[nodiscard]] int id() const { return id_; }
+
+ private:
+  std::int64_t bits_;
+  int id_;
+};
+
+/// Endpoint that records deliveries with timestamps.
+class Recorder final : public Endpoint {
+ public:
+  explicit Recorder(sim::Simulation& sim) : sim_(&sim) {}
+  void on_message(NodeId from, const MessagePtr& message) override {
+    deliveries.push_back({from, sim_->now(),
+                          static_cast<const TestMessage&>(*message).id()});
+  }
+  struct Delivery {
+    NodeId from;
+    sim::SimTime at;
+    int id;
+  };
+  std::vector<Delivery> deliveries;
+
+ private:
+  sim::Simulation* sim_;
+};
+
+struct NetworkTest : ::testing::Test {
+  sim::Simulation sim;
+  Network net{sim};
+  LinkSpec fast{util::BitRate::from_mbps(100), util::BitRate::from_mbps(100),
+                sim::SimTime::zero()};
+};
+
+TEST_F(NetworkTest, DeliversWithSerializationAndLatency) {
+  Recorder a(sim), b(sim);
+  // 1 Mbps uplink, 2 Mbps downlink, 10 ms latency.
+  const NodeId na = net.register_endpoint(
+      &a, {util::BitRate::from_mbps(1), util::BitRate::from_mbps(2),
+           sim::SimTime::from_millis(10)});
+  const NodeId nb = net.register_endpoint(
+      &b, {util::BitRate::from_mbps(1), util::BitRate::from_mbps(2),
+           sim::SimTime::from_millis(10)});
+
+  // 1 Mbit message: 1 s on A's uplink + 10 ms latency + 0.5 s on B's
+  // downlink = 1.51 s.
+  net.send(na, nb, std::make_shared<TestMessage>(1'000'000));
+  sim.run();
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries[0].from, na);
+  EXPECT_NEAR(b.deliveries[0].at.seconds(), 1.51, 1e-6);
+}
+
+TEST_F(NetworkTest, UplinkSerializesFifo) {
+  Recorder a(sim), b(sim);
+  const NodeId na = net.register_endpoint(
+      &a, {util::BitRate::from_mbps(1), util::BitRate::from_mbps(1000),
+           sim::SimTime::zero()});
+  const NodeId nb = net.register_endpoint(&b, fast);
+  // Two 1 Mbit messages sent back-to-back: second departs after the first.
+  net.send(na, nb, std::make_shared<TestMessage>(1'000'000, 1));
+  net.send(na, nb, std::make_shared<TestMessage>(1'000'000, 2));
+  sim.run();
+  ASSERT_EQ(b.deliveries.size(), 2u);
+  EXPECT_EQ(b.deliveries[0].id, 1);
+  EXPECT_EQ(b.deliveries[1].id, 2);
+  // 1 s uplink serialization + 1 Mbit / 100 Mbps = 10 ms downlink.
+  EXPECT_NEAR(b.deliveries[0].at.seconds(), 1.01, 1e-4);
+  EXPECT_NEAR(b.deliveries[1].at.seconds(), 2.01, 1e-4);
+}
+
+TEST_F(NetworkTest, DownlinkCongestionFromManySenders) {
+  // Ten senders with fast uplinks target one receiver with a slow downlink:
+  // deliveries serialize on the receiver side.
+  Recorder sink(sim);
+  const NodeId ns = net.register_endpoint(
+      &sink, {util::BitRate::from_mbps(1000), util::BitRate::from_mbps(1),
+              sim::SimTime::zero()});
+  std::vector<std::unique_ptr<Recorder>> senders;
+  for (int i = 0; i < 10; ++i) {
+    senders.push_back(std::make_unique<Recorder>(sim));
+    const NodeId id = net.register_endpoint(senders.back().get(), fast);
+    net.send(id, ns, std::make_shared<TestMessage>(1'000'000, i));
+  }
+  sim.run();
+  ASSERT_EQ(sink.deliveries.size(), 10u);
+  // Last delivery completes at ~10 s (10 x 1 s of downlink serialization).
+  EXPECT_NEAR(sink.deliveries.back().at.seconds(), 10.0, 0.1);
+}
+
+TEST_F(NetworkTest, DetachedEndpointDropsMessages) {
+  Recorder a(sim), b(sim);
+  const NodeId na = net.register_endpoint(&a, fast);
+  const NodeId nb = net.register_endpoint(&b, fast);
+  net.send(na, nb, std::make_shared<TestMessage>(8));
+  net.unregister_endpoint(nb);
+  sim.run();
+  EXPECT_TRUE(b.deliveries.empty());
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_FALSE(net.attached(nb));
+}
+
+TEST_F(NetworkTest, ReattachRestoresDelivery) {
+  Recorder a(sim), b(sim);
+  const NodeId na = net.register_endpoint(&a, fast);
+  const NodeId nb = net.register_endpoint(&b, fast);
+  net.unregister_endpoint(nb);
+  net.reattach_endpoint(nb, &b);
+  net.send(na, nb, std::make_shared<TestMessage>(8));
+  sim.run();
+  EXPECT_EQ(b.deliveries.size(), 1u);
+  EXPECT_TRUE(net.attached(nb));
+}
+
+TEST_F(NetworkTest, StatsCountBits) {
+  Recorder a(sim), b(sim);
+  const NodeId na = net.register_endpoint(&a, fast);
+  const NodeId nb = net.register_endpoint(&b, fast);
+  net.send(na, nb, std::make_shared<TestMessage>(100));
+  net.send(na, nb, std::make_shared<TestMessage>(28));
+  sim.run();
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+  EXPECT_EQ(net.stats().bits_sent, 128);
+}
+
+TEST_F(NetworkTest, ValidatesArguments) {
+  Recorder a(sim);
+  EXPECT_THROW(net.register_endpoint(nullptr, fast), std::invalid_argument);
+  EXPECT_THROW(net.register_endpoint(
+                   &a, {util::BitRate(0), util::BitRate(1), sim::SimTime()}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      net.register_endpoint(
+          &a, {util::BitRate(1), util::BitRate(1),
+               sim::SimTime::from_seconds(-1)}),
+      std::invalid_argument);
+  const NodeId na = net.register_endpoint(&a, fast);
+  EXPECT_THROW(net.send(na, 999, std::make_shared<TestMessage>(8)),
+               std::out_of_range);
+  EXPECT_THROW(net.send(na, na, nullptr), std::invalid_argument);
+  EXPECT_THROW(net.unregister_endpoint(999), std::out_of_range);
+}
+
+TEST_F(NetworkTest, SelfSendWorks) {
+  Recorder a(sim);
+  const NodeId na = net.register_endpoint(&a, fast);
+  net.send(na, na, std::make_shared<TestMessage>(8));
+  sim.run();
+  EXPECT_EQ(a.deliveries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace oddci::net

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace oddci::sim {
+namespace {
+
+TEST(PeriodicTask, TicksAtFixedPeriod) {
+  Simulation sim;
+  std::vector<std::int64_t> ticks;
+  PeriodicTask task(sim, SimTime::from_seconds(1), SimTime::from_seconds(2),
+                    [&] { ticks.push_back(sim.now().micros()); });
+  sim.run_until(SimTime::from_seconds(10));
+  // t = 1, 3, 5, 7, 9
+  ASSERT_EQ(ticks.size(), 5u);
+  EXPECT_EQ(ticks[0], 1'000'000);
+  EXPECT_EQ(ticks[4], 9'000'000);
+}
+
+TEST(PeriodicTask, CancelStopsFutureTicks) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, SimTime::from_seconds(1), SimTime::from_seconds(1),
+                    [&] { ++count; });
+  sim.schedule_at(SimTime::from_seconds(3) + SimTime::from_millis(500),
+                  [&] { task.cancel(); });
+  sim.run_until(SimTime::from_seconds(10));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(task.active());
+}
+
+TEST(PeriodicTask, CancelFromWithinOwnCallback) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, SimTime::from_seconds(1), SimTime::from_seconds(1),
+                    [&] {
+                      if (++count == 2) task.cancel();
+                    });
+  sim.run_until(SimTime::from_seconds(10));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, DestructionBeforeSimulationEndIsSafe) {
+  Simulation sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, SimTime::from_seconds(1), SimTime::from_seconds(1),
+                      [&] { ++count; });
+    sim.run_until(SimTime::from_seconds(2));
+    task.cancel();
+  }  // task destroyed; its shared state must not dangle
+  sim.run_until(SimTime::from_seconds(5));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, RejectsNonPositivePeriod) {
+  Simulation sim;
+  EXPECT_THROW(PeriodicTask(sim, SimTime::zero(), SimTime::zero(), [] {}),
+               std::invalid_argument);
+}
+
+TEST(PeriodicTask, MoveKeepsTicking) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask a(sim, SimTime::from_seconds(1), SimTime::from_seconds(1),
+                 [&] { ++count; });
+  PeriodicTask b = std::move(a);
+  sim.run_until(SimTime::from_seconds(3));
+  EXPECT_EQ(count, 3);
+  b.cancel();
+  sim.run_until(SimTime::from_seconds(6));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, DefaultConstructedIsInactive) {
+  PeriodicTask task;
+  EXPECT_FALSE(task.active());
+  task.cancel();  // no-op, must not crash
+}
+
+}  // namespace
+}  // namespace oddci::sim

@@ -1,0 +1,184 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace oddci::sim {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).micros(), 1'500'000);
+  EXPECT_EQ(SimTime::from_millis(3).micros(), 3000);
+  EXPECT_EQ(SimTime::from_minutes(2).micros(), 120'000'000);
+  EXPECT_EQ(SimTime::from_hours(1).micros(), 3'600'000'000LL);
+  EXPECT_DOUBLE_EQ(SimTime::from_micros(2'500'000).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::from_micros(1500).millis(), 1.5);
+}
+
+TEST(SimTime, RoundsToNearestMicro) {
+  EXPECT_EQ(SimTime::from_seconds(1e-7).micros(), 0);
+  EXPECT_EQ(SimTime::from_seconds(6e-7).micros(), 1);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::from_seconds(2.0);
+  const SimTime b = SimTime::from_seconds(0.5);
+  EXPECT_EQ((a + b).micros(), 2'500'000);
+  EXPECT_EQ((a - b).micros(), 1'500'000);
+  EXPECT_EQ((b * 4).micros(), 2'000'000);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(SimTime::zero().micros(), 0);
+  EXPECT_GT(SimTime::max(), SimTime::from_hours(1e6));
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::from_seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(3));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulation, TiesBreakByPriorityThenSequence) {
+  Simulation sim;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_seconds(1);
+  sim.schedule_at(t, [&] { order.push_back(1); }, EventPriority::kTimer);
+  sim.schedule_at(t, [&] { order.push_back(2); }, EventPriority::kDelivery);
+  sim.schedule_at(t, [&] { order.push_back(3); }, EventPriority::kDelivery);
+  sim.run();
+  // Deliveries (priority 0) run before timers; equal priorities in
+  // scheduling order.
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::from_seconds(5), [&] {
+    sim.schedule_in(SimTime::from_seconds(2), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::from_seconds(7));
+}
+
+TEST(Simulation, RejectsPastAndEmptyCallbacks) {
+  Simulation sim;
+  sim.schedule_at(SimTime::from_seconds(1), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::from_millis(500), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(SimTime::from_seconds(-1), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(SimTime::from_seconds(2), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id =
+      sim.schedule_at(SimTime::from_seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulation, CancelAfterExecutionReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(SimTime::from_seconds(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(SimTime::from_seconds(i), [&] { ++count; });
+  }
+  sim.run_until(SimTime::from_seconds(5));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(5));
+  sim.run_until(SimTime::from_seconds(20));
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(20));  // clock reaches horizon
+  EXPECT_THROW(sim.run_until(SimTime::from_seconds(19)),
+               std::invalid_argument);
+}
+
+TEST(Simulation, EventsAtExactHorizonRun) {
+  Simulation sim;
+  bool ran = false;
+  sim.schedule_at(SimTime::from_seconds(5), [&] { ran = true; });
+  sim.run_until(SimTime::from_seconds(5));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, StopInterruptsRun) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(SimTime::from_seconds(i), [&] {
+      ++count;
+      if (count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(sim.empty());
+  sim.run();  // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, StepExecutesExactlyOne) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(SimTime::from_seconds(1), [&] { ++count; });
+  sim.schedule_at(SimTime::from_seconds(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      sim.schedule_in(SimTime::from_millis(1), recurse);
+    }
+  };
+  sim.schedule_in(SimTime::from_millis(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), SimTime::from_millis(100));
+}
+
+TEST(Simulation, DeterministicReplay) {
+  auto trace = [] {
+    Simulation sim;
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(SimTime::from_micros((i * 7919) % 1000),
+                      [&times, &sim] { times.push_back(sim.now().micros()); });
+    }
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+}  // namespace
+}  // namespace oddci::sim

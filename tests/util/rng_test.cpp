@@ -1,0 +1,176 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace oddci::util {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  SplitMix64 a2(123);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Xoshiro256, Reproducible) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256, JumpDecorrelates) {
+  Xoshiro256 a(42), b(42);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, UniformMeanConverges) {
+  Random rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, UniformRange) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Random, UniformU64BoundsRespected) {
+  Random rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(13), 13u);
+  }
+  EXPECT_THROW(rng.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(Random, UniformU64CoversAllResidues) {
+  Random rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Random, BernoulliEdgeCases) {
+  Random rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Random, BernoulliFrequency) {
+  Random rng(7);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Random, ExponentialMeanAndPositivity) {
+  Random rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Random, WeibullShapeOneIsExponential) {
+  Random rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, 2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+  EXPECT_THROW(rng.weibull(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.weibull(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Random, ParetoMinimumRespected) {
+  Random rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 3.0), 3.0);
+  }
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Random, ParetoMeanForAlphaAboveOne) {
+  Random rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.pareto(3.0, 1.0);
+  // mean = alpha*xm/(alpha-1) = 1.5
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Random, NormalMoments) {
+  Random rng(12);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Random, LognormalMedian) {
+  Random rng(13);
+  std::vector<double> xs;
+  const int n = 50001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(std::log(4.0), 0.5));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 4.0, 0.2);
+}
+
+TEST(Random, SplitProducesIndependentStreams) {
+  Random parent(14);
+  Random child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.uniform() == child.uniform()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace oddci::util

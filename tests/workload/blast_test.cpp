@@ -1,0 +1,153 @@
+#include "workload/blast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/sequence.hpp"
+
+namespace oddci::workload {
+namespace {
+
+BlastParams small_params() {
+  BlastParams p;
+  p.word_size = 8;
+  p.gapped_trigger = 20;
+  p.min_report_score = 24;
+  return p;
+}
+
+TEST(BlastDatabase, IndexesAllWords) {
+  BlastDatabase db({"ACGTACGTACGT"}, 8);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.total_residues(), 12u);
+  // 12 - 8 + 1 = 5 word positions.
+  const auto key = BlastDatabase::pack_word("ACGTACGT", 0, 8);
+  const auto* postings = db.lookup(key);
+  ASSERT_NE(postings, nullptr);
+  // "ACGTACGT" occurs at positions 0 and 4.
+  EXPECT_EQ(postings->size(), 2u);
+}
+
+TEST(BlastDatabase, PackWordIsInjectiveOnDifferentWords) {
+  EXPECT_NE(BlastDatabase::pack_word("AAAAAAAA", 0, 8),
+            BlastDatabase::pack_word("AAAAAAAC", 0, 8));
+  EXPECT_EQ(BlastDatabase::pack_word("GATTACAA", 0, 8),
+            BlastDatabase::pack_word("GATTACAA", 0, 8));
+}
+
+TEST(BlastDatabase, Validation) {
+  EXPECT_THROW(BlastDatabase({}, 8), std::invalid_argument);
+  EXPECT_THROW(BlastDatabase({"ACGT"}, 3), std::invalid_argument);
+  EXPECT_THROW(BlastDatabase({"ACGT"}, 32), std::invalid_argument);
+  EXPECT_THROW(BlastDatabase({"ACGN"}, 4), std::invalid_argument);
+  // A sequence shorter than the word size indexes nothing but is kept.
+  BlastDatabase db({"ACG", "ACGTACGTAC"}, 8);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(BlastSearch, FindsPlantedHomolog) {
+  SequenceGenerator gen(21);
+  const std::string query = gen.random_dna(300);
+  std::vector<std::string> db;
+  for (int i = 0; i < 30; ++i) db.push_back(gen.random_dna(500));
+  // Plant a mutated copy of the query inside subject 17.
+  db[17] = gen.random_dna(100) + gen.mutate(query, 0.05, 0.005) +
+           gen.random_dna(100);
+
+  BlastDatabase database(db, 8);
+  const auto result = blast_search(query, database, small_params());
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_EQ(result.hits[0].subject, 17u);
+  EXPECT_GT(result.hits[0].score, 100);
+  EXPECT_LT(result.hits[0].evalue, 1e-10);
+  EXPECT_GT(result.stats.seed_hits, 0u);
+  EXPECT_GT(result.stats.cells, 0u);
+}
+
+TEST(BlastSearch, NoHitsInUnrelatedDatabase) {
+  SequenceGenerator gen(22);
+  // Low-complexity query vs unrelated random db with a strict threshold.
+  const std::string query = gen.random_dna(100);
+  BlastDatabase database(gen.random_database(10, 200, 300), 12);
+  BlastParams p;
+  p.word_size = 12;
+  p.min_report_score = 60;
+  const auto result = blast_search(query, database, p);
+  EXPECT_TRUE(result.hits.empty());
+}
+
+TEST(BlastSearch, HitsSortedByScoreAndCapped) {
+  SequenceGenerator gen(23);
+  const std::string query = gen.random_dna(200);
+  std::vector<std::string> db;
+  // Plant copies of varying quality.
+  db.push_back(gen.mutate(query, 0.20, 0.0));
+  db.push_back(gen.mutate(query, 0.02, 0.0));
+  db.push_back(gen.mutate(query, 0.10, 0.0));
+  db.push_back(gen.random_dna(200));
+  BlastDatabase database(db, 8);
+  BlastParams p = small_params();
+  const auto result = blast_search(query, database, p);
+  ASSERT_GE(result.hits.size(), 2u);
+  for (std::size_t i = 1; i < result.hits.size(); ++i) {
+    EXPECT_GE(result.hits[i - 1].score, result.hits[i].score);
+  }
+  EXPECT_EQ(result.hits[0].subject, 1u);  // the 2% copy scores best
+
+  p.max_hits = 1;
+  const auto capped = blast_search(query, database, p);
+  EXPECT_EQ(capped.hits.size(), 1u);
+}
+
+TEST(BlastSearch, OneHitPerSubject) {
+  SequenceGenerator gen(24);
+  const std::string query = gen.random_dna(150);
+  // Subject contains the query twice: still one (best) hit reported.
+  const std::string subject =
+      query + gen.random_dna(50) + gen.mutate(query, 0.05, 0.0);
+  BlastDatabase database({subject}, 8);
+  const auto result = blast_search(query, database, small_params());
+  EXPECT_EQ(result.hits.size(), 1u);
+}
+
+TEST(BlastSearch, Validation) {
+  BlastDatabase database({"ACGTACGTACGTACGT"}, 8);
+  BlastParams p = small_params();
+  EXPECT_THROW(blast_search("ACGT", database, p), std::invalid_argument);
+  EXPECT_THROW(blast_search("ACGNACGTACGT", database, p),
+               std::invalid_argument);
+  p.word_size = 11;  // mismatch with database index
+  EXPECT_THROW(blast_search("ACGTACGTACGTACGT", database, p),
+               std::invalid_argument);
+  p = small_params();
+  p.max_hits = 0;
+  EXPECT_THROW(blast_search("ACGTACGTACGTACGT", database, p),
+               std::invalid_argument);
+}
+
+TEST(BlastSignificance, BitScoreMonotone) {
+  EXPECT_GT(bit_score(100), bit_score(50));
+  EXPECT_GT(bit_score(50), 0.0);
+}
+
+TEST(BlastSignificance, EvalueScalesWithSearchSpace) {
+  const double small = expect_value(60, 100, 10'000);
+  const double big = expect_value(60, 100, 1'000'000);
+  EXPECT_NEAR(big / small, 100.0, 1e-6);
+  EXPECT_GT(expect_value(30, 100, 10'000), expect_value(60, 100, 10'000));
+}
+
+TEST(BlastSearch, DiagonalDedupLimitsExtensions) {
+  // A repetitive query over a repetitive subject generates many seed hits
+  // on the same diagonal; the per-diagonal extent check must collapse them.
+  const std::string rep(200, 'A');
+  BlastDatabase database({rep}, 8);
+  const auto result = blast_search(rep, database, small_params());
+  EXPECT_GT(result.stats.seed_hits, 10000u);
+  // Without dedup every seed would extend: extensions << seed hits.
+  EXPECT_LT(result.stats.ungapped_extensions, result.stats.seed_hits / 10);
+}
+
+}  // namespace
+}  // namespace oddci::workload

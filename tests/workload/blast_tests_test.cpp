@@ -1,0 +1,58 @@
+#include "workload/blast_tests.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oddci::workload {
+namespace {
+
+TEST(BlastTestSpecs, Table2HasTwelveTestsInPaperOrder) {
+  const auto specs = table2_specs();
+  ASSERT_EQ(specs.size(), 12u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].id, static_cast<int>(i) + 1);
+    EXPECT_FALSE(specs[i].remote);
+    EXPECT_GT(specs[i].query_length, 0u);
+    EXPECT_GT(specs[i].db_residues(), 0u);
+    EXPECT_GT(specs[i].paper_stb_in_use_seconds, 0.0);
+  }
+  EXPECT_EQ(specs[0].category, "small-db");
+  EXPECT_EQ(specs[11].category, "large-db");
+}
+
+TEST(BlastTestSpecs, ModelledPcTimesMatchPaperViaSlowdown) {
+  // The calibration contract: modelled reference-PC time ~= paper's
+  // STB-in-use time / 20.6 for every local test.
+  for (const auto& spec : table2_specs()) {
+    const double target = spec.paper_stb_in_use_seconds / 20.6;
+    EXPECT_NEAR(spec.reference_pc_seconds(), target, target * 0.15)
+        << "test #" << spec.id;
+  }
+}
+
+TEST(BlastTestSpecs, LargestTestTakesHoursOnStb) {
+  const auto specs = table2_specs();
+  const auto& t12 = specs.back();
+  // Paper: ~10.8 h on the STB in use.
+  const double stb_in_use = t12.reference_pc_seconds() * 20.6;
+  EXPECT_NEAR(stb_in_use / 3600.0, 10.8, 1.0);
+}
+
+TEST(BlastTestSpecs, Table3IsRemote) {
+  const auto specs = table3_specs();
+  ASSERT_EQ(specs.size(), 3u);
+  for (const auto& spec : specs) {
+    EXPECT_TRUE(spec.remote);
+    EXPECT_EQ(spec.category, "remote");
+    EXPECT_GE(spec.id, 13);
+    EXPECT_LE(spec.id, 15);
+  }
+}
+
+TEST(BlastTestSpecs, CellModelScalesWithProblemSize) {
+  BlastTestSpec small{1, "x", 100, 10, 100, false, 0, 0};
+  BlastTestSpec big{2, "x", 200, 10, 100, false, 0, 0};
+  EXPECT_DOUBLE_EQ(big.modelled_cells(), 2.0 * small.modelled_cells());
+}
+
+}  // namespace
+}  // namespace oddci::workload

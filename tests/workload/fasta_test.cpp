@@ -1,0 +1,73 @@
+#include "workload/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace oddci::workload {
+namespace {
+
+TEST(Fasta, ParsesMultiRecord) {
+  const auto recs = parse_fasta(
+      ">seq1 first sequence\nACGT\nACGT\n>seq2\nTTTT\n");
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "seq1");
+  EXPECT_EQ(recs[0].description, "first sequence");
+  EXPECT_EQ(recs[0].sequence, "ACGTACGT");
+  EXPECT_EQ(recs[1].id, "seq2");
+  EXPECT_TRUE(recs[1].description.empty());
+  EXPECT_EQ(recs[1].sequence, "TTTT");
+}
+
+TEST(Fasta, HandlesCrlfAndBlankLines) {
+  const auto recs = parse_fasta(">a\r\nAC\r\n\r\nGT\r\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+}
+
+TEST(Fasta, RejectsMalformedInput) {
+  EXPECT_THROW(parse_fasta("ACGT\n"), std::runtime_error);
+  EXPECT_THROW(parse_fasta(">\nACGT\n"), std::runtime_error);
+  EXPECT_THROW(parse_fasta(">empty-record\n>next\nAC\n"), std::runtime_error);
+}
+
+TEST(Fasta, EmptyInputYieldsNoRecords) {
+  EXPECT_TRUE(parse_fasta("").empty());
+}
+
+TEST(Fasta, WriteWrapsLines) {
+  std::vector<FastaRecord> recs = {{"id", "desc", std::string(150, 'A')}};
+  const std::string text = write_fasta(recs, 70);
+  EXPECT_NE(text.find(">id desc\n"), std::string::npos);
+  // 150 chars at width 70: lines of 70, 70, 10.
+  const auto first_newline = text.find('\n');
+  const auto second_newline = text.find('\n', first_newline + 1);
+  EXPECT_EQ(second_newline - first_newline - 1, 70u);
+  EXPECT_THROW(write_fasta(recs, 0), std::invalid_argument);
+}
+
+TEST(Fasta, RoundTrip) {
+  std::vector<FastaRecord> recs = {{"a", "x y z", "ACGTACGTAC"},
+                                   {"b", "", "TTTTT"}};
+  const auto parsed = parse_fasta(write_fasta(recs, 4));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].id, recs[0].id);
+  EXPECT_EQ(parsed[0].description, recs[0].description);
+  EXPECT_EQ(parsed[0].sequence, recs[0].sequence);
+  EXPECT_EQ(parsed[1].sequence, recs[1].sequence);
+}
+
+TEST(Fasta, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/oddci_fasta_test.fa";
+  std::vector<FastaRecord> recs = {{"q", "query", "GATTACA"}};
+  save_fasta_file(path, recs);
+  const auto loaded = load_fasta_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].sequence, "GATTACA");
+  std::remove(path.c_str());
+  EXPECT_THROW(load_fasta_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace oddci::workload

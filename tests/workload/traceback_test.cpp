@@ -1,0 +1,130 @@
+#include "workload/traceback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/sequence.hpp"
+
+namespace oddci::workload {
+namespace {
+
+TEST(Traceback, PerfectMatchIsAllMatches) {
+  const auto a = smith_waterman_traceback("GATTACA", "GATTACA");
+  EXPECT_EQ(a.summary.score, 14);
+  EXPECT_EQ(a.query_aligned, "GATTACA");
+  EXPECT_EQ(a.subject_aligned, "GATTACA");
+  EXPECT_EQ(a.midline, "|||||||");
+  EXPECT_EQ(a.cigar, "7M");
+  EXPECT_DOUBLE_EQ(a.identity(), 1.0);
+  EXPECT_EQ(a.matches(), 7u);
+  EXPECT_EQ(a.mismatches(), 0u);
+  EXPECT_EQ(a.gaps(), 0u);
+}
+
+TEST(Traceback, ScoreMatchesScoreOnlyImplementation) {
+  SequenceGenerator gen(51);
+  const Scoring sc;
+  for (int i = 0; i < 25; ++i) {
+    const std::string a = gen.random_dna(80);
+    const std::string b = gen.mutate(a, 0.08, 0.02);
+    const auto fast = smith_waterman(a, b, sc);
+    const auto full = smith_waterman_traceback(a, b, sc);
+    EXPECT_EQ(full.summary.score, fast.score) << "iteration " << i;
+  }
+}
+
+TEST(Traceback, SpansAreExact) {
+  // Query core embedded with junk flanks on both sides.
+  const std::string query = "CCCCCCGATTACAGGGGGG";
+  const std::string subject = "TTTTGATTACATTTT";
+  const auto a = smith_waterman_traceback(query, subject);
+  EXPECT_EQ(a.query_aligned, "GATTACA");
+  EXPECT_EQ(a.summary.query_begin, 6u);
+  EXPECT_EQ(a.summary.query_end, 13u);
+  EXPECT_EQ(a.summary.subject_begin, 4u);
+  EXPECT_EQ(a.summary.subject_end, 11u);
+}
+
+TEST(Traceback, DeletionShowsAsGapAndCigarD) {
+  // Subject lost one base relative to the query.
+  const std::string query = "AAAACGTTTTGGGGCCCC";
+  std::string subject = query;
+  subject.erase(7, 1);
+  const auto a = smith_waterman_traceback(query, subject);
+  EXPECT_NE(a.cigar.find('I'), std::string::npos)
+      << "query base missing from subject = insertion, CIGAR " << a.cigar;
+  EXPECT_EQ(a.gaps(), 1u);
+  EXPECT_EQ(a.matches(), 17u);
+}
+
+TEST(Traceback, AlignmentColumnsAreConsistent) {
+  SequenceGenerator gen(52);
+  const std::string q = gen.random_dna(120);
+  const std::string s = gen.mutate(q, 0.1, 0.03);
+  const auto a = smith_waterman_traceback(q, s);
+  ASSERT_EQ(a.query_aligned.size(), a.subject_aligned.size());
+  ASSERT_EQ(a.query_aligned.size(), a.midline.size());
+  // No column can be a double gap, midline '|' implies equality.
+  for (std::size_t i = 0; i < a.midline.size(); ++i) {
+    EXPECT_FALSE(a.query_aligned[i] == '-' && a.subject_aligned[i] == '-');
+    if (a.midline[i] == '|') {
+      EXPECT_EQ(a.query_aligned[i], a.subject_aligned[i]);
+    }
+  }
+  // Stripping gaps recovers contiguous substrings of the inputs.
+  std::string q_stripped, s_stripped;
+  for (char c : a.query_aligned) {
+    if (c != '-') q_stripped.push_back(c);
+  }
+  for (char c : a.subject_aligned) {
+    if (c != '-') s_stripped.push_back(c);
+  }
+  EXPECT_EQ(q_stripped, q.substr(a.summary.query_begin,
+                                 a.summary.query_end -
+                                     a.summary.query_begin));
+  EXPECT_EQ(s_stripped, s.substr(a.summary.subject_begin,
+                                 a.summary.subject_end -
+                                     a.summary.subject_begin));
+}
+
+TEST(Traceback, CigarLengthsSumToColumns) {
+  SequenceGenerator gen(53);
+  const std::string q = gen.random_dna(150);
+  const std::string s = gen.mutate(q, 0.06, 0.04);
+  const auto a = smith_waterman_traceback(q, s);
+  std::size_t total = 0, run = 0;
+  for (char c : a.cigar) {
+    if (c >= '0' && c <= '9') {
+      run = run * 10 + static_cast<std::size_t>(c - '0');
+    } else {
+      total += run;
+      run = 0;
+    }
+  }
+  EXPECT_EQ(total, a.query_aligned.size());
+}
+
+TEST(Traceback, EmptyAndDisjointInputs) {
+  EXPECT_EQ(smith_waterman_traceback("", "ACGT").summary.score, 0);
+  const auto a = smith_waterman_traceback("AAAA", "CCCC");
+  EXPECT_EQ(a.summary.score, 0);
+  EXPECT_TRUE(a.cigar.empty());
+}
+
+TEST(Traceback, MaxCellsGuard) {
+  SequenceGenerator gen(54);
+  const std::string big = gen.random_dna(1000);
+  EXPECT_THROW(smith_waterman_traceback(big, big, Scoring{}, 1000),
+               std::invalid_argument);
+}
+
+TEST(Traceback, FormatProducesBlocks) {
+  const auto a = smith_waterman_traceback("GATTACAGATTACA", "GATTACAGATTACA");
+  const std::string text = format_alignment(a, 7);
+  EXPECT_NE(text.find("Score 28"), std::string::npos);
+  EXPECT_NE(text.find("identity 100%"), std::string::npos);
+  EXPECT_NE(text.find("Query  GATTACA"), std::string::npos);
+  EXPECT_THROW(format_alignment(a, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oddci::workload
