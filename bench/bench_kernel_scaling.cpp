@@ -1,0 +1,390 @@
+// Kernel scaling benchmark for the pooled-event + timer-wheel refactor.
+//
+// Two parts:
+//
+//  1. Kernel A/B — a synthetic heartbeat workload (N recurring timers with
+//     random phases plus a stream of one-shot cancellations, the shape the
+//     OddCI control plane produces) is driven through (a) `NaiveKernel`,
+//     an embedded replica of the pre-refactor kernel
+//     (std::priority_queue + std::unordered_map<id, std::function>), and
+//     (b) the pooled `sim::Simulation` with wheel-backed timers. The
+//     events/sec ratio at each population is the refactor's score; the
+//     acceptance bar is >= 3x at the million-timer point.
+//
+//  2. System sweep — full `OddciSystem::run_job` at 10k -> 1M receivers,
+//     reporting events/sec, wall seconds per simulated hour, and peak RSS.
+//
+// Output: a human table on stdout and JSON (BENCH_kernel.json shape) on
+// request via --json <path>.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace oddci;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kB -> MB
+}
+
+// ---------------------------------------------------------------------------
+// Replica of the pre-refactor kernel, kept structurally identical to the
+// seed `sim::Simulation` (git history): a std::priority_queue of
+// (time, priority, id) entries, a hash map from id to std::function,
+// cancellation via map erase with heap tombstones, and the pre-refactor
+// pop path's two hash lookups per executed event (liveness check in
+// pop_next, then find+erase in step). Kept here so the speedup claim stays
+// measurable against this exact baseline.
+class NaiveKernel {
+ public:
+  using Callback = std::function<void()>;
+
+  std::uint64_t schedule_at(std::int64_t t, Callback cb, int priority = 10) {
+    const std::uint64_t id = next_id_++;
+    queue_.push(Entry{t, priority, id});
+    pending_.emplace(id, std::move(cb));
+    return id;
+  }
+
+  bool cancel(std::uint64_t id) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return false;
+    pending_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::int64_t now() const { return now_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  void run_until(std::int64_t horizon) {
+    while (!queue_.empty() && queue_.top().time <= horizon) {
+      const Entry e = queue_.top();
+      queue_.pop();
+      if (pending_.count(e.id) == 0) continue;  // cancelled tombstone
+      now_ = e.time;
+      auto it = pending_.find(e.id);
+      Callback cb = std::move(it->second);
+      pending_.erase(it);
+      ++executed_;
+      cb();
+    }
+    now_ = horizon;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t time;
+    int priority;
+    std::uint64_t id;
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      if (priority != other.priority) return priority > other.priority;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<std::uint64_t, Callback> pending_;
+  std::int64_t now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+// Replica of the pre-refactor PeriodicTask: shared state behind a
+// shared_ptr, each tick locks a weak_ptr, runs the stored std::function,
+// and re-arms by scheduling a fresh closure. The pre-refactor system drove
+// every receiver heartbeat through this path.
+class NaivePeriodic {
+ public:
+  NaivePeriodic(NaiveKernel& kernel, std::int64_t start, std::int64_t period,
+                std::function<void()> on_tick) {
+    state_ = std::make_shared<State>();
+    state_->kernel = &kernel;
+    state_->period = period;
+    state_->on_tick = std::move(on_tick);
+    state_->active = true;
+    arm(state_, start);
+  }
+
+ private:
+  struct State {
+    NaiveKernel* kernel = nullptr;
+    std::int64_t period = 0;
+    std::function<void()> on_tick;
+    bool active = false;
+  };
+
+  static void arm(const std::shared_ptr<State>& state, std::int64_t at) {
+    std::weak_ptr<State> weak = state;
+    state->kernel->schedule_at(at, [weak] {
+      auto s = weak.lock();
+      if (!s || !s->active) return;
+      s->on_tick();
+      if (s->active) arm(s, s->kernel->now() + s->period);
+    });
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+struct KernelPoint {
+  std::size_t population = 0;
+  double naive_events_per_sec = 0.0;
+  double pooled_events_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+// Control-plane workload mirroring what `run_job` generates per heartbeat:
+// the periodic beat fires, the heartbeat message crosses the network in
+// two chained hops exactly as net::Network::send schedules them (an
+// edge-arrival event whose handler schedules the downlink-completion
+// event; each closure captures {this, from, to, shared_ptr message} =
+// 32 bytes — beyond std::function's 16-byte small-object buffer, so the
+// pre-refactor kernel heap-allocated both hops of every heartbeat), and
+// the beat re-arms a liveness watchdog that is cancelled on the next beat
+// (the dominant cancel source). `population` timers, 30 s period, random
+// phase, one simulated hour. Message construction is deliberately hoisted
+// out (a shared dummy payload) so the A/B measures kernel cost, not
+// workload cost. Useful events = beat + 2 hops, identical on both sides,
+// so the speedup is a pure wall-clock ratio.
+constexpr std::int64_t kHourUs = 3'600'000'000;
+constexpr std::int64_t kPeriodUs = 30'000'000;
+constexpr std::int64_t kEdgeUs = 40'000;  // uplink + propagation to edge
+constexpr std::int64_t kDownUs = 4'000;   // receiver downlink serialization
+
+struct Payload {
+  std::uint64_t wire_bits = 544;
+  std::uint64_t* sink = nullptr;
+};
+
+KernelPoint kernel_ab(std::size_t population) {
+  KernelPoint point;
+  point.population = population;
+  std::uint64_t naive_beats = 0;
+  std::uint64_t pooled_beats = 0;
+
+  {  // --- naive baseline (pre-refactor kernel replica) ---
+    util::Random rng(7);
+    NaiveKernel kernel;
+    std::uint64_t delivered = 0;
+    const auto message = std::make_shared<Payload>();
+    message->sink = &delivered;
+    std::vector<std::uint64_t> watchdog(population, 0);
+    std::vector<NaivePeriodic> beats;
+    beats.reserve(population);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < population; ++i) {
+      const auto phase =
+          static_cast<std::int64_t>(rng.uniform(0.0, 1.0) * kPeriodUs);
+      beats.emplace_back(kernel, phase, kPeriodUs, [&kernel, &watchdog,
+                                                    message, i] {
+        void* const self = &kernel;
+        const auto from = static_cast<std::uint32_t>(i);
+        const std::uint32_t to = 0;
+        kernel.schedule_at(
+            kernel.now() + kEdgeUs,
+            [self, from, to, message] {
+              NaiveKernel& k = *static_cast<NaiveKernel*>(self);
+              k.schedule_at(k.now() + kDownUs,
+                            [self, from, to, message] {
+                              *message->sink += message->wire_bits != 0;
+                            },
+                            0);
+            },
+            0);
+        if (watchdog[i] != 0) kernel.cancel(watchdog[i]);
+        watchdog[i] = kernel.schedule_at(kernel.now() + 2 * kPeriodUs, [] {});
+      });
+    }
+    kernel.run_until(kHourUs);
+    naive_beats = delivered;
+    point.naive_events_per_sec =
+        static_cast<double>(3 * delivered) / seconds_since(t0);
+  }
+
+  {  // --- pooled kernel + wheel ---
+    util::Random rng(7);
+    sim::Simulation kernel;
+    std::uint64_t delivered = 0;
+    const auto message = std::make_shared<Payload>();
+    message->sink = &delivered;
+    std::vector<sim::TimerId> watchdog(population, sim::kInvalidTimer);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < population; ++i) {
+      const auto phase = sim::SimTime::from_micros(
+          static_cast<std::int64_t>(rng.uniform(0.0, 1.0) * kPeriodUs));
+      kernel.schedule_timer_at(
+          phase,
+          [&kernel, &watchdog, message, i] {
+            void* const self = &kernel;
+            const auto from = static_cast<std::uint32_t>(i);
+            const std::uint32_t to = 0;
+            kernel.schedule_in(
+                sim::SimTime::from_micros(kEdgeUs),
+                [self, from, to, message] {
+                  auto& k = *static_cast<sim::Simulation*>(self);
+                  k.schedule_in(sim::SimTime::from_micros(kDownUs),
+                                [self, from, to, message] {
+                                  *message->sink += message->wire_bits != 0;
+                                },
+                                sim::EventPriority::kDelivery);
+                },
+                sim::EventPriority::kDelivery);
+            if (watchdog[i] != sim::kInvalidTimer) {
+              kernel.cancel_timer(watchdog[i]);
+            }
+            watchdog[i] = kernel.schedule_timer_in(
+                sim::SimTime::from_micros(2 * kPeriodUs), [] {});
+          },
+          sim::SimTime::from_micros(kPeriodUs));
+    }
+    kernel.run_until(sim::SimTime::from_micros(kHourUs));
+    pooled_beats = delivered;
+    point.pooled_events_per_sec =
+        static_cast<double>(3 * delivered) / seconds_since(t0);
+  }
+
+  if (naive_beats != pooled_beats) {
+    std::cerr << "kernel_ab: divergent beat counts (naive=" << naive_beats
+              << ", pooled=" << pooled_beats << ")\n";
+  }
+  point.speedup = point.pooled_events_per_sec / point.naive_events_per_sec;
+  return point;
+}
+
+struct SystemPoint {
+  std::size_t receivers = 0;
+  bool completed = false;
+  double events_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  double wall_seconds_per_sim_hour = 0.0;
+  double sim_seconds = 0.0;
+  double peak_rss_mb = 0.0;
+  std::uint64_t events_executed = 0;
+};
+
+SystemPoint system_sweep(std::size_t receivers) {
+  SystemPoint point;
+  point.receivers = receivers;
+
+  core::SystemConfig config;
+  config.receivers = receivers;
+  config.channels = 8;
+  config.aggregators = 16;
+  config.seed = 99;
+  config.controller_overshoot = 1.3;
+
+  const auto t0 = Clock::now();
+  core::OddciSystem system(config);
+  const auto job = workload::make_uniform_job(
+      "kernel-sweep", util::Bits::from_megabytes(2), 500,
+      util::Bits::from_bytes(512), util::Bits::from_bytes(512), 10.0);
+  const auto result = system.run_job(job, receivers / 10);
+
+  point.completed = result.completed;
+  point.wall_seconds = seconds_since(t0);
+  point.events_executed = system.simulation().events_executed();
+  point.events_per_sec =
+      static_cast<double>(point.events_executed) / point.wall_seconds;
+  point.sim_seconds = system.simulation().now().seconds();
+  point.wall_seconds_per_sim_hour =
+      point.wall_seconds / (point.sim_seconds / 3600.0);
+  point.peak_rss_mb = peak_rss_mb();
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    if (arg == "--quick") quick = true;
+  }
+
+  const std::vector<std::size_t> kernel_pops =
+      quick ? std::vector<std::size_t>{10'000}
+            : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+  const std::vector<std::size_t> system_pops =
+      quick ? std::vector<std::size_t>{10'000}
+            : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+
+  std::cout << "== Kernel A/B: naive (pre-refactor replica) vs pooled+wheel"
+            << " — 1 simulated hour of heartbeats ==\n";
+  std::cout << "population | naive ev/s | pooled ev/s | speedup\n";
+  std::vector<KernelPoint> kernel_points;
+  for (const auto population : kernel_pops) {
+    const auto point = kernel_ab(population);
+    kernel_points.push_back(point);
+    std::printf("%10zu | %10.3g | %11.3g | %6.2fx\n", point.population,
+                point.naive_events_per_sec, point.pooled_events_per_sec,
+                point.speedup);
+  }
+
+  std::cout << "\n== System sweep: OddciSystem::run_job ==\n";
+  std::cout << "receivers | done | events | ev/s | wall s | wall s/sim h |"
+            << " peak RSS MB\n";
+  std::vector<SystemPoint> system_points;
+  for (const auto receivers : system_pops) {
+    const auto point = system_sweep(receivers);
+    system_points.push_back(point);
+    std::printf("%9zu | %4s | %.3g | %.3g | %6.1f | %12.1f | %11.1f\n",
+                point.receivers, point.completed ? "yes" : "NO",
+                static_cast<double>(point.events_executed),
+                point.events_per_sec, point.wall_seconds,
+                point.wall_seconds_per_sim_hour, point.peak_rss_mb);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"kernel_ab\": [\n";
+    for (std::size_t i = 0; i < kernel_points.size(); ++i) {
+      const auto& p = kernel_points[i];
+      out << "    {\"population\": " << p.population
+          << ", \"naive_events_per_sec\": " << p.naive_events_per_sec
+          << ", \"pooled_events_per_sec\": " << p.pooled_events_per_sec
+          << ", \"speedup\": " << p.speedup << "}"
+          << (i + 1 < kernel_points.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"system_sweep\": [\n";
+    for (std::size_t i = 0; i < system_points.size(); ++i) {
+      const auto& p = system_points[i];
+      out << "    {\"receivers\": " << p.receivers
+          << ", \"completed\": " << (p.completed ? "true" : "false")
+          << ", \"events_executed\": " << p.events_executed
+          << ", \"events_per_sec\": " << p.events_per_sec
+          << ", \"wall_seconds\": " << p.wall_seconds
+          << ", \"wall_seconds_per_sim_hour\": "
+          << p.wall_seconds_per_sim_hour
+          << ", \"peak_rss_mb\": " << p.peak_rss_mb << "}"
+          << (i + 1 < system_points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}

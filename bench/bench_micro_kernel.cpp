@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "broadcast/carousel.hpp"
 #include "broadcast/signature.hpp"
 #include "core/messages.hpp"

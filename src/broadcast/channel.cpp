@@ -42,7 +42,7 @@ void BroadcastChannel::schedule_acquisition(ListenerId id) {
   const double phase_s =
       rng_.uniform(0.0, table_repetition_.seconds());
   const std::uint64_t generation = carousel_.current().generation;
-  simulation_.schedule_in(
+  simulation_.schedule_timer_in(
       sim::SimTime::from_seconds(phase_s),
       [this, id, generation] {
         auto it = listeners_.find(id);
@@ -52,7 +52,7 @@ void BroadcastChannel::schedule_acquisition(ListenerId id) {
         }
         it->second->on_signalling(ait_, carousel_.current());
       },
-      sim::EventPriority::kDelivery);
+      sim::SimTime::zero(), sim::EventPriority::kDelivery);
 }
 
 void BroadcastChannel::set_section_loss(double per_section_loss,

@@ -79,7 +79,7 @@ void MulticastChannel::schedule_announcement(ListenerId id) {
   const double jitter_s =
       rng_.uniform(0.0, options_.announce_repetition.seconds());
   const std::uint64_t generation = active_.generation;
-  simulation_.schedule_in(
+  simulation_.schedule_timer_in(
       sim::SimTime::from_seconds(jitter_s),
       [this, id, generation] {
         auto it = listeners_.find(id);
@@ -87,7 +87,7 @@ void MulticastChannel::schedule_announcement(ListenerId id) {
         if (active_.generation != generation) return;  // superseded
         it->second->on_signalling(ait_, active_);
       },
-      sim::EventPriority::kDelivery);
+      sim::SimTime::zero(), sim::EventPriority::kDelivery);
 }
 
 ListenerId MulticastChannel::tune(BroadcastListener* listener) {

@@ -82,19 +82,25 @@ void DiurnalAudience::plan_day(std::size_t index, sim::SimTime midnight) {
     const sim::SimTime end = begin + sim::SimTime::from_hours(hours);
     if (end <= simulation_.now()) return;  // already over
     if (begin > simulation_.now()) {
-      simulation_.schedule_at(begin, [this, index, active] {
-        auto guard = active.lock();
-        if (!guard || !*guard) return;
-        set_mode(index, dtv::PowerMode::kInUse);
-      });
+      simulation_.schedule_timer_at(begin,
+                                    [this, index, active] {
+                                      auto guard = active.lock();
+                                      if (!guard || !*guard) return;
+                                      set_mode(index, dtv::PowerMode::kInUse);
+                                    },
+                                    sim::SimTime::zero(),
+                                    sim::EventPriority::kDefault);
     } else {
       set_mode(index, dtv::PowerMode::kInUse);
     }
-    simulation_.schedule_at(end, [this, index, active] {
-      auto guard = active.lock();
-      if (!guard || !*guard) return;
-      set_mode(index, idle_mode());
-    });
+    simulation_.schedule_timer_at(end,
+                                  [this, index, active] {
+                                    auto guard = active.lock();
+                                    if (!guard || !*guard) return;
+                                    set_mode(index, idle_mode());
+                                  },
+                                  sim::SimTime::zero(),
+                                  sim::EventPriority::kDefault);
   };
 
   // Evening prime-time session.
@@ -120,11 +126,14 @@ void DiurnalAudience::plan_day(std::size_t index, sim::SimTime midnight) {
   // Re-plan at the receiver's next midnight.
   const sim::SimTime next_midnight = midnight + sim::SimTime::from_hours(24);
   std::weak_ptr<bool> weak = active_;
-  simulation_.schedule_at(next_midnight, [this, index, next_midnight, weak] {
-    auto guard = weak.lock();
-    if (!guard || !*guard) return;
-    plan_day(index, next_midnight);
-  });
+  simulation_.schedule_timer_at(next_midnight,
+                                [this, index, next_midnight, weak] {
+                                  auto guard = weak.lock();
+                                  if (!guard || !*guard) return;
+                                  plan_day(index, next_midnight);
+                                },
+                                sim::SimTime::zero(),
+                                sim::EventPriority::kDefault);
 }
 
 std::size_t DiurnalAudience::in_use_count() const {
@@ -192,12 +201,16 @@ void ChurnProcess::schedule_toggle(std::size_t index) {
   const double dwell = rng_.exponential(on ? options_.mean_on_seconds
                                            : options_.mean_off_seconds);
   std::weak_ptr<bool> active = active_;
-  simulation_.schedule_in(sim::SimTime::from_seconds(dwell),
-                          [this, index, active] {
-                            auto guard = active.lock();
-                            if (!guard || !*guard) return;
-                            toggle(index);
-                          });
+  // Dwell expiries ride the timer wheel: a million independent arrival
+  // processes cost O(1) each instead of O(log n) heap churn.
+  simulation_.schedule_timer_in(sim::SimTime::from_seconds(dwell),
+                                [this, index, active] {
+                                  auto guard = active.lock();
+                                  if (!guard || !*guard) return;
+                                  toggle(index);
+                                },
+                                sim::SimTime::zero(),
+                                sim::EventPriority::kDefault);
 }
 
 void ChurnProcess::toggle(std::size_t index) {

@@ -246,14 +246,16 @@ void PnaXlet::request_task() {
 
 void PnaXlet::schedule_task_poll() {
   std::weak_ptr<bool> alive = alive_;
-  context_->simulation().schedule_in(env_.task_poll_interval,
-                                     [this, alive] {
-                                       auto guard = alive.lock();
-                                       if (!guard || !*guard || !started_) {
-                                         return;
-                                       }
-                                       request_task();
-                                     });
+  // One-shot wheel timer: poll re-arm is O(1) regardless of how many PNAs
+  // are polling, instead of churning the main event heap.
+  context_->simulation().schedule_timer_in(
+      env_.task_poll_interval,
+      [this, alive] {
+        auto guard = alive.lock();
+        if (!guard || !*guard || !started_) return;
+        request_task();
+      },
+      sim::SimTime::zero(), sim::EventPriority::kDefault);
 }
 
 void PnaXlet::on_direct_message(net::NodeId /*from*/,

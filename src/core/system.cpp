@@ -37,6 +37,9 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
 
   simulation_ = std::make_unique<sim::Simulation>();
   network_ = std::make_unique<net::Network>(*simulation_);
+  // Every receiver, every aggregator, the Controller, and the Backend get
+  // an endpoint; size the table once up front.
+  network_->reserve_endpoints(config_.receivers + config_.aggregators + 2);
   store_ = std::make_unique<ContentStore>();
 
   util::Random rng(config_.seed);

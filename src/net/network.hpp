@@ -39,6 +39,11 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Pre-size the endpoint table. Building a million-receiver population
+  /// registers endpoints one by one; without a hint the per-node link state
+  /// is copied O(log n) times as the vector regrows.
+  void reserve_endpoints(std::size_t capacity) { nodes_.reserve(capacity); }
+
   /// Register an endpoint. The pointer must outlive the Network or be
   /// detached with `unregister_endpoint`.
   NodeId register_endpoint(Endpoint* endpoint, const LinkSpec& spec);

@@ -1,6 +1,8 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace oddci::sim {
@@ -13,6 +15,10 @@ std::string SimTime::to_string() const {
   return std::to_string(millis()) + " ms";
 }
 
+Simulation::Simulation() : wheel_(std::make_unique<TimerWheel>(*this)) {}
+
+Simulation::~Simulation() = default;
+
 EventId Simulation::schedule_at(SimTime t, Callback cb,
                                 EventPriority priority) {
   if (t < now_) {
@@ -21,10 +27,25 @@ EventId Simulation::schedule_at(SimTime t, Callback cb,
   if (!cb) {
     throw std::invalid_argument("Simulation: empty callback");
   }
-  const EventId id = next_id_++;
-  queue_.push(Entry{t, static_cast<int>(priority), id});
-  pending_.emplace(id, std::move(cb));
-  return id;
+
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  EventSlot& slot = slots_[index];
+  slot.fn = std::move(cb);
+  slot.live = true;
+
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{t, seq, index, slot.generation,
+                        static_cast<std::int32_t>(priority)});
+  std::push_heap(heap_.begin(), heap_.end());
+  ++live_events_;
+  return (static_cast<EventId>(slot.generation) << 32) | index;
 }
 
 EventId Simulation::schedule_in(SimTime delay, Callback cb,
@@ -35,36 +56,57 @@ EventId Simulation::schedule_in(SimTime delay, Callback cb,
   return schedule_at(now_ + delay, std::move(cb), priority);
 }
 
+void Simulation::free_slot(std::uint32_t index) {
+  EventSlot& slot = slots_[index];
+  slot.fn.reset();
+  slot.live = false;
+  ++slot.generation;
+  free_.push_back(index);
+}
+
 bool Simulation::cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
+  const auto index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= slots_.size()) return false;
+  EventSlot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation) return false;
+  // The heap entry stays behind as a tombstone and is skimmed lazily when
+  // it reaches the top; the callback's resources are released now.
+  free_slot(index);
+  --live_events_;
   ++events_cancelled_;
   return true;
 }
 
-bool Simulation::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (pending_.count(e.id) > 0) {
-      out = e;
-      return true;
-    }
-    // Cancelled tombstone: drop and continue.
+bool Simulation::skim_top() {
+  while (!heap_.empty()) {
+    if (entry_live(heap_.front())) return true;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
   }
   return false;
 }
 
+EventFn Simulation::take_top(Entry& out) {
+  out = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.pop_back();
+  // Move the callback out and recycle the slot *before* invoking, so the
+  // callback may freely schedule new events (which may reuse the slot) and
+  // a self-cancel attempt correctly reports false.
+  EventFn fn = std::move(slots_[out.slot].fn);
+  free_slot(out.slot);
+  --live_events_;
+  return fn;
+}
+
 bool Simulation::step() {
+  if (!skim_top()) return false;
   Entry e;
-  if (!pop_next(e)) return false;
+  EventFn fn = take_top(e);
   now_ = e.time;
-  auto it = pending_.find(e.id);
-  Callback cb = std::move(it->second);
-  pending_.erase(it);
   ++events_executed_;
-  cb();
+  fn();
   return true;
 }
 
@@ -79,62 +121,52 @@ void Simulation::run_until(SimTime t) {
     throw std::invalid_argument("Simulation: run_until into the past");
   }
   stopping_ = false;
-  for (;;) {
-    if (stopping_) return;
+  while (!stopping_ && skim_top()) {
+    if (heap_.front().time > t) break;  // beyond the horizon: leave queued
     Entry e;
-    if (!pop_next(e)) break;
-    if (e.time > t) {
-      // Put the event back: it belongs to the future beyond the horizon.
-      queue_.push(e);
-      break;
-    }
+    EventFn fn = take_top(e);
     now_ = e.time;
-    auto it = pending_.find(e.id);
-    Callback cb = std::move(it->second);
-    pending_.erase(it);
     ++events_executed_;
-    cb();
+    fn();
   }
-  now_ = t;
+  if (!stopping_) now_ = t;
 }
 
 PeriodicTask::PeriodicTask(Simulation& simulation, SimTime start,
-                           SimTime period, std::function<void()> on_tick) {
+                           SimTime period, EventFn on_tick)
+    : simulation_(&simulation) {
   if (period <= SimTime::zero()) {
     throw std::invalid_argument("PeriodicTask: period must be positive");
   }
-  state_ = std::make_shared<State>();
-  state_->simulation = &simulation;
-  state_->period = period;
-  state_->on_tick = std::move(on_tick);
-  state_->active = true;
-  arm(state_, start);
+  id_ = simulation.schedule_timer_at(start, std::move(on_tick), period,
+                                     EventPriority::kTimer);
 }
 
-void PeriodicTask::arm(const std::shared_ptr<State>& state, SimTime at) {
-  std::weak_ptr<State> weak = state;
-  state->pending = state->simulation->schedule_at(
-      at,
-      [weak] {
-        auto s = weak.lock();
-        if (!s || !s->active) return;
-        s->has_pending = false;
-        s->on_tick();
-        if (s->active) {
-          arm(s, s->simulation->now() + s->period);
-        }
-      },
-      EventPriority::kTimer);
-  state->has_pending = true;
+PeriodicTask::PeriodicTask(PeriodicTask&& other) noexcept
+    : simulation_(std::exchange(other.simulation_, nullptr)),
+      id_(std::exchange(other.id_, kInvalidTimer)) {}
+
+PeriodicTask& PeriodicTask::operator=(PeriodicTask&& other) noexcept {
+  if (this != &other) {
+    cancel();
+    simulation_ = std::exchange(other.simulation_, nullptr);
+    id_ = std::exchange(other.id_, kInvalidTimer);
+  }
+  return *this;
 }
+
+PeriodicTask::~PeriodicTask() { cancel(); }
 
 void PeriodicTask::cancel() {
-  if (!state_) return;
-  state_->active = false;
-  if (state_->has_pending) {
-    state_->simulation->cancel(state_->pending);
-    state_->has_pending = false;
+  if (simulation_ != nullptr && id_ != kInvalidTimer) {
+    simulation_->cancel_timer(id_);
+    id_ = kInvalidTimer;
   }
+}
+
+bool PeriodicTask::active() const {
+  return simulation_ != nullptr && id_ != kInvalidTimer &&
+         simulation_->timer_active(id_);
 }
 
 }  // namespace oddci::sim

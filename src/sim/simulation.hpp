@@ -1,38 +1,33 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event.hpp"
 #include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
 
 /// Deterministic discrete-event simulation kernel.
 ///
 /// Events are `(time, priority, sequence)`-ordered: ties at equal time break
 /// first on explicit priority (lower runs first), then on scheduling order,
 /// so a fixed seed replays the exact same trajectory.
+///
+/// Engineered for million-node populations: callbacks live in a
+/// slab-allocated pool of `EventFn` slots (inline storage, no heap
+/// allocation for common captures), `cancel()` is an O(1) generation check
+/// with lazy heap deletion, and recurring work (heartbeats, monitor loops,
+/// churn arrivals) goes through a hierarchical timer wheel instead of
+/// churning the heap. See timer_wheel.hpp for the wheel's ordering caveat.
 namespace oddci::sim {
-
-using EventId = std::uint64_t;
-
-/// Priorities for same-timestamp ordering. Network deliveries run before
-/// periodic timers so state observed by timers is up to date.
-enum class EventPriority : int {
-  kDelivery = 0,
-  kDefault = 10,
-  kTimer = 20,
-  kMonitor = 30,
-};
 
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
-  Simulation() = default;
+  Simulation();
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -47,9 +42,29 @@ class Simulation {
   EventId schedule_in(SimTime delay, Callback cb,
                       EventPriority priority = EventPriority::kDefault);
 
-  /// Cancel a pending event. Returns false if it already ran, was already
-  /// cancelled, or never existed.
+  /// Cancel a pending event. O(1). Returns false if it already ran, was
+  /// already cancelled, or never existed.
   bool cancel(EventId id);
+
+  /// One-shot or periodic timer via the hierarchical wheel: O(1) insert
+  /// and re-arm regardless of population size. Use for delays of seconds
+  /// and beyond or for recurring work; exact-time deliveries on the hot
+  /// path should stay on schedule_at/schedule_in.
+  TimerId schedule_timer_at(SimTime deadline, EventFn fn,
+                            SimTime period = SimTime::zero(),
+                            EventPriority priority = EventPriority::kTimer) {
+    return wheel_->schedule_at(deadline, std::move(fn), period, priority);
+  }
+  TimerId schedule_timer_in(SimTime delay, EventFn fn,
+                            SimTime period = SimTime::zero(),
+                            EventPriority priority = EventPriority::kTimer) {
+    return wheel_->schedule_in(delay, std::move(fn), period, priority);
+  }
+  bool cancel_timer(TimerId id) { return wheel_->cancel(id); }
+  [[nodiscard]] bool timer_active(TimerId id) const {
+    return wheel_->active(id);
+  }
+  [[nodiscard]] TimerWheel& timers() { return *wheel_; }
 
   /// Run until the event queue drains or stop() is called.
   void run();
@@ -65,45 +80,78 @@ class Simulation {
   /// event completes.
   void stop() { stopping_ = true; }
 
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
-  [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
+  /// No pending heap events. Armed wheel timers keep the kernel non-empty
+  /// through their cascade event.
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
 
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_executed_;
   }
-  [[nodiscard]] std::uint64_t events_scheduled() const { return next_id_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return next_seq_; }
   [[nodiscard]] std::uint64_t events_cancelled() const {
     return events_cancelled_;
   }
 
  private:
+  /// Pooled callback slot. `generation` tags EventIds so stale handles
+  /// (executed/cancelled, slot possibly reused) are rejected in O(1).
+  struct EventSlot {
+    EventFn fn;
+    std::uint32_t generation = 1;
+    bool live = false;
+  };
+
+  /// Heap entry; cancelled events leave a tombstone that is dropped lazily
+  /// when it reaches the top (its slot generation no longer matches).
   struct Entry {
     SimTime time;
-    int priority;
-    EventId id;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
+    std::int32_t priority;
+
     // std::priority_queue is a max-heap, so the comparator is reversed:
     // "greater" entries pop later.
     bool operator<(const Entry& other) const {
       if (time != other.time) return time > other.time;
       if (priority != other.priority) return priority > other.priority;
-      return id > other.id;
+      return seq > other.seq;
     }
   };
 
-  /// Pops heap entries until a live (non-cancelled) one is found.
-  bool pop_next(Entry& out);
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    const EventSlot& s = slots_[e.slot];
+    return s.live && s.generation == e.generation;
+  }
+
+  /// Drops tombstones at the heap top; returns false when the heap is
+  /// drained. On true, the top entry is live.
+  bool skim_top();
+
+  /// Pop the (live) top entry, move its callback out, and free the slot.
+  EventFn take_top(Entry& out);
+
+  void free_slot(std::uint32_t index);
 
   SimTime now_;
   bool stopping_ = false;
-  EventId next_id_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t events_cancelled_ = 0;
-  std::priority_queue<Entry> queue_;
-  std::unordered_map<EventId, Callback> pending_;
+  std::size_t live_events_ = 0;
+
+  std::vector<Entry> heap_;
+  std::vector<EventSlot> slots_;
+  std::vector<std::uint32_t> free_;
+
+  std::unique_ptr<TimerWheel> wheel_;
 };
 
-/// A repeating timer with a fixed period. Safe to destroy before or after
-/// the simulation finishes; cancel() stops future ticks.
+/// A repeating timer with a fixed period, implemented as an owning RAII
+/// handle over a wheel timer. Destruction or cancel() stops future ticks;
+/// moves transfer ownership, so cancelling a moved-from handle is a no-op
+/// and never disturbs the live timer.
 class PeriodicTask {
  public:
   PeriodicTask() = default;
@@ -111,29 +159,20 @@ class PeriodicTask {
   /// Starts ticking at absolute time `start` and then every `period`.
   /// The callback runs with EventPriority::kTimer.
   PeriodicTask(Simulation& simulation, SimTime start, SimTime period,
-               std::function<void()> on_tick);
+               EventFn on_tick);
 
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
-  PeriodicTask(PeriodicTask&&) noexcept = default;
-  PeriodicTask& operator=(PeriodicTask&&) noexcept = default;
-  ~PeriodicTask() = default;
+  PeriodicTask(PeriodicTask&& other) noexcept;
+  PeriodicTask& operator=(PeriodicTask&& other) noexcept;
+  ~PeriodicTask();
 
   void cancel();
-  [[nodiscard]] bool active() const { return state_ && state_->active; }
+  [[nodiscard]] bool active() const;
 
  private:
-  struct State {
-    Simulation* simulation = nullptr;
-    SimTime period;
-    std::function<void()> on_tick;
-    EventId pending = 0;
-    bool has_pending = false;
-    bool active = false;
-  };
-  static void arm(const std::shared_ptr<State>& state, SimTime at);
-
-  std::shared_ptr<State> state_;
+  Simulation* simulation_ = nullptr;
+  TimerId id_ = kInvalidTimer;
 };
 
 }  // namespace oddci::sim

@@ -1,0 +1,329 @@
+#include "sim/timer_wheel.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulation.hpp"
+
+namespace oddci::sim {
+
+namespace {
+
+// Bucket lists chain timers scattered across a slab that far exceeds cache
+// at million-timer populations; overlapping the next node's fetch with the
+// current node's processing hides most of that latency.
+inline void prefetch(const void* p) {
+#if defined(__GNUC__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel(Simulation& simulation) : simulation_(simulation) {
+  std::memset(head_, 0xFF, sizeof(head_));  // all kNil
+  std::memset(tail_, 0xFF, sizeof(tail_));
+}
+
+std::uint64_t TimerWheel::now_tick() const {
+  return tick_of(simulation_.now());
+}
+
+std::uint32_t TimerWheel::allocate_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  const auto index = static_cast<std::uint32_t>(timers_.size());
+  timers_.emplace_back();
+  return index;
+}
+
+void TimerWheel::release_slot(std::uint32_t index) {
+  Timer& t = timers_[index];
+  t.fn.reset();
+  t.promoted = kInvalidEvent;
+  t.state = State::kFree;
+  ++t.generation;
+  free_.push_back(index);
+  --active_count_;
+}
+
+TimerId TimerWheel::schedule_at(SimTime deadline, EventFn fn, SimTime period,
+                                EventPriority priority) {
+  if (deadline < simulation_.now()) {
+    throw std::invalid_argument("TimerWheel: scheduling into the past");
+  }
+  if (period < SimTime::zero()) {
+    throw std::invalid_argument("TimerWheel: negative period");
+  }
+  if (!fn) {
+    throw std::invalid_argument("TimerWheel: empty callback");
+  }
+  const std::uint32_t index = allocate_slot();
+  Timer& t = timers_[index];
+  t.fn = std::move(fn);
+  t.deadline = deadline;
+  t.period = period;
+  t.priority = static_cast<std::int32_t>(priority);
+  ++active_count_;
+  place(index, now_tick());
+  return (static_cast<TimerId>(timers_[index].generation) << 32) | index;
+}
+
+TimerId TimerWheel::schedule_in(SimTime delay, EventFn fn, SimTime period,
+                                EventPriority priority) {
+  if (delay < SimTime::zero()) {
+    throw std::invalid_argument("TimerWheel: negative delay");
+  }
+  return schedule_at(simulation_.now() + delay, std::move(fn), period,
+                     priority);
+}
+
+void TimerWheel::enqueue(std::uint32_t index, int level, std::uint32_t slot) {
+  Timer& t = timers_[index];
+  t.state = State::kQueued;
+  t.level = static_cast<std::uint8_t>(level);
+  t.slot = static_cast<std::uint8_t>(slot);
+  t.next = kNil;
+  t.prev = tail_[level][slot];
+  if (t.prev != kNil) {
+    timers_[t.prev].next = index;
+  } else {
+    head_[level][slot] = index;
+  }
+  tail_[level][slot] = index;
+  occupied_[level] |= 1ull << slot;
+}
+
+void TimerWheel::unlink(std::uint32_t index) {
+  Timer& t = timers_[index];
+  if (t.prev != kNil) {
+    timers_[t.prev].next = t.next;
+  } else {
+    head_[t.level][t.slot] = t.next;
+  }
+  if (t.next != kNil) {
+    timers_[t.next].prev = t.prev;
+  } else {
+    tail_[t.level][t.slot] = t.prev;
+  }
+  if (head_[t.level][t.slot] == kNil) {
+    occupied_[t.level] &= ~(1ull << t.slot);
+  }
+  t.prev = kNil;
+  t.next = kNil;
+}
+
+void TimerWheel::promote(std::uint32_t index) {
+  Timer& t = timers_[index];
+  t.state = State::kPromoted;
+  const std::uint32_t generation = t.generation;
+  t.promoted = simulation_.schedule_at(
+      t.deadline,
+      [this, index, generation] { fire(index, generation); },
+      static_cast<EventPriority>(t.priority));
+}
+
+void TimerWheel::place(std::uint32_t index, std::uint64_t current_tick) {
+  Timer& t = timers_[index];
+  const std::uint64_t tick = tick_of(t.deadline);
+  if (tick <= current_tick) {
+    // Due within the current quantum: straight onto the main heap at the
+    // exact deadline.
+    promote(index);
+  } else {
+    std::uint64_t delta = tick - current_tick;
+    // Clamp pathological far-future deadlines into the top level; they
+    // re-cascade there until close enough.
+    const std::uint64_t span = 1ull << (kSlotBits * kLevels);
+    std::uint64_t place_tick = tick;
+    if (delta >= span) {
+      place_tick = current_tick + span - 1;
+      delta = span - 1;
+    }
+    int level = 0;
+    while (delta >= (kSlots << (kSlotBits * level))) {
+      ++level;
+    }
+    const auto slot = static_cast<std::uint32_t>(
+        (place_tick >> (kSlotBits * level)) & kSlotMask);
+    enqueue(index, level, slot);
+    // This bucket is processed exactly at its window-start tick, so the
+    // wheel's next wake-up after the insert is min(cascade_tick_, own_due) —
+    // an O(1) comparison, no level scan. advance() suppresses re-arms while
+    // cascading and does a single full re-arm at the end.
+    const std::uint64_t own_due =
+        level == 0 ? place_tick
+                   : (place_tick >> (kSlotBits * level)) << (kSlotBits * level);
+    if (!advancing_ && own_due < cascade_tick_) {
+      rearm_at(own_due);
+    }
+  }
+}
+
+std::uint64_t TimerWheel::next_due_tick(std::uint64_t current_tick) const {
+  std::uint64_t due = UINT64_MAX;
+  for (int level = 0; level < kLevels; ++level) {
+    const std::uint64_t occ = occupied_[level];
+    if (occ == 0) continue;
+    const std::uint64_t base = current_tick >> (kSlotBits * level);
+    const auto at = static_cast<std::uint32_t>(base & kSlotMask);
+    // Bit k of the rotation = slot (at + k) & 63. Distance 0 is the current
+    // slot itself, which holds wrapped-around timers due a full turn later
+    // (its current window was already handled when we entered it) — it must
+    // not mask nearer slots, so consider it separately from the rest.
+    std::uint64_t rotated = std::rotr(occ, static_cast<int>(at));
+    if ((rotated & 1ull) != 0) {
+      const std::uint64_t tick = (base + kSlots) << (kSlotBits * level);
+      if (tick < due) due = tick;
+      rotated &= ~1ull;
+    }
+    if (rotated != 0) {
+      const auto distance =
+          static_cast<std::uint64_t>(std::countr_zero(rotated));
+      const std::uint64_t tick = (base + distance) << (kSlotBits * level);
+      if (tick < due) due = tick;
+    }
+  }
+  return due;
+}
+
+void TimerWheel::rearm(std::uint64_t current_tick) {
+  rearm_at(next_due_tick(current_tick));
+}
+
+void TimerWheel::rearm_at(std::uint64_t due) {
+  if (due == cascade_tick_) return;
+  if (cascade_event_ != kInvalidEvent) {
+    simulation_.cancel(cascade_event_);
+    cascade_event_ = kInvalidEvent;
+  }
+  cascade_tick_ = due;
+  if (due == UINT64_MAX) return;
+  cascade_event_ = simulation_.schedule_at(
+      SimTime::from_micros(static_cast<std::int64_t>(due << kTickBits)),
+      [this, due] { advance(due); }, EventPriority::kInternal);
+}
+
+void TimerWheel::advance(std::uint64_t tick) {
+  cascade_event_ = kInvalidEvent;
+  cascade_tick_ = UINT64_MAX;
+  advancing_ = true;
+
+  // Cascade due higher-level buckets top-down: re-placed timers land
+  // strictly below their previous level (or promote immediately), so each
+  // bucket is visited once.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const std::uint64_t window_mask = (1ull << (kSlotBits * level)) - 1;
+    if ((tick & window_mask) != 0) continue;  // not a window boundary
+    const auto slot = static_cast<std::uint32_t>(
+        (tick >> (kSlotBits * level)) & kSlotMask);
+    std::uint32_t index = head_[level][slot];
+    head_[level][slot] = kNil;
+    tail_[level][slot] = kNil;
+    occupied_[level] &= ~(1ull << slot);
+    while (index != kNil) {
+      const std::uint32_t next = timers_[index].next;
+      if (next != kNil) prefetch(&timers_[next]);
+      timers_[index].prev = kNil;
+      timers_[index].next = kNil;
+      place(index, tick);
+      index = next;
+    }
+  }
+
+  // Promote the level-0 bucket due at this tick, in bucket (FIFO) order.
+  const auto slot0 = static_cast<std::uint32_t>(tick & kSlotMask);
+  if ((occupied_[0] >> slot0) & 1ull) {
+    std::uint32_t index = head_[0][slot0];
+    head_[0][slot0] = kNil;
+    tail_[0][slot0] = kNil;
+    occupied_[0] &= ~(1ull << slot0);
+    while (index != kNil) {
+      const std::uint32_t next = timers_[index].next;
+      if (next != kNil) prefetch(&timers_[next]);
+      timers_[index].prev = kNil;
+      timers_[index].next = kNil;
+      promote(index);
+      index = next;
+    }
+  }
+
+  advancing_ = false;
+  rearm(tick);
+}
+
+void TimerWheel::fire(std::uint32_t index, std::uint32_t generation) {
+  {
+    Timer& t = timers_[index];
+    if (t.generation != generation) return;  // stale (defensive; cancel
+                                             // also cancels the heap event)
+    t.state = State::kFiring;
+    t.promoted = kInvalidEvent;
+  }
+  // Move the callback out before invoking: the callback may schedule new
+  // timers, which can grow `timers_` and relocate every slot (including
+  // the one whose captures are executing).
+  EventFn fn = std::move(timers_[index].fn);
+  fn();
+
+  Timer& t = timers_[index];
+  if (t.generation != generation || t.state == State::kCancelled) {
+    // Cancelled from within its own callback.
+    if (t.generation == generation) release_slot(index);
+    return;
+  }
+  if (t.period > SimTime::zero()) {
+    t.fn = std::move(fn);
+    t.deadline += t.period;
+    t.state = State::kQueued;
+    place(index, now_tick());
+  } else {
+    release_slot(index);
+  }
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= timers_.size()) return false;
+  Timer& t = timers_[index];
+  if (t.generation != generation) return false;
+  switch (t.state) {
+    case State::kQueued:
+      unlink(index);
+      release_slot(index);
+      return true;
+    case State::kPromoted:
+      simulation_.cancel(t.promoted);
+      release_slot(index);
+      return true;
+    case State::kFiring:
+      // Mid-callback: mark; fire() releases the slot after the callback
+      // returns (and suppresses any periodic re-arm).
+      t.state = State::kCancelled;
+      return true;
+    case State::kCancelled:
+    case State::kFree:
+      return false;
+  }
+  return false;
+}
+
+bool TimerWheel::active(TimerId id) const {
+  const auto index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= timers_.size()) return false;
+  const Timer& t = timers_[index];
+  if (t.generation != generation) return false;
+  return t.state == State::kQueued || t.state == State::kPromoted ||
+         t.state == State::kFiring;
+}
+
+}  // namespace oddci::sim

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+/// Hierarchical timer wheel for recurring and far-future work.
+///
+/// The kernel's binary heap is ideal for the near-future delivery hot path
+/// but pays O(log n) per operation and one heap entry per pending timer.
+/// With a million receivers heartbeating every 30 s, that is a million
+/// resident heap entries churned continuously. The wheel instead buckets
+/// timers by expiry tick across `kLevels` levels of 64 slots each (tick
+/// quantum 1.024 ms; level l spans 64^(l+1) ticks), giving O(1) insert,
+/// cancel, and periodic re-arm.
+///
+/// Exactness and determinism are preserved by *promotion*: the wheel arms
+/// a single kernel event (EventPriority::kInternal) at the next occupied
+/// tick boundary; when it fires, due buckets cascade down and level-0
+/// timers are promoted onto the main event heap at their exact deadline
+/// with their configured priority. Firing times are therefore exact to the
+/// microsecond, and a fixed seed replays the identical trajectory. Timers
+/// that expire at the same timestamp run in a deterministic but
+/// unspecified order relative to each other (bucket cascade order, not
+/// scheduling order) — callers must not rely on cross-timer tie-breaks.
+namespace oddci::sim {
+
+class Simulation;
+
+/// Generation-tagged handle, same encoding scheme as EventId.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class TimerWheel {
+ public:
+  explicit TimerWheel(Simulation& simulation);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arm a timer for absolute time `deadline` (must be >= now()). A
+  /// positive `period` makes the timer re-arm itself every `period` after
+  /// each expiry (first expiry at `deadline`); zero makes it one-shot.
+  TimerId schedule_at(SimTime deadline, EventFn fn,
+                      SimTime period = SimTime::zero(),
+                      EventPriority priority = EventPriority::kTimer);
+
+  /// Arm a timer `delay` from now (must be >= 0).
+  TimerId schedule_in(SimTime delay, EventFn fn,
+                      SimTime period = SimTime::zero(),
+                      EventPriority priority = EventPriority::kTimer);
+
+  /// Disarm. O(1). Returns false if the timer already expired (one-shot),
+  /// was already cancelled, or never existed. Safe to call from within the
+  /// timer's own callback (stops a periodic timer's future expiries).
+  bool cancel(TimerId id);
+
+  /// True while armed (including while its callback is executing).
+  [[nodiscard]] bool active(TimerId id) const;
+
+  /// Number of armed timers (bucketed + promoted + firing).
+  [[nodiscard]] std::size_t active_timers() const { return active_count_; }
+
+ private:
+  /// 2^10 us = 1.024 ms per tick.
+  static constexpr int kTickBits = 10;
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint64_t kSlots = 1ull << kSlotBits;
+  static constexpr std::uint64_t kSlotMask = kSlots - 1;
+  /// 8 levels span 64^8 ticks (~9,000 simulated years); anything beyond is
+  /// clamped into the top level and re-cascades.
+  static constexpr int kLevels = 8;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  enum class State : std::uint8_t {
+    kFree,
+    kQueued,     ///< linked into a wheel bucket
+    kPromoted,   ///< handed to the main event heap at its exact deadline
+    kFiring,     ///< callback currently executing
+    kCancelled,  ///< cancelled from within its own callback
+  };
+
+  // Cache layout matters at million-timer populations: bucket walks
+  // (enqueue/unlink/cascade) touch only the link+deadline metadata, so it
+  // lives in the slot's first cache line; the 64-byte callback — needed only
+  // at promote/fire time — takes the second. alignas pins the split so a
+  // list traversal costs one line per node, not two.
+  struct alignas(64) Timer {
+    SimTime deadline;
+    SimTime period;
+    EventId promoted = kInvalidEvent;
+    std::uint32_t generation = 1;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::int32_t priority = 0;
+    std::uint8_t level = 0;
+    std::uint8_t slot = 0;
+    State state = State::kFree;
+    alignas(64) EventFn fn;
+  };
+  static_assert(sizeof(Timer) == 128, "Timer should span two cache lines");
+
+  [[nodiscard]] std::uint64_t now_tick() const;
+  [[nodiscard]] static std::uint64_t tick_of(SimTime t) {
+    return static_cast<std::uint64_t>(t.micros()) >> kTickBits;
+  }
+
+  std::uint32_t allocate_slot();
+  void release_slot(std::uint32_t index);
+
+  /// Bucket (or promote) timer `index` relative to the current tick.
+  void place(std::uint32_t index, std::uint64_t current_tick);
+  void enqueue(std::uint32_t index, int level, std::uint32_t slot);
+  void unlink(std::uint32_t index);
+  void promote(std::uint32_t index);
+
+  /// Fire a promoted timer: run the callback, then re-arm (periodic) or
+  /// release (one-shot / cancelled mid-callback).
+  void fire(std::uint32_t index, std::uint32_t generation);
+
+  /// Process every bucket due at `tick`, then re-arm the cascade event.
+  void advance(std::uint64_t tick);
+
+  /// Earliest tick at which a bucket needs promoting or cascading, or
+  /// UINT64_MAX when the wheel is empty.
+  [[nodiscard]] std::uint64_t next_due_tick(std::uint64_t current_tick) const;
+
+  /// (Re-)arm the kernel cascade event for the next due tick.
+  void rearm(std::uint64_t current_tick);
+  void rearm_at(std::uint64_t due);
+
+  Simulation& simulation_;
+  std::vector<Timer> timers_;
+  std::vector<std::uint32_t> free_;
+  std::size_t active_count_ = 0;
+
+  std::uint32_t head_[kLevels][kSlots];
+  std::uint32_t tail_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels] = {};
+
+  EventId cascade_event_ = kInvalidEvent;
+  std::uint64_t cascade_tick_ = UINT64_MAX;
+  bool advancing_ = false;
+};
+
+}  // namespace oddci::sim

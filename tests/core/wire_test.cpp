@@ -114,42 +114,44 @@ TEST(DirectWire, AllMessageTypesRoundTrip) {
   EXPECT_EQ(hbd.state(), PnaState::kJoining);
   EXPECT_EQ(hbd.instance(), 7u);
 
+  // Keep each decoded message alive in a named pointer: binding a reference
+  // through a temporary shared_ptr dangles once the statement ends.
   const HeartbeatReplyMessage reply(7, HeartbeatCommand::kReset);
-  const auto& rd = static_cast<const HeartbeatReplyMessage&>(
-      *decode_message(encode(reply)));
+  const auto reply2 = decode_message(encode(reply));
+  const auto& rd = static_cast<const HeartbeatReplyMessage&>(*reply2);
   EXPECT_EQ(rd.command(), HeartbeatCommand::kReset);
 
   const TaskRequestMessage req(7, 42);
-  const auto& reqd =
-      static_cast<const TaskRequestMessage&>(*decode_message(encode(req)));
+  const auto req2 = decode_message(encode(req));
+  const auto& reqd = static_cast<const TaskRequestMessage&>(*req2);
   EXPECT_EQ(reqd.pna_id(), 42u);
 
   const TaskAssignMessage assign(7, 3, util::Bits(4096), util::Bits(2048),
                                  12.5);
-  const auto& ad =
-      static_cast<const TaskAssignMessage&>(*decode_message(encode(assign)));
+  const auto assign2 = decode_message(encode(assign));
+  const auto& ad = static_cast<const TaskAssignMessage&>(*assign2);
   EXPECT_EQ(ad.task_index(), 3u);
   EXPECT_EQ(ad.input_size(), util::Bits(4096));
   EXPECT_EQ(ad.result_size(), util::Bits(2048));
   EXPECT_DOUBLE_EQ(ad.reference_seconds(), 12.5);
 
   const TaskResultMessage result(7, 3, 42, util::Bits(2048));
-  const auto& resd =
-      static_cast<const TaskResultMessage&>(*decode_message(encode(result)));
+  const auto result2 = decode_message(encode(result));
+  const auto& resd = static_cast<const TaskResultMessage&>(*result2);
   EXPECT_EQ(resd.wire_size(), result.wire_size());
 
   const NoTaskMessage none(7);
   EXPECT_EQ(decode_message(encode(none))->tag(), kTagNoTask);
 
   const TaskAbortMessage abort_msg(7, 3, 42);
-  const auto& abd =
-      static_cast<const TaskAbortMessage&>(*decode_message(encode(abort_msg)));
+  const auto abort2 = decode_message(encode(abort_msg));
+  const auto& abd = static_cast<const TaskAbortMessage&>(*abort2);
   EXPECT_EQ(abd.task_index(), 3u);
 
   const AggregateReportMessage report(
       {{1, PnaState::kIdle, 0}, {2, PnaState::kBusy, 9}});
-  const auto& repd = static_cast<const AggregateReportMessage&>(
-      *decode_message(encode(report)));
+  const auto report2 = decode_message(encode(report));
+  const auto& repd = static_cast<const AggregateReportMessage&>(*report2);
   ASSERT_EQ(repd.entries().size(), 2u);
   EXPECT_EQ(repd.entries()[1].instance, 9u);
 }

@@ -248,6 +248,9 @@ TEST_F(ReceiverTest, ChannelChangeDestroysApps) {
   EXPECT_TRUE(receiver->application_manager().running(1));
   receiver->tune(other);
   EXPECT_FALSE(receiver->application_manager().running(1));
+  // `other` is destroyed before the fixture's receiver; tune back so
+  // ~Receiver does not untune a dead channel.
+  receiver->tune(channel);
 }
 
 }  // namespace

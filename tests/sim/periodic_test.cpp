@@ -81,5 +81,62 @@ TEST(PeriodicTask, DefaultConstructedIsInactive) {
   task.cancel();  // no-op, must not crash
 }
 
+TEST(PeriodicTask, CancelOnMovedFromHandleDoesNotKillLiveTimer) {
+  // Regression: moves must transfer ownership, not share it. Cancelling
+  // (or destroying) the moved-from husk previously cancelled the live
+  // timer out from under the new owner.
+  Simulation sim;
+  int count = 0;
+  PeriodicTask a(sim, SimTime::from_seconds(1), SimTime::from_seconds(1),
+                 [&] { ++count; });
+  PeriodicTask b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  a.cancel();  // must be a no-op on the husk
+  sim.run_until(SimTime::from_seconds(3));
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(b.active());
+}
+
+TEST(PeriodicTask, MovedFromDestructorDoesNotKillLiveTimer) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask outer;
+  {
+    PeriodicTask inner(sim, SimTime::from_seconds(1),
+                       SimTime::from_seconds(1), [&] { ++count; });
+    outer = std::move(inner);
+  }  // inner (moved-from) destroyed; the timer must keep ticking
+  sim.run_until(SimTime::from_seconds(3));
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(outer.active());
+}
+
+TEST(PeriodicTask, MoveAssignOverActiveTaskCancelsIt) {
+  Simulation sim;
+  int old_count = 0;
+  int new_count = 0;
+  PeriodicTask task(sim, SimTime::from_seconds(1), SimTime::from_seconds(1),
+                    [&] { ++old_count; });
+  sim.run_until(SimTime::from_seconds(2));
+  task = PeriodicTask(sim, SimTime::from_seconds(3), SimTime::from_seconds(1),
+                      [&] { ++new_count; });
+  sim.run_until(SimTime::from_seconds(5));
+  EXPECT_EQ(old_count, 2);  // stopped by the assignment
+  EXPECT_EQ(new_count, 3);  // t = 3, 4, 5
+}
+
+TEST(PeriodicTask, SelfMoveAssignIsSafe) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, SimTime::from_seconds(1), SimTime::from_seconds(1),
+                    [&] { ++count; });
+  PeriodicTask& alias = task;
+  task = std::move(alias);
+  sim.run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(task.active());
+}
+
 }  // namespace
 }  // namespace oddci::sim
