@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "core/system.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -26,11 +27,12 @@ struct ChurnResult {
 };
 
 ChurnResult run(double mean_on_s, double mean_off_s, bool recomposition,
-                std::uint64_t seed) {
+                std::uint64_t seed,
+                obs::MetricsSnapshot* metrics_out = nullptr) {
   core::SystemConfig config;
   config.receivers = 400;
   config.seed = seed;
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
   core::ChurnOptions churn;
   churn.mean_on_seconds = mean_on_s;
   churn.mean_off_seconds = mean_off_s;
@@ -67,12 +69,13 @@ ChurnResult run(double mean_on_s, double mean_off_s, bool recomposition,
   result.min_size = size.min();
   result.recompositions = system.controller().stats().recompositions;
   result.pruned = system.controller().stats().members_pruned;
+  if (metrics_out != nullptr) *metrics_out = system.metrics_snapshot();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Ablation: instance size under churn, with vs without "
                "recomposition ===\n"
             << "(target size 100, population 400, 4 h observation)\n\n";
@@ -92,11 +95,16 @@ int main() {
                      "rebroadcasts", "members pruned"});
 
   util::ThreadPool pool;
+  // The first scenario's recomposition run doubles as the metrics capture
+  // for the bench's machine-readable output files.
+  obs::MetricsSnapshot captured;
   std::vector<std::future<ChurnResult>> futures;
   for (const auto& s : scenarios) {
     for (bool recompose : {true, false}) {
-      futures.push_back(pool.submit([s, recompose] {
-        return run(s.on_s, s.off_s, recompose, 31337);
+      obs::MetricsSnapshot* out =
+          (futures.empty() && recompose) ? &captured : nullptr;
+      futures.push_back(pool.submit([s, recompose, out] {
+        return run(s.on_s, s.off_s, recompose, 31337, out);
       }));
     }
   }
@@ -117,5 +125,9 @@ int main() {
   std::cout << "\nShape: without recomposition the instance decays toward the"
                " churn's steady state;\nwith recomposition it hovers near the"
                " target at the cost of periodic rebroadcasts.\n";
+
+  if (bench::metrics_enabled(argc, argv)) {
+    bench::write_metrics("bench_ablation_churn", captured);
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "core/system.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -25,15 +26,16 @@ struct LoadResult {
 };
 
 LoadResult run(std::size_t population, double interval_s,
-               std::size_t aggregators, std::uint64_t seed) {
+               std::size_t aggregators, std::uint64_t seed,
+               obs::MetricsSnapshot* metrics_out = nullptr) {
   core::SystemConfig config;
   config.receivers = population;
   config.seed = seed;
   config.aggregators = aggregators;
-  config.heartbeat_interval = sim::SimTime::from_seconds(interval_s);
-  config.monitor_interval =
+  config.controller.default_heartbeat = sim::SimTime::from_seconds(interval_s);
+  config.controller.monitor_interval =
       sim::SimTime::from_seconds(std::max(10.0, interval_s / 2.0));
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
   core::OddciSystem system(config);
   system.controller().deploy_pna();
   // Warm-up: let every PNA launch and start heartbeating.
@@ -43,7 +45,7 @@ LoadResult run(std::size_t population, double interval_s,
   spec.name = "hb-ablation";
   spec.target_size = population / 2;
   spec.image_size = util::Bits::from_megabytes(1);
-  spec.heartbeat_interval = config.heartbeat_interval;
+  spec.heartbeat_interval = config.controller.default_heartbeat;
   const auto id =
       system.provider().request_instance(spec, system.backend().node_id());
   system.simulation().run_until(sim::SimTime::from_minutes(10));
@@ -84,12 +86,13 @@ LoadResult run(std::size_t population, double interval_s,
       break;
     }
   }
+  if (metrics_out != nullptr) *metrics_out = system.metrics_snapshot();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Ablation: heartbeat interval vs Controller load and "
                "failure-detection latency ===\n\n";
 
@@ -111,10 +114,14 @@ int main() {
                      "extrapolated msgs/s @1e6 nodes"});
 
   util::ThreadPool pool;
+  // The first case doubles as the metrics capture for the bench's
+  // machine-readable output files (heartbeat rate series in particular).
+  obs::MetricsSnapshot captured;
   std::vector<std::future<LoadResult>> futures;
   for (const auto& c : cases) {
-    futures.push_back(pool.submit([c] {
-      return run(c.population, c.interval_s, c.aggregators, 555);
+    obs::MetricsSnapshot* out = futures.empty() ? &captured : nullptr;
+    futures.push_back(pool.submit([c, out] {
+      return run(c.population, c.interval_s, c.aggregators, 555, out);
     }));
   }
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -144,5 +151,9 @@ int main() {
                "aggregation tier caps the Controller's message rate at"
                " k/window regardless of N,\ntrading a small report-latency"
                " penalty in failure detection.\n";
+
+  if (bench::metrics_enabled(argc, argv)) {
+    bench::write_metrics("bench_ablation_heartbeat", captured);
+  }
   return 0;
 }

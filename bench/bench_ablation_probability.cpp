@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "core/system.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -25,11 +26,12 @@ struct ProbeResult {
 };
 
 ProbeResult run(std::size_t population, std::size_t target,
-                double probability, double overshoot, std::uint64_t seed) {
+                double probability, double overshoot, std::uint64_t seed,
+                obs::MetricsSnapshot* metrics_out = nullptr) {
   core::SystemConfig config;
   config.receivers = population;
   config.seed = seed;
-  config.controller_overshoot = overshoot;
+  config.controller.overshoot_margin = overshoot;
   core::OddciSystem system(config);
   system.controller().deploy_pna();
   system.simulation().run_until(sim::SimTime::from_seconds(120));
@@ -57,12 +59,13 @@ ProbeResult run(std::size_t population, std::size_t target,
   const auto* status = system.controller().status(id);
   result.trims = status->unicast_resets;
   result.rebroadcasts = status->wakeups_broadcast - 1;
+  if (metrics_out != nullptr) *metrics_out = system.metrics_snapshot();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Ablation: wakeup probability vs instance formation ===\n"
             << "(population 1000 idle PNAs, target 100)\n\n";
 
@@ -89,10 +92,15 @@ int main() {
                      "trims", "rebroadcasts"});
 
   util::ThreadPool pool;
+  // The first case doubles as the metrics capture for the bench's
+  // machine-readable output files.
+  obs::MetricsSnapshot captured;
   std::vector<std::future<ProbeResult>> futures;
   for (const auto& c : cases) {
-    futures.push_back(pool.submit([c] {
-      return run(kPopulation, kTarget, c.probability, c.overshoot, 9001);
+    obs::MetricsSnapshot* out = futures.empty() ? &captured : nullptr;
+    futures.push_back(pool.submit([c, out] {
+      return run(kPopulation, kTarget, c.probability, c.overshoot, 9001,
+                 out);
     }));
   }
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -115,5 +123,9 @@ int main() {
                " binomial shortfall (extra rebroadcast rounds);\na small"
                " overshoot margin forms the instance in one round with"
                " modest trimming.\n";
+
+  if (bench::metrics_enabled(argc, argv)) {
+    bench::write_metrics("bench_ablation_probability", captured);
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analytical/models.hpp"
+#include "bench_metrics.hpp"
 #include "core/system.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -39,21 +40,21 @@ analytical::JobModel job_model(double phi, std::size_t n) {
   return jm;
 }
 
-double simulate_efficiency(double phi, std::size_t ratio,
-                           std::uint64_t seed) {
+double simulate_efficiency(double phi, std::size_t ratio, std::uint64_t seed,
+                           obs::MetricsSnapshot* metrics_out = nullptr) {
   analytical::SystemModel sm;
   core::SystemConfig config;
   config.receivers = 3 * kSimNodes;
   config.seed = seed;
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
   // For very long jobs (high phi), thin out heartbeats so the event count
   // stays bounded; the protocol tolerates any interval.
   const double est_makespan =
       analytical::makespan_seconds(sm, job_model(phi, ratio * kSimNodes),
                                    kSimNodes);
-  config.heartbeat_interval = sim::SimTime::from_seconds(
+  config.controller.default_heartbeat = sim::SimTime::from_seconds(
       std::max(30.0, est_makespan / 500.0));
-  config.monitor_interval = config.heartbeat_interval;
+  config.controller.monitor_interval = config.controller.default_heartbeat;
 
   core::OddciSystem system(config);
   const workload::Job job = workload::make_job_for_suitability(
@@ -62,6 +63,7 @@ double simulate_efficiency(double phi, std::size_t ratio,
   const auto result = system.run_job(
       job, kSimNodes,
       sim::SimTime::from_seconds(est_makespan * 4.0 + 3600.0));
+  if (metrics_out != nullptr) *metrics_out = result.metrics;
   if (!result.completed) return -1.0;
   return result.efficiency(job.task_count(), job.avg_reference_seconds(),
                            kSimNodes);
@@ -69,7 +71,7 @@ double simulate_efficiency(double phi, std::size_t ratio,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Figure 6: efficiency vs suitability Phi ===\n"
             << "(s+r) = 1 KB, I = 10 MB, beta = 1 Mbps, delta = 150 Kbps\n\n";
 
@@ -111,10 +113,14 @@ int main() {
   };
 
   util::ThreadPool pool;
+  // The first simulated point's run_job also captures its RunResult
+  // metrics for the bench's machine-readable output files.
+  obs::MetricsSnapshot captured;
   std::vector<std::future<double>> futures;
   for (const auto& p : sim_points) {
+    obs::MetricsSnapshot* out = futures.empty() ? &captured : nullptr;
     futures.push_back(pool.submit(
-        [p] { return simulate_efficiency(p.phi, p.ratio, 4242); }));
+        [p, out] { return simulate_efficiency(p.phi, p.ratio, 4242, out); }));
   }
 
   util::Table simulated({"Phi", "n/N", "E analytical", "E simulated"});
@@ -134,5 +140,9 @@ int main() {
   std::cout << "\nShape checks (paper): E rises with Phi; larger n/N shifts"
                " the knee left;\nn/N >= 100 yields very high efficiency for"
                " most practical applications.\n";
+
+  if (bench::metrics_enabled(argc, argv)) {
+    bench::write_metrics("bench_fig6_efficiency", captured);
+  }
   return 0;
 }

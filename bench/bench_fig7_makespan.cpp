@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analytical/models.hpp"
+#include "bench_metrics.hpp"
 #include "core/system.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -33,29 +34,31 @@ analytical::JobModel job_model(double phi, std::size_t n) {
   return jm;
 }
 
-double simulate_makespan(double phi, std::size_t ratio, std::uint64_t seed) {
+double simulate_makespan(double phi, std::size_t ratio, std::uint64_t seed,
+                         obs::MetricsSnapshot* metrics_out = nullptr) {
   analytical::SystemModel sm;
   core::SystemConfig config;
   config.receivers = 3 * kSimNodes;
   config.seed = seed;
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
   const double est = analytical::makespan_seconds(
       sm, job_model(phi, ratio * kSimNodes), kSimNodes);
-  config.heartbeat_interval =
+  config.controller.default_heartbeat =
       sim::SimTime::from_seconds(std::max(30.0, est / 500.0));
-  config.monitor_interval = config.heartbeat_interval;
+  config.controller.monitor_interval = config.controller.default_heartbeat;
 
   core::OddciSystem system(config);
   const workload::Job job = workload::make_job_for_suitability(
       "fig7", kImage, ratio * kSimNodes, kPayload, config.delta, phi);
   const auto result = system.run_job(
       job, kSimNodes, sim::SimTime::from_seconds(est * 4.0 + 3600.0));
+  if (metrics_out != nullptr) *metrics_out = result.metrics;
   return result.completed ? result.makespan_seconds : -1.0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Figure 7: makespan vs suitability Phi (log scale) ===\n"
             << "(s+r) = 1 KB, I = 10 MB, beta = 1 Mbps, delta = 150 Kbps\n\n";
 
@@ -92,10 +95,14 @@ int main() {
       {100.0, 10}, {1000.0, 10},
   };
   util::ThreadPool pool;
+  // The first simulated point's run_job also captures its RunResult
+  // metrics for the bench's machine-readable output files.
+  obs::MetricsSnapshot captured;
   std::vector<std::future<double>> futures;
   for (const auto& p : sim_points) {
-    futures.push_back(
-        pool.submit([p] { return simulate_makespan(p.phi, p.ratio, 777); }));
+    obs::MetricsSnapshot* out = futures.empty() ? &captured : nullptr;
+    futures.push_back(pool.submit(
+        [p, out] { return simulate_makespan(p.phi, p.ratio, 777, out); }));
   }
   util::Table simulated({"Phi", "n/N", "M analytical (s)", "M simulated (s)"});
   for (std::size_t i = 0; i < sim_points.size(); ++i) {
@@ -114,5 +121,9 @@ int main() {
   std::cout << "\nShape checks (paper): makespan grows linearly with Phi once"
                " task time dominates;\nhigh efficiency (large n/N) costs a"
                " proportionally longer makespan.\n";
+
+  if (bench::metrics_enabled(argc, argv)) {
+    bench::write_metrics("bench_fig7_makespan", captured);
+  }
   return 0;
 }

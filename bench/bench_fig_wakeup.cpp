@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analytical/models.hpp"
+#include "bench_metrics.hpp"
 #include "core/system.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -25,7 +26,8 @@ using namespace oddci;
 double measure_wakeup(util::Bits image, util::BitRate beta,
                       std::uint64_t seed, double section_loss = 0.0,
                       core::BroadcastTechnology technology =
-                          core::BroadcastTechnology::kDtvCarousel) {
+                          core::BroadcastTechnology::kDtvCarousel,
+                      obs::MetricsSnapshot* metrics_out = nullptr) {
   core::SystemConfig config;
   config.receivers = 150;
   config.beta = beta;
@@ -33,7 +35,7 @@ double measure_wakeup(util::Bits image, util::BitRate beta,
   config.section_loss = section_loss;
   config.technology = technology;
   config.multicast.block_loss = section_loss;
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
   core::OddciSystem system(config);
   // Measure instance formation directly: request an instance and wait for
   // the Provider's readiness callback.
@@ -53,12 +55,13 @@ double measure_wakeup(util::Bits image, util::BitRate beta,
         system.simulation().stop();
       });
   system.simulation().run_until(t0 + sim::SimTime::from_hours(12));
+  if (metrics_out != nullptr) *metrics_out = system.metrics_snapshot();
   return wakeup;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Section 5.1: wakeup overhead W vs image size and beta ===\n"
             << "(measured = first time the instance reaches its target size;"
             << " mean/min/max over 8 seeds)\n\n";
@@ -78,14 +81,23 @@ int main() {
                      "measured mean (s)", "measured min", "measured max"});
 
   util::ThreadPool pool;
+  // One representative run (first point, first seed) also captures its full
+  // metrics snapshot for the bench's machine-readable output files.
+  obs::MetricsSnapshot captured;
+  bool capture_pending = true;
   for (const auto& point : points) {
     const auto image = util::Bits::from_megabytes(point.image_mb);
     const auto beta = util::BitRate::from_mbps(point.beta_mbps);
 
     std::vector<std::future<double>> futures;
     for (int s = 0; s < kSeeds; ++s) {
-      futures.push_back(pool.submit([image, beta, s] {
-        return measure_wakeup(image, beta, 101 + 13 * s);
+      obs::MetricsSnapshot* out =
+          (capture_pending && s == 0) ? &captured : nullptr;
+      capture_pending = capture_pending && s != 0;
+      futures.push_back(pool.submit([image, beta, s, out] {
+        return measure_wakeup(
+            image, beta, 101 + 13 * s, 0.0,
+            core::BroadcastTechnology::kDtvCarousel, out);
       }));
     }
     util::RunningStats stats;
@@ -179,5 +191,9 @@ int main() {
                                     util::BitRate::from_mbps(1.0)),
                                 0)
             << " s on average, independent of N.\n";
+
+  if (bench::metrics_enabled(argc, argv)) {
+    bench::write_metrics("bench_fig_wakeup", captured);
+  }
   return 0;
 }

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "core/system.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
@@ -283,6 +284,7 @@ struct SystemPoint {
   double sim_seconds = 0.0;
   double peak_rss_mb = 0.0;
   std::uint64_t events_executed = 0;
+  obs::MetricsSnapshot metrics;
 };
 
 SystemPoint system_sweep(std::size_t receivers) {
@@ -294,7 +296,7 @@ SystemPoint system_sweep(std::size_t receivers) {
   config.channels = 8;
   config.aggregators = 16;
   config.seed = 99;
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
 
   const auto t0 = Clock::now();
   core::OddciSystem system(config);
@@ -312,6 +314,7 @@ SystemPoint system_sweep(std::size_t receivers) {
   point.wall_seconds_per_sim_hour =
       point.wall_seconds / (point.sim_seconds / 3600.0);
   point.peak_rss_mb = peak_rss_mb();
+  point.metrics = result.metrics;
   return point;
 }
 
@@ -385,6 +388,12 @@ int main(int argc, char** argv) {
     }
     out << "  ]\n}\n";
     std::cout << "\nwrote " << json_path << "\n";
+  }
+
+  // Full instrumentation snapshot of the largest system-sweep run.
+  if (!system_points.empty() && oddci::bench::metrics_enabled(argc, argv)) {
+    oddci::bench::write_metrics("bench_kernel_scaling",
+                                system_points.back().metrics);
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "analytical/models.hpp"
 #include "core/system.hpp"
+#include "obs/export.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 #include "workload/job.hpp"
@@ -31,12 +32,14 @@ core::SystemConfig system_config(const util::Config& cfg) {
       util::BitRate::from_kbps(cfg.get_double("delta_kbps", 150.0));
   config.section_loss = cfg.get_double("section_loss", 0.0);
   config.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-  config.controller_overshoot = cfg.get_double("overshoot", 1.3);
-  config.heartbeat_interval =
+  config.controller.overshoot_margin = cfg.get_double("overshoot", 1.3);
+  config.controller.default_heartbeat =
       sim::SimTime::from_seconds(cfg.get_double("heartbeat_s", 30.0));
   config.tuned_fraction = cfg.get_double("tuned_fraction", 1.0);
   config.aggregators =
       static_cast<std::size_t>(cfg.get_int("aggregators", 0));
+  config.obs.sample_interval =
+      sim::SimTime::from_seconds(cfg.get_double("sample_interval_s", 10.0));
 
   const std::string technology = cfg.get_string("technology", "dtv");
   if (technology == "iptv") {
@@ -161,6 +164,19 @@ int main(int argc, char** argv) {
               << job.task_count() << " tasks, "
               << result.job.reassignments << " reassignments, "
               << result.controller.recompositions << " recompositions)\n";
+
+    // Optional machine-readable exports of the run's full MetricsSnapshot
+    // (scenario keys `metrics_json` / `series_csv`, empty = off).
+    const std::string metrics_json = cfg.get_string("metrics_json", "");
+    if (!metrics_json.empty()) {
+      obs::write_json(metrics_json, result.metrics);
+      std::cout << "  wrote " << metrics_json << "\n";
+    }
+    const std::string series_csv = cfg.get_string("series_csv", "");
+    if (!series_csv.empty()) {
+      obs::write_series_csv(series_csv, result.metrics);
+      std::cout << "  wrote " << series_csv << "\n";
+    }
     return result.completed ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -2,13 +2,18 @@
 // an on-demand instance, and compare the measured wakeup/makespan with the
 // paper's analytical model.
 //
-// Usage: quickstart [receivers] [instance_size] [tasks]
+// Usage: quickstart [receivers] [instance_size] [tasks] [metrics.json]
+//
+// When a fourth argument is given, the run's full MetricsSnapshot (counters,
+// latency histograms, sampled time series, trace spans) is exported there as
+// oddci.metrics.v1 JSON.
 
 #include <cstdlib>
 #include <iostream>
 
 #include "analytical/models.hpp"
 #include "core/system.hpp"
+#include "obs/export.hpp"
 #include "util/table.hpp"
 #include "workload/job.hpp"
 
@@ -21,6 +26,7 @@ int main(int argc, char** argv) {
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100;
   const std::size_t tasks =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
+  const char* metrics_path = argc > 4 ? argv[4] : nullptr;
 
   // System: beta = 1 Mbps of unused broadcast capacity, delta = 150 Kbps
   // ADSL-class return channels — the paper's Section 5.2 reference values.
@@ -78,5 +84,15 @@ int main(int argc, char** argv) {
             << "\n  heartbeats:      " << result.controller.heartbeats_received
             << "\n  direct messages: " << result.network.messages_delivered
             << "\n";
+
+  // The same counters — and much more (histograms, series, spans) — are in
+  // the registry-backed snapshot the run returned.
+  if (metrics_path != nullptr) {
+    obs::write_json(metrics_path, result.metrics);
+    std::cout << "\n  wrote " << metrics_path << " ("
+              << result.metrics.counters.size() << " counters, "
+              << result.metrics.series.size() << " series, "
+              << result.metrics.histograms.size() << " histograms)\n";
+  }
   return result.completed ? 0 : 1;
 }

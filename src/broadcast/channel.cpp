@@ -30,6 +30,7 @@ std::uint64_t BroadcastChannel::commit() {
   const std::uint64_t generation =
       carousel_.commit(simulation_.now(), phase);
   ++commit_count_;
+  if (counters_ != nullptr) ++counters_->commits;
   for (const auto& [id, listener] : listeners_) {
     (void)listener;
     schedule_acquisition(id);
@@ -38,6 +39,7 @@ std::uint64_t BroadcastChannel::commit() {
 }
 
 void BroadcastChannel::schedule_acquisition(ListenerId id) {
+  if (counters_ != nullptr) ++counters_->announcements;
   // Phase delay until the receiver sees the updated tables on air.
   const double phase_s =
       rng_.uniform(0.0, table_repetition_.seconds());

@@ -53,9 +53,12 @@ class BroadcastChannel final : public BroadcastMedium {
   void put_file(const std::string& name, util::Bits size,
                 std::uint64_t content_id) override {
     carousel_.put_file(name, size, content_id);
+    if (counters_ != nullptr) ++counters_->files_staged;
   }
   bool remove_file(const std::string& name) override {
-    return carousel_.remove_file(name);
+    const bool removed = carousel_.remove_file(name);
+    if (removed && counters_ != nullptr) ++counters_->files_removed;
+    return removed;
   }
   [[nodiscard]] const CarouselSnapshot& current() const override {
     return carousel_.current();

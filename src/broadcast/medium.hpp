@@ -6,6 +6,7 @@
 
 #include "broadcast/ait.hpp"
 #include "broadcast/carousel.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 /// Abstraction over broadcast delivery technologies.
@@ -55,6 +56,15 @@ class BroadcastMedium {
   /// everything currently on air — the Controller waits this long before
   /// concluding a wakeup was ignored rather than still in flight.
   [[nodiscard]] virtual double acquisition_horizon_seconds() const = 0;
+
+  // --- observability ----------------------------------------------------------
+  /// Attach shared broadcast counters (commits, staged/removed files,
+  /// per-listener announcements). nullptr detaches. The cells must outlive
+  /// the medium; all media of one system may share one block.
+  void set_counters(obs::BroadcastCounters* counters) { counters_ = counters; }
+
+ protected:
+  obs::BroadcastCounters* counters_ = nullptr;
 };
 
 }  // namespace oddci::broadcast

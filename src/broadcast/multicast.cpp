@@ -52,10 +52,13 @@ void MulticastChannel::put_file(const std::string& name, util::Bits size,
   } else {
     staged_.emplace(name, CarouselFile{name, size, 1, content_id});
   }
+  if (counters_ != nullptr) ++counters_->files_staged;
 }
 
 bool MulticastChannel::remove_file(const std::string& name) {
-  return staged_.erase(name) > 0;
+  const bool removed = staged_.erase(name) > 0;
+  if (removed && counters_ != nullptr) ++counters_->files_removed;
+  return removed;
 }
 
 std::uint64_t MulticastChannel::commit() {
@@ -68,6 +71,7 @@ std::uint64_t MulticastChannel::commit() {
   for (const auto& [name, file] : staged_) {
     active_.files.push_back(file);
   }
+  if (counters_ != nullptr) ++counters_->commits;
   for (const auto& [id, listener] : listeners_) {
     (void)listener;
     schedule_announcement(id);
@@ -76,6 +80,7 @@ std::uint64_t MulticastChannel::commit() {
 }
 
 void MulticastChannel::schedule_announcement(ListenerId id) {
+  if (counters_ != nullptr) ++counters_->announcements;
   const double jitter_s =
       rng_.uniform(0.0, options_.announce_repetition.seconds());
   const std::uint64_t generation = active_.generation;

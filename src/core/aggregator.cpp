@@ -47,4 +47,20 @@ void HeartbeatAggregator::flush() {
                 std::make_shared<AggregateReportMessage>(std::move(entries)));
 }
 
+void HeartbeatAggregator::link_metrics(obs::MetricsRegistry& registry,
+                                       const std::string& prefix) const {
+  registry.link_probe(prefix + ".heartbeats_received", [this] {
+    return static_cast<double>(stats_.heartbeats_received);
+  });
+  registry.link_probe(prefix + ".reports_sent", [this] {
+    return static_cast<double>(stats_.reports_sent);
+  });
+  registry.link_probe(prefix + ".entries_forwarded", [this] {
+    return static_cast<double>(stats_.entries_forwarded);
+  });
+  registry.link_probe(prefix + ".window_size", [this] {
+    return static_cast<double>(window_.size());
+  });
+}
+
 }  // namespace oddci::core

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/messages.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 /// Heartbeat aggregation tier.
@@ -45,6 +47,12 @@ class HeartbeatAggregator final : public net::Endpoint {
     std::uint64_t entries_forwarded = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Expose this aggregator's counters and window size under
+  /// "<prefix>.*" in `registry` (use a distinct prefix per aggregator,
+  /// e.g. "aggregator.0"). Snapshot-time probes.
+  void link_metrics(obs::MetricsRegistry& registry,
+                    const std::string& prefix) const;
 
   /// Downstream messages (heartbeat replies from the Controller addressed
   /// to the aggregator) are not expected: the Controller replies directly

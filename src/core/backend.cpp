@@ -68,6 +68,7 @@ void Backend::on_message(net::NodeId from, const net::MessagePtr& message) {
           outstanding_.erase(index) > 0) {
         pending_.push_back(index);
         ++metrics_.aborts_received;
+        if (tracer_ != nullptr) tracer_->discard("task.cycle", index);
       }
       break;
     }
@@ -88,6 +89,9 @@ void Backend::handle_request(net::NodeId from,
   pending_.pop_front();
   outstanding_[index] = Outstanding{from, simulation_.now()};
   ++metrics_.assignments;
+  if (tracer_ != nullptr) {
+    tracer_->begin("task.cycle", index, simulation_.now().seconds());
+  }
 
   const workload::Task& task = job_.tasks[index];
   network_.send(node_id_, from,
@@ -110,7 +114,15 @@ void Backend::handle_result(const TaskResultMessage& result) {
   if (!active_) return;
   done_[index] = true;
   ++done_count_;
-  outstanding_.erase(index);
+  const auto out_it = outstanding_.find(index);
+  if (out_it != outstanding_.end()) {
+    task_cycle_.record(
+        (simulation_.now() - out_it->second.assigned_at).seconds());
+    outstanding_.erase(out_it);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->end("task.cycle", index, simulation_.now().seconds());
+  }
   completion_times_.push_back(
       (simulation_.now() - metrics_.submitted_at).seconds());
 
@@ -142,7 +154,30 @@ void Backend::sweep_timeouts() {
     outstanding_.erase(index);
     pending_.push_back(index);
     ++metrics_.reassignments;
+    if (tracer_ != nullptr) tracer_->discard("task.cycle", index);
   }
+}
+
+void Backend::link_metrics(obs::MetricsRegistry& registry) const {
+  registry.link_histogram("backend.task_cycle_seconds", task_cycle_);
+  registry.link_probe("backend.pending_tasks", [this] {
+    return static_cast<double>(pending_.size());
+  });
+  registry.link_probe("backend.outstanding_tasks", [this] {
+    return static_cast<double>(outstanding_.size());
+  });
+  registry.link_probe("backend.tasks_done", [this] {
+    return static_cast<double>(done_count_);
+  });
+  registry.link_probe("backend.assignments", [this] {
+    return static_cast<double>(metrics_.assignments);
+  });
+  registry.link_probe("backend.reassignments", [this] {
+    return static_cast<double>(metrics_.reassignments);
+  });
+  registry.link_probe("backend.requests_denied", [this] {
+    return static_cast<double>(metrics_.requests_denied);
+  });
 }
 
 }  // namespace oddci::core

@@ -9,6 +9,8 @@
 
 #include "core/messages.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 #include "workload/job.hpp"
 
@@ -86,6 +88,20 @@ class Backend final : public net::Endpoint {
     return completion_times_;
   }
 
+  /// Dispatch -> first result latency per task, across jobs.
+  [[nodiscard]] const obs::LogHistogram& task_cycle_latency() const {
+    return task_cycle_;
+  }
+
+  /// Expose the dispatch histogram and queue-depth probes under
+  /// "backend.*" in `registry`. The backend must outlive snapshot() calls.
+  void link_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Attach a tracer: records a "task.cycle" span per dispatched task
+  /// (assignment -> first result; abandoned on abort/re-queue). nullptr
+  /// detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // --- net::Endpoint -------------------------------------------------------
   void on_message(net::NodeId from, const net::MessagePtr& message) override;
 
@@ -118,6 +134,9 @@ class Backend final : public net::Endpoint {
 
   sim::PeriodicTask sweeper_;
   bool sweeper_running_ = false;
+
+  obs::LogHistogram task_cycle_{1e-3};
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace oddci::core

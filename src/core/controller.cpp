@@ -105,9 +105,9 @@ void Controller::broadcast_control(const ControlMessage& message) {
   }
   last_config_content_ = content;
   if (message.type == ControlType::kWakeup) {
-    ++stats_.wakeup_broadcasts;
+    ++wakeup_broadcasts_;
   } else {
-    ++stats_.reset_broadcasts;
+    ++reset_broadcasts_;
   }
 }
 
@@ -162,6 +162,9 @@ InstanceId Controller::create_instance(const InstanceSpec& spec,
                            : choose_probability(inst, spec.target_size);
 
   instances_.emplace(id, std::move(inst));
+  if (tracer_ != nullptr) {
+    tracer_->begin("instance.form", id, simulation_.now().seconds());
+  }
   broadcast_control(wakeup);
   Instance& live = instances_.at(id);
   live.status.wakeups_broadcast++;
@@ -192,6 +195,9 @@ void Controller::destroy_instance(InstanceId id) {
   inst.status.active = false;
   inst.status.target_size = 0;
   inst.pending_trims = 0;
+  if (tracer_ != nullptr) {
+    tracer_->discard("instance.form", id);  // destroyed before forming
+  }
 
   for (auto* channel : channels_) {
     channel->remove_file(inst.image.name);
@@ -284,12 +290,42 @@ void Controller::set_size_callback(SizeCallback callback) {
   size_callback_ = std::move(callback);
 }
 
+void Controller::link_metrics(obs::MetricsRegistry& registry) const {
+  registry.link_counter("controller.heartbeats_received",
+                        heartbeats_received_);
+  registry.link_counter("controller.aggregate_reports_received",
+                        aggregate_reports_received_);
+  registry.link_counter("controller.wakeup_broadcasts", wakeup_broadcasts_);
+  registry.link_counter("controller.reset_broadcasts", reset_broadcasts_);
+  registry.link_counter("controller.unicast_resets", unicast_resets_);
+  registry.link_counter("controller.recompositions", recompositions_);
+  registry.link_counter("controller.members_pruned", members_pruned_);
+  registry.link_histogram("controller.join_latency_seconds", join_latency_);
+  // O(1) incremental mirrors — safe to evaluate every snapshot/sample.
+  registry.link_probe("controller.pnas_known", [this] {
+    return static_cast<double>(pnas_.size());
+  });
+  registry.link_probe("controller.idle_known", [this] {
+    return static_cast<double>(idle_known_);
+  });
+  registry.link_probe("controller.total_members", [this] {
+    return static_cast<double>(members_total_);
+  });
+  registry.link_probe("controller.instances", [this] {
+    return static_cast<double>(instances_.size());
+  });
+}
+
 void Controller::note_member_change(Instance& inst) {
   inst.status.current_size = inst.members.size();
   if (!inst.status.reached_target_at &&
       inst.status.current_size >= inst.status.target_size &&
       inst.status.active) {
     inst.status.reached_target_at = simulation_.now();
+    if (tracer_ != nullptr) {
+      tracer_->end("instance.form", inst.status.id,
+                   simulation_.now().seconds());
+    }
   }
   if (size_callback_) {
     size_callback_(inst.status.id, inst.status.current_size,
@@ -301,14 +337,14 @@ void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
   switch (message->tag()) {
     case kTagHeartbeat: {
       const auto& hb = static_cast<const HeartbeatMessage&>(*message);
-      ++stats_.heartbeats_received;
+      ++heartbeats_received_;
       handle_status(hb.pna_id(), hb.state(), hb.instance(), from);
       break;
     }
     case kTagAggregateReport: {
       const auto& report =
           static_cast<const AggregateReportMessage&>(*message);
-      ++stats_.aggregate_reports_received;
+      ++aggregate_reports_received_;
       for (const auto& entry : report.entries()) {
         // The PNA id is its direct-channel address, so unicast replies can
         // bypass the aggregation tier.
@@ -326,9 +362,18 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
                                InstanceId instance, net::NodeId reply_to) {
   const HeartbeatMessage hb(pna_id, state, instance);
   const net::NodeId from = reply_to;
-  PnaRecord& rec = pnas_[hb.pna_id()];
+  const auto [rec_it, first_report] = pnas_.try_emplace(hb.pna_id());
+  PnaRecord& rec = rec_it->second;
   const PnaState old_state = rec.state;
   const InstanceId old_instance = rec.instance;
+  // idle_known_ mirrors "latest report was idle" without rescanning pnas_.
+  if (first_report) {
+    if (hb.state() == PnaState::kIdle) ++idle_known_;
+  } else if (old_state == PnaState::kIdle && hb.state() != PnaState::kIdle) {
+    --idle_known_;
+  } else if (old_state != PnaState::kIdle && hb.state() == PnaState::kIdle) {
+    ++idle_known_;
+  }
   rec.state = hb.state();
   rec.instance = hb.instance();
   rec.last_seen = simulation_.now();
@@ -341,6 +386,7 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
     if (it != instances_.end()) {
       it->second.joining.erase(hb.pna_id());
       if (it->second.members.erase(hb.pna_id())) {
+        --members_total_;
         note_member_change(it->second);
       }
     }
@@ -352,6 +398,9 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
       if (hb.state() == PnaState::kBusy) {
         inst.joining.erase(hb.pna_id());
         if (inst.members.insert(hb.pna_id()).second) {
+          ++members_total_;
+          join_latency_.record(
+              (simulation_.now() - inst.last_wakeup_at).seconds());
           note_member_change(inst);
         }
       } else if (hb.state() == PnaState::kJoining) {
@@ -370,15 +419,17 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
       if ((over_target && inst.pending_trims > 0) || !inst.status.active) {
         if (inst.pending_trims > 0) --inst.pending_trims;
         ++inst.status.unicast_resets;
-        ++stats_.unicast_resets;
+        ++unicast_resets_;
         network_.send(node_id_, from,
                       std::make_shared<HeartbeatReplyMessage>(
                           hb.instance(), HeartbeatCommand::kReset));
         if (inst.members.erase(hb.pna_id())) {
+          --members_total_;
           note_member_change(inst);
         }
-        pnas_[hb.pna_id()].instance = kNoInstance;
-        pnas_[hb.pna_id()].state = PnaState::kIdle;
+        rec.instance = kNoInstance;
+        if (rec.state != PnaState::kIdle) ++idle_known_;
+        rec.state = PnaState::kIdle;
       }
     }
   }
@@ -406,7 +457,8 @@ void Controller::monitor_tick() {
     }
     for (std::uint64_t member : stale) {
       inst.members.erase(member);
-      ++stats_.members_pruned;
+      --members_total_;
+      ++members_pruned_;
     }
     if (!stale.empty()) note_member_change(inst);
     std::vector<std::uint64_t> stale_joining;
@@ -454,7 +506,7 @@ void Controller::monitor_tick() {
         broadcast_control(wakeup);
         inst.last_wakeup_at = simulation_.now();
         ++inst.status.wakeups_broadcast;
-        ++stats_.recompositions;
+        ++recompositions_;
       }
       inst.pending_trims = 0;
     } else if (inst.members.size() > target) {

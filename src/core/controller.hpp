@@ -12,6 +12,8 @@
 #include "core/content_store.hpp"
 #include "core/messages.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
 /// The OddCI Controller.
@@ -137,11 +139,22 @@ class Controller final : public net::Endpoint {
   /// All PNAs heard from within the staleness window.
   [[nodiscard]] std::size_t known_pna_count() const;
 
+  /// PNAs whose most recent report was idle, maintained incrementally on
+  /// state transitions (no staleness window, O(1)). This is the sampler's
+  /// idle-pool probe; control decisions keep using the exact windowed
+  /// idle_pool_estimate().
+  [[nodiscard]] std::size_t idle_known() const { return idle_known_; }
+  /// Confirmed members across all instances, maintained incrementally.
+  [[nodiscard]] std::size_t total_member_count() const {
+    return members_total_;
+  }
+
   using SizeCallback =
       std::function<void(InstanceId, std::size_t current, std::size_t target)>;
   /// Invoked on every instance-membership change (Provider consumption).
   void set_size_callback(SizeCallback callback);
 
+  /// Point-in-time view of the control-plane counters.
   struct Stats {
     std::uint64_t heartbeats_received = 0;
     std::uint64_t aggregate_reports_received = 0;
@@ -151,7 +164,29 @@ class Controller final : public net::Endpoint {
     std::uint64_t recompositions = 0;
     std::uint64_t members_pruned = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    return Stats{heartbeats_received_.value(),
+                 aggregate_reports_received_.value(),
+                 wakeup_broadcasts_.value(),
+                 reset_broadcasts_.value(),
+                 unicast_resets_.value(),
+                 recompositions_.value(),
+                 members_pruned_.value()};
+  }
+
+  /// Join latency: wakeup broadcast -> confirmed member, per join.
+  [[nodiscard]] const obs::LogHistogram& join_latency() const {
+    return join_latency_;
+  }
+
+  /// Expose the control-plane counters, the join-latency histogram and the
+  /// O(1) population probes under "controller.*" in `registry`. The
+  /// controller must outlive any snapshot() call.
+  void link_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Attach a tracer: records an "instance.form" span per instance
+  /// (wakeup broadcast -> target size reached). nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // --- net::Endpoint -------------------------------------------------------
   void on_message(net::NodeId from, const net::MessagePtr& message) override;
@@ -214,7 +249,20 @@ class Controller final : public net::Endpoint {
   sim::PeriodicTask monitor_;
   bool monitor_running_ = false;
   SizeCallback size_callback_;
-  Stats stats_;
+
+  // Control-plane metric cells (see stats()/link_metrics()).
+  obs::Counter heartbeats_received_;
+  obs::Counter aggregate_reports_received_;
+  obs::Counter wakeup_broadcasts_;
+  obs::Counter reset_broadcasts_;
+  obs::Counter unicast_resets_;
+  obs::Counter recompositions_;
+  obs::Counter members_pruned_;
+  obs::LogHistogram join_latency_{1e-3};
+  /// Incremental mirrors of the membership maps (O(1) sampler probes).
+  std::size_t idle_known_ = 0;
+  std::size_t members_total_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace oddci::core

@@ -90,9 +90,11 @@ void PnaXlet::acquire_config() {
 
 void PnaXlet::handle_control(const ControlMessage& message) {
   ++stats_.control_messages_seen;
+  if (env_.counters != nullptr) ++env_.counters->control_messages_seen;
   // Accept only messages signed by the associated Controller.
   if (!message.verify_with(env_.trusted_key)) {
     ++stats_.signature_failures;
+    if (env_.counters != nullptr) ++env_.counters->signature_failures;
     return;
   }
   // The control message tells the agent where its Controller lives; start
@@ -114,6 +116,7 @@ void PnaXlet::handle_wakeup(const ControlMessage& message) {
   // Busy PNAs simply drop wakeup messages.
   if (dve_ || pending_join_) {
     ++stats_.wakeups_dropped_busy;
+    if (env_.counters != nullptr) ++env_.counters->wakeups_dropped_busy;
     return;
   }
   // Compliance with the requirements present in the message.
@@ -125,12 +128,18 @@ void PnaXlet::handle_wakeup(const ControlMessage& message) {
       (req.device_kind.empty() || req.device_kind == profile.name);
   if (!compliant) {
     ++stats_.wakeups_rejected_requirements;
+    if (env_.counters != nullptr) {
+      ++env_.counters->wakeups_rejected_requirements;
+    }
     return;
   }
   // The probability attribute throttles how many idle PNAs handle the
   // message (instance-size control).
   if (!rng_.bernoulli(message.probability)) {
     ++stats_.wakeups_dropped_probability;
+    if (env_.counters != nullptr) {
+      ++env_.counters->wakeups_dropped_probability;
+    }
     return;
   }
   join_instance(message);
@@ -145,12 +154,14 @@ void PnaXlet::handle_reset(const ControlMessage& message) {
        (pending_join_ && *pending_join_ == message.instance));
   if (!match) return;
   ++stats_.resets;
+  if (env_.counters != nullptr) ++env_.counters->resets;
   leave_instance();
 }
 
 void PnaXlet::join_instance(const ControlMessage& message) {
   pending_join_ = message.instance;
   backend_node_ = message.backend_node;
+  join_started_at_ = context_->simulation().now();
   // Event-driven status change: tell the Controller immediately so its
   // idle-pool estimate does not lag a full heartbeat interval.
   send_heartbeat();
@@ -176,6 +187,11 @@ void PnaXlet::join_instance(const ControlMessage& message) {
           return;
         }
         ++stats_.joins;
+        if (env_.counters != nullptr) ++env_.counters->joins;
+        if (env_.acquire_latency != nullptr) {
+          env_.acquire_latency->record(
+              (context_->simulation().now() - join_started_at_).seconds());
+        }
         dve_ = std::make_unique<Dve>(instance, image,
                                      context_->simulation().now());
         send_heartbeat();  // joining -> busy: membership is event-driven
@@ -232,6 +248,7 @@ void PnaXlet::ensure_heartbeat(const ControlMessage& message) {
 void PnaXlet::send_heartbeat() {
   if (!started_ || heartbeat_target_ == net::kInvalidNode) return;
   ++stats_.heartbeats_sent;
+  if (env_.counters != nullptr) ++env_.counters->heartbeats_sent;
   context_->receiver().send(
       heartbeat_target_,
       std::make_shared<HeartbeatMessage>(pna_id(), state(), instance()));
@@ -271,6 +288,7 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
                              *pending_join_ == reply.instance()));
         if (match) {
           ++stats_.resets;
+          if (env_.counters != nullptr) ++env_.counters->resets;
           leave_instance();
         }
       }
@@ -291,6 +309,7 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
             running_task_.reset();
             if (!dve_ || dve_->instance() != instance) return;
             ++stats_.tasks_completed;
+            if (env_.counters != nullptr) ++env_.counters->tasks_completed;
             dve_->record_task_completed();
             context_->receiver().send(
                 backend_node_,

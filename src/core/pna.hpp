@@ -10,6 +10,7 @@
 #include "core/messages.hpp"
 #include "dtv/receiver.hpp"
 #include "dtv/xlet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -30,6 +31,13 @@ struct PnaEnvironment {
   std::string config_file = "oddci.config";
   /// Retry period for polling the Backend after a NoTask reply.
   sim::SimTime task_poll_interval = sim::SimTime::from_seconds(10);
+
+  /// Population-wide counters shared by every agent of one system
+  /// (nullable: standalone agents run uninstrumented). Per-agent PnaStats
+  /// stay per-agent.
+  obs::PnaCounters* counters = nullptr;
+  /// Wakeup accept -> image acquired, across the population (nullable).
+  obs::LogHistogram* acquire_latency = nullptr;
 };
 
 struct PnaStats {
@@ -115,6 +123,8 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   std::optional<dtv::Receiver::ExecToken> running_exec_;
   /// Task index currently executing (for abort notification on reset).
   std::optional<std::uint64_t> running_task_;
+  /// When the pending join's image read started (acquire latency).
+  sim::SimTime join_started_at_;
   PnaStats stats_;
 };
 

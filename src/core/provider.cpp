@@ -128,4 +128,28 @@ void Provider::on_size_change(InstanceId id, std::size_t current,
                                      : sim::SimTime::zero());
 }
 
+void Provider::link_metrics(obs::MetricsRegistry& registry) const {
+  registry.link_probe("provider.instances_requested", [this] {
+    return static_cast<double>(stats_.instances_requested);
+  });
+  registry.link_probe("provider.instances_released", [this] {
+    return static_cast<double>(stats_.instances_released);
+  });
+  registry.link_probe("provider.resizes", [this] {
+    return static_cast<double>(stats_.resizes);
+  });
+  registry.link_probe("provider.requests_queued", [this] {
+    return static_cast<double>(stats_.requests_queued);
+  });
+  registry.link_probe("provider.requests_admitted", [this] {
+    return static_cast<double>(stats_.requests_admitted);
+  });
+  registry.link_probe("provider.requests_cancelled", [this] {
+    return static_cast<double>(stats_.requests_cancelled);
+  });
+  registry.link_probe("provider.queue_depth", [this] {
+    return static_cast<double>(queue_.size());
+  });
+}
+
 }  // namespace oddci::core

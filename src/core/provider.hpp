@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/controller.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 /// The OddCI Provider: the user-facing component that creates, manages and
@@ -88,6 +89,10 @@ class Provider {
     std::uint64_t requests_cancelled = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Expose the provisioning counters and queue depth under "provider.*"
+  /// in `registry` (snapshot-time probes; the provider must outlive them).
+  void link_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   void on_size_change(InstanceId id, std::size_t current, std::size_t target);

@@ -23,6 +23,37 @@ void SystemConfig::validate() const {
     throw std::invalid_argument(
         "SystemConfig: all receivers off with no churn would deadlock");
   }
+  // Merged control-plane knobs (previously duplicated top-level scalars).
+  if (controller.monitor_interval <= sim::SimTime::zero()) {
+    throw std::invalid_argument(
+        "SystemConfig: controller.monitor_interval must be > 0");
+  }
+  if (controller.stale_factor <= 1.0) {
+    throw std::invalid_argument(
+        "SystemConfig: controller.stale_factor must be > 1");
+  }
+  if (controller.overshoot_margin <= 0.0) {
+    throw std::invalid_argument(
+        "SystemConfig: controller.overshoot_margin must be > 0");
+  }
+  if (controller.default_heartbeat <= sim::SimTime::zero()) {
+    throw std::invalid_argument(
+        "SystemConfig: controller.default_heartbeat must be > 0");
+  }
+  if (controller.pna_xlet_size.count() <= 0) {
+    throw std::invalid_argument(
+        "SystemConfig: controller.pna_xlet_size must be > 0");
+  }
+  if (obs.enabled) {
+    if (obs.sample_interval <= sim::SimTime::zero()) {
+      throw std::invalid_argument(
+          "SystemConfig: obs.sample_interval must be > 0");
+    }
+    if (obs.max_series_points == 0) {
+      throw std::invalid_argument(
+          "SystemConfig: obs.max_series_points must be > 0");
+    }
+  }
 }
 
 double RunResult::efficiency(std::size_t n, double device_task_seconds,
@@ -72,11 +103,7 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   const net::LinkSpec server_link{config_.server_capacity,
                                   config_.server_capacity,
                                   config_.server_latency};
-  ControllerOptions copts;
-  copts.monitor_interval = config_.monitor_interval;
-  copts.pna_xlet_size = config_.pna_xlet_size;
-  copts.overshoot_margin = config_.controller_overshoot;
-  copts.default_heartbeat = config_.heartbeat_interval;
+  const ControllerOptions& copts = config_.controller;
   std::vector<broadcast::BroadcastMedium*> channel_ptrs;
   channel_ptrs.reserve(channels_.size());
   for (auto& c : channels_) channel_ptrs.push_back(c.get());
@@ -136,6 +163,74 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
                                             *config_.churn);
     churn_->start();
   }
+
+  if (config_.obs.enabled) {
+    wire_observability();
+  }
+}
+
+void OddciSystem::wire_observability() {
+  registry_ = std::make_unique<obs::MetricsRegistry>();
+  registry_->set_max_spans(config_.obs.max_spans);
+  tracer_ = std::make_unique<obs::Tracer>(*registry_);
+
+  // Component cells: linked by pointer, owned by the components.
+  network_->link_metrics(*registry_);
+  controller_->link_metrics(*registry_);
+  controller_->set_tracer(tracer_.get());
+  backend_->link_metrics(*registry_);
+  backend_->set_tracer(tracer_.get());
+  provider_->link_metrics(*registry_);
+  for (std::size_t a = 0; a < aggregators_.size(); ++a) {
+    aggregators_[a]->link_metrics(*registry_,
+                                  "aggregator." + std::to_string(a));
+  }
+
+  // Shared blocks: owned here, incremented by the population / the media.
+  pna_counters_.link(*registry_);
+  registry_->link_histogram("pna.acquire_latency_seconds",
+                            pna_acquire_latency_);
+  pna_env_.counters = &pna_counters_;
+  pna_env_.acquire_latency = &pna_acquire_latency_;
+  broadcast_counters_.link(*registry_);
+  for (auto& channel : channels_) {
+    channel->set_counters(&broadcast_counters_);
+  }
+
+  // Sim-time series. Every probe is O(1): the controller maintains its
+  // population mirrors incrementally, so sampling never scans the
+  // million-receiver maps.
+  obs::Sampler::Options sopts;
+  sopts.interval = config_.obs.sample_interval;
+  sopts.max_points = config_.obs.max_series_points;
+  sampler_ = std::make_unique<obs::Sampler>(*simulation_, *registry_, sopts);
+  sampler_->add_gauge_series("series.instance_size", [this] {
+    return static_cast<double>(controller_->total_member_count());
+  });
+  sampler_->add_gauge_series("series.idle_pool", [this] {
+    return static_cast<double>(controller_->idle_known());
+  });
+  sampler_->add_gauge_series("series.backend_pending", [this] {
+    return static_cast<double>(backend_->tasks_remaining());
+  });
+  sampler_->add_gauge_series("series.carousel_files", [this] {
+    return static_cast<double>(channels_.front()->current().files.size());
+  });
+  sampler_->add_rate_series("series.heartbeat_rate",
+                            pna_counters_.heartbeats_sent);
+  sampler_->start();
+}
+
+broadcast::BroadcastMedium& OddciSystem::channel(std::size_t i) {
+  if (i >= channels_.size()) {
+    throw std::out_of_range("OddciSystem: channel index out of range");
+  }
+  return *channels_[i];
+}
+
+obs::MetricsSnapshot OddciSystem::metrics_snapshot() const {
+  if (!registry_) return obs::MetricsSnapshot{};
+  return registry_->snapshot(simulation_->now().seconds());
 }
 
 OddciSystem::~OddciSystem() = default;
@@ -169,7 +264,7 @@ RunResult OddciSystem::run_job(const workload::Job& job,
   spec.name = job.name;
   spec.target_size = instance_size;
   spec.image_size = job.image_size;
-  spec.heartbeat_interval = config_.heartbeat_interval;
+  spec.heartbeat_interval = config_.controller.default_heartbeat;
 
   // Tasks assigned to PNAs that are reset (trimming) or churned away must
   // be re-dispatched; derive a timeout from the worst-case task cycle if
@@ -181,8 +276,8 @@ RunResult OddciSystem::run_job(const workload::Job& job,
         job.avg_reference_seconds() *
         config_.profile.slowdown(dtv::PowerMode::kInUse);
     backend_->set_task_timeout(sim::SimTime::from_seconds(
-        3.0 * (payload_s + exec_s) + 2.0 * config_.heartbeat_interval.seconds() +
-        30.0));
+        3.0 * (payload_s + exec_s) +
+        2.0 * config_.controller.default_heartbeat.seconds() + 30.0));
   }
 
   const InstanceId id = provider_->request_instance(
@@ -213,6 +308,9 @@ RunResult OddciSystem::run_job(const workload::Job& job,
   }
   result.controller = controller_->stats();
   result.network = network_->stats();
+  if (registry_) {
+    result.metrics = registry_->snapshot(simulation_->now().seconds());
+  }
 
   provider_->release_instance(id);
   return result;

@@ -15,6 +15,9 @@
 #include "core/provider.hpp"
 #include "dtv/receiver.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 #include "workload/job.hpp"
 
@@ -58,16 +61,16 @@ struct SystemConfig {
   /// the carousel).
   double tuned_fraction = 1.0;
 
-  sim::SimTime heartbeat_interval = sim::SimTime::from_seconds(30);
-  sim::SimTime monitor_interval = sim::SimTime::from_seconds(10);
-  /// Margin the Controller applies to the auto-chosen wakeup probability:
-  /// >1 over-recruits slightly (then trims) so the target is likely met by
-  /// the first broadcast instead of waiting a recomposition round.
-  double controller_overshoot = 1.0;
+  /// Control-plane knobs, passed to the Controller verbatim. This is the
+  /// single home for the heartbeat cadence (`controller.default_heartbeat`),
+  /// the maintenance-loop interval (`controller.monitor_interval`), the
+  /// wakeup overshoot margin (`controller.overshoot_margin`) and the PNA
+  /// Xlet size (`controller.pna_xlet_size`) — previously duplicated as
+  /// top-level scalars.
+  ControllerOptions controller;
   sim::SimTime task_poll_interval = sim::SimTime::from_seconds(10);
   sim::SimTime task_timeout = sim::SimTime::zero();
   sim::SimTime table_repetition = sim::SimTime::from_millis(500);
-  util::Bits pna_xlet_size = util::Bits::from_kilobytes(64);
   /// Settling time between PNA deployment and the first instance request in
   /// run_job(): lets the agent population launch and heartbeat so the
   /// Controller's idle-pool estimate is populated (the paper's steady-state
@@ -83,6 +86,21 @@ struct SystemConfig {
   std::optional<ChurnOptions> churn;  ///< nullopt = static population
   std::uint64_t seed = 42;
 
+  /// Observability. Instrumentation counters are always live (they are
+  /// plain increments); this controls the registry/sampler/tracer harness.
+  struct ObsOptions {
+    /// Build the metrics registry, sampler and tracer. Off = run_job
+    /// returns an empty MetricsSnapshot and no sampling timers run.
+    bool enabled = true;
+    /// Sim-time cadence of the series sampler.
+    sim::SimTime sample_interval = sim::SimTime::from_seconds(10);
+    /// Cap per series; further points are counted as dropped.
+    std::size_t max_series_points = 1 << 16;
+    /// Completed trace spans retained for export.
+    std::size_t max_spans = 4096;
+  };
+  ObsOptions obs;
+
   void validate() const;
 };
 
@@ -96,9 +114,16 @@ struct RunResult {
   double makespan_seconds = -1.0;
   bool completed = false;
   JobMetrics job;
+  /// Control-plane and traffic counter views, snapshotted at job end.
+  /// These mirror `metrics` (same registry cells) under the legacy field
+  /// names so existing callers compile unchanged.
   Controller::Stats controller;
   net::NetworkStats network;
   std::size_t final_instance_size = 0;
+  /// Full metrics snapshot: counters, gauges, histograms (join/acquire/task
+  /// latency), sampled series (instance size, idle pool, heartbeat rate)
+  /// and trace spans. Empty when SystemConfig::obs.enabled is false.
+  obs::MetricsSnapshot metrics;
 
   /// Efficiency per the paper's Eq. (2): E = n * p / (M * N) with p the
   /// per-task time on the member device (pass the *device-scaled* value).
@@ -116,10 +141,9 @@ class OddciSystem {
 
   [[nodiscard]] sim::Simulation& simulation() { return *simulation_; }
   [[nodiscard]] net::Network& network() { return *network_; }
-  /// The first (or only) broadcast medium.
-  [[nodiscard]] broadcast::BroadcastMedium& channel() {
-    return *channels_.front();
-  }
+  /// Broadcast medium `i` (the first by default). Throws std::out_of_range
+  /// for an invalid index instead of silently returning the front.
+  [[nodiscard]] broadcast::BroadcastMedium& channel(std::size_t i = 0);
   [[nodiscard]] const std::vector<std::unique_ptr<broadcast::BroadcastMedium>>&
   channels() const {
     return channels_;
@@ -138,6 +162,18 @@ class OddciSystem {
   }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
+  /// Metrics registry holding every instrumented cell of this system;
+  /// nullptr when SystemConfig::obs.enabled is false.
+  [[nodiscard]] obs::MetricsRegistry* metrics() { return registry_.get(); }
+  [[nodiscard]] const obs::MetricsRegistry* metrics() const {
+    return registry_.get();
+  }
+  /// Snapshot of every metric at the current sim time (empty if obs is
+  /// disabled).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+  /// The sim-time series sampler; nullptr when obs is disabled.
+  [[nodiscard]] obs::Sampler* sampler() { return sampler_.get(); }
+
   /// Number of PNAs currently busy (joined or joining an instance).
   [[nodiscard]] std::size_t busy_pna_count() const;
 
@@ -148,6 +184,8 @@ class OddciSystem {
                     sim::SimTime deadline = sim::SimTime::from_hours(24));
 
  private:
+  void wire_observability();
+
   SystemConfig config_;
   std::unique_ptr<sim::Simulation> simulation_;
   std::unique_ptr<net::Network> network_;
@@ -161,6 +199,15 @@ class OddciSystem {
   PnaEnvironment pna_env_;
   std::unique_ptr<ChurnProcess> churn_;
   broadcast::SigningKey key_ = 0;
+
+  // Observability harness (only when config_.obs.enabled). Declared after
+  // the components it links so destruction detaches cleanly.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  obs::PnaCounters pna_counters_;
+  obs::BroadcastCounters broadcast_counters_;
+  obs::LogHistogram pna_acquire_latency_{1e-3};
 };
 
 }  // namespace oddci::core

@@ -52,6 +52,13 @@ sim::SimTime Network::uplink_free_at(NodeId id) const {
   return node_at(id).uplink_busy_until;
 }
 
+void Network::link_metrics(obs::MetricsRegistry& registry) const {
+  registry.link_counter("net.messages_sent", messages_sent_);
+  registry.link_counter("net.messages_delivered", messages_delivered_);
+  registry.link_counter("net.messages_dropped", messages_dropped_);
+  registry.link_counter("net.bits_sent", bits_sent_);
+}
+
 void Network::send(NodeId from, NodeId to, MessagePtr message) {
   if (!message) {
     throw std::invalid_argument("Network: null message");
@@ -59,8 +66,8 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   Node& src = node_at(from);
   node_at(to);  // validate destination id early
 
-  ++stats_.messages_sent;
-  stats_.bits_sent += message->wire_size().count();
+  ++messages_sent_;
+  bits_sent_ += static_cast<std::uint64_t>(message->wire_size().count());
 
   // Serialize on the sender's uplink (FIFO).
   const double tx_up =
@@ -92,10 +99,10 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
             [this, from, to, message = std::move(message)] {
               Node& d = nodes_[to];
               if (d.endpoint == nullptr) {
-                ++stats_.messages_dropped;
+                ++messages_dropped_;
                 return;
               }
-              ++stats_.messages_delivered;
+              ++messages_delivered_;
               d.endpoint->on_message(from, message);
             },
             sim::EventPriority::kDelivery);

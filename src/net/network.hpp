@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "util/quantity.hpp"
 
@@ -25,6 +26,7 @@ struct LinkSpec {
   sim::SimTime latency;    ///< one-way propagation delay
 };
 
+/// Point-in-time view of the network counters (see Network::stats()).
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
@@ -61,7 +63,17 @@ class Network {
   /// delays apply; delivery is an event with EventPriority::kDelivery.
   void send(NodeId from, NodeId to, MessagePtr message);
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// Snapshot of the traffic counters, by value.
+  [[nodiscard]] NetworkStats stats() const {
+    return NetworkStats{messages_sent_.value(), messages_delivered_.value(),
+                        messages_dropped_.value(),
+                        static_cast<std::int64_t>(bits_sent_.value())};
+  }
+
+  /// Expose the traffic counters under "net.*" in `registry`. The network
+  /// must outlive any snapshot() call on the registry.
+  void link_metrics(obs::MetricsRegistry& registry) const;
+
   [[nodiscard]] std::size_t endpoint_count() const { return nodes_.size(); }
 
   /// Time at which `node`'s uplink frees up (diagnostics/backpressure).
@@ -80,7 +92,10 @@ class Network {
 
   sim::Simulation& simulation_;
   std::vector<Node> nodes_;
-  NetworkStats stats_;
+  obs::Counter messages_sent_;
+  obs::Counter messages_delivered_;
+  obs::Counter messages_dropped_;
+  obs::Counter bits_sent_;
 };
 
 }  // namespace oddci::net

@@ -1,0 +1,542 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+namespace oddci::obs {
+
+namespace {
+
+// --- writing ----------------------------------------------------------------
+
+// %.17g is the shortest printf format guaranteed to round-trip an IEEE
+// double through text; infinities are spelled as strings the parser
+// understands ("inf"/"-inf" never appear in our data, but be safe).
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+template <typename T, typename Append>
+void append_array(std::string& out, const std::vector<T>& items,
+                  Append&& append_item) {
+  out += '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    append_item(out, items[i]);
+  }
+  out += ']';
+}
+
+// --- parsing ----------------------------------------------------------------
+
+// Minimal JSON document model. Numbers keep their source text so uint64
+// counters above 2^53 survive the round trip exactly.
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, std::string /*number text*/,
+               std::shared_ptr<std::string> /*string*/,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] double as_double() const {
+    if (!is_number()) throw std::runtime_error("metrics json: expected number");
+    return std::strtod(std::get<std::string>(v).c_str(), nullptr);
+  }
+  [[nodiscard]] std::uint64_t as_u64() const {
+    if (!is_number()) throw std::runtime_error("metrics json: expected number");
+    return std::strtoull(std::get<std::string>(v).c_str(), nullptr, 10);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    const auto* p = std::get_if<std::shared_ptr<std::string>>(&v);
+    if (p == nullptr) throw std::runtime_error("metrics json: expected string");
+    return **p;
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    const auto* p = std::get_if<std::shared_ptr<JsonArray>>(&v);
+    if (p == nullptr) throw std::runtime_error("metrics json: expected array");
+    return **p;
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    const auto* p = std::get_if<std::shared_ptr<JsonObject>>(&v);
+    if (p == nullptr) throw std::runtime_error("metrics json: expected object");
+    return **p;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("metrics json: trailing content");
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("metrics json: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("metrics json: expected '") + c +
+                               "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue{std::make_shared<std::string>(parse_string())};
+      case 't': expect_literal("true"); return JsonValue{true};
+      case 'f': expect_literal("false"); return JsonValue{false};
+      case 'n': expect_literal("null"); return JsonValue{nullptr};
+      default: return parse_number();
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    skip_ws();
+    if (text_.substr(pos_, lit.size()) != lit) {
+      throw std::runtime_error("metrics json: bad literal");
+    }
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    if (!consume('}')) {
+      while (true) {
+        std::string key = parse_string();
+        expect(':');
+        obj->emplace(std::move(key), parse_value());
+        if (consume('}')) break;
+        expect(',');
+      }
+    }
+    return JsonValue{std::move(obj)};
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    if (!consume(']')) {
+      while (true) {
+        arr->push_back(parse_value());
+        if (consume(']')) break;
+        expect(',');
+      }
+    }
+    return JsonValue{std::move(arr)};
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        throw std::runtime_error("metrics json: unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        throw std::runtime_error("metrics json: bad escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            throw std::runtime_error("metrics json: bad \\u escape");
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const auto code = std::strtoul(hex.c_str(), nullptr, 16);
+          // The writer only emits \u00xx for control characters; keep the
+          // parser symmetric and reject anything beyond Latin-1.
+          if (code > 0xFF) {
+            throw std::runtime_error("metrics json: unsupported \\u escape");
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          throw std::runtime_error("metrics json: bad escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("metrics json: expected value");
+    }
+    return JsonValue{std::string(text_.substr(start, pos_ - start))};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& member(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw std::runtime_error("metrics json: missing field '" + key + "'");
+  }
+  return it->second;
+}
+
+std::vector<double> double_array(const JsonValue& value) {
+  const JsonArray& arr = value.as_array();
+  std::vector<double> out;
+  out.reserve(arr.size());
+  for (const auto& v : arr) out.push_back(v.as_double());
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("metrics export: cannot open " + path);
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("metrics export: write failed for " + path);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("metrics export: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+// --- JSON -------------------------------------------------------------------
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":";
+  append_string(out, kMetricsSchema);
+  out += ",\"taken_at_seconds\":";
+  append_double(out, snap.taken_at_seconds);
+
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) out += ',';
+    append_string(out, snap.counters[i].name);
+    out += ':';
+    append_u64(out, snap.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    append_string(out, snap.gauges[i].name);
+    out += ':';
+    append_double(out, snap.gauges[i].value);
+  }
+
+  out += "},\"histograms\":";
+  append_array(out, snap.histograms,
+               [](std::string& o, const HistogramSample& h) {
+                 o += "{\"name\":";
+                 append_string(o, h.name);
+                 o += ",\"min_value\":";
+                 append_double(o, h.min_value);
+                 o += ",\"count\":";
+                 append_u64(o, h.count);
+                 o += ",\"sum\":";
+                 append_double(o, h.sum);
+                 o += ",\"min\":";
+                 append_double(o, h.min);
+                 o += ",\"max\":";
+                 append_double(o, h.max);
+                 // Sparse bucket encoding: only non-empty buckets.
+                 o += ",\"bucket_count\":";
+                 append_u64(o, h.buckets.size());
+                 o += ",\"buckets\":[";
+                 bool first = true;
+                 for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+                   if (h.buckets[i] == 0) continue;
+                   if (!first) o += ',';
+                   first = false;
+                   o += "[";
+                   append_u64(o, i);
+                   o += ',';
+                   append_u64(o, h.buckets[i]);
+                   o += ']';
+                 }
+                 o += "]}";
+               });
+
+  out += ",\"series\":";
+  append_array(out, snap.series, [](std::string& o, const SeriesSample& s) {
+    o += "{\"name\":";
+    append_string(o, s.name);
+    o += ",\"dropped\":";
+    append_u64(o, s.dropped);
+    o += ",\"times\":";
+    append_array(o, s.times,
+                 [](std::string& oo, double v) { append_double(oo, v); });
+    o += ",\"values\":";
+    append_array(o, s.values,
+                 [](std::string& oo, double v) { append_double(oo, v); });
+    o += '}';
+  });
+
+  out += ",\"spans\":";
+  append_array(out, snap.spans, [](std::string& o, const SpanSample& s) {
+    o += "{\"name\":";
+    append_string(o, s.name);
+    o += ",\"key\":";
+    append_u64(o, s.key);
+    o += ",\"start_seconds\":";
+    append_double(o, s.start_seconds);
+    o += ",\"end_seconds\":";
+    append_double(o, s.end_seconds);
+    o += '}';
+  });
+
+  out += "}\n";
+  return out;
+}
+
+void write_json(const std::string& path, const MetricsSnapshot& snap) {
+  write_file(path, to_json(snap));
+}
+
+MetricsSnapshot snapshot_from_json(std::string_view json) {
+  const JsonValue root = JsonParser(json).parse();
+  const JsonObject& obj = root.as_object();
+  if (member(obj, "schema").as_string() != kMetricsSchema) {
+    throw std::runtime_error("metrics json: unknown schema");
+  }
+
+  MetricsSnapshot snap;
+  snap.taken_at_seconds = member(obj, "taken_at_seconds").as_double();
+
+  for (const auto& [name, value] : member(obj, "counters").as_object()) {
+    snap.counters.push_back(CounterSample{name, value.as_u64()});
+  }
+  for (const auto& [name, value] : member(obj, "gauges").as_object()) {
+    snap.gauges.push_back(GaugeSample{name, value.as_double()});
+  }
+
+  for (const auto& h : member(obj, "histograms").as_array()) {
+    const JsonObject& ho = h.as_object();
+    HistogramSample sample;
+    sample.name = member(ho, "name").as_string();
+    sample.min_value = member(ho, "min_value").as_double();
+    sample.count = member(ho, "count").as_u64();
+    sample.sum = member(ho, "sum").as_double();
+    sample.min = member(ho, "min").as_double();
+    sample.max = member(ho, "max").as_double();
+    sample.buckets.assign(member(ho, "bucket_count").as_u64(), 0);
+    for (const auto& entry : member(ho, "buckets").as_array()) {
+      const JsonArray& pair = entry.as_array();
+      if (pair.size() != 2) {
+        throw std::runtime_error("metrics json: bad bucket entry");
+      }
+      const std::uint64_t index = pair[0].as_u64();
+      if (index >= sample.buckets.size()) {
+        throw std::runtime_error("metrics json: bucket index out of range");
+      }
+      sample.buckets[index] = pair[1].as_u64();
+    }
+    snap.histograms.push_back(std::move(sample));
+  }
+
+  for (const auto& s : member(obj, "series").as_array()) {
+    const JsonObject& so = s.as_object();
+    SeriesSample sample;
+    sample.name = member(so, "name").as_string();
+    sample.dropped = member(so, "dropped").as_u64();
+    sample.times = double_array(member(so, "times"));
+    sample.values = double_array(member(so, "values"));
+    if (sample.times.size() != sample.values.size()) {
+      throw std::runtime_error("metrics json: series length mismatch");
+    }
+    snap.series.push_back(std::move(sample));
+  }
+
+  for (const auto& s : member(obj, "spans").as_array()) {
+    const JsonObject& so = s.as_object();
+    snap.spans.push_back(SpanSample{member(so, "name").as_string(),
+                                    member(so, "key").as_u64(),
+                                    member(so, "start_seconds").as_double(),
+                                    member(so, "end_seconds").as_double()});
+  }
+
+  return snap;
+}
+
+MetricsSnapshot read_json(const std::string& path) {
+  return snapshot_from_json(read_file(path));
+}
+
+// --- CSV --------------------------------------------------------------------
+
+std::string series_to_csv(const MetricsSnapshot& snap) {
+  std::string out = "series,time,value\n";
+  for (const auto& s : snap.series) {
+    for (std::size_t i = 0; i < s.times.size(); ++i) {
+      // Series names are metric identifiers (no commas/quotes); written
+      // bare to keep the file trivially greppable.
+      out += s.name;
+      out += ',';
+      append_double(out, s.times[i]);
+      out += ',';
+      append_double(out, s.values[i]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void write_series_csv(const std::string& path, const MetricsSnapshot& snap) {
+  write_file(path, series_to_csv(snap));
+}
+
+std::vector<SeriesSample> series_from_csv(std::string_view csv) {
+  std::vector<SeriesSample> out;
+  std::size_t pos = 0;
+  bool header = true;
+  while (pos < csv.size()) {
+    std::size_t eol = csv.find('\n', pos);
+    if (eol == std::string_view::npos) eol = csv.size();
+    const std::string_view line = csv.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (header) {
+      if (line != "series,time,value") {
+        throw std::runtime_error("metrics csv: bad header");
+      }
+      header = false;
+      continue;
+    }
+    const std::size_t c1 = line.find(',');
+    const std::size_t c2 =
+        c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
+    if (c2 == std::string_view::npos) {
+      throw std::runtime_error("metrics csv: bad row");
+    }
+    const std::string_view name = line.substr(0, c1);
+    const std::string time_text(line.substr(c1 + 1, c2 - c1 - 1));
+    const std::string value_text(line.substr(c2 + 1));
+    if (out.empty() || out.back().name != name) {
+      out.push_back(SeriesSample{std::string(name), 0, {}, {}});
+    }
+    out.back().times.push_back(std::strtod(time_text.c_str(), nullptr));
+    out.back().values.push_back(std::strtod(value_text.c_str(), nullptr));
+  }
+  if (header) {
+    throw std::runtime_error("metrics csv: empty input");
+  }
+  return out;
+}
+
+}  // namespace oddci::obs

@@ -1,0 +1,73 @@
+#include "obs/sampler.hpp"
+
+#include <stdexcept>
+
+namespace oddci::obs {
+
+void Sampler::Options::validate() const {
+  if (interval <= sim::SimTime::zero()) {
+    throw std::invalid_argument("Sampler: interval must be > 0");
+  }
+  if (max_points == 0) {
+    throw std::invalid_argument("Sampler: max_points must be > 0");
+  }
+}
+
+Sampler::Sampler(sim::Simulation& simulation, MetricsRegistry& registry)
+    : Sampler(simulation, registry, Options{}) {}
+
+Sampler::Sampler(sim::Simulation& simulation, MetricsRegistry& registry,
+                 Options options)
+    : simulation_(simulation), registry_(registry), options_(options) {
+  options_.validate();
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::add_gauge_series(std::string_view name,
+                               std::function<double()> probe) {
+  if (running_) {
+    throw std::logic_error("Sampler: register probes before start()");
+  }
+  TimeSeries& series = registry_.series(name, options_.max_points);
+  gauges_.push_back(GaugeProbe{&series, std::move(probe)});
+}
+
+void Sampler::add_rate_series(std::string_view name, const Counter& cell) {
+  if (running_) {
+    throw std::logic_error("Sampler: register probes before start()");
+  }
+  TimeSeries& series = registry_.series(name, options_.max_points);
+  rates_.push_back(RateProbe{&series, &cell, cell.value()});
+}
+
+void Sampler::start() {
+  if (running_) return;
+  task_ = sim::PeriodicTask(simulation_,
+                            simulation_.now() + options_.interval,
+                            options_.interval, [this] { tick(); });
+  running_ = true;
+}
+
+void Sampler::stop() {
+  if (!running_) return;
+  task_.cancel();
+  running_ = false;
+}
+
+void Sampler::tick() {
+  ++ticks_;
+  const double now = simulation_.now().seconds();
+  for (auto& probe : gauges_) {
+    probe.series->record(now, probe.fn());
+  }
+  const double dt = options_.interval.seconds();
+  for (auto& probe : rates_) {
+    const std::uint64_t value = probe.cell->value();
+    probe.series->record(
+        now, static_cast<double>(value - probe.last) / dt);
+    probe.last = value;
+  }
+}
+
+}  // namespace oddci::obs

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/simulation.hpp"
+
+/// Sim-time sampler: a `PeriodicTask` on the timer wheel that reads a set
+/// of probes every `interval` of simulated time and appends the values to
+/// named `TimeSeries` in the registry. Probes are registered once, before
+/// start(); each tick is a plain loop over preallocated closures — no
+/// allocation, no RNG, so two runs of the same seeded scenario produce
+/// bit-identical series.
+namespace oddci::obs {
+
+class Sampler {
+ public:
+  struct Options {
+    sim::SimTime interval = sim::SimTime::from_seconds(10);
+    std::size_t max_points = 1 << 16;
+
+    void validate() const;
+  };
+
+  Sampler(sim::Simulation& simulation, MetricsRegistry& registry);
+  Sampler(sim::Simulation& simulation, MetricsRegistry& registry,
+          Options options);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Record probe() at every tick (levels: pool sizes, queue depths).
+  void add_gauge_series(std::string_view name, std::function<double()> probe);
+
+  /// Record the per-second rate of `cell` over the last interval
+  /// (counter deltas: heartbeat rate, delivery rate). The cell must
+  /// outlive the sampler.
+  void add_rate_series(std::string_view name, const Counter& cell);
+
+  /// First tick fires one interval from now.
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] sim::SimTime interval() const { return options_.interval; }
+
+ private:
+  void tick();
+
+  struct GaugeProbe {
+    TimeSeries* series;
+    std::function<double()> fn;
+  };
+  struct RateProbe {
+    TimeSeries* series;
+    const Counter* cell;
+    std::uint64_t last = 0;
+  };
+
+  sim::Simulation& simulation_;
+  MetricsRegistry& registry_;
+  Options options_;
+  std::vector<GaugeProbe> gauges_;
+  std::vector<RateProbe> rates_;
+  sim::PeriodicTask task_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace oddci::obs

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+/// Lightweight trace spans for the simulation's multi-event cycles —
+/// wakeup -> acquire -> join on the control plane, dispatch -> result on
+/// the task plane. A span is opened under a (name, key) pair and closed
+/// later from a different callback; closing records the duration into an
+/// optional latency histogram and retains the completed span (bounded) in
+/// the registry for export.
+///
+/// The tracer is deliberately tolerant: ending a span that was never begun
+/// is a counted no-op (components emit end events for cycles that started
+/// before tracing was attached), and beginning an already-open span
+/// restarts it (a wakeup retransmitted before the instance formed).
+namespace oddci::obs {
+
+class Tracer {
+ public:
+  explicit Tracer(MetricsRegistry& registry) : registry_(&registry) {}
+
+  void begin(std::string_view name, std::uint64_t key, double now_seconds) {
+    open_.insert_or_assign(Key{std::string(name), key}, now_seconds);
+  }
+
+  /// Close an open span. Returns the duration in seconds, or a negative
+  /// value if no matching span was open.
+  double end(std::string_view name, std::uint64_t key, double now_seconds,
+             LogHistogram* latency = nullptr) {
+    const auto it = open_.find(Key{std::string(name), key});
+    if (it == open_.end()) {
+      ++unmatched_ends_;
+      return -1.0;
+    }
+    const double start = it->second;
+    open_.erase(it);
+    const double duration = now_seconds - start;
+    if (latency != nullptr) latency->record(duration);
+    registry_->record_span(name, key, start, now_seconds);
+    return duration;
+  }
+
+  /// Discard an open span without recording it (cycle abandoned: instance
+  /// destroyed before forming, task re-queued).
+  bool discard(std::string_view name, std::uint64_t key) {
+    return open_.erase(Key{std::string(name), key}) > 0;
+  }
+
+  [[nodiscard]] std::size_t open_count() const { return open_.size(); }
+  [[nodiscard]] std::uint64_t unmatched_ends() const {
+    return unmatched_ends_;
+  }
+
+ private:
+  using Key = std::pair<std::string, std::uint64_t>;
+
+  MetricsRegistry* registry_;
+  std::map<Key, double> open_;
+  std::uint64_t unmatched_ends_ = 0;
+};
+
+}  // namespace oddci::obs

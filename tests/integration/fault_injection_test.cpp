@@ -23,7 +23,7 @@ TEST(FaultInjection, JobCompletesUnderChurn) {
   churn.mean_on_seconds = 1200;
   churn.mean_off_seconds = 600;
   config.churn = churn;
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
 
   OddciSystem system(config);
   const auto result =
@@ -111,7 +111,7 @@ TEST(FaultInjection, TasksLostToTrimmingAreRedispatched) {
   SystemConfig config;
   config.receivers = 200;
   config.seed = 24;
-  config.controller_overshoot = 4.0;
+  config.controller.overshoot_margin = 4.0;
   OddciSystem system(config);
   const auto result =
       system.run_job(job_of(400, 20.0), 20, sim::SimTime::from_hours(12));

@@ -39,7 +39,7 @@ Trajectory run_scenario(std::size_t receivers) {
   config.channels = 4;
   config.aggregators = 8;
   config.seed = 20260805;
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
   OddciSystem system(config);
 
   const auto job = workload::make_uniform_job(
@@ -99,7 +99,7 @@ TEST(Replay, DifferentSeedsDiverge) {
   config.receivers = 2'000;
   config.channels = 2;
   config.aggregators = 2;
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
 
   auto fingerprint = [&](std::uint64_t seed) {
     config.seed = seed;

@@ -14,7 +14,7 @@ SystemConfig small_config() {
   // Slight over-recruitment so the instance forms in the first wakeup wave
   // (without it, a binomial shortfall can leave formation to a later
   // recomposition round that a short job may not live to see).
-  config.controller_overshoot = 1.3;
+  config.controller.overshoot_margin = 1.3;
   return config;
 }
 
@@ -44,7 +44,7 @@ TEST(SystemIntegration, WakeupWithinCarouselBounds) {
   const double read_s = util::transmission_seconds(job.image_size,
                                                    config.beta);
   const double cycle_s = util::transmission_seconds(
-      job.image_size + config.pna_xlet_size + util::Bits::from_bytes(512),
+      job.image_size + config.controller.pna_xlet_size + util::Bits::from_bytes(512),
       config.beta);
   EXPECT_GE(result.wakeup_seconds, read_s * 0.99);
   // One full cycle of waiting plus the read, plus signalling/heartbeat slack.
