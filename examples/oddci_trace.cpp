@@ -1,0 +1,295 @@
+// oddci_trace: inspector for Chrome-trace exports written by the causal
+// flight recorder (obs::write_chrome_trace / quickstart's fifth argument).
+//
+// Usage:
+//   oddci_trace validate <trace.json>
+//       Strictly parse the file as an oddci.trace.v1 Chrome trace; print a
+//       one-line inventory. Exit 0 iff the file is well formed.
+//   oddci_trace summary <trace.json>
+//       Event counts per kind and per component, distinct causal chains,
+//       covered sim-time range.
+//   oddci_trace timeline <trace.json> <trace_id>
+//       Chronological hops of one causal chain (as printed by summary or
+//       carried in the export's args.trace field).
+//   oddci_trace funnel <trace.json>
+//       Per-instance join funnel: control receipts -> probability gate ->
+//       image acquisitions -> confirmed members (plus drops and resets).
+//   oddci_trace slowest <trace.json> [N]
+//       The N slowest confirmed wakeups (wakeup.accepted ->
+//       member.joined), decomposed into acquire and confirm phases.
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_export.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using oddci::obs::TraceComponent;
+using oddci::obs::TraceEvent;
+using oddci::obs::TraceEventKind;
+
+double seconds(const TraceEvent& e) {
+  return static_cast<double>(e.t_micros) / 1e6;
+}
+
+using SpanIndex = std::unordered_map<std::uint64_t, const TraceEvent*>;
+
+SpanIndex index_by_span(const std::vector<TraceEvent>& events) {
+  SpanIndex out;
+  out.reserve(events.size());
+  for (const TraceEvent& e : events) out.emplace(e.span_id, &e);
+  return out;
+}
+
+/// Nearest ancestor of `e` with the given kind, or nullptr when the chain
+/// leaves the retained window (the ring overwrote it) or has no such hop.
+const TraceEvent* ancestor_of_kind(const TraceEvent& e, TraceEventKind kind,
+                                   const SpanIndex& spans) {
+  const TraceEvent* cur = &e;
+  // The parent chain is acyclic by construction (span ids are allocated
+  // monotonically); the bound guards against corrupted input files.
+  for (int depth = 0; depth < 64; ++depth) {
+    if (cur->parent_span == 0) return nullptr;
+    const auto it = spans.find(cur->parent_span);
+    if (it == spans.end()) return nullptr;
+    cur = it->second;
+    if (cur->kind == kind) return cur;
+  }
+  return nullptr;
+}
+
+int cmd_validate(const std::string& path) {
+  const std::vector<TraceEvent> events = oddci::obs::read_chrome_trace(path);
+  std::set<std::uint64_t> traces;
+  std::int64_t t_min = events.empty() ? 0 : events.front().t_micros;
+  std::int64_t t_max = t_min;
+  for (const TraceEvent& e : events) {
+    traces.insert(e.trace_id);
+    t_min = std::min(t_min, e.t_micros);
+    t_max = std::max(t_max, e.t_micros);
+  }
+  std::cout << path << ": valid " << oddci::obs::kTraceSchema << ", "
+            << events.size() << " events, " << traces.size()
+            << " causal chains";
+  if (!events.empty()) {
+    std::cout << ", t = [" << static_cast<double>(t_min) / 1e6 << ", "
+              << static_cast<double>(t_max) / 1e6 << "] s";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_summary(const std::vector<TraceEvent>& events) {
+  std::map<TraceEventKind, std::uint64_t> by_kind;
+  std::map<TraceComponent, std::uint64_t> by_component;
+  std::set<std::uint64_t> traces;
+  for (const TraceEvent& e : events) {
+    ++by_kind[e.kind];
+    ++by_component[e.component];
+    traces.insert(e.trace_id);
+  }
+
+  oddci::util::Table kinds({"event", "count"});
+  for (const auto& [kind, count] : by_kind) {
+    kinds.add_row({std::string(to_string(kind)),
+                   oddci::util::Table::fmt_int(static_cast<long long>(count))});
+  }
+  oddci::util::Table components({"component", "count"});
+  for (const auto& [component, count] : by_component) {
+    components.add_row(
+        {std::string(to_string(component)),
+         oddci::util::Table::fmt_int(static_cast<long long>(count))});
+  }
+
+  std::cout << events.size() << " events across " << traces.size()
+            << " causal chains\n\n";
+  kinds.print(std::cout);
+  std::cout << "\n";
+  components.print(std::cout);
+  if (!events.empty()) {
+    std::cout << "\nsim time covered: " << seconds(events.front()) << " .. "
+              << seconds(events.back()) << " s\n";
+  }
+  return 0;
+}
+
+int cmd_timeline(const std::vector<TraceEvent>& events,
+                 std::uint64_t trace_id) {
+  oddci::util::Table table(
+      {"t (s)", "component", "event", "actor", "arg", "span", "parent"});
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != trace_id) continue;
+    table.add_row({oddci::util::Table::fmt(seconds(e), 6),
+                   std::string(to_string(e.component)),
+                   std::string(to_string(e.kind)), std::to_string(e.actor),
+                   std::to_string(e.arg), std::to_string(e.span_id),
+                   std::to_string(e.parent_span)});
+  }
+  if (table.rows() == 0) {
+    std::cerr << "no events with trace id " << trace_id << "\n";
+    return 1;
+  }
+  std::cout << "trace " << trace_id << ":\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_funnel(const std::vector<TraceEvent>& events) {
+  struct Funnel {
+    std::uint64_t received = 0, accepted = 0, dropped_busy = 0,
+                  dropped_probability = 0, rejected = 0, acquired = 0,
+                  aborted = 0, joined = 0, pruned = 0, resets = 0;
+  };
+  // These kinds all carry the instance id in `arg` (see the enum docs).
+  std::map<std::uint64_t, Funnel> by_instance;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kControlReceived:
+        ++by_instance[e.arg].received;
+        break;
+      case TraceEventKind::kWakeupAccepted:
+        ++by_instance[e.arg].accepted;
+        break;
+      case TraceEventKind::kWakeupDroppedBusy:
+        ++by_instance[e.arg].dropped_busy;
+        break;
+      case TraceEventKind::kWakeupDroppedProbability:
+        ++by_instance[e.arg].dropped_probability;
+        break;
+      case TraceEventKind::kWakeupRejectedRequirements:
+        ++by_instance[e.arg].rejected;
+        break;
+      case TraceEventKind::kImageAcquired:
+        ++by_instance[e.arg].acquired;
+        break;
+      case TraceEventKind::kJoinAborted:
+        ++by_instance[e.arg].aborted;
+        break;
+      case TraceEventKind::kMemberJoined:
+        ++by_instance[e.arg].joined;
+        break;
+      case TraceEventKind::kMemberPruned:
+        ++by_instance[e.arg].pruned;
+        break;
+      case TraceEventKind::kResetApplied:
+        ++by_instance[e.arg].resets;
+        break;
+      default:
+        break;
+    }
+  }
+  if (by_instance.empty()) {
+    std::cerr << "no join-funnel events in this trace\n";
+    return 1;
+  }
+  oddci::util::Table table({"instance", "received", "p-drop", "busy-drop",
+                            "rejected", "accepted", "acquired", "aborted",
+                            "joined", "pruned", "resets"});
+  const auto fmt = [](std::uint64_t v) {
+    return oddci::util::Table::fmt_int(static_cast<long long>(v));
+  };
+  for (const auto& [instance, f] : by_instance) {
+    table.add_row({std::to_string(instance), fmt(f.received),
+                   fmt(f.dropped_probability), fmt(f.dropped_busy),
+                   fmt(f.rejected), fmt(f.accepted), fmt(f.acquired),
+                   fmt(f.aborted), fmt(f.joined), fmt(f.pruned),
+                   fmt(f.resets)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_slowest(const std::vector<TraceEvent>& events, std::size_t n) {
+  const SpanIndex spans = index_by_span(events);
+  struct Wakeup {
+    double total, acquire, confirm;
+    std::uint64_t pna, instance;
+  };
+  std::vector<Wakeup> wakeups;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEventKind::kMemberJoined) continue;
+    const TraceEvent* accepted =
+        ancestor_of_kind(e, TraceEventKind::kWakeupAccepted, spans);
+    if (accepted == nullptr) continue;  // chain left the ring
+    const TraceEvent* acquired =
+        ancestor_of_kind(e, TraceEventKind::kImageAcquired, spans);
+    const double t_accept = seconds(*accepted);
+    const double t_acquire =
+        acquired != nullptr ? seconds(*acquired) : seconds(e);
+    wakeups.push_back({seconds(e) - t_accept, t_acquire - t_accept,
+                       seconds(e) - t_acquire, accepted->actor, e.arg});
+  }
+  if (wakeups.empty()) {
+    std::cerr << "no confirmed wakeups (wakeup.accepted -> member.joined) "
+                 "in this trace\n";
+    return 1;
+  }
+  std::stable_sort(wakeups.begin(), wakeups.end(),
+                   [](const Wakeup& a, const Wakeup& b) {
+                     return a.total > b.total;
+                   });
+  if (wakeups.size() > n) wakeups.resize(n);
+
+  oddci::util::Table table({"pna", "instance", "wakeup (s)", "acquire (s)",
+                            "confirm (s)"});
+  for (const Wakeup& w : wakeups) {
+    table.add_row({std::to_string(w.pna), std::to_string(w.instance),
+                   oddci::util::Table::fmt(w.total, 3),
+                   oddci::util::Table::fmt(w.acquire, 3),
+                   oddci::util::Table::fmt(w.confirm, 3)});
+  }
+  std::cout << wakeups.size() << " slowest confirmed wakeups:\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: oddci_trace <command> <trace.json> [args]\n"
+         "  validate <trace.json>             strict parse, inventory line\n"
+         "  summary  <trace.json>             counts per kind/component\n"
+         "  timeline <trace.json> <trace_id>  hops of one causal chain\n"
+         "  funnel   <trace.json>             per-instance join funnel\n"
+         "  slowest  <trace.json> [N]         N slowest wakeups (default "
+         "10)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  try {
+    if (command == "validate") return cmd_validate(path);
+
+    const std::vector<TraceEvent> events =
+        oddci::obs::read_chrome_trace(path);
+    if (command == "summary") return cmd_summary(events);
+    if (command == "timeline") {
+      if (argc < 4) return usage();
+      return cmd_timeline(events, std::strtoull(argv[3], nullptr, 10));
+    }
+    if (command == "funnel") return cmd_funnel(events);
+    if (command == "slowest") {
+      const std::size_t n =
+          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+      return cmd_slowest(events, n);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "oddci_trace: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+}

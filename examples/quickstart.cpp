@@ -3,10 +3,14 @@
 // paper's analytical model.
 //
 // Usage: quickstart [receivers] [instance_size] [tasks] [metrics.json]
+//                   [trace.json]
 //
 // When a fourth argument is given, the run's full MetricsSnapshot (counters,
 // latency histograms, sampled time series, trace spans) is exported there as
-// oddci.metrics.v1 JSON.
+// oddci.metrics.v1 JSON. A fifth argument switches the causal flight
+// recorder on and exports the recorded protocol hops there as Chrome trace
+// JSON (open in https://ui.perfetto.dev or chrome://tracing; inspect with
+// examples/oddci_trace).
 
 #include <cstdlib>
 #include <iostream>
@@ -14,6 +18,7 @@
 #include "analytical/models.hpp"
 #include "core/system.hpp"
 #include "obs/export.hpp"
+#include "obs/trace_export.hpp"
 #include "util/table.hpp"
 #include "workload/job.hpp"
 
@@ -27,6 +32,7 @@ int main(int argc, char** argv) {
   const std::size_t tasks =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
   const char* metrics_path = argc > 4 ? argv[4] : nullptr;
+  const char* trace_path = argc > 5 ? argv[5] : nullptr;
 
   // System: beta = 1 Mbps of unused broadcast capacity, delta = 150 Kbps
   // ADSL-class return channels — the paper's Section 5.2 reference values.
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
   config.beta = util::BitRate::from_mbps(1.0);
   config.delta = util::BitRate::from_kbps(150.0);
   config.seed = 7;
+  config.obs.trace = trace_path != nullptr;
 
   core::OddciSystem system(config);
 
@@ -93,6 +100,13 @@ int main(int argc, char** argv) {
               << result.metrics.counters.size() << " counters, "
               << result.metrics.series.size() << " series, "
               << result.metrics.histograms.size() << " histograms)\n";
+  }
+  if (trace_path != nullptr) {
+    const obs::FlightRecorder& recorder = *system.flight_recorder();
+    obs::write_chrome_trace(trace_path, recorder);
+    std::cout << "  wrote " << trace_path << " (" << recorder.size()
+              << " events retained, " << recorder.overwritten()
+              << " overwritten)\n";
   }
   return result.completed ? 0 : 1;
 }

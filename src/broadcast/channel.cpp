@@ -31,6 +31,12 @@ std::uint64_t BroadcastChannel::commit() {
       carousel_.commit(simulation_.now(), phase);
   ++commit_count_;
   if (counters_ != nullptr) ++counters_->commits;
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(),
+                    obs::TraceEventKind::kCarouselCommit,
+                    obs::TraceComponent::kCarousel, {}, generation,
+                    carousel_.current().files.size());
+  }
   for (const auto& [id, listener] : listeners_) {
     (void)listener;
     schedule_acquisition(id);

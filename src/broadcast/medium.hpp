@@ -6,6 +6,7 @@
 
 #include "broadcast/ait.hpp"
 #include "broadcast/carousel.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
@@ -63,8 +64,15 @@ class BroadcastMedium {
   /// the medium; all media of one system may share one block.
   void set_counters(obs::BroadcastCounters* counters) { counters_ = counters; }
 
+  /// Attach a flight recorder: every commit() is emitted as an
+  /// infrastructure-level carousel.commit event (the broadcast plane is
+  /// one-to-many, so cycle events are not tied to a single trace).
+  /// nullptr detaches.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
  protected:
   obs::BroadcastCounters* counters_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oddci::broadcast

@@ -72,6 +72,12 @@ std::uint64_t MulticastChannel::commit() {
     active_.files.push_back(file);
   }
   if (counters_ != nullptr) ++counters_->commits;
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(),
+                    obs::TraceEventKind::kCarouselCommit,
+                    obs::TraceComponent::kCarousel, {}, active_.generation,
+                    active_.files.size());
+  }
   for (const auto& [id, listener] : listeners_) {
     (void)listener;
     schedule_announcement(id);

@@ -30,7 +30,7 @@ void HeartbeatAggregator::on_message(net::NodeId /*from*/,
   if (message->tag() != kTagHeartbeat) return;
   const auto& hb = static_cast<const HeartbeatMessage&>(*message);
   ++stats_.heartbeats_received;
-  window_[hb.pna_id()] = Record{hb.state(), hb.instance()};
+  window_[hb.pna_id()] = Record{hb.state(), hb.instance(), hb.trace()};
 }
 
 void HeartbeatAggregator::flush() {
@@ -38,9 +38,14 @@ void HeartbeatAggregator::flush() {
   std::vector<AggregateReportMessage::Entry> entries;
   entries.reserve(window_.size());
   for (const auto& [pna, rec] : window_) {
-    entries.push_back({pna, rec.state, rec.instance});
+    entries.push_back({pna, rec.state, rec.instance, rec.trace});
   }
   window_.clear();
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(), obs::TraceEventKind::kAggregateFlush,
+                    obs::TraceComponent::kAggregator, {}, node_id_,
+                    entries.size());
+  }
   stats_.entries_forwarded += entries.size();
   ++stats_.reports_sent;
   network_.send(node_id_, controller_,

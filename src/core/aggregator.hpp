@@ -54,6 +54,13 @@ class HeartbeatAggregator final : public net::Endpoint {
   void link_metrics(obs::MetricsRegistry& registry,
                     const std::string& prefix) const;
 
+  /// Attach a flight recorder: each consolidated report is emitted as an
+  /// aggregate.flush event, and entries keep the trace context of the
+  /// heartbeat they consolidate. nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
   /// Downstream messages (heartbeat replies from the Controller addressed
   /// to the aggregator) are not expected: the Controller replies directly
   /// to PNAs. Heartbeats are absorbed; everything else is ignored.
@@ -71,11 +78,13 @@ class HeartbeatAggregator final : public net::Endpoint {
   struct Record {
     PnaState state = PnaState::kIdle;
     InstanceId instance = kNoInstance;
+    obs::TraceContext trace;  ///< context of the consolidated heartbeat
   };
   /// Latest state per PNA heard from since the last flush.
   std::unordered_map<std::uint64_t, Record> window_;
   sim::PeriodicTask reporter_;
   Stats stats_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oddci::core

@@ -16,7 +16,8 @@ Backend::~Backend() {
 
 void Backend::submit(const workload::Job& job, InstanceId instance,
                      std::function<void()> on_complete,
-                     std::optional<sim::SimTime> clock_start) {
+                     std::optional<sim::SimTime> clock_start,
+                     obs::TraceContext trace) {
   if (active_) {
     throw std::logic_error("Backend: a job is already active");
   }
@@ -27,6 +28,7 @@ void Backend::submit(const workload::Job& job, InstanceId instance,
 
   active_ = true;
   instance_ = instance;
+  job_trace_ = trace;
   job_ = job;
   on_complete_ = std::move(on_complete);
 
@@ -69,6 +71,12 @@ void Backend::on_message(net::NodeId from, const net::MessagePtr& message) {
         pending_.push_back(index);
         ++metrics_.aborts_received;
         if (tracer_ != nullptr) tracer_->discard("task.cycle", index);
+        if (recorder_ != nullptr) {
+          recorder_->emit(simulation_.now(),
+                          obs::TraceEventKind::kTaskAborted,
+                          obs::TraceComponent::kBackend, abort.trace(),
+                          abort.pna_id(), index);
+        }
       }
       break;
     }
@@ -87,7 +95,13 @@ void Backend::handle_request(net::NodeId from,
   }
   const std::uint64_t index = pending_.front();
   pending_.pop_front();
-  outstanding_[index] = Outstanding{from, simulation_.now()};
+  obs::TraceContext dispatch;
+  if (recorder_ != nullptr) {
+    dispatch = recorder_->emit(
+        simulation_.now(), obs::TraceEventKind::kTaskDispatched,
+        obs::TraceComponent::kBackend, job_trace_, from, index);
+  }
+  outstanding_[index] = Outstanding{from, simulation_.now(), dispatch};
   ++metrics_.assignments;
   if (tracer_ != nullptr) {
     tracer_->begin("task.cycle", index, simulation_.now().seconds());
@@ -97,7 +111,7 @@ void Backend::handle_request(net::NodeId from,
   network_.send(node_id_, from,
                 std::make_shared<TaskAssignMessage>(
                     instance_, index, task.input_size, task.result_size,
-                    task.reference_seconds));
+                    task.reference_seconds, dispatch));
 }
 
 void Backend::handle_result(const TaskResultMessage& result) {
@@ -122,6 +136,11 @@ void Backend::handle_result(const TaskResultMessage& result) {
   }
   if (tracer_ != nullptr) {
     tracer_->end("task.cycle", index, simulation_.now().seconds());
+  }
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(), obs::TraceEventKind::kTaskResult,
+                    obs::TraceComponent::kBackend, result.trace(),
+                    result.pna_id(), index);
   }
   completion_times_.push_back(
       (simulation_.now() - metrics_.submitted_at).seconds());
@@ -151,10 +170,15 @@ void Backend::sweep_timeouts() {
     }
   }
   for (std::uint64_t index : expired) {
+    const obs::TraceContext dispatch = outstanding_.at(index).trace;
     outstanding_.erase(index);
     pending_.push_back(index);
     ++metrics_.reassignments;
     if (tracer_ != nullptr) tracer_->discard("task.cycle", index);
+    if (recorder_ != nullptr) {
+      recorder_->emit(simulation_.now(), obs::TraceEventKind::kTaskRequeued,
+                      obs::TraceComponent::kBackend, dispatch, 0, index);
+    }
   }
 }
 

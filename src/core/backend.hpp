@@ -71,9 +71,12 @@ class Backend final : public net::Endpoint {
   /// `on_complete` fires when the last result arrives. The makespan clock
   /// starts now unless an explicit `clock_start` is given (e.g. the moment
   /// the Provider requested the instance, to include the wakeup overhead).
+  /// `trace` is the causal context the job's task events chain off (the
+  /// instance's control.format context, typically).
   void submit(const workload::Job& job, InstanceId instance,
               std::function<void()> on_complete,
-              std::optional<sim::SimTime> clock_start = std::nullopt);
+              std::optional<sim::SimTime> clock_start = std::nullopt,
+              obs::TraceContext trace = {});
 
   [[nodiscard]] bool job_active() const { return active_; }
   [[nodiscard]] std::size_t tasks_remaining() const {
@@ -102,6 +105,13 @@ class Backend final : public net::Endpoint {
   /// detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach a flight recorder: dispatch/result/abort/requeue hops are
+  /// emitted as causally linked events, and assignments carry the context
+  /// to the executing PNA. nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
   // --- net::Endpoint -------------------------------------------------------
   void on_message(net::NodeId from, const net::MessagePtr& message) override;
 
@@ -109,6 +119,7 @@ class Backend final : public net::Endpoint {
   struct Outstanding {
     net::NodeId assignee;
     sim::SimTime assigned_at;
+    obs::TraceContext trace;  ///< context of the dispatch event
   };
 
   void handle_request(net::NodeId from, const TaskRequestMessage& request);
@@ -122,6 +133,7 @@ class Backend final : public net::Endpoint {
 
   bool active_ = false;
   InstanceId instance_ = kNoInstance;
+  obs::TraceContext job_trace_;
   workload::Job job_;
   std::function<void()> on_complete_;
 
@@ -137,6 +149,7 @@ class Backend final : public net::Endpoint {
 
   obs::LogHistogram task_cycle_{1e-3};
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oddci::core

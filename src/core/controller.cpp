@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/logging.hpp"
+
 namespace oddci::core {
 
 Controller::Controller(sim::Simulation& simulation, net::Network& network,
@@ -87,9 +89,15 @@ void Controller::set_aggregators(std::vector<net::NodeId> aggregators) {
   aggregators_ = std::move(aggregators);
 }
 
-void Controller::broadcast_control(const ControlMessage& message) {
+obs::TraceContext Controller::broadcast_control(const ControlMessage& message) {
   ControlMessage signed_message = message;
   signed_message.aggregators = aggregators_;
+  if (recorder_ != nullptr) {
+    signed_message.trace = recorder_->emit(
+        simulation_.now(), obs::TraceEventKind::kControlFormat,
+        obs::TraceComponent::kController, message.trace, message.instance,
+        static_cast<std::uint64_t>(message.type));
+  }
   signed_message.sign_with(key_);
   const std::uint64_t content = store_.put_control(signed_message);
   // The configuration file is small; its size models a compact encoding.
@@ -109,6 +117,7 @@ void Controller::broadcast_control(const ControlMessage& message) {
   } else {
     ++reset_broadcasts_;
   }
+  return signed_message.trace;
 }
 
 void Controller::stage_and_commit() {
@@ -118,7 +127,8 @@ void Controller::stage_and_commit() {
 }
 
 InstanceId Controller::create_instance(const InstanceSpec& spec,
-                                       net::NodeId backend_node) {
+                                       net::NodeId backend_node,
+                                       obs::TraceContext parent) {
   if (!deployed_) {
     throw std::logic_error("Controller: deploy_pna() before create_instance");
   }
@@ -160,15 +170,20 @@ InstanceId Controller::create_instance(const InstanceSpec& spec,
   wakeup.probability = spec.initial_probability > 0.0
                            ? std::min(1.0, spec.initial_probability)
                            : choose_probability(inst, spec.target_size);
+  wakeup.trace = parent;
 
   instances_.emplace(id, std::move(inst));
   if (tracer_ != nullptr) {
     tracer_->begin("instance.form", id, simulation_.now().seconds());
   }
-  broadcast_control(wakeup);
+  const obs::TraceContext formatted = broadcast_control(wakeup);
   Instance& live = instances_.at(id);
+  live.trace = formatted;
   live.status.wakeups_broadcast++;
   live.last_wakeup_at = simulation_.now();
+  ODDCI_LOG_TRACE("controller")
+      << "instance " << id << " wakeup broadcast, target "
+      << spec.target_size << ", p=" << wakeup.probability;
   return id;
 }
 
@@ -208,7 +223,9 @@ void Controller::destroy_instance(InstanceId id) {
   reset.instance = id;
   reset.controller_node = node_id_;
   reset.heartbeat_interval = inst.spec.heartbeat_interval;
+  reset.trace = inst.trace;
   broadcast_control(reset);
+  ODDCI_LOG_TRACE("controller") << "instance " << id << " reset broadcast";
 }
 
 void Controller::set_recruiting(InstanceId id, bool recruiting) {
@@ -259,6 +276,11 @@ std::vector<InstanceStatus> Controller::all_statuses() const {
               return a.id < b.id;
             });
   return out;
+}
+
+obs::TraceContext Controller::trace_context(InstanceId id) const {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? obs::TraceContext{} : it->second.trace;
 }
 
 std::size_t Controller::idle_pool_estimate() const {
@@ -326,6 +348,11 @@ void Controller::note_member_change(Instance& inst) {
       tracer_->end("instance.form", inst.status.id,
                    simulation_.now().seconds());
     }
+    if (recorder_ != nullptr) {
+      recorder_->emit(simulation_.now(), obs::TraceEventKind::kInstanceReady,
+                      obs::TraceComponent::kController, inst.trace,
+                      inst.status.id, inst.status.target_size);
+    }
   }
   if (size_callback_) {
     size_callback_(inst.status.id, inst.status.current_size,
@@ -338,7 +365,7 @@ void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
     case kTagHeartbeat: {
       const auto& hb = static_cast<const HeartbeatMessage&>(*message);
       ++heartbeats_received_;
-      handle_status(hb.pna_id(), hb.state(), hb.instance(), from);
+      handle_status(hb.pna_id(), hb.state(), hb.instance(), from, hb.trace());
       break;
     }
     case kTagAggregateReport: {
@@ -349,7 +376,7 @@ void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
         // The PNA id is its direct-channel address, so unicast replies can
         // bypass the aggregation tier.
         handle_status(entry.pna_id, entry.state, entry.instance,
-                      static_cast<net::NodeId>(entry.pna_id));
+                      static_cast<net::NodeId>(entry.pna_id), entry.trace);
       }
       break;
     }
@@ -359,8 +386,9 @@ void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
 }
 
 void Controller::handle_status(std::uint64_t pna_id, PnaState state,
-                               InstanceId instance, net::NodeId reply_to) {
-  const HeartbeatMessage hb(pna_id, state, instance);
+                               InstanceId instance, net::NodeId reply_to,
+                               obs::TraceContext trace) {
+  const HeartbeatMessage hb(pna_id, state, instance, trace);
   const net::NodeId from = reply_to;
   const auto [rec_it, first_report] = pnas_.try_emplace(hb.pna_id());
   PnaRecord& rec = rec_it->second;
@@ -401,6 +429,12 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
           ++members_total_;
           join_latency_.record(
               (simulation_.now() - inst.last_wakeup_at).seconds());
+          if (recorder_ != nullptr) {
+            recorder_->emit(simulation_.now(),
+                            obs::TraceEventKind::kMemberJoined,
+                            obs::TraceComponent::kController, hb.trace(),
+                            hb.pna_id(), hb.instance());
+          }
           note_member_change(inst);
         }
       } else if (hb.state() == PnaState::kJoining) {
@@ -420,6 +454,11 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
         if (inst.pending_trims > 0) --inst.pending_trims;
         ++inst.status.unicast_resets;
         ++unicast_resets_;
+        if (recorder_ != nullptr) {
+          recorder_->emit(simulation_.now(), obs::TraceEventKind::kTrimReset,
+                          obs::TraceComponent::kController, hb.trace(),
+                          hb.pna_id(), hb.instance());
+        }
         network_.send(node_id_, from,
                       std::make_shared<HeartbeatReplyMessage>(
                           hb.instance(), HeartbeatCommand::kReset));
@@ -459,6 +498,11 @@ void Controller::monitor_tick() {
       inst.members.erase(member);
       --members_total_;
       ++members_pruned_;
+      if (recorder_ != nullptr) {
+        recorder_->emit(simulation_.now(), obs::TraceEventKind::kMemberPruned,
+                        obs::TraceComponent::kController, inst.trace, member,
+                        id);
+      }
     }
     if (!stale.empty()) note_member_change(inst);
     std::vector<std::uint64_t> stale_joining;
@@ -502,6 +546,7 @@ void Controller::monitor_tick() {
       wakeup.controller_node = node_id_;
       wakeup.backend_node = inst.backend_node;
       wakeup.probability = choose_probability(inst, deficit);
+      wakeup.trace = inst.trace;
       if (wakeup.probability > 0.0) {
         broadcast_control(wakeup);
         inst.last_wakeup_at = simulation_.now();

@@ -97,6 +97,7 @@ class Controller final : public net::Endpoint {
 
   [[nodiscard]] net::NodeId node_id() const { return node_id_; }
   [[nodiscard]] broadcast::SigningKey signing_key() const { return key_; }
+  [[nodiscard]] sim::Simulation& simulation() const { return simulation_; }
 
   /// Route PNA heartbeats through an aggregation tier: the node list is
   /// included in every subsequent control message, and each agent reports
@@ -114,9 +115,11 @@ class Controller final : public net::Endpoint {
   [[nodiscard]] bool deployed() const { return deployed_; }
 
   /// Create an instance: stages image + wakeup config on the carousel and
-  /// commits. Returns the new instance id.
+  /// commits. Returns the new instance id. `parent` is the causal trace
+  /// context of the Provider request that asked for the instance.
   InstanceId create_instance(const InstanceSpec& spec,
-                             net::NodeId backend_node);
+                             net::NodeId backend_node,
+                             obs::TraceContext parent = {});
 
   /// Broadcast reset for the instance and drop its image from the carousel.
   void destroy_instance(InstanceId id);
@@ -188,6 +191,18 @@ class Controller final : public net::Endpoint {
   /// (wakeup broadcast -> target size reached). nullptr detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach a flight recorder: every control-plane hop (format, member
+  /// join, prune, trim, ready) is emitted as a causally linked trace
+  /// event, and outgoing control messages carry the context on the wire.
+  /// nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
+  /// The instance's root control trace context (zero if unknown or when
+  /// no recorder is attached). The Backend chains task dispatch off this.
+  [[nodiscard]] obs::TraceContext trace_context(InstanceId id) const;
+
   // --- net::Endpoint -------------------------------------------------------
   void on_message(net::NodeId from, const net::MessagePtr& message) override;
 
@@ -215,9 +230,16 @@ class Controller final : public net::Endpoint {
     /// sooner than the expected acquisition time would bump the carousel
     /// config version before slow receivers finish reading it.
     sim::SimTime last_wakeup_at;
+    /// Context of the instance's initial control.format event; later
+    /// lifecycle events (ready, prune, recomposition) chain off it.
+    obs::TraceContext trace;
   };
 
-  void broadcast_control(const ControlMessage& message);
+  /// Signs and airs `message`; the returned context is that of the
+  /// control.format trace event (zero when no recorder is attached).
+  /// `message.trace` is read as the causal parent and overwritten with
+  /// the new context before the message hits the carousel.
+  obs::TraceContext broadcast_control(const ControlMessage& message);
   void stage_and_commit();
   void monitor_tick();
   void note_member_change(Instance& instance);
@@ -225,7 +247,8 @@ class Controller final : public net::Endpoint {
                                           std::size_t deficit) const;
   [[nodiscard]] sim::SimTime staleness_horizon(const Instance& inst) const;
   void handle_status(std::uint64_t pna_id, PnaState state,
-                     InstanceId instance, net::NodeId reply_to);
+                     InstanceId instance, net::NodeId reply_to,
+                     obs::TraceContext trace = {});
 
   sim::Simulation& simulation_;
   net::Network& network_;
@@ -263,6 +286,7 @@ class Controller final : public net::Endpoint {
   std::size_t idle_known_ = 0;
   std::size_t members_total_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oddci::core

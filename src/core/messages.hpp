@@ -6,6 +6,7 @@
 
 #include "broadcast/signature.hpp"
 #include "net/message.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/time.hpp"
 #include "util/quantity.hpp"
 
@@ -56,6 +57,11 @@ struct ControlMessage {
   /// each PNA reports to aggregators[pna_id % size()] instead of to the
   /// Controller directly; aggregators forward consolidated reports.
   std::vector<net::NodeId> aggregators;
+  /// Causal trace context (transport-header metadata). Carried on the
+  /// wire but *not* covered by the signature: tracing must be attachable
+  /// without changing what the Controller signs, and the modelled
+  /// wire_size already budgets a transport header for it.
+  obs::TraceContext trace;
   broadcast::Signature signature = 0;
 
   /// Canonical bytes covered by the signature.
@@ -93,8 +99,9 @@ enum class PnaState : std::uint8_t { kIdle = 0, kJoining = 1, kBusy = 2 };
 /// Periodic PNA -> Controller status report.
 class HeartbeatMessage final : public net::Message {
  public:
-  HeartbeatMessage(std::uint64_t pna_id, PnaState state, InstanceId instance)
-      : pna_id_(pna_id), state_(state), instance_(instance) {}
+  HeartbeatMessage(std::uint64_t pna_id, PnaState state, InstanceId instance,
+                   obs::TraceContext trace = {})
+      : pna_id_(pna_id), state_(state), instance_(instance), trace_(trace) {}
 
   [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
   [[nodiscard]] int tag() const override { return kTagHeartbeat; }
@@ -102,11 +109,13 @@ class HeartbeatMessage final : public net::Message {
   [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
   [[nodiscard]] PnaState state() const { return state_; }
   [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] obs::TraceContext trace() const { return trace_; }
 
  private:
   std::uint64_t pna_id_;
   PnaState state_;
   InstanceId instance_;
+  obs::TraceContext trace_;
 };
 
 enum class HeartbeatCommand : std::uint8_t { kNone = 0, kReset = 1 };
@@ -152,12 +161,13 @@ class TaskAssignMessage final : public net::Message {
  public:
   TaskAssignMessage(InstanceId instance, std::uint64_t task_index,
                     util::Bits input_size, util::Bits result_size,
-                    double reference_seconds)
+                    double reference_seconds, obs::TraceContext trace = {})
       : instance_(instance),
         task_index_(task_index),
         input_size_(input_size),
         result_size_(result_size),
-        reference_seconds_(reference_seconds) {}
+        reference_seconds_(reference_seconds),
+        trace_(trace) {}
 
   [[nodiscard]] util::Bits wire_size() const override {
     return kHeaderBits + input_size_;
@@ -169,6 +179,7 @@ class TaskAssignMessage final : public net::Message {
   [[nodiscard]] util::Bits input_size() const { return input_size_; }
   [[nodiscard]] util::Bits result_size() const { return result_size_; }
   [[nodiscard]] double reference_seconds() const { return reference_seconds_; }
+  [[nodiscard]] obs::TraceContext trace() const { return trace_; }
 
  private:
   InstanceId instance_;
@@ -176,17 +187,20 @@ class TaskAssignMessage final : public net::Message {
   util::Bits input_size_;
   util::Bits result_size_;
   double reference_seconds_;
+  obs::TraceContext trace_;
 };
 
 /// PNA -> Backend: a task's result; wire size includes the r payload.
 class TaskResultMessage final : public net::Message {
  public:
   TaskResultMessage(InstanceId instance, std::uint64_t task_index,
-                    std::uint64_t pna_id, util::Bits result_size)
+                    std::uint64_t pna_id, util::Bits result_size,
+                    obs::TraceContext trace = {})
       : instance_(instance),
         task_index_(task_index),
         pna_id_(pna_id),
-        result_size_(result_size) {}
+        result_size_(result_size),
+        trace_(trace) {}
 
   [[nodiscard]] util::Bits wire_size() const override {
     return kHeaderBits + result_size_;
@@ -196,12 +210,14 @@ class TaskResultMessage final : public net::Message {
   [[nodiscard]] InstanceId instance() const { return instance_; }
   [[nodiscard]] std::uint64_t task_index() const { return task_index_; }
   [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
+  [[nodiscard]] obs::TraceContext trace() const { return trace_; }
 
  private:
   InstanceId instance_;
   std::uint64_t task_index_;
   std::uint64_t pna_id_;
   util::Bits result_size_;
+  obs::TraceContext trace_;
 };
 
 /// PNA -> Backend: the agent is abandoning an assigned task without a
@@ -212,8 +228,11 @@ class TaskResultMessage final : public net::Message {
 class TaskAbortMessage final : public net::Message {
  public:
   TaskAbortMessage(InstanceId instance, std::uint64_t task_index,
-                   std::uint64_t pna_id)
-      : instance_(instance), task_index_(task_index), pna_id_(pna_id) {}
+                   std::uint64_t pna_id, obs::TraceContext trace = {})
+      : instance_(instance),
+        task_index_(task_index),
+        pna_id_(pna_id),
+        trace_(trace) {}
 
   [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
   [[nodiscard]] int tag() const override { return kTagTaskAbort; }
@@ -221,11 +240,13 @@ class TaskAbortMessage final : public net::Message {
   [[nodiscard]] InstanceId instance() const { return instance_; }
   [[nodiscard]] std::uint64_t task_index() const { return task_index_; }
   [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
+  [[nodiscard]] obs::TraceContext trace() const { return trace_; }
 
  private:
   InstanceId instance_;
   std::uint64_t task_index_;
   std::uint64_t pna_id_;
+  obs::TraceContext trace_;
 };
 
 /// Backend -> PNA: queue exhausted (the PNA stays a member of the instance
@@ -253,6 +274,9 @@ class AggregateReportMessage final : public net::Message {
     std::uint64_t pna_id;
     PnaState state;
     InstanceId instance;
+    /// Trace context of the consolidated heartbeat (transport metadata;
+    /// not part of the modelled 16-byte entry payload).
+    obs::TraceContext trace = {};
   };
 
   explicit AggregateReportMessage(std::vector<Entry> entries)

@@ -17,6 +17,15 @@ std::uint64_t PnaXlet::pna_id() const {
   return context_ != nullptr ? context_->receiver().node_id() : 0;
 }
 
+obs::TraceContext PnaXlet::trace_emit(obs::TraceEventKind kind,
+                                      obs::TraceContext parent,
+                                      std::uint64_t arg) {
+  if (env_.recorder == nullptr) return {};
+  return env_.recorder->emit(context_->simulation().now(), kind,
+                             obs::TraceComponent::kPna, parent, pna_id(),
+                             arg);
+}
+
 void PnaXlet::init_xlet(dtv::XletContext& context) { context_ = &context; }
 
 void PnaXlet::start_xlet() {
@@ -55,8 +64,9 @@ void PnaXlet::destroy_xlet(bool /*unconditional*/) {
   if (running_task_ && dve_ && backend_node_ != net::kInvalidNode &&
       context_ != nullptr) {
     context_->receiver().send(
-        backend_node_, std::make_shared<TaskAbortMessage>(
-                           dve_->instance(), *running_task_, pna_id()));
+        backend_node_,
+        std::make_shared<TaskAbortMessage>(dve_->instance(), *running_task_,
+                                           pna_id(), running_task_ctx_));
     running_task_.reset();
   }
   if (context_ != nullptr) {
@@ -97,6 +107,8 @@ void PnaXlet::handle_control(const ControlMessage& message) {
     if (env_.counters != nullptr) ++env_.counters->signature_failures;
     return;
   }
+  control_ctx_ = trace_emit(obs::TraceEventKind::kControlReceived,
+                            message.trace, message.instance);
   // The control message tells the agent where its Controller lives; start
   // heartbeating as soon as that is known (idle PNAs report too — this is
   // how the Controller sizes the idle pool).
@@ -117,6 +129,8 @@ void PnaXlet::handle_wakeup(const ControlMessage& message) {
   if (dve_ || pending_join_) {
     ++stats_.wakeups_dropped_busy;
     if (env_.counters != nullptr) ++env_.counters->wakeups_dropped_busy;
+    trace_emit(obs::TraceEventKind::kWakeupDroppedBusy, control_ctx_,
+               message.instance);
     return;
   }
   // Compliance with the requirements present in the message.
@@ -131,6 +145,8 @@ void PnaXlet::handle_wakeup(const ControlMessage& message) {
     if (env_.counters != nullptr) {
       ++env_.counters->wakeups_rejected_requirements;
     }
+    trace_emit(obs::TraceEventKind::kWakeupRejectedRequirements,
+               control_ctx_, message.instance);
     return;
   }
   // The probability attribute throttles how many idle PNAs handle the
@@ -140,6 +156,8 @@ void PnaXlet::handle_wakeup(const ControlMessage& message) {
     if (env_.counters != nullptr) {
       ++env_.counters->wakeups_dropped_probability;
     }
+    trace_emit(obs::TraceEventKind::kWakeupDroppedProbability, control_ctx_,
+               message.instance);
     return;
   }
   join_instance(message);
@@ -162,6 +180,8 @@ void PnaXlet::join_instance(const ControlMessage& message) {
   pending_join_ = message.instance;
   backend_node_ = message.backend_node;
   join_started_at_ = context_->simulation().now();
+  join_ctx_ = trace_emit(obs::TraceEventKind::kWakeupAccepted, control_ctx_,
+                         message.instance);
   // Event-driven status change: tell the Controller immediately so its
   // idle-pool estimate does not lag a full heartbeat interval.
   send_heartbeat();
@@ -183,6 +203,8 @@ void PnaXlet::join_instance(const ControlMessage& message) {
           // The module went off air (instance destroyed mid-join) or was
           // superseded; report the state change so the Controller's
           // accounting stays fresh.
+          trace_emit(obs::TraceEventKind::kJoinAborted, join_ctx_, instance);
+          join_ctx_ = {};
           send_heartbeat();
           return;
         }
@@ -192,6 +214,8 @@ void PnaXlet::join_instance(const ControlMessage& message) {
           env_.acquire_latency->record(
               (context_->simulation().now() - join_started_at_).seconds());
         }
+        join_ctx_ = trace_emit(obs::TraceEventKind::kImageAcquired, join_ctx_,
+                               instance);
         dve_ = std::make_unique<Dve>(instance, image,
                                      context_->simulation().now());
         send_heartbeat();  // joining -> busy: membership is event-driven
@@ -208,10 +232,16 @@ void PnaXlet::leave_instance() {
   // than after the re-dispatch timeout.
   if (running_task_ && dve_ && backend_node_ != net::kInvalidNode) {
     context_->receiver().send(
-        backend_node_, std::make_shared<TaskAbortMessage>(
-                           dve_->instance(), *running_task_, pna_id()));
+        backend_node_,
+        std::make_shared<TaskAbortMessage>(dve_->instance(), *running_task_,
+                                           pna_id(), running_task_ctx_));
+  }
+  if (dve_ || pending_join_) {
+    trace_emit(obs::TraceEventKind::kResetApplied, join_ctx_, instance());
   }
   running_task_.reset();
+  running_task_ctx_ = {};
+  join_ctx_ = {};
   dve_.reset();
   pending_join_.reset();
   send_heartbeat();
@@ -249,9 +279,16 @@ void PnaXlet::send_heartbeat() {
   if (!started_ || heartbeat_target_ == net::kInvalidNode) return;
   ++stats_.heartbeats_sent;
   if (env_.counters != nullptr) ++env_.counters->heartbeats_sent;
-  context_->receiver().send(
-      heartbeat_target_,
-      std::make_shared<HeartbeatMessage>(pna_id(), state(), instance()));
+  // Heartbeats chain off the join in progress when there is one (they are
+  // what confirms membership) and off the last control receipt otherwise.
+  const obs::TraceContext parent =
+      join_ctx_.valid() ? join_ctx_ : control_ctx_;
+  const obs::TraceContext ctx =
+      trace_emit(obs::TraceEventKind::kHeartbeatSent, parent,
+                 static_cast<std::uint64_t>(state()));
+  context_->receiver().send(heartbeat_target_,
+                            std::make_shared<HeartbeatMessage>(
+                                pna_id(), state(), instance(), ctx));
 }
 
 void PnaXlet::request_task() {
@@ -302,6 +339,7 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
       const util::Bits result_size = assign.result_size();
       const InstanceId instance = dve_->instance();
       running_task_ = task_index;
+      running_task_ctx_ = assign.trace();
       running_exec_ = context_->receiver().execute(
           assign.reference_seconds(),
           [this, task_index, result_size, instance] {
@@ -311,10 +349,14 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
             ++stats_.tasks_completed;
             if (env_.counters != nullptr) ++env_.counters->tasks_completed;
             dve_->record_task_completed();
+            const obs::TraceContext done =
+                trace_emit(obs::TraceEventKind::kTaskExecuted,
+                           running_task_ctx_, task_index);
+            running_task_ctx_ = {};
             context_->receiver().send(
-                backend_node_,
-                std::make_shared<TaskResultMessage>(instance, task_index,
-                                                    pna_id(), result_size));
+                backend_node_, std::make_shared<TaskResultMessage>(
+                                   instance, task_index, pna_id(),
+                                   result_size, done));
             request_task();
           });
       break;

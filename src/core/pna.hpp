@@ -38,6 +38,10 @@ struct PnaEnvironment {
   obs::PnaCounters* counters = nullptr;
   /// Wakeup accept -> image acquired, across the population (nullable).
   obs::LogHistogram* acquire_latency = nullptr;
+  /// Causal flight recorder shared by the population (nullable: tracing
+  /// off). Agents emit receipt/decision/heartbeat/task events and carry
+  /// contexts onto outgoing messages.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct PnaStats {
@@ -97,6 +101,10 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   void schedule_task_poll();
   void on_direct_message(net::NodeId from, const net::MessagePtr& message);
 
+  /// Emit a trace event (no-op returning {} when no recorder is attached).
+  obs::TraceContext trace_emit(obs::TraceEventKind kind,
+                               obs::TraceContext parent, std::uint64_t arg);
+
   PnaEnvironment env_;
   util::Random rng_;
   dtv::XletContext* context_ = nullptr;
@@ -125,6 +133,12 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   std::optional<std::uint64_t> running_task_;
   /// When the pending join's image read started (acquire latency).
   sim::SimTime join_started_at_;
+  /// Trace contexts threading the causal chain: the last verified control
+  /// message, the join in progress (wakeup accepted / image acquired), and
+  /// the task currently executing.
+  obs::TraceContext control_ctx_;
+  obs::TraceContext join_ctx_;
+  obs::TraceContext running_task_ctx_;
   PnaStats stats_;
 };
 

@@ -39,7 +39,16 @@ InstanceId Provider::request_instance(const InstanceSpec& spec,
                                       net::NodeId backend_node,
                                       ReadyCallback on_ready) {
   ++stats_.instances_requested;
-  const InstanceId id = controller_->create_instance(spec, backend_node);
+  obs::TraceContext request;
+  if (recorder_ != nullptr) {
+    // Root of the causal chain: a user-facing provisioning request.
+    request = recorder_->emit(controller_->simulation().now(),
+                              obs::TraceEventKind::kInstanceRequest,
+                              obs::TraceComponent::kProvider, {},
+                              stats_.instances_requested, spec.target_size);
+  }
+  const InstanceId id =
+      controller_->create_instance(spec, backend_node, request);
   if (on_ready) {
     waiting_ready_.emplace(id, std::move(on_ready));
   }
@@ -48,6 +57,12 @@ InstanceId Provider::request_instance(const InstanceSpec& spec,
 
 void Provider::release_instance(InstanceId id) {
   ++stats_.instances_released;
+  if (recorder_ != nullptr) {
+    recorder_->emit(controller_->simulation().now(),
+                    obs::TraceEventKind::kInstanceReleased,
+                    obs::TraceComponent::kProvider,
+                    controller_->trace_context(id), id, id);
+  }
   waiting_ready_.erase(id);
   controller_->destroy_instance(id);
   // Freed capacity may admit the queue head (heartbeats from the released

@@ -94,6 +94,13 @@ class Provider {
   /// in `registry` (snapshot-time probes; the provider must outlive them).
   void link_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Attach a flight recorder: every request_instance starts a new root
+  /// trace (the user-facing origin of the causal chain) and releases are
+  /// linked back to it. nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   void on_size_change(InstanceId id, std::size_t current, std::size_t target);
   void review_queue();
@@ -115,6 +122,7 @@ class Provider {
   sim::PeriodicTask reviewer_;
   bool reviewer_running_ = false;
   Stats stats_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oddci::core

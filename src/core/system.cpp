@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "broadcast/transport_stream.hpp"
+#include "util/logging.hpp"
 
 namespace oddci::core {
 
@@ -53,6 +54,14 @@ void SystemConfig::validate() const {
       throw std::invalid_argument(
           "SystemConfig: obs.max_series_points must be > 0");
     }
+    if (obs.trace && obs.trace_capacity == 0) {
+      throw std::invalid_argument(
+          "SystemConfig: obs.trace_capacity must be > 0");
+    }
+  }
+  if (obs.trace && !obs.enabled) {
+    throw std::invalid_argument(
+        "SystemConfig: obs.trace requires obs.enabled");
   }
 }
 
@@ -197,6 +206,27 @@ void OddciSystem::wire_observability() {
     channel->set_counters(&broadcast_counters_);
   }
 
+  if (config_.obs.trace) {
+    // Causal flight recorder: one ring shared by every component, so the
+    // export interleaves all tracks in recording order.
+    recorder_ = std::make_unique<obs::FlightRecorder>(
+        config_.obs.trace_capacity);
+    provider_->set_flight_recorder(recorder_.get());
+    controller_->set_flight_recorder(recorder_.get());
+    backend_->set_flight_recorder(recorder_.get());
+    for (auto& aggregator : aggregators_) {
+      aggregator->set_flight_recorder(recorder_.get());
+    }
+    network_->set_recorder(recorder_.get());
+    for (auto& channel : channels_) channel->set_recorder(recorder_.get());
+    for (auto& receiver : receivers_) receiver->set_recorder(recorder_.get());
+    pna_env_.recorder = recorder_.get();
+    // Protocol-trace log lines share the recorder's clock: while this
+    // system is tracing, every Logger line carries t=<sim seconds>.
+    util::Logger::instance().set_clock(
+        [this] { return simulation_->now().seconds(); });
+  }
+
   // Sim-time series. Every probe is O(1): the controller maintains its
   // population mirrors incrementally, so sampling never scans the
   // million-receiver maps.
@@ -233,7 +263,11 @@ obs::MetricsSnapshot OddciSystem::metrics_snapshot() const {
   return registry_->snapshot(simulation_->now().seconds());
 }
 
-OddciSystem::~OddciSystem() = default;
+OddciSystem::~OddciSystem() {
+  // The logger clock captures this system's simulation; remove it before
+  // the simulation goes away.
+  if (recorder_) util::Logger::instance().clear_clock();
+}
 
 std::size_t OddciSystem::busy_pna_count() const {
   std::size_t busy = 0;
@@ -287,10 +321,12 @@ RunResult OddciSystem::run_job(const workload::Job& job,
       });
 
   bool done = false;
+  // Task dispatch/result events chain off the instance's control.format
+  // context, so one trace id spans wakeup through the last result.
   backend_->submit(job, id, [this, &done] {
     done = true;
     simulation_->stop();
-  }, t0);
+  }, t0, controller_->trace_context(id));
 
   simulation_->run_until(t0 + deadline);
 

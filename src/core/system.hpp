@@ -15,6 +15,7 @@
 #include "core/provider.hpp"
 #include "dtv/receiver.hpp"
 #include "net/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -98,6 +99,15 @@ struct SystemConfig {
     std::size_t max_series_points = 1 << 16;
     /// Completed trace spans retained for export.
     std::size_t max_spans = 4096;
+    /// Causal flight recorder: record every protocol hop (request ->
+    /// format -> carousel -> receipt -> join -> heartbeat -> dispatch ->
+    /// result) as a trace event and carry trace contexts on the wire.
+    /// Off by default — the per-hop emit is cheap but not free, and the
+    /// acceptance contract is "disabled costs nothing".
+    bool trace = false;
+    /// Ring capacity of the flight recorder, in events; the oldest events
+    /// are overwritten when a run outgrows it.
+    std::size_t trace_capacity = 1 << 16;
   };
   ObsOptions obs;
 
@@ -173,6 +183,13 @@ class OddciSystem {
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
   /// The sim-time series sampler; nullptr when obs is disabled.
   [[nodiscard]] obs::Sampler* sampler() { return sampler_.get(); }
+  /// The causal flight recorder; nullptr unless SystemConfig::obs.trace.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() {
+    return recorder_.get();
+  }
+  [[nodiscard]] const obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
 
   /// Number of PNAs currently busy (joined or joining an instance).
   [[nodiscard]] std::size_t busy_pna_count() const;
@@ -203,6 +220,7 @@ class OddciSystem {
   // Observability harness (only when config_.obs.enabled). Declared after
   // the components it links so destruction detaches cleanly.
   std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::Sampler> sampler_;
   obs::PnaCounters pna_counters_;

@@ -126,6 +126,10 @@ std::string encode(const ControlMessage& m) {
   w.u32(m.backend_node);
   w.u32(static_cast<std::uint32_t>(m.aggregators.size()));
   for (auto node : m.aggregators) w.u32(node);
+  // Trace context travels as transport-header metadata: on the wire but
+  // outside canonical_bytes(), so attaching a tracer never re-signs.
+  w.u64(m.trace.trace_id);
+  w.u64(m.trace.parent_span);
   w.u64(m.signature);
   return w.take();
 }
@@ -161,6 +165,8 @@ ControlMessage decode_control(std::string_view bytes) {
   for (std::uint32_t i = 0; i < aggregator_count; ++i) {
     m.aggregators.push_back(r.u32());
   }
+  m.trace.trace_id = r.u64();
+  m.trace.parent_span = r.u64();
   m.signature = r.u64();
   if (!r.exhausted()) {
     throw WireError("decode_control: trailing bytes");
@@ -179,6 +185,8 @@ std::string encode(const net::Message& message) {
       w.u64(m.pna_id());
       w.u8(static_cast<std::uint8_t>(m.state()));
       w.u64(m.instance());
+      w.u64(m.trace().trace_id);
+      w.u64(m.trace().parent_span);
       break;
     }
     case kTagHeartbeatReply: {
@@ -200,6 +208,8 @@ std::string encode(const net::Message& message) {
       w.i64(m.input_size().count());
       w.i64(m.result_size().count());
       w.f64(m.reference_seconds());
+      w.u64(m.trace().trace_id);
+      w.u64(m.trace().parent_span);
       break;
     }
     case kTagTaskResult: {
@@ -208,6 +218,8 @@ std::string encode(const net::Message& message) {
       w.u64(m.task_index());
       w.u64(m.pna_id());
       w.i64(m.wire_size().count() - kHeaderBits.count());
+      w.u64(m.trace().trace_id);
+      w.u64(m.trace().parent_span);
       break;
     }
     case kTagNoTask: {
@@ -220,6 +232,8 @@ std::string encode(const net::Message& message) {
       w.u64(m.instance());
       w.u64(m.task_index());
       w.u64(m.pna_id());
+      w.u64(m.trace().trace_id);
+      w.u64(m.trace().parent_span);
       break;
     }
     case kTagAggregateReport: {
@@ -229,6 +243,8 @@ std::string encode(const net::Message& message) {
         w.u64(e.pna_id);
         w.u8(static_cast<std::uint8_t>(e.state));
         w.u64(e.instance);
+        w.u64(e.trace.trace_id);
+        w.u64(e.trace.parent_span);
       }
       break;
     }
@@ -256,7 +272,8 @@ net::MessagePtr decode_message(std::string_view bytes) {
       const auto pna = r.u64();
       const auto state = decode_state(r.u8());
       const auto instance = r.u64();
-      out = std::make_shared<HeartbeatMessage>(pna, state, instance);
+      const obs::TraceContext trace{r.u64(), r.u64()};
+      out = std::make_shared<HeartbeatMessage>(pna, state, instance, trace);
       break;
     }
     case kTagHeartbeatReply: {
@@ -281,8 +298,9 @@ net::MessagePtr decode_message(std::string_view bytes) {
       const auto input = util::Bits(r.i64());
       const auto result = util::Bits(r.i64());
       const auto seconds = r.f64();
+      const obs::TraceContext trace{r.u64(), r.u64()};
       out = std::make_shared<TaskAssignMessage>(instance, index, input,
-                                                result, seconds);
+                                                result, seconds, trace);
       break;
     }
     case kTagTaskResult: {
@@ -290,7 +308,9 @@ net::MessagePtr decode_message(std::string_view bytes) {
       const auto index = r.u64();
       const auto pna = r.u64();
       const auto result = util::Bits(r.i64());
-      out = std::make_shared<TaskResultMessage>(instance, index, pna, result);
+      const obs::TraceContext trace{r.u64(), r.u64()};
+      out = std::make_shared<TaskResultMessage>(instance, index, pna, result,
+                                                trace);
       break;
     }
     case kTagNoTask:
@@ -300,12 +320,13 @@ net::MessagePtr decode_message(std::string_view bytes) {
       const auto instance = r.u64();
       const auto index = r.u64();
       const auto pna = r.u64();
-      out = std::make_shared<TaskAbortMessage>(instance, index, pna);
+      const obs::TraceContext trace{r.u64(), r.u64()};
+      out = std::make_shared<TaskAbortMessage>(instance, index, pna, trace);
       break;
     }
     case kTagAggregateReport: {
       const std::uint32_t count = r.u32();
-      if (static_cast<std::size_t>(count) * 17 > r.remaining()) {
+      if (static_cast<std::size_t>(count) * 33 > r.remaining()) {
         throw WireError("decode_message: implausible report size");
       }
       std::vector<AggregateReportMessage::Entry> entries;
@@ -315,6 +336,7 @@ net::MessagePtr decode_message(std::string_view bytes) {
         e.pna_id = r.u64();
         e.state = decode_state(r.u8());
         e.instance = r.u64();
+        e.trace = obs::TraceContext{r.u64(), r.u64()};
         entries.push_back(e);
       }
       out = std::make_shared<AggregateReportMessage>(std::move(entries));

@@ -37,6 +37,11 @@ void Receiver::set_power_mode(PowerMode mode) {
   if (mode == power_) return;
   const PowerMode previous = power_;
   power_ = mode;
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(), obs::TraceEventKind::kPowerChange,
+                    obs::TraceComponent::kReceiver, {}, node_id_,
+                    static_cast<std::uint64_t>(mode));
+  }
 
   if (mode == PowerMode::kOff) {
     ++session_;
@@ -73,6 +78,10 @@ void Receiver::tune(broadcast::BroadcastMedium& channel) {
     untune();
   }
   channel_ = &channel;
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(), obs::TraceEventKind::kTuned,
+                    obs::TraceComponent::kReceiver, {}, node_id_, 1);
+  }
   if (powered()) {
     ++session_;  // invalidate carousel reads from the previous channel
     listener_id_ = channel_->tune(this);
@@ -81,6 +90,10 @@ void Receiver::tune(broadcast::BroadcastMedium& channel) {
 
 void Receiver::untune() {
   if (channel_ == nullptr) return;
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(), obs::TraceEventKind::kTuned,
+                    obs::TraceComponent::kReceiver, {}, node_id_, 0);
+  }
   ++session_;
   apps_.destroy_all();  // a channel change kills broadcast applications
   if (powered()) {

@@ -10,6 +10,7 @@
 #include "dtv/device_profile.hpp"
 #include "net/message.hpp"
 #include "net/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/simulation.hpp"
 
 /// A DTV receiver (set-top box): tuner + middleware + interactive-apps
@@ -41,6 +42,11 @@ class Receiver final : public broadcast::BroadcastListener,
   [[nodiscard]] net::NodeId node_id() const { return node_id_; }
   [[nodiscard]] sim::Simulation& simulation() { return simulation_; }
   [[nodiscard]] ApplicationManager& application_manager() { return apps_; }
+
+  /// Attach a flight recorder: power-mode changes and tuner changes are
+  /// emitted as receiver-track events (the physical causes behind member
+  /// churn). nullptr detaches.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
   // --- power --------------------------------------------------------------
   [[nodiscard]] PowerMode power_mode() const { return power_; }
@@ -113,6 +119,7 @@ class Receiver final : public broadcast::BroadcastListener,
   sim::SimTime cpu_free_at_;
   ExecToken next_token_ = 1;
   std::unordered_map<ExecToken, sim::EventId> running_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oddci::dtv

@@ -100,6 +100,13 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
               Node& d = nodes_[to];
               if (d.endpoint == nullptr) {
                 ++messages_dropped_;
+                if (recorder_ != nullptr) {
+                  recorder_->emit(
+                      simulation_.now(),
+                      obs::TraceEventKind::kMessageDropped,
+                      obs::TraceComponent::kNetwork, {}, to,
+                      static_cast<std::uint64_t>(message->tag()));
+                }
                 return;
               }
               ++messages_delivered_;

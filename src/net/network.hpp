@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "util/quantity.hpp"
@@ -74,6 +75,11 @@ class Network {
   /// must outlive any snapshot() call on the registry.
   void link_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Attach a flight recorder: deliveries to detached endpoints (powered
+  /// off receivers) are emitted as message.dropped events. nullptr
+  /// detaches.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   [[nodiscard]] std::size_t endpoint_count() const { return nodes_.size(); }
 
   /// Time at which `node`'s uplink frees up (diagnostics/backpressure).
@@ -96,6 +102,7 @@ class Network {
   obs::Counter messages_delivered_;
   obs::Counter messages_dropped_;
   obs::Counter bits_sent_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oddci::net

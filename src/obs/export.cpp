@@ -1,60 +1,21 @@
 #include "obs/export.hpp"
 
-#include <cctype>
-#include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <map>
-#include <memory>
-#include <sstream>
 #include <stdexcept>
-#include <variant>
 #include <vector>
+
+#include "obs/json.hpp"
 
 namespace oddci::obs {
 
 namespace {
 
-// --- writing ----------------------------------------------------------------
-
-// %.17g is the shortest printf format guaranteed to round-trip an IEEE
-// double through text; infinities are spelled as strings the parser
-// understands ("inf"/"-inf" never appear in our data, but be safe).
-void append_double(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
-
-void append_u64(std::string& out, std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%llu",
-                static_cast<unsigned long long>(v));
-  out += buf;
-}
-
-void append_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
+using json::append_double;
+using json::append_string;
+using json::append_u64;
+using json::member;
+using json::read_file;
+using json::write_file;
 
 template <typename T, typename Append>
 void append_array(std::string& out, const std::vector<T>& items,
@@ -67,250 +28,12 @@ void append_array(std::string& out, const std::vector<T>& items,
   out += ']';
 }
 
-// --- parsing ----------------------------------------------------------------
-
-// Minimal JSON document model. Numbers keep their source text so uint64
-// counters above 2^53 survive the round trip exactly.
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, std::string /*number text*/,
-               std::shared_ptr<std::string> /*string*/,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v = nullptr;
-
-  [[nodiscard]] bool is_number() const {
-    return std::holds_alternative<std::string>(v);
-  }
-  [[nodiscard]] double as_double() const {
-    if (!is_number()) throw std::runtime_error("metrics json: expected number");
-    return std::strtod(std::get<std::string>(v).c_str(), nullptr);
-  }
-  [[nodiscard]] std::uint64_t as_u64() const {
-    if (!is_number()) throw std::runtime_error("metrics json: expected number");
-    return std::strtoull(std::get<std::string>(v).c_str(), nullptr, 10);
-  }
-  [[nodiscard]] const std::string& as_string() const {
-    const auto* p = std::get_if<std::shared_ptr<std::string>>(&v);
-    if (p == nullptr) throw std::runtime_error("metrics json: expected string");
-    return **p;
-  }
-  [[nodiscard]] const JsonArray& as_array() const {
-    const auto* p = std::get_if<std::shared_ptr<JsonArray>>(&v);
-    if (p == nullptr) throw std::runtime_error("metrics json: expected array");
-    return **p;
-  }
-  [[nodiscard]] const JsonObject& as_object() const {
-    const auto* p = std::get_if<std::shared_ptr<JsonObject>>(&v);
-    if (p == nullptr) throw std::runtime_error("metrics json: expected object");
-    return **p;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) {
-      throw std::runtime_error("metrics json: trailing content");
-    }
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) {
-      throw std::runtime_error("metrics json: unexpected end of input");
-    }
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      throw std::runtime_error(std::string("metrics json: expected '") + c +
-                               "'");
-    }
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    if (pos_ < text_.size() && peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return JsonValue{std::make_shared<std::string>(parse_string())};
-      case 't': expect_literal("true"); return JsonValue{true};
-      case 'f': expect_literal("false"); return JsonValue{false};
-      case 'n': expect_literal("null"); return JsonValue{nullptr};
-      default: return parse_number();
-    }
-  }
-
-  void expect_literal(std::string_view lit) {
-    skip_ws();
-    if (text_.substr(pos_, lit.size()) != lit) {
-      throw std::runtime_error("metrics json: bad literal");
-    }
-    pos_ += lit.size();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    auto obj = std::make_shared<JsonObject>();
-    if (!consume('}')) {
-      while (true) {
-        std::string key = parse_string();
-        expect(':');
-        obj->emplace(std::move(key), parse_value());
-        if (consume('}')) break;
-        expect(',');
-      }
-    }
-    return JsonValue{std::move(obj)};
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    auto arr = std::make_shared<JsonArray>();
-    if (!consume(']')) {
-      while (true) {
-        arr->push_back(parse_value());
-        if (consume(']')) break;
-        expect(',');
-      }
-    }
-    return JsonValue{std::move(arr)};
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) {
-        throw std::runtime_error("metrics json: unterminated string");
-      }
-      const char c = text_[pos_++];
-      if (c == '"') break;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        throw std::runtime_error("metrics json: bad escape");
-      }
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            throw std::runtime_error("metrics json: bad \\u escape");
-          }
-          const std::string hex(text_.substr(pos_, 4));
-          pos_ += 4;
-          const auto code = std::strtoul(hex.c_str(), nullptr, 16);
-          // The writer only emits \u00xx for control characters; keep the
-          // parser symmetric and reject anything beyond Latin-1.
-          if (code > 0xFF) {
-            throw std::runtime_error("metrics json: unsupported \\u escape");
-          }
-          out += static_cast<char>(code);
-          break;
-        }
-        default:
-          throw std::runtime_error("metrics json: bad escape");
-      }
-    }
-    return out;
-  }
-
-  JsonValue parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
-          c == '+' || c == '-') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) {
-      throw std::runtime_error("metrics json: expected value");
-    }
-    return JsonValue{std::string(text_.substr(start, pos_ - start))};
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue& member(const JsonObject& obj, const std::string& key) {
-  const auto it = obj.find(key);
-  if (it == obj.end()) {
-    throw std::runtime_error("metrics json: missing field '" + key + "'");
-  }
-  return it->second;
-}
-
-std::vector<double> double_array(const JsonValue& value) {
-  const JsonArray& arr = value.as_array();
+std::vector<double> double_array(const json::Value& value) {
+  const json::Array& arr = value.as_array();
   std::vector<double> out;
   out.reserve(arr.size());
   for (const auto& v : arr) out.push_back(v.as_double());
   return out;
-}
-
-void write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("metrics export: cannot open " + path);
-  }
-  out << content;
-  if (!out) {
-    throw std::runtime_error("metrics export: write failed for " + path);
-  }
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("metrics export: cannot open " + path);
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
 }
 
 }  // namespace
@@ -410,8 +133,8 @@ void write_json(const std::string& path, const MetricsSnapshot& snap) {
 }
 
 MetricsSnapshot snapshot_from_json(std::string_view json) {
-  const JsonValue root = JsonParser(json).parse();
-  const JsonObject& obj = root.as_object();
+  const json::Value root = json::parse(json);
+  const json::Object& obj = root.as_object();
   if (member(obj, "schema").as_string() != kMetricsSchema) {
     throw std::runtime_error("metrics json: unknown schema");
   }
@@ -427,7 +150,7 @@ MetricsSnapshot snapshot_from_json(std::string_view json) {
   }
 
   for (const auto& h : member(obj, "histograms").as_array()) {
-    const JsonObject& ho = h.as_object();
+    const json::Object& ho = h.as_object();
     HistogramSample sample;
     sample.name = member(ho, "name").as_string();
     sample.min_value = member(ho, "min_value").as_double();
@@ -437,7 +160,7 @@ MetricsSnapshot snapshot_from_json(std::string_view json) {
     sample.max = member(ho, "max").as_double();
     sample.buckets.assign(member(ho, "bucket_count").as_u64(), 0);
     for (const auto& entry : member(ho, "buckets").as_array()) {
-      const JsonArray& pair = entry.as_array();
+      const json::Array& pair = entry.as_array();
       if (pair.size() != 2) {
         throw std::runtime_error("metrics json: bad bucket entry");
       }
@@ -451,7 +174,7 @@ MetricsSnapshot snapshot_from_json(std::string_view json) {
   }
 
   for (const auto& s : member(obj, "series").as_array()) {
-    const JsonObject& so = s.as_object();
+    const json::Object& so = s.as_object();
     SeriesSample sample;
     sample.name = member(so, "name").as_string();
     sample.dropped = member(so, "dropped").as_u64();
@@ -464,7 +187,7 @@ MetricsSnapshot snapshot_from_json(std::string_view json) {
   }
 
   for (const auto& s : member(obj, "spans").as_array()) {
-    const JsonObject& so = s.as_object();
+    const json::Object& so = s.as_object();
     snap.spans.push_back(SpanSample{member(so, "name").as_string(),
                                     member(so, "key").as_u64(),
                                     member(so, "start_seconds").as_double(),

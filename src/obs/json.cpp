@@ -1,0 +1,296 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oddci::obs::json {
+
+// --- writing ----------------------------------------------------------------
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("obs export: cannot open " + path);
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("obs export: write failed for " + path);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("obs export: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --- document model ---------------------------------------------------------
+
+double Value::as_double() const {
+  if (!is_number()) throw std::runtime_error("json: expected number");
+  return std::strtod(std::get<std::string>(v).c_str(), nullptr);
+}
+
+std::uint64_t Value::as_u64() const {
+  if (!is_number()) throw std::runtime_error("json: expected number");
+  return std::strtoull(std::get<std::string>(v).c_str(), nullptr, 10);
+}
+
+std::int64_t Value::as_i64() const {
+  if (!is_number()) throw std::runtime_error("json: expected number");
+  return std::strtoll(std::get<std::string>(v).c_str(), nullptr, 10);
+}
+
+const std::string& Value::as_string() const {
+  const auto* p = std::get_if<std::shared_ptr<std::string>>(&v);
+  if (p == nullptr) throw std::runtime_error("json: expected string");
+  return **p;
+}
+
+const Array& Value::as_array() const {
+  const auto* p = std::get_if<std::shared_ptr<Array>>(&v);
+  if (p == nullptr) throw std::runtime_error("json: expected array");
+  return **p;
+}
+
+const Object& Value::as_object() const {
+  const auto* p = std::get_if<std::shared_ptr<Object>>(&v);
+  if (p == nullptr) throw std::runtime_error("json: expected object");
+  return **p;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("json: trailing content");
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("json: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("json: expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value{std::make_shared<std::string>(parse_string())};
+      case 't': expect_literal("true"); return Value{true};
+      case 'f': expect_literal("false"); return Value{false};
+      case 'n': expect_literal("null"); return Value{nullptr};
+      default: return parse_number();
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    skip_ws();
+    if (text_.substr(pos_, lit.size()) != lit) {
+      throw std::runtime_error("json: bad literal");
+    }
+    pos_ += lit.size();
+  }
+
+  Value parse_object() {
+    expect('{');
+    auto obj = std::make_shared<Object>();
+    if (!consume('}')) {
+      while (true) {
+        std::string key = parse_string();
+        expect(':');
+        obj->emplace(std::move(key), parse_value());
+        if (consume('}')) break;
+        expect(',');
+      }
+    }
+    return Value{std::move(obj)};
+  }
+
+  Value parse_array() {
+    expect('[');
+    auto arr = std::make_shared<Array>();
+    if (!consume(']')) {
+      while (true) {
+        arr->push_back(parse_value());
+        if (consume(']')) break;
+        expect(',');
+      }
+    }
+    return Value{std::move(arr)};
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        throw std::runtime_error("json: unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        throw std::runtime_error("json: bad escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            throw std::runtime_error("json: bad \\u escape");
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const auto code = std::strtoul(hex.c_str(), nullptr, 16);
+          // The writers only emit \u00xx for control characters; keep the
+          // parser symmetric and reject anything beyond Latin-1.
+          if (code > 0xFF) {
+            throw std::runtime_error("json: unsupported \\u escape");
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          throw std::runtime_error("json: bad escape");
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("json: expected value");
+    }
+    return Value{std::string(text_.substr(start, pos_ - start))};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse(); }
+
+const Value& member(const Object& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw std::runtime_error("json: missing field '" + key + "'");
+  }
+  return it->second;
+}
+
+const Value* find(const Object& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+}  // namespace oddci::obs::json

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+/// Shared JSON machinery for the obs exporters (metrics and trace).
+///
+/// Writing: append_* helpers that print doubles with %.17g (the shortest
+/// format guaranteed to round-trip an IEEE double) and uint64 as decimal
+/// text, so exports are deterministic and parse back bit-identical.
+///
+/// Reading: a minimal strict document model. Numbers keep their source
+/// text so uint64 values above 2^53 survive the round trip exactly.
+namespace oddci::obs::json {
+
+// --- writing ----------------------------------------------------------------
+
+void append_double(std::string& out, double v);
+void append_u64(std::string& out, std::uint64_t v);
+void append_i64(std::string& out, std::int64_t v);
+/// Quoted + escaped.
+void append_string(std::string& out, std::string_view s);
+
+void write_file(const std::string& path, const std::string& content);
+[[nodiscard]] std::string read_file(const std::string& path);
+
+// --- document model ---------------------------------------------------------
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, std::string /*number text*/,
+               std::shared_ptr<std::string> /*string*/,
+               std::shared_ptr<Array>, std::shared_ptr<Object>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::shared_ptr<std::string>>(v);
+  }
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+};
+
+/// Parse a complete document; throws std::runtime_error on malformed input
+/// or trailing content.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Object member access; throws std::runtime_error when absent.
+[[nodiscard]] const Value& member(const Object& obj, const std::string& key);
+/// Nullable variant: nullptr when absent.
+[[nodiscard]] const Value* find(const Object& obj, const std::string& key);
+
+}  // namespace oddci::obs::json

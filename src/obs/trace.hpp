@@ -4,7 +4,8 @@
 #include <map>
 #include <string>
 #include <string_view>
-#include <utility>
+#include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -15,6 +16,12 @@
 /// optional latency histogram and retains the completed span (bounded) in
 /// the registry for export.
 ///
+/// Span names are interned once at attach time (`intern()`); the hot-path
+/// begin/end/discard calls take the small NameId and key a flat hash map
+/// on a trivially hashable (name_id, key) pair — no std::string
+/// construction or tree walk per event. The string_view overloads remain
+/// for call sites that have not cached an id; they intern on first use.
+///
 /// The tracer is deliberately tolerant: ending a span that was never begun
 /// is a counted no-op (components emit end events for cycles that started
 /// before tracing was attached), and beginning an already-open span
@@ -23,17 +30,41 @@ namespace oddci::obs {
 
 class Tracer {
  public:
+  /// Interned span-name id. Ids are assigned densely from 1 in intern
+  /// order; 0 is never a valid id.
+  using NameId = std::uint32_t;
+
   explicit Tracer(MetricsRegistry& registry) : registry_(&registry) {}
 
+  /// Map a span name to its small id, assigning one on first sight.
+  /// Call once at attach/setup time and cache the result.
+  NameId intern(std::string_view name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<NameId>(names_.size() + 1);
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// The name behind an id (empty for an unknown id).
+  [[nodiscard]] std::string_view name_of(NameId id) const {
+    return id == 0 || id > names_.size() ? std::string_view{}
+                                         : std::string_view(names_[id - 1]);
+  }
+
+  void begin(NameId name, std::uint64_t key, double now_seconds) {
+    open_.insert_or_assign(OpenKey{name, key}, now_seconds);
+  }
   void begin(std::string_view name, std::uint64_t key, double now_seconds) {
-    open_.insert_or_assign(Key{std::string(name), key}, now_seconds);
+    begin(intern(name), key, now_seconds);
   }
 
   /// Close an open span. Returns the duration in seconds, or a negative
   /// value if no matching span was open.
-  double end(std::string_view name, std::uint64_t key, double now_seconds,
+  double end(NameId name, std::uint64_t key, double now_seconds,
              LogHistogram* latency = nullptr) {
-    const auto it = open_.find(Key{std::string(name), key});
+    const auto it = open_.find(OpenKey{name, key});
     if (it == open_.end()) {
       ++unmatched_ends_;
       return -1.0;
@@ -42,26 +73,53 @@ class Tracer {
     open_.erase(it);
     const double duration = now_seconds - start;
     if (latency != nullptr) latency->record(duration);
-    registry_->record_span(name, key, start, now_seconds);
+    registry_->record_span(name_of(name), key, start, now_seconds);
     return duration;
+  }
+  double end(std::string_view name, std::uint64_t key, double now_seconds,
+             LogHistogram* latency = nullptr) {
+    return end(intern(name), key, now_seconds, latency);
   }
 
   /// Discard an open span without recording it (cycle abandoned: instance
   /// destroyed before forming, task re-queued).
+  bool discard(NameId name, std::uint64_t key) {
+    return open_.erase(OpenKey{name, key}) > 0;
+  }
   bool discard(std::string_view name, std::uint64_t key) {
-    return open_.erase(Key{std::string(name), key}) > 0;
+    return discard(intern(name), key);
   }
 
   [[nodiscard]] std::size_t open_count() const { return open_.size(); }
+  [[nodiscard]] std::size_t interned_count() const { return names_.size(); }
   [[nodiscard]] std::uint64_t unmatched_ends() const {
     return unmatched_ends_;
   }
 
  private:
-  using Key = std::pair<std::string, std::uint64_t>;
+  struct OpenKey {
+    NameId name;
+    std::uint64_t key;
+    bool operator==(const OpenKey&) const = default;
+  };
+  struct OpenKeyHash {
+    std::size_t operator()(const OpenKey& k) const noexcept {
+      // splitmix64-style mix over the packed pair; names are dense small
+      // ints, keys are ids — a multiplicative mix spreads both.
+      std::uint64_t x = (static_cast<std::uint64_t>(k.name) << 56) ^ k.key;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x * 0x94d049bb133111ebULL);
+    }
+  };
 
   MetricsRegistry* registry_;
-  std::map<Key, double> open_;
+  // Interning table: names_ is the id->name side; ids_ owns its own key
+  // copies and supports heterogeneous string_view lookup via std::less<>.
+  std::vector<std::string> names_;
+  std::map<std::string, NameId, std::less<>> ids_;
+  std::unordered_map<OpenKey, double, OpenKeyHash> open_;
   std::uint64_t unmatched_ends_ = 0;
 };
 

@@ -1,0 +1,175 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+
+namespace oddci::obs {
+
+namespace {
+
+using json::append_i64;
+using json::append_string;
+using json::append_u64;
+
+// Track layout: a single synthetic process, one "thread" per component so
+// Perfetto shows one named lane per protocol role.
+constexpr std::uint64_t kPid = 1;
+
+std::uint64_t tid_of(TraceComponent component) {
+  return static_cast<std::uint64_t>(component);
+}
+
+void append_event_args(std::string& out, const TraceEvent& e) {
+  // Ids are emitted as strings: JSON numbers above 2^53 would be mangled
+  // by double-based readers, and the round-trip must be exact.
+  out += "{\"trace\":\"";
+  append_u64(out, e.trace_id);
+  out += "\",\"span\":\"";
+  append_u64(out, e.span_id);
+  out += "\",\"parent\":\"";
+  append_u64(out, e.parent_span);
+  out += "\",\"actor\":\"";
+  append_u64(out, e.actor);
+  out += "\",\"arg\":\"";
+  append_u64(out, e.arg);
+  out += "\"}";
+}
+
+std::uint64_t u64_arg(const json::Object& args, const std::string& key) {
+  const std::string& text = json::member(args, key).as_string();
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  // Flow arrows need the parent's track and timestamp; index the retained
+  // events by span id. A parent the ring has overwritten simply gets no
+  // arrow — the child's args still carry the id for offline joining.
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_span;
+  by_span.reserve(events.size());
+  for (const TraceEvent& e : events) by_span.emplace(e.span_id, &e);
+
+  std::string out;
+  out.reserve(256 + events.size() * 192);
+  out += "{\"schema\":";
+  append_string(out, kTraceSchema);
+  out += ",\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Name the per-component tracks first ("M" metadata events).
+  bool first = true;
+  for (auto c = static_cast<std::uint8_t>(TraceComponent::kProvider);
+       c <= static_cast<std::uint8_t>(TraceComponent::kNetwork); ++c) {
+    const auto component = static_cast<TraceComponent>(c);
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    append_u64(out, kPid);
+    out += ",\"tid\":";
+    append_u64(out, tid_of(component));
+    out += ",\"args\":{\"name\":";
+    append_string(out, to_string(component));
+    out += "}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    // The hop itself: an "X" complete event. Hops are instantaneous in
+    // sim time; a 1us duration keeps them visible as slices.
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"name\":";
+    append_string(out, to_string(e.kind));
+    out += ",\"cat\":";
+    append_string(out, to_string(e.component));
+    out += ",\"pid\":";
+    append_u64(out, kPid);
+    out += ",\"tid\":";
+    append_u64(out, tid_of(e.component));
+    out += ",\"ts\":";
+    append_i64(out, e.t_micros);
+    out += ",\"dur\":1,\"args\":";
+    append_event_args(out, e);
+    out += '}';
+
+    const auto parent_it =
+        e.parent_span != 0 ? by_span.find(e.parent_span) : by_span.end();
+    if (parent_it != by_span.end()) {
+      // Causal arrow parent -> child: the "s" step sits on the parent's
+      // track at the parent's time, the "f" step on the child's. The flow
+      // id is the child span id (unique), shared by the s/f pair.
+      const TraceEvent& parent = *parent_it->second;
+      out += ",{\"ph\":\"s\",\"name\":\"flow\",\"cat\":\"causal\",\"id\":";
+      append_u64(out, e.span_id);
+      out += ",\"pid\":";
+      append_u64(out, kPid);
+      out += ",\"tid\":";
+      append_u64(out, tid_of(parent.component));
+      out += ",\"ts\":";
+      append_i64(out, parent.t_micros);
+      out += "},{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"flow\",\"cat\":"
+             "\"causal\",\"id\":";
+      append_u64(out, e.span_id);
+      out += ",\"pid\":";
+      append_u64(out, kPid);
+      out += ",\"tid\":";
+      append_u64(out, tid_of(e.component));
+      out += ",\"ts\":";
+      append_i64(out, e.t_micros);
+      out += '}';
+    }
+  }
+
+  out += "]}\n";
+  return out;
+}
+
+std::string to_chrome_trace(const FlightRecorder& recorder) {
+  return to_chrome_trace(recorder.events());
+}
+
+void write_chrome_trace(const std::string& path,
+                        const FlightRecorder& recorder) {
+  json::write_file(path, to_chrome_trace(recorder));
+}
+
+std::vector<TraceEvent> events_from_chrome_trace(std::string_view text) {
+  const json::Value root = json::parse(text);
+  const json::Object& obj = root.as_object();
+  if (json::member(obj, "schema").as_string() != kTraceSchema) {
+    throw std::runtime_error("trace json: unknown schema");
+  }
+
+  std::vector<TraceEvent> out;
+  for (const json::Value& entry :
+       json::member(obj, "traceEvents").as_array()) {
+    const json::Object& eo = entry.as_object();
+    const std::string& ph = json::member(eo, "ph").as_string();
+    if (ph != "X") continue;  // metadata and flow events carry no payload
+
+    TraceEvent e;
+    e.t_micros = json::member(eo, "ts").as_i64();
+    e.kind = kind_from_string(json::member(eo, "name").as_string());
+    e.component =
+        component_from_string(json::member(eo, "cat").as_string());
+    if (e.kind == TraceEventKind{} || e.component == TraceComponent{}) {
+      throw std::runtime_error("trace json: unknown event name or category");
+    }
+    const json::Object& args = json::member(eo, "args").as_object();
+    e.trace_id = u64_arg(args, "trace");
+    e.span_id = u64_arg(args, "span");
+    e.parent_span = u64_arg(args, "parent");
+    e.actor = u64_arg(args, "actor");
+    e.arg = u64_arg(args, "arg");
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> read_chrome_trace(const std::string& path) {
+  return events_from_chrome_trace(json::read_file(path));
+}
+
+}  // namespace oddci::obs

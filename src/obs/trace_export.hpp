@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+/// Chrome `trace_event` JSON export for FlightRecorder events.
+///
+/// The output is the standard JSON-object format loadable by Perfetto and
+/// chrome://tracing: one "thread" track per TraceComponent (named via "M"
+/// metadata events), each recorded hop as an "X" complete event stamped
+/// with its sim-time microseconds, and an "s"/"f" flow-event pair along
+/// every parent->child edge so the UI draws causal arrows across tracks.
+///
+/// Determinism contract: events are written in recorder order, ids and
+/// timestamps as decimal text — two byte-identical recorders produce
+/// byte-identical exports. uint64 values that may exceed 2^53 (trace and
+/// span ids) are carried in `args` as JSON *strings* so they survive a
+/// round trip through double-based JSON readers exactly.
+namespace oddci::obs {
+
+inline constexpr std::string_view kTraceSchema = "oddci.trace.v1";
+
+/// Serialize to Chrome trace JSON (object form with "traceEvents").
+[[nodiscard]] std::string to_chrome_trace(const FlightRecorder& recorder);
+[[nodiscard]] std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+void write_chrome_trace(const std::string& path, const FlightRecorder& recorder);
+
+/// Parse a Chrome trace produced by to_chrome_trace back into events
+/// (chronologically ordered, exactly as recorded). Throws
+/// std::runtime_error on malformed input or a foreign schema.
+[[nodiscard]] std::vector<TraceEvent> events_from_chrome_trace(
+    std::string_view json);
+[[nodiscard]] std::vector<TraceEvent> read_chrome_trace(
+    const std::string& path);
+
+}  // namespace oddci::obs

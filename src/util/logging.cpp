@@ -1,6 +1,8 @@
 #include "util/logging.hpp"
 
+#include <cstdio>
 #include <iostream>
+#include <utility>
 
 namespace oddci::util {
 
@@ -27,12 +29,36 @@ const char* to_string(LogLevel level) {
   return "?";
 }
 
+void Logger::set_clock(Clock clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
 void Logger::log(LogLevel level, const std::string& component,
                  const std::string& message) {
   if (!enabled(level)) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  std::clog << "[" << to_string(level) << "] " << component << ": " << message
-            << "\n";
+  std::string line = "[";
+  line += to_string(level);
+  line += "] ";
+  if (clock_) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "t=%.6f ", clock_());
+    line += buf;
+  }
+  line += component;
+  line += ": ";
+  line += message;
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::clog << line << "\n";
+  }
 }
 
 LogStream::~LogStream() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -8,17 +9,37 @@
 ///
 /// The simulation hot path never logs; logging exists for the examples and
 /// for debugging protocol traces (level Trace).
+///
+/// A pluggable clock (`set_clock`) stamps every line with sim-time seconds
+/// so protocol-trace output lines up with flight-recorder events on the
+/// same clock; a pluggable sink (`set_sink`) redirects formatted lines
+/// away from stderr (tests, file capture). Both are std::function so util
+/// stays free of a sim dependency.
 namespace oddci::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 class Logger {
  public:
+  /// Receives the sim time in seconds when installed.
+  using Clock = std::function<double()>;
+  /// Receives fully formatted lines (no trailing newline).
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
   static Logger& instance();
 
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Install/remove the timestamp source. While installed, lines carry a
+  /// `t=<seconds>` field. Clear before the clock's owner is destroyed.
+  void set_clock(Clock clock);
+  void clear_clock() { set_clock(nullptr); }
+
+  /// Install/remove the output sink. Default (none) writes to std::clog.
+  void set_sink(Sink sink);
+  void clear_sink() { set_sink(nullptr); }
 
   void log(LogLevel level, const std::string& component,
            const std::string& message);
@@ -26,6 +47,8 @@ class Logger {
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kInfo;
+  Clock clock_;
+  Sink sink_;
   std::mutex mutex_;
 };
 
@@ -60,6 +83,8 @@ class LogStream {
   } else                                                                \
     ::oddci::util::LogStream(level, component)
 
+#define ODDCI_LOG_TRACE(component) \
+  ODDCI_LOG(::oddci::util::LogLevel::kTrace, component)
 #define ODDCI_LOG_INFO(component) \
   ODDCI_LOG(::oddci::util::LogLevel::kInfo, component)
 #define ODDCI_LOG_DEBUG(component) \

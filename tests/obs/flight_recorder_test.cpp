@@ -1,0 +1,142 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace oddci::obs {
+namespace {
+
+using sim::SimTime;
+
+TraceEvent make_event(std::uint64_t span, std::int64_t t_micros = 0) {
+  TraceEvent e;
+  e.t_micros = t_micros;
+  e.trace_id = span;
+  e.span_id = span;
+  e.kind = TraceEventKind::kHeartbeatSent;
+  e.component = TraceComponent::kPna;
+  return e;
+}
+
+TEST(FlightRecorder, RejectsZeroCapacity) {
+  EXPECT_THROW(FlightRecorder(0), std::invalid_argument);
+}
+
+TEST(FlightRecorder, RetainsEverythingBelowCapacity) {
+  FlightRecorder rec(8);
+  EXPECT_TRUE(rec.empty());
+  for (std::uint64_t i = 1; i <= 5; ++i) rec.record(make_event(i));
+
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  EXPECT_EQ(rec.overwritten(), 0u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].span_id, i + 1);  // oldest first
+  }
+}
+
+TEST(FlightRecorder, OverwritesOldestWhenFull) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) rec.record(make_event(i));
+
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.overwritten(), 6u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The flight recorder keeps the newest window, chronological order.
+  EXPECT_EQ(events[0].span_id, 7u);
+  EXPECT_EQ(events[1].span_id, 8u);
+  EXPECT_EQ(events[2].span_id, 9u);
+  EXPECT_EQ(events[3].span_id, 10u);
+}
+
+TEST(FlightRecorder, WrapsRepeatedly) {
+  FlightRecorder rec(3);
+  for (std::uint64_t i = 1; i <= 301; ++i) rec.record(make_event(i));
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().span_id, 299u);
+  EXPECT_EQ(events.back().span_id, 301u);
+}
+
+TEST(FlightRecorder, ClearDropsEventsButKeepsCounters) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) rec.record(make_event(i));
+  rec.clear();
+
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.events().size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 6u);  // history keeps counting
+
+  // Id allocation continues past a clear: a fresh emit never reuses ids.
+  const TraceContext ctx = rec.emit(
+      SimTime::from_seconds(1.0), TraceEventKind::kInstanceRequest,
+      TraceComponent::kProvider);
+  EXPECT_GT(ctx.parent_span, 0u);
+}
+
+TEST(FlightRecorder, EmitStartsRootAndChainsChildren) {
+  FlightRecorder rec(16);
+
+  // Zero parent context -> new root: trace id equals the fresh span id.
+  const TraceContext root = rec.emit(
+      SimTime::from_seconds(1.0), TraceEventKind::kInstanceRequest,
+      TraceComponent::kProvider, {}, /*actor=*/9, /*arg=*/100);
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(root.trace_id, root.parent_span);
+
+  const TraceContext child = rec.emit(
+      SimTime::from_seconds(2.0), TraceEventKind::kControlFormat,
+      TraceComponent::kController, root, /*actor=*/1, /*arg=*/2);
+  EXPECT_EQ(child.trace_id, root.trace_id);  // same causal chain
+  EXPECT_NE(child.parent_span, root.parent_span);
+
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].parent_span, 0u);
+  EXPECT_EQ(events[0].actor, 9u);
+  EXPECT_EQ(events[0].arg, 100u);
+  EXPECT_EQ(events[1].trace_id, events[0].trace_id);
+  EXPECT_EQ(events[1].parent_span, events[0].span_id);
+  EXPECT_EQ(events[1].t_micros, SimTime::from_seconds(2.0).micros());
+  EXPECT_EQ(events[1].context().trace_id, child.trace_id);
+}
+
+TEST(FlightRecorder, DeterministicIdAssignment) {
+  // Two recorders fed the same emission sequence produce identical events
+  // — the property byte-identical exports rest on.
+  FlightRecorder a(8), b(8);
+  for (FlightRecorder* rec : {&a, &b}) {
+    const TraceContext root = rec->emit(
+        SimTime::from_seconds(1.0), TraceEventKind::kInstanceRequest,
+        TraceComponent::kProvider, {}, 1, 50);
+    rec->emit(SimTime::from_seconds(1.5), TraceEventKind::kControlFormat,
+              TraceComponent::kController, root, 0, 1);
+  }
+  EXPECT_EQ(a.events(), b.events());
+}
+
+TEST(FlightRecorder, KindAndComponentNamesRoundTrip) {
+  for (auto k = static_cast<std::uint8_t>(TraceEventKind::kInstanceRequest);
+       k <= static_cast<std::uint8_t>(TraceEventKind::kMessageDropped); ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    EXPECT_NE(to_string(kind), "unknown");
+    EXPECT_EQ(kind_from_string(to_string(kind)), kind);
+  }
+  for (auto c = static_cast<std::uint8_t>(TraceComponent::kProvider);
+       c <= static_cast<std::uint8_t>(TraceComponent::kNetwork); ++c) {
+    const auto component = static_cast<TraceComponent>(c);
+    EXPECT_NE(to_string(component), "unknown");
+    EXPECT_EQ(component_from_string(to_string(component)), component);
+  }
+  EXPECT_EQ(kind_from_string("no.such.kind"), TraceEventKind{});
+  EXPECT_EQ(component_from_string("no.such.component"), TraceComponent{});
+}
+
+}  // namespace
+}  // namespace oddci::obs

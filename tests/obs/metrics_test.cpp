@@ -209,5 +209,40 @@ TEST(Tracer, ReBeginRestartsTheSpan) {
   EXPECT_DOUBLE_EQ(tracer.end("form", 1, 25.0), 5.0);
 }
 
+TEST(Tracer, InterningAssignsStableIds) {
+  MetricsRegistry reg;
+  Tracer tracer(reg);
+
+  const Tracer::NameId form = tracer.intern("instance.form");
+  const Tracer::NameId cycle = tracer.intern("task.cycle");
+  EXPECT_NE(form, 0u);
+  EXPECT_NE(form, cycle);
+  EXPECT_EQ(tracer.intern("instance.form"), form);  // idempotent
+  EXPECT_EQ(tracer.interned_count(), 2u);
+  EXPECT_EQ(tracer.name_of(form), "instance.form");
+  EXPECT_EQ(tracer.name_of(0), "");
+  EXPECT_EQ(tracer.name_of(99), "");
+}
+
+TEST(Tracer, IdAndStringPathsShareSpans) {
+  MetricsRegistry reg;
+  Tracer tracer(reg);
+
+  // A span begun through the hot id path must be visible to the string
+  // convenience overload, and vice versa.
+  const Tracer::NameId id = tracer.intern("task.cycle");
+  tracer.begin(id, 7, 1.0);
+  EXPECT_DOUBLE_EQ(tracer.end("task.cycle", 7, 3.0), 2.0);
+
+  tracer.begin("task.cycle", 8, 5.0);
+  EXPECT_TRUE(tracer.discard(id, 8));
+  EXPECT_EQ(tracer.open_count(), 0u);
+
+  // The exported span carries the interned name, not an id.
+  const MetricsSnapshot snap = reg.snapshot(10.0);
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "task.cycle");
+}
+
 }  // namespace
 }  // namespace oddci::obs

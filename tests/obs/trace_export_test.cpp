@@ -1,0 +1,218 @@
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hpp"
+#include "obs/json.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace oddci::obs {
+namespace {
+
+using sim::SimTime;
+
+TraceEvent make_event(std::uint64_t trace, std::uint64_t span,
+                      std::uint64_t parent, std::int64_t t_micros,
+                      TraceEventKind kind, TraceComponent component,
+                      std::uint64_t actor = 0, std::uint64_t arg = 0) {
+  TraceEvent e;
+  e.t_micros = t_micros;
+  e.trace_id = trace;
+  e.span_id = span;
+  e.parent_span = parent;
+  e.actor = actor;
+  e.arg = arg;
+  e.kind = kind;
+  e.component = component;
+  return e;
+}
+
+TEST(TraceExport, RoundTripIsExact) {
+  // Ids above 2^53 would be mangled by a double-based JSON reader; the
+  // exporter carries them as strings, so the round trip must be exact.
+  const std::uint64_t big = (1ULL << 63) + 12345;
+  const std::vector<TraceEvent> events = {
+      make_event(big, big, 0, 0, TraceEventKind::kInstanceRequest,
+                 TraceComponent::kProvider, big - 1, big - 2),
+      make_event(big, big + 1, big, 1500000, TraceEventKind::kControlFormat,
+                 TraceComponent::kController, 7, 2),
+      make_event(big, big + 2, big + 1, 2750000,
+                 TraceEventKind::kMemberJoined, TraceComponent::kPna, 42, 1),
+  };
+  const std::string json = to_chrome_trace(events);
+  EXPECT_EQ(events_from_chrome_trace(json), events);
+}
+
+TEST(TraceExport, ChromeTraceStructure) {
+  const std::vector<TraceEvent> events = {
+      make_event(1, 1, 0, 1000000, TraceEventKind::kInstanceRequest,
+                 TraceComponent::kProvider),
+      make_event(1, 2, 1, 2000000, TraceEventKind::kControlFormat,
+                 TraceComponent::kController),
+  };
+  const json::Value root = json::parse(to_chrome_trace(events));
+  const json::Object& obj = root.as_object();
+  EXPECT_EQ(json::member(obj, "schema").as_string(), kTraceSchema);
+
+  const json::Array& items = json::member(obj, "traceEvents").as_array();
+  std::size_t metadata = 0, slices = 0, flow_starts = 0, flow_ends = 0;
+  for (const json::Value& item : items) {
+    const json::Object& eo = item.as_object();
+    const std::string& ph = json::member(eo, "ph").as_string();
+    // Every event carries the fields the Chrome trace viewer requires.
+    EXPECT_NE(json::find(eo, "pid"), nullptr);
+    EXPECT_NE(json::find(eo, "tid"), nullptr);
+    if (ph == "M") {
+      ++metadata;
+    } else if (ph == "X") {
+      ++slices;
+      EXPECT_NE(json::find(eo, "ts"), nullptr);
+      EXPECT_NE(json::find(eo, "dur"), nullptr);
+      EXPECT_NE(json::find(eo, "args"), nullptr);
+    } else if (ph == "s") {
+      ++flow_starts;
+    } else if (ph == "f") {
+      ++flow_ends;
+    } else {
+      FAIL() << "unexpected phase " << ph;
+    }
+  }
+  EXPECT_EQ(metadata, 8u);  // one thread_name record per component track
+  EXPECT_EQ(slices, events.size());
+  EXPECT_EQ(flow_starts, 1u);  // one parent->child edge
+  EXPECT_EQ(flow_ends, 1u);
+}
+
+TEST(TraceExport, FlowArrowsAnchorAtTheParentEvent) {
+  const std::vector<TraceEvent> events = {
+      make_event(1, 1, 0, 1000000, TraceEventKind::kInstanceRequest,
+                 TraceComponent::kProvider),
+      make_event(1, 2, 1, 5000000, TraceEventKind::kControlFormat,
+                 TraceComponent::kController),
+  };
+  const json::Value root = json::parse(to_chrome_trace(events));
+  const json::Object& obj = root.as_object();
+  for (const json::Value& item : json::member(obj, "traceEvents").as_array()) {
+    const json::Object& eo = item.as_object();
+    const std::string& ph = json::member(eo, "ph").as_string();
+    if (ph == "s") {
+      // The arrow starts on the provider's track at the parent's time...
+      EXPECT_EQ(json::member(eo, "tid").as_u64(),
+                static_cast<std::uint64_t>(TraceComponent::kProvider));
+      EXPECT_EQ(json::member(eo, "ts").as_i64(), 1000000);
+    } else if (ph == "f") {
+      // ...and ends on the controller's track at the child's time.
+      EXPECT_EQ(json::member(eo, "tid").as_u64(),
+                static_cast<std::uint64_t>(TraceComponent::kController));
+      EXPECT_EQ(json::member(eo, "ts").as_i64(), 5000000);
+    }
+  }
+}
+
+TEST(TraceExport, OverwrittenParentGetsNoArrow) {
+  // Parent span 1 is not among the retained events (the ring overwrote
+  // it); the child keeps its ids in args but no dangling flow is emitted.
+  const std::vector<TraceEvent> events = {
+      make_event(1, 2, 1, 2000000, TraceEventKind::kControlFormat,
+                 TraceComponent::kController),
+  };
+  const std::string json_text = to_chrome_trace(events);
+  EXPECT_EQ(json_text.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(json_text.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_EQ(events_from_chrome_trace(json_text), events);
+}
+
+TEST(TraceExport, RejectsForeignSchemaAndMalformedInput) {
+  EXPECT_THROW(events_from_chrome_trace("{\"traceEvents\":[]}"),
+               std::runtime_error);
+  EXPECT_THROW(
+      events_from_chrome_trace(
+          "{\"schema\":\"other.v9\",\"traceEvents\":[]}"),
+      std::runtime_error);
+  EXPECT_THROW(events_from_chrome_trace("{\"schema\":"), std::runtime_error);
+  EXPECT_THROW(events_from_chrome_trace("not json"), std::runtime_error);
+}
+
+TEST(TraceExport, FileRoundTrip) {
+  FlightRecorder rec(8);
+  const TraceContext root =
+      rec.emit(SimTime::from_seconds(1.0), TraceEventKind::kInstanceRequest,
+               TraceComponent::kProvider, {}, 1, 10);
+  rec.emit(SimTime::from_seconds(2.0), TraceEventKind::kControlFormat,
+           TraceComponent::kController, root, 0, 1);
+
+  const std::string path =
+      testing::TempDir() + "/oddci_trace_export_test.trace.json";
+  write_chrome_trace(path, rec);
+  EXPECT_EQ(read_chrome_trace(path), rec.events());
+  std::remove(path.c_str());
+}
+
+core::SystemConfig small_traced_config() {
+  core::SystemConfig config;
+  config.receivers = 120;
+  config.seed = 11;
+  config.obs.trace = true;
+  return config;
+}
+
+std::string run_and_export(const core::SystemConfig& config) {
+  core::OddciSystem system(config);
+  const workload::Job job = workload::make_uniform_job(
+      "trace-det", util::Bits::from_megabytes(2), 30,
+      util::Bits::from_bytes(256), util::Bits::from_bytes(256), 10.0);
+  const core::RunResult result = system.run_job(job, 10);
+  EXPECT_TRUE(result.completed);
+  EXPECT_NE(system.flight_recorder(), nullptr);
+  EXPECT_FALSE(system.flight_recorder()->empty());
+  return to_chrome_trace(*system.flight_recorder());
+}
+
+TEST(TraceExport, SeededSystemRunsExportByteIdentical) {
+  // Acceptance criterion: two same-seed runs with the recorder enabled
+  // produce byte-identical Chrome-trace exports.
+  const std::string first = run_and_export(small_traced_config());
+  const std::string second = run_and_export(small_traced_config());
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  // The causal chain reaches every layer: wakeup cycle and task cycle.
+  for (const char* kind :
+       {"instance.request", "control.format", "carousel.commit",
+        "control.received", "wakeup.accepted", "image.acquired",
+        "heartbeat.sent", "member.joined", "instance.ready",
+        "task.dispatched", "task.executed", "task.result"}) {
+    EXPECT_NE(first.find(kind), std::string::npos) << kind;
+  }
+
+  // And the dispatch chain is causally rooted in the Provider's request:
+  // every task.dispatched parent resolves up to the instance's root.
+  const std::vector<TraceEvent> events = events_from_chrome_trace(first);
+  std::uint64_t root_trace = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kInstanceRequest) {
+      root_trace = e.trace_id;
+      break;
+    }
+  }
+  ASSERT_NE(root_trace, 0u);
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kTaskDispatched) {
+      EXPECT_EQ(e.trace_id, root_trace);
+    }
+  }
+}
+
+TEST(TraceExport, DisabledByDefaultRecordsNothing) {
+  core::SystemConfig config;
+  config.receivers = 50;
+  core::OddciSystem system(config);
+  EXPECT_EQ(system.flight_recorder(), nullptr);
+}
+
+}  // namespace
+}  // namespace oddci::obs

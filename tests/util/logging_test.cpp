@@ -1,0 +1,84 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace oddci::util {
+namespace {
+
+/// Restores the global logger on scope exit so tests cannot leak a sink,
+/// clock or level into each other.
+class LoggerGuard {
+ public:
+  LoggerGuard() : previous_level_(Logger::instance().level()) {}
+  ~LoggerGuard() {
+    Logger::instance().clear_sink();
+    Logger::instance().clear_clock();
+    Logger::instance().set_level(previous_level_);
+  }
+
+ private:
+  LogLevel previous_level_;
+};
+
+TEST(Logger, SinkReceivesFormattedLines) {
+  LoggerGuard guard;
+  std::vector<std::string> lines;
+  std::vector<LogLevel> levels;
+  Logger::instance().set_level(LogLevel::kTrace);
+  Logger::instance().set_sink([&](LogLevel level, const std::string& line) {
+    levels.push_back(level);
+    lines.push_back(line);
+  });
+
+  ODDCI_LOG_TRACE("controller") << "wakeup broadcast";
+  ODDCI_LOG_INFO("provider") << "instance " << 3 << " ready";
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(levels[0], LogLevel::kTrace);
+  EXPECT_EQ(lines[0], "[TRACE] controller: wakeup broadcast");
+  EXPECT_EQ(levels[1], LogLevel::kInfo);
+  EXPECT_EQ(lines[1], "[INFO] provider: instance 3 ready");
+}
+
+TEST(Logger, ClockStampsLinesWithSimTime) {
+  LoggerGuard guard;
+  std::vector<std::string> lines;
+  double now = 12.5;
+  Logger::instance().set_level(LogLevel::kTrace);
+  Logger::instance().set_sink(
+      [&](LogLevel, const std::string& line) { lines.push_back(line); });
+  Logger::instance().set_clock([&now] { return now; });
+
+  ODDCI_LOG_TRACE("pna") << "heartbeat";
+  now = 99.000001;
+  ODDCI_LOG_TRACE("pna") << "heartbeat";
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[TRACE] t=12.500000 pna: heartbeat");
+  EXPECT_EQ(lines[1], "[TRACE] t=99.000001 pna: heartbeat");
+
+  // Removing the clock removes the stamp.
+  Logger::instance().clear_clock();
+  ODDCI_LOG_TRACE("pna") << "heartbeat";
+  EXPECT_EQ(lines.back(), "[TRACE] pna: heartbeat");
+}
+
+TEST(Logger, LevelFilterAppliesBeforeTheSink) {
+  LoggerGuard guard;
+  std::size_t calls = 0;
+  Logger::instance().set_level(LogLevel::kWarn);
+  Logger::instance().set_sink(
+      [&](LogLevel, const std::string&) { ++calls; });
+
+  ODDCI_LOG_TRACE("x") << "suppressed";
+  ODDCI_LOG_INFO("x") << "suppressed";
+  ODDCI_LOG(LogLevel::kError, "x") << "kept";
+
+  EXPECT_EQ(calls, 1u);
+}
+
+}  // namespace
+}  // namespace oddci::util
