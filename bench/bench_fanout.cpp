@@ -1,0 +1,214 @@
+// Broadcast fan-out + heartbeat-storm microbench for the fan-out fast
+// path (verify-once control messages, shared decoded broadcasts, pooled
+// heartbeat messages).
+//
+// Scenario, per population and per mode (fast path on / off — the off mode
+// is the pre-fast-path behaviour kept in-tree as the A/B baseline):
+//
+//  1. Fan-out phase: deploy the PNA. One signed control message reaches
+//     every receiver; the whole population decodes + verifies it (once per
+//     receiver in baseline mode, once per *broadcast* in fast mode).
+//  2. Storm phase: the population heartbeats at a 10 s cadence through the
+//     aggregation tier for 10 simulated minutes (the allocation hot path:
+//     one HeartbeatMessage per beat in baseline mode, a recycled pool slot
+//     in fast mode).
+//
+// Both modes execute the identical event trajectory (asserted by the
+// fanout_ab integration test), so wall-clock ratios are pure hot-path
+// cost. Output: human table on stdout, BENCH_fanout.json shape via
+// --json <path>. --quick shrinks to one small population for CI smoke.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace {
+
+using namespace oddci;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Current (not peak) resident set, from /proc/self/statm. Deltas around a
+// run approximate its footprint; the allocator may retain freed pages, so
+// treat them as indicative, not exact (see "rss_note" in the JSON).
+double current_rss_mb() {
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t total_pages = 0;
+  std::uint64_t resident_pages = 0;
+  if (!(statm >> total_pages >> resident_pages)) return 0.0;
+  return static_cast<double>(resident_pages) * 4096.0 / (1024.0 * 1024.0);
+}
+
+struct Point {
+  std::size_t receivers = 0;
+  bool fast_path = false;
+  double fanout_wall_s = 0.0;
+  double storm_wall_s = 0.0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t events_executed = 0;
+  double rss_delta_mb = 0.0;
+  std::uint64_t controls_seen = 0;
+  std::uint64_t verify_hits = 0;
+  std::uint64_t verify_misses = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t pool_reused = 0;
+  std::uint64_t pool_allocated = 0;
+  std::uint64_t pooled_bytes = 0;
+};
+
+Point run_point(std::size_t receivers, bool fast_path) {
+  Point point;
+  point.receivers = receivers;
+  point.fast_path = fast_path;
+
+  core::SystemConfig config;
+  config.receivers = receivers;
+  config.channels = 8;
+  config.aggregators = 16;
+  config.seed = 99;
+  config.controller.default_heartbeat = sim::SimTime::from_seconds(10);
+  config.fanout_fast_path = fast_path;
+
+  const double rss_before = current_rss_mb();
+  const auto t0 = Clock::now();
+  core::OddciSystem system(config);
+
+  // Phase 1: one broadcast fans out to the whole population.
+  system.controller().deploy_pna();
+  system.simulation().run_until(sim::SimTime::from_seconds(120));
+  point.fanout_wall_s = seconds_since(t0);
+
+  // Phase 2: heartbeat storm through the aggregation tier.
+  const auto storm0 = Clock::now();
+  system.simulation().run_until(sim::SimTime::from_seconds(120 + 600));
+  point.storm_wall_s = seconds_since(storm0);
+
+  point.wall_seconds = seconds_since(t0);
+  point.rss_delta_mb = current_rss_mb() - rss_before;
+  point.events_executed = system.simulation().events_executed();
+  point.events_per_sec =
+      static_cast<double>(point.events_executed) / point.wall_seconds;
+
+  const auto snap = system.metrics_snapshot();
+  point.controls_seen = snap.counter_value("pna.control_messages_seen");
+  point.verify_hits = snap.counter_value("verify_cache.hit");
+  point.verify_misses = snap.counter_value("verify_cache.miss");
+  point.heartbeats = snap.counter_value("pna.heartbeats_sent");
+  point.pool_reused = snap.counter_value("heartbeat.pool_reused");
+  point.pool_allocated = snap.counter_value("heartbeat.pool_allocated");
+  point.pooled_bytes = snap.counter_value("heartbeat.pooled_bytes");
+  return point;
+}
+
+void print_point(const Point& p) {
+  std::printf("%9zu | %-8s | %8.2f | %8.2f | %8.3g | %7.1f | %s\n",
+              p.receivers, p.fast_path ? "fast" : "baseline",
+              p.fanout_wall_s, p.storm_wall_s, p.events_per_sec,
+              p.rss_delta_mb,
+              p.fast_path
+                  ? ("verify " + std::to_string(p.verify_misses) + "/" +
+                     std::to_string(p.controls_seen) + " pool " +
+                     std::to_string(p.pool_reused) + "r")
+                        .c_str()
+                  : "-");
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"fanout\",\n"
+      << "  \"scenario\": {\"channels\": 8, \"aggregators\": 16, "
+      << "\"seed\": 99, \"heartbeat_s\": 10, \"fanout_sim_s\": 120, "
+      << "\"storm_sim_s\": 600},\n"
+      << "  \"rss_note\": \"rss_delta_mb is current-RSS growth across the "
+      << "run (from /proc/self/statm); the allocator may retain freed "
+      << "pages from earlier points in the same process, so deltas are "
+      << "indicative, not exact\",\n"
+      << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"receivers\": " << p.receivers << ", \"mode\": \""
+        << (p.fast_path ? "fast" : "baseline") << "\""
+        << ", \"fanout_wall_s\": " << p.fanout_wall_s
+        << ", \"storm_wall_s\": " << p.storm_wall_s
+        << ", \"wall_seconds\": " << p.wall_seconds
+        << ", \"events_executed\": " << p.events_executed
+        << ", \"events_per_sec\": " << p.events_per_sec
+        << ", \"rss_delta_mb\": " << p.rss_delta_mb
+        << ", \"controls_seen\": " << p.controls_seen
+        << ", \"verify_hits\": " << p.verify_hits
+        << ", \"verify_misses\": " << p.verify_misses
+        << ", \"heartbeats_sent\": " << p.heartbeats
+        << ", \"pool_reused\": " << p.pool_reused
+        << ", \"pool_allocated\": " << p.pool_allocated
+        << ", \"pooled_bytes\": " << p.pooled_bytes << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedups\": [\n";
+  bool first = true;
+  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+    const auto& base = points[i];
+    const auto& fast = points[i + 1];
+    if (base.receivers != fast.receivers) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"receivers\": " << base.receivers
+        << ", \"wall_speedup\": " << base.wall_seconds / fast.wall_seconds
+        << ", \"storm_speedup\": " << base.storm_wall_s / fast.storm_wall_s
+        << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    if (arg == "--quick") quick = true;
+  }
+
+  const std::vector<std::size_t> populations =
+      quick ? std::vector<std::size_t>{10'000}
+            : std::vector<std::size_t>{100'000, 1'000'000};
+
+  std::cout << "== Broadcast fan-out + heartbeat storm: baseline "
+            << "(per-receiver verify, per-beat allocation) vs fast path ==\n";
+  std::cout << "receivers | mode     | fanout s | storm s  | ev/s     |"
+            << " dRSS MB | fast-path counters\n";
+  std::vector<Point> points;
+  for (const auto receivers : populations) {
+    // Baseline first, then fast. Note the ordering caveat: the allocator
+    // is warm with pages the baseline point freed, which can understate
+    // the fast point's RSS delta (see rss_note in the JSON).
+    for (const bool fast : {false, true}) {
+      points.push_back(run_point(receivers, fast));
+      print_point(points.back());
+    }
+  }
+
+  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+    std::printf("%9zu receivers: wall %.2fx, storm %.2fx\n",
+                points[i].receivers,
+                points[i].wall_seconds / points[i + 1].wall_seconds,
+                points[i].storm_wall_s / points[i + 1].storm_wall_s);
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, points);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

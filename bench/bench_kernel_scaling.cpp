@@ -51,6 +51,19 @@ double peak_rss_mb() {
   return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kB -> MB
 }
 
+// Current (not peak) resident set from /proc/self/statm. ru_maxrss is a
+// process-global high-water mark: once the largest sweep has run, every
+// later (or smaller, earlier-allocating) sweep reports the same number.
+// Per-sweep current-RSS deltas attribute growth to the sweep that caused
+// it; the allocator may retain freed pages, so they are indicative.
+double current_rss_mb() {
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t total_pages = 0;
+  std::uint64_t resident_pages = 0;
+  if (!(statm >> total_pages >> resident_pages)) return 0.0;
+  return static_cast<double>(resident_pages) * 4096.0 / (1024.0 * 1024.0);
+}
+
 // ---------------------------------------------------------------------------
 // Replica of the pre-refactor kernel, kept structurally identical to the
 // seed `sim::Simulation` (git history): a std::priority_queue of
@@ -283,6 +296,8 @@ struct SystemPoint {
   double wall_seconds_per_sim_hour = 0.0;
   double sim_seconds = 0.0;
   double peak_rss_mb = 0.0;
+  /// Current-RSS growth across this sweep (see current_rss_mb()).
+  double rss_delta_mb = 0.0;
   std::uint64_t events_executed = 0;
   obs::MetricsSnapshot metrics;
 };
@@ -298,6 +313,7 @@ SystemPoint system_sweep(std::size_t receivers) {
   config.seed = 99;
   config.controller.overshoot_margin = 1.3;
 
+  const double rss_before = current_rss_mb();
   const auto t0 = Clock::now();
   core::OddciSystem system(config);
   const auto job = workload::make_uniform_job(
@@ -314,6 +330,7 @@ SystemPoint system_sweep(std::size_t receivers) {
   point.wall_seconds_per_sim_hour =
       point.wall_seconds / (point.sim_seconds / 3600.0);
   point.peak_rss_mb = peak_rss_mb();
+  point.rss_delta_mb = current_rss_mb() - rss_before;
   point.metrics = result.metrics;
   return point;
 }
@@ -350,16 +367,18 @@ int main(int argc, char** argv) {
 
   std::cout << "\n== System sweep: OddciSystem::run_job ==\n";
   std::cout << "receivers | done | events | ev/s | wall s | wall s/sim h |"
-            << " peak RSS MB\n";
+            << " dRSS MB | peak RSS MB\n";
   std::vector<SystemPoint> system_points;
   for (const auto receivers : system_pops) {
     const auto point = system_sweep(receivers);
     system_points.push_back(point);
-    std::printf("%9zu | %4s | %.3g | %.3g | %6.1f | %12.1f | %11.1f\n",
+    std::printf("%9zu | %4s | %.3g | %.3g | %6.1f | %12.1f | %7.1f |"
+                " %11.1f\n",
                 point.receivers, point.completed ? "yes" : "NO",
                 static_cast<double>(point.events_executed),
                 point.events_per_sec, point.wall_seconds,
-                point.wall_seconds_per_sim_hour, point.peak_rss_mb);
+                point.wall_seconds_per_sim_hour, point.rss_delta_mb,
+                point.peak_rss_mb);
   }
 
   if (!json_path.empty()) {
@@ -383,10 +402,17 @@ int main(int argc, char** argv) {
           << ", \"wall_seconds\": " << p.wall_seconds
           << ", \"wall_seconds_per_sim_hour\": "
           << p.wall_seconds_per_sim_hour
+          << ", \"rss_delta_mb\": " << p.rss_delta_mb
           << ", \"peak_rss_mb\": " << p.peak_rss_mb << "}"
           << (i + 1 < system_points.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"rss_note\": \"peak_rss_mb is the process-global "
+        << "high-water mark (ru_maxrss) and is monotone across sweeps — "
+        << "identical values for consecutive points mean an earlier/larger "
+        << "sweep set the peak. rss_delta_mb is per-sweep current-RSS "
+        << "growth (/proc/self/statm) and attributes memory to the sweep "
+        << "that allocated it; the allocator may retain freed pages, so "
+        << "deltas are indicative.\"\n}\n";
     std::cout << "\nwrote " << json_path << "\n";
   }
 

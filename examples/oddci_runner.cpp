@@ -40,6 +40,7 @@ core::SystemConfig system_config(const util::Config& cfg) {
       static_cast<std::size_t>(cfg.get_int("aggregators", 0));
   config.obs.sample_interval =
       sim::SimTime::from_seconds(cfg.get_double("sample_interval_s", 10.0));
+  config.fanout_fast_path = cfg.get_bool("fanout_fast_path", true);
 
   const std::string technology = cfg.get_string("technology", "dtv");
   if (technology == "iptv") {

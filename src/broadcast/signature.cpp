@@ -39,6 +39,10 @@ bool verify(SigningKey key, std::string_view content, Signature signature) {
   return sign(key, content) == signature;
 }
 
+std::uint64_t content_digest(std::string_view content) {
+  return avalanche(fnv1a(kFnvOffset, content.data(), content.size()));
+}
+
 SignBuffer& SignBuffer::add(std::string_view s) {
   add_u64(s.size());
   buffer_.append(s.data(), s.size());

@@ -25,6 +25,14 @@ using Signature = std::uint64_t;
 [[nodiscard]] bool verify(SigningKey key, std::string_view content,
                           Signature signature);
 
+/// Unkeyed content digest (same FNV-1a + avalanche construction, no key
+/// prefix). Used as the memoization handle of `VerifyCache`: a broadcast
+/// payload is digested once at encode/decode time and every receiver's
+/// verification is then a cache lookup instead of a fresh keyed hash. The
+/// digest is an index, not a security boundary — cache hits re-check byte
+/// identity, so a colliding forgery still fails verification.
+[[nodiscard]] std::uint64_t content_digest(std::string_view content);
+
 /// Canonical byte serialization helpers so that logically-equal messages
 /// sign identically.
 class SignBuffer {

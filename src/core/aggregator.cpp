@@ -25,22 +25,53 @@ HeartbeatAggregator::HeartbeatAggregator(sim::Simulation& simulation,
 
 HeartbeatAggregator::~HeartbeatAggregator() { reporter_.cancel(); }
 
+void HeartbeatAggregator::set_shard(std::uint64_t stride,
+                                    std::uint64_t phase) {
+  if (stride == 0 || phase >= stride) {
+    throw std::invalid_argument("HeartbeatAggregator: bad shard");
+  }
+  shard_stride_ = stride;
+  shard_phase_ = phase;
+}
+
 void HeartbeatAggregator::on_message(net::NodeId /*from*/,
                                      const net::MessagePtr& message) {
   if (message->tag() != kTagHeartbeat) return;
   const auto& hb = static_cast<const HeartbeatMessage&>(*message);
   ++stats_.heartbeats_received;
-  window_[hb.pna_id()] = Record{hb.state(), hb.instance(), hb.trace()};
+  const std::uint64_t id = hb.pna_id();
+  if (id % shard_stride_ == shard_phase_) {
+    const std::uint64_t slot = id / shard_stride_;
+    if (slot < kMaxDenseSlots) {
+      if (slot >= dense_.size()) dense_.resize(slot + 1);
+      DenseRecord& cell = dense_[slot];
+      if (cell.epoch != epoch_) {
+        cell.epoch = epoch_;
+        touched_.push_back(static_cast<std::uint32_t>(slot));
+      }
+      cell.rec = Record{hb.state(), hb.instance(), hb.trace()};
+      return;
+    }
+  }
+  overflow_[id] = Record{hb.state(), hb.instance(), hb.trace()};
 }
 
 void HeartbeatAggregator::flush() {
-  if (window_.empty()) return;
+  if (touched_.empty() && overflow_.empty()) return;
   std::vector<AggregateReportMessage::Entry> entries;
-  entries.reserve(window_.size());
-  for (const auto& [pna, rec] : window_) {
+  entries.reserve(window_size());
+  // Dense slots flush in arrival order (deterministic), then overflow ids.
+  for (const std::uint32_t slot : touched_) {
+    const Record& rec = dense_[slot].rec;
+    entries.push_back({slot * shard_stride_ + shard_phase_, rec.state,
+                       rec.instance, rec.trace});
+  }
+  for (const auto& [pna, rec] : overflow_) {
     entries.push_back({pna, rec.state, rec.instance, rec.trace});
   }
-  window_.clear();
+  touched_.clear();
+  ++epoch_;  // every dense cell is now logically outside the window
+  overflow_.clear();
   if (recorder_ != nullptr) {
     recorder_->emit(simulation_.now(), obs::TraceEventKind::kAggregateFlush,
                     obs::TraceComponent::kAggregator, {}, node_id_,
@@ -64,7 +95,7 @@ void HeartbeatAggregator::link_metrics(obs::MetricsRegistry& registry,
     return static_cast<double>(stats_.entries_forwarded);
   });
   registry.link_probe(prefix + ".window_size", [this] {
-    return static_cast<double>(window_.size());
+    return static_cast<double>(window_size());
   });
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/messages.hpp"
 #include "net/network.hpp"
@@ -40,6 +41,15 @@ class HeartbeatAggregator final : public net::Endpoint {
   HeartbeatAggregator& operator=(const HeartbeatAggregator&) = delete;
 
   [[nodiscard]] net::NodeId node_id() const { return node_id_; }
+
+  /// Declare the shard this aggregator serves: PNAs whose
+  /// `pna_id % stride == phase` (the selection rule agents apply to the
+  /// control message's aggregator list). Sharded ids collapse to the dense
+  /// slot `pna_id / stride`, turning the per-heartbeat window write into a
+  /// vector store instead of a hash-map node allocation. Ids outside the
+  /// shard (or beyond the dense cap) still work via an overflow map, so
+  /// standalone/unsharded use keeps its old semantics.
+  void set_shard(std::uint64_t stride, std::uint64_t phase);
 
   struct Stats {
     std::uint64_t heartbeats_received = 0;
@@ -80,8 +90,33 @@ class HeartbeatAggregator final : public net::Endpoint {
     InstanceId instance = kNoInstance;
     obs::TraceContext trace;  ///< context of the consolidated heartbeat
   };
-  /// Latest state per PNA heard from since the last flush.
-  std::unordered_map<std::uint64_t, Record> window_;
+
+  /// Hard cap on the dense window so a rogue huge id cannot balloon the
+  /// vector; slots past it spill to the overflow map.
+  static constexpr std::uint64_t kMaxDenseSlots = 1ull << 21;
+
+  /// Dense-window cell. Membership in the *current* window is an epoch
+  /// stamp, so flush never clears the vector — it bumps `epoch_` and the
+  /// whole window is logically empty again.
+  struct DenseRecord {
+    Record rec;
+    std::uint64_t epoch = 0;
+  };
+
+  [[nodiscard]] std::size_t window_size() const {
+    return touched_.size() + overflow_.size();
+  }
+
+  std::uint64_t shard_stride_ = 1;
+  std::uint64_t shard_phase_ = 0;
+  std::uint64_t epoch_ = 1;
+  /// Latest state per dense slot; `touched_` lists this window's live
+  /// slots in arrival order (deterministic flush order without a scan).
+  std::vector<DenseRecord> dense_;
+  std::vector<std::uint32_t> touched_;
+  /// Ids outside the shard pattern or past the dense cap; cleared per
+  /// flush like the old hash window.
+  std::unordered_map<std::uint64_t, Record> overflow_;
   sim::PeriodicTask reporter_;
   Stats stats_;
   obs::FlightRecorder* recorder_ = nullptr;

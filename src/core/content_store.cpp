@@ -1,12 +1,16 @@
 #include "core/content_store.hpp"
 
-#include "core/wire.hpp"
-
 namespace oddci::core {
 
 std::uint64_t ContentStore::put_control(const ControlMessage& message) {
   const std::uint64_t id = next_id_++;
-  blobs_.emplace(id, wire::encode(message));
+  // Count buffer reuse from the second encode on (a fresh Writer's string
+  // may report small-buffer capacity without any heap allocation to reuse).
+  if (writer_used_) writer_reuses_.inc();
+  writer_used_ = true;
+  writer_.clear();
+  wire::encode_into(message, writer_);
+  blobs_.emplace(id, writer_.bytes());
   return id;
 }
 
@@ -21,11 +25,28 @@ std::optional<ControlMessage> ContentStore::get_control(
   }
 }
 
+PreparedControlPtr ContentStore::get_control_shared(std::uint64_t id) const {
+  auto hit = prepared_.find(id);
+  if (hit != prepared_.end()) return hit->second;
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return nullptr;
+  try {
+    auto prepared = PreparedControl::make(wire::decode_control(it->second));
+    prepared_.emplace(id, prepared);
+    return prepared;
+  } catch (const wire::WireError&) {
+    return nullptr;
+  }
+}
+
 const std::string* ContentStore::get_bytes(std::uint64_t id) const {
   auto it = blobs_.find(id);
   return it == blobs_.end() ? nullptr : &it->second;
 }
 
-bool ContentStore::remove(std::uint64_t id) { return blobs_.erase(id) > 0; }
+bool ContentStore::remove(std::uint64_t id) {
+  prepared_.erase(id);
+  return blobs_.erase(id) > 0;
+}
 
 }  // namespace oddci::core

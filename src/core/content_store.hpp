@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "core/messages.hpp"
+#include "core/wire.hpp"
+#include "obs/metrics.hpp"
 
 /// Logical contents of carousel files.
 ///
@@ -26,6 +28,13 @@ class ContentStore {
   [[nodiscard]] std::optional<ControlMessage> get_control(
       std::uint64_t id) const;
 
+  /// Shared-decode fast path: the first reader of a content id pays the
+  /// decode + canonicalization + digest; every later reader of the same id
+  /// gets the same immutable `PreparedControl`. This is what lets a
+  /// broadcast to N receivers decode once instead of N times. Returns
+  /// nullptr if absent or unparsable.
+  [[nodiscard]] PreparedControlPtr get_control_shared(std::uint64_t id) const;
+
   /// Raw stored bytes (diagnostics/tests); nullptr if absent.
   [[nodiscard]] const std::string* get_bytes(std::uint64_t id) const;
 
@@ -35,8 +44,21 @@ class ContentStore {
 
   [[nodiscard]] std::size_t size() const { return blobs_.size(); }
 
+  /// Times the shared encode buffer was reused with warm capacity
+  /// (i.e. put_control calls after the first).
+  [[nodiscard]] const obs::Counter& writer_reuses() const {
+    return writer_reuses_;
+  }
+
  private:
   std::unordered_map<std::uint64_t, std::string> blobs_;
+  /// Lazily-populated decode memo for get_control_shared; entries die with
+  /// their blob (remove()) so a re-used id can never serve stale bytes.
+  mutable std::unordered_map<std::uint64_t, PreparedControlPtr> prepared_;
+  /// Encode buffer reused across put_control calls (capacity persists).
+  wire::Writer writer_;
+  bool writer_used_ = false;
+  obs::Counter writer_reuses_;
   std::uint64_t next_id_ = 1;
 };
 

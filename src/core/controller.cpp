@@ -283,17 +283,46 @@ obs::TraceContext Controller::trace_context(InstanceId id) const {
   return it == instances_.end() ? obs::TraceContext{} : it->second.trace;
 }
 
+std::pair<Controller::PnaRecord&, bool> Controller::ensure_pna(
+    std::uint64_t id) {
+  if (id < kMaxDensePnas) {
+    if (id >= pna_dense_.size()) pna_dense_.resize(id + 1);
+    PnaRecord& rec = pna_dense_[id];
+    const bool fresh = !rec.known;
+    if (fresh) {
+      rec.known = true;
+      ++pnas_known_;
+    }
+    return {rec, fresh};
+  }
+  const auto [it, fresh] = pna_overflow_.try_emplace(id);
+  if (fresh) {
+    it->second.known = true;
+    ++pnas_known_;
+  }
+  return {it->second, fresh};
+}
+
+const Controller::PnaRecord* Controller::find_pna(std::uint64_t id) const {
+  if (id < kMaxDensePnas) {
+    if (id >= pna_dense_.size() || !pna_dense_[id].known) return nullptr;
+    return &pna_dense_[id];
+  }
+  const auto it = pna_overflow_.find(id);
+  return it == pna_overflow_.end() ? nullptr : &it->second;
+}
+
 std::size_t Controller::idle_pool_estimate() const {
   const sim::SimTime horizon =
       sim::SimTime::from_seconds(default_heartbeat_.seconds() *
                                  options_.stale_factor);
   std::size_t count = 0;
-  for (const auto& [id, rec] : pnas_) {
+  for_each_pna([&](const PnaRecord& rec) {
     if (rec.state == PnaState::kIdle &&
         simulation_.now() - rec.last_seen <= horizon) {
       ++count;
     }
-  }
+  });
   return count;
 }
 
@@ -302,9 +331,9 @@ std::size_t Controller::known_pna_count() const {
       sim::SimTime::from_seconds(default_heartbeat_.seconds() *
                                  options_.stale_factor);
   std::size_t count = 0;
-  for (const auto& [id, rec] : pnas_) {
+  for_each_pna([&](const PnaRecord& rec) {
     if (simulation_.now() - rec.last_seen <= horizon) ++count;
-  }
+  });
   return count;
 }
 
@@ -325,7 +354,7 @@ void Controller::link_metrics(obs::MetricsRegistry& registry) const {
   registry.link_histogram("controller.join_latency_seconds", join_latency_);
   // O(1) incremental mirrors — safe to evaluate every snapshot/sample.
   registry.link_probe("controller.pnas_known", [this] {
-    return static_cast<double>(pnas_.size());
+    return static_cast<double>(pnas_known_);
   });
   registry.link_probe("controller.idle_known", [this] {
     return static_cast<double>(idle_known_);
@@ -388,64 +417,63 @@ void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
 void Controller::handle_status(std::uint64_t pna_id, PnaState state,
                                InstanceId instance, net::NodeId reply_to,
                                obs::TraceContext trace) {
-  const HeartbeatMessage hb(pna_id, state, instance, trace);
   const net::NodeId from = reply_to;
-  const auto [rec_it, first_report] = pnas_.try_emplace(hb.pna_id());
-  PnaRecord& rec = rec_it->second;
+  const auto [rec, first_report] = ensure_pna(pna_id);
   const PnaState old_state = rec.state;
   const InstanceId old_instance = rec.instance;
-  // idle_known_ mirrors "latest report was idle" without rescanning pnas_.
+  // idle_known_ mirrors "latest report was idle" without rescanning the
+  // PNA directory.
   if (first_report) {
-    if (hb.state() == PnaState::kIdle) ++idle_known_;
-  } else if (old_state == PnaState::kIdle && hb.state() != PnaState::kIdle) {
+    if (state == PnaState::kIdle) ++idle_known_;
+  } else if (old_state == PnaState::kIdle && state != PnaState::kIdle) {
     --idle_known_;
-  } else if (old_state != PnaState::kIdle && hb.state() == PnaState::kIdle) {
+  } else if (old_state != PnaState::kIdle && state == PnaState::kIdle) {
     ++idle_known_;
   }
-  rec.state = hb.state();
-  rec.instance = hb.instance();
+  rec.state = state;
+  rec.instance = instance;
   rec.last_seen = simulation_.now();
 
   // Membership bookkeeping: drop from the previous instance's sets if the
   // association changed, then (re)index under the reported state.
   if (old_instance != kNoInstance &&
-      (old_instance != hb.instance() || old_state != hb.state())) {
+      (old_instance != instance || old_state != state)) {
     auto it = instances_.find(old_instance);
     if (it != instances_.end()) {
-      it->second.joining.erase(hb.pna_id());
-      if (it->second.members.erase(hb.pna_id())) {
+      it->second.joining.erase(pna_id);
+      if (it->second.members.erase(pna_id)) {
         --members_total_;
         note_member_change(it->second);
       }
     }
   }
-  if (hb.instance() != kNoInstance) {
-    auto it = instances_.find(hb.instance());
+  if (instance != kNoInstance) {
+    auto it = instances_.find(instance);
     if (it != instances_.end()) {
       Instance& inst = it->second;
-      if (hb.state() == PnaState::kBusy) {
-        inst.joining.erase(hb.pna_id());
-        if (inst.members.insert(hb.pna_id()).second) {
+      if (state == PnaState::kBusy) {
+        inst.joining.erase(pna_id);
+        if (inst.members.insert(pna_id).second) {
           ++members_total_;
           join_latency_.record(
               (simulation_.now() - inst.last_wakeup_at).seconds());
           if (recorder_ != nullptr) {
             recorder_->emit(simulation_.now(),
                             obs::TraceEventKind::kMemberJoined,
-                            obs::TraceComponent::kController, hb.trace(),
-                            hb.pna_id(), hb.instance());
+                            obs::TraceComponent::kController, trace, pna_id,
+                            instance);
           }
           note_member_change(inst);
         }
-      } else if (hb.state() == PnaState::kJoining) {
-        inst.joining.insert(hb.pna_id());
+      } else if (state == PnaState::kJoining) {
+        inst.joining.insert(pna_id);
       }
     }
   }
 
   // Trimming: answer heartbeats of oversized instances with unicast resets.
-  if (hb.state() == PnaState::kBusy && hb.instance() != kNoInstance) {
-    auto it = instances_.find(hb.instance());
+  if (state == PnaState::kBusy && instance != kNoInstance) {
+    auto it = instances_.find(instance);
     if (it != instances_.end()) {
       Instance& inst = it->second;
       const bool over_target =
@@ -456,13 +484,13 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
         ++unicast_resets_;
         if (recorder_ != nullptr) {
           recorder_->emit(simulation_.now(), obs::TraceEventKind::kTrimReset,
-                          obs::TraceComponent::kController, hb.trace(),
-                          hb.pna_id(), hb.instance());
+                          obs::TraceComponent::kController, trace, pna_id,
+                          instance);
         }
         network_.send(node_id_, from,
                       std::make_shared<HeartbeatReplyMessage>(
-                          hb.instance(), HeartbeatCommand::kReset));
-        if (inst.members.erase(hb.pna_id())) {
+                          instance, HeartbeatCommand::kReset));
+        if (inst.members.erase(pna_id)) {
           --members_total_;
           note_member_change(inst);
         }
@@ -488,9 +516,8 @@ void Controller::monitor_tick() {
     const sim::SimTime horizon = staleness_horizon(inst);
     std::vector<std::uint64_t> stale;
     for (std::uint64_t member : inst.members) {
-      auto rec = pnas_.find(member);
-      if (rec == pnas_.end() ||
-          simulation_.now() - rec->second.last_seen > horizon) {
+      const PnaRecord* rec = find_pna(member);
+      if (rec == nullptr || simulation_.now() - rec->last_seen > horizon) {
         stale.push_back(member);
       }
     }
@@ -507,9 +534,8 @@ void Controller::monitor_tick() {
     if (!stale.empty()) note_member_change(inst);
     std::vector<std::uint64_t> stale_joining;
     for (std::uint64_t j : inst.joining) {
-      auto rec = pnas_.find(j);
-      if (rec == pnas_.end() ||
-          simulation_.now() - rec->second.last_seen > horizon) {
+      const PnaRecord* rec = find_pna(j);
+      if (rec == nullptr || simulation_.now() - rec->last_seen > horizon) {
         stale_joining.push_back(j);
       }
     }

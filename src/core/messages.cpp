@@ -29,4 +29,13 @@ bool ControlMessage::verify_with(broadcast::SigningKey key) const {
   return broadcast::verify(key, canonical_bytes(), signature);
 }
 
+std::shared_ptr<const PreparedControl> PreparedControl::make(
+    ControlMessage msg) {
+  auto prepared = std::make_shared<PreparedControl>();
+  prepared->message = std::move(msg);
+  prepared->canonical = prepared->message.canonical_bytes();
+  prepared->digest = broadcast::content_digest(prepared->canonical);
+  return prepared;
+}
+
 }  // namespace oddci::core

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "broadcast/signature.hpp"
+#include "broadcast/verify_cache.hpp"
 #include "net/message.hpp"
 #include "obs/flight_recorder.hpp"
 #include "sim/time.hpp"
@@ -70,6 +72,36 @@ struct ControlMessage {
   [[nodiscard]] bool verify_with(broadcast::SigningKey key) const;
 };
 
+/// A control message *prepared once per broadcast* instead of once per
+/// receiver: the decoded message plus its canonical signing bytes and
+/// their content digest, computed a single time when the configuration
+/// file is decoded. The carousel hands every tuned PNA the same immutable
+/// `shared_ptr<const PreparedControl>`, so a wakeup reaching 1M receivers
+/// costs one decode, one canonicalization, and (through `VerifyCache`)
+/// one signature hash — not 1M of each.
+struct PreparedControl {
+  ControlMessage message;
+  std::string canonical;      ///< message.canonical_bytes(), cached
+  std::uint64_t digest = 0;   ///< broadcast::content_digest(canonical)
+
+  /// Canonicalize + digest `msg` once.
+  [[nodiscard]] static std::shared_ptr<const PreparedControl> make(
+      ControlMessage msg);
+
+  /// Full verification (no memoization) against the cached canonical bytes.
+  [[nodiscard]] bool verify_with(broadcast::SigningKey key) const {
+    return broadcast::verify(key, canonical, message.signature);
+  }
+  /// Memoized verification: one keyed hash per distinct (message, key)
+  /// across all receivers sharing `cache`.
+  [[nodiscard]] bool verify_with(broadcast::SigningKey key,
+                                 broadcast::VerifyCache& cache) const {
+    return cache.verify(canonical, digest, key, message.signature);
+  }
+};
+
+using PreparedControlPtr = std::shared_ptr<const PreparedControl>;
+
 // ---------------------------------------------------------------------------
 // Direct-channel messages.
 // ---------------------------------------------------------------------------
@@ -110,6 +142,17 @@ class HeartbeatMessage final : public net::Message {
   [[nodiscard]] PnaState state() const { return state_; }
   [[nodiscard]] InstanceId instance() const { return instance_; }
   [[nodiscard]] obs::TraceContext trace() const { return trace_; }
+
+  /// Re-point an exclusively-owned message at a new report —
+  /// `net::MessagePool` recycling hook (called only when the pool holds
+  /// the sole reference).
+  void reset(std::uint64_t pna_id, PnaState state, InstanceId instance,
+             obs::TraceContext trace = {}) {
+    pna_id_ = pna_id;
+    state_ = state;
+    instance_ = instance;
+    trace_ = trace;
+  }
 
  private:
   std::uint64_t pna_id_;

@@ -5,8 +5,8 @@
 namespace oddci::core {
 
 PnaXlet::PnaXlet(const PnaEnvironment& environment, std::uint64_t seed)
-    : env_(environment), rng_(seed), alive_(std::make_shared<bool>(true)) {
-  if (env_.content_store == nullptr) {
+    : env_(&environment), rng_(seed), alive_(std::make_shared<bool>(true)) {
+  if (env_->content_store == nullptr) {
     throw std::invalid_argument("PnaXlet: null content store");
   }
 }
@@ -20,8 +20,8 @@ std::uint64_t PnaXlet::pna_id() const {
 obs::TraceContext PnaXlet::trace_emit(obs::TraceEventKind kind,
                                       obs::TraceContext parent,
                                       std::uint64_t arg) {
-  if (env_.recorder == nullptr) return {};
-  return env_.recorder->emit(context_->simulation().now(), kind,
+  if (env_->recorder == nullptr) return {};
+  return env_->recorder->emit(context_->simulation().now(), kind,
                              obs::TraceComponent::kPna, parent, pna_id(),
                              arg);
 }
@@ -82,17 +82,54 @@ void PnaXlet::on_carousel_update(const broadcast::CarouselSnapshot&) {
 }
 
 void PnaXlet::acquire_config() {
+  // Module-version dedupe (DSM-CC semantics): the launch signalling
+  // triggers two acquisition attempts for the same configuration
+  // generation — once from startXlet and once from the carousel-update
+  // notification. Real receivers keep assembling the module they are
+  // already reading and only restart on a module-version bump, so a
+  // generation we have handled — or are currently reading — is not read
+  // again. Skipping at issue time (not completion) matters at scale: a
+  // million agents launching at once would otherwise each hold two
+  // in-flight carousel reads for the length of a cycle.
+  if (const broadcast::CarouselSnapshot* on_air =
+          context_->current_carousel()) {
+    if (const broadcast::CarouselFile* announced =
+            on_air->find(env_->config_file)) {
+      if (announced->content_id == last_handled_content_ ||
+          announced->content_id == pending_read_content_) {
+        return;
+      }
+      pending_read_content_ = announced->content_id;
+    }
+  }
   std::weak_ptr<bool> alive = alive_;
   context_->read_carousel_file(
-      env_.config_file,
+      env_->config_file,
       [this, alive](bool ok, const broadcast::CarouselFile& file) {
         auto guard = alive.lock();
         if (!guard || !*guard || !started_) return;
-        if (!ok) return;
+        if (!ok) {
+          // Allow a retry of this generation (power/tune interrupted it).
+          pending_read_content_ = 0;
+          return;
+        }
+        // Completion-side belt-and-braces for readers that raced a
+        // generation change between issue and delivery.
+        if (file.content_id == last_handled_content_) return;
+        last_handled_content_ = file.content_id;
+        if (env_->verify_cache != nullptr) {
+          // Fast path: the population shares one immutable decoded message
+          // (canonical bytes + digest computed once per broadcast).
+          const PreparedControlPtr control =
+              env_->content_store->get_control_shared(file.content_id);
+          if (!control) return;
+          handle_control(*control);
+          return;
+        }
         // Decode the configuration file's wire bytes, as a real agent
         // parses the carousel module it assembled.
         const std::optional<ControlMessage> control =
-            env_.content_store->get_control(file.content_id);
+            env_->content_store->get_control(file.content_id);
         if (!control) return;
         handle_control(*control);
       });
@@ -100,13 +137,35 @@ void PnaXlet::acquire_config() {
 
 void PnaXlet::handle_control(const ControlMessage& message) {
   ++stats_.control_messages_seen;
-  if (env_.counters != nullptr) ++env_.counters->control_messages_seen;
+  if (env_->counters != nullptr) ++env_->counters->control_messages_seen;
   // Accept only messages signed by the associated Controller.
-  if (!message.verify_with(env_.trusted_key)) {
+  if (!message.verify_with(env_->trusted_key)) {
     ++stats_.signature_failures;
-    if (env_.counters != nullptr) ++env_.counters->signature_failures;
+    if (env_->counters != nullptr) ++env_->counters->signature_failures;
     return;
   }
+  dispatch_control(message);
+}
+
+void PnaXlet::handle_control(const PreparedControl& prepared) {
+  ++stats_.control_messages_seen;
+  if (env_->counters != nullptr) ++env_->counters->control_messages_seen;
+  // Same acceptance rule as the slow path, resolved against the shared
+  // canonical bytes — memoized across the population when a cache is
+  // attached, so the broadcast hashes once instead of once per agent.
+  const bool accepted =
+      env_->verify_cache != nullptr
+          ? prepared.verify_with(env_->trusted_key, *env_->verify_cache)
+          : prepared.verify_with(env_->trusted_key);
+  if (!accepted) {
+    ++stats_.signature_failures;
+    if (env_->counters != nullptr) ++env_->counters->signature_failures;
+    return;
+  }
+  dispatch_control(prepared.message);
+}
+
+void PnaXlet::dispatch_control(const ControlMessage& message) {
   control_ctx_ = trace_emit(obs::TraceEventKind::kControlReceived,
                             message.trace, message.instance);
   // The control message tells the agent where its Controller lives; start
@@ -128,7 +187,7 @@ void PnaXlet::handle_wakeup(const ControlMessage& message) {
   // Busy PNAs simply drop wakeup messages.
   if (dve_ || pending_join_) {
     ++stats_.wakeups_dropped_busy;
-    if (env_.counters != nullptr) ++env_.counters->wakeups_dropped_busy;
+    if (env_->counters != nullptr) ++env_->counters->wakeups_dropped_busy;
     trace_emit(obs::TraceEventKind::kWakeupDroppedBusy, control_ctx_,
                message.instance);
     return;
@@ -142,8 +201,8 @@ void PnaXlet::handle_wakeup(const ControlMessage& message) {
       (req.device_kind.empty() || req.device_kind == profile.name);
   if (!compliant) {
     ++stats_.wakeups_rejected_requirements;
-    if (env_.counters != nullptr) {
-      ++env_.counters->wakeups_rejected_requirements;
+    if (env_->counters != nullptr) {
+      ++env_->counters->wakeups_rejected_requirements;
     }
     trace_emit(obs::TraceEventKind::kWakeupRejectedRequirements,
                control_ctx_, message.instance);
@@ -153,8 +212,8 @@ void PnaXlet::handle_wakeup(const ControlMessage& message) {
   // message (instance-size control).
   if (!rng_.bernoulli(message.probability)) {
     ++stats_.wakeups_dropped_probability;
-    if (env_.counters != nullptr) {
-      ++env_.counters->wakeups_dropped_probability;
+    if (env_->counters != nullptr) {
+      ++env_->counters->wakeups_dropped_probability;
     }
     trace_emit(obs::TraceEventKind::kWakeupDroppedProbability, control_ctx_,
                message.instance);
@@ -172,7 +231,7 @@ void PnaXlet::handle_reset(const ControlMessage& message) {
        (pending_join_ && *pending_join_ == message.instance));
   if (!match) return;
   ++stats_.resets;
-  if (env_.counters != nullptr) ++env_.counters->resets;
+  if (env_->counters != nullptr) ++env_->counters->resets;
   leave_instance();
 }
 
@@ -209,9 +268,9 @@ void PnaXlet::join_instance(const ControlMessage& message) {
           return;
         }
         ++stats_.joins;
-        if (env_.counters != nullptr) ++env_.counters->joins;
-        if (env_.acquire_latency != nullptr) {
-          env_.acquire_latency->record(
+        if (env_->counters != nullptr) ++env_->counters->joins;
+        if (env_->acquire_latency != nullptr) {
+          env_->acquire_latency->record(
               (context_->simulation().now() - join_started_at_).seconds());
         }
         join_ctx_ = trace_emit(obs::TraceEventKind::kImageAcquired, join_ctx_,
@@ -278,7 +337,7 @@ void PnaXlet::ensure_heartbeat(const ControlMessage& message) {
 void PnaXlet::send_heartbeat() {
   if (!started_ || heartbeat_target_ == net::kInvalidNode) return;
   ++stats_.heartbeats_sent;
-  if (env_.counters != nullptr) ++env_.counters->heartbeats_sent;
+  if (env_->counters != nullptr) ++env_->counters->heartbeats_sent;
   // Heartbeats chain off the join in progress when there is one (they are
   // what confirms membership) and off the last control receipt otherwise.
   const obs::TraceContext parent =
@@ -286,9 +345,15 @@ void PnaXlet::send_heartbeat() {
   const obs::TraceContext ctx =
       trace_emit(obs::TraceEventKind::kHeartbeatSent, parent,
                  static_cast<std::uint64_t>(state()));
-  context_->receiver().send(heartbeat_target_,
-                            std::make_shared<HeartbeatMessage>(
-                                pna_id(), state(), instance(), ctx));
+  // Pooled path recycles an exclusively-held message (object + control
+  // block) instead of allocating one per beat.
+  net::MessagePtr hb =
+      env_->heartbeat_pool != nullptr
+          ? net::MessagePtr(env_->heartbeat_pool->acquire(pna_id(), state(),
+                                                         instance(), ctx))
+          : std::make_shared<HeartbeatMessage>(pna_id(), state(), instance(),
+                                               ctx);
+  context_->receiver().send(heartbeat_target_, std::move(hb));
 }
 
 void PnaXlet::request_task() {
@@ -303,7 +368,7 @@ void PnaXlet::schedule_task_poll() {
   // One-shot wheel timer: poll re-arm is O(1) regardless of how many PNAs
   // are polling, instead of churning the main event heap.
   context_->simulation().schedule_timer_in(
-      env_.task_poll_interval,
+      env_->task_poll_interval,
       [this, alive] {
         auto guard = alive.lock();
         if (!guard || !*guard || !started_) return;
@@ -325,7 +390,7 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
                              *pending_join_ == reply.instance()));
         if (match) {
           ++stats_.resets;
-          if (env_.counters != nullptr) ++env_.counters->resets;
+          if (env_->counters != nullptr) ++env_->counters->resets;
           leave_instance();
         }
       }
@@ -347,7 +412,7 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
             running_task_.reset();
             if (!dve_ || dve_->instance() != instance) return;
             ++stats_.tasks_completed;
-            if (env_.counters != nullptr) ++env_.counters->tasks_completed;
+            if (env_->counters != nullptr) ++env_->counters->tasks_completed;
             dve_->record_task_completed();
             const obs::TraceContext done =
                 trace_emit(obs::TraceEventKind::kTaskExecuted,

@@ -10,6 +10,7 @@
 #include "core/messages.hpp"
 #include "dtv/receiver.hpp"
 #include "dtv/xlet.hpp"
+#include "net/message_pool.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
@@ -42,6 +43,15 @@ struct PnaEnvironment {
   /// off). Agents emit receipt/decision/heartbeat/task events and carry
   /// contexts onto outgoing messages.
   obs::FlightRecorder* recorder = nullptr;
+
+  // --- fan-out fast path (both nullable: agents fall back to the
+  // per-message decode/verify/allocate slow path) ---------------------------
+
+  /// Population-shared memoized signature verification: with N agents
+  /// sharing one cache, a broadcast costs one keyed hash, not N.
+  broadcast::VerifyCache* verify_cache = nullptr;
+  /// Population-shared heartbeat recycling pool (see net::MessagePool).
+  net::MessagePool<HeartbeatMessage>* heartbeat_pool = nullptr;
 };
 
 struct PnaStats {
@@ -58,6 +68,9 @@ struct PnaStats {
 
 class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
  public:
+  /// `environment` is shared by reference across the whole population and
+  /// must outlive the Xlet (it is deployment-wide state: one copy per
+  /// system, not one per agent).
   PnaXlet(const PnaEnvironment& environment, std::uint64_t seed);
   ~PnaXlet() override;
 
@@ -89,6 +102,11 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
  private:
   void acquire_config();
   void handle_control(const ControlMessage& message);
+  /// Fast-path entry: verification resolves against the shared
+  /// canonical bytes/digest (memoized when a VerifyCache is attached).
+  void handle_control(const PreparedControl& prepared);
+  /// Post-verification dispatch common to both entry points.
+  void dispatch_control(const ControlMessage& message);
   void handle_wakeup(const ControlMessage& message);
   void handle_reset(const ControlMessage& message);
   void join_instance(const ControlMessage& message);
@@ -105,7 +123,9 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   obs::TraceContext trace_emit(obs::TraceEventKind kind,
                                obs::TraceContext parent, std::uint64_t arg);
 
-  PnaEnvironment env_;
+  /// Deployment-wide environment, shared (not copied) population-wide: at
+  /// 1M agents an embedded copy is ~100 MB of identical bytes.
+  const PnaEnvironment* env_;
   util::Random rng_;
   dtv::XletContext* context_ = nullptr;
   bool started_ = false;
@@ -127,6 +147,11 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   sim::PeriodicTask heartbeat_;
   bool heartbeat_running_ = false;
   sim::SimTime heartbeat_interval_;
+  /// Content ids of the last configuration handled and of the read in
+  /// flight: the same broadcast generation announced twice (launch
+  /// signalling) is acquired and processed once.
+  std::uint64_t last_handled_content_ = 0;
+  std::uint64_t pending_read_content_ = 0;
 
   std::optional<dtv::Receiver::ExecToken> running_exec_;
   /// Task index currently executing (for abort notification on reset).

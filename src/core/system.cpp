@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "broadcast/transport_stream.hpp"
@@ -128,6 +129,10 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
       aggregators_.push_back(std::make_unique<HeartbeatAggregator>(
           *simulation_, *network_, controller_->node_id(), server_link,
           aopts));
+      // Agents pick aggregators[pna_id % k], so aggregator `a` only ever
+      // hears ids congruent to a (mod k) — declare that shard so its
+      // window is a dense vector instead of a hash map.
+      aggregators_.back()->set_shard(config_.aggregators, a);
       aggregator_nodes.push_back(aggregators_.back()->node_id());
     }
     controller_->set_aggregators(std::move(aggregator_nodes));
@@ -143,6 +148,19 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   pna_env_.content_store = store_.get();
   pna_env_.trusted_key = key_;
   pna_env_.task_poll_interval = config_.task_poll_interval;
+  if (config_.fanout_fast_path) {
+    verify_cache_ = std::make_unique<broadcast::VerifyCache>();
+    // The ring must outlast the in-flight window or acquires find their
+    // slot still referenced and fall back to allocation: heartbeats live
+    // ~tens of milliseconds (delivery + aggregator handling), so size the
+    // lap time well past that at population beat rates.
+    const std::size_t pool_slots =
+        std::clamp<std::size_t>(config_.receivers / 8, 4096, 1u << 17);
+    heartbeat_pool_ =
+        std::make_unique<net::MessagePool<HeartbeatMessage>>(pool_slots);
+    pna_env_.verify_cache = verify_cache_.get();
+    pna_env_.heartbeat_pool = heartbeat_pool_.get();
+  }
 
   const net::LinkSpec stb_link{config_.delta, config_.delta,
                                config_.receiver_latency};
@@ -204,6 +222,14 @@ void OddciSystem::wire_observability() {
   broadcast_counters_.link(*registry_);
   for (auto& channel : channels_) {
     channel->set_counters(&broadcast_counters_);
+  }
+
+  // Fast-path effectiveness counters — registered only when the fast path
+  // exists, so fast-path-off snapshots carry no phantom zero cells.
+  if (verify_cache_) verify_cache_->link_metrics(*registry_);
+  if (heartbeat_pool_) heartbeat_pool_->link_metrics(*registry_, "heartbeat");
+  if (config_.fanout_fast_path) {
+    registry_->link_counter("wire.writer_reuse", store_->writer_reuses());
   }
 
   if (config_.obs.trace) {

@@ -87,6 +87,14 @@ struct SystemConfig {
   std::optional<ChurnOptions> churn;  ///< nullopt = static population
   std::uint64_t seed = 42;
 
+  /// Broadcast fan-out fast path: population-shared decoded control
+  /// messages with digest-memoized signature verification (one keyed hash
+  /// per broadcast instead of one per receiver) and pooled heartbeat
+  /// messages (zero steady-state allocation). Off = every agent decodes
+  /// and verifies independently — the pre-fast-path behaviour, kept as
+  /// the A/B baseline for benches and byte-identical determinism tests.
+  bool fanout_fast_path = true;
+
   /// Observability. Instrumentation counters are always live (they are
   /// plain increments); this controls the registry/sampler/tracer harness.
   struct ObsOptions {
@@ -191,6 +199,16 @@ class OddciSystem {
     return recorder_.get();
   }
 
+  /// Fan-out fast-path components; nullptr when
+  /// SystemConfig::fanout_fast_path is false.
+  [[nodiscard]] const broadcast::VerifyCache* verify_cache() const {
+    return verify_cache_.get();
+  }
+  [[nodiscard]] const net::MessagePool<HeartbeatMessage>* heartbeat_pool()
+      const {
+    return heartbeat_pool_.get();
+  }
+
   /// Number of PNAs currently busy (joined or joining an instance).
   [[nodiscard]] std::size_t busy_pna_count() const;
 
@@ -208,6 +226,10 @@ class OddciSystem {
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<broadcast::BroadcastMedium>> channels_;
   std::unique_ptr<ContentStore> store_;
+  /// Fast-path components (only with config_.fanout_fast_path); declared
+  /// before the receivers so they outlive every agent holding a pointer.
+  std::unique_ptr<broadcast::VerifyCache> verify_cache_;
+  std::unique_ptr<net::MessagePool<HeartbeatMessage>> heartbeat_pool_;
   std::unique_ptr<Controller> controller_;
   std::vector<std::unique_ptr<HeartbeatAggregator>> aggregators_;
   std::unique_ptr<Provider> provider_;

@@ -111,6 +111,11 @@ constexpr std::uint32_t kControlMagic = 0x0DDC1C7E;
 
 std::string encode(const ControlMessage& m) {
   Writer w;
+  encode_into(m, w);
+  return w.take();
+}
+
+void encode_into(const ControlMessage& m, Writer& w) {
   w.u32(kControlMagic);
   w.u8(static_cast<std::uint8_t>(m.type));
   w.u64(m.instance);
@@ -131,7 +136,6 @@ std::string encode(const ControlMessage& m) {
   w.u64(m.trace.trace_id);
   w.u64(m.trace.parent_span);
   w.u64(m.signature);
-  return w.take();
 }
 
 ControlMessage decode_control(std::string_view bytes) {
@@ -178,6 +182,11 @@ ControlMessage decode_control(std::string_view bytes) {
 
 std::string encode(const net::Message& message) {
   Writer w;
+  encode_into(message, w);
+  return w.take();
+}
+
+void encode_into(const net::Message& message, Writer& w) {
   w.u8(static_cast<std::uint8_t>(message.tag()));
   switch (message.tag()) {
     case kTagHeartbeat: {
@@ -251,7 +260,6 @@ std::string encode(const net::Message& message) {
     default:
       throw std::invalid_argument("wire::encode: tag has no wire format");
   }
-  return w.take();
 }
 
 namespace {

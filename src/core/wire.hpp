@@ -34,6 +34,15 @@ class Writer {
   [[nodiscard]] const std::string& bytes() const { return out_; }
   [[nodiscard]] std::string take() { return std::move(out_); }
 
+  /// Discard contents but keep the allocated capacity: a Writer cleared
+  /// between encodes re-appends into its old buffer, so steady-state
+  /// encoding is allocation-free once the high-water mark is reached.
+  void clear() noexcept { out_.clear(); }
+  void reserve(std::size_t n) { out_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return out_.capacity();
+  }
+
  private:
   std::string out_;
 };
@@ -66,6 +75,10 @@ class Reader {
 /// configuration file.
 [[nodiscard]] std::string encode(const ControlMessage& message);
 
+/// Append the encoding to `w` (callers clear() the Writer between messages
+/// to reuse its buffer — the allocation-free hot path).
+void encode_into(const ControlMessage& message, Writer& w);
+
 /// Parse a configuration file. Throws WireError on truncation, trailing
 /// garbage, or unknown control type. Signature validity is NOT checked
 /// here — the PNA verifies it separately against its trusted key.
@@ -77,6 +90,9 @@ class Reader {
 /// Throws std::invalid_argument for tags without a wire format (e.g. the
 /// simulation-only BlobMessage).
 [[nodiscard]] std::string encode(const net::Message& message);
+
+/// Append the encoding to `w` (reusable-buffer variant of encode()).
+void encode_into(const net::Message& message, Writer& w);
 
 /// Parse a direct-channel message. Throws WireError on malformed input.
 [[nodiscard]] net::MessagePtr decode_message(std::string_view bytes);

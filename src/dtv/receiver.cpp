@@ -8,6 +8,12 @@ namespace oddci::dtv {
 
 sim::Simulation& XletContext::simulation() { return receiver_->simulation(); }
 
+const broadcast::CarouselSnapshot* XletContext::current_carousel() const {
+  if (!receiver_->powered()) return nullptr;
+  const broadcast::BroadcastMedium* channel = receiver_->tuned_channel();
+  return channel != nullptr ? &channel->current() : nullptr;
+}
+
 void XletContext::read_carousel_file(
     const std::string& name,
     std::function<void(bool, broadcast::CarouselFile)> on_done) {

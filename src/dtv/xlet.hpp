@@ -36,6 +36,11 @@ class XletContext {
   [[nodiscard]] Receiver& receiver() { return *receiver_; }
   [[nodiscard]] sim::Simulation& simulation();
 
+  /// What is currently on air on the tuned channel (nullptr when the
+  /// receiver is unpowered or untuned). Lets an Xlet inspect signalling
+  /// (names, versions, content ids) without paying a carousel read.
+  [[nodiscard]] const broadcast::CarouselSnapshot* current_carousel() const;
+
   /// Asynchronously acquire a file from the tuned channel's carousel.
   /// The callback fires when the file has been fully received (respecting
   /// the carousel cycle), with `ok == false` if the file is not on air or

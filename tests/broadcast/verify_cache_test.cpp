@@ -1,0 +1,144 @@
+// Security semantics of the verify-once fast path. The cache must be a
+// pure memoization of broadcast::verify — never an amplifier: a tampered
+// payload that shares (or forges) a cached digest still fails, a rotated
+// key never reuses a stale verdict, and a unique-message flood cannot grow
+// the table past its capacity.
+
+#include "broadcast/verify_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "broadcast/signature.hpp"
+
+namespace oddci::broadcast {
+namespace {
+
+TEST(VerifyCache, FirstLookupMissesThenHits) {
+  VerifyCache cache;
+  const SigningKey key = 0xFEEDFACE;
+  const std::string content = "wakeup instance 7";
+  const Signature sig = sign(key, content);
+
+  EXPECT_TRUE(cache.verify(content, key, sig));
+  EXPECT_EQ(cache.misses().value(), 1u);
+  EXPECT_EQ(cache.hits().value(), 0u);
+
+  // A population of receivers asking the same question costs no further
+  // signature hashes.
+  for (int i = 0; i < 99; ++i) {
+    EXPECT_TRUE(cache.verify(content, key, sig));
+  }
+  EXPECT_EQ(cache.misses().value(), 1u);
+  EXPECT_EQ(cache.hits().value(), 99u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VerifyCache, BitFlippedPayloadIsRejected) {
+  VerifyCache cache;
+  const SigningKey key = 0x1234;
+  const std::string content = "control message canonical bytes";
+  const Signature sig = sign(key, content);
+  ASSERT_TRUE(cache.verify(content, key, sig));
+
+  std::string tampered = content;
+  tampered[4] ^= 0x01;
+  EXPECT_FALSE(cache.verify(tampered, key, sig));
+}
+
+TEST(VerifyCache, ForcedSiblingDigestStillRejectsTamperedBytes) {
+  // Adversarial case: a tampered payload presented with the *cached*
+  // digest (as if the attacker found a digest collision). The hit path
+  // must re-check byte identity, fall through to full verification, and
+  // reject — a colliding digest alone can never surface a cached verdict.
+  VerifyCache cache;
+  const SigningKey key = 0xABCD;
+  const std::string content = "authentic payload";
+  const Signature sig = sign(key, content);
+  const std::uint64_t digest = content_digest(content);
+  ASSERT_TRUE(cache.verify(content, digest, key, sig));
+  ASSERT_EQ(cache.misses().value(), 1u);
+
+  std::string tampered = content;
+  tampered[0] ^= 0x80;
+  // Same digest, same key, same claimed signature — different bytes.
+  EXPECT_FALSE(cache.verify(tampered, digest, key, sig));
+  // It could not have been served from the cache.
+  EXPECT_EQ(cache.hits().value(), 0u);
+  EXPECT_EQ(cache.misses().value(), 2u);
+
+  // And the authentic entry is still served correctly afterwards.
+  EXPECT_TRUE(cache.verify(content, digest, key, sig));
+  EXPECT_EQ(cache.hits().value(), 1u);
+}
+
+TEST(VerifyCache, KeyRotationInvalidatesPriorVerdicts) {
+  VerifyCache cache;
+  const SigningKey old_key = 111;
+  const SigningKey new_key = 222;
+  const std::string content = "signed under the old key";
+  const Signature old_sig = sign(old_key, content);
+
+  ASSERT_TRUE(cache.verify(content, old_key, old_sig));
+  // Same bytes and signature under a rotated trusted key: the cached
+  // positive verdict must not apply.
+  EXPECT_FALSE(cache.verify(content, new_key, old_sig));
+  // Re-signed under the new key verifies on its own entry.
+  EXPECT_TRUE(cache.verify(content, new_key, sign(new_key, content)));
+  // The old entry's verdict was never reused for either query.
+  EXPECT_EQ(cache.misses().value(), 3u);
+}
+
+TEST(VerifyCache, NegativeVerdictsAreMemoizedToo) {
+  VerifyCache cache;
+  const SigningKey key = 7;
+  const std::string content = "forged broadcast";
+  const Signature bogus = 0xDEADBEEF;
+
+  EXPECT_FALSE(cache.verify(content, key, bogus));
+  EXPECT_FALSE(cache.verify(content, key, bogus));
+  // The forgery cost the population one hash, not two.
+  EXPECT_EQ(cache.misses().value(), 1u);
+  EXPECT_EQ(cache.hits().value(), 1u);
+}
+
+TEST(VerifyCache, BoundedUnderUniqueMessageFlood) {
+  VerifyCache cache(8);
+  const SigningKey key = 42;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::string content = "unique message " + std::to_string(i);
+    EXPECT_TRUE(cache.verify(content, key, sign(key, content)));
+    ASSERT_LE(cache.size(), 8u);
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.capacity(), 8u);
+  EXPECT_EQ(cache.misses().value(), 10'000u);
+}
+
+TEST(VerifyCache, FifoEvictionDropsOldestEntry) {
+  VerifyCache cache(2);
+  const SigningKey key = 9;
+  const std::string a = "message a";
+  const std::string b = "message b";
+  const std::string c = "message c";
+  ASSERT_TRUE(cache.verify(a, key, sign(key, a)));
+  ASSERT_TRUE(cache.verify(b, key, sign(key, b)));
+  ASSERT_TRUE(cache.verify(c, key, sign(key, c)));  // evicts a
+
+  EXPECT_TRUE(cache.verify(b, key, sign(key, b)));  // still cached
+  EXPECT_EQ(cache.hits().value(), 1u);
+  EXPECT_TRUE(cache.verify(a, key, sign(key, a)));  // re-verified
+  EXPECT_EQ(cache.misses().value(), 4u);
+}
+
+TEST(VerifyCache, ZeroCapacityClampsToOne) {
+  VerifyCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  const SigningKey key = 3;
+  EXPECT_TRUE(cache.verify("x", key, sign(key, "x")));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace oddci::broadcast

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "broadcast/signature.hpp"
 #include "core/wire.hpp"
 
 namespace oddci::core {
@@ -40,6 +41,51 @@ TEST(ContentStore, UnknownIdReturnsNullopt) {
   ContentStore store;
   EXPECT_FALSE(store.get_control(42).has_value());
   EXPECT_EQ(store.get_bytes(42), nullptr);
+  EXPECT_EQ(store.get_control_shared(42), nullptr);
+}
+
+TEST(ContentStore, SharedControlIsDecodedOnceAndPrepared) {
+  ContentStore store;
+  ControlMessage m;
+  m.type = ControlType::kWakeup;
+  m.instance = 9;
+  m.sign_with(0xAB);
+  const auto id = store.put_control(m);
+
+  const auto prepared = store.get_control_shared(id);
+  ASSERT_NE(prepared, nullptr);
+  EXPECT_EQ(prepared->message.instance, 9u);
+  // Canonical bytes and digest were computed once, at preparation time.
+  EXPECT_EQ(prepared->canonical, m.canonical_bytes());
+  EXPECT_EQ(prepared->digest, broadcast::content_digest(prepared->canonical));
+  EXPECT_TRUE(prepared->verify_with(0xAB));
+  EXPECT_FALSE(prepared->verify_with(0xCD));
+  // Every subsequent reader shares the same decoded object: the memo turns
+  // per-receiver decodes into one decode per broadcast.
+  EXPECT_EQ(store.get_control_shared(id).get(), prepared.get());
+}
+
+TEST(ContentStore, EncoderWriterIsReusedAcrossPuts) {
+  ContentStore store;
+  ControlMessage m;
+  m.instance = 1;
+  const auto a = store.put_control(m);
+  EXPECT_EQ(store.writer_reuses().value(), 0u);  // first encode allocates
+  m.instance = 2;
+  const auto b = store.put_control(m);
+  EXPECT_EQ(store.writer_reuses().value(), 1u);
+  // Reuse never corrupts the stored bytes.
+  EXPECT_EQ(store.get_control(a)->instance, 1u);
+  EXPECT_EQ(store.get_control(b)->instance, 2u);
+}
+
+TEST(ContentStore, RemoveDropsPreparedMemo) {
+  ContentStore store;
+  ControlMessage m;
+  const auto id = store.put_control(m);
+  ASSERT_NE(store.get_control_shared(id), nullptr);
+  EXPECT_TRUE(store.remove(id));
+  EXPECT_EQ(store.get_control_shared(id), nullptr);
 }
 
 TEST(ContentStore, StoredCopyIsIndependent) {

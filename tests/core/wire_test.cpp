@@ -85,6 +85,52 @@ TEST_P(ControlRoundTrip, EncodeDecodePreservesEverything) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ControlRoundTrip,
                          ::testing::Range<std::uint64_t>(1, 26));
 
+// Property: a reused (clear()'d) Writer produces byte-identical encodings
+// to a fresh one — the allocation-free hot path can never change the wire
+// format, and the retained buffer never leaks bytes between messages.
+class ReusedWriterRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReusedWriterRoundTrip, ControlEncodingsMatchFreshWriter) {
+  util::Random rng(GetParam() + 1000);
+  Writer reused;
+  for (int i = 0; i < 8; ++i) {
+    const ControlMessage original = sample_control(rng);
+    reused.clear();
+    encode_into(original, reused);
+    EXPECT_EQ(reused.bytes(), encode(original));
+    const ControlMessage decoded = decode_control(reused.bytes());
+    EXPECT_TRUE(control_equal(original, decoded));
+    EXPECT_TRUE(decoded.verify_with(0xFEED));
+  }
+  // clear() kept the allocation alive across iterations.
+  EXPECT_GT(reused.capacity(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReusedWriterRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(DirectWire, ReusedWriterMatchesFreshEncodings) {
+  Writer w;
+  const HeartbeatMessage hb(42, PnaState::kJoining, 7);
+  encode_into(hb, w);
+  EXPECT_EQ(w.bytes(), encode(hb));
+
+  // A longer message after a shorter one, and vice versa: clear() must
+  // reset the length, not just the cursor.
+  w.clear();
+  const AggregateReportMessage report(
+      {{1, PnaState::kIdle, 0}, {2, PnaState::kBusy, 9}});
+  encode_into(report, w);
+  EXPECT_EQ(w.bytes(), encode(report));
+
+  w.clear();
+  const NoTaskMessage none(7);
+  encode_into(none, w);
+  EXPECT_EQ(w.bytes(), encode(none));
+  EXPECT_EQ(decode_message(w.bytes())->tag(), kTagNoTask);
+}
+
 TEST(ControlWire, MalformedInputsThrow) {
   util::Random rng(9);
   const std::string good = encode(sample_control(rng));
