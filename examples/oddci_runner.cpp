@@ -74,6 +74,59 @@ core::SystemConfig system_config(const util::Config& cfg) {
     churn.in_use_probability = cfg.get_double("churn_in_use", 0.7);
     config.churn = churn;
   }
+
+  if (cfg.get_bool("fault", false)) {
+    fault::FaultOptions& f = config.fault;
+    f.enabled = true;
+    f.seed = static_cast<std::uint64_t>(cfg.get_int("fault_seed", 0));
+    f.message_loss = cfg.get_double("fault_loss", 0.0);
+    f.message_duplication = cfg.get_double("fault_duplication", 0.0);
+    f.latency_spike_probability =
+        cfg.get_double("fault_latency_spike_p", 0.0);
+    f.latency_spike_mean = sim::SimTime::from_seconds(
+        cfg.get_double("fault_latency_spike_s", 0.5));
+    f.partitions_per_hour = cfg.get_double("fault_partitions_ph", 0.0);
+    f.partition_duration = sim::SimTime::from_seconds(
+        cfg.get_double("fault_partition_s", 120.0));
+    const double controller_crash_s =
+        cfg.get_double("fault_controller_crash_s", 0.0);
+    if (controller_crash_s > 0.0) {
+      f.controller_crash_at.push_back(
+          sim::SimTime::from_seconds(controller_crash_s));
+    }
+    f.controller_downtime = sim::SimTime::from_seconds(
+        cfg.get_double("fault_controller_down_s", 30.0));
+    const double backend_crash_s =
+        cfg.get_double("fault_backend_crash_s", 0.0);
+    if (backend_crash_s > 0.0) {
+      f.backend_crash_at.push_back(
+          sim::SimTime::from_seconds(backend_crash_s));
+    }
+    f.backend_downtime = sim::SimTime::from_seconds(
+        cfg.get_double("fault_backend_down_s", 30.0));
+    f.aggregator_crashes_per_hour =
+        cfg.get_double("fault_aggregator_crash_ph", 0.0);
+    f.aggregator_downtime = sim::SimTime::from_seconds(
+        cfg.get_double("fault_aggregator_down_s", 60.0));
+    f.pna_crashes_per_hour = cfg.get_double("fault_pna_crash_ph", 0.0);
+    f.pna_hangs_per_hour = cfg.get_double("fault_pna_hang_ph", 0.0);
+    f.pna_hang_duration = sim::SimTime::from_seconds(
+        cfg.get_double("fault_pna_hang_s", 60.0));
+    f.control_corruptions_per_hour =
+        cfg.get_double("fault_corrupt_ph", 0.0);
+    f.corrupt_exposure = sim::SimTime::from_seconds(
+        cfg.get_double("fault_corrupt_exposure_s", 2.0));
+    f.result_retry_limit =
+        static_cast<int>(cfg.get_int("fault_result_retry_limit", 4));
+    f.result_retry_base = sim::SimTime::from_seconds(
+        cfg.get_double("fault_result_retry_s", 2.0));
+    f.request_watchdog = sim::SimTime::from_seconds(
+        cfg.get_double("fault_request_watchdog_s", 45.0));
+    f.task_retry_cap =
+        static_cast<int>(cfg.get_int("fault_task_retry_cap", 16));
+    f.aggregator_failover_timeout = sim::SimTime::from_seconds(
+        cfg.get_double("fault_failover_s", 60.0));
+  }
   return config;
 }
 
@@ -165,6 +218,37 @@ int main(int argc, char** argv) {
               << job.task_count() << " tasks, "
               << result.job.reassignments << " reassignments, "
               << result.controller.recompositions << " recompositions)\n";
+
+    if (const auto* injector = system.fault_injector()) {
+      const auto fs = injector->stats();
+      std::cout << "  faults: " << fs.messages_lost << " lost, "
+                << fs.messages_duplicated << " duplicated, "
+                << fs.latency_spikes << " spikes, "
+                << fs.partitions_started << " partitions, "
+                << fs.aggregator_crashes << " aggregator / "
+                << fs.controller_crashes << " controller / "
+                << fs.backend_crashes << " backend crashes, "
+                << fs.pna_crashes << " pna crashes, " << fs.pna_hangs
+                << " pna hangs, " << fs.control_corruptions
+                << " corruptions\n"
+                << "  recovery: " << result.job.duplicate_results
+                << " duplicates dropped, " << result.job.late_results
+                << " late, " << result.job.crash_requeues
+                << " crash requeues, " << result.job.tasks_failed
+                << " tasks failed\n";
+      // Invariant: a completed job received every task exactly once —
+      // duplicates and stragglers were deduped, nothing was lost or
+      // double-counted.
+      const std::uint64_t unique = result.job.results_received -
+                                   result.job.duplicate_results -
+                                   result.job.late_results;
+      if (result.completed && unique != job.task_count()) {
+        std::cerr << "INVARIANT VIOLATION: " << unique
+                  << " unique results for " << job.task_count()
+                  << " tasks\n";
+        return 3;
+      }
+    }
 
     // Optional machine-readable exports of the run's full MetricsSnapshot
     // (scenario keys `metrics_json` / `series_csv`, empty = off).

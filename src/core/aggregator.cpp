@@ -57,7 +57,19 @@ void HeartbeatAggregator::on_message(net::NodeId /*from*/,
 }
 
 void HeartbeatAggregator::flush() {
-  if (touched_.empty() && overflow_.empty()) return;
+  if (touched_.empty() && overflow_.empty()) {
+    if (!announcing_) return;
+    // Still cut off from our shard after a restart: repeat the recovery
+    // announcement until the Controller restores our routing slot (a lost
+    // announcement must not leave us failed over forever).
+    ++stats_.reports_sent;
+    network_.send(
+        node_id_, controller_,
+        std::make_shared<AggregateReportMessage>(
+            std::vector<AggregateReportMessage::Entry>{}));
+    return;
+  }
+  announcing_ = false;
   std::vector<AggregateReportMessage::Entry> entries;
   entries.reserve(window_size());
   // Dense slots flush in arrival order (deterministic), then overflow ids.
@@ -81,6 +93,37 @@ void HeartbeatAggregator::flush() {
   ++stats_.reports_sent;
   network_.send(node_id_, controller_,
                 std::make_shared<AggregateReportMessage>(std::move(entries)));
+}
+
+void HeartbeatAggregator::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  network_.unregister_endpoint(node_id_);
+  reporter_.cancel();
+  // The unreported window dies with the process; the PNAs it covered will
+  // be re-heard on their next heartbeat.
+  touched_.clear();
+  ++epoch_;
+  overflow_.clear();
+}
+
+void HeartbeatAggregator::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  network_.reattach_endpoint(node_id_, this);
+  reporter_ = sim::PeriodicTask(
+      simulation_, simulation_.now() + options_.report_interval,
+      options_.report_interval, [this] { flush(); });
+  // Announce recovery with an empty report: if the Controller failed this
+  // aggregator over while it was down, its shard is heartbeating the
+  // Controller directly and would never repopulate the window here — the
+  // announcement is what restores the routing slot.
+  announcing_ = true;
+  ++stats_.reports_sent;
+  network_.send(
+      node_id_, controller_,
+      std::make_shared<AggregateReportMessage>(
+          std::vector<AggregateReportMessage::Entry>{}));
 }
 
 void HeartbeatAggregator::link_metrics(obs::MetricsRegistry& registry,

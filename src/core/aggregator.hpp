@@ -71,6 +71,13 @@ class HeartbeatAggregator final : public net::Endpoint {
     recorder_ = recorder;
   }
 
+  /// Fault injection: drop off the network and lose the in-flight
+  /// consolidation window (heartbeats absorbed but not yet reported).
+  void crash();
+  /// Fault injection: come back up with an empty window; the next report
+  /// goes out a full interval from now.
+  void restart();
+
   /// Downstream messages (heartbeat replies from the Controller addressed
   /// to the aggregator) are not expected: the Controller replies directly
   /// to PNAs. Heartbeats are absorbed; everything else is ignored.
@@ -118,6 +125,11 @@ class HeartbeatAggregator final : public net::Endpoint {
   /// flush like the old hash window.
   std::unordered_map<std::uint64_t, Record> overflow_;
   sim::PeriodicTask reporter_;
+  bool crashed_ = false;
+  /// Restarted but no heartbeat heard yet: keep sending empty
+  /// announcement reports (any one of them un-fails us at the Controller;
+  /// individual reports may be lost on a faulty wire).
+  bool announcing_ = false;
   Stats stats_;
   obs::FlightRecorder* recorder_ = nullptr;
 };

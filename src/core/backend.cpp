@@ -36,6 +36,10 @@ void Backend::submit(const workload::Job& job, InstanceId instance,
   outstanding_.clear();
   done_.assign(job_.tasks.size(), false);
   done_count_ = 0;
+  retry_counts_.assign(job_.tasks.size(), 0);
+  failed_.assign(job_.tasks.size(), false);
+  failed_count_ = 0;
+  job_failed_ = false;
   completion_times_.clear();
   completion_times_.reserve(job_.tasks.size());
   for (std::uint64_t i = 0; i < job_.tasks.size(); ++i) {
@@ -47,11 +51,25 @@ void Backend::submit(const workload::Job& job, InstanceId instance,
   metrics_.task_count = job_.tasks.size();
 
   if (options_.task_timeout > sim::SimTime::zero()) {
-    sweeper_ = sim::PeriodicTask(
-        simulation_, simulation_.now() + options_.sweep_interval,
-        options_.sweep_interval, [this] { sweep_timeouts(); });
-    sweeper_running_ = true;
+    arm_sweeper();
   }
+}
+
+void Backend::arm_sweeper() {
+  sweeper_ = sim::PeriodicTask(
+      simulation_, simulation_.now() + options_.sweep_interval,
+      options_.sweep_interval, [this] { sweep_timeouts(); });
+  sweeper_running_ = true;
+}
+
+void Backend::set_task_timeout(sim::SimTime timeout) {
+  options_.task_timeout = timeout;
+  if (!active_ || crashed_) return;
+  if (sweeper_running_) {
+    sweeper_.cancel();
+    sweeper_running_ = false;
+  }
+  if (timeout > sim::SimTime::zero()) arm_sweeper();
 }
 
 void Backend::on_message(net::NodeId from, const net::MessagePtr& message) {
@@ -60,15 +78,14 @@ void Backend::on_message(net::NodeId from, const net::MessagePtr& message) {
       handle_request(from, static_cast<const TaskRequestMessage&>(*message));
       break;
     case kTagTaskResult:
-      handle_result(static_cast<const TaskResultMessage&>(*message));
+      handle_result(from, static_cast<const TaskResultMessage&>(*message));
       break;
     case kTagTaskAbort: {
       const auto& abort = static_cast<const TaskAbortMessage&>(*message);
       if (!active_ || abort.instance() != instance_) break;
       const std::uint64_t index = abort.task_index();
-      if (index < done_.size() && !done_[index] &&
+      if (index < done_.size() && !done_[index] && !failed_[index] &&
           outstanding_.erase(index) > 0) {
-        pending_.push_back(index);
         ++metrics_.aborts_received;
         if (tracer_ != nullptr) tracer_->discard("task.cycle", index);
         if (recorder_ != nullptr) {
@@ -77,6 +94,7 @@ void Backend::on_message(net::NodeId from, const net::MessagePtr& message) {
                           obs::TraceComponent::kBackend, abort.trace(),
                           abort.pna_id(), index);
         }
+        note_retry(index);
       }
       break;
     }
@@ -114,20 +132,31 @@ void Backend::handle_request(net::NodeId from,
                     task.reference_seconds, dispatch));
 }
 
-void Backend::handle_result(const TaskResultMessage& result) {
-  // Late results (after completion) still count as duplicates: re-dispatched
-  // or trim-raced tasks legitimately finish twice.
+void Backend::handle_result(net::NodeId from, const TaskResultMessage& result) {
   if (result.instance() != instance_) return;
   const std::uint64_t index = result.task_index();
   if (index >= done_.size()) return;
   ++metrics_.results_received;
-  if (done_[index]) {
+  // Ack before any dedup decision: the ack is idempotent, and a duplicate
+  // delivery's sender needs it just as much as the first one's.
+  if (options_.ack_results) {
+    network_.send(node_id_, from,
+                  std::make_shared<TaskResultAckMessage>(instance_, index));
+  }
+  if (!active_) {
+    // Straggler of the final re-dispatch wave: the job already ended.
+    ++metrics_.late_results;
+    return;
+  }
+  if (done_[index] || failed_[index]) {
+    // Re-dispatched, trim-raced, or duplicate-delivered tasks legitimately
+    // finish twice; only the first result is kept.
     ++metrics_.duplicate_results;
     return;
   }
-  if (!active_) return;
   done_[index] = true;
   ++done_count_;
+  task_retries_.record(static_cast<double>(retry_counts_[index]));
   const auto out_it = outstanding_.find(index);
   if (out_it != outstanding_.end()) {
     task_cycle_.record(
@@ -145,20 +174,50 @@ void Backend::handle_result(const TaskResultMessage& result) {
   completion_times_.push_back(
       (simulation_.now() - metrics_.submitted_at).seconds());
 
-  if (done_count_ == done_.size()) {
+  check_job_done();
+}
+
+void Backend::check_job_done() {
+  if (!active_ || done_count_ + failed_count_ != done_.size()) return;
+  if (failed_count_ == 0) {
     metrics_.completed_at = simulation_.now();
-    active_ = false;
-    if (sweeper_running_) {
-      sweeper_.cancel();
-      sweeper_running_ = false;
-    }
-    if (on_complete_) {
-      // Move out first: the callback may submit a new job.
-      auto cb = std::move(on_complete_);
-      on_complete_ = nullptr;
-      cb();
-    }
+  } else {
+    job_failed_ = true;
   }
+  active_ = false;
+  if (sweeper_running_) {
+    sweeper_.cancel();
+    sweeper_running_ = false;
+  }
+  if (on_complete_) {
+    // Move out first: the callback may submit a new job.
+    auto cb = std::move(on_complete_);
+    on_complete_ = nullptr;
+    cb();
+  }
+}
+
+bool Backend::note_retry(std::uint64_t index) {
+  if (options_.max_task_retries > 0 &&
+      retry_counts_[index] >=
+          static_cast<std::uint16_t>(options_.max_task_retries)) {
+    fail_task(index);
+    return false;
+  }
+  ++retry_counts_[index];
+  pending_.push_back(index);
+  return true;
+}
+
+void Backend::fail_task(std::uint64_t index) {
+  failed_[index] = true;
+  ++failed_count_;
+  ++metrics_.tasks_failed;
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(), obs::TraceEventKind::kTaskFailed,
+                    obs::TraceComponent::kBackend, job_trace_, 0, index);
+  }
+  check_job_done();
 }
 
 void Backend::sweep_timeouts() {
@@ -172,18 +231,71 @@ void Backend::sweep_timeouts() {
   for (std::uint64_t index : expired) {
     const obs::TraceContext dispatch = outstanding_.at(index).trace;
     outstanding_.erase(index);
-    pending_.push_back(index);
-    ++metrics_.reassignments;
     if (tracer_ != nullptr) tracer_->discard("task.cycle", index);
-    if (recorder_ != nullptr) {
-      recorder_->emit(simulation_.now(), obs::TraceEventKind::kTaskRequeued,
-                      obs::TraceComponent::kBackend, dispatch, 0, index);
+    if (note_retry(index)) {
+      ++metrics_.reassignments;
+      if (recorder_ != nullptr) {
+        recorder_->emit(simulation_.now(), obs::TraceEventKind::kTaskRequeued,
+                        obs::TraceComponent::kBackend, dispatch, 0, index);
+      }
     }
+  }
+}
+
+void Backend::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  network_.unregister_endpoint(node_id_);
+  if (sweeper_running_) {
+    sweeper_.cancel();
+    sweeper_running_ = false;
+  }
+  // The assignment table is in-memory state and dies with the process; the
+  // job ledger (done_/failed_/pending_/retry_counts_) is stable storage.
+  outstanding_.clear();
+}
+
+void Backend::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  network_.reattach_endpoint(node_id_, this);
+  if (active_) {
+    // Every task that was outstanding at crash time lost its assignment
+    // record; without it the timeout sweep can never reclaim the task, so
+    // re-queue them all now. Exempt from the retry cap: this is work the
+    // Backend lost, not work that keeps failing.
+    std::vector<bool> queued(done_.size(), false);
+    for (const std::uint64_t index : pending_) queued[index] = true;
+    for (std::uint64_t index = 0; index < done_.size(); ++index) {
+      if (done_[index] || failed_[index] || queued[index]) continue;
+      pending_.push_back(index);
+      ++metrics_.crash_requeues;
+      if (recorder_ != nullptr) {
+        recorder_->emit(simulation_.now(), obs::TraceEventKind::kTaskRequeued,
+                        obs::TraceComponent::kBackend, job_trace_, 0, index);
+      }
+    }
+    if (options_.task_timeout > sim::SimTime::zero()) arm_sweeper();
   }
 }
 
 void Backend::link_metrics(obs::MetricsRegistry& registry) const {
   registry.link_histogram("backend.task_cycle_seconds", task_cycle_);
+  registry.link_histogram("backend.task_retries", task_retries_);
+  registry.link_probe("backend.duplicate_results", [this] {
+    return static_cast<double>(metrics_.duplicate_results);
+  });
+  registry.link_probe("backend.late_results", [this] {
+    return static_cast<double>(metrics_.late_results);
+  });
+  if (options_.max_task_retries > 0) {
+    registry.link_probe("backend.tasks_failed", [this] {
+      return static_cast<double>(metrics_.tasks_failed);
+    });
+    registry.link_probe("backend.crash_requeues", [this] {
+      return static_cast<double>(metrics_.crash_requeues);
+    });
+  }
   registry.link_probe("backend.pending_tasks", [this] {
     return static_cast<double>(pending_.size());
   });

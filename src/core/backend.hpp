@@ -29,6 +29,17 @@ struct BackendOptions {
   sim::SimTime task_timeout = sim::SimTime::zero();
   /// Cadence of the timeout sweep (only when task_timeout > 0).
   sim::SimTime sweep_interval = sim::SimTime::from_seconds(15);
+  /// Per-task requeue cap: a task re-queued this many times is reported
+  /// failed (and the job with it) instead of silently re-dispatched
+  /// forever. Zero = unbounded (the pre-fault-injection behaviour).
+  /// Crash-recovery requeues are exempt: they re-dispatch work the Backend
+  /// lost, not work that keeps failing.
+  int max_task_retries = 0;
+  /// Acknowledge every received result with a TaskResultAckMessage so the
+  /// sending PNA can stop its bounded upload retry. Off by default: without
+  /// fault injection the wire never loses a result and the ack would be
+  /// pure extra traffic.
+  bool ack_results = false;
 };
 
 struct JobMetrics {
@@ -38,9 +49,16 @@ struct JobMetrics {
   std::uint64_t assignments = 0;
   std::uint64_t reassignments = 0;
   std::uint64_t results_received = 0;
+  /// Results for a task already done while the job was still active
+  /// (re-dispatch or duplicate delivery finishing twice).
   std::uint64_t duplicate_results = 0;
+  /// Results that arrived after the job ended (stragglers of the final
+  /// re-dispatch wave).
+  std::uint64_t late_results = 0;
   std::uint64_t aborts_received = 0;  ///< tasks handed back by reset PNAs
   std::uint64_t requests_denied = 0;  ///< NoTask replies
+  std::uint64_t tasks_failed = 0;     ///< tasks that hit the retry cap
+  std::uint64_t crash_requeues = 0;   ///< assignments lost to a Backend crash
 
   [[nodiscard]] double makespan_seconds() const {
     return completed_at ? (*completed_at - submitted_at).seconds() : -1.0;
@@ -58,10 +76,10 @@ class Backend final : public net::Endpoint {
 
   [[nodiscard]] net::NodeId node_id() const { return node_id_; }
 
-  /// Adjust the re-dispatch timeout; takes effect at the next submit().
-  void set_task_timeout(sim::SimTime timeout) {
-    options_.task_timeout = timeout;
-  }
+  /// Adjust the re-dispatch timeout. Takes effect immediately: the sweep
+  /// task is started, retuned, or cancelled in place (zero disables
+  /// re-dispatch even mid-job).
+  void set_task_timeout(sim::SimTime timeout);
   [[nodiscard]] sim::SimTime task_timeout() const {
     return options_.task_timeout;
   }
@@ -79,6 +97,9 @@ class Backend final : public net::Endpoint {
               obs::TraceContext trace = {});
 
   [[nodiscard]] bool job_active() const { return active_; }
+  /// True once a task exhausted its retry cap: the job ended (on_complete
+  /// fired) but did not succeed.
+  [[nodiscard]] bool job_failed() const { return job_failed_; }
   [[nodiscard]] std::size_t tasks_remaining() const {
     return pending_.size() + outstanding_.size();
   }
@@ -112,6 +133,16 @@ class Backend final : public net::Endpoint {
     recorder_ = recorder;
   }
 
+  /// Fault injection: drop off the network and lose all in-flight state
+  /// (the outstanding-assignment table). The durable job ledger — which
+  /// tasks are done, failed, or pending, and the per-task retry counts —
+  /// survives, as a real Backend would keep it in stable storage.
+  void crash();
+  /// Fault injection: come back up. Re-queues every task that was
+  /// outstanding at crash time (its assignment record is gone, so the
+  /// timeout sweep could never reclaim it).
+  void restart();
+
   // --- net::Endpoint -------------------------------------------------------
   void on_message(net::NodeId from, const net::MessagePtr& message) override;
 
@@ -123,8 +154,14 @@ class Backend final : public net::Endpoint {
   };
 
   void handle_request(net::NodeId from, const TaskRequestMessage& request);
-  void handle_result(const TaskResultMessage& result);
+  void handle_result(net::NodeId from, const TaskResultMessage& result);
   void sweep_timeouts();
+  /// Re-queue `index` unless it exhausted the retry cap (then the task —
+  /// and with it the job — is failed). Returns true when re-queued.
+  bool note_retry(std::uint64_t index);
+  void fail_task(std::uint64_t index);
+  void check_job_done();
+  void arm_sweeper();
 
   sim::Simulation& simulation_;
   net::Network& network_;
@@ -141,6 +178,13 @@ class Backend final : public net::Endpoint {
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;
   std::vector<bool> done_;
   std::size_t done_count_ = 0;
+  /// Times each task has been re-queued (timeout or abort); checked
+  /// against max_task_retries.
+  std::vector<std::uint16_t> retry_counts_;
+  std::vector<bool> failed_;
+  std::size_t failed_count_ = 0;
+  bool job_failed_ = false;
+  bool crashed_ = false;
   JobMetrics metrics_;
   std::vector<double> completion_times_;
 
@@ -148,6 +192,9 @@ class Backend final : public net::Endpoint {
   bool sweeper_running_ = false;
 
   obs::LogHistogram task_cycle_{1e-3};
+  /// Retry count of each task at first-result time (how many dispatches a
+  /// completed task actually took).
+  obs::LogHistogram task_retries_{1.0};
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
 };

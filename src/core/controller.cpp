@@ -74,6 +74,8 @@ void Controller::deploy_pna() {
   hello.heartbeat_interval = default_heartbeat_;
   broadcast_control(hello);
 
+  aggregator_last_seen_.assign(aggregator_nodes_.size(), simulation_.now());
+
   monitor_ = sim::PeriodicTask(simulation_,
                                simulation_.now() + options_.monitor_interval,
                                options_.monitor_interval,
@@ -86,7 +88,10 @@ void Controller::set_aggregators(std::vector<net::NodeId> aggregators) {
     throw std::logic_error(
         "Controller: set_aggregators must precede deploy_pna");
   }
-  aggregators_ = std::move(aggregators);
+  aggregators_ = aggregators;
+  aggregator_nodes_ = std::move(aggregators);
+  aggregator_last_seen_.assign(aggregator_nodes_.size(), sim::SimTime::zero());
+  aggregator_reported_.assign(aggregator_nodes_.size(), false);
 }
 
 obs::TraceContext Controller::broadcast_control(const ControlMessage& message) {
@@ -351,6 +356,12 @@ void Controller::link_metrics(obs::MetricsRegistry& registry) const {
   registry.link_counter("controller.unicast_resets", unicast_resets_);
   registry.link_counter("controller.recompositions", recompositions_);
   registry.link_counter("controller.members_pruned", members_pruned_);
+  if (options_.aggregator_timeout > sim::SimTime::zero()) {
+    registry.link_counter("recovery.aggregator_failovers",
+                          aggregator_failovers_);
+    registry.link_counter("recovery.aggregator_restores",
+                          aggregator_restores_);
+  }
   registry.link_histogram("controller.join_latency_seconds", join_latency_);
   // O(1) incremental mirrors — safe to evaluate every snapshot/sample.
   registry.link_probe("controller.pnas_known", [this] {
@@ -406,6 +417,9 @@ void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
         // bypass the aggregation tier.
         handle_status(entry.pna_id, entry.state, entry.instance,
                       static_cast<net::NodeId>(entry.pna_id), entry.trace);
+      }
+      if (options_.aggregator_timeout > sim::SimTime::zero()) {
+        note_aggregator_alive(from);
       }
       break;
     }
@@ -502,12 +516,145 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
   }
 }
 
+void Controller::note_aggregator_alive(net::NodeId from) {
+  for (std::size_t i = 0; i < aggregator_nodes_.size(); ++i) {
+    if (aggregator_nodes_[i] != from) continue;
+    aggregator_last_seen_[i] = simulation_.now();
+    aggregator_reported_[i] = true;
+    if (aggregators_[i] == net::kInvalidNode) {
+      aggregators_[i] = from;
+      ++aggregator_restores_;
+      if (recorder_ != nullptr) {
+        recorder_->emit(simulation_.now(),
+                        obs::TraceEventKind::kRecoveryAggregatorRestore,
+                        obs::TraceComponent::kController, {}, i, from);
+      }
+      rebroadcast_routing();
+    }
+    return;
+  }
+}
+
+void Controller::rebroadcast_routing() {
+  ControlMessage hello;
+  hello.type = ControlType::kReset;
+  hello.instance = kNoInstance;  // matches no instance: routing update only
+  hello.probability = 0.0;
+  hello.controller_node = node_id_;
+  hello.backend_node = net::kInvalidNode;
+  hello.heartbeat_interval = default_heartbeat_;
+  broadcast_control(hello);
+}
+
+void Controller::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  network_.unregister_endpoint(node_id_);
+  if (monitor_running_) {
+    monitor_.cancel();
+    monitor_running_ = false;
+  }
+  // In-flight consolidation state dies with the process: the PNA directory
+  // and every instance's membership view. The stable-storage side survives
+  // (instance specs, staged carousel content, key, aggregator config).
+  pna_dense_.clear();
+  pna_overflow_.clear();
+  pnas_known_ = 0;
+  idle_known_ = 0;
+  members_total_ = 0;
+  for (auto& [id, inst] : instances_) {
+    inst.members.clear();
+    inst.joining.clear();
+    inst.pending_trims = 0;
+    note_member_change(inst);
+  }
+}
+
+void Controller::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  network_.reattach_endpoint(node_id_, this);
+  // Benefit of the doubt on liveness clocks: everyone gets a full timeout
+  // window to be heard from again before being pruned or failed over.
+  for (sim::SimTime& seen : aggregator_last_seen_) seen = simulation_.now();
+  if (deployed_) {
+    monitor_ = sim::PeriodicTask(
+        simulation_, simulation_.now() + options_.monitor_interval,
+        options_.monitor_interval, [this] { monitor_tick(); });
+    monitor_running_ = true;
+  }
+  // Membership now rebuilds purely from resumed heartbeats; until idle
+  // reports repopulate the directory, choose_probability()'s empty-pool
+  // gate keeps the monitor from broadcasting spurious wakeups.
+}
+
+bool Controller::corrupt_on_air_control() {
+  if (crashed_ || corrupted_content_ != 0 || last_config_content_ == 0) {
+    return false;
+  }
+  const std::optional<ControlMessage> current =
+      store_.get_control(last_config_content_);
+  if (!current) return false;
+  // Flip a signed field after signing: every receiver's verification now
+  // fails, and because the VerifyCache keys on the canonical bytes' digest,
+  // the rejection is memoized under the *tampered* digest — the legitimate
+  // generation's entry is untouched.
+  ControlMessage tampered = *current;
+  tampered.probability = tampered.probability * 0.5 + 0.25;
+  corrupted_content_ = store_.put_control(tampered);
+  for (auto* channel : channels_) {
+    channel->put_file(options_.config_file, util::Bits::from_bytes(512),
+                      corrupted_content_);
+  }
+  stage_and_commit();
+  return true;
+}
+
+void Controller::restore_on_air_control() {
+  if (corrupted_content_ == 0) return;
+  if (last_config_content_ != 0) {
+    for (auto* channel : channels_) {
+      channel->put_file(options_.config_file, util::Bits::from_bytes(512),
+                        last_config_content_);
+    }
+    stage_and_commit();
+  }
+  store_.remove(corrupted_content_);
+  corrupted_content_ = 0;
+}
+
 sim::SimTime Controller::staleness_horizon(const Instance& inst) const {
   return sim::SimTime::from_seconds(inst.spec.heartbeat_interval.seconds() *
                                     options_.stale_factor);
 }
 
 void Controller::monitor_tick() {
+  // Aggregator failover: void silent aggregators from the routing so their
+  // PNAs re-home to the Controller. Sticky until a report resumes
+  // (note_aggregator_alive restores the slot).
+  if (options_.aggregator_timeout > sim::SimTime::zero() &&
+      !aggregator_nodes_.empty()) {
+    bool changed = false;
+    for (std::size_t i = 0; i < aggregator_nodes_.size(); ++i) {
+      if (aggregators_[i] == net::kInvalidNode || !aggregator_reported_[i]) {
+        continue;
+      }
+      if (simulation_.now() - aggregator_last_seen_[i] >
+          options_.aggregator_timeout) {
+        aggregators_[i] = net::kInvalidNode;
+        ++aggregator_failovers_;
+        changed = true;
+        if (recorder_ != nullptr) {
+          recorder_->emit(simulation_.now(),
+                          obs::TraceEventKind::kRecoveryAggregatorFailover,
+                          obs::TraceComponent::kController, {}, i,
+                          aggregator_nodes_[i]);
+        }
+      }
+    }
+    if (changed) rebroadcast_routing();
+  }
+
   for (auto& [id, inst] : instances_) {
     if (!inst.status.active) continue;
 

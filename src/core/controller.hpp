@@ -71,6 +71,11 @@ struct ControllerOptions {
   /// AIT identity of the PNA trigger application.
   std::uint32_t pna_application_id = 0x4F44;  // "OD"
   std::string pna_application_name = "oddci-pna";
+  /// Aggregator failover: an aggregator that has reported at least once
+  /// but then stays silent this long is voided from the heartbeat routing
+  /// (its PNAs re-home to the Controller) until it reports again. Zero
+  /// disables failover (the pre-fault-injection behaviour).
+  sim::SimTime aggregator_timeout = sim::SimTime::zero();
 };
 
 class Controller final : public net::Endpoint {
@@ -176,6 +181,14 @@ class Controller final : public net::Endpoint {
                  recompositions_.value(),
                  members_pruned_.value()};
   }
+  /// Silent aggregators voided from the heartbeat routing / voided slots
+  /// restored by a resumed report (aggregator_timeout > 0 only).
+  [[nodiscard]] std::uint64_t aggregator_failovers() const {
+    return aggregator_failovers_.value();
+  }
+  [[nodiscard]] std::uint64_t aggregator_restores() const {
+    return aggregator_restores_.value();
+  }
 
   /// Join latency: wakeup broadcast -> confirmed member, per join.
   [[nodiscard]] const obs::LogHistogram& join_latency() const {
@@ -202,6 +215,26 @@ class Controller final : public net::Endpoint {
   /// The instance's root control trace context (zero if unknown or when
   /// no recorder is attached). The Backend chains task dispatch off this.
   [[nodiscard]] obs::TraceContext trace_context(InstanceId id) const;
+
+  /// Fault injection: drop off the network and lose all in-flight state —
+  /// the PNA directory and every instance's membership view. What a real
+  /// Controller keeps in stable storage survives: instance specs, staged
+  /// carousel content, the signing key, and the aggregator configuration.
+  /// On restart() the membership view is rebuilt purely from resumed
+  /// heartbeats (the paper's consolidation loop doubling as crash
+  /// recovery).
+  void crash();
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Fault injection: replace the on-air control message with a tampered
+  /// copy (stale signature -> every receiver's verification fails; the
+  /// VerifyCache memoizes the rejection under the tampered digest, so the
+  /// legitimate generation's cache entry is never poisoned). Returns false
+  /// when nothing is on air or a corruption is already active.
+  bool corrupt_on_air_control();
+  /// Put the legitimate on-air generation back.
+  void restore_on_air_control();
 
   // --- net::Endpoint -------------------------------------------------------
   void on_message(net::NodeId from, const net::MessagePtr& message) override;
@@ -270,6 +303,12 @@ class Controller final : public net::Endpoint {
   void handle_status(std::uint64_t pna_id, PnaState state,
                      InstanceId instance, net::NodeId reply_to,
                      obs::TraceContext trace = {});
+  /// A consolidated report arrived from `from`: refresh its liveness and
+  /// restore it into the routing if it had been failed over.
+  void note_aggregator_alive(net::NodeId from);
+  /// Re-air the deployment hello so PNAs pick up the current (possibly
+  /// failover-voided) aggregator routing.
+  void rebroadcast_routing();
 
   sim::Simulation& simulation_;
   net::Network& network_;
@@ -280,7 +319,20 @@ class Controller final : public net::Endpoint {
   net::NodeId node_id_ = net::kInvalidNode;
 
   bool deployed_ = false;
+  bool crashed_ = false;
+  /// Live routing, stamped into every outgoing control message; a slot is
+  /// kInvalidNode while its aggregator is failed over (PNAs mapping to it
+  /// fall back to the Controller).
   std::vector<net::NodeId> aggregators_;
+  /// The configured tier, immutable after set_aggregators (restore source).
+  std::vector<net::NodeId> aggregator_nodes_;
+  std::vector<sim::SimTime> aggregator_last_seen_;
+  /// Failover only triggers for aggregators heard from at least once, so a
+  /// quiet warmup can't void the whole tier.
+  std::vector<bool> aggregator_reported_;
+  /// Content id of the tampered control payload while a corruption is on
+  /// air (0 = none).
+  std::uint64_t corrupted_content_ = 0;
   std::uint64_t last_config_content_ = 0;
   InstanceId next_instance_ = 1;
   std::uint64_t next_image_ = 1;
@@ -305,6 +357,8 @@ class Controller final : public net::Endpoint {
   obs::Counter unicast_resets_;
   obs::Counter recompositions_;
   obs::Counter members_pruned_;
+  obs::Counter aggregator_failovers_;
+  obs::Counter aggregator_restores_;
   obs::LogHistogram join_latency_{1e-3};
   /// Incremental mirrors of the membership maps (O(1) sampler probes).
   std::size_t idle_known_ = 0;

@@ -117,6 +117,7 @@ enum MessageTag : int {
   kTagRemoteAnswer = 8,
   kTagTaskAbort = 9,
   kTagAggregateReport = 10,
+  kTagTaskResultAck = 11,
 };
 
 /// Fixed protocol header modelled on a compact binary encoding.
@@ -261,6 +262,26 @@ class TaskResultMessage final : public net::Message {
   std::uint64_t pna_id_;
   util::Bits result_size_;
   obs::TraceContext trace_;
+};
+
+/// Backend -> PNA: idempotent acknowledgement of a received result. Only
+/// sent when `BackendOptions::ack_results` is on (the fault-injection
+/// recovery protocol); it stops the PNA's bounded result-upload retry, and
+/// re-acking a duplicate delivery is harmless.
+class TaskResultAckMessage final : public net::Message {
+ public:
+  TaskResultAckMessage(InstanceId instance, std::uint64_t task_index)
+      : instance_(instance), task_index_(task_index) {}
+
+  [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
+  [[nodiscard]] int tag() const override { return kTagTaskResultAck; }
+
+  [[nodiscard]] InstanceId instance() const { return instance_; }
+  [[nodiscard]] std::uint64_t task_index() const { return task_index_; }
+
+ private:
+  InstanceId instance_;
+  std::uint64_t task_index_;
 };
 
 /// PNA -> Backend: the agent is abandoning an assigned task without a

@@ -1,5 +1,6 @@
 #include "core/pna.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace oddci::core {
@@ -33,6 +34,7 @@ void PnaXlet::start_xlet() {
     throw std::logic_error("PnaXlet: started before init");
   }
   started_ = true;
+  hung_ = false;
   context_->receiver().set_message_handler(
       [this](net::NodeId from, const net::MessagePtr& msg) {
         on_direct_message(from, msg);
@@ -74,6 +76,7 @@ void PnaXlet::destroy_xlet(bool /*unconditional*/) {
   }
   dve_.reset();
   pending_join_.reset();
+  pending_result_.reset();
 }
 
 void PnaXlet::on_carousel_update(const broadcast::CarouselSnapshot&) {
@@ -82,6 +85,7 @@ void PnaXlet::on_carousel_update(const broadcast::CarouselSnapshot&) {
 }
 
 void PnaXlet::acquire_config() {
+  if (hung_) return;
   // Module-version dedupe (DSM-CC semantics): the launch signalling
   // triggers two acquisition attempts for the same configuration
   // generation — once from startXlet and once from the carousel-update
@@ -303,6 +307,10 @@ void PnaXlet::leave_instance() {
   join_ctx_ = {};
   dve_.reset();
   pending_join_.reset();
+  // Any recovery timers in flight are for an instance we just left.
+  pending_result_.reset();
+  ++result_gen_;
+  ++request_gen_;
   send_heartbeat();
 }
 
@@ -310,11 +318,14 @@ void PnaXlet::ensure_heartbeat(const ControlMessage& message) {
   if (message.controller_node == net::kInvalidNode) return;
   controller_node_ = message.controller_node;
   // With an aggregation tier, heartbeats go to this agent's shard
-  // aggregator instead of straight to the Controller.
-  heartbeat_target_ =
-      message.aggregators.empty()
-          ? message.controller_node
-          : message.aggregators[pna_id() % message.aggregators.size()];
+  // aggregator instead of straight to the Controller. A voided slot
+  // (aggregator failed over) re-homes the shard to the Controller.
+  net::NodeId target = message.controller_node;
+  if (!message.aggregators.empty()) {
+    target = message.aggregators[pna_id() % message.aggregators.size()];
+    if (target == net::kInvalidNode) target = message.controller_node;
+  }
+  heartbeat_target_ = target;
   if (message.heartbeat_interval <= sim::SimTime::zero()) return;
   if (heartbeat_running_) {
     if (message.heartbeat_interval == heartbeat_interval_) return;
@@ -361,6 +372,65 @@ void PnaXlet::request_task() {
   context_->receiver().send(
       backend_node_,
       std::make_shared<TaskRequestMessage>(dve_->instance(), pna_id()));
+  if (env_->recovery != nullptr &&
+      env_->recovery->request_watchdog > sim::SimTime::zero()) {
+    arm_request_watchdog();
+  }
+}
+
+void PnaXlet::arm_request_watchdog() {
+  const std::uint64_t gen = ++request_gen_;
+  std::weak_ptr<bool> alive = alive_;
+  context_->simulation().schedule_timer_in(
+      env_->recovery->request_watchdog,
+      [this, alive, gen] {
+        auto guard = alive.lock();
+        if (!guard || !*guard || !started_ || hung_) return;
+        if (gen != request_gen_) return;  // a reply arrived in time
+        if (!dve_ || running_exec_) return;
+        ++env_->recovery->request_retries;
+        trace_emit(obs::TraceEventKind::kRecoveryRequestRetry, control_ctx_,
+                   0);
+        request_task();  // re-arms the watchdog
+      },
+      sim::SimTime::zero(), sim::EventPriority::kDefault);
+}
+
+void PnaXlet::arm_result_retry() {
+  const std::uint64_t gen = ++result_gen_;
+  // Exponential backoff with deterministic jitter: delay_n in
+  // [0.5, 1.0) * base * 2^attempts, so colliding retries from agents that
+  // lost the same ack desynchronize.
+  const double backoff =
+      env_->recovery->result_retry_base.seconds() *
+      static_cast<double>(1ull << std::min(pending_result_->attempts, 16));
+  const double delay = backoff * (0.5 + rng_.uniform(0.0, 0.5));
+  std::weak_ptr<bool> alive = alive_;
+  context_->simulation().schedule_timer_in(
+      sim::SimTime::from_seconds(delay),
+      [this, alive, gen] {
+        auto guard = alive.lock();
+        if (!guard || !*guard || !started_ || hung_) return;
+        if (gen != result_gen_ || !pending_result_) return;
+        if (pending_result_->attempts >= env_->recovery->result_retry_limit) {
+          // Give up: the Backend's timeout sweep re-dispatches the task.
+          pending_result_.reset();
+          ++result_gen_;
+          return;
+        }
+        ++pending_result_->attempts;
+        ++env_->recovery->result_retries;
+        const obs::TraceContext ctx =
+            trace_emit(obs::TraceEventKind::kRecoveryResultRetry,
+                       pending_result_->trace, pending_result_->task_index);
+        context_->receiver().send(
+            backend_node_,
+            std::make_shared<TaskResultMessage>(
+                pending_result_->instance, pending_result_->task_index,
+                pna_id(), pending_result_->result_size, ctx));
+        arm_result_retry();
+      },
+      sim::SimTime::zero(), sim::EventPriority::kDefault);
 }
 
 void PnaXlet::schedule_task_poll() {
@@ -379,6 +449,7 @@ void PnaXlet::schedule_task_poll() {
 
 void PnaXlet::on_direct_message(net::NodeId /*from*/,
                                 const net::MessagePtr& message) {
+  if (hung_) return;
   switch (message->tag()) {
     case kTagHeartbeatReply: {
       const auto& reply =
@@ -397,9 +468,13 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
       break;
     }
     case kTagTaskAssign: {
+      ++request_gen_;  // the request was answered; stop the watchdog
       if (!dve_) break;  // reset raced with an in-flight assignment
       const auto& assign = static_cast<const TaskAssignMessage&>(*message);
       if (assign.instance() != dve_->instance()) break;
+      // Duplicate delivery of an assignment we are already executing (or a
+      // second assignment racing a watchdog re-request): keep the first.
+      if (running_exec_) break;
       const std::uint64_t task_index = assign.task_index();
       const util::Bits result_size = assign.result_size();
       const InstanceId instance = dve_->instance();
@@ -422,11 +497,27 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
                 backend_node_, std::make_shared<TaskResultMessage>(
                                    instance, task_index, pna_id(),
                                    result_size, done));
+            if (env_->recovery != nullptr) {
+              // Hold the result for bounded retry until the Backend acks.
+              pending_result_ =
+                  PendingResult{instance, task_index, result_size, done, 0};
+              arm_result_retry();
+            }
             request_task();
           });
       break;
     }
+    case kTagTaskResultAck: {
+      const auto& ack = static_cast<const TaskResultAckMessage&>(*message);
+      if (pending_result_ && pending_result_->instance == ack.instance() &&
+          pending_result_->task_index == ack.task_index()) {
+        pending_result_.reset();
+        ++result_gen_;  // invalidate the in-flight retry timer
+      }
+      break;
+    }
     case kTagNoTask: {
+      ++request_gen_;  // the request was answered; stop the watchdog
       if (!dve_) break;
       // Queue exhausted: the PNA remains a member of the instance until a
       // reset, polling lazily in case tasks are re-queued (churn recovery).
@@ -436,6 +527,76 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
     default:
       break;
   }
+}
+
+bool PnaXlet::fault_crash() {
+  if (!started_ || context_ == nullptr) return false;
+  // The process dies: every outstanding callback, read, and timer holds a
+  // weak_ptr to the old liveness token and becomes inert; the relaunched
+  // Xlet gets a fresh one.
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+  hung_ = false;
+  if (heartbeat_running_) {
+    heartbeat_.cancel();
+    heartbeat_running_ = false;
+  }
+  if (running_exec_) {
+    context_->receiver().cancel_execution(*running_exec_);
+    running_exec_.reset();
+  }
+  // No abort goes out — a crashed process cannot say goodbye. The
+  // Backend's timeout sweep recovers any task that was in flight.
+  running_task_.reset();
+  running_task_ctx_ = {};
+  pending_result_.reset();
+  ++result_gen_;
+  ++request_gen_;
+  dve_.reset();
+  pending_join_.reset();
+  join_ctx_ = {};
+  control_ctx_ = {};
+  controller_node_ = net::kInvalidNode;
+  heartbeat_target_ = net::kInvalidNode;
+  backend_node_ = net::kInvalidNode;
+  heartbeat_interval_ = {};
+  last_handled_content_ = 0;
+  pending_read_content_ = 0;
+  // Middleware watchdog relaunch: the trigger application starts over and
+  // re-reads the on-air configuration, which re-homes it (heartbeats,
+  // possibly a fresh join if a wakeup is on air).
+  acquire_config();
+  return true;
+}
+
+bool PnaXlet::fault_hang(sim::SimTime duration) {
+  if (!started_ || hung_ || context_ == nullptr) return false;
+  hung_ = true;
+  // A frozen process fires no timers and services no I/O: invalidate all
+  // outstanding callbacks like a crash does, but keep the state so the
+  // agent *looks* alive (stale membership) until the watchdog acts.
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+  if (heartbeat_running_) {
+    heartbeat_.cancel();
+    heartbeat_running_ = false;
+  }
+  if (running_exec_) {
+    context_->receiver().cancel_execution(*running_exec_);
+    running_exec_.reset();
+  }
+  std::weak_ptr<bool> alive = alive_;
+  context_->simulation().schedule_timer_in(
+      duration,
+      [this, alive] {
+        auto guard = alive.lock();
+        if (!guard || !*guard || !started_ || !hung_) return;
+        // Watchdog: kill the frozen process and relaunch it.
+        hung_ = false;
+        fault_crash();
+      },
+      sim::SimTime::zero(), sim::EventPriority::kDefault);
+  return true;
 }
 
 }  // namespace oddci::core

@@ -52,6 +52,25 @@ struct PnaEnvironment {
   broadcast::VerifyCache* verify_cache = nullptr;
   /// Population-shared heartbeat recycling pool (see net::MessagePool).
   net::MessagePool<HeartbeatMessage>* heartbeat_pool = nullptr;
+
+  // --- fault-injection recovery protocol (nullable: with no Recovery block
+  // the agent speaks the zero-fault wire protocol, bit for bit) ---------------
+
+  /// Bounded result-upload retry and task-request watchdog parameters,
+  /// plus the population-wide recovery.* counters.
+  struct Recovery {
+    /// Retry attempts before an unacknowledged result is abandoned (the
+    /// Backend's timeout sweep then re-dispatches the task).
+    int result_retry_limit = 4;
+    /// First retry delay; doubles per attempt, with deterministic jitter.
+    sim::SimTime result_retry_base = sim::SimTime::from_seconds(2);
+    /// A busy agent whose task request went unanswered re-asks after this
+    /// (covers lost requests, lost assignments, and a crashed Backend).
+    sim::SimTime request_watchdog = sim::SimTime::from_seconds(45);
+    obs::Counter result_retries;
+    obs::Counter request_retries;
+  };
+  Recovery* recovery = nullptr;
 };
 
 struct PnaStats {
@@ -99,6 +118,21 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   [[nodiscard]] const PnaStats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t pna_id() const;
 
+  // --- fault injection -------------------------------------------------------
+
+  /// Crash the agent process: every outstanding callback and timer dies,
+  /// all state (DVE, pending join, pending result, heartbeat) is lost, and
+  /// the middleware watchdog relaunches the trigger Xlet, which re-reads
+  /// the on-air configuration. A mid-task crash sends no abort — the
+  /// Backend's timeout sweep recovers the task. Returns false when the
+  /// Xlet is not running.
+  bool fault_crash();
+  /// Freeze the agent for `duration`: timers and message handling stop
+  /// (heartbeats go silent, the Controller prunes it as stale), then the
+  /// watchdog kills and relaunches it like fault_crash(). Returns false
+  /// when not running or already hung.
+  bool fault_hang(sim::SimTime duration);
+
  private:
   void acquire_config();
   void handle_control(const ControlMessage& message);
@@ -118,6 +152,11 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   void request_task();
   void schedule_task_poll();
   void on_direct_message(net::NodeId from, const net::MessagePtr& message);
+
+  /// Schedule the next bounded-backoff retry of pending_result_.
+  void arm_result_retry();
+  /// Schedule the unanswered-task-request watchdog.
+  void arm_request_watchdog();
 
   /// Emit a trace event (no-op returning {} when no recorder is attached).
   obs::TraceContext trace_emit(obs::TraceEventKind kind,
@@ -164,6 +203,25 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   obs::TraceContext control_ctx_;
   obs::TraceContext join_ctx_;
   obs::TraceContext running_task_ctx_;
+
+  /// A result sent but not yet acknowledged (recovery protocol only; see
+  /// PnaEnvironment::Recovery). Retried with exponential backoff until
+  /// acked, superseded, or the attempt limit is hit.
+  struct PendingResult {
+    InstanceId instance = kNoInstance;
+    std::uint64_t task_index = 0;
+    util::Bits result_size;
+    obs::TraceContext trace;
+    int attempts = 0;
+  };
+  std::optional<PendingResult> pending_result_;
+  /// Generation guards invalidating in-flight retry/watchdog timers (the
+  /// wheel has no cancel; a stale firing sees a bumped generation).
+  std::uint64_t result_gen_ = 0;
+  std::uint64_t request_gen_ = 0;
+  /// Frozen by fault_hang(): message handling and config reads are inert
+  /// until the watchdog kills and relaunches the Xlet.
+  bool hung_ = false;
   PnaStats stats_;
 };
 

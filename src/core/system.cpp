@@ -64,6 +64,7 @@ void SystemConfig::validate() const {
     throw std::invalid_argument(
         "SystemConfig: obs.trace requires obs.enabled");
   }
+  if (fault.enabled) fault.validate();
 }
 
 double RunResult::efficiency(std::size_t n, double device_task_seconds,
@@ -113,7 +114,10 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   const net::LinkSpec server_link{config_.server_capacity,
                                   config_.server_capacity,
                                   config_.server_latency};
-  const ControllerOptions& copts = config_.controller;
+  ControllerOptions copts = config_.controller;
+  if (config_.fault.enabled && config_.aggregators > 0) {
+    copts.aggregator_timeout = config_.fault.aggregator_failover_timeout;
+  }
   std::vector<broadcast::BroadcastMedium*> channel_ptrs;
   channel_ptrs.reserve(channels_.size());
   for (auto& c : channels_) channel_ptrs.push_back(c.get());
@@ -142,6 +146,10 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
 
   BackendOptions bopts;
   bopts.task_timeout = config_.task_timeout;
+  if (config_.fault.enabled) {
+    bopts.max_task_retries = config_.fault.task_retry_cap;
+    bopts.ack_results = true;
+  }
   backend_ =
       std::make_unique<Backend>(*simulation_, *network_, server_link, bopts);
 
@@ -191,9 +199,43 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
     churn_->start();
   }
 
+  if (config_.fault.enabled) {
+    // The fault plan gets its own seed stream: derived from the system
+    // seed by default so one scenario seed reproduces everything, but
+    // overridable to vary the fault schedule against a fixed population.
+    const std::uint64_t fseed = config_.fault.seed != 0
+                                    ? config_.fault.seed
+                                    : (config_.seed ^ 0x0DDC1FA17ull);
+    injector_ = std::make_unique<fault::FaultInjector>(*simulation_,
+                                                       config_.fault, fseed);
+    network_->set_interposer(injector_.get());
+    injector_->set_controller_hooks([this] { controller_->crash(); },
+                                    [this] { controller_->restart(); });
+    injector_->set_backend_hooks([this] { backend_->crash(); },
+                                [this] { backend_->restart(); });
+    for (auto& aggregator : aggregators_) {
+      HeartbeatAggregator* agg = aggregator.get();
+      injector_->add_region(agg->node_id(), [agg] { agg->crash(); },
+                            [agg] { agg->restart(); });
+    }
+    injector_->set_pna_fault(
+        [this](std::uint64_t pick, bool hang, sim::SimTime duration) {
+          return apply_pna_fault(pick, hang, duration);
+        });
+    injector_->set_control_corruptor(
+        [this] { return controller_->corrupt_on_air_control(); },
+        [this] { controller_->restore_on_air_control(); });
+    pna_recovery_.result_retry_limit = config_.fault.result_retry_limit;
+    pna_recovery_.result_retry_base = config_.fault.result_retry_base;
+    pna_recovery_.request_watchdog = config_.fault.request_watchdog;
+    pna_env_.recovery = &pna_recovery_;
+  }
+
   if (config_.obs.enabled) {
     wire_observability();
   }
+
+  if (injector_) injector_->start();
 }
 
 void OddciSystem::wire_observability() {
@@ -232,6 +274,16 @@ void OddciSystem::wire_observability() {
     registry_->link_counter("wire.writer_reuse", store_->writer_reuses());
   }
 
+  // Fault/recovery cells — only when fault injection is on, so fault-off
+  // snapshots are byte-identical to a build without the subsystem.
+  if (injector_) injector_->link_metrics(*registry_);
+  if (pna_env_.recovery != nullptr) {
+    registry_->link_counter("recovery.result_retries",
+                            pna_recovery_.result_retries);
+    registry_->link_counter("recovery.request_retries",
+                            pna_recovery_.request_retries);
+  }
+
   if (config_.obs.trace) {
     // Causal flight recorder: one ring shared by every component, so the
     // export interleaves all tracks in recording order.
@@ -247,6 +299,7 @@ void OddciSystem::wire_observability() {
     for (auto& channel : channels_) channel->set_recorder(recorder_.get());
     for (auto& receiver : receivers_) receiver->set_recorder(recorder_.get());
     pna_env_.recorder = recorder_.get();
+    if (injector_) injector_->set_recorder(recorder_.get());
     // Protocol-trace log lines share the recorder's clock: while this
     // system is tracing, every Logger line carries t=<sim seconds>.
     util::Logger::instance().set_clock(
@@ -293,6 +346,31 @@ OddciSystem::~OddciSystem() {
   // The logger clock captures this system's simulation; remove it before
   // the simulation goes away.
   if (recorder_) util::Logger::instance().clear_clock();
+}
+
+bool OddciSystem::apply_pna_fault(std::uint64_t pick, bool hang,
+                                  sim::SimTime duration) {
+  const std::size_t n = receivers_.size();
+  if (n == 0) return false;
+  // Deterministic scan from the picked offset: prefer a busy agent (a
+  // mid-task crash exercises the whole recovery chain), fall back to the
+  // first live idle one.
+  PnaXlet* idle_victim = nullptr;
+  for (std::size_t k = 0; k < n; ++k) {
+    dtv::Receiver& receiver = *receivers_[(pick + k) % n];
+    if (!receiver.powered()) continue;
+    auto* xlet =
+        receiver.application_manager().find(config_.controller.pna_application_id);
+    auto* pna = dynamic_cast<PnaXlet*>(xlet);
+    if (pna == nullptr) continue;
+    if (pna->state() == PnaState::kBusy) {
+      return hang ? pna->fault_hang(duration) : pna->fault_crash();
+    }
+    if (idle_victim == nullptr) idle_victim = pna;
+  }
+  if (idle_victim == nullptr) return false;
+  return hang ? idle_victim->fault_hang(duration)
+              : idle_victim->fault_crash();
 }
 
 std::size_t OddciSystem::busy_pna_count() const {
@@ -356,7 +434,9 @@ RunResult OddciSystem::run_job(const workload::Job& job,
 
   simulation_->run_until(t0 + deadline);
 
-  result.completed = done;
+  // A job whose every task hit the retry cap also fires on_complete (the
+  // Backend reports the failure explicitly); that is not success.
+  result.completed = done && !backend_->job_failed();
   result.job = backend_->metrics();
   if (done) {
     result.makespan_seconds = result.job.makespan_seconds();

@@ -14,6 +14,7 @@
 #include "core/pna.hpp"
 #include "core/provider.hpp"
 #include "dtv/receiver.hpp"
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -119,6 +120,13 @@ struct SystemConfig {
   };
   ObsOptions obs;
 
+  /// Deterministic fault injection and control-plane recovery (see
+  /// src/fault/fault.hpp). Disabled by default; with `fault.enabled`
+  /// false the system's event trajectory is identical to a build without
+  /// the subsystem — no extra rng draws, timers, messages, or metric
+  /// cells.
+  fault::FaultOptions fault;
+
   void validate() const;
 };
 
@@ -209,6 +217,15 @@ class OddciSystem {
     return heartbeat_pool_.get();
   }
 
+  /// Fault injector driving the configured fault plan; nullptr when
+  /// SystemConfig::fault.enabled is false.
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+
   /// Number of PNAs currently busy (joined or joining an instance).
   [[nodiscard]] std::size_t busy_pna_count() const;
 
@@ -220,6 +237,9 @@ class OddciSystem {
 
  private:
   void wire_observability();
+  /// FaultInjector's PNA-fault callback: pick a victim agent (preferring a
+  /// busy one so crashes hit in-flight tasks) and crash or hang it.
+  bool apply_pna_fault(std::uint64_t pick, bool hang, sim::SimTime duration);
 
   SystemConfig config_;
   std::unique_ptr<sim::Simulation> simulation_;
@@ -234,8 +254,13 @@ class OddciSystem {
   std::vector<std::unique_ptr<HeartbeatAggregator>> aggregators_;
   std::unique_ptr<Provider> provider_;
   std::unique_ptr<Backend> backend_;
+  /// Fault plan + wire interposer (only with config_.fault.enabled).
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<dtv::Receiver>> receivers_;
   PnaEnvironment pna_env_;
+  /// PNA-side recovery parameters + counters; pna_env_.recovery points
+  /// here when fault injection is enabled.
+  PnaEnvironment::Recovery pna_recovery_;
   std::unique_ptr<ChurnProcess> churn_;
   broadcast::SigningKey key_ = 0;
 

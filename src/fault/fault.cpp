@@ -1,0 +1,329 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace oddci::fault {
+
+namespace {
+
+void check_probability(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(name) + " must be in [0, 1]");
+  }
+}
+
+void check_rate(double r, const char* name) {
+  if (r < 0.0) {
+    throw std::invalid_argument(std::string(name) + " must be >= 0");
+  }
+}
+
+void check_positive(sim::SimTime t, const char* name) {
+  if (t <= sim::SimTime::zero()) {
+    throw std::invalid_argument(std::string(name) + " must be > 0");
+  }
+}
+
+}  // namespace
+
+void FaultOptions::validate() const {
+  check_probability(message_loss, "fault message_loss");
+  check_probability(message_duplication, "fault message_duplication");
+  check_probability(latency_spike_probability,
+                    "fault latency_spike_probability");
+  check_rate(partitions_per_hour, "fault partitions_per_hour");
+  check_rate(aggregator_crashes_per_hour, "fault aggregator_crashes_per_hour");
+  check_rate(pna_crashes_per_hour, "fault pna_crashes_per_hour");
+  check_rate(pna_hangs_per_hour, "fault pna_hangs_per_hour");
+  check_rate(control_corruptions_per_hour,
+             "fault control_corruptions_per_hour");
+  if (latency_spike_probability > 0.0) {
+    check_positive(latency_spike_mean, "fault latency_spike_mean");
+  }
+  if (partitions_per_hour > 0.0) {
+    check_positive(partition_duration, "fault partition_duration");
+  }
+  if (aggregator_crashes_per_hour > 0.0) {
+    check_positive(aggregator_downtime, "fault aggregator_downtime");
+  }
+  if (pna_hangs_per_hour > 0.0) {
+    check_positive(pna_hang_duration, "fault pna_hang_duration");
+  }
+  if (control_corruptions_per_hour > 0.0) {
+    check_positive(corrupt_exposure, "fault corrupt_exposure");
+  }
+  if (!controller_crash_at.empty()) {
+    check_positive(controller_downtime, "fault controller_downtime");
+  }
+  if (!backend_crash_at.empty()) {
+    check_positive(backend_downtime, "fault backend_downtime");
+  }
+  if (result_retry_limit < 0) {
+    throw std::invalid_argument("fault result_retry_limit must be >= 0");
+  }
+  if (task_retry_cap < 0) {
+    throw std::invalid_argument("fault task_retry_cap must be >= 0");
+  }
+}
+
+FaultInjector::FaultInjector(sim::Simulation& simulation,
+                             const FaultOptions& options, std::uint64_t seed)
+    : simulation_(simulation),
+      options_(options),
+      rng_(seed),
+      plan_rng_(rng_.split()),
+      wire_rng_(rng_.split()) {
+  options_.validate();
+}
+
+void FaultInjector::set_controller_hooks(Hook crash, Hook restart) {
+  controller_crash_ = std::move(crash);
+  controller_restart_ = std::move(restart);
+}
+
+void FaultInjector::set_backend_hooks(Hook crash, Hook restart) {
+  backend_crash_ = std::move(crash);
+  backend_restart_ = std::move(restart);
+}
+
+void FaultInjector::add_region(net::NodeId aggregator_node, Hook crash,
+                               Hook restart) {
+  if (started_) {
+    throw std::logic_error("add_region after FaultInjector::start");
+  }
+  Region region;
+  region.node = aggregator_node;
+  region.crash = std::move(crash);
+  region.restart = std::move(restart);
+  regions_.push_back(std::move(region));
+}
+
+void FaultInjector::set_pna_fault(PnaFaultFn fn) { pna_fault_ = std::move(fn); }
+
+void FaultInjector::set_control_corruptor(std::function<bool()> corrupt,
+                                          std::function<void()> restore) {
+  corrupt_ = std::move(corrupt);
+  restore_ = std::move(restore);
+}
+
+void FaultInjector::link_metrics(obs::MetricsRegistry& registry) const {
+  registry.link_counter("fault.messages_lost", messages_lost_);
+  registry.link_counter("fault.messages_duplicated", messages_duplicated_);
+  registry.link_counter("fault.latency_spikes", latency_spikes_);
+  registry.link_counter("fault.partition_dropped", partition_dropped_);
+  registry.link_counter("fault.partitions_started", partitions_started_);
+  registry.link_counter("fault.partitions_healed", partitions_healed_);
+  registry.link_counter("fault.controller_crashes", controller_crashes_);
+  registry.link_counter("fault.backend_crashes", backend_crashes_);
+  registry.link_counter("fault.aggregator_crashes", aggregator_crashes_);
+  registry.link_counter("fault.pna_crashes", pna_crashes_);
+  registry.link_counter("fault.pna_hangs", pna_hangs_);
+  registry.link_counter("fault.control_corruptions", control_corruptions_);
+}
+
+void FaultInjector::start() {
+  if (started_) throw std::logic_error("FaultInjector::start called twice");
+  started_ = true;
+
+  for (const sim::SimTime at : options_.controller_crash_at) {
+    if (at <= simulation_.now()) continue;
+    simulation_.schedule_at(at, [this] {
+      if (!controller_crash_) return;
+      ++controller_crashes_;
+      emit(obs::TraceEventKind::kFaultCrash, obs::TraceComponent::kController,
+           0, 0);
+      controller_crash_();
+      simulation_.schedule_in(options_.controller_downtime, [this] {
+        emit(obs::TraceEventKind::kFaultRestart,
+             obs::TraceComponent::kController, 0, 0);
+        controller_restart_();
+      });
+    });
+  }
+  for (const sim::SimTime at : options_.backend_crash_at) {
+    if (at <= simulation_.now()) continue;
+    simulation_.schedule_at(at, [this] {
+      if (!backend_crash_) return;
+      ++backend_crashes_;
+      emit(obs::TraceEventKind::kFaultCrash, obs::TraceComponent::kBackend, 0,
+           0);
+      backend_crash_();
+      simulation_.schedule_in(options_.backend_downtime, [this] {
+        emit(obs::TraceEventKind::kFaultRestart,
+             obs::TraceComponent::kBackend, 0, 0);
+        backend_restart_();
+      });
+    });
+  }
+
+  arm_poisson(options_.partitions_per_hour, [this] { start_partition(); });
+  arm_poisson(options_.aggregator_crashes_per_hour,
+              [this] { crash_aggregator(); });
+  arm_poisson(options_.pna_crashes_per_hour, [this] { fire_pna(false); });
+  arm_poisson(options_.pna_hangs_per_hour, [this] { fire_pna(true); });
+  arm_poisson(options_.control_corruptions_per_hour,
+              [this] { fire_corruption(); });
+}
+
+void FaultInjector::arm_poisson(double per_hour, std::function<void()> action) {
+  if (per_hour <= 0.0) return;
+  const double gap_s = plan_rng_.exponential(3600.0 / per_hour);
+  simulation_.schedule_in(
+      sim::SimTime::from_seconds(gap_s),
+      [this, per_hour, action = std::move(action)]() mutable {
+        action();
+        arm_poisson(per_hour, std::move(action));
+      });
+}
+
+void FaultInjector::set_blackholed(net::NodeId id, bool on) {
+  if (id >= blackholed_.size()) blackholed_.resize(id + 1, 0);
+  blackholed_[id] = on ? 1 : 0;
+}
+
+void FaultInjector::start_partition() {
+  // Deterministic victim pick among regions that are neither already cut
+  // off nor down (a crashed aggregator's region has nothing to black-hole).
+  std::vector<std::size_t> candidates;
+  candidates.reserve(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (!regions_[i].partitioned && !regions_[i].crashed) candidates.push_back(i);
+  }
+  if (candidates.empty()) return;
+  const std::size_t index = candidates[static_cast<std::size_t>(
+      plan_rng_.uniform_u64(candidates.size()))];
+  Region& region = regions_[index];
+  region.partitioned = true;
+  set_blackholed(region.node, true);
+  ++active_partitions_;
+  ++partitions_started_;
+  emit(obs::TraceEventKind::kFaultPartitionStart, obs::TraceComponent::kNetwork,
+       index, region.node);
+  simulation_.schedule_in(options_.partition_duration, [this, index] {
+    Region& healed = regions_[index];
+    healed.partitioned = false;
+    set_blackholed(healed.node, false);
+    --active_partitions_;
+    ++partitions_healed_;
+    emit(obs::TraceEventKind::kFaultPartitionEnd,
+         obs::TraceComponent::kNetwork, index, healed.node);
+  });
+}
+
+void FaultInjector::crash_aggregator() {
+  std::vector<std::size_t> candidates;
+  candidates.reserve(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (!regions_[i].crashed) candidates.push_back(i);
+  }
+  if (candidates.empty()) return;
+  const std::size_t index = candidates[static_cast<std::size_t>(
+      plan_rng_.uniform_u64(candidates.size()))];
+  Region& region = regions_[index];
+  region.crashed = true;
+  if (region.crash) region.crash();
+  ++aggregator_crashes_;
+  emit(obs::TraceEventKind::kFaultCrash, obs::TraceComponent::kAggregator,
+       index, region.node);
+  simulation_.schedule_in(options_.aggregator_downtime, [this, index] {
+    Region& revived = regions_[index];
+    revived.crashed = false;
+    if (revived.restart) revived.restart();
+    emit(obs::TraceEventKind::kFaultRestart, obs::TraceComponent::kAggregator,
+         index, revived.node);
+  });
+}
+
+void FaultInjector::fire_pna(bool hang) {
+  if (!pna_fault_) return;
+  const std::uint64_t pick = plan_rng_.engine().next();
+  if (!pna_fault_(pick, hang, options_.pna_hang_duration)) return;
+  if (hang) {
+    ++pna_hangs_;
+    emit(obs::TraceEventKind::kFaultPnaHang, obs::TraceComponent::kPna, pick,
+         static_cast<std::uint64_t>(options_.pna_hang_duration.micros()));
+  } else {
+    ++pna_crashes_;
+    emit(obs::TraceEventKind::kFaultCrash, obs::TraceComponent::kPna, pick, 0);
+  }
+}
+
+void FaultInjector::fire_corruption() {
+  if (!corrupt_ || !corrupt_()) return;
+  ++control_corruptions_;
+  emit(obs::TraceEventKind::kFaultControlCorrupted,
+       obs::TraceComponent::kController, 0, 0);
+  simulation_.schedule_in(options_.corrupt_exposure, [this] {
+    if (restore_) restore_();
+  });
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  Stats s;
+  s.messages_lost = messages_lost_.value();
+  s.messages_duplicated = messages_duplicated_.value();
+  s.latency_spikes = latency_spikes_.value();
+  s.partition_dropped = partition_dropped_.value();
+  s.partitions_started = partitions_started_.value();
+  s.partitions_healed = partitions_healed_.value();
+  s.controller_crashes = controller_crashes_.value();
+  s.backend_crashes = backend_crashes_.value();
+  s.aggregator_crashes = aggregator_crashes_.value();
+  s.pna_crashes = pna_crashes_.value();
+  s.pna_hangs = pna_hangs_.value();
+  s.control_corruptions = control_corruptions_.value();
+  return s;
+}
+
+net::SendInterposer::Action FaultInjector::on_send(
+    net::NodeId from, net::NodeId to, const net::Message& message) {
+  Action action;
+  // A partitioned region is a hard black hole: nothing in or out. This
+  // draws nothing from the wire stream, so healing a partition rejoins the
+  // deterministic per-message draw sequence unchanged.
+  if (active_partitions_ != 0 && (blackholed(from) || blackholed(to))) {
+    action.drop = true;
+    ++partition_dropped_;
+    emit(obs::TraceEventKind::kFaultMessageLost, obs::TraceComponent::kNetwork,
+         to, static_cast<std::uint64_t>(message.tag()));
+    return action;
+  }
+  // One fixed draw order per message; a lost message short-circuits so the
+  // duplication/spike draws stay aligned across replays.
+  if (options_.message_loss > 0.0 && wire_rng_.bernoulli(options_.message_loss)) {
+    action.drop = true;
+    ++messages_lost_;
+    emit(obs::TraceEventKind::kFaultMessageLost, obs::TraceComponent::kNetwork,
+         to, static_cast<std::uint64_t>(message.tag()));
+    return action;
+  }
+  if (options_.message_duplication > 0.0 &&
+      wire_rng_.bernoulli(options_.message_duplication)) {
+    action.duplicate = true;
+    ++messages_duplicated_;
+    emit(obs::TraceEventKind::kFaultMessageDuplicated,
+         obs::TraceComponent::kNetwork, to,
+         static_cast<std::uint64_t>(message.tag()));
+  }
+  if (options_.latency_spike_probability > 0.0 &&
+      wire_rng_.bernoulli(options_.latency_spike_probability)) {
+    action.extra_latency = sim::SimTime::from_seconds(
+        wire_rng_.exponential(options_.latency_spike_mean.seconds()));
+    ++latency_spikes_;
+    emit(obs::TraceEventKind::kFaultLatencySpike, obs::TraceComponent::kNetwork,
+         to, static_cast<std::uint64_t>(action.extra_latency.micros()));
+  }
+  return action;
+}
+
+void FaultInjector::emit(obs::TraceEventKind kind,
+                         obs::TraceComponent component, std::uint64_t actor,
+                         std::uint64_t arg) {
+  if (recorder_ == nullptr) return;
+  recorder_->emit(simulation_.now(), kind, component, {}, actor, arg);
+}
+
+}  // namespace oddci::fault

@@ -66,10 +66,16 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   Node& src = node_at(from);
   node_at(to);  // validate destination id early
 
+  SendInterposer::Action action;
+  if (interposer_ != nullptr) {
+    action = interposer_->on_send(from, to, *message);
+  }
+
   ++messages_sent_;
   bits_sent_ += static_cast<std::uint64_t>(message->wire_size().count());
 
-  // Serialize on the sender's uplink (FIFO).
+  // Serialize on the sender's uplink (FIFO). This happens even for a
+  // dropped message: the sender transmitted it; the loss is downstream.
   const double tx_up =
       util::transmission_seconds(message->wire_size(), src.spec.uplink);
   const sim::SimTime start =
@@ -77,14 +83,24 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   const sim::SimTime departed = start + sim::SimTime::from_seconds(tx_up);
   src.uplink_busy_until = departed;
 
-  const sim::SimTime arrival_at_edge = departed + src.spec.latency;
+  if (action.drop) return;
 
+  const sim::SimTime arrival_at_edge =
+      departed + src.spec.latency + action.extra_latency;
+  if (action.duplicate) {
+    schedule_arrival(arrival_at_edge, from, to, message);
+  }
+  schedule_arrival(arrival_at_edge, from, to, std::move(message));
+}
+
+void Network::schedule_arrival(sim::SimTime at, NodeId from, NodeId to,
+                               MessagePtr message) {
   // The receiver's downlink serialization is decided at edge-arrival time,
   // because its busy window depends on messages that arrive before ours.
   // Both hops capture {this, from, to, shared_ptr} = 32 bytes: within
   // EventFn's inline buffer, so the delivery path never heap-allocates.
   simulation_.schedule_at(
-      arrival_at_edge,
+      at,
       [this, from, to, message = std::move(message)]() mutable {
         Node& dst = nodes_[to];
         const double tx_down =

@@ -35,6 +35,23 @@ struct NetworkStats {
   std::int64_t bits_sent = 0;
 };
 
+/// Hook interposed on every Network::send (fault injection). The verdict is
+/// rendered before the uplink is consumed: a dropped message still costs the
+/// sender its serialization time (it was transmitted; the loss is
+/// downstream), a duplicated one arrives twice, and extra latency stretches
+/// the propagation leg only.
+class SendInterposer {
+ public:
+  struct Action {
+    bool drop = false;
+    bool duplicate = false;
+    sim::SimTime extra_latency;
+  };
+
+  virtual ~SendInterposer() = default;
+  virtual Action on_send(NodeId from, NodeId to, const Message& message) = 0;
+};
+
 class Network {
  public:
   explicit Network(sim::Simulation& simulation) : simulation_(simulation) {}
@@ -80,6 +97,11 @@ class Network {
   /// detaches.
   void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
+  /// Interpose `interposer` on every send (fault injection). nullptr
+  /// detaches; with no interposer the send path is byte-identical to a
+  /// build without the hook.
+  void set_interposer(SendInterposer* interposer) { interposer_ = interposer; }
+
   [[nodiscard]] std::size_t endpoint_count() const { return nodes_.size(); }
 
   /// Time at which `node`'s uplink frees up (diagnostics/backpressure).
@@ -96,6 +118,10 @@ class Network {
   Node& node_at(NodeId id);
   [[nodiscard]] const Node& node_at(NodeId id) const;
 
+  /// Schedule the edge-arrival event: downlink serialization then delivery.
+  void schedule_arrival(sim::SimTime at, NodeId from, NodeId to,
+                        MessagePtr message);
+
   sim::Simulation& simulation_;
   std::vector<Node> nodes_;
   obs::Counter messages_sent_;
@@ -103,6 +129,7 @@ class Network {
   obs::Counter messages_dropped_;
   obs::Counter bits_sent_;
   obs::FlightRecorder* recorder_ = nullptr;
+  SendInterposer* interposer_ = nullptr;
 };
 
 }  // namespace oddci::net

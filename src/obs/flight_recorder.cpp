@@ -34,6 +34,25 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kPowerChange: return "power.change";
     case TraceEventKind::kTuned: return "tuner.change";
     case TraceEventKind::kMessageDropped: return "message.dropped";
+    case TraceEventKind::kFaultMessageLost: return "fault.message_lost";
+    case TraceEventKind::kFaultMessageDuplicated:
+      return "fault.message_duplicated";
+    case TraceEventKind::kFaultLatencySpike: return "fault.latency_spike";
+    case TraceEventKind::kFaultPartitionStart: return "fault.partition_start";
+    case TraceEventKind::kFaultPartitionEnd: return "fault.partition_end";
+    case TraceEventKind::kFaultCrash: return "fault.crash";
+    case TraceEventKind::kFaultRestart: return "fault.restart";
+    case TraceEventKind::kFaultPnaHang: return "fault.pna_hang";
+    case TraceEventKind::kFaultControlCorrupted:
+      return "fault.control_corrupted";
+    case TraceEventKind::kTaskFailed: return "task.failed";
+    case TraceEventKind::kRecoveryResultRetry: return "recovery.result_retry";
+    case TraceEventKind::kRecoveryRequestRetry:
+      return "recovery.request_retry";
+    case TraceEventKind::kRecoveryAggregatorFailover:
+      return "recovery.aggregator_failover";
+    case TraceEventKind::kRecoveryAggregatorRestore:
+      return "recovery.aggregator_restore";
   }
   return "unknown";
 }
@@ -55,7 +74,7 @@ std::string_view to_string(TraceComponent component) {
 namespace {
 // The enumerators are dense and small; scan rather than maintain a map.
 constexpr TraceEventKind kFirstKind = TraceEventKind::kInstanceRequest;
-constexpr TraceEventKind kLastKind = TraceEventKind::kMessageDropped;
+constexpr TraceEventKind kLastKind = TraceEventKind::kRecoveryAggregatorRestore;
 constexpr TraceComponent kFirstComponent = TraceComponent::kProvider;
 constexpr TraceComponent kLastComponent = TraceComponent::kNetwork;
 }  // namespace

@@ -70,6 +70,20 @@ enum class TraceEventKind : std::uint8_t {
   kPowerChange,           ///< receiver power mode changed (arg: PowerMode)
   kTuned,                 ///< receiver tuned (arg 1) or untuned (arg 0)
   kMessageDropped,        ///< delivery to a detached endpoint (arg: tag)
+  kFaultMessageLost,      ///< injector dropped a direct message (arg: tag)
+  kFaultMessageDuplicated,///< injector duplicated a direct message (arg: tag)
+  kFaultLatencySpike,     ///< injector delayed a message (arg: extra micros)
+  kFaultPartitionStart,   ///< region black-holed (actor: region, arg: node)
+  kFaultPartitionEnd,     ///< partition healed (actor: region, arg: node)
+  kFaultCrash,            ///< component crashed, in-flight state dropped
+  kFaultRestart,          ///< crashed component came back up
+  kFaultPnaHang,          ///< PNA frozen (arg: hang duration in micros)
+  kFaultControlCorrupted, ///< tampered control message put on the air
+  kTaskFailed,            ///< task hit the retry cap, job fails (arg: index)
+  kRecoveryResultRetry,   ///< PNA re-sent an unacked result (arg: index)
+  kRecoveryRequestRetry,  ///< PNA watchdog re-sent a task request
+  kRecoveryAggregatorFailover, ///< silent aggregator voided (actor: shard)
+  kRecoveryAggregatorRestore,  ///< aggregator back in routing (actor: shard)
 };
 
 /// Which component emitted the event — one export track per component.

@@ -134,7 +134,11 @@ TEST_F(BackendTest, DuplicateResultsCountedOnce) {
   }
   sim.run();
   EXPECT_TRUE(complete);
-  EXPECT_EQ(backend.metrics().duplicate_results, 4u);
+  // The duplicate of the last task lands after its first copy completed
+  // the job, so it is a late straggler; the other three are duplicates of
+  // still-active tasks. Either way only the first copy counts.
+  EXPECT_EQ(backend.metrics().duplicate_results, 3u);
+  EXPECT_EQ(backend.metrics().late_results, 1u);
   EXPECT_EQ(backend.tasks_done(), 4u);
 }
 
@@ -165,6 +169,64 @@ TEST_F(BackendTest, TimeoutRequeuesLostTasks) {
   sim.run_until(sim::SimTime::from_seconds(62));
   EXPECT_TRUE(complete);
   EXPECT_EQ(backend.metrics().reassignments, 4u);
+}
+
+TEST_F(BackendTest, SetTaskTimeoutTakesEffectMidJob) {
+  // The job starts with re-dispatch disabled; enabling it mid-job must
+  // start the sweep immediately and recover the already-lost tasks.
+  Backend backend(sim, net, fast);
+  bool complete = false;
+  backend.submit(job, 1, [&] { complete = true; });
+
+  FakePna lost(sim, net), worker(sim, net);
+  for (int i = 0; i < 4; ++i) lost.request(backend.node_id(), 1);
+  sim.run_until(sim::SimTime::from_seconds(1));
+  EXPECT_EQ(lost.assigns.size(), 4u);
+
+  sim.run_until(sim::SimTime::from_seconds(200));
+  EXPECT_EQ(backend.metrics().reassignments, 0u);  // no sweeper yet
+  backend.set_task_timeout(sim::SimTime::from_seconds(30));
+  sim.run_until(sim::SimTime::from_seconds(260));
+  for (int i = 0; i < 4; ++i) worker.request(backend.node_id(), 1);
+  sim.run_until(sim::SimTime::from_seconds(261));
+  ASSERT_EQ(worker.assigns.size(), 4u);
+  for (const auto& assign : worker.assigns) {
+    worker.complete(backend.node_id(), *assign);
+  }
+  sim.run_until(sim::SimTime::from_seconds(262));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(backend.metrics().reassignments, 4u);
+
+  // And zero cancels the sweep in place.
+  backend.set_task_timeout(sim::SimTime::zero());
+  EXPECT_EQ(backend.task_timeout(), sim::SimTime::zero());
+}
+
+TEST_F(BackendTest, RetryCapFailsTaskAndReportsJobFailure) {
+  BackendOptions options;
+  options.task_timeout = sim::SimTime::from_seconds(20);
+  options.sweep_interval = sim::SimTime::from_seconds(5);
+  options.max_task_retries = 2;
+  Backend backend(sim, net, fast, options);
+  bool complete = false;
+  backend.submit(job, 1, [&] { complete = true; });
+
+  // A PNA that takes every assignment and never completes any: each task
+  // times out, re-queues twice, then fails — and the job fails with it.
+  FakePna sink(sim, net);
+  sim.schedule_timer_at(
+      sim::SimTime::from_seconds(1),
+      [&] {
+        for (int i = 0; i < 4; ++i) sink.request(backend.node_id(), 1);
+      },
+      sim::SimTime::from_seconds(10));
+  sim.run_until(sim::SimTime::from_seconds(600));
+
+  EXPECT_TRUE(complete);  // on_complete fires on failure too...
+  EXPECT_TRUE(backend.job_failed());
+  EXPECT_FALSE(backend.job_active());
+  EXPECT_EQ(backend.metrics().tasks_failed, 4u);
+  EXPECT_EQ(backend.tasks_done(), 0u);
 }
 
 TEST_F(BackendTest, SubmitValidation) {

@@ -119,6 +119,157 @@ TEST(FaultInjection, TasksLostToTrimmingAreRedispatched) {
   EXPECT_EQ(result.job.results_received, 400u);
 }
 
+// --- seeded fault-injection subsystem (src/fault/) --------------------------
+
+// Every unique result accounted for exactly once: received minus the
+// deduped duplicates and post-completion stragglers equals the task count.
+void expect_zero_loss(const RunResult& result, std::size_t tasks) {
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.job.results_received - result.job.duplicate_results -
+                result.job.late_results,
+            tasks);
+  EXPECT_EQ(result.job.tasks_failed, 0u);
+}
+
+TEST(FaultInjection, ChannelFaultsJobCompletesWithoutLoss) {
+  SystemConfig config;
+  config.receivers = 300;
+  config.seed = 31;
+  config.controller.overshoot_margin = 1.3;
+  config.fault.enabled = true;
+  config.fault.message_loss = 0.02;
+  config.fault.message_duplication = 0.02;
+  config.fault.latency_spike_probability = 0.01;
+
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(300, 10.0), 50, sim::SimTime::from_hours(12));
+  expect_zero_loss(result, 300u);
+  const auto* injector = system.fault_injector();
+  ASSERT_NE(injector, nullptr);
+  EXPECT_GT(injector->stats().messages_lost, 0u);
+  EXPECT_GT(injector->stats().messages_duplicated, 0u);
+}
+
+TEST(FaultInjection, AggregatorFailoverRehomesHeartbeats) {
+  SystemConfig config;
+  config.receivers = 400;
+  config.aggregators = 4;
+  config.seed = 32;
+  config.controller.overshoot_margin = 1.3;
+  config.fault.enabled = true;
+  // The job window is a few sim minutes; rates are per hour, so crank
+  // them until several crashes land inside it.
+  config.fault.aggregator_crashes_per_hour = 90.0;
+  config.fault.aggregator_downtime = sim::SimTime::from_seconds(60);
+  config.fault.aggregator_failover_timeout = sim::SimTime::from_seconds(25);
+
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(600, 10.0), 60, sim::SimTime::from_hours(12));
+  expect_zero_loss(result, 600u);
+  EXPECT_GT(system.fault_injector()->stats().aggregator_crashes, 0u);
+  // A crashed aggregator went silent long enough to be voided from the
+  // routing, and its later reports restored it.
+  EXPECT_GT(system.controller().aggregator_failovers(), 0u);
+  EXPECT_GT(system.controller().aggregator_restores(), 0u);
+}
+
+TEST(FaultInjection, PartitionWithDuplicationDedupesEndToEnd) {
+  SystemConfig config;
+  config.receivers = 400;
+  config.aggregators = 4;
+  config.seed = 33;
+  config.controller.overshoot_margin = 1.3;
+  config.fault.enabled = true;
+  config.fault.message_duplication = 0.05;
+  config.fault.partitions_per_hour = 60.0;
+  config.fault.partition_duration = sim::SimTime::from_seconds(90);
+  config.fault.aggregator_failover_timeout = sim::SimTime::from_seconds(45);
+
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(300, 10.0), 60, sim::SimTime::from_hours(12));
+  expect_zero_loss(result, 300u);
+  const auto stats = system.fault_injector()->stats();
+  EXPECT_GT(stats.partitions_started, 0u);
+  EXPECT_GT(stats.messages_duplicated, 0u);
+  // Duplicated deliveries (and result-retry re-sends crossing their ack)
+  // must be absorbed by the Backend's ledger, never double-counted.
+  EXPECT_EQ(system.backend().tasks_done(), 300u);
+}
+
+TEST(FaultInjection, CorruptedControlMessagesDieInVerification) {
+  SystemConfig config;
+  config.receivers = 200;
+  config.seed = 34;
+  config.controller.overshoot_margin = 1.3;
+  config.fault.enabled = true;
+  config.fault.control_corruptions_per_hour = 180.0;
+  config.fault.corrupt_exposure = sim::SimTime::from_seconds(5);
+
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(200, 10.0), 40, sim::SimTime::from_hours(12));
+  expect_zero_loss(result, 200u);
+  EXPECT_GT(system.fault_injector()->stats().control_corruptions, 0u);
+  // The tampered configuration reached agents and failed signature
+  // verification — and never made it past it (the job ran unharmed).
+  EXPECT_GT(result.metrics.find_counter("pna.signature_failures")->value, 0u);
+}
+
+TEST(FaultInjection, ControllerCrashRebuildsMembershipFromHeartbeats) {
+  SystemConfig config;
+  config.receivers = 300;
+  config.seed = 35;
+  config.controller.overshoot_margin = 1.3;
+  config.fault.enabled = true;
+  // Crash mid-job: warmup is 90 s, the job starts right after and runs a
+  // few minutes.
+  config.fault.controller_crash_at.push_back(
+      sim::SimTime::from_seconds(140));
+  config.fault.controller_downtime = sim::SimTime::from_seconds(45);
+
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(600, 10.0), 50, sim::SimTime::from_hours(12));
+  expect_zero_loss(result, 600u);
+  EXPECT_EQ(system.fault_injector()->stats().controller_crashes, 1u);
+}
+
+TEST(FaultInjection, BackendCrashRequeuesOutstandingTasks) {
+  SystemConfig config;
+  config.receivers = 300;
+  config.seed = 36;
+  config.controller.overshoot_margin = 1.3;
+  config.fault.enabled = true;
+  config.fault.backend_crash_at.push_back(sim::SimTime::from_seconds(140));
+  config.fault.backend_downtime = sim::SimTime::from_seconds(45);
+
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(600, 10.0), 50, sim::SimTime::from_hours(12));
+  expect_zero_loss(result, 600u);
+  EXPECT_EQ(system.fault_injector()->stats().backend_crashes, 1u);
+  EXPECT_GT(result.job.crash_requeues, 0u);
+}
+
+TEST(FaultInjection, FaultOffSnapshotHasNoFaultCells) {
+  SystemConfig config;
+  config.receivers = 50;
+  config.seed = 37;
+  OddciSystem system(config);
+  const auto result =
+      system.run_job(job_of(20, 1.0), 10, sim::SimTime::from_hours(2));
+  EXPECT_TRUE(result.completed);
+  for (const auto& counter : result.metrics.counters) {
+    EXPECT_EQ(counter.name.rfind("fault.", 0), std::string::npos)
+        << counter.name;
+    EXPECT_EQ(counter.name.rfind("recovery.", 0), std::string::npos)
+        << counter.name;
+  }
+}
+
 TEST(FaultInjection, UntunedReceiversNeverParticipate) {
   SystemConfig config;
   config.receivers = 100;
