@@ -50,6 +50,7 @@ double current_rss_mb() {
 
 struct Point {
   std::size_t receivers = 0;
+  std::size_t shards = 1;
   bool fast_path = false;
   double fanout_wall_s = 0.0;
   double storm_wall_s = 0.0;
@@ -66,9 +67,10 @@ struct Point {
   std::uint64_t pooled_bytes = 0;
 };
 
-Point run_point(std::size_t receivers, bool fast_path) {
+Point run_point(std::size_t receivers, bool fast_path, std::size_t shards) {
   Point point;
   point.receivers = receivers;
+  point.shards = shards;
   point.fast_path = fast_path;
 
   core::SystemConfig config;
@@ -78,6 +80,7 @@ Point run_point(std::size_t receivers, bool fast_path) {
   config.seed = 99;
   config.controller.default_heartbeat = sim::SimTime::from_seconds(10);
   config.fanout_fast_path = fast_path;
+  config.shards = shards;
 
   const double rss_before = current_rss_mb();
   const auto t0 = Clock::now();
@@ -85,17 +88,17 @@ Point run_point(std::size_t receivers, bool fast_path) {
 
   // Phase 1: one broadcast fans out to the whole population.
   system.controller().deploy_pna();
-  system.simulation().run_until(sim::SimTime::from_seconds(120));
+  system.kernel().run_until(sim::SimTime::from_seconds(120));
   point.fanout_wall_s = seconds_since(t0);
 
   // Phase 2: heartbeat storm through the aggregation tier.
   const auto storm0 = Clock::now();
-  system.simulation().run_until(sim::SimTime::from_seconds(120 + 600));
+  system.kernel().run_until(sim::SimTime::from_seconds(120 + 600));
   point.storm_wall_s = seconds_since(storm0);
 
   point.wall_seconds = seconds_since(t0);
   point.rss_delta_mb = current_rss_mb() - rss_before;
-  point.events_executed = system.simulation().events_executed();
+  point.events_executed = system.kernel().events_executed();
   point.events_per_sec =
       static_cast<double>(point.events_executed) / point.wall_seconds;
 
@@ -136,7 +139,8 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
       << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
-    out << "    {\"receivers\": " << p.receivers << ", \"mode\": \""
+    out << "    {\"receivers\": " << p.receivers
+        << ", \"shards\": " << p.shards << ", \"mode\": \""
         << (p.fast_path ? "fast" : "baseline") << "\""
         << ", \"fanout_wall_s\": " << p.fanout_wall_s
         << ", \"storm_wall_s\": " << p.storm_wall_s
@@ -174,10 +178,14 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
 int main(int argc, char** argv) {
   std::string json_path;
   bool quick = false;
+  std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
     if (arg == "--quick") quick = true;
+    if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::stoull(argv[++i]));
+    }
   }
 
   const std::vector<std::size_t> populations =
@@ -194,7 +202,7 @@ int main(int argc, char** argv) {
     // is warm with pages the baseline point freed, which can understate
     // the fast point's RSS delta (see rss_note in the JSON).
     for (const bool fast : {false, true}) {
-      points.push_back(run_point(receivers, fast));
+      points.push_back(run_point(receivers, fast, shards));
       print_point(points.back());
     }
   }

@@ -19,6 +19,10 @@
 
 #include <sys/resource.h>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -27,6 +31,7 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -51,11 +56,22 @@ double peak_rss_mb() {
   return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kB -> MB
 }
 
+// Return allocator-retained free pages to the OS so the next sweep's
+// baseline is tight. Without this, pages freed by a previous sweep stay
+// resident and get silently reused, and the following sweep's RSS delta
+// reads as ~0 (the historical `rss_delta_mb: 0` anomaly at the 100k
+// point, which ran entirely inside the 10k sweep's retained pages).
+void settle_allocator() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+}
+
 // Current (not peak) resident set from /proc/self/statm. ru_maxrss is a
 // process-global high-water mark: once the largest sweep has run, every
 // later (or smaller, earlier-allocating) sweep reports the same number.
-// Per-sweep current-RSS deltas attribute growth to the sweep that caused
-// it; the allocator may retain freed pages, so they are indicative.
+// Per-sweep current-RSS deltas (baseline taken after settle_allocator())
+// attribute growth to the sweep that caused it.
 double current_rss_mb() {
   std::ifstream statm("/proc/self/statm");
   std::uint64_t total_pages = 0;
@@ -290,6 +306,7 @@ KernelPoint kernel_ab(std::size_t population) {
 
 struct SystemPoint {
   std::size_t receivers = 0;
+  std::size_t shards = 1;
   bool completed = false;
   double events_per_sec = 0.0;
   double wall_seconds = 0.0;
@@ -302,9 +319,10 @@ struct SystemPoint {
   obs::MetricsSnapshot metrics;
 };
 
-SystemPoint system_sweep(std::size_t receivers) {
+SystemPoint system_sweep(std::size_t receivers, std::size_t shards) {
   SystemPoint point;
   point.receivers = receivers;
+  point.shards = shards;
 
   core::SystemConfig config;
   config.receivers = receivers;
@@ -312,7 +330,9 @@ SystemPoint system_sweep(std::size_t receivers) {
   config.aggregators = 16;
   config.seed = 99;
   config.controller.overshoot_margin = 1.3;
+  config.shards = shards;
 
+  settle_allocator();
   const double rss_before = current_rss_mb();
   const auto t0 = Clock::now();
   core::OddciSystem system(config);
@@ -323,10 +343,10 @@ SystemPoint system_sweep(std::size_t receivers) {
 
   point.completed = result.completed;
   point.wall_seconds = seconds_since(t0);
-  point.events_executed = system.simulation().events_executed();
+  point.events_executed = system.kernel().events_executed();
   point.events_per_sec =
       static_cast<double>(point.events_executed) / point.wall_seconds;
-  point.sim_seconds = system.simulation().now().seconds();
+  point.sim_seconds = system.kernel().now().seconds();
   point.wall_seconds_per_sim_hour =
       point.wall_seconds / (point.sim_seconds / 3600.0);
   point.peak_rss_mb = peak_rss_mb();
@@ -340,18 +360,44 @@ SystemPoint system_sweep(std::size_t receivers) {
 int main(int argc, char** argv) {
   std::string json_path;
   bool quick = false;
+  bool deep = false;
+  std::size_t shards = 1;
+  std::vector<std::size_t> shard_sweep;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
     if (arg == "--quick") quick = true;
+    if (arg == "--deep") deep = true;  // adds the 10M-receiver point
+    if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::stoull(argv[++i]));
+    }
+    // Comma-separated shard counts for the fixed-population scaling
+    // sweep, e.g. --shard-sweep 1,2,8 (run at the largest non-deep
+    // population: 1M in the full sweep, 10k with --quick).
+    if (arg == "--shard-sweep" && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty()) shard_sweep.push_back(std::stoull(item));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
   }
 
   const std::vector<std::size_t> kernel_pops =
       quick ? std::vector<std::size_t>{10'000}
             : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
-  const std::vector<std::size_t> system_pops =
+  std::vector<std::size_t> system_pops =
       quick ? std::vector<std::size_t>{10'000}
             : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+  // Shard scaling runs at the largest non-deep population (1M in the full
+  // sweep) — the 10M point is a capacity probe, not the scaling scenario.
+  const std::size_t shard_sweep_pop = system_pops.back();
+  if (deep && !quick) system_pops.push_back(10'000'000);
 
   std::cout << "== Kernel A/B: naive (pre-refactor replica) vs pooled+wheel"
             << " — 1 simulated hour of heartbeats ==\n";
@@ -365,12 +411,13 @@ int main(int argc, char** argv) {
                 point.speedup);
   }
 
-  std::cout << "\n== System sweep: OddciSystem::run_job ==\n";
+  std::cout << "\n== System sweep: OddciSystem::run_job (shards=" << shards
+            << ") ==\n";
   std::cout << "receivers | done | events | ev/s | wall s | wall s/sim h |"
             << " dRSS MB | peak RSS MB\n";
   std::vector<SystemPoint> system_points;
   for (const auto receivers : system_pops) {
-    const auto point = system_sweep(receivers);
+    const auto point = system_sweep(receivers, shards);
     system_points.push_back(point);
     std::printf("%9zu | %4s | %.3g | %.3g | %6.1f | %12.1f | %7.1f |"
                 " %11.1f\n",
@@ -381,9 +428,36 @@ int main(int argc, char** argv) {
                 point.peak_rss_mb);
   }
 
+  // Fixed-population shard scaling: the same scenario at each K. Different
+  // K are different (each internally deterministic) trajectories, so the
+  // comparison is wall clock for the same simulated workload, not
+  // event-for-event.
+  std::vector<SystemPoint> shard_points;
+  if (!shard_sweep.empty()) {
+    const std::size_t population = shard_sweep_pop;
+    std::cout << "\n== Shard scaling at " << population << " receivers ==\n";
+    std::cout << "shards | done | events | ev/s | wall s | speedup vs K=1\n";
+    double k1_wall = 0.0;
+    for (const auto k : shard_sweep) {
+      const auto point = system_sweep(population, k);
+      shard_points.push_back(point);
+      if (k == 1) k1_wall = point.wall_seconds;
+      std::printf("%6zu | %4s | %.3g | %.3g | %6.1f | %6.2fx\n", point.shards,
+                  point.completed ? "yes" : "NO",
+                  static_cast<double>(point.events_executed),
+                  point.events_per_sec, point.wall_seconds,
+                  k1_wall > 0.0 ? k1_wall / point.wall_seconds : 0.0);
+    }
+  }
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"kernel_ab\": [\n";
+    // Shard-scaling speedups only mean anything relative to the cores the
+    // sweep had: K worker threads on fewer than K cores time-slice, so the
+    // barrier cost shows up but the parallelism cannot.
+    out << "{\n  \"host\": {\"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << "},\n"
+        << "  \"kernel_ab\": [\n";
     for (std::size_t i = 0; i < kernel_points.size(); ++i) {
       const auto& p = kernel_points[i];
       out << "    {\"population\": " << p.population
@@ -392,10 +466,9 @@ int main(int argc, char** argv) {
           << ", \"speedup\": " << p.speedup << "}"
           << (i + 1 < kernel_points.size() ? "," : "") << "\n";
     }
-    out << "  ],\n  \"system_sweep\": [\n";
-    for (std::size_t i = 0; i < system_points.size(); ++i) {
-      const auto& p = system_points[i];
+    const auto emit_system_point = [&out](const SystemPoint& p) {
       out << "    {\"receivers\": " << p.receivers
+          << ", \"shards\": " << p.shards
           << ", \"completed\": " << (p.completed ? "true" : "false")
           << ", \"events_executed\": " << p.events_executed
           << ", \"events_per_sec\": " << p.events_per_sec
@@ -403,16 +476,29 @@ int main(int argc, char** argv) {
           << ", \"wall_seconds_per_sim_hour\": "
           << p.wall_seconds_per_sim_hour
           << ", \"rss_delta_mb\": " << p.rss_delta_mb
-          << ", \"peak_rss_mb\": " << p.peak_rss_mb << "}"
-          << (i + 1 < system_points.size() ? "," : "") << "\n";
+          << ", \"peak_rss_mb\": " << p.peak_rss_mb << "}";
+    };
+    out << "  ],\n  \"system_sweep\": [\n";
+    for (std::size_t i = 0; i < system_points.size(); ++i) {
+      emit_system_point(system_points[i]);
+      out << (i + 1 < system_points.size() ? "," : "") << "\n";
     }
-    out << "  ],\n  \"rss_note\": \"peak_rss_mb is the process-global "
+    out << "  ],\n";
+    if (!shard_points.empty()) {
+      out << "  \"shard_scaling\": [\n";
+      for (std::size_t i = 0; i < shard_points.size(); ++i) {
+        emit_system_point(shard_points[i]);
+        out << (i + 1 < shard_points.size() ? "," : "") << "\n";
+      }
+      out << "  ],\n";
+    }
+    out << "  \"rss_note\": \"peak_rss_mb is the process-global "
         << "high-water mark (ru_maxrss) and is monotone across sweeps — "
         << "identical values for consecutive points mean an earlier/larger "
         << "sweep set the peak. rss_delta_mb is per-sweep current-RSS "
-        << "growth (/proc/self/statm) and attributes memory to the sweep "
-        << "that allocated it; the allocator may retain freed pages, so "
-        << "deltas are indicative.\"\n}\n";
+        << "growth (/proc/self/statm) measured from a baseline taken after "
+        << "a malloc_trim(0) settle, so allocator pages retained from "
+        << "earlier sweeps no longer mask a sweep's own growth.\"\n}\n";
     std::cout << "\nwrote " << json_path << "\n";
   }
 

@@ -41,6 +41,15 @@ core::SystemConfig system_config(const util::Config& cfg) {
   config.obs.sample_interval =
       sim::SimTime::from_seconds(cfg.get_double("sample_interval_s", 10.0));
   config.fanout_fast_path = cfg.get_bool("fanout_fast_path", true);
+  // Sharded parallel kernel: worker-thread shard count ("threads" is an
+  // accepted alias). 1 = the classic single-threaded kernel; existing
+  // scenario files are unchanged.
+  config.shards = static_cast<std::size_t>(
+      cfg.get_int("shards", cfg.get_int("threads", 1)));
+  const double window_ms = cfg.get_double("window_ms", 0.0);
+  if (window_ms > 0.0) {
+    config.window = sim::SimTime::from_seconds(window_ms / 1e3);
+  }
 
   const std::string technology = cfg.get_string("technology", "dtv");
   if (technology == "iptv") {

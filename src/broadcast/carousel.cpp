@@ -22,6 +22,40 @@ const CarouselFile* CarouselSnapshot::find(const std::string& name) const {
   return nullptr;
 }
 
+std::optional<sim::SimTime> CarouselSnapshot::read_completion_time(
+    const std::string& file_name, sim::SimTime listen_from) const {
+  if (generation == 0) return std::nullopt;
+  if (listen_from < epoch) {
+    throw std::invalid_argument(
+        "CarouselSnapshot: listen_from precedes the generation epoch");
+  }
+  const std::int64_t cycle_bits = total_size().count();
+  if (cycle_bits == 0) return std::nullopt;
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const CarouselFile& f = files[i];
+    if (f.name != file_name) continue;
+
+    const double beta = rate.bps();
+    const double cycle_s = static_cast<double>(cycle_bits) / beta;
+    const double start_offset_s = static_cast<double>(offsets[i]) / beta;
+    const double read_s = static_cast<double>(f.size.count()) / beta;
+
+    // Phase of the carousel at listen_from, in seconds within the cycle,
+    // accounting for the rotation the generation started at.
+    const double phase0 = static_cast<double>(phase_bits) / beta;
+    const double elapsed = (listen_from - epoch).seconds() + phase0;
+    const double phase = std::fmod(elapsed, cycle_s);
+
+    // Wait until the next emission of the file's first byte.
+    double wait = start_offset_s - phase;
+    if (wait < 0.0) wait += cycle_s;
+
+    return listen_from + sim::SimTime::from_seconds(wait + read_s);
+  }
+  return std::nullopt;
+}
+
 ObjectCarousel::ObjectCarousel(util::BitRate rate) : staged_rate_(rate) {
   if (rate.bps() <= 0.0) {
     throw std::invalid_argument("ObjectCarousel: rate must be > 0");
@@ -65,12 +99,12 @@ std::uint64_t ObjectCarousel::commit(sim::SimTime now,
   active_.phase_bits = phase_bits;
   active_.files.clear();
   active_.files.reserve(staged_.size());
-  offsets_.clear();
-  offsets_.reserve(staged_.size());
+  active_.offsets.clear();
+  active_.offsets.reserve(staged_.size());
   std::int64_t offset = 0;
   for (const auto& [name, file] : staged_) {
     active_.files.push_back(file);
-    offsets_.push_back(offset);
+    active_.offsets.push_back(offset);
     offset += file.size.count();
   }
   if (offset > 0) {
@@ -83,36 +117,7 @@ std::uint64_t ObjectCarousel::commit(sim::SimTime now,
 
 std::optional<sim::SimTime> ObjectCarousel::read_completion_time(
     const std::string& file_name, sim::SimTime listen_from) const {
-  if (!has_committed()) return std::nullopt;
-  if (listen_from < active_.epoch) {
-    throw std::invalid_argument(
-        "ObjectCarousel: listen_from precedes the generation epoch");
-  }
-  const std::int64_t cycle_bits = active_.total_size().count();
-  if (cycle_bits == 0) return std::nullopt;
-
-  for (std::size_t i = 0; i < active_.files.size(); ++i) {
-    const CarouselFile& f = active_.files[i];
-    if (f.name != file_name) continue;
-
-    const double beta = active_.rate.bps();
-    const double cycle_s = static_cast<double>(cycle_bits) / beta;
-    const double start_offset_s = static_cast<double>(offsets_[i]) / beta;
-    const double read_s = static_cast<double>(f.size.count()) / beta;
-
-    // Phase of the carousel at listen_from, in seconds within the cycle,
-    // accounting for the rotation the generation started at.
-    const double phase0 = static_cast<double>(active_.phase_bits) / beta;
-    const double elapsed = (listen_from - active_.epoch).seconds() + phase0;
-    const double phase = std::fmod(elapsed, cycle_s);
-
-    // Wait until the next emission of the file's first byte.
-    double wait = start_offset_s - phase;
-    if (wait < 0.0) wait += cycle_s;
-
-    return listen_from + sim::SimTime::from_seconds(wait + read_s);
-  }
-  return std::nullopt;
+  return active_.read_completion_time(file_name, listen_from);
 }
 
 std::optional<double> ObjectCarousel::mean_acquisition_seconds(

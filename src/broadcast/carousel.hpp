@@ -42,10 +42,23 @@ struct CarouselSnapshot {
   /// the mean acquisition latency 1.5 cycles rather than 1.
   std::int64_t phase_bits = 0;
   std::vector<CarouselFile> files;
+  /// Bit offset of each file within the cycle (parallel to `files`). Part
+  /// of the snapshot so that a receiver holding a retained copy (sharded
+  /// kernel: snapshots travel to receiver shards inside signalling
+  /// capsules) can compute read times without touching the live carousel.
+  std::vector<std::int64_t> offsets;
 
   [[nodiscard]] util::Bits total_size() const;
   [[nodiscard]] double cycle_seconds() const;
   [[nodiscard]] const CarouselFile* find(const std::string& name) const;
+
+  /// Absolute time at which a receiver that begins listening at
+  /// `listen_from` (>= the epoch) finishes acquiring `file_name`, or
+  /// nullopt if the file is not in this generation. A receiver must
+  /// capture a file from its first byte: if it tunes mid-file it waits
+  /// for the next cycle.
+  [[nodiscard]] std::optional<sim::SimTime> read_completion_time(
+      const std::string& file_name, sim::SimTime listen_from) const;
 };
 
 class ObjectCarousel {
@@ -91,7 +104,6 @@ class ObjectCarousel {
   util::BitRate staged_rate_;
   std::map<std::string, CarouselFile> staged_;  // ordered => stable layout
   CarouselSnapshot active_;
-  std::vector<std::int64_t> offsets_;  // bit offset of each active file
   std::uint64_t next_generation_ = 1;
 };
 

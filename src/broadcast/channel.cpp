@@ -1,5 +1,6 @@
 #include "broadcast/channel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -37,6 +38,12 @@ std::uint64_t BroadcastChannel::commit() {
                     obs::TraceComponent::kCarousel, {}, generation,
                     carousel_.current().files.size());
   }
+  if (sharded_ != nullptr && sharded_->shard_count() > 1) {
+    // Freeze this generation's signalling once; every cross-shard delivery
+    // shares the same immutable capsule.
+    capsule_ = std::make_shared<const SignallingCapsule>(SignallingCapsule{
+        ait_, carousel_.current(), section_loss_, section_size_});
+  }
   for (const auto& [id, listener] : listeners_) {
     (void)listener;
     schedule_acquisition(id);
@@ -58,7 +65,21 @@ void BroadcastChannel::schedule_acquisition(ListenerId id) {
         if (carousel_.current().generation != generation) {
           return;  // superseded by a newer commit; its own event will fire
         }
-        it->second->on_signalling(ait_, carousel_.current());
+        if (sharded_ == nullptr || sharded_->shard_count() == 1) {
+          it->second->on_signalling(ait_, carousel_.current());
+          return;
+        }
+        // Sharded: the superseded check above ran live on the channel's
+        // shard; only the final delivery crosses, as a frozen capsule.
+        const std::uint32_t shard = listener_shard(id);
+        if (shard == 0) {
+          it->second->on_signalling_capsule(capsule_);
+          return;
+        }
+        sharded_->post(0, shard, simulation_.now(),
+                       [listener = it->second, capsule = capsule_] {
+                         listener->on_signalling_capsule(capsule);
+                       });
       },
       sim::SimTime::zero(), sim::EventPriority::kDelivery);
 }
@@ -77,28 +98,28 @@ void BroadcastChannel::set_section_loss(double per_section_loss,
   section_size_ = section_size;
 }
 
+double section_loss_extra_cycles(const CarouselFile& file, double p,
+                                 util::Bits section_size, double u) {
+  const auto sections = static_cast<double>(
+      (file.size.count() + section_size.count() - 1) / section_size.count());
+  const double root = std::pow(u, 1.0 / sections);
+  double passes = 1.0;
+  if (root < 1.0) {
+    passes = std::ceil(std::log1p(-root) / std::log(p));
+    passes = std::max(passes, 1.0);
+  }
+  return passes - 1.0;
+}
+
 std::optional<sim::SimTime> BroadcastChannel::file_ready_at(
     const std::string& name, sim::SimTime listen_from) {
   auto base = carousel_.read_completion_time(name, listen_from);
   if (!base || section_loss_ <= 0.0) return base;
 
   const CarouselFile* file = carousel_.current().find(name);
-  const auto sections = static_cast<double>(
-      (file->size.count() + section_size_.count() - 1) /
-      section_size_.count());
-
-  // Each section needs Geometric(1 - p) passes; the file completes when
-  // the slowest section lands. P(max passes <= m) = (1 - p^m)^k, inverted
-  // with a single uniform draw:
-  //   m = ceil( log(1 - U^(1/k)) / log(p) ).
   const double u = rng_.uniform();
-  const double root = std::pow(u, 1.0 / sections);
-  double passes = 1.0;
-  if (root < 1.0) {
-    passes = std::ceil(std::log1p(-root) / std::log(section_loss_));
-    passes = std::max(passes, 1.0);
-  }
-  const double extra_cycles = passes - 1.0;
+  const double extra_cycles =
+      section_loss_extra_cycles(*file, section_loss_, section_size_, u);
   return *base + sim::SimTime::from_seconds(
                      extra_cycles * carousel_.current().cycle_seconds());
 }
@@ -109,6 +130,25 @@ ListenerId BroadcastChannel::tune(BroadcastListener* listener) {
   }
   const ListenerId id = next_listener_++;
   listeners_.emplace(id, listener);
+  if (carousel_.has_committed()) {
+    schedule_acquisition(id);
+  }
+  return id;
+}
+
+ListenerId BroadcastChannel::tune_with_id(ListenerId id,
+                                          BroadcastListener* listener,
+                                          std::uint32_t shard) {
+  if (listener == nullptr) {
+    throw std::invalid_argument("BroadcastChannel: null listener");
+  }
+  if (id == 0 || listeners_.count(id) > 0) {
+    throw std::invalid_argument("BroadcastChannel: bad stable listener id");
+  }
+  // Stay clear of the auto-assigned range so plain tune() never collides.
+  next_listener_ = std::max(next_listener_, id + 1);
+  listeners_.emplace(id, listener);
+  listener_shards_[id] = shard;
   if (carousel_.has_committed()) {
     schedule_acquisition(id);
   }

@@ -45,6 +45,15 @@ class BroadcastMedium {
 
   // --- receivers --------------------------------------------------------------
   virtual ListenerId tune(BroadcastListener* listener) = 0;
+  /// Sharded-kernel tune with a caller-chosen stable id and the listener's
+  /// kernel shard (used to route deliveries). Media that do not support
+  /// sharding fall back to a plain tune and ignore both.
+  virtual ListenerId tune_with_id(ListenerId id, BroadcastListener* listener,
+                                  std::uint32_t shard) {
+    (void)id;
+    (void)shard;
+    return tune(listener);
+  }
   virtual void untune(ListenerId id) = 0;
   [[nodiscard]] virtual std::size_t tuned_count() const = 0;
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -20,6 +21,12 @@ namespace oddci::core {
 
 class ContentStore {
  public:
+  /// Sharded kernel: the Controller (control shard) writes while PNAs on
+  /// worker shards read, inside the same window. Turn on reader/writer
+  /// locking and eager decode-memoization at put time (readers then never
+  /// mutate the memo). Single-shard runs never touch the mutex.
+  void set_concurrent(bool on) { concurrent_ = on; }
+
   /// Encode and store a control message; returns its content id.
   std::uint64_t put_control(const ControlMessage& message);
 
@@ -60,6 +67,8 @@ class ContentStore {
   bool writer_used_ = false;
   obs::Counter writer_reuses_;
   std::uint64_t next_id_ = 1;
+  bool concurrent_ = false;
+  mutable std::shared_mutex mutex_;
 };
 
 }  // namespace oddci::core

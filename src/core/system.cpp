@@ -25,6 +25,17 @@ void SystemConfig::validate() const {
     throw std::invalid_argument(
         "SystemConfig: all receivers off with no churn would deadlock");
   }
+  if (shards == 0) {
+    throw std::invalid_argument("SystemConfig: shards must be >= 1");
+  }
+  if (shards > 1 && technology != BroadcastTechnology::kDtvCarousel) {
+    throw std::invalid_argument(
+        "SystemConfig: shards > 1 requires the DTV carousel (multicast "
+        "sessions are not shard-routed)");
+  }
+  if (window < sim::SimTime::zero()) {
+    throw std::invalid_argument("SystemConfig: window must be >= 0");
+  }
   // Merged control-plane knobs (previously duplicated top-level scalars).
   if (controller.monitor_interval <= sim::SimTime::zero()) {
     throw std::invalid_argument(
@@ -77,12 +88,33 @@ double RunResult::efficiency(std::size_t n, double device_task_seconds,
 OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   config_.validate();
 
-  simulation_ = std::make_unique<sim::Simulation>();
+  sim::ShardedSimulation::Options kopts;
+  kopts.shards = config_.shards;
+  kopts.window = config_.window;
+  if (kopts.window <= sim::SimTime::zero()) {
+    // Auto window: the shortest cross-shard wire (receiver vs server
+    // propagation delay) bounds how far a boundary clamp can defer a
+    // delivery; floor at 1 ms so tiny latencies don't thrash the barrier
+    // and cap at 5 ms so huge ones don't make windows needlessly coarse.
+    kopts.window = std::min(config_.receiver_latency, config_.server_latency);
+    if (kopts.window < sim::SimTime::from_millis(1)) {
+      kopts.window = sim::SimTime::from_millis(1);
+    }
+    if (kopts.window > sim::SimTime::from_millis(5)) {
+      kopts.window = sim::SimTime::from_millis(5);
+    }
+  }
+  sharded_ = std::make_unique<sim::ShardedSimulation>(kopts);
+  simulation_ = &sharded_->control();
+  const std::size_t K = sharded_->shard_count();
+
   network_ = std::make_unique<net::Network>(*simulation_);
+  if (K > 1) network_->set_sharded(sharded_.get());
   // Every receiver, every aggregator, the Controller, and the Backend get
   // an endpoint; size the table once up front.
   network_->reserve_endpoints(config_.receivers + config_.aggregators + 2);
   store_ = std::make_unique<ContentStore>();
+  store_->set_concurrent(K > 1);
 
   util::Random rng(config_.seed);
   key_ = rng.engine().next() | 1;  // non-zero signing key
@@ -108,6 +140,7 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
     if (config_.section_loss > 0.0) {
       dtv->set_section_loss(config_.section_loss);
     }
+    if (K > 1) dtv->set_sharded(sharded_.get());
     channels_.push_back(std::move(dtv));
   }
 
@@ -130,15 +163,22 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
     aopts.report_interval = config_.aggregator_report_interval;
     std::vector<net::NodeId> aggregator_nodes;
     for (std::size_t a = 0; a < config_.aggregators; ++a) {
+      // Aggregator `a` lives on shard a % K; its endpoint registers there
+      // so the heartbeats it hears (all from receivers homed on it, placed
+      // on the same shard below) never cross a shard boundary.
+      if (K > 1) {
+        network_->set_register_shard(static_cast<std::uint32_t>(a % K));
+      }
       aggregators_.push_back(std::make_unique<HeartbeatAggregator>(
-          *simulation_, *network_, controller_->node_id(), server_link,
-          aopts));
+          K > 1 ? sharded_->shard(a % K) : *simulation_, *network_,
+          controller_->node_id(), server_link, aopts));
       // Agents pick aggregators[pna_id % k], so aggregator `a` only ever
       // hears ids congruent to a (mod k) — declare that shard so its
       // window is a dense vector instead of a hash map.
       aggregators_.back()->set_shard(config_.aggregators, a);
       aggregator_nodes.push_back(aggregators_.back()->node_id());
     }
+    if (K > 1) network_->set_register_shard(0);
     controller_->set_aggregators(std::move(aggregator_nodes));
   }
 
@@ -156,7 +196,7 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   pna_env_.content_store = store_.get();
   pna_env_.trusted_key = key_;
   pna_env_.task_poll_interval = config_.task_poll_interval;
-  if (config_.fanout_fast_path) {
+  if (config_.fanout_fast_path && K == 1) {
     verify_cache_ = std::make_unique<broadcast::VerifyCache>();
     // The ring must outlast the in-flight window or acquires find their
     // slot still referenced and fall back to allocation: heartbeats live
@@ -170,33 +210,98 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
     pna_env_.heartbeat_pool = heartbeat_pool_.get();
   }
 
+  if (K > 1) {
+    // Per-shard agent-side state: every hot-path cell an agent touches is
+    // private to its shard's window thread. The base pna_env_ keeps the
+    // shared read-only plumbing (store, key, poll interval); each shard's
+    // copy overrides the mutable pieces.
+    shard_pna_counters_.resize(K);
+    shard_acquire_latency_.assign(K, obs::LogHistogram(1e-3));
+    shard_recoveries_.resize(K);
+    util::SplitMix64 loss_seeds(config_.seed ^ 0x10555EEDull);
+    shard_loss_rngs_.reserve(K);
+    shard_envs_.reserve(K);
+    for (std::size_t s = 0; s < K; ++s) {
+      shard_loss_rngs_.emplace_back(loss_seeds.next());
+      if (config_.fanout_fast_path) {
+        shard_verify_caches_.push_back(
+            std::make_unique<broadcast::VerifyCache>());
+        shard_heartbeat_pools_.push_back(
+            std::make_unique<net::MessagePool<HeartbeatMessage>>(
+                std::clamp<std::size_t>(config_.receivers / K / 8, 4096,
+                                        1u << 17)));
+      }
+      PnaEnvironment env = pna_env_;
+      if (config_.fanout_fast_path) {
+        env.verify_cache = shard_verify_caches_[s].get();
+        env.heartbeat_pool = shard_heartbeat_pools_[s].get();
+      }
+      shard_envs_.push_back(env);
+    }
+  }
+
   const net::LinkSpec stb_link{config_.delta, config_.delta,
                                config_.receiver_latency};
   receivers_.reserve(config_.receivers);
+  const std::size_t A = config_.aggregators;
   for (std::size_t i = 0; i < config_.receivers; ++i) {
+    // Placement follows the heartbeat routing: receiver i's pna id is its
+    // node id (A + 2 + i), so it homes on aggregator (2 + i) % A, which
+    // lives on shard ((2 + i) % A) % K — the per-heartbeat hop never
+    // crosses a shard boundary. With no aggregation tier, round-robin.
+    const std::size_t s = K == 1 ? 0 : (A > 0 ? ((2 + i) % A) % K : i % K);
+    if (K > 1) network_->set_register_shard(static_cast<std::uint32_t>(s));
     auto receiver = std::make_unique<dtv::Receiver>(
-        *simulation_, *network_, config_.profile, stb_link);
+        K > 1 ? sharded_->shard(s) : *simulation_, *network_,
+        config_.profile, stb_link);
     receiver->set_power_mode(config_.initial_power);
     const std::uint64_t pna_seed = rng.engine().next();
-    const PnaEnvironment* env = &pna_env_;
+    const PnaEnvironment* env = K > 1 ? &shard_envs_[s] : &pna_env_;
     receiver->application_manager().register_factory(
         "oddci-pna", [env, pna_seed] {
           return std::make_unique<PnaXlet>(*env, pna_seed);
         });
+    if (K > 1) {
+      receiver->set_shard_context(sharded_.get(),
+                                  static_cast<std::uint32_t>(s),
+                                  static_cast<broadcast::ListenerId>(i + 1),
+                                  &shard_loss_rngs_[s]);
+    }
     if (rng.uniform() < config_.tuned_fraction) {
       receiver->tune(*channels_[i % channels_.size()]);
     }
     receivers_.push_back(std::move(receiver));
   }
+  if (K > 1) {
+    network_->set_register_shard(0);
+    // Construction-time tunes above ran direct (single-threaded); from
+    // here on, off-control-shard receivers route (un)tunes through the
+    // mailboxes.
+    for (auto& r : receivers_) r->activate_shard_routing();
+  }
 
   if (config_.churn) {
-    std::vector<dtv::Receiver*> raw;
-    raw.reserve(receivers_.size());
-    for (auto& r : receivers_) raw.push_back(r.get());
-    churn_ = std::make_unique<ChurnProcess>(*simulation_, std::move(raw),
-                                            rng.engine().next(),
-                                            *config_.churn);
-    churn_->start();
+    const std::uint64_t churn_seed = rng.engine().next();
+    if (K == 1) {
+      std::vector<dtv::Receiver*> raw;
+      raw.reserve(receivers_.size());
+      for (auto& r : receivers_) raw.push_back(r.get());
+      churn_ = std::make_unique<ChurnProcess>(*simulation_, std::move(raw),
+                                              churn_seed, *config_.churn);
+      churn_->start();
+    } else {
+      // One churn process per shard, on that shard's kernel, over that
+      // shard's receivers: power cycles are ordinary intra-shard events.
+      std::vector<std::vector<dtv::Receiver*>> per_shard(K);
+      for (auto& r : receivers_) per_shard[r->shard()].push_back(r.get());
+      util::SplitMix64 churn_seeds(churn_seed);
+      for (std::size_t s = 0; s < K; ++s) {
+        churn_procs_.push_back(std::make_unique<ChurnProcess>(
+            sharded_->shard(s), std::move(per_shard[s]), churn_seeds.next(),
+            *config_.churn));
+        churn_procs_.back()->start();
+      }
+    }
   }
 
   if (config_.fault.enabled) {
@@ -208,6 +313,7 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
                                     : (config_.seed ^ 0x0DDC1FA17ull);
     injector_ = std::make_unique<fault::FaultInjector>(*simulation_,
                                                        config_.fault, fseed);
+    if (K > 1) injector_->set_sharded(sharded_.get());
     network_->set_interposer(injector_.get());
     injector_->set_controller_hooks([this] { controller_->crash(); },
                                     [this] { controller_->restart(); });
@@ -229,6 +335,10 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
     pna_recovery_.result_retry_base = config_.fault.result_retry_base;
     pna_recovery_.request_watchdog = config_.fault.request_watchdog;
     pna_env_.recovery = &pna_recovery_;
+    for (std::size_t s = 0; s < shard_envs_.size(); ++s) {
+      shard_recoveries_[s] = pna_recovery_;
+      shard_envs_[s].recovery = &shard_recoveries_[s];
+    }
   }
 
   if (config_.obs.enabled) {
@@ -239,6 +349,7 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
 }
 
 void OddciSystem::wire_observability() {
+  const std::size_t K = sharded_->shard_count();
   registry_ = std::make_unique<obs::MetricsRegistry>();
   registry_->set_max_spans(config_.obs.max_spans);
   tracer_ = std::make_unique<obs::Tracer>(*registry_);
@@ -256,11 +367,54 @@ void OddciSystem::wire_observability() {
   }
 
   // Shared blocks: owned here, incremented by the population / the media.
-  pna_counters_.link(*registry_);
-  registry_->link_histogram("pna.acquire_latency_seconds",
-                            pna_acquire_latency_);
-  pna_env_.counters = &pna_counters_;
-  pna_env_.acquire_latency = &pna_acquire_latency_;
+  // Under a sharded kernel each shard increments its own cells and the
+  // registry exports the merged sum lazily at snapshot time — same names,
+  // no atomic on the hot path.
+  if (K == 1) {
+    pna_counters_.link(*registry_);
+    registry_->link_histogram("pna.acquire_latency_seconds",
+                              pna_acquire_latency_);
+    pna_env_.counters = &pna_counters_;
+    pna_env_.acquire_latency = &pna_acquire_latency_;
+  } else {
+    const auto merged = [this](obs::Counter obs::PnaCounters::*cell) {
+      return [this, cell]() -> std::uint64_t {
+        std::uint64_t sum = 0;
+        for (const auto& c : shard_pna_counters_) sum += (c.*cell).value();
+        return sum;
+      };
+    };
+    registry_->link_counter_fn(
+        "pna.control_messages_seen",
+        merged(&obs::PnaCounters::control_messages_seen));
+    registry_->link_counter_fn("pna.signature_failures",
+                               merged(&obs::PnaCounters::signature_failures));
+    registry_->link_counter_fn(
+        "pna.wakeups_dropped_busy",
+        merged(&obs::PnaCounters::wakeups_dropped_busy));
+    registry_->link_counter_fn(
+        "pna.wakeups_rejected_requirements",
+        merged(&obs::PnaCounters::wakeups_rejected_requirements));
+    registry_->link_counter_fn(
+        "pna.wakeups_dropped_probability",
+        merged(&obs::PnaCounters::wakeups_dropped_probability));
+    registry_->link_counter_fn("pna.joins", merged(&obs::PnaCounters::joins));
+    registry_->link_counter_fn("pna.resets",
+                               merged(&obs::PnaCounters::resets));
+    registry_->link_counter_fn("pna.tasks_completed",
+                               merged(&obs::PnaCounters::tasks_completed));
+    registry_->link_counter_fn("pna.heartbeats_sent",
+                               merged(&obs::PnaCounters::heartbeats_sent));
+    std::vector<const obs::LogHistogram*> hists;
+    hists.reserve(K);
+    for (const auto& h : shard_acquire_latency_) hists.push_back(&h);
+    registry_->link_histogram_set("pna.acquire_latency_seconds",
+                                  std::move(hists));
+    for (std::size_t s = 0; s < K; ++s) {
+      shard_envs_[s].counters = &shard_pna_counters_[s];
+      shard_envs_[s].acquire_latency = &shard_acquire_latency_[s];
+    }
+  }
   broadcast_counters_.link(*registry_);
   for (auto& channel : channels_) {
     channel->set_counters(&broadcast_counters_);
@@ -270,6 +424,42 @@ void OddciSystem::wire_observability() {
   // exists, so fast-path-off snapshots carry no phantom zero cells.
   if (verify_cache_) verify_cache_->link_metrics(*registry_);
   if (heartbeat_pool_) heartbeat_pool_->link_metrics(*registry_, "heartbeat");
+  if (K > 1 && config_.fanout_fast_path) {
+    registry_->link_counter_fn("verify_cache.hit", [this] {
+      std::uint64_t sum = 0;
+      for (const auto& c : shard_verify_caches_) sum += c->hits().value();
+      return sum;
+    });
+    registry_->link_counter_fn("verify_cache.miss", [this] {
+      std::uint64_t sum = 0;
+      for (const auto& c : shard_verify_caches_) sum += c->misses().value();
+      return sum;
+    });
+    registry_->link_probe("verify_cache.size", [this] {
+      std::size_t sum = 0;
+      for (const auto& c : shard_verify_caches_) sum += c->size();
+      return static_cast<double>(sum);
+    });
+    registry_->link_counter_fn("heartbeat.pool_reused", [this] {
+      std::uint64_t sum = 0;
+      for (const auto& p : shard_heartbeat_pools_) sum += p->reused().value();
+      return sum;
+    });
+    registry_->link_counter_fn("heartbeat.pool_allocated", [this] {
+      std::uint64_t sum = 0;
+      for (const auto& p : shard_heartbeat_pools_) {
+        sum += p->allocated().value();
+      }
+      return sum;
+    });
+    registry_->link_counter_fn("heartbeat.pooled_bytes", [this] {
+      std::uint64_t sum = 0;
+      for (const auto& p : shard_heartbeat_pools_) {
+        sum += p->pooled_bytes().value();
+      }
+      return sum;
+    });
+  }
   if (config_.fanout_fast_path) {
     registry_->link_counter("wire.writer_reuse", store_->writer_reuses());
   }
@@ -278,13 +468,30 @@ void OddciSystem::wire_observability() {
   // snapshots are byte-identical to a build without the subsystem.
   if (injector_) injector_->link_metrics(*registry_);
   if (pna_env_.recovery != nullptr) {
-    registry_->link_counter("recovery.result_retries",
-                            pna_recovery_.result_retries);
-    registry_->link_counter("recovery.request_retries",
-                            pna_recovery_.request_retries);
+    if (K == 1) {
+      registry_->link_counter("recovery.result_retries",
+                              pna_recovery_.result_retries);
+      registry_->link_counter("recovery.request_retries",
+                              pna_recovery_.request_retries);
+    } else {
+      registry_->link_counter_fn("recovery.result_retries", [this] {
+        std::uint64_t sum = 0;
+        for (const auto& r : shard_recoveries_) {
+          sum += r.result_retries.value();
+        }
+        return sum;
+      });
+      registry_->link_counter_fn("recovery.request_retries", [this] {
+        std::uint64_t sum = 0;
+        for (const auto& r : shard_recoveries_) {
+          sum += r.request_retries.value();
+        }
+        return sum;
+      });
+    }
   }
 
-  if (config_.obs.trace) {
+  if (config_.obs.trace && K == 1) {
     // Causal flight recorder: one ring shared by every component, so the
     // export interleaves all tracks in recording order.
     recorder_ = std::make_unique<obs::FlightRecorder>(
@@ -304,6 +511,43 @@ void OddciSystem::wire_observability() {
     // system is tracing, every Logger line carries t=<sim seconds>.
     util::Logger::instance().set_clock(
         [this] { return simulation_->now().seconds(); });
+  } else if (config_.obs.trace) {
+    // One ring per shard, written only by that shard's window thread.
+    // Strided id streams (offset s, stride K) keep event ids disjoint, so
+    // obs::merge_events() yields one chronological population-wide export.
+    shard_recorders_.reserve(K);
+    for (std::size_t s = 0; s < K; ++s) {
+      auto rec =
+          std::make_unique<obs::FlightRecorder>(config_.obs.trace_capacity);
+      rec->set_id_stream(s, K);
+      shard_recorders_.push_back(std::move(rec));
+    }
+    obs::FlightRecorder* control_rec = shard_recorders_.front().get();
+    provider_->set_flight_recorder(control_rec);
+    controller_->set_flight_recorder(control_rec);
+    backend_->set_flight_recorder(control_rec);
+    for (std::size_t a = 0; a < aggregators_.size(); ++a) {
+      aggregators_[a]->set_flight_recorder(shard_recorders_[a % K].get());
+    }
+    network_->set_recorder(control_rec);
+    for (std::size_t s = 0; s < K; ++s) {
+      network_->set_shard_recorder(s, shard_recorders_[s].get());
+    }
+    for (auto& channel : channels_) channel->set_recorder(control_rec);
+    for (auto& receiver : receivers_) {
+      receiver->set_recorder(shard_recorders_[receiver->shard()].get());
+    }
+    for (std::size_t s = 0; s < K; ++s) {
+      shard_envs_[s].recorder = shard_recorders_[s].get();
+    }
+    if (injector_) {
+      injector_->set_recorder(control_rec);
+      for (std::size_t s = 0; s < K; ++s) {
+        injector_->set_shard_recorder(s, shard_recorders_[s].get());
+      }
+    }
+    util::Logger::instance().set_clock(
+        [this] { return simulation_->now().seconds(); });
   }
 
   // Sim-time series. Every probe is O(1): the controller maintains its
@@ -313,6 +557,7 @@ void OddciSystem::wire_observability() {
   sopts.interval = config_.obs.sample_interval;
   sopts.max_points = config_.obs.max_series_points;
   sampler_ = std::make_unique<obs::Sampler>(*simulation_, *registry_, sopts);
+  if (K > 1) sampler_->set_sharded(sharded_.get());
   sampler_->add_gauge_series("series.instance_size", [this] {
     return static_cast<double>(controller_->total_member_count());
   });
@@ -325,8 +570,18 @@ void OddciSystem::wire_observability() {
   sampler_->add_gauge_series("series.carousel_files", [this] {
     return static_cast<double>(channels_.front()->current().files.size());
   });
-  sampler_->add_rate_series("series.heartbeat_rate",
-                            pna_counters_.heartbeats_sent);
+  if (K == 1) {
+    sampler_->add_rate_series("series.heartbeat_rate",
+                              pna_counters_.heartbeats_sent);
+  } else {
+    sampler_->add_rate_series_fn("series.heartbeat_rate", [this] {
+      std::uint64_t sum = 0;
+      for (const auto& c : shard_pna_counters_) {
+        sum += c.heartbeats_sent.value();
+      }
+      return sum;
+    });
+  }
   sampler_->start();
 }
 
@@ -345,7 +600,17 @@ obs::MetricsSnapshot OddciSystem::metrics_snapshot() const {
 OddciSystem::~OddciSystem() {
   // The logger clock captures this system's simulation; remove it before
   // the simulation goes away.
-  if (recorder_) util::Logger::instance().clear_clock();
+  if (recorder_ || !shard_recorders_.empty()) {
+    util::Logger::instance().clear_clock();
+  }
+}
+
+std::vector<const obs::FlightRecorder*> OddciSystem::flight_recorders()
+    const {
+  std::vector<const obs::FlightRecorder*> out;
+  if (recorder_) out.push_back(recorder_.get());
+  for (const auto& rec : shard_recorders_) out.push_back(rec.get());
+  return out;
 }
 
 bool OddciSystem::apply_pna_fault(std::uint64_t pick, bool hang,
@@ -392,7 +657,7 @@ RunResult OddciSystem::run_job(const workload::Job& job,
                                sim::SimTime deadline) {
   if (!controller_->deployed()) {
     controller_->deploy_pna();
-    simulation_->run_until(simulation_->now() + config_.warmup);
+    sharded_->run_until(simulation_->now() + config_.warmup);
   }
 
   RunResult result;
@@ -429,10 +694,10 @@ RunResult OddciSystem::run_job(const workload::Job& job,
   // context, so one trace id spans wakeup through the last result.
   backend_->submit(job, id, [this, &done] {
     done = true;
-    simulation_->stop();
+    sharded_->stop();
   }, t0, controller_->trace_context(id));
 
-  simulation_->run_until(t0 + deadline);
+  sharded_->run_until(t0 + deadline);
 
   // A job whose every task hit the retry cap also fires on_complete (the
   // Backend reports the failure explicitly); that is not success.

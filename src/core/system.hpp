@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 #include "workload/job.hpp"
 
@@ -87,6 +88,19 @@ struct SystemConfig {
 
   std::optional<ChurnOptions> churn;  ///< nullopt = static population
   std::uint64_t seed = 42;
+
+  /// Sharded parallel event kernel: number of worker shards the receiver
+  /// population is partitioned across (see sim/sharded.hpp). 1 = the
+  /// classic single-threaded kernel, event-trajectory-identical to prior
+  /// versions; >1 runs the shards in parallel threads under a conservative
+  /// time-window barrier (deterministic for a fixed shard count, but a
+  /// different count yields a different — equally valid — trajectory).
+  /// Requires kDtvCarousel when >1.
+  std::size_t shards = 1;
+  /// Conservative window width for shards > 1. Zero = auto: the minimum
+  /// cross-shard delivery latency (receiver vs server propagation delay),
+  /// capped at 5 ms so boundary clamping never exceeds the shortest wire.
+  sim::SimTime window = sim::SimTime::zero();
 
   /// Broadcast fan-out fast path: population-shared decoded control
   /// messages with digest-memoized signature verification (one keyed hash
@@ -165,7 +179,10 @@ class OddciSystem {
   OddciSystem(const OddciSystem&) = delete;
   OddciSystem& operator=(const OddciSystem&) = delete;
 
-  [[nodiscard]] sim::Simulation& simulation() { return *simulation_; }
+  /// The control shard's kernel (shard 0) — the only shard at K = 1.
+  [[nodiscard]] sim::Simulation& simulation() { return sharded_->control(); }
+  /// The sharded kernel wrapper (always present; K = 1 delegates through).
+  [[nodiscard]] sim::ShardedSimulation& kernel() { return *sharded_; }
   [[nodiscard]] net::Network& network() { return *network_; }
   /// Broadcast medium `i` (the first by default). Throws std::out_of_range
   /// for an invalid index instead of silently returning the front.
@@ -200,12 +217,21 @@ class OddciSystem {
   /// The sim-time series sampler; nullptr when obs is disabled.
   [[nodiscard]] obs::Sampler* sampler() { return sampler_.get(); }
   /// The causal flight recorder; nullptr unless SystemConfig::obs.trace.
+  /// Under a sharded kernel this is shard 0's ring (control-plane events);
+  /// use flight_recorders() for the full per-shard set.
   [[nodiscard]] obs::FlightRecorder* flight_recorder() {
-    return recorder_.get();
+    if (recorder_) return recorder_.get();
+    return shard_recorders_.empty() ? nullptr : shard_recorders_.front().get();
   }
   [[nodiscard]] const obs::FlightRecorder* flight_recorder() const {
-    return recorder_.get();
+    if (recorder_) return recorder_.get();
+    return shard_recorders_.empty() ? nullptr : shard_recorders_.front().get();
   }
+  /// Every live recorder ring, shard order — merge with
+  /// obs::merge_events() for a population-wide chronological export.
+  /// Empty unless SystemConfig::obs.trace.
+  [[nodiscard]] std::vector<const obs::FlightRecorder*> flight_recorders()
+      const;
 
   /// Fan-out fast-path components; nullptr when
   /// SystemConfig::fanout_fast_path is false.
@@ -242,7 +268,10 @@ class OddciSystem {
   bool apply_pna_fault(std::uint64_t pick, bool hang, sim::SimTime duration);
 
   SystemConfig config_;
-  std::unique_ptr<sim::Simulation> simulation_;
+  std::unique_ptr<sim::ShardedSimulation> sharded_;
+  /// The control shard's kernel — `&sharded_->control()`. Kept as a raw
+  /// alias so single-kernel call sites read unchanged.
+  sim::Simulation* simulation_ = nullptr;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<broadcast::BroadcastMedium>> channels_;
   std::unique_ptr<ContentStore> store_;
@@ -250,6 +279,23 @@ class OddciSystem {
   /// before the receivers so they outlive every agent holding a pointer.
   std::unique_ptr<broadcast::VerifyCache> verify_cache_;
   std::unique_ptr<net::MessagePool<HeartbeatMessage>> heartbeat_pool_;
+  // --- per-shard state (shards > 1 only; empty otherwise) -------------------
+  // Each worker shard gets private instances of everything an agent touches
+  // on the hot path — counters, histograms, verify cache, heartbeat pool,
+  // recovery block, flight-recorder ring, loss RNG — so no two window
+  // threads ever share a mutable cell. All declared before receivers_:
+  // agents hold pointers into these for their whole life.
+  std::vector<obs::PnaCounters> shard_pna_counters_;
+  std::vector<obs::LogHistogram> shard_acquire_latency_;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> shard_recorders_;
+  std::vector<std::unique_ptr<broadcast::VerifyCache>> shard_verify_caches_;
+  std::vector<std::unique_ptr<net::MessagePool<HeartbeatMessage>>>
+      shard_heartbeat_pools_;
+  std::vector<PnaEnvironment::Recovery> shard_recoveries_;
+  std::vector<PnaEnvironment> shard_envs_;
+  /// Per-shard carousel section-loss streams (K > 1): the channel's own
+  /// stream only serves its shard-0 listeners.
+  std::vector<util::Random> shard_loss_rngs_;
   std::unique_ptr<Controller> controller_;
   std::vector<std::unique_ptr<HeartbeatAggregator>> aggregators_;
   std::unique_ptr<Provider> provider_;
@@ -262,6 +308,9 @@ class OddciSystem {
   /// here when fault injection is enabled.
   PnaEnvironment::Recovery pna_recovery_;
   std::unique_ptr<ChurnProcess> churn_;
+  /// K > 1: one churn process per shard, each driving its shard's receivers
+  /// on its shard's kernel (churn_ stays null).
+  std::vector<std::unique_ptr<ChurnProcess>> churn_procs_;
   broadcast::SigningKey key_ = 0;
 
   // Observability harness (only when config_.obs.enabled). Declared after

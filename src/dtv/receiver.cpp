@@ -9,9 +9,7 @@ namespace oddci::dtv {
 sim::Simulation& XletContext::simulation() { return receiver_->simulation(); }
 
 const broadcast::CarouselSnapshot* XletContext::current_carousel() const {
-  if (!receiver_->powered()) return nullptr;
-  const broadcast::BroadcastMedium* channel = receiver_->tuned_channel();
-  return channel != nullptr ? &channel->current() : nullptr;
+  return receiver_->current_carousel();
 }
 
 void XletContext::read_carousel_file(
@@ -31,12 +29,71 @@ Receiver::Receiver(sim::Simulation& simulation, net::Network& network,
 }
 
 Receiver::~Receiver() {
+  // Teardown is single-threaded (the kernel has stopped); talk to the
+  // channel directly regardless of shard routing.
   if (channel_ != nullptr) {
     channel_->untune(listener_id_);
   }
   if (node_id_ != net::kInvalidNode && network_.attached(node_id_)) {
     network_.unregister_endpoint(node_id_);
   }
+}
+
+void Receiver::set_shard_context(sim::ShardedSimulation* sharded,
+                                 std::uint32_t shard,
+                                 broadcast::ListenerId stable_listener_id,
+                                 util::Random* loss_rng) {
+  if (sharded != nullptr && sharded->shard_count() > 1 &&
+      (stable_listener_id == 0 || loss_rng == nullptr)) {
+    throw std::invalid_argument(
+        "Receiver: sharded context needs a stable listener id and loss rng");
+  }
+  sharded_ = sharded;
+  shard_ = shard;
+  stable_listener_id_ = stable_listener_id;
+  loss_rng_ = loss_rng;
+}
+
+const broadcast::CarouselSnapshot* Receiver::current_carousel() const {
+  if (!powered() || channel_ == nullptr) return nullptr;
+  if (sharded_mode()) {
+    // Never dereference the live channel from a worker shard: act on the
+    // retained capsule (null until the first signalling delivery).
+    return capsule_ != nullptr ? &capsule_->snapshot : nullptr;
+  }
+  return &channel_->current();
+}
+
+void Receiver::channel_tune() {
+  if (!sharded_mode()) {
+    listener_id_ = channel_->tune(this);
+    return;
+  }
+  listener_id_ = stable_listener_id_;
+  if (shard_ == 0 || !shard_routing_live_) {
+    channel_->tune_with_id(stable_listener_id_, this, shard_);
+    return;
+  }
+  // The channel lives on the control shard; mailbox FIFO order keeps
+  // tune/untune sequences from one receiver in program order.
+  sharded_->post(shard_, 0, simulation_.now(), [this, channel = channel_] {
+    channel->tune_with_id(stable_listener_id_, this, shard_);
+  });
+}
+
+void Receiver::channel_untune() {
+  if (!sharded_mode()) {
+    channel_->untune(listener_id_);
+    return;
+  }
+  if (shard_ == 0 || !shard_routing_live_) {
+    channel_->untune(stable_listener_id_);
+    return;
+  }
+  sharded_->post(shard_, 0, simulation_.now(),
+                 [channel = channel_, id = stable_listener_id_] {
+                   channel->untune(id);
+                 });
 }
 
 void Receiver::set_power_mode(PowerMode mode) {
@@ -58,8 +115,9 @@ void Receiver::set_power_mode(PowerMode mode) {
     running_.clear();
     cpu_free_at_ = simulation_.now();
     handler_ = nullptr;
+    capsule_.reset();
     if (channel_ != nullptr) {
-      channel_->untune(listener_id_);
+      channel_untune();
       listener_id_ = 0;
     }
     network_.unregister_endpoint(node_id_);
@@ -71,7 +129,7 @@ void Receiver::set_power_mode(PowerMode mode) {
     network_.reattach_endpoint(node_id_, this);
     cpu_free_at_ = simulation_.now();
     if (channel_ != nullptr) {
-      listener_id_ = channel_->tune(this);
+      channel_tune();
     }
   }
   // Standby <-> in-use transitions only change the slowdown of *future*
@@ -90,7 +148,7 @@ void Receiver::tune(broadcast::BroadcastMedium& channel) {
   }
   if (powered()) {
     ++session_;  // invalidate carousel reads from the previous channel
-    listener_id_ = channel_->tune(this);
+    channel_tune();
   }
 }
 
@@ -103,10 +161,11 @@ void Receiver::untune() {
   ++session_;
   apps_.destroy_all();  // a channel change kills broadcast applications
   if (powered()) {
-    channel_->untune(listener_id_);
+    channel_untune();
   }
   channel_ = nullptr;
   listener_id_ = 0;
+  capsule_.reset();
 }
 
 double Receiver::scaled_seconds(double reference_seconds) const {
@@ -159,6 +218,10 @@ void Receiver::read_carousel_file(
     on_done(false, broadcast::CarouselFile{});
     return;
   }
+  if (sharded_mode()) {
+    sharded_read_carousel_file(name, std::move(on_done));
+    return;
+  }
   const auto ready = channel_->file_ready_at(name, simulation_.now());
   if (!ready) {
     on_done(false, broadcast::CarouselFile{});
@@ -188,6 +251,52 @@ void Receiver::read_carousel_file(
       });
 }
 
+void Receiver::sharded_read_carousel_file(
+    const std::string& name,
+    std::function<void(bool, broadcast::CarouselFile)> on_done) {
+  // Sharded kernel: compute acquisition entirely from the retained capsule
+  // — the live channel belongs to the control shard. Section-loss extra
+  // cycles draw from this shard's loss stream, keeping each shard's RNG
+  // consumption independent of the others.
+  if (capsule_ == nullptr) {
+    on_done(false, broadcast::CarouselFile{});
+    return;
+  }
+  const auto capsule = capsule_;
+  const broadcast::CarouselSnapshot& snapshot = capsule->snapshot;
+  auto ready = snapshot.read_completion_time(name, simulation_.now());
+  if (!ready) {
+    on_done(false, broadcast::CarouselFile{});
+    return;
+  }
+  const broadcast::CarouselFile file = *snapshot.find(name);
+  if (capsule->section_loss > 0.0) {
+    const double extra = broadcast::section_loss_extra_cycles(
+        file, capsule->section_loss, capsule->section_size,
+        loss_rng_->uniform());
+    *ready += sim::SimTime::from_seconds(extra * snapshot.cycle_seconds());
+  }
+  const std::uint64_t session = session_;
+  simulation_.schedule_at(
+      *ready, [this, session, file, cb = std::move(on_done)] {
+        if (session_ != session || channel_ == nullptr ||
+            capsule_ == nullptr) {
+          cb(false, broadcast::CarouselFile{});
+          return;
+        }
+        // Same module-identity check as the classic path, against whatever
+        // signalling this receiver has acquired by now.
+        const broadcast::CarouselFile* now_on_air =
+            capsule_->snapshot.find(file.name);
+        if (now_on_air == nullptr || now_on_air->version != file.version ||
+            now_on_air->content_id != file.content_id) {
+          cb(false, broadcast::CarouselFile{});
+          return;
+        }
+        cb(true, file);
+      });
+}
+
 void Receiver::set_message_handler(MessageHandler handler) {
   handler_ = std::move(handler);
 }
@@ -207,6 +316,17 @@ void Receiver::on_signalling(const broadcast::Ait& ait,
   apps_.process_ait(ait);
   // Already-running trigger applications observe the fresh carousel.
   apps_.notify_carousel(snapshot);
+}
+
+void Receiver::on_signalling_capsule(
+    const std::shared_ptr<const broadcast::SignallingCapsule>& capsule) {
+  // Cross-shard deliveries can lag a power-off or channel change by up to
+  // one window; drop them instead of resurrecting state.
+  if (!powered() || channel_ == nullptr) return;
+  capsule_ = capsule;
+  autostart_from_ait(capsule->ait);
+  apps_.process_ait(capsule->ait);
+  apps_.notify_carousel(capsule->snapshot);
 }
 
 void Receiver::autostart_from_ait(const broadcast::Ait& ait) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -11,7 +12,9 @@
 #include "net/message.hpp"
 #include "net/network.hpp"
 #include "obs/flight_recorder.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
+#include "util/rng.hpp"
 
 /// A DTV receiver (set-top box): tuner + middleware + interactive-apps
 /// processor + return channel.
@@ -47,6 +50,29 @@ class Receiver final : public broadcast::BroadcastListener,
   /// emitted as receiver-track events (the physical causes behind member
   /// churn). nullptr detaches.
   void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
+  // --- sharded kernel -------------------------------------------------------
+  /// Place this receiver on kernel shard `shard`. `stable_listener_id` is
+  /// its channel listener id for life (so cross-shard re-tunes after power
+  /// cycles stay deterministic); `loss_rng` is the shard's section-loss
+  /// stream (shared by the shard's receivers, drawn in event order). The
+  /// receiver's `simulation` reference must already be the shard's kernel.
+  /// With a single shard this is a no-op configuration.
+  void set_shard_context(sim::ShardedSimulation* sharded, std::uint32_t shard,
+                         broadcast::ListenerId stable_listener_id,
+                         util::Random* loss_rng);
+
+  /// Construction is single-threaded: until this is called, tuner changes
+  /// reach the channel directly. Call once the population is built (before
+  /// the first run); from then on, receivers on non-control shards post
+  /// tune/untune through the kernel mailbox.
+  void activate_shard_routing() { shard_routing_live_ = true; }
+
+  [[nodiscard]] std::uint32_t shard() const { return shard_; }
+
+  /// The carousel view this receiver acts on: the live channel snapshot in
+  /// the classic kernel, the retained signalling capsule under sharding.
+  [[nodiscard]] const broadcast::CarouselSnapshot* current_carousel() const;
 
   // --- power --------------------------------------------------------------
   [[nodiscard]] PowerMode power_mode() const { return power_; }
@@ -93,6 +119,9 @@ class Receiver final : public broadcast::BroadcastListener,
   // --- BroadcastListener ------------------------------------------------------
   void on_signalling(const broadcast::Ait& ait,
                      const broadcast::CarouselSnapshot& snapshot) override;
+  void on_signalling_capsule(
+      const std::shared_ptr<const broadcast::SignallingCapsule>& capsule)
+      override;
 
   // --- net::Endpoint ----------------------------------------------------------
   void on_message(net::NodeId from, const net::MessagePtr& message) override;
@@ -103,6 +132,17 @@ class Receiver final : public broadcast::BroadcastListener,
   std::uint64_t session_ = 0;
 
   void autostart_from_ait(const broadcast::Ait& ait);
+
+  [[nodiscard]] bool sharded_mode() const {
+    return sharded_ != nullptr && sharded_->shard_count() > 1;
+  }
+  /// Tuner mutations under sharding: direct while single-threaded (or on
+  /// the control shard), mailbox-posted from worker shards.
+  void channel_tune();
+  void channel_untune();
+  void sharded_read_carousel_file(
+      const std::string& name,
+      std::function<void(bool ok, broadcast::CarouselFile file)> on_done);
 
   sim::Simulation& simulation_;
   net::Network& network_;
@@ -120,6 +160,15 @@ class Receiver final : public broadcast::BroadcastListener,
   ExecToken next_token_ = 1;
   std::unordered_map<ExecToken, sim::EventId> running_;
   obs::FlightRecorder* recorder_ = nullptr;
+
+  sim::ShardedSimulation* sharded_ = nullptr;
+  std::uint32_t shard_ = 0;
+  broadcast::ListenerId stable_listener_id_ = 0;
+  util::Random* loss_rng_ = nullptr;
+  bool shard_routing_live_ = false;
+  /// Latest signalling capsule (sharded kernel): the receiver's own frozen
+  /// view of what is on air, used for carousel reads and version checks.
+  std::shared_ptr<const broadcast::SignallingCapsule> capsule_;
 };
 
 }  // namespace oddci::dtv

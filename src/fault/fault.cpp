@@ -103,6 +103,45 @@ void FaultInjector::add_region(net::NodeId aggregator_node, Hook crash,
 
 void FaultInjector::set_pna_fault(PnaFaultFn fn) { pna_fault_ = std::move(fn); }
 
+void FaultInjector::set_sharded(sim::ShardedSimulation* sharded) {
+  if (started_) {
+    throw std::logic_error("set_sharded after FaultInjector::start");
+  }
+  sharded_ = sharded;
+  wire_shards_.clear();
+  if (sharded_ == nullptr || sharded_->shard_count() <= 1) return;
+  wire_shards_.resize(sharded_->shard_count());
+  for (std::size_t s = 0; s < wire_shards_.size(); ++s) {
+    // Independent verdict stream per shard, split deterministically from
+    // the injector seed: one shard's traffic never perturbs another's
+    // draws, so any fixed shard count replays byte-identically.
+    wire_shards_[s].rng = wire_rng_.split();
+    wire_shards_[s].sim = &sharded_->shard(s);
+  }
+}
+
+void FaultInjector::set_shard_recorder(std::size_t shard,
+                                       obs::FlightRecorder* recorder) {
+  if (shard >= wire_shards_.size()) {
+    throw std::out_of_range("FaultInjector: shard recorder index");
+  }
+  wire_shards_[shard].recorder = recorder;
+}
+
+void FaultInjector::plan_at(sim::SimTime at, std::function<void()> fn) {
+  if (sharded_ != nullptr && sharded_->shard_count() > 1) {
+    // Global tasks run on the coordinator with every shard parked, which
+    // is what makes blackholed_/regions_ writes visible to all wire paths.
+    sharded_->post_global(0, at, std::move(fn));
+    return;
+  }
+  simulation_.schedule_at(at, std::move(fn));
+}
+
+void FaultInjector::plan_in(sim::SimTime delay, std::function<void()> fn) {
+  plan_at(simulation_.now() + delay, std::move(fn));
+}
+
 void FaultInjector::set_control_corruptor(std::function<bool()> corrupt,
                                           std::function<void()> restore) {
   corrupt_ = std::move(corrupt);
@@ -110,10 +149,35 @@ void FaultInjector::set_control_corruptor(std::function<bool()> corrupt,
 }
 
 void FaultInjector::link_metrics(obs::MetricsRegistry& registry) const {
-  registry.link_counter("fault.messages_lost", messages_lost_);
-  registry.link_counter("fault.messages_duplicated", messages_duplicated_);
-  registry.link_counter("fault.latency_spikes", latency_spikes_);
-  registry.link_counter("fault.partition_dropped", partition_dropped_);
+  if (sharded_wire()) {
+    // Per-shard wire counters merged at snapshot time (call after
+    // set_sharded; reads happen between windows, so no synchronization).
+    registry.link_counter_fn("fault.messages_lost", [this] {
+      std::uint64_t total = messages_lost_.value();
+      for (const WireShard& w : wire_shards_) total += w.lost;
+      return total;
+    });
+    registry.link_counter_fn("fault.messages_duplicated", [this] {
+      std::uint64_t total = messages_duplicated_.value();
+      for (const WireShard& w : wire_shards_) total += w.duplicated;
+      return total;
+    });
+    registry.link_counter_fn("fault.latency_spikes", [this] {
+      std::uint64_t total = latency_spikes_.value();
+      for (const WireShard& w : wire_shards_) total += w.spikes;
+      return total;
+    });
+    registry.link_counter_fn("fault.partition_dropped", [this] {
+      std::uint64_t total = partition_dropped_.value();
+      for (const WireShard& w : wire_shards_) total += w.partition_dropped;
+      return total;
+    });
+  } else {
+    registry.link_counter("fault.messages_lost", messages_lost_);
+    registry.link_counter("fault.messages_duplicated", messages_duplicated_);
+    registry.link_counter("fault.latency_spikes", latency_spikes_);
+    registry.link_counter("fault.partition_dropped", partition_dropped_);
+  }
   registry.link_counter("fault.partitions_started", partitions_started_);
   registry.link_counter("fault.partitions_healed", partitions_healed_);
   registry.link_counter("fault.controller_crashes", controller_crashes_);
@@ -130,13 +194,13 @@ void FaultInjector::start() {
 
   for (const sim::SimTime at : options_.controller_crash_at) {
     if (at <= simulation_.now()) continue;
-    simulation_.schedule_at(at, [this] {
+    plan_at(at, [this] {
       if (!controller_crash_) return;
       ++controller_crashes_;
       emit(obs::TraceEventKind::kFaultCrash, obs::TraceComponent::kController,
            0, 0);
       controller_crash_();
-      simulation_.schedule_in(options_.controller_downtime, [this] {
+      plan_in(options_.controller_downtime, [this] {
         emit(obs::TraceEventKind::kFaultRestart,
              obs::TraceComponent::kController, 0, 0);
         controller_restart_();
@@ -145,13 +209,13 @@ void FaultInjector::start() {
   }
   for (const sim::SimTime at : options_.backend_crash_at) {
     if (at <= simulation_.now()) continue;
-    simulation_.schedule_at(at, [this] {
+    plan_at(at, [this] {
       if (!backend_crash_) return;
       ++backend_crashes_;
       emit(obs::TraceEventKind::kFaultCrash, obs::TraceComponent::kBackend, 0,
            0);
       backend_crash_();
-      simulation_.schedule_in(options_.backend_downtime, [this] {
+      plan_in(options_.backend_downtime, [this] {
         emit(obs::TraceEventKind::kFaultRestart,
              obs::TraceComponent::kBackend, 0, 0);
         backend_restart_();
@@ -171,12 +235,11 @@ void FaultInjector::start() {
 void FaultInjector::arm_poisson(double per_hour, std::function<void()> action) {
   if (per_hour <= 0.0) return;
   const double gap_s = plan_rng_.exponential(3600.0 / per_hour);
-  simulation_.schedule_in(
-      sim::SimTime::from_seconds(gap_s),
-      [this, per_hour, action = std::move(action)]() mutable {
-        action();
-        arm_poisson(per_hour, std::move(action));
-      });
+  plan_in(sim::SimTime::from_seconds(gap_s),
+          [this, per_hour, action = std::move(action)]() mutable {
+            action();
+            arm_poisson(per_hour, std::move(action));
+          });
 }
 
 void FaultInjector::set_blackholed(net::NodeId id, bool on) {
@@ -202,7 +265,7 @@ void FaultInjector::start_partition() {
   ++partitions_started_;
   emit(obs::TraceEventKind::kFaultPartitionStart, obs::TraceComponent::kNetwork,
        index, region.node);
-  simulation_.schedule_in(options_.partition_duration, [this, index] {
+  plan_in(options_.partition_duration, [this, index] {
     Region& healed = regions_[index];
     healed.partitioned = false;
     set_blackholed(healed.node, false);
@@ -228,7 +291,7 @@ void FaultInjector::crash_aggregator() {
   ++aggregator_crashes_;
   emit(obs::TraceEventKind::kFaultCrash, obs::TraceComponent::kAggregator,
        index, region.node);
-  simulation_.schedule_in(options_.aggregator_downtime, [this, index] {
+  plan_in(options_.aggregator_downtime, [this, index] {
     Region& revived = regions_[index];
     revived.crashed = false;
     if (revived.restart) revived.restart();
@@ -256,7 +319,7 @@ void FaultInjector::fire_corruption() {
   ++control_corruptions_;
   emit(obs::TraceEventKind::kFaultControlCorrupted,
        obs::TraceComponent::kController, 0, 0);
-  simulation_.schedule_in(options_.corrupt_exposure, [this] {
+  plan_in(options_.corrupt_exposure, [this] {
     if (restore_) restore_();
   });
 }
@@ -267,6 +330,12 @@ FaultInjector::Stats FaultInjector::stats() const {
   s.messages_duplicated = messages_duplicated_.value();
   s.latency_spikes = latency_spikes_.value();
   s.partition_dropped = partition_dropped_.value();
+  for (const WireShard& wire : wire_shards_) {
+    s.messages_lost += wire.lost;
+    s.messages_duplicated += wire.duplicated;
+    s.latency_spikes += wire.spikes;
+    s.partition_dropped += wire.partition_dropped;
+  }
   s.partitions_started = partitions_started_.value();
   s.partitions_healed = partitions_healed_.value();
   s.controller_crashes = controller_crashes_.value();
@@ -279,7 +348,11 @@ FaultInjector::Stats FaultInjector::stats() const {
 }
 
 net::SendInterposer::Action FaultInjector::on_send(
-    net::NodeId from, net::NodeId to, const net::Message& message) {
+    net::NodeId from, net::NodeId to, const net::Message& message,
+    std::size_t src_shard) {
+  if (sharded_wire()) {
+    return on_send_sharded(from, to, message, src_shard);
+  }
   Action action;
   // A partitioned region is a hard black hole: nothing in or out. This
   // draws nothing from the wire stream, so healing a partition rejoins the
@@ -319,11 +392,61 @@ net::SendInterposer::Action FaultInjector::on_send(
   return action;
 }
 
+net::SendInterposer::Action FaultInjector::on_send_sharded(
+    net::NodeId from, net::NodeId to, const net::Message& message,
+    std::size_t src_shard) {
+  // Same verdict sequence as the classic path, but every mutable touch —
+  // RNG draws, counters, trace emission, even the clock read — belongs to
+  // the source shard; blackholed_/active_partitions_ are only *read* here
+  // (they mutate exclusively at window boundaries via plan events).
+  Action action;
+  WireShard& wire = wire_shards_[src_shard];
+  if (active_partitions_ != 0 && (blackholed(from) || blackholed(to))) {
+    action.drop = true;
+    ++wire.partition_dropped;
+    emit_wire(src_shard, obs::TraceEventKind::kFaultMessageLost, to,
+              static_cast<std::uint64_t>(message.tag()));
+    return action;
+  }
+  if (options_.message_loss > 0.0 &&
+      wire.rng.bernoulli(options_.message_loss)) {
+    action.drop = true;
+    ++wire.lost;
+    emit_wire(src_shard, obs::TraceEventKind::kFaultMessageLost, to,
+              static_cast<std::uint64_t>(message.tag()));
+    return action;
+  }
+  if (options_.message_duplication > 0.0 &&
+      wire.rng.bernoulli(options_.message_duplication)) {
+    action.duplicate = true;
+    ++wire.duplicated;
+    emit_wire(src_shard, obs::TraceEventKind::kFaultMessageDuplicated, to,
+              static_cast<std::uint64_t>(message.tag()));
+  }
+  if (options_.latency_spike_probability > 0.0 &&
+      wire.rng.bernoulli(options_.latency_spike_probability)) {
+    action.extra_latency = sim::SimTime::from_seconds(
+        wire.rng.exponential(options_.latency_spike_mean.seconds()));
+    ++wire.spikes;
+    emit_wire(src_shard, obs::TraceEventKind::kFaultLatencySpike, to,
+              static_cast<std::uint64_t>(action.extra_latency.micros()));
+  }
+  return action;
+}
+
 void FaultInjector::emit(obs::TraceEventKind kind,
                          obs::TraceComponent component, std::uint64_t actor,
                          std::uint64_t arg) {
   if (recorder_ == nullptr) return;
   recorder_->emit(simulation_.now(), kind, component, {}, actor, arg);
+}
+
+void FaultInjector::emit_wire(std::size_t shard, obs::TraceEventKind kind,
+                              std::uint64_t actor, std::uint64_t arg) {
+  WireShard& wire = wire_shards_[shard];
+  if (wire.recorder == nullptr) return;
+  wire.recorder->emit(wire.sim->now(), kind, obs::TraceComponent::kNetwork,
+                      {}, actor, arg);
 }
 
 }  // namespace oddci::fault

@@ -7,6 +7,7 @@
 #include "net/network.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -124,6 +125,18 @@ class FaultInjector final : public net::SendInterposer {
   /// fault.* trace event. nullptr detaches.
   void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
+  /// Attach the sharded kernel (call before start() and before any send is
+  /// interposed). With more than one shard the plan runs as global tasks at
+  /// window boundaries — every shard parked, so partition state mutates
+  /// race-free — and each shard gets its own wire stream and counters so
+  /// per-message verdicts never contend across threads.
+  void set_sharded(sim::ShardedSimulation* sharded);
+
+  /// Wire-fault trace events for sends originating on `shard` go to this
+  /// recorder (plan-level faults still use set_recorder's). Only meaningful
+  /// after set_sharded with >1 shard.
+  void set_shard_recorder(std::size_t shard, obs::FlightRecorder* recorder);
+
   /// Expose the fault.* counters in `registry`. The injector must outlive
   /// snapshot() calls.
   void link_metrics(obs::MetricsRegistry& registry) const;
@@ -155,10 +168,22 @@ class FaultInjector final : public net::SendInterposer {
   }
 
   // --- net::SendInterposer ---------------------------------------------------
-  Action on_send(net::NodeId from, net::NodeId to,
-                 const net::Message& message) override;
+  Action on_send(net::NodeId from, net::NodeId to, const net::Message& message,
+                 std::size_t src_shard) override;
 
  private:
+  /// One shard's wire-fault state: its own verdict stream, counters and
+  /// clock, all touched only by the thread running that shard's window.
+  struct alignas(64) WireShard {
+    util::Random rng{0};
+    sim::Simulation* sim = nullptr;
+    obs::FlightRecorder* recorder = nullptr;
+    std::uint64_t lost = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t spikes = 0;
+    std::uint64_t partition_dropped = 0;
+  };
+
   struct Region {
     net::NodeId node = net::kInvalidNode;
     Hook crash;
@@ -176,19 +201,34 @@ class FaultInjector final : public net::SendInterposer {
   /// interarrival gaps of mean 3600/per_hour seconds, forever.
   void arm_poisson(double per_hour, std::function<void()> action);
 
+  /// Plan-event scheduling: classic kernel timers at K = 1, coordinator
+  /// global tasks (all shards parked) under the sharded kernel.
+  void plan_at(sim::SimTime at, std::function<void()> fn);
+  void plan_in(sim::SimTime delay, std::function<void()> fn);
+  [[nodiscard]] bool sharded_wire() const { return !wire_shards_.empty(); }
+
   void start_partition();
   void crash_aggregator();
   void fire_pna(bool hang);
   void fire_corruption();
 
+  [[nodiscard]] Action on_send_sharded(net::NodeId from, net::NodeId to,
+                                       const net::Message& message,
+                                       std::size_t src_shard);
+
   void emit(obs::TraceEventKind kind, obs::TraceComponent component,
             std::uint64_t actor, std::uint64_t arg);
+  void emit_wire(std::size_t shard, obs::TraceEventKind kind,
+                 std::uint64_t actor, std::uint64_t arg);
 
   sim::Simulation& simulation_;
   FaultOptions options_;
   util::Random rng_;
   util::Random plan_rng_;
   util::Random wire_rng_;
+  sim::ShardedSimulation* sharded_ = nullptr;
+  /// Non-empty exactly when the kernel has >1 shard.
+  std::vector<WireShard> wire_shards_;
 
   Hook controller_crash_;
   Hook controller_restart_;

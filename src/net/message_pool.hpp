@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <utility>
@@ -51,6 +52,10 @@ class MessagePool {
       return slot;
     }
     if (slot.use_count() == 1) {
+      // Under the sharded kernel the last foreign reference may have been
+      // dropped by another worker thread (its control-block decrement is a
+      // release); pair it with an acquire fence before mutating the object.
+      std::atomic_thread_fence(std::memory_order_acquire);
       slot->reset(std::forward<Args>(args)...);
       reused_.inc();
       pooled_bytes_.inc(

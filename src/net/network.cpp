@@ -6,6 +6,24 @@
 
 namespace oddci::net {
 
+void Network::set_sharded(sim::ShardedSimulation* sharded) {
+  if (!nodes_.empty()) {
+    throw std::logic_error("Network: set_sharded before registering nodes");
+  }
+  sharded_ = sharded;
+  const std::size_t k = sharded != nullptr ? sharded->shard_count() : 1;
+  cells_.clear();
+  cells_.resize(k);
+  recorders_.assign(k, nullptr);
+}
+
+void Network::set_register_shard(std::uint32_t shard) {
+  if (shard >= cells_.size()) {
+    throw std::out_of_range("Network: register shard out of range");
+  }
+  register_shard_ = shard;
+}
+
 NodeId Network::register_endpoint(Endpoint* endpoint, const LinkSpec& spec) {
   if (endpoint == nullptr) {
     throw std::invalid_argument("Network: null endpoint");
@@ -17,7 +35,9 @@ NodeId Network::register_endpoint(Endpoint* endpoint, const LinkSpec& spec) {
     throw std::invalid_argument("Network: negative latency");
   }
   const auto id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(Node{endpoint, spec, simulation_.now(), simulation_.now()});
+  sim::Simulation& home = sim_of(register_shard_);
+  nodes_.push_back(Node{endpoint, spec, home.now(), home.now()});
+  node_shards_.push_back(register_shard_);
   return id;
 }
 
@@ -52,11 +72,50 @@ sim::SimTime Network::uplink_free_at(NodeId id) const {
   return node_at(id).uplink_busy_until;
 }
 
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  for (const ShardCells& c : cells_) {
+    s.messages_sent += c.messages_sent.value();
+    s.messages_delivered += c.messages_delivered.value();
+    s.messages_dropped += c.messages_dropped.value();
+    s.bits_sent += static_cast<std::int64_t>(c.bits_sent.value());
+  }
+  return s;
+}
+
 void Network::link_metrics(obs::MetricsRegistry& registry) const {
-  registry.link_counter("net.messages_sent", messages_sent_);
-  registry.link_counter("net.messages_delivered", messages_delivered_);
-  registry.link_counter("net.messages_dropped", messages_dropped_);
-  registry.link_counter("net.bits_sent", bits_sent_);
+  registry.link_counter_fn("net.messages_sent", [this] {
+    std::uint64_t total = 0;
+    for (const ShardCells& c : cells_) total += c.messages_sent.value();
+    return total;
+  });
+  registry.link_counter_fn("net.messages_delivered", [this] {
+    std::uint64_t total = 0;
+    for (const ShardCells& c : cells_) total += c.messages_delivered.value();
+    return total;
+  });
+  registry.link_counter_fn("net.messages_dropped", [this] {
+    std::uint64_t total = 0;
+    for (const ShardCells& c : cells_) total += c.messages_dropped.value();
+    return total;
+  });
+  registry.link_counter_fn("net.bits_sent", [this] {
+    std::uint64_t total = 0;
+    for (const ShardCells& c : cells_) total += c.bits_sent.value();
+    return total;
+  });
+}
+
+void Network::set_recorder(obs::FlightRecorder* recorder) {
+  for (auto& slot : recorders_) slot = recorder;
+}
+
+void Network::set_shard_recorder(std::size_t shard,
+                                 obs::FlightRecorder* recorder) {
+  if (shard >= recorders_.size()) {
+    throw std::out_of_range("Network: recorder shard out of range");
+  }
+  recorders_[shard] = recorder;
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr message) {
@@ -66,20 +125,23 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   Node& src = node_at(from);
   node_at(to);  // validate destination id early
 
+  const std::uint32_t src_shard = node_shards_[from];
+  sim::Simulation& ssim = sim_of(src_shard);
+
   SendInterposer::Action action;
   if (interposer_ != nullptr) {
-    action = interposer_->on_send(from, to, *message);
+    action = interposer_->on_send(from, to, *message, src_shard);
   }
 
-  ++messages_sent_;
-  bits_sent_ += static_cast<std::uint64_t>(message->wire_size().count());
+  ShardCells& cells = cells_[src_shard];
+  ++cells.messages_sent;
+  cells.bits_sent += static_cast<std::uint64_t>(message->wire_size().count());
 
   // Serialize on the sender's uplink (FIFO). This happens even for a
   // dropped message: the sender transmitted it; the loss is downstream.
   const double tx_up =
       util::transmission_seconds(message->wire_size(), src.spec.uplink);
-  const sim::SimTime start =
-      std::max(simulation_.now(), src.uplink_busy_until);
+  const sim::SimTime start = std::max(ssim.now(), src.uplink_busy_until);
   const sim::SimTime departed = start + sim::SimTime::from_seconds(tx_up);
   src.uplink_busy_until = departed;
 
@@ -95,40 +157,55 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
 
 void Network::schedule_arrival(sim::SimTime at, NodeId from, NodeId to,
                                MessagePtr message) {
+  const std::uint32_t src_shard = node_shards_[from];
+  const std::uint32_t dst_shard = node_shards_[to];
+  if (sharded_ != nullptr && dst_shard != src_shard) {
+    // Cross-shard hop: through the kernel mailbox, landing at the first
+    // window boundary >= the edge-arrival time.
+    sharded_->post(
+        src_shard, dst_shard, at,
+        [this, from, to, dst_shard, message = std::move(message)]() mutable {
+          arrive(from, to, dst_shard, std::move(message));
+        });
+    return;
+  }
+  sim_of(dst_shard).schedule_at(
+      at,
+      [this, from, to, dst_shard, message = std::move(message)]() mutable {
+        arrive(from, to, dst_shard, std::move(message));
+      },
+      sim::EventPriority::kDelivery);
+}
+
+void Network::arrive(NodeId from, NodeId to, std::uint32_t dst_shard,
+                     MessagePtr message) {
   // The receiver's downlink serialization is decided at edge-arrival time,
   // because its busy window depends on messages that arrive before ours.
-  // Both hops capture {this, from, to, shared_ptr} = 32 bytes: within
-  // EventFn's inline buffer, so the delivery path never heap-allocates.
-  simulation_.schedule_at(
-      at,
-      [this, from, to, message = std::move(message)]() mutable {
-        Node& dst = nodes_[to];
-        const double tx_down =
-            util::transmission_seconds(message->wire_size(),
-                                       dst.spec.downlink);
-        const sim::SimTime begin =
-            std::max(simulation_.now(), dst.downlink_busy_until);
-        const sim::SimTime done = begin + sim::SimTime::from_seconds(tx_down);
-        dst.downlink_busy_until = done;
-        simulation_.schedule_at(
-            done,
-            [this, from, to, message = std::move(message)] {
-              Node& d = nodes_[to];
-              if (d.endpoint == nullptr) {
-                ++messages_dropped_;
-                if (recorder_ != nullptr) {
-                  recorder_->emit(
-                      simulation_.now(),
-                      obs::TraceEventKind::kMessageDropped,
-                      obs::TraceComponent::kNetwork, {}, to,
-                      static_cast<std::uint64_t>(message->tag()));
-                }
-                return;
-              }
-              ++messages_delivered_;
-              d.endpoint->on_message(from, message);
-            },
-            sim::EventPriority::kDelivery);
+  // Runs on (and only on) the destination's shard.
+  sim::Simulation& dsim = sim_of(dst_shard);
+  Node& dst = nodes_[to];
+  const double tx_down =
+      util::transmission_seconds(message->wire_size(), dst.spec.downlink);
+  const sim::SimTime begin = std::max(dsim.now(), dst.downlink_busy_until);
+  const sim::SimTime done = begin + sim::SimTime::from_seconds(tx_down);
+  dst.downlink_busy_until = done;
+  dsim.schedule_at(
+      done,
+      [this, from, to, dst_shard, message = std::move(message)] {
+        Node& d = nodes_[to];
+        if (d.endpoint == nullptr) {
+          ++cells_[dst_shard].messages_dropped;
+          obs::FlightRecorder* recorder = recorders_[dst_shard];
+          if (recorder != nullptr) {
+            recorder->emit(sim_of(dst_shard).now(),
+                           obs::TraceEventKind::kMessageDropped,
+                           obs::TraceComponent::kNetwork, {}, to,
+                           static_cast<std::uint64_t>(message->tag()));
+          }
+          return;
+        }
+        ++cells_[dst_shard].messages_delivered;
+        d.endpoint->on_message(from, message);
       },
       sim::EventPriority::kDelivery);
 }

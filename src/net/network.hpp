@@ -6,6 +6,7 @@
 #include "net/message.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 #include "util/quantity.hpp"
 
@@ -19,6 +20,14 @@
 /// A's uplink, propagates, then is serialized on B's downlink — so a
 /// capacity-limited Controller can actually be congested by heartbeats
 /// (exercised by bench_ablation_heartbeat).
+///
+/// Sharded kernel: every node belongs to one kernel shard (assigned at
+/// registration). A node's uplink state is touched only by `send()` calls
+/// made from its own shard's thread, and its downlink state only by the
+/// arrival events that run on its shard, so link state needs no locking.
+/// A send whose destination lives on another shard crosses through the
+/// kernel's mailbox and lands at the next window boundary; traffic counters
+/// are kept in per-shard cache-line-padded cells and merged at snapshot.
 namespace oddci::net {
 
 struct LinkSpec {
@@ -49,20 +58,45 @@ class SendInterposer {
   };
 
   virtual ~SendInterposer() = default;
-  virtual Action on_send(NodeId from, NodeId to, const Message& message) = 0;
+  /// `src_shard` is the kernel shard whose thread is making the send (0 in
+  /// the classic single-shard kernel); interposers that draw randomness
+  /// must key their stream on it to stay race-free and deterministic.
+  virtual Action on_send(NodeId from, NodeId to, const Message& message,
+                         std::size_t src_shard) = 0;
 };
 
 class Network {
  public:
-  explicit Network(sim::Simulation& simulation) : simulation_(simulation) {}
+  explicit Network(sim::Simulation& simulation) : simulation_(simulation) {
+    cells_.resize(1);
+    recorders_.resize(1, nullptr);
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Attach the sharded kernel: node registrations gain shard homes (see
+  /// set_register_shard) and cross-shard deliveries route through its
+  /// mailboxes. Must be called before any endpoint registers, metrics
+  /// link, or traffic flows; per-shard counter cells and recorder slots
+  /// are (re)sized here.
+  void set_sharded(sim::ShardedSimulation* sharded);
+
+  /// Shard assigned to endpoints registered from now on (sticky; default
+  /// 0). Construction is single-threaded, so a plain member suffices.
+  void set_register_shard(std::uint32_t shard);
+
+  [[nodiscard]] std::uint32_t shard_of(NodeId id) const {
+    return node_shards_[id];
+  }
+
   /// Pre-size the endpoint table. Building a million-receiver population
   /// registers endpoints one by one; without a hint the per-node link state
   /// is copied O(log n) times as the vector regrows.
-  void reserve_endpoints(std::size_t capacity) { nodes_.reserve(capacity); }
+  void reserve_endpoints(std::size_t capacity) {
+    nodes_.reserve(capacity);
+    node_shards_.reserve(capacity);
+  }
 
   /// Register an endpoint. The pointer must outlive the Network or be
   /// detached with `unregister_endpoint`.
@@ -79,23 +113,25 @@ class Network {
 
   /// Send `message` from `from` to `to`. Serialization + propagation
   /// delays apply; delivery is an event with EventPriority::kDelivery.
+  /// Under the sharded kernel this must be called from the thread running
+  /// `from`'s shard (or between windows).
   void send(NodeId from, NodeId to, MessagePtr message);
 
-  /// Snapshot of the traffic counters, by value.
-  [[nodiscard]] NetworkStats stats() const {
-    return NetworkStats{messages_sent_.value(), messages_delivered_.value(),
-                        messages_dropped_.value(),
-                        static_cast<std::int64_t>(bits_sent_.value())};
-  }
+  /// Snapshot of the traffic counters (merged over shards), by value.
+  [[nodiscard]] NetworkStats stats() const;
 
   /// Expose the traffic counters under "net.*" in `registry`. The network
   /// must outlive any snapshot() call on the registry.
   void link_metrics(obs::MetricsRegistry& registry) const;
 
-  /// Attach a flight recorder: deliveries to detached endpoints (powered
-  /// off receivers) are emitted as message.dropped events. nullptr
-  /// detaches.
-  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+  /// Attach a flight recorder for every shard: deliveries to detached
+  /// endpoints (powered off receivers) are emitted as message.dropped
+  /// events. nullptr detaches.
+  void set_recorder(obs::FlightRecorder* recorder);
+
+  /// Per-shard recorder (the sharded kernel gives each shard its own
+  /// ring so emission stays lock-free).
+  void set_shard_recorder(std::size_t shard, obs::FlightRecorder* recorder);
 
   /// Interpose `interposer` on every send (fault injection). nullptr
   /// detaches; with no interposer the send path is byte-identical to a
@@ -115,20 +151,36 @@ class Network {
     sim::SimTime downlink_busy_until;
   };
 
+  /// Per-shard traffic counters, cache-line padded: sent/bits belong to the
+  /// sending shard, delivered/dropped to the receiving one.
+  struct alignas(64) ShardCells {
+    obs::Counter messages_sent;
+    obs::Counter messages_delivered;
+    obs::Counter messages_dropped;
+    obs::Counter bits_sent;
+  };
+
   Node& node_at(NodeId id);
   [[nodiscard]] const Node& node_at(NodeId id) const;
+
+  [[nodiscard]] sim::Simulation& sim_of(std::uint32_t shard) {
+    return sharded_ != nullptr ? sharded_->shard(shard) : simulation_;
+  }
 
   /// Schedule the edge-arrival event: downlink serialization then delivery.
   void schedule_arrival(sim::SimTime at, NodeId from, NodeId to,
                         MessagePtr message);
+  /// Edge arrival, running on the destination shard.
+  void arrive(NodeId from, NodeId to, std::uint32_t dst_shard,
+              MessagePtr message);
 
   sim::Simulation& simulation_;
+  sim::ShardedSimulation* sharded_ = nullptr;
   std::vector<Node> nodes_;
-  obs::Counter messages_sent_;
-  obs::Counter messages_delivered_;
-  obs::Counter messages_dropped_;
-  obs::Counter bits_sent_;
-  obs::FlightRecorder* recorder_ = nullptr;
+  std::vector<std::uint32_t> node_shards_;
+  std::uint32_t register_shard_ = 0;
+  std::vector<ShardCells> cells_;
+  std::vector<obs::FlightRecorder*> recorders_;
   SendInterposer* interposer_ = nullptr;
 };
 

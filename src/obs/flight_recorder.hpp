@@ -134,8 +134,19 @@ class FlightRecorder {
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
-  /// Allocate a span id (monotonic, deterministic).
-  std::uint64_t next_id() noexcept { return ++last_id_; }
+  /// Allocate a span id (monotonic, deterministic). With an id stream set
+  /// (sharded kernel), ids are `offset + 1 + n * stride` — disjoint across
+  /// the per-shard recorders of one system, so a merged export never sees
+  /// a span-id collision.
+  std::uint64_t next_id() noexcept { return id_offset_ + 1 + (id_next_++) * id_stride_; }
+
+  /// Partition the id space for per-shard recorders: recorder s of K uses
+  /// offset s, stride K. The default (0, 1) is the classic dense counter.
+  /// Call before any emit(); re-seeding later would reuse ids.
+  void set_id_stream(std::uint64_t offset, std::uint64_t stride) noexcept {
+    id_offset_ = offset;
+    id_stride_ = stride == 0 ? 1 : stride;
+  }
 
 #ifdef ODDCI_NO_TRACE
   void record(const TraceEvent&) noexcept {}
@@ -179,7 +190,9 @@ class FlightRecorder {
   std::size_t head_ = 0;  ///< next write position
   std::size_t count_ = 0;
   std::uint64_t total_ = 0;
-  std::uint64_t last_id_ = 0;
+  std::uint64_t id_next_ = 0;
+  std::uint64_t id_offset_ = 0;
+  std::uint64_t id_stride_ = 1;
 };
 
 /// True when the recorder is compiled in (ODDCI_TRACING=ON, the default).

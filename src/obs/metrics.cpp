@@ -197,10 +197,21 @@ void MetricsRegistry::link_probe(std::string_view name,
   probes_.insert_or_assign(std::string(name), std::move(probe));
 }
 
+void MetricsRegistry::link_counter_fn(std::string_view name,
+                                      std::function<std::uint64_t()> fn) {
+  counter_fns_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+void MetricsRegistry::link_histogram_set(
+    std::string_view name, std::vector<const LogHistogram*> set) {
+  histogram_sets_.insert_or_assign(std::string(name), std::move(set));
+}
+
 bool MetricsRegistry::has(std::string_view name) const {
   return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
          histograms_.count(name) > 0 || series_.count(name) > 0 ||
-         probes_.count(name) > 0;
+         probes_.count(name) > 0 || counter_fns_.count(name) > 0 ||
+         histogram_sets_.count(name) > 0;
 }
 
 void MetricsRegistry::record_span(std::string_view name, std::uint64_t key,
@@ -217,10 +228,18 @@ MetricsSnapshot MetricsRegistry::snapshot(double now_seconds) const {
   MetricsSnapshot snap;
   snap.taken_at_seconds = now_seconds;
 
-  snap.counters.reserve(counters_.size());
+  snap.counters.reserve(counters_.size() + counter_fns_.size());
   for (const auto& [name, cell] : counters_) {
+    if (counter_fns_.count(name) > 0) continue;  // shadowed by a merged link
     snap.counters.push_back(CounterSample{name, cell->value()});
   }
+  for (const auto& [name, fn] : counter_fns_) {
+    snap.counters.push_back(CounterSample{name, fn()});
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.name < b.name;
+            });
 
   snap.gauges.reserve(gauges_.size() + probes_.size());
   for (const auto& [name, cell] : gauges_) {
@@ -234,8 +253,9 @@ MetricsSnapshot MetricsRegistry::snapshot(double now_seconds) const {
               return a.name < b.name;
             });
 
-  snap.histograms.reserve(histograms_.size());
+  snap.histograms.reserve(histograms_.size() + histogram_sets_.size());
   for (const auto& [name, hist] : histograms_) {
+    if (histogram_sets_.count(name) > 0) continue;  // shadowed
     HistogramSample h;
     h.name = name;
     h.min_value = hist->min_value();
@@ -249,6 +269,28 @@ MetricsSnapshot MetricsRegistry::snapshot(double now_seconds) const {
     }
     snap.histograms.push_back(std::move(h));
   }
+  for (const auto& [name, set] : histogram_sets_) {
+    HistogramSample h;
+    h.name = name;
+    h.buckets.assign(LogHistogram::kBucketCount, 0);
+    for (const LogHistogram* hist : set) {
+      if (h.min_value == 0.0) h.min_value = hist->min_value();
+      if (hist->count() > 0) {
+        h.min = h.count > 0 ? std::min(h.min, hist->min()) : hist->min();
+        h.max = h.count > 0 ? std::max(h.max, hist->max()) : hist->max();
+      }
+      h.count += hist->count();
+      h.sum += hist->sum();
+      for (std::size_t i = 0; i < LogHistogram::kBucketCount; ++i) {
+        h.buckets[i] += hist->bucket(i);
+      }
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSample& a, const HistogramSample& b) {
+              return a.name < b.name;
+            });
 
   snap.series.reserve(series_.size());
   for (const auto& [name, s] : series_) {

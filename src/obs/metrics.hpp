@@ -225,6 +225,16 @@ class MetricsRegistry {
   /// Evaluated at snapshot time; exported as a gauge.
   void link_probe(std::string_view name, std::function<double()> probe);
 
+  /// Counter whose value is computed at snapshot time — used by the
+  /// sharded kernel to merge per-shard cells under one name without
+  /// putting an atomic on the update path. Shadows any direct link.
+  void link_counter_fn(std::string_view name,
+                       std::function<std::uint64_t()> fn);
+  /// Histogram exported as the element-wise sum of several per-shard
+  /// histograms (identical min_value expected). Shadows any direct link.
+  void link_histogram_set(std::string_view name,
+                          std::vector<const LogHistogram*> set);
+
   [[nodiscard]] bool has(std::string_view name) const;
 
   /// Record a completed trace span (bounded retention; see max_spans()).
@@ -249,6 +259,10 @@ class MetricsRegistry {
   std::map<std::string, const LogHistogram*, std::less<>> histograms_;
   std::map<std::string, TimeSeries*, std::less<>> series_;
   std::map<std::string, std::function<double()>, std::less<>> probes_;
+  std::map<std::string, std::function<std::uint64_t()>, std::less<>>
+      counter_fns_;
+  std::map<std::string, std::vector<const LogHistogram*>, std::less<>>
+      histogram_sets_;
 
   std::vector<SpanSample> spans_;
   std::size_t max_spans_ = 4096;

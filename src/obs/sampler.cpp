@@ -41,12 +41,40 @@ void Sampler::add_rate_series(std::string_view name, const Counter& cell) {
   rates_.push_back(RateProbe{&series, &cell, cell.value()});
 }
 
+void Sampler::add_rate_series_fn(std::string_view name,
+                                 std::function<std::uint64_t()> fn) {
+  if (running_) {
+    throw std::logic_error("Sampler: register probes before start()");
+  }
+  TimeSeries& series = registry_.series(name, options_.max_points);
+  const std::uint64_t initial = fn();
+  rate_fns_.push_back(RateFnProbe{&series, std::move(fn), initial});
+}
+
 void Sampler::start() {
   if (running_) return;
+  running_ = true;
+  if (sharded_ != nullptr && sharded_->shard_count() > 1) {
+    // Tick on the coordinator at window boundaries so probes may read
+    // cross-shard state with every worker parked. The requested times
+    // stay on the interval grid; each actually fires at the first
+    // boundary >= its slot, which is deterministic for a fixed K.
+    next_tick_at_ = simulation_.now() + options_.interval;
+    schedule_global_tick();
+    return;
+  }
   task_ = sim::PeriodicTask(simulation_,
                             simulation_.now() + options_.interval,
                             options_.interval, [this] { tick(); });
-  running_ = true;
+}
+
+void Sampler::schedule_global_tick() {
+  sharded_->post_global(0, next_tick_at_, [this] {
+    if (!running_) return;
+    tick();
+    next_tick_at_ = next_tick_at_ + options_.interval;
+    schedule_global_tick();
+  });
 }
 
 void Sampler::stop() {
@@ -64,6 +92,12 @@ void Sampler::tick() {
   const double dt = options_.interval.seconds();
   for (auto& probe : rates_) {
     const std::uint64_t value = probe.cell->value();
+    probe.series->record(
+        now, static_cast<double>(value - probe.last) / dt);
+    probe.last = value;
+  }
+  for (auto& probe : rate_fns_) {
+    const std::uint64_t value = probe.fn();
     probe.series->record(
         now, static_cast<double>(value - probe.last) / dt);
     probe.last = value;

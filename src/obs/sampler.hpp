@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 
 /// Sim-time sampler: a `PeriodicTask` on the timer wheel that reads a set
@@ -41,6 +42,18 @@ class Sampler {
   /// outlive the sampler.
   void add_rate_series(std::string_view name, const Counter& cell);
 
+  /// Rate series over a computed value — the sharded kernel merges
+  /// per-shard counter cells through a reader function.
+  void add_rate_series_fn(std::string_view name,
+                          std::function<std::uint64_t()> fn);
+
+  /// Drive ticks through the sharded kernel's global-task queue instead of
+  /// a shard-local timer: each tick runs on the coordinator at a window
+  /// boundary, with every shard parked, so probes may read state spanning
+  /// shards. No-op with a single shard (the PeriodicTask path is used).
+  /// Call before start(); the sampler must outlive the kernel's run loop.
+  void set_sharded(sim::ShardedSimulation* sharded) { sharded_ = sharded; }
+
   /// First tick fires one interval from now.
   void start();
   void stop();
@@ -60,13 +73,23 @@ class Sampler {
     const Counter* cell;
     std::uint64_t last = 0;
   };
+  struct RateFnProbe {
+    TimeSeries* series;
+    std::function<std::uint64_t()> fn;
+    std::uint64_t last = 0;
+  };
+
+  void schedule_global_tick();
 
   sim::Simulation& simulation_;
   MetricsRegistry& registry_;
   Options options_;
   std::vector<GaugeProbe> gauges_;
   std::vector<RateProbe> rates_;
+  std::vector<RateFnProbe> rate_fns_;
   sim::PeriodicTask task_;
+  sim::ShardedSimulation* sharded_ = nullptr;
+  sim::SimTime next_tick_at_;
   bool running_ = false;
   std::uint64_t ticks_ = 0;
 };

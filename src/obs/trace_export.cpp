@@ -1,5 +1,6 @@
 #include "obs/trace_export.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 #include <unordered_map>
@@ -44,6 +45,29 @@ std::uint64_t u64_arg(const json::Object& args, const std::string& key) {
 }
 
 }  // namespace
+
+std::vector<TraceEvent> merge_events(
+    const std::vector<const FlightRecorder*>& recorders) {
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (const FlightRecorder* r : recorders) {
+    if (r != nullptr) total += r->size();
+  }
+  merged.reserve(total);
+  // Appending recorder by recorder (each chronological) and stable-sorting
+  // on time alone yields exactly the (time, recorder index, ring order)
+  // tie-break.
+  for (const FlightRecorder* r : recorders) {
+    if (r == nullptr) continue;
+    const std::vector<TraceEvent> events = r->events();
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t_micros < b.t_micros;
+                   });
+  return merged;
+}
 
 std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
   // Flow arrows need the parent's track and timestamp; index the retained

@@ -29,6 +29,14 @@ inline constexpr std::string_view kTraceSchema = "oddci.trace.v1";
 
 void write_chrome_trace(const std::string& path, const FlightRecorder& recorder);
 
+/// Merge the retained events of several recorders (the sharded kernel's
+/// per-shard rings) into one chronological stream. Ties at equal sim time
+/// break on recorder index, then ring order — a pure function of the ring
+/// contents, so a seeded run exports byte-identically for a fixed shard
+/// count. Null entries are skipped.
+[[nodiscard]] std::vector<TraceEvent> merge_events(
+    const std::vector<const FlightRecorder*>& recorders);
+
 /// Parse a Chrome trace produced by to_chrome_trace back into events
 /// (chronologically ordered, exactly as recorded). Throws
 /// std::runtime_error on malformed input or a foreign schema.

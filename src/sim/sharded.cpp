@@ -1,0 +1,295 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace oddci::sim {
+
+void ShardedSimulation::Options::validate() const {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedSimulation: need at least one shard");
+  }
+  if (shards > 1 && window <= SimTime::zero()) {
+    throw std::invalid_argument(
+        "ShardedSimulation: window must be positive with multiple shards");
+  }
+}
+
+ShardedSimulation::ShardedSimulation(Options options)
+    : options_(options) {
+  options_.validate();
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Simulation>());
+  }
+  const std::size_t k = options_.shards;
+  boxes_ = std::vector<MailBox>(k * k);
+  global_boxes_ = std::vector<MailBox>(k);
+  if (k > 1) {
+    worker_errors_.resize(k, nullptr);
+    workers_.reserve(k - 1);
+    for (std::size_t i = 1; i < k; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+}
+
+ShardedSimulation::~ShardedSimulation() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ShardedSimulation::post(std::size_t src, std::size_t dst, SimTime at,
+                             EventFn fn, EventPriority priority) {
+  if (src >= shards_.size() || dst >= shards_.size()) {
+    throw std::out_of_range("ShardedSimulation: shard index out of range");
+  }
+  if (!fn) {
+    throw std::invalid_argument("ShardedSimulation: empty mail callback");
+  }
+  if (shards_.size() == 1) {
+    Simulation& s = *shards_[0];
+    s.schedule_at(std::max(at, s.now()), std::move(fn), priority);
+    return;
+  }
+  box(src, dst).items.push_back(Mail{at, std::move(fn), priority});
+}
+
+void ShardedSimulation::post_global(std::size_t src, SimTime at, EventFn fn) {
+  if (src >= shards_.size()) {
+    throw std::out_of_range("ShardedSimulation: shard index out of range");
+  }
+  if (!fn) {
+    throw std::invalid_argument("ShardedSimulation: empty global callback");
+  }
+  if (shards_.size() == 1) {
+    Simulation& s = *shards_[0];
+    s.schedule_at(std::max(at, s.now()), std::move(fn),
+                  EventPriority::kMonitor);
+    return;
+  }
+  global_boxes_[src].items.push_back(
+      Mail{at, std::move(fn), EventPriority::kMonitor});
+}
+
+void ShardedSimulation::worker_loop(std::size_t shard_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    SimTime target;
+    bool inclusive;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return epoch_ != seen_epoch || shutdown_; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      target = target_;
+      inclusive = inclusive_;
+    }
+    try {
+      if (inclusive) {
+        shards_[shard_index]->run_until(target);
+      } else {
+        shards_[shard_index]->run_window(target);
+      }
+    } catch (...) {
+      worker_errors_[shard_index] = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ShardedSimulation::parallel_window(SimTime w1, bool inclusive) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    target_ = w1;
+    inclusive_ = inclusive;
+    outstanding_ = shards_.size() - 1;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  try {
+    if (inclusive) {
+      shards_[0]->run_until(w1);
+    } else {
+      shards_[0]->run_window(w1);
+    }
+  } catch (...) {
+    worker_errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+  ++windows_run_;
+  for (auto& error : worker_errors_) {
+    if (error != nullptr) {
+      std::exception_ptr e = std::exchange(error, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+bool ShardedSimulation::drain(SimTime boundary) {
+  const std::size_t k = shards_.size();
+  bool delivered_due = false;
+  // Fixpoint: a global task (sampler tick, fault plan step, deferred
+  // removal) may itself post mail or further globals; keep draining until
+  // one pass moves nothing. Ordering stays deterministic because each pass
+  // walks sources in index order and every queue preserves send order.
+  for (;;) {
+    bool moved = false;
+    // Mail first: (destination, source, sequence). The destination loop
+    // order is immaterial (separate heaps); per destination, source index
+    // then send order fixes the heap insertion sequence — and therefore
+    // the same-timestamp tie-break — deterministically.
+    for (std::size_t dst = 0; dst < k; ++dst) {
+      Simulation& target = *shards_[dst];
+      for (std::size_t src = 0; src < k; ++src) {
+        auto& items = box(src, dst).items;
+        for (auto& mail : items) {
+          SimTime at = mail.at;
+          if (at < boundary) {
+            at = boundary;
+            ++clamped_posts_;
+          }
+          if (at <= boundary) delivered_due = true;
+          target.schedule_at(at, std::move(mail.fn), mail.priority);
+          ++cross_posts_;
+          moved = true;
+        }
+        items.clear();
+      }
+    }
+    // Stage global tasks in (source, send order), stamped with a global
+    // sequence so later drains never reorder earlier arrivals.
+    for (std::size_t src = 0; src < k; ++src) {
+      auto& items = global_boxes_[src].items;
+      for (auto& mail : items) {
+        globals_.push_back(GlobalTask{mail.at, global_seq_++, std::move(mail.fn)});
+        moved = true;
+      }
+      items.clear();
+    }
+    // Run every global task due at this boundary, in arrival order.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < globals_.size(); ++i) {
+      if (globals_[i].at <= boundary) {
+        EventFn fn = std::move(globals_[i].fn);
+        moved = true;
+        fn();
+      } else {
+        if (kept != i) globals_[kept] = std::move(globals_[i]);
+        ++kept;
+      }
+    }
+    globals_.resize(kept);
+    if (!moved) break;
+  }
+  return delivered_due;
+}
+
+void ShardedSimulation::run_until(SimTime t) {
+  stopping_ = false;
+  if (shards_.size() == 1) {
+    shards_[0]->run_until(t);
+    return;
+  }
+  if (t < now()) {
+    throw std::invalid_argument("ShardedSimulation: run_until into the past");
+  }
+  const SimTime window = options_.window;
+  while (!stopping_) {
+    const SimTime w0 = shards_[0]->now();
+    if (w0 >= t) break;
+    // Idle skip: when every shard's earliest work — heap events, staged
+    // globals, undelivered mail — lies beyond the next boundary, jump the
+    // window grid forward. The skip depends only on deterministic shard
+    // state, so it never perturbs the trajectory: a global or mail item
+    // still lands at the first boundary at or after its requested time.
+    SimTime horizon = SimTime::max();
+    bool mail_pending = false;
+    for (auto& shard : shards_) {
+      horizon = std::min(horizon, shard->next_event_time());
+    }
+    for (const auto& task : globals_) horizon = std::min(horizon, task.at);
+    for (const auto& staged : global_boxes_) {
+      for (const auto& mail : staged.items) {
+        horizon = std::min(horizon, mail.at);
+      }
+    }
+    for (const auto& b : boxes_) {
+      if (!b.items.empty()) mail_pending = true;
+    }
+    if (!mail_pending) {
+      if (horizon == SimTime::max()) {
+        // Nothing anywhere, ever: fast-forward all clocks to the target.
+        for (auto& shard : shards_) shard->run_window(t);
+        break;
+      }
+      const std::int64_t span = (std::min(horizon, t) - w0).micros();
+      const std::int64_t whole = (span / window.micros()) * window.micros();
+      if (whole > window.micros()) {
+        // Land on the last grid boundary strictly before the horizon.
+        const SimTime jump = w0 + SimTime::from_micros(whole) - window;
+        for (auto& shard : shards_) shard->run_window(jump);
+      }
+    }
+    const SimTime base = shards_[0]->now();
+    const SimTime w1 = std::min(t, base + window);
+    const bool final_pass = (w1 == t);
+    parallel_window(w1, final_pass);
+    if (stopping_) {
+      // stop() came from control-shard code: other shards completed the
+      // window; deliver their mail so nothing is lost, then return with
+      // the control clock at the stop point (as the classic kernel does).
+      drain(w1);
+      return;
+    }
+    bool due = drain(w1);
+    if (final_pass) {
+      // Mail delivered at exactly the horizon must still run (run_until
+      // semantics: events at exactly `t` execute). Iterate to fixpoint;
+      // each pass executes the newly drained events at t.
+      while (due && !stopping_) {
+        parallel_window(t, true);
+        if (stopping_) {
+          drain(t);
+          return;
+        }
+        due = drain(t);
+      }
+      break;
+    }
+  }
+}
+
+void ShardedSimulation::stop() {
+  stopping_ = true;
+  shards_[0]->stop();
+}
+
+std::uint64_t ShardedSimulation::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events_executed();
+  return total;
+}
+
+std::uint64_t ShardedSimulation::events_scheduled() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events_scheduled();
+  return total;
+}
+
+}  // namespace oddci::sim

@@ -132,6 +132,27 @@ void Simulation::run_until(SimTime t) {
   if (!stopping_) now_ = t;
 }
 
+void Simulation::run_window(SimTime end) {
+  if (end < now_) {
+    throw std::invalid_argument("Simulation: run_window into the past");
+  }
+  stopping_ = false;
+  while (!stopping_ && skim_top()) {
+    if (heap_.front().time >= end) break;  // next window's business
+    Entry e;
+    EventFn fn = take_top(e);
+    now_ = e.time;
+    ++events_executed_;
+    fn();
+  }
+  if (!stopping_) now_ = end;
+}
+
+SimTime Simulation::next_event_time() {
+  if (!skim_top()) return SimTime::max();
+  return heap_.front().time;
+}
+
 PeriodicTask::PeriodicTask(Simulation& simulation, SimTime start,
                            SimTime period, EventFn on_tick)
     : simulation_(&simulation) {

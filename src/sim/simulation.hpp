@@ -73,6 +73,19 @@ class Simulation {
   /// The clock is left at `t` even if the queue drains earlier.
   void run_until(SimTime t);
 
+  /// Conservative-window variant for the sharded kernel: execute events
+  /// strictly *before* `end` and leave the clock at `end`. Events at
+  /// exactly `end` belong to the next window (they may be ordered against
+  /// cross-shard mail drained at the `end` boundary). stop() breaks out
+  /// with the clock at the last executed event.
+  void run_window(SimTime end);
+
+  /// Time of the earliest pending event (tombstones skimmed), or
+  /// SimTime::max() when the heap is empty. Armed wheel timers are covered
+  /// by their cascade event, so this is a safe lower bound on the next
+  /// thing this kernel will do.
+  [[nodiscard]] SimTime next_event_time();
+
   /// Execute the single next event. Returns false if the queue is empty.
   bool step();
 
