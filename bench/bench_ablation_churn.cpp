@@ -32,7 +32,7 @@ ChurnResult run(double mean_on_s, double mean_off_s, bool recomposition,
   core::SystemConfig config;
   config.receivers = 400;
   config.seed = seed;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   core::ChurnOptions churn;
   churn.mean_on_seconds = mean_on_s;
   churn.mean_off_seconds = mean_off_s;

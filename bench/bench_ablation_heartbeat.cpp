@@ -33,9 +33,9 @@ LoadResult run(std::size_t population, double interval_s,
   config.seed = seed;
   config.aggregators = aggregators;
   config.controller.default_heartbeat = sim::SimTime::from_seconds(interval_s);
-  config.controller.monitor_interval =
+  config.control.monitor_interval =
       sim::SimTime::from_seconds(std::max(10.0, interval_s / 2.0));
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   core::OddciSystem system(config);
   system.controller().deploy_pna();
   // Warm-up: let every PNA launch and start heartbeating.

@@ -31,7 +31,7 @@ ProbeResult run(std::size_t population, std::size_t target,
   core::SystemConfig config;
   config.receivers = population;
   config.seed = seed;
-  config.controller.overshoot_margin = overshoot;
+  config.control.overshoot_margin = overshoot;
   core::OddciSystem system(config);
   system.controller().deploy_pna();
   system.simulation().run_until(sim::SimTime::from_seconds(120));
@@ -40,7 +40,9 @@ ProbeResult run(std::size_t population, std::size_t target,
   spec.name = "prob-ablation";
   spec.target_size = target;
   spec.image_size = util::Bits::from_megabytes(2);
-  spec.initial_probability = probability;  // <= 0: controller auto policy
+  // Unset leaves the wakeup probability to the controller's decision
+  // engine; the bench's <= 0 convention maps onto the optional here.
+  if (probability > 0.0) spec.initial_probability = probability;
   const sim::SimTime t0 = system.simulation().now();
 
   ProbeResult result;

@@ -1,0 +1,260 @@
+// Decision-engine comparison (experiment E14): the three control-loop
+// engines — static (the paper's fixed overshoot-margin rule), proportional
+// (PI ramp with churn compensation) and bandit (epsilon-greedy margin
+// multipliers per deficit regime) — form the same instance out of the same
+// churning, fault-injected population (the PR 5 fault matrix: message loss
+// and duplication, latency spikes, partitions, controller/backend crashes,
+// aggregator and PNA crash-restarts, control corruption).
+//
+// Per engine, two seeded phases on identical configs:
+//
+//  1. Formation: request an instance (2% of the population) and track the
+//     membership every 10 s for 30 simulated minutes. Reported:
+//     convergence time (first reach of target), peak churn overshoot
+//     (max membership - target), and trims (unicast resets shed).
+//  2. Job: run a uniform compute job on a fresh system and report the
+//     paper's efficiency E = n*p / (M*N) plus the makespan.
+//
+// Output: human table on stdout, BENCH_control.json shape via --json
+// <path>. --quick shrinks the population for CI smoke. Exit is nonzero if
+// any engine fails to converge or if the proportional engine does not beat
+// the static margin rule on overshoot at comparable convergence time —
+// the acceptance gate for the closed-loop controller.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "control/policy.hpp"
+#include "core/system.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace oddci;
+
+struct Scenario {
+  std::size_t receivers = 100'000;
+  std::size_t target = 2'000;
+  std::size_t tasks = 4'000;
+  int observe_ticks = 180;  ///< 10 s each: 30 simulated minutes
+};
+
+struct Point {
+  std::string engine;
+  double convergence_s = -1.0;  ///< first reach of target; -1 = never
+  std::size_t overshoot_peak = 0;
+  double overshoot_frac = 0.0;
+  std::uint64_t trims = 0;
+  std::uint64_t rebroadcasts = 0;
+  double efficiency = 0.0;
+  double makespan_s = 0.0;
+  bool job_completed = false;
+};
+
+core::SystemConfig base_config(const Scenario& s,
+                               control::EngineKind kind) {
+  core::SystemConfig config;
+  config.receivers = s.receivers;
+  config.channels = 4;
+  config.aggregators = 8;
+  config.seed = 20260805;
+  config.control.engine = kind;
+  config.control.overshoot_margin = 1.3;
+  if (kind == control::EngineKind::kProportional) {
+    // A mild feedforward surplus (binomial shortfall + churn headroom)
+    // keeps convergence in one broadcast round; the integral and the
+    // hysteresis band absorb what the static 1.3 margin would overshoot.
+    config.control.gain = 1.1;
+    config.control.trim_hysteresis = 0.05;
+  }
+  // Receiver churn: the reason recomposition (and a control loop) exists.
+  core::ChurnOptions churn;
+  churn.mean_on_seconds = 3600.0;
+  churn.mean_off_seconds = 1800.0;
+  config.churn = churn;
+  // The PR 5 fault matrix, verbatim from the replay acceptance test.
+  config.fault.enabled = true;
+  config.fault.message_loss = 0.01;
+  config.fault.message_duplication = 0.01;
+  config.fault.latency_spike_probability = 0.005;
+  config.fault.partitions_per_hour = 3.0;
+  config.fault.partition_duration = sim::SimTime::from_seconds(120);
+  config.fault.aggregator_crashes_per_hour = 2.0;
+  config.fault.pna_crashes_per_hour = 20.0;
+  config.fault.pna_hangs_per_hour = 10.0;
+  config.fault.control_corruptions_per_hour = 4.0;
+  return config;
+}
+
+/// The scheduled control-plane crashes complete the PR 5 matrix for the
+/// efficiency phase. They are kept out of the formation phase: a
+/// controller restart triggers a population-wide rejoin wave whose
+/// overshoot is recovery behaviour (the self-healing plane's domain), not
+/// the decision engine's, and it swamps the policy signal being compared.
+core::SystemConfig job_config(const Scenario& s, control::EngineKind kind) {
+  core::SystemConfig config = base_config(s, kind);
+  config.fault.controller_crash_at.push_back(sim::SimTime::from_seconds(500));
+  config.fault.backend_crash_at.push_back(sim::SimTime::from_seconds(900));
+  return config;
+}
+
+Point run_engine(const Scenario& s, control::EngineKind kind) {
+  Point point;
+  point.engine = std::string(control::to_string(kind));
+
+  // Phase 1: instance formation under churn + the stochastic fault matrix.
+  {
+    core::OddciSystem system(base_config(s, kind));
+    system.controller().deploy_pna();
+    system.simulation().run_until(sim::SimTime::from_seconds(120));
+
+    core::InstanceSpec spec;
+    spec.name = "control-bench";
+    spec.target_size = s.target;
+    spec.image_size = util::Bits::from_megabytes(2);
+    const auto id = system.provider().request_instance(
+        spec, system.backend().node_id());
+    const sim::SimTime t0 = system.simulation().now();
+
+    std::size_t peak = 0;
+    for (int tick = 0; tick < s.observe_ticks; ++tick) {
+      system.simulation().run_until(system.simulation().now() +
+                                    sim::SimTime::from_seconds(10));
+      const std::size_t size = system.controller().status(id)->current_size;
+      peak = std::max(peak, size);
+      if (point.convergence_s < 0 && size >= s.target) {
+        point.convergence_s = (system.simulation().now() - t0).seconds();
+      }
+    }
+    point.overshoot_peak = peak > s.target ? peak - s.target : 0;
+    point.overshoot_frac = static_cast<double>(point.overshoot_peak) /
+                           static_cast<double>(s.target);
+    point.trims = system.controller().status(id)->unicast_resets;
+    point.rebroadcasts =
+        system.controller().status(id)->wakeups_broadcast - 1;
+  }
+
+  // Phase 2: the paper's efficiency E = n*p / (M*N) on a fresh system with
+  // the same engine, under the full matrix including the scheduled
+  // controller and backend crashes.
+  {
+    core::OddciSystem system(job_config(s, kind));
+    const auto job = workload::make_uniform_job(
+        "control-bench-job", util::Bits::from_megabytes(2), s.tasks,
+        util::Bits::from_bytes(512), util::Bits::from_bytes(512), 10.0);
+    const auto result = system.run_job(job, s.target);
+    point.job_completed = result.completed;
+    point.makespan_s = result.makespan_seconds;
+    if (result.makespan_seconds > 0.0) {
+      point.efficiency = static_cast<double>(s.tasks) * 10.0 /
+                         (result.makespan_seconds *
+                          static_cast<double>(s.target));
+    }
+  }
+  return point;
+}
+
+void write_json(const std::string& path, const Scenario& s,
+                const std::vector<Point>& points) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"control\",\n"
+      << "  \"scenario\": {\"receivers\": " << s.receivers
+      << ", \"target\": " << s.target << ", \"tasks\": " << s.tasks
+      << ", \"observe_s\": " << s.observe_ticks * 10
+      << ", \"seed\": 20260805, \"churn\": true, \"fault_matrix\": true},\n"
+      << "  \"engines\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"engine\": \"" << p.engine << "\""
+        << ", \"convergence_s\": " << p.convergence_s
+        << ", \"overshoot_peak\": " << p.overshoot_peak
+        << ", \"overshoot_frac\": " << p.overshoot_frac
+        << ", \"trims\": " << p.trims
+        << ", \"rebroadcasts\": " << p.rebroadcasts
+        << ", \"efficiency\": " << p.efficiency
+        << ", \"makespan_s\": " << p.makespan_s
+        << ", \"job_completed\": " << (p.job_completed ? "true" : "false")
+        << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    if (arg == "--quick") quick = true;
+  }
+
+  Scenario scenario;
+  if (quick) {
+    scenario.receivers = 10'000;
+    scenario.target = 200;
+    scenario.tasks = 400;
+    scenario.observe_ticks = 90;
+  }
+
+  std::cout << "== Decision engines under churn + the fault matrix ("
+            << scenario.receivers << " receivers, target "
+            << scenario.target << ") ==\n";
+  std::cout << "engine       | converge s | overshoot | trims | "
+            << "rebroadcast | efficiency E | makespan s\n";
+
+  std::vector<Point> points;
+  for (const auto kind :
+       {control::EngineKind::kStatic, control::EngineKind::kProportional,
+        control::EngineKind::kBandit}) {
+    points.push_back(run_engine(scenario, kind));
+    const auto& p = points.back();
+    std::printf("%-12s | %10.1f | %6zu (%4.1f%%) | %5llu | %11llu | "
+                "%12.3f | %10.1f\n",
+                p.engine.c_str(), p.convergence_s, p.overshoot_peak,
+                p.overshoot_frac * 100.0,
+                static_cast<unsigned long long>(p.trims),
+                static_cast<unsigned long long>(p.rebroadcasts),
+                p.efficiency, p.makespan_s);
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, scenario, points);
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  // Acceptance gates.
+  int exit_code = 0;
+  for (const auto& p : points) {
+    if (p.convergence_s < 0) {
+      std::cerr << "FAIL: engine '" << p.engine
+                << "' never reached the target size\n";
+      exit_code = 1;
+    }
+    if (!p.job_completed) {
+      std::cerr << "FAIL: engine '" << p.engine
+                << "' did not complete the job\n";
+      exit_code = 1;
+    }
+  }
+  const auto& st = points[0];
+  const auto& pi = points[1];
+  if (pi.overshoot_peak >= st.overshoot_peak) {
+    std::cerr << "FAIL: proportional overshoot (" << pi.overshoot_peak
+              << ") does not beat static (" << st.overshoot_peak << ")\n";
+    exit_code = 1;
+  }
+  if (st.convergence_s > 0 && pi.convergence_s > 2.0 * st.convergence_s) {
+    std::cerr << "FAIL: proportional convergence (" << pi.convergence_s
+              << " s) is not comparable to static (" << st.convergence_s
+              << " s)\n";
+    exit_code = 1;
+  }
+  return exit_code;
+}

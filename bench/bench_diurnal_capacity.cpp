@@ -25,7 +25,7 @@ core::SystemConfig base_config(std::uint64_t seed) {
   config.receivers = kReceivers;
   config.profile = dtv::DeviceProfile::stb_st7109();
   config.initial_power = dtv::PowerMode::kStandby;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.seed = seed;
   return config;
 }

@@ -46,7 +46,7 @@ double simulate_efficiency(double phi, std::size_t ratio, std::uint64_t seed,
   core::SystemConfig config;
   config.receivers = 3 * kSimNodes;
   config.seed = seed;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   // For very long jobs (high phi), thin out heartbeats so the event count
   // stays bounded; the protocol tolerates any interval.
   const double est_makespan =
@@ -54,7 +54,7 @@ double simulate_efficiency(double phi, std::size_t ratio, std::uint64_t seed,
                                    kSimNodes);
   config.controller.default_heartbeat = sim::SimTime::from_seconds(
       std::max(30.0, est_makespan / 500.0));
-  config.controller.monitor_interval = config.controller.default_heartbeat;
+  config.control.monitor_interval = config.controller.default_heartbeat;
 
   core::OddciSystem system(config);
   const workload::Job job = workload::make_job_for_suitability(

@@ -40,12 +40,12 @@ double simulate_makespan(double phi, std::size_t ratio, std::uint64_t seed,
   core::SystemConfig config;
   config.receivers = 3 * kSimNodes;
   config.seed = seed;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   const double est = analytical::makespan_seconds(
       sm, job_model(phi, ratio * kSimNodes), kSimNodes);
   config.controller.default_heartbeat =
       sim::SimTime::from_seconds(std::max(30.0, est / 500.0));
-  config.controller.monitor_interval = config.controller.default_heartbeat;
+  config.control.monitor_interval = config.controller.default_heartbeat;
 
   core::OddciSystem system(config);
   const workload::Job job = workload::make_job_for_suitability(

@@ -35,7 +35,7 @@ double measure_wakeup(util::Bits image, util::BitRate beta,
   config.section_loss = section_loss;
   config.technology = technology;
   config.multicast.block_loss = section_loss;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   core::OddciSystem system(config);
   // Measure instance formation directly: request an instance and wait for
   // the Provider's readiness callback.

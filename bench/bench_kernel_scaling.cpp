@@ -329,7 +329,7 @@ SystemPoint system_sweep(std::size_t receivers, std::size_t shards) {
   config.channels = 8;
   config.aggregators = 16;
   config.seed = 99;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.shards = shards;
 
   settle_allocator();

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   config.receivers = receivers;
   config.profile = dtv::DeviceProfile::stb_st7109();
   config.initial_power = dtv::PowerMode::kStandby;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.seed = 99;
   // Evening-TV churn: boxes come and go.
   core::ChurnOptions churn;

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   core::SystemConfig config;
   config.receivers = receivers;
   config.seed = 4711;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   core::OddciSystem system(config);
 
   std::cout << "Elastic provider demo: " << receivers

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "analytical/models.hpp"
+#include "control/policy.hpp"
 #include "core/system.hpp"
 #include "obs/export.hpp"
 #include "util/config.hpp"
@@ -32,9 +33,24 @@ core::SystemConfig system_config(const util::Config& cfg) {
       util::BitRate::from_kbps(cfg.get_double("delta_kbps", 150.0));
   config.section_loss = cfg.get_double("section_loss", 0.0);
   config.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-  config.controller.overshoot_margin = cfg.get_double("overshoot", 1.3);
+  config.control.overshoot_margin = cfg.get_double("overshoot", 1.3);
   config.controller.default_heartbeat =
       sim::SimTime::from_seconds(cfg.get_double("heartbeat_s", 30.0));
+  // Control-loop policy: which decision engine drives wakeup probability,
+  // trimming, and Phi-driven admission (static | proportional | bandit).
+  config.control.engine = control::engine_kind_from_string(
+      cfg.get_string("control_engine", "static"));
+  config.control.min_suitability = cfg.get_double("control_min_phi", 0.0);
+  config.control.gain = cfg.get_double("control_gain", 1.0);
+  config.control.integral_gain =
+      cfg.get_double("control_integral_gain", 0.3);
+  config.control.integral_cap = cfg.get_double("control_integral_cap", 0.5);
+  config.control.max_step = cfg.get_double("control_max_step", 1.0);
+  config.control.trim_hysteresis =
+      cfg.get_double("control_trim_hysteresis", 0.0);
+  config.control.explore = cfg.get_double("control_explore", 0.1);
+  config.control.seed =
+      static_cast<std::uint64_t>(cfg.get_int("control_seed", 0));
   config.tuned_fraction = cfg.get_double("tuned_fraction", 1.0);
   config.aggregators =
       static_cast<std::size_t>(cfg.get_int("aggregators", 0));
@@ -194,6 +210,14 @@ int main(int argc, char** argv) {
     core::OddciSystem system(config);
     const auto result = system.run_job(
         job, instance_size, sim::SimTime::from_hours(deadline_h));
+
+    if (!result.admitted) {
+      std::cout << "job deferred: suitability below control_min_phi="
+                << config.control.min_suitability
+                << " (phi=" << workload::suitability(job, config.delta)
+                << ")\n";
+      return 1;
+    }
 
     analytical::SystemModel sm{config.beta, config.delta};
     analytical::JobModel jm;

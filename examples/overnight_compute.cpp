@@ -30,7 +30,7 @@ Outcome run_shift(const char* label, dtv::PowerMode mode,
   config.receivers = receivers;
   config.profile = dtv::DeviceProfile::stb_st7109();
   config.initial_power = mode;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.seed = 20260704;
   core::OddciSystem system(config);
 

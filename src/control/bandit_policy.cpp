@@ -1,0 +1,149 @@
+#include "control/bandit_policy.hpp"
+
+#include <algorithm>
+
+namespace oddci::control {
+
+BanditPolicy::BanditPolicy(PolicyOptions options)
+    : DecisionEngine(std::move(options)), rng_(options_.seed) {
+  for (auto& regime : values_) regime.resize(options_.arms.size());
+}
+
+std::size_t BanditPolicy::regime_of(std::size_t deficit, std::size_t target) {
+  if (target == 0) return kRegimes - 1;
+  if (deficit * 2 >= target) return 0;   // >= 50% missing
+  if (deficit * 10 >= target) return 1;  // >= 10% missing
+  return 2;
+}
+
+std::size_t BanditPolicy::select_arm(std::size_t regime) {
+  std::size_t arm;
+  if (rng_.uniform() < options_.explore) {
+    arm = static_cast<std::size_t>(
+        rng_.uniform_u64(options_.arms.size()));
+    ++explorations_;
+  } else {
+    arm = 0;
+    const auto& stats = values_[regime];
+    for (std::size_t a = 1; a < stats.size(); ++a) {
+      if (stats[a].value > stats[arm].value) arm = a;
+    }
+  }
+  if (pulled_once_ && arm != last_arm_) ++arm_switches_;
+  pulled_once_ = true;
+  last_arm_ = arm;
+  return arm;
+}
+
+void BanditPolicy::score(std::uint64_t instance, std::size_t deficit,
+                         std::size_t members, std::size_t target) {
+  const auto it = pending_.find(instance);
+  if (it == pending_.end()) return;
+  const Pending prev = it->second;
+  pending_.erase(it);
+  // Progress toward the target since the pull, normalised by the gap that
+  // was open then; overshoot costs double — the whole point of learning a
+  // margin is to stop paying for trims.
+  const double progress =
+      prev.gap == 0
+          ? 0.0
+          : (static_cast<double>(prev.gap) - static_cast<double>(deficit)) /
+                static_cast<double>(prev.gap);
+  const double over =
+      members > target
+          ? static_cast<double>(members - target) /
+                std::max(1.0, static_cast<double>(target))
+          : 0.0;
+  const double reward = progress - 2.0 * over;
+  ArmStats& stats = values_[prev.regime][prev.arm];
+  ++stats.pulls;
+  stats.value += (reward - stats.value) / static_cast<double>(stats.pulls);
+}
+
+double BanditPolicy::initial_probability(
+    const ControlObservation& observation) {
+  ++decisions_;
+  if (observation.idle_pool == 0) {
+    last_probability_ = 1.0;
+    return 1.0;
+  }
+  const std::size_t regime = regime_of(observation.target, observation.target);
+  const std::size_t arm = select_arm(regime);
+  const double p = std::clamp(
+      options_.arms[arm] * options_.overshoot_margin *
+          static_cast<double>(observation.target) /
+          static_cast<double>(observation.idle_pool),
+      0.0, 1.0);
+  pending_[observation.instance] =
+      Pending{regime, arm, observation.target};
+  last_probability_ = p;
+  ++wakeups_requested_;
+  if (recorder_ != nullptr) {
+    recorder_->emit(observation.now, obs::TraceEventKind::kControlDecision,
+                    obs::TraceComponent::kController, {},
+                    observation.instance,
+                    static_cast<std::uint64_t>(p * 1e6));
+  }
+  return p;
+}
+
+ControlAction BanditPolicy::decide(const ControlObservation& observation) {
+  ControlAction action;
+  ++decisions_;
+  const std::size_t current = observation.members + observation.joining;
+  const std::size_t deficit =
+      current < observation.target ? observation.target - current : 0;
+  score(observation.instance, deficit, observation.members,
+        observation.target);
+  if (deficit > 0 && observation.recruiting) {
+    if (observation.idle_pool == 0) return action;
+    const std::size_t regime = regime_of(deficit, observation.target);
+    const std::size_t arm = select_arm(regime);
+    const double p = std::clamp(
+        options_.arms[arm] * options_.overshoot_margin *
+            static_cast<double>(deficit) /
+            static_cast<double>(observation.idle_pool),
+        0.0, 1.0);
+    pending_[observation.instance] = Pending{regime, arm, deficit};
+    last_probability_ = p;
+    if (p > 0.0) ++wakeups_requested_;
+    action.probability = p;
+    if (recorder_ != nullptr) {
+      recorder_->emit(observation.now, obs::TraceEventKind::kControlDecision,
+                      obs::TraceComponent::kController, {},
+                      observation.instance,
+                      static_cast<std::uint64_t>(p * 1e6));
+    }
+  } else if (observation.members > observation.target) {
+    const std::size_t over = observation.members - observation.target;
+    action.trim = over;
+    trims_requested_ += over;
+    if (recorder_ != nullptr) {
+      recorder_->emit(observation.now, obs::TraceEventKind::kControlTrim,
+                      obs::TraceComponent::kController, {},
+                      observation.instance, over);
+    }
+  }
+  return action;
+}
+
+void BanditPolicy::forget(std::uint64_t instance) {
+  pending_.erase(instance);
+}
+
+double BanditPolicy::arm_value(std::size_t regime, std::size_t arm) const {
+  return values_.at(regime).at(arm).value;
+}
+
+void BanditPolicy::link_metrics(obs::MetricsRegistry& registry) {
+  DecisionEngine::link_metrics(registry);
+  registry.link_counter("control.decisions", decisions_);
+  registry.link_counter("control.wakeups_requested", wakeups_requested_);
+  registry.link_counter("control.trims_requested", trims_requested_);
+  registry.link_counter("control.arm_switches", arm_switches_);
+  registry.link_counter("control.explorations", explorations_);
+  registry.link_probe("control.p_last",
+                      [this] { return last_probability_; });
+}
+
+}  // namespace oddci::control

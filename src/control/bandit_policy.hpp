@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "control/policy.hpp"
+#include "util/rng.hpp"
+
+namespace oddci::control {
+
+/// Epsilon-greedy multi-armed bandit over wakeup-probability steps.
+///
+/// Each arm is a multiplier on the static rule's
+/// overshoot_margin * deficit / idle_pool; the engine learns, separately
+/// per deficit regime (large / medium / small deficit relative to the
+/// target), which multiplier closes the gap fastest without overshooting.
+/// After every pulled arm the next decision for the same instance scores
+/// the outcome — deficit progress, minus a penalty for members above
+/// target — into the (regime, arm) value table (incremental mean), then
+/// selects greedily with probability 1 - explore.
+///
+/// Determinism: the only randomness is the private `rng_`, seeded from
+/// `PolicyOptions::seed` (a named stream derived from the system seed).
+/// Decisions happen exclusively on the control shard, so the draw
+/// sequence — and with it the whole run — replays byte-identically per
+/// (seed, shard count).
+class BanditPolicy final : public DecisionEngine {
+ public:
+  explicit BanditPolicy(PolicyOptions options);
+
+  [[nodiscard]] std::string_view name() const override { return "bandit"; }
+
+  [[nodiscard]] double initial_probability(
+      const ControlObservation& observation) override;
+
+  [[nodiscard]] ControlAction decide(
+      const ControlObservation& observation) override;
+
+  void forget(std::uint64_t instance) override;
+
+  void link_metrics(obs::MetricsRegistry& registry) override;
+
+  /// Deficit regimes: >= 50% of target missing, >= 10%, below 10%.
+  static constexpr std::size_t kRegimes = 3;
+
+  /// Learned value of (regime, arm) — test hook.
+  [[nodiscard]] double arm_value(std::size_t regime, std::size_t arm) const;
+
+ private:
+  struct ArmStats {
+    double value = 0.0;
+    std::uint64_t pulls = 0;
+  };
+  /// Outcome of the previous pull for an instance, scored on the next
+  /// decision once the broadcast's effect is visible in the membership.
+  struct Pending {
+    std::size_t regime = 0;
+    std::size_t arm = 0;
+    std::size_t gap = 0;
+  };
+
+  [[nodiscard]] static std::size_t regime_of(std::size_t deficit,
+                                             std::size_t target);
+  [[nodiscard]] std::size_t select_arm(std::size_t regime);
+  void score(std::uint64_t instance, std::size_t deficit,
+             std::size_t members, std::size_t target);
+
+  std::array<std::vector<ArmStats>, kRegimes> values_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  util::Random rng_;
+
+  obs::Counter decisions_;
+  obs::Counter wakeups_requested_;
+  obs::Counter trims_requested_;
+  obs::Counter arm_switches_;
+  obs::Counter explorations_;
+  std::size_t last_arm_ = 0;
+  bool pulled_once_ = false;
+  double last_probability_ = 0.0;
+};
+
+}  // namespace oddci::control

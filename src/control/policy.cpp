@@ -1,0 +1,126 @@
+#include "control/policy.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "analytical/models.hpp"
+#include "control/bandit_policy.hpp"
+#include "control/proportional_policy.hpp"
+#include "control/static_policy.hpp"
+
+namespace oddci::control {
+
+std::string_view to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kStatic: return "static";
+    case EngineKind::kProportional: return "proportional";
+    case EngineKind::kBandit: return "bandit";
+  }
+  return "unknown";
+}
+
+EngineKind engine_kind_from_string(std::string_view name) {
+  if (name == "static") return EngineKind::kStatic;
+  if (name == "proportional") return EngineKind::kProportional;
+  if (name == "bandit") return EngineKind::kBandit;
+  throw std::invalid_argument("control: unknown engine '" +
+                              std::string(name) +
+                              "' (static|proportional|bandit)");
+}
+
+void PolicyOptions::validate() const {
+  if (monitor_interval <= sim::SimTime::zero()) {
+    throw std::invalid_argument("control: monitor_interval must be > 0");
+  }
+  if (stale_factor <= 1.0) {
+    throw std::invalid_argument("control: stale_factor must be > 1");
+  }
+  if (overshoot_margin <= 0.0) {
+    throw std::invalid_argument("control: overshoot_margin must be > 0");
+  }
+  if (min_suitability < 0.0) {
+    throw std::invalid_argument("control: min_suitability must be >= 0");
+  }
+  if (gain <= 0.0) {
+    throw std::invalid_argument("control: gain must be > 0");
+  }
+  if (integral_gain < 0.0 || integral_cap < 0.0) {
+    throw std::invalid_argument(
+        "control: integral_gain and integral_cap must be >= 0");
+  }
+  if (max_step <= 0.0 || max_step > 1.0) {
+    throw std::invalid_argument("control: max_step must be in (0, 1]");
+  }
+  if (trim_hysteresis < 0.0) {
+    throw std::invalid_argument("control: trim_hysteresis must be >= 0");
+  }
+  if (arms.empty()) {
+    throw std::invalid_argument("control: bandit arm set must be non-empty");
+  }
+  for (const double arm : arms) {
+    if (arm <= 0.0) {
+      throw std::invalid_argument("control: bandit arms must be > 0");
+    }
+  }
+  if (explore < 0.0 || explore > 1.0) {
+    throw std::invalid_argument("control: explore must be in [0, 1]");
+  }
+}
+
+DecisionEngine::DecisionEngine(PolicyOptions options)
+    : options_(std::move(options)) {}
+
+DecisionEngine::~DecisionEngine() = default;
+
+Admission DecisionEngine::admit(const AdmissionRequest& request) {
+  // Phi admission is opt-in: with the floor at 0 this is a pure pass-through
+  // (no metric increments, no trace events), keeping default runs
+  // byte-identical to the pre-engine tree.
+  if (options_.min_suitability <= 0.0) return Admission::kAdmit;
+  const double phi = analytical::suitability(
+      request.input_bits, request.result_bits, request.delta,
+      request.task_seconds);
+  const bool ok = phi >= options_.min_suitability;
+  // Phi in parts-per-million so huge suitabilities survive the u64 arg.
+  const auto phi_ppm = static_cast<std::uint64_t>(phi * 1e6);
+  if (ok) {
+    ++jobs_admitted_;
+    if (recorder_ != nullptr) {
+      recorder_->emit(request.now, obs::TraceEventKind::kControlAdmit,
+                      obs::TraceComponent::kController, {}, request.tasks,
+                      phi_ppm);
+    }
+    return Admission::kAdmit;
+  }
+  ++jobs_deferred_;
+  if (recorder_ != nullptr) {
+    recorder_->emit(request.now, obs::TraceEventKind::kControlDefer,
+                    obs::TraceComponent::kController, {}, request.tasks,
+                    phi_ppm);
+  }
+  return Admission::kDefer;
+}
+
+void DecisionEngine::forget(std::uint64_t /*instance*/) {}
+
+void DecisionEngine::link_metrics(obs::MetricsRegistry& registry) {
+  if (options_.min_suitability > 0.0) {
+    registry.link_counter("control.jobs_admitted", jobs_admitted_);
+    registry.link_counter("control.jobs_deferred", jobs_deferred_);
+  }
+}
+
+std::unique_ptr<DecisionEngine> make_engine(PolicyOptions options) {
+  options.validate();
+  switch (options.engine) {
+    case EngineKind::kStatic:
+      return std::make_unique<StaticPolicy>(std::move(options));
+    case EngineKind::kProportional:
+      return std::make_unique<ProportionalPolicy>(std::move(options));
+    case EngineKind::kBandit:
+      return std::make_unique<BanditPolicy>(std::move(options));
+  }
+  throw std::invalid_argument("control: unknown engine kind");
+}
+
+}  // namespace oddci::control

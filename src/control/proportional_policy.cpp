@@ -1,0 +1,92 @@
+#include "control/proportional_policy.hpp"
+
+#include <algorithm>
+
+namespace oddci::control {
+
+double ProportionalPolicy::initial_probability(
+    const ControlObservation& observation) {
+  // First shot is pure feedforward: no error has been observed yet, so the
+  // integral contributes nothing.
+  if (observation.idle_pool == 0) return 1.0;
+  const double p = options_.gain * static_cast<double>(observation.target) /
+                   static_cast<double>(observation.idle_pool);
+  const double capped = std::min(p, options_.max_step);
+  last_probability_ = std::clamp(capped, 0.0, 1.0);
+  ++decisions_;
+  ++wakeups_requested_;
+  if (recorder_ != nullptr) {
+    recorder_->emit(observation.now, obs::TraceEventKind::kControlDecision,
+                    obs::TraceComponent::kController, {},
+                    observation.instance,
+                    static_cast<std::uint64_t>(last_probability_ * 1e6));
+  }
+  return last_probability_;
+}
+
+ControlAction ProportionalPolicy::decide(
+    const ControlObservation& observation) {
+  ControlAction action;
+  ++decisions_;
+  const std::size_t current = observation.members + observation.joining;
+  if (current < observation.target && observation.recruiting) {
+    Loop& loop = loops_[observation.instance];
+    const double error =
+        observation.idle_pool == 0
+            ? 0.0
+            : static_cast<double>(observation.target - current) /
+                  static_cast<double>(observation.idle_pool);
+    double p = options_.gain * error + loop.integral;
+    // The persistent deficit is evidence of churn / stale idle entries:
+    // boost future shots, but cap the windup so a long drought cannot
+    // detonate into a full-population wakeup the moment the pool returns.
+    loop.integral = std::min(loop.integral + options_.integral_gain * error,
+                             options_.integral_cap);
+    p = std::clamp(std::min(p, options_.max_step), 0.0, 1.0);
+    last_probability_ = p;
+    if (p > 0.0) ++wakeups_requested_;
+    action.probability = p;
+    if (recorder_ != nullptr) {
+      recorder_->emit(observation.now, obs::TraceEventKind::kControlDecision,
+                      obs::TraceComponent::kController, {},
+                      observation.instance,
+                      static_cast<std::uint64_t>(p * 1e6));
+    }
+  } else if (observation.members > observation.target) {
+    // Overshot: the integral was too hot for the current churn regime.
+    loops_[observation.instance].integral = 0.0;
+    const auto allowed = static_cast<std::size_t>(
+        static_cast<double>(observation.target) * options_.trim_hysteresis);
+    const std::size_t over = observation.members - observation.target;
+    if (over > allowed) {
+      action.trim = over;
+      trims_requested_ += over;
+      if (recorder_ != nullptr) {
+        recorder_->emit(observation.now, obs::TraceEventKind::kControlTrim,
+                        obs::TraceComponent::kController, {},
+                        observation.instance, over);
+      }
+    }
+  }
+  return action;
+}
+
+void ProportionalPolicy::forget(std::uint64_t instance) {
+  loops_.erase(instance);
+}
+
+double ProportionalPolicy::integral(std::uint64_t instance) const {
+  const auto it = loops_.find(instance);
+  return it == loops_.end() ? 0.0 : it->second.integral;
+}
+
+void ProportionalPolicy::link_metrics(obs::MetricsRegistry& registry) {
+  DecisionEngine::link_metrics(registry);
+  registry.link_counter("control.decisions", decisions_);
+  registry.link_counter("control.wakeups_requested", wakeups_requested_);
+  registry.link_counter("control.trims_requested", trims_requested_);
+  registry.link_probe("control.p_last",
+                      [this] { return last_probability_; });
+}
+
+}  // namespace oddci::control

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "control/policy.hpp"
+
+namespace oddci::control {
+
+/// PI (proportional + integral) ramp of the wakeup probability toward the
+/// target size.
+///
+/// Per decision on the recruitment path:
+///   p = gain * deficit / idle_pool + integral
+/// where `integral` accumulates integral_gain * deficit / idle_pool each
+/// tick a residual deficit persists, clamped to integral_cap (anti-windup)
+/// and reset the moment the instance overshoots. The feedforward term aims
+/// the *expected* join count exactly at the deficit (the joining set
+/// already counts against it, so in-flight recruits are never double
+/// addressed); the integral compensates what a fixed margin overshoots
+/// for — churned-away receivers and stale idle-pool entries — only when
+/// the loop actually observes a shortfall. Overshoot under churn is
+/// therefore bounded by binomial noise plus the accumulated integral,
+/// instead of a constant (margin - 1) fraction of every deficit.
+///
+/// Trimming: members above target * (1 + trim_hysteresis) are shed; the
+/// hysteresis band damps grow/trim oscillation when churn makes the
+/// membership bounce around the target.
+///
+/// Deterministic: draws no randomness.
+class ProportionalPolicy final : public DecisionEngine {
+ public:
+  explicit ProportionalPolicy(PolicyOptions options)
+      : DecisionEngine(std::move(options)) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "proportional";
+  }
+
+  [[nodiscard]] double initial_probability(
+      const ControlObservation& observation) override;
+
+  [[nodiscard]] ControlAction decide(
+      const ControlObservation& observation) override;
+
+  void forget(std::uint64_t instance) override;
+
+  void link_metrics(obs::MetricsRegistry& registry) override;
+
+  /// Current integral boost for an instance (0 if untracked) — test hook.
+  [[nodiscard]] double integral(std::uint64_t instance) const;
+
+ private:
+  struct Loop {
+    double integral = 0.0;
+  };
+  std::unordered_map<std::uint64_t, Loop> loops_;
+
+  obs::Counter decisions_;
+  obs::Counter wakeups_requested_;
+  obs::Counter trims_requested_;
+  double last_probability_ = 0.0;
+};
+
+}  // namespace oddci::control

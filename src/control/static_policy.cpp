@@ -1,0 +1,43 @@
+#include "control/static_policy.hpp"
+
+#include <algorithm>
+
+namespace oddci::control {
+
+namespace {
+
+/// The pre-engine Controller::choose_probability, bit for bit.
+double margin_probability(double margin, std::size_t deficit,
+                          std::size_t idle) {
+  if (idle == 0) {
+    // No population information yet (e.g. first wakeup right after
+    // deployment): address everyone; trimming will shed the excess.
+    return 1.0;
+  }
+  const double p =
+      margin * static_cast<double>(deficit) / static_cast<double>(idle);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+double StaticPolicy::initial_probability(
+    const ControlObservation& observation) {
+  return margin_probability(options_.overshoot_margin, observation.target,
+                            observation.idle_pool);
+}
+
+ControlAction StaticPolicy::decide(const ControlObservation& observation) {
+  ControlAction action;
+  const std::size_t current = observation.members + observation.joining;
+  if (current < observation.target && observation.recruiting) {
+    action.probability = margin_probability(
+        options_.overshoot_margin, observation.target - current,
+        observation.idle_pool);
+  } else if (observation.members > observation.target) {
+    action.trim = observation.members - observation.target;
+  }
+  return action;
+}
+
+}  // namespace oddci::control

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "control/policy.hpp"
+
+namespace oddci::control {
+
+/// The paper's fixed rule, extracted verbatim from the pre-engine
+/// Controller: p = clamp(overshoot_margin * deficit / idle_pool, 0, 1),
+/// addressing everyone (p = 1) while the idle pool is unknown, and
+/// trimming every confirmed member above target. Draws no randomness,
+/// emits no trace events, and registers no metric cells beyond the shared
+/// admission counters — a system running the default StaticPolicy is
+/// event-trajectory-identical to the tree before the DecisionEngine
+/// existed.
+class StaticPolicy final : public DecisionEngine {
+ public:
+  explicit StaticPolicy(PolicyOptions options)
+      : DecisionEngine(std::move(options)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "static"; }
+
+  [[nodiscard]] double initial_probability(
+      const ControlObservation& observation) override;
+
+  [[nodiscard]] ControlAction decide(
+      const ControlObservation& observation) override;
+};
+
+}  // namespace oddci::control

@@ -14,6 +14,18 @@ Backend::~Backend() {
   if (sweeper_running_) sweeper_.cancel();
 }
 
+bool Backend::would_admit(const workload::Job& job) {
+  if (engine_ == nullptr) return true;
+  control::AdmissionRequest request;
+  request.now = simulation_.now();
+  request.tasks = job.task_count();
+  request.input_bits = job.avg_input_bits();
+  request.result_bits = job.avg_result_bits();
+  request.task_seconds = job.avg_reference_seconds() * admission_slowdown_;
+  request.delta = admission_delta_;
+  return engine_->admit(request) == control::Admission::kAdmit;
+}
+
 void Backend::submit(const workload::Job& job, InstanceId instance,
                      std::function<void()> on_complete,
                      std::optional<sim::SimTime> clock_start,

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/policy.hpp"
 #include "core/messages.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -95,6 +96,26 @@ class Backend final : public net::Endpoint {
               std::function<void()> on_complete,
               std::optional<sim::SimTime> clock_start = std::nullopt,
               obs::TraceContext trace = {});
+
+  /// Phi-driven job admission: consult the attached decision engine with
+  /// the job's suitability parameters. True (always, without an engine or
+  /// with the default floor of 0) means the job may be submitted; false
+  /// means the engine deferred it — don't request an instance for it.
+  /// Counting call: the engine tallies the verdict, so gate each job once.
+  [[nodiscard]] bool would_admit(const workload::Job& job);
+
+  /// Attach the decision engine consulted by would_admit(); nullptr (the
+  /// default) admits everything.
+  void set_decision_engine(control::DecisionEngine* engine) {
+    engine_ = engine;
+  }
+  /// Parameters of the admission request: the per-node direct-channel
+  /// capacity delta and the device slowdown scaling reference task seconds
+  /// onto the member devices.
+  void set_admission_context(util::BitRate delta, double task_slowdown) {
+    admission_delta_ = delta;
+    admission_slowdown_ = task_slowdown;
+  }
 
   [[nodiscard]] bool job_active() const { return active_; }
   /// True once a task exhausted its retry cap: the job ended (on_complete
@@ -190,6 +211,10 @@ class Backend final : public net::Endpoint {
 
   sim::PeriodicTask sweeper_;
   bool sweeper_running_ = false;
+
+  control::DecisionEngine* engine_ = nullptr;
+  util::BitRate admission_delta_;
+  double admission_slowdown_ = 1.0;
 
   obs::LogHistogram task_cycle_{1e-3};
   /// Retry count of each task at first-result time (how many dispatches a

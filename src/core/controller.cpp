@@ -7,6 +7,47 @@
 
 namespace oddci::core {
 
+namespace {
+// One-time (per process) deprecation warnings for the ControllerOptions
+// policy aliases; reset_controller_deprecation_warnings() re-arms them for
+// tests.
+bool warned_monitor_interval = false;
+bool warned_stale_factor = false;
+bool warned_overshoot_margin = false;
+
+void warn_alias(bool& flag, const char* field) {
+  if (flag) return;
+  flag = true;
+  ODDCI_LOG_WARN("controller")
+      << "ControllerOptions::" << field
+      << " is deprecated; set SystemConfig::control." << field
+      << " (control::PolicyOptions) instead";
+}
+}  // namespace
+
+void reset_controller_deprecation_warnings() {
+  warned_monitor_interval = false;
+  warned_stale_factor = false;
+  warned_overshoot_margin = false;
+}
+
+control::PolicyOptions ControllerOptions::effective_policy() const {
+  control::PolicyOptions out = policy;
+  if (monitor_interval) {
+    warn_alias(warned_monitor_interval, "monitor_interval");
+    out.monitor_interval = *monitor_interval;
+  }
+  if (stale_factor) {
+    warn_alias(warned_stale_factor, "stale_factor");
+    out.stale_factor = *stale_factor;
+  }
+  if (overshoot_margin) {
+    warn_alias(warned_overshoot_margin, "overshoot_margin");
+    out.overshoot_margin = *overshoot_margin;
+  }
+  return out;
+}
+
 Controller::Controller(sim::Simulation& simulation, net::Network& network,
                        broadcast::BroadcastMedium& channel,
                        ContentStore& store, broadcast::SigningKey key,
@@ -33,12 +74,10 @@ Controller::Controller(sim::Simulation& simulation, net::Network& network,
       throw std::invalid_argument("Controller: null channel");
     }
   }
-  if (options_.monitor_interval <= sim::SimTime::zero()) {
-    throw std::invalid_argument("Controller: monitor interval must be > 0");
-  }
-  if (options_.stale_factor <= 1.0) {
-    throw std::invalid_argument("Controller: stale factor must be > 1");
-  }
+  options_.policy = options_.effective_policy();
+  // make_engine validates (throws std::invalid_argument on bad knobs,
+  // whether set directly or through a deprecated alias).
+  engine_ = control::make_engine(options_.policy);
   default_heartbeat_ = options_.default_heartbeat;
   node_id_ = network_.register_endpoint(this, link);
 }
@@ -77,8 +116,8 @@ void Controller::deploy_pna() {
   aggregator_last_seen_.assign(aggregator_nodes_.size(), simulation_.now());
 
   monitor_ = sim::PeriodicTask(simulation_,
-                               simulation_.now() + options_.monitor_interval,
-                               options_.monitor_interval,
+                               simulation_.now() + options_.policy.monitor_interval,
+                               options_.policy.monitor_interval,
                                [this] { monitor_tick(); });
   monitor_running_ = true;
 }
@@ -172,9 +211,17 @@ InstanceId Controller::create_instance(const InstanceSpec& spec,
   wakeup.image = inst.image;
   wakeup.controller_node = node_id_;
   wakeup.backend_node = backend_node;
-  wakeup.probability = spec.initial_probability > 0.0
-                           ? std::min(1.0, spec.initial_probability)
-                           : choose_probability(inst, spec.target_size);
+  if (spec.initial_probability) {
+    const double given = *spec.initial_probability;
+    if (given <= 0.0 || given > 1.0) {
+      throw std::invalid_argument(
+          "Controller: initial probability must be in (0, 1]");
+    }
+    wakeup.probability = given;
+  } else {
+    wakeup.probability =
+        engine_->initial_probability(observe(id, inst, idle_pool_estimate()));
+  }
   wakeup.trace = parent;
 
   instances_.emplace(id, std::move(inst));
@@ -192,17 +239,22 @@ InstanceId Controller::create_instance(const InstanceSpec& spec,
   return id;
 }
 
-double Controller::choose_probability(const Instance& /*instance*/,
-                                      std::size_t deficit) const {
-  const std::size_t idle = idle_pool_estimate();
-  if (idle == 0) {
-    // No population information yet (e.g. first wakeup right after
-    // deployment): address everyone; trimming will shed the excess.
-    return 1.0;
-  }
-  const double p = options_.overshoot_margin * static_cast<double>(deficit) /
-                   static_cast<double>(idle);
-  return std::clamp(p, 0.0, 1.0);
+control::ControlObservation Controller::observe(InstanceId id,
+                                                const Instance& inst,
+                                                std::size_t idle_pool) const {
+  control::ControlObservation observation;
+  observation.now = simulation_.now();
+  observation.instance = id;
+  observation.target = inst.status.target_size;
+  observation.members = inst.members.size();
+  observation.joining = inst.joining.size();
+  observation.idle_pool = idle_pool;
+  observation.known_pnas = pnas_known_;
+  observation.pruned_this_tick = inst.pruned_last_tick;
+  observation.recruiting = inst.recruiting;
+  observation.heartbeat_interval = inst.spec.heartbeat_interval;
+  observation.since_last_wakeup = simulation_.now() - inst.last_wakeup_at;
+  return observation;
 }
 
 void Controller::destroy_instance(InstanceId id) {
@@ -215,6 +267,7 @@ void Controller::destroy_instance(InstanceId id) {
   inst.status.active = false;
   inst.status.target_size = 0;
   inst.pending_trims = 0;
+  engine_->forget(id);
   if (tracer_ != nullptr) {
     tracer_->discard("instance.form", id);  // destroyed before forming
   }
@@ -320,7 +373,7 @@ const Controller::PnaRecord* Controller::find_pna(std::uint64_t id) const {
 std::size_t Controller::idle_pool_estimate() const {
   const sim::SimTime horizon =
       sim::SimTime::from_seconds(default_heartbeat_.seconds() *
-                                 options_.stale_factor);
+                                 options_.policy.stale_factor);
   std::size_t count = 0;
   for_each_pna([&](const PnaRecord& rec) {
     if (rec.state == PnaState::kIdle &&
@@ -334,7 +387,7 @@ std::size_t Controller::idle_pool_estimate() const {
 std::size_t Controller::known_pna_count() const {
   const sim::SimTime horizon =
       sim::SimTime::from_seconds(default_heartbeat_.seconds() *
-                                 options_.stale_factor);
+                                 options_.policy.stale_factor);
   std::size_t count = 0;
   for_each_pna([&](const PnaRecord& rec) {
     if (simulation_.now() - rec.last_seen <= horizon) ++count;
@@ -579,13 +632,13 @@ void Controller::restart() {
   for (sim::SimTime& seen : aggregator_last_seen_) seen = simulation_.now();
   if (deployed_) {
     monitor_ = sim::PeriodicTask(
-        simulation_, simulation_.now() + options_.monitor_interval,
-        options_.monitor_interval, [this] { monitor_tick(); });
+        simulation_, simulation_.now() + options_.policy.monitor_interval,
+        options_.policy.monitor_interval, [this] { monitor_tick(); });
     monitor_running_ = true;
   }
   // Membership now rebuilds purely from resumed heartbeats; until idle
-  // reports repopulate the directory, choose_probability()'s empty-pool
-  // gate keeps the monitor from broadcasting spurious wakeups.
+  // reports repopulate the directory, the monitor's empty-pool gate keeps
+  // it from broadcasting spurious wakeups.
 }
 
 bool Controller::corrupt_on_air_control() {
@@ -625,7 +678,7 @@ void Controller::restore_on_air_control() {
 
 sim::SimTime Controller::staleness_horizon(const Instance& inst) const {
   return sim::SimTime::from_seconds(inst.spec.heartbeat_interval.seconds() *
-                                    options_.stale_factor);
+                                    options_.policy.stale_factor);
 }
 
 void Controller::monitor_tick() {
@@ -655,48 +708,30 @@ void Controller::monitor_tick() {
     if (changed) rebroadcast_routing();
   }
 
+  // Phase 1: rebuild the membership view of EVERY active instance before
+  // any policy decision. Pruning one instance changes the consolidated
+  // telemetry (members_total_, effectively the idle pool the engine will
+  // act on), so interleaving prune and decide — the old single-pass loop —
+  // handed later instances' decisions a snapshot in which earlier
+  // instances were current but their own staleness was not yet applied.
   for (auto& [id, inst] : instances_) {
     if (!inst.status.active) continue;
+    prune_instance(id, inst);
+  }
 
-    // Prune members whose heartbeats stopped (receiver switched off or
-    // tuned away): they are presumed lost and must be replaced.
-    const sim::SimTime horizon = staleness_horizon(inst);
-    std::vector<std::uint64_t> stale;
-    for (std::uint64_t member : inst.members) {
-      const PnaRecord* rec = find_pna(member);
-      if (rec == nullptr || simulation_.now() - rec->last_seen > horizon) {
-        stale.push_back(member);
-      }
-    }
-    for (std::uint64_t member : stale) {
-      inst.members.erase(member);
-      --members_total_;
-      ++members_pruned_;
-      if (recorder_ != nullptr) {
-        recorder_->emit(simulation_.now(), obs::TraceEventKind::kMemberPruned,
-                        obs::TraceComponent::kController, inst.trace, member,
-                        id);
-      }
-    }
-    if (!stale.empty()) note_member_change(inst);
-    std::vector<std::uint64_t> stale_joining;
-    for (std::uint64_t j : inst.joining) {
-      const PnaRecord* rec = find_pna(j);
-      if (rec == nullptr || simulation_.now() - rec->last_seen > horizon) {
-        stale_joining.push_back(j);
-      }
-    }
-    for (std::uint64_t j : stale_joining) inst.joining.erase(j);
+  // Phase 2: per-instance decisions against the fully rebuilt view.
+  for (auto& [id, inst] : instances_) {
+    if (!inst.status.active) continue;
 
     const std::size_t current = inst.members.size() + inst.joining.size();
     const std::size_t target = inst.status.target_size;
 
     if (current < target && inst.recruiting) {
-      // Recomposition: retransmit the wakeup with a probability sized to
-      // the deficit and the current idle pool — but only after the previous
-      // wakeup has had time to propagate (mean acquisition is 1.5 carousel
-      // cycles; we wait twice that before concluding that members are
-      // missing rather than still joining).
+      // Recomposition: retransmit the wakeup with an engine-chosen
+      // probability — but only after the previous wakeup has had time to
+      // propagate (mean acquisition is 1.5 carousel cycles; we wait twice
+      // that before concluding that members are missing rather than still
+      // joining).
       const sim::SimTime cooldown =
           sim::SimTime::from_seconds(
               1.5 * channels_.front()->acquisition_horizon_seconds()) +
@@ -704,37 +739,78 @@ void Controller::monitor_tick() {
       if (simulation_.now() - inst.last_wakeup_at < cooldown) {
         continue;
       }
-      if (idle_pool_estimate() == 0) {
+      // The windowed idle-pool scan is O(population); it stays confined to
+      // the recruitment path past the cooldown, exactly as before the
+      // engine carve-out.
+      const std::size_t idle = idle_pool_estimate();
+      if (idle == 0) {
         // Nobody to recruit: rebroadcasting would only churn the carousel.
         // A future idle heartbeat re-enables recomposition.
         continue;
       }
-      const std::size_t deficit = target - current;
-      ControlMessage wakeup;
-      wakeup.type = ControlType::kWakeup;
-      wakeup.instance = id;
-      wakeup.requirements = inst.spec.requirements;
-      wakeup.heartbeat_interval = inst.spec.heartbeat_interval;
-      wakeup.image = inst.image;
-      wakeup.controller_node = node_id_;
-      wakeup.backend_node = inst.backend_node;
-      wakeup.probability = choose_probability(inst, deficit);
-      wakeup.trace = inst.trace;
-      if (wakeup.probability > 0.0) {
+      const control::ControlAction action =
+          engine_->decide(observe(id, inst, idle));
+      if (action.probability && *action.probability > 0.0) {
+        ControlMessage wakeup;
+        wakeup.type = ControlType::kWakeup;
+        wakeup.instance = id;
+        wakeup.requirements = inst.spec.requirements;
+        wakeup.heartbeat_interval = inst.spec.heartbeat_interval;
+        wakeup.image = inst.image;
+        wakeup.controller_node = node_id_;
+        wakeup.backend_node = inst.backend_node;
+        wakeup.probability = *action.probability;
+        wakeup.trace = inst.trace;
         broadcast_control(wakeup);
         inst.last_wakeup_at = simulation_.now();
         ++inst.status.wakeups_broadcast;
         ++recompositions_;
       }
-      inst.pending_trims = 0;
+      inst.pending_trims = action.trim;
     } else if (inst.members.size() > target) {
       // Trim only confirmed members; joiners that push past the target are
-      // shed as their busy heartbeats arrive.
-      inst.pending_trims = inst.members.size() - target;
+      // shed as their busy heartbeats arrive. The engine decides how many
+      // (a hysteresis band may hold some back); no idle-pool scan here.
+      const control::ControlAction action =
+          engine_->decide(observe(id, inst, /*idle_pool=*/0));
+      inst.pending_trims = action.trim;
     } else {
       inst.pending_trims = 0;
     }
   }
+}
+
+void Controller::prune_instance(InstanceId id, Instance& inst) {
+  // Prune members whose heartbeats stopped (receiver switched off or tuned
+  // away): they are presumed lost and must be replaced.
+  const sim::SimTime horizon = staleness_horizon(inst);
+  std::vector<std::uint64_t> stale;
+  for (std::uint64_t member : inst.members) {
+    const PnaRecord* rec = find_pna(member);
+    if (rec == nullptr || simulation_.now() - rec->last_seen > horizon) {
+      stale.push_back(member);
+    }
+  }
+  for (std::uint64_t member : stale) {
+    inst.members.erase(member);
+    --members_total_;
+    ++members_pruned_;
+    if (recorder_ != nullptr) {
+      recorder_->emit(simulation_.now(), obs::TraceEventKind::kMemberPruned,
+                      obs::TraceComponent::kController, inst.trace, member,
+                      id);
+    }
+  }
+  if (!stale.empty()) note_member_change(inst);
+  std::vector<std::uint64_t> stale_joining;
+  for (std::uint64_t j : inst.joining) {
+    const PnaRecord* rec = find_pna(j);
+    if (rec == nullptr || simulation_.now() - rec->last_seen > horizon) {
+      stale_joining.push_back(j);
+    }
+  }
+  for (std::uint64_t j : stale_joining) inst.joining.erase(j);
+  inst.pruned_last_tick = stale.size();
 }
 
 }  // namespace oddci::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "broadcast/channel.hpp"
+#include "control/policy.hpp"
 #include "core/content_store.hpp"
 #include "core/messages.hpp"
 #include "net/network.hpp"
@@ -35,9 +37,10 @@ struct InstanceSpec {
   util::Bits image_size;
   Requirements requirements;
   sim::SimTime heartbeat_interval = sim::SimTime::from_seconds(30);
-  /// Idle-PNA handling probability for the first wakeup; <= 0 lets the
-  /// Controller pick one from its idle-pool estimate.
-  double initial_probability = -1.0;
+  /// Idle-PNA handling probability for the first wakeup. Unset (the
+  /// default) lets the decision engine pick one from the idle-pool
+  /// estimate; a set value must lie in (0, 1].
+  std::optional<double> initial_probability;
 };
 
 struct InstanceStatus {
@@ -54,12 +57,22 @@ struct InstanceStatus {
 };
 
 struct ControllerOptions {
-  /// Cadence of the maintenance loop (prune stale members, recompose).
-  sim::SimTime monitor_interval = sim::SimTime::from_seconds(10);
-  /// A member is presumed lost after this many missed heartbeat intervals.
-  double stale_factor = 3.0;
-  /// Extra margin applied to the auto-chosen wakeup probability.
-  double overshoot_margin = 1.0;
+  /// Control-loop policy: engine selection, maintenance cadence, staleness
+  /// window, overshoot margin, Phi-driven admission and the per-engine
+  /// knobs. Populated from SystemConfig::control.
+  control::PolicyOptions policy;
+
+  /// Deprecated aliases for the policy knobs that used to live here.
+  /// A set alias is forwarded into `policy` (overriding it) with a
+  /// one-time warning; prefer `policy.monitor_interval` & friends.
+  std::optional<sim::SimTime> monitor_interval;
+  std::optional<double> stale_factor;
+  std::optional<double> overshoot_margin;
+
+  /// `policy` with any set deprecated aliases applied (warns once per
+  /// alias per process). Does not validate.
+  [[nodiscard]] control::PolicyOptions effective_policy() const;
+
   /// Size of the PNA Xlet staged on the carousel.
   util::Bits pna_xlet_size = util::Bits::from_kilobytes(64);
   /// Heartbeat interval announced in the deployment hello (agents adopt
@@ -77,6 +90,10 @@ struct ControllerOptions {
   /// disables failover (the pre-fault-injection behaviour).
   sim::SimTime aggregator_timeout = sim::SimTime::zero();
 };
+
+/// Test hook: re-arm the one-time ControllerOptions alias deprecation
+/// warnings.
+void reset_controller_deprecation_warnings();
 
 class Controller final : public net::Endpoint {
  public:
@@ -200,6 +217,16 @@ class Controller final : public net::Endpoint {
   /// controller must outlive any snapshot() call.
   void link_metrics(obs::MetricsRegistry& registry) const;
 
+  /// The decision engine driving probability, trim and admission policy.
+  [[nodiscard]] control::DecisionEngine& engine() { return *engine_; }
+  [[nodiscard]] const control::DecisionEngine& engine() const {
+    return *engine_;
+  }
+  /// The effective (alias-resolved, validated) policy options.
+  [[nodiscard]] const control::PolicyOptions& policy() const {
+    return options_.policy;
+  }
+
   /// Attach a tracer: records an "instance.form" span per instance
   /// (wakeup broadcast -> target size reached). nullptr detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
@@ -279,6 +306,9 @@ class Controller final : public net::Endpoint {
     std::unordered_set<std::uint64_t> joining;
     /// Members we still owe a unicast reset (trimming).
     std::size_t pending_trims = 0;
+    /// Members the most recent maintenance tick pruned (churn signal for
+    /// the decision engine's observation).
+    std::size_t pruned_last_tick = 0;
     bool recruiting = true;
     /// Last wakeup broadcast, for recomposition rate-limiting: a retransmit
     /// sooner than the expected acquisition time would bump the carousel
@@ -296,9 +326,17 @@ class Controller final : public net::Endpoint {
   obs::TraceContext broadcast_control(const ControlMessage& message);
   void stage_and_commit();
   void monitor_tick();
+  /// Phase 1 of the maintenance tick: drop members/joiners whose
+  /// heartbeats fell outside the staleness window. Runs for every active
+  /// instance before any policy decision so the engine never observes a
+  /// stale membership snapshot.
+  void prune_instance(InstanceId id, Instance& inst);
   void note_member_change(Instance& instance);
-  [[nodiscard]] double choose_probability(const Instance& instance,
-                                          std::size_t deficit) const;
+  /// Telemetry snapshot handed to the decision engine. `idle_pool` is the
+  /// caller's windowed estimate (scanning is the recruitment path's cost;
+  /// trim-side observations pass 0).
+  [[nodiscard]] control::ControlObservation observe(
+      InstanceId id, const Instance& inst, std::size_t idle_pool) const;
   [[nodiscard]] sim::SimTime staleness_horizon(const Instance& inst) const;
   void handle_status(std::uint64_t pna_id, PnaState state,
                      InstanceId instance, net::NodeId reply_to,
@@ -316,6 +354,9 @@ class Controller final : public net::Endpoint {
   ContentStore& store_;
   broadcast::SigningKey key_;
   ControllerOptions options_;
+  /// Policy decisions delegated behind the DecisionEngine interface
+  /// (selected by options_.policy.engine; StaticPolicy by default).
+  std::unique_ptr<control::DecisionEngine> engine_;
   net::NodeId node_id_ = net::kInvalidNode;
 
   bool deployed_ = false;

@@ -36,18 +36,12 @@ void SystemConfig::validate() const {
   if (window < sim::SimTime::zero()) {
     throw std::invalid_argument("SystemConfig: window must be >= 0");
   }
-  // Merged control-plane knobs (previously duplicated top-level scalars).
-  if (controller.monitor_interval <= sim::SimTime::zero()) {
-    throw std::invalid_argument(
-        "SystemConfig: controller.monitor_interval must be > 0");
-  }
-  if (controller.stale_factor <= 1.0) {
-    throw std::invalid_argument(
-        "SystemConfig: controller.stale_factor must be > 1");
-  }
-  if (controller.overshoot_margin <= 0.0) {
-    throw std::invalid_argument(
-        "SystemConfig: controller.overshoot_margin must be > 0");
+  // Control-loop policy knobs, with any deprecated ControllerOptions
+  // aliases applied on top of `control` exactly as the Controller will.
+  {
+    ControllerOptions effective = controller;
+    effective.policy = control;
+    effective.effective_policy().validate();
   }
   if (controller.default_heartbeat <= sim::SimTime::zero()) {
     throw std::invalid_argument(
@@ -148,6 +142,13 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
                                   config_.server_capacity,
                                   config_.server_latency};
   ControllerOptions copts = config_.controller;
+  copts.policy = config_.control;
+  if (copts.policy.seed == 0) {
+    // Dedicated named RNG stream for the policy: disjoint from every
+    // population stream, so enabling an RNG-drawing engine (bandit) never
+    // perturbs receiver seeding or the fault plan.
+    copts.policy.seed = util::stream_seed(config_.seed, "control.policy");
+  }
   if (config_.fault.enabled && config_.aggregators > 0) {
     copts.aggregator_timeout = config_.fault.aggregator_failover_timeout;
   }
@@ -192,6 +193,9 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   }
   backend_ =
       std::make_unique<Backend>(*simulation_, *network_, server_link, bopts);
+  backend_->set_decision_engine(&controller_->engine());
+  backend_->set_admission_context(
+      config_.delta, config_.profile.slowdown(dtv::PowerMode::kInUse));
 
   pna_env_.content_store = store_.get();
   pna_env_.trusted_key = key_;
@@ -357,6 +361,9 @@ void OddciSystem::wire_observability() {
   // Component cells: linked by pointer, owned by the components.
   network_->link_metrics(*registry_);
   controller_->link_metrics(*registry_);
+  // Engines register their own "control.*" cells; the default StaticPolicy
+  // registers none (byte-identical snapshots vs. the pre-engine tree).
+  controller_->engine().link_metrics(*registry_);
   controller_->set_tracer(tracer_.get());
   backend_->link_metrics(*registry_);
   backend_->set_tracer(tracer_.get());
@@ -498,6 +505,9 @@ void OddciSystem::wire_observability() {
         config_.obs.trace_capacity);
     provider_->set_flight_recorder(recorder_.get());
     controller_->set_flight_recorder(recorder_.get());
+    // Engines gate their own emission (the static default never emits), so
+    // attaching the recorder costs nothing by default.
+    controller_->engine().set_flight_recorder(recorder_.get());
     backend_->set_flight_recorder(recorder_.get());
     for (auto& aggregator : aggregators_) {
       aggregator->set_flight_recorder(recorder_.get());
@@ -525,6 +535,9 @@ void OddciSystem::wire_observability() {
     obs::FlightRecorder* control_rec = shard_recorders_.front().get();
     provider_->set_flight_recorder(control_rec);
     controller_->set_flight_recorder(control_rec);
+    // Engine decisions all happen on the control shard — its ring is the
+    // right home for control.* events at any K.
+    controller_->engine().set_flight_recorder(control_rec);
     backend_->set_flight_recorder(control_rec);
     for (std::size_t a = 0; a < aggregators_.size(); ++a) {
       aggregators_[a]->set_flight_recorder(shard_recorders_[a % K].get());
@@ -661,6 +674,18 @@ RunResult OddciSystem::run_job(const workload::Job& job,
   }
 
   RunResult result;
+
+  // Phi-driven admission (control.min_suitability > 0 only): a deferred
+  // job never requests an instance, so no receiver is woken for work the
+  // direct channel cannot feed profitably.
+  if (!backend_->would_admit(job)) {
+    result.admitted = false;
+    if (registry_) {
+      result.metrics = registry_->snapshot(simulation_->now().seconds());
+    }
+    return result;
+  }
+
   const sim::SimTime t0 = simulation_->now();
 
   InstanceSpec spec;

@@ -71,6 +71,13 @@ struct SystemConfig {
   /// Xlet size (`controller.pna_xlet_size`) — previously duplicated as
   /// top-level scalars.
   ControllerOptions controller;
+  /// Control-loop policy: which DecisionEngine drives wakeup probability,
+  /// trimming and Phi-driven job admission, plus its knobs (see
+  /// control::PolicyOptions). The default StaticPolicy reproduces the
+  /// pre-engine Controller bit for bit. A policy seed of 0 is replaced by
+  /// a named stream derived from `seed` (util::stream_seed), so an
+  /// RNG-drawing engine never perturbs population seeding.
+  control::PolicyOptions control;
   sim::SimTime task_poll_interval = sim::SimTime::from_seconds(10);
   sim::SimTime task_timeout = sim::SimTime::zero();
   sim::SimTime table_repetition = sim::SimTime::from_millis(500);
@@ -153,6 +160,10 @@ struct RunResult {
   /// the job did not finish before the deadline.
   double makespan_seconds = -1.0;
   bool completed = false;
+  /// False when Phi-driven admission (control.min_suitability > 0)
+  /// deferred the job: no instance was requested, and every other field
+  /// keeps its "never ran" default.
+  bool admitted = true;
   JobMetrics job;
   /// Control-plane and traffic counter views, snapshotted at job end.
   /// These mirror `metrics` (same registry cells) under the legacy field

@@ -53,6 +53,14 @@ std::string_view to_string(TraceEventKind kind) {
       return "recovery.aggregator_failover";
     case TraceEventKind::kRecoveryAggregatorRestore:
       return "recovery.aggregator_restore";
+    case TraceEventKind::kControlDecision:
+      return "control.decision";
+    case TraceEventKind::kControlTrim:
+      return "control.trim";
+    case TraceEventKind::kControlAdmit:
+      return "control.admit";
+    case TraceEventKind::kControlDefer:
+      return "control.defer";
   }
   return "unknown";
 }
@@ -74,7 +82,7 @@ std::string_view to_string(TraceComponent component) {
 namespace {
 // The enumerators are dense and small; scan rather than maintain a map.
 constexpr TraceEventKind kFirstKind = TraceEventKind::kInstanceRequest;
-constexpr TraceEventKind kLastKind = TraceEventKind::kRecoveryAggregatorRestore;
+constexpr TraceEventKind kLastKind = TraceEventKind::kControlDefer;
 constexpr TraceComponent kFirstComponent = TraceComponent::kProvider;
 constexpr TraceComponent kLastComponent = TraceComponent::kNetwork;
 }  // namespace

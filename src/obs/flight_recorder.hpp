@@ -84,6 +84,10 @@ enum class TraceEventKind : std::uint8_t {
   kRecoveryRequestRetry,  ///< PNA watchdog re-sent a task request
   kRecoveryAggregatorFailover, ///< silent aggregator voided (actor: shard)
   kRecoveryAggregatorRestore,  ///< aggregator back in routing (actor: shard)
+  kControlDecision,  ///< engine picked a wakeup probability (arg: p * 1e6)
+  kControlTrim,      ///< engine requested member trimming (arg: count)
+  kControlAdmit,     ///< Phi admission passed a job (arg: Phi * 1e6)
+  kControlDefer,     ///< Phi admission deferred a job (arg: Phi * 1e6)
 };
 
 /// Which component emitted the event — one export track per component.

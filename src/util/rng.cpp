@@ -12,6 +12,16 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
+std::uint64_t stream_seed(std::uint64_t root, std::string_view name) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return SplitMix64(root ^ h).next();
+}
+
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& s : s_) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 /// Deterministic pseudo-random number generation.
 ///
@@ -26,6 +27,14 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// Derive the seed of a named sub-stream from a root seed: FNV-1a over the
+/// name, mixed with the root through one SplitMix64 step. Pure arithmetic —
+/// consumes no draws from any live generator — so adding a stream never
+/// perturbs existing replay sequences, and distinct names yield disjoint
+/// streams from the same root.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t root,
+                                        std::string_view name);
 
 /// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, 2^256-1 period.
 class Xoshiro256 {

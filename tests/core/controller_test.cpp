@@ -52,7 +52,7 @@ struct ControllerTest : ::testing::Test {
   std::unique_ptr<Controller> controller;
 
   void SetUp() override {
-    options.monitor_interval = sim::SimTime::from_seconds(10);
+    options.policy.monitor_interval = sim::SimTime::from_seconds(10);
     controller = std::make_unique<Controller>(
         sim, net, channel, store, /*key=*/0x5EC7E7,
         net::LinkSpec{kMbps(1000), kMbps(1000), sim::SimTime::zero()},
@@ -255,6 +255,8 @@ TEST_F(ControllerTest, RecompositionRebroadcastsWakeup) {
 }
 
 TEST_F(ControllerTest, OptionValidation) {
+  // Deliberately through the deprecated aliases: a bad value forwarded
+  // into the policy must still throw at construction.
   ControllerOptions bad;
   bad.monitor_interval = sim::SimTime::zero();
   EXPECT_THROW(Controller(sim, net, channel, store, 1,

@@ -40,7 +40,7 @@ Artifacts run_once(bool fast_path) {
   config.channels = 4;
   config.aggregators = 8;
   config.seed = 20260806;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.fanout_fast_path = fast_path;
   config.obs.trace = true;
   config.obs.trace_capacity = 1 << 15;

@@ -23,7 +23,7 @@ TEST(FaultInjection, JobCompletesUnderChurn) {
   churn.mean_on_seconds = 1200;
   churn.mean_off_seconds = 600;
   config.churn = churn;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
 
   OddciSystem system(config);
   const auto result =
@@ -111,7 +111,7 @@ TEST(FaultInjection, TasksLostToTrimmingAreRedispatched) {
   SystemConfig config;
   config.receivers = 200;
   config.seed = 24;
-  config.controller.overshoot_margin = 4.0;
+  config.control.overshoot_margin = 4.0;
   OddciSystem system(config);
   const auto result =
       system.run_job(job_of(400, 20.0), 20, sim::SimTime::from_hours(12));
@@ -135,7 +135,7 @@ TEST(FaultInjection, ChannelFaultsJobCompletesWithoutLoss) {
   SystemConfig config;
   config.receivers = 300;
   config.seed = 31;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.fault.enabled = true;
   config.fault.message_loss = 0.02;
   config.fault.message_duplication = 0.02;
@@ -156,7 +156,7 @@ TEST(FaultInjection, AggregatorFailoverRehomesHeartbeats) {
   config.receivers = 400;
   config.aggregators = 4;
   config.seed = 32;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.fault.enabled = true;
   // The job window is a few sim minutes; rates are per hour, so crank
   // them until several crashes land inside it.
@@ -180,7 +180,7 @@ TEST(FaultInjection, PartitionWithDuplicationDedupesEndToEnd) {
   config.receivers = 400;
   config.aggregators = 4;
   config.seed = 33;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.fault.enabled = true;
   config.fault.message_duplication = 0.05;
   config.fault.partitions_per_hour = 60.0;
@@ -203,7 +203,7 @@ TEST(FaultInjection, CorruptedControlMessagesDieInVerification) {
   SystemConfig config;
   config.receivers = 200;
   config.seed = 34;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.fault.enabled = true;
   config.fault.control_corruptions_per_hour = 180.0;
   config.fault.corrupt_exposure = sim::SimTime::from_seconds(5);
@@ -222,7 +222,7 @@ TEST(FaultInjection, ControllerCrashRebuildsMembershipFromHeartbeats) {
   SystemConfig config;
   config.receivers = 300;
   config.seed = 35;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.fault.enabled = true;
   // Crash mid-job: warmup is 90 s, the job starts right after and runs a
   // few minutes.
@@ -241,7 +241,7 @@ TEST(FaultInjection, BackendCrashRequeuesOutstandingTasks) {
   SystemConfig config;
   config.receivers = 300;
   config.seed = 36;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.fault.enabled = true;
   config.fault.backend_crash_at.push_back(sim::SimTime::from_seconds(140));
   config.fault.backend_downtime = sim::SimTime::from_seconds(45);

@@ -16,7 +16,7 @@ core::SystemConfig base_config(std::uint64_t seed) {
   core::SystemConfig config;
   config.receivers = 400;
   config.seed = seed;
-  config.controller.overshoot_margin = 1.3;  // form the instance in one broadcast
+  config.control.overshoot_margin = 1.3;  // form the instance in one broadcast
   return config;
 }
 

@@ -42,7 +42,7 @@ Trajectory run_scenario(std::size_t receivers) {
   config.channels = 4;
   config.aggregators = 8;
   config.seed = 20260805;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   OddciSystem system(config);
 
   const auto job = workload::make_uniform_job(
@@ -115,7 +115,7 @@ TEST(Replay, SeededFaultMatrixExportsAreByteIdentical) {
     config.channels = 4;
     config.aggregators = 8;
     config.seed = 20260805;
-    config.controller.overshoot_margin = 1.3;
+    config.control.overshoot_margin = 1.3;
     config.obs.trace = true;
     config.obs.trace_capacity = 1 << 18;
     config.fault.enabled = true;
@@ -173,7 +173,7 @@ TEST(Replay, DifferentSeedsDiverge) {
   config.receivers = 2'000;
   config.channels = 2;
   config.aggregators = 2;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
 
   auto fingerprint = [&](std::uint64_t seed) {
     config.seed = seed;

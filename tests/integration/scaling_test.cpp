@@ -21,7 +21,7 @@ TEST(MultiChannel, JobCompletesAcrossChannels) {
   config.receivers = 120;
   config.channels = 3;
   config.seed = 41;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   OddciSystem system(config);
   EXPECT_EQ(system.channels().size(), 3u);
   const auto result = system.run_job(small_job(), 60);
@@ -48,7 +48,7 @@ TEST(MultiChannel, MoreChannelsReachMoreReceiversThanOne) {
   config.receivers = 120;
   config.channels = 3;
   config.seed = 43;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   OddciSystem system(config);
   system.controller().deploy_pna();
   system.simulation().run_until(sim::SimTime::from_seconds(120));
@@ -74,7 +74,7 @@ TEST(Aggregation, JobCompletesThroughAggregators) {
   config.receivers = 150;
   config.aggregators = 4;
   config.seed = 44;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   OddciSystem system(config);
   EXPECT_EQ(system.aggregators().size(), 4u);
   const auto result = system.run_job(small_job(), 60);
@@ -118,7 +118,7 @@ TEST(Aggregation, TrimmingStillWorksThroughTier) {
   config.receivers = 100;
   config.aggregators = 2;
   config.seed = 46;
-  config.controller.overshoot_margin = 3.0;  // deliberate heavy overshoot
+  config.control.overshoot_margin = 3.0;  // deliberate heavy overshoot
   OddciSystem system(config);
   system.controller().deploy_pna();
   system.simulation().run_until(sim::SimTime::from_seconds(120));
@@ -139,7 +139,7 @@ TEST(OddciIptv, JobCompletesOverMulticast) {
   config.receivers = 120;
   config.technology = BroadcastTechnology::kIpMulticast;
   config.seed = 48;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   OddciSystem system(config);
   const auto result = system.run_job(small_job(), 60);
   EXPECT_TRUE(result.completed);
@@ -155,7 +155,7 @@ TEST(OddciIptv, WakeupFasterThanCarousel) {
     config.receivers = 120;
     config.technology = tech;
     config.seed = 49;
-    config.controller.overshoot_margin = 1.3;
+    config.control.overshoot_margin = 1.3;
     OddciSystem system(config);
     const auto result = system.run_job(small_job(50, 30.0), 60,
                                        sim::SimTime::from_hours(12));
@@ -174,7 +174,7 @@ TEST(OddciIptv, LossyMulticastStillCompletes) {
   config.technology = BroadcastTechnology::kIpMulticast;
   config.multicast.block_loss = 0.15;
   config.seed = 50;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   OddciSystem system(config);
   const auto result = system.run_job(small_job(100, 5.0), 40);
   EXPECT_TRUE(result.completed);
@@ -185,7 +185,7 @@ TEST(Aggregation, ChurnRecoveryThroughTier) {
   config.receivers = 200;
   config.aggregators = 3;
   config.seed = 47;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   ChurnOptions churn;
   churn.mean_on_seconds = 1200;
   churn.mean_off_seconds = 600;

@@ -36,7 +36,7 @@ SystemConfig scenario(std::size_t shards) {
   config.channels = 4;
   config.aggregators = 8;
   config.seed = 20260809;
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   config.obs.trace = true;
   config.obs.trace_capacity = 1 << 16;
   config.shards = shards;

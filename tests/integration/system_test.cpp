@@ -14,7 +14,7 @@ SystemConfig small_config() {
   // Slight over-recruitment so the instance forms in the first wakeup wave
   // (without it, a binomial shortfall can leave formation to a later
   // recomposition round that a short job may not live to see).
-  config.controller.overshoot_margin = 1.3;
+  config.control.overshoot_margin = 1.3;
   return config;
 }
 

@@ -93,7 +93,7 @@ TEST(Sampler, SeededRunsProduceBitIdenticalSnapshots) {
     core::SystemConfig config;
     config.receivers = 300;
     config.seed = 1234;
-    config.controller.overshoot_margin = 1.3;
+    config.control.overshoot_margin = 1.3;
     core::OddciSystem system(config);
     const workload::Job job = workload::make_uniform_job(
         "determinism", util::Bits::from_megabytes(2), 200,
@@ -119,7 +119,7 @@ TEST(Sampler, ObsDisabledLeavesRunIdentical) {
     core::SystemConfig config;
     config.receivers = 300;
     config.seed = 1234;
-    config.controller.overshoot_margin = 1.3;
+    config.control.overshoot_margin = 1.3;
     config.obs.enabled = obs_enabled;
     core::OddciSystem system(config);
     EXPECT_EQ(system.metrics() != nullptr, obs_enabled);
