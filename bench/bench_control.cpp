@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "control/policy.hpp"
 #include "core/system.hpp"
 #include "workload/job.hpp"
@@ -163,6 +164,7 @@ void write_json(const std::string& path, const Scenario& s,
                 const std::vector<Point>& points) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"control\",\n"
+      << "  \"host\": " << oddci::bench::host_json() << ",\n"
       << "  \"scenario\": {\"receivers\": " << s.receivers
       << ", \"target\": " << s.target << ", \"tasks\": " << s.tasks
       << ", \"observe_s\": " << s.observe_ticks * 10

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "core/system.hpp"
 
 namespace {
@@ -129,6 +130,7 @@ void print_point(const Point& p) {
 void write_json(const std::string& path, const std::vector<Point>& points) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"fanout\",\n"
+      << "  \"host\": " << oddci::bench::host_json() << ",\n"
       << "  \"scenario\": {\"channels\": 8, \"aggregators\": 16, "
       << "\"seed\": 99, \"heartbeat_s\": 10, \"fanout_sim_s\": 120, "
       << "\"storm_sim_s\": 600},\n"

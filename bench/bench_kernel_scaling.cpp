@@ -28,6 +28,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <string>
@@ -319,7 +320,9 @@ struct SystemPoint {
   obs::MetricsSnapshot metrics;
 };
 
-SystemPoint system_sweep(std::size_t receivers, std::size_t shards) {
+SystemPoint system_sweep(std::size_t receivers, std::size_t shards,
+                         bool profile = false,
+                         const std::string& profile_json = "") {
   SystemPoint point;
   point.receivers = receivers;
   point.shards = shards;
@@ -331,6 +334,7 @@ SystemPoint system_sweep(std::size_t receivers, std::size_t shards) {
   config.seed = 99;
   config.control.overshoot_margin = 1.3;
   config.shards = shards;
+  config.obs.profile = profile;
 
   settle_allocator();
   const double rss_before = current_rss_mb();
@@ -352,6 +356,46 @@ SystemPoint system_sweep(std::size_t receivers, std::size_t shards) {
   point.peak_rss_mb = peak_rss_mb();
   point.rss_delta_mb = current_rss_mb() - rss_before;
   point.metrics = result.metrics;
+  if (profile && !profile_json.empty()) {
+    obs::write_profile_json(profile_json, system.profile_snapshot());
+  }
+  return point;
+}
+
+struct OverheadPoint {
+  std::size_t receivers = 0;
+  std::size_t shards = 1;
+  int reps = 0;
+  double off_wall_s = 0.0;
+  double on_wall_s = 0.0;
+  double overhead_pct = 0.0;
+};
+
+/// Profiler-cost A/B: the same seeded scenario with the kernel profiler
+/// off and on, `reps` alternating pairs, best-of walls (min is the robust
+/// statistic against scheduler noise on shared CI machines).
+OverheadPoint profiler_overhead_ab(std::size_t receivers, std::size_t shards,
+                                   int reps,
+                                   const std::string& profile_json) {
+  OverheadPoint point;
+  point.receivers = receivers;
+  point.shards = shards;
+  point.reps = reps;
+  point.off_wall_s = std::numeric_limits<double>::infinity();
+  point.on_wall_s = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    point.off_wall_s = std::min(
+        point.off_wall_s, system_sweep(receivers, shards).wall_seconds);
+    const bool last = r + 1 == reps;
+    point.on_wall_s = std::min(
+        point.on_wall_s,
+        system_sweep(receivers, shards, true, last ? profile_json : "")
+            .wall_seconds);
+  }
+  point.overhead_pct =
+      point.off_wall_s > 0.0
+          ? 100.0 * (point.on_wall_s - point.off_wall_s) / point.off_wall_s
+          : 0.0;
   return point;
 }
 
@@ -363,6 +407,16 @@ int main(int argc, char** argv) {
   bool deep = false;
   std::size_t shards = 1;
   std::vector<std::size_t> shard_sweep;
+  // Profiler-overhead A/B mode (appended after the requested sweeps):
+  // --profile-overhead enables it, --overhead-gate <pct> makes a breach a
+  // nonzero exit (the CI smoke), --overhead-pop overrides the population
+  // (defaults to the sweep's largest), --overhead-reps the A/B pairs, and
+  // --profile-json saves the final profiled run's oddci.profile.v1.
+  bool profile_overhead = false;
+  double overhead_gate = 0.0;
+  std::size_t overhead_pop = 0;
+  int overhead_reps = 3;
+  std::string profile_json;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
@@ -371,6 +425,17 @@ int main(int argc, char** argv) {
     if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::stoull(argv[++i]));
     }
+    if (arg == "--profile-overhead") profile_overhead = true;
+    if (arg == "--overhead-gate" && i + 1 < argc) {
+      overhead_gate = std::stod(argv[++i]);
+    }
+    if (arg == "--overhead-pop" && i + 1 < argc) {
+      overhead_pop = static_cast<std::size_t>(std::stoull(argv[++i]));
+    }
+    if (arg == "--overhead-reps" && i + 1 < argc) {
+      overhead_reps = std::stoi(argv[++i]);
+    }
+    if (arg == "--profile-json" && i + 1 < argc) profile_json = argv[++i];
     // Comma-separated shard counts for the fixed-population scaling
     // sweep, e.g. --shard-sweep 1,2,8 (run at the largest non-deep
     // population: 1M in the full sweep, 10k with --quick).
@@ -450,13 +515,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  OverheadPoint overhead;
+  if (profile_overhead) {
+    const std::size_t population =
+        overhead_pop != 0 ? overhead_pop : shard_sweep_pop;
+    std::cout << "\n== Profiler overhead A/B at " << population
+              << " receivers, " << shards << " shard(s), best of "
+              << overhead_reps << " ==\n";
+    overhead =
+        profiler_overhead_ab(population, shards, overhead_reps, profile_json);
+    std::printf("off %.2f s | on %.2f s | overhead %+.2f%%\n",
+                overhead.off_wall_s, overhead.on_wall_s,
+                overhead.overhead_pct);
+    if (!profile_json.empty()) {
+      std::cout << "wrote " << profile_json << "\n";
+    }
+  }
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     // Shard-scaling speedups only mean anything relative to the cores the
     // sweep had: K worker threads on fewer than K cores time-slice, so the
     // barrier cost shows up but the parallelism cannot.
-    out << "{\n  \"host\": {\"hardware_concurrency\": "
-        << std::thread::hardware_concurrency() << "},\n"
+    out << "{\n  \"host\": " << oddci::bench::host_json() << ",\n"
         << "  \"kernel_ab\": [\n";
     for (std::size_t i = 0; i < kernel_points.size(); ++i) {
       const auto& p = kernel_points[i];
@@ -492,6 +573,14 @@ int main(int argc, char** argv) {
       }
       out << "  ],\n";
     }
+    if (profile_overhead) {
+      out << "  \"profiler_overhead\": {\"receivers\": " << overhead.receivers
+          << ", \"shards\": " << overhead.shards
+          << ", \"reps\": " << overhead.reps
+          << ", \"off_wall_seconds\": " << overhead.off_wall_s
+          << ", \"on_wall_seconds\": " << overhead.on_wall_s
+          << ", \"overhead_pct\": " << overhead.overhead_pct << "},\n";
+    }
     out << "  \"rss_note\": \"peak_rss_mb is the process-global "
         << "high-water mark (ru_maxrss) and is monotone across sweeps — "
         << "identical values for consecutive points mean an earlier/larger "
@@ -506,6 +595,13 @@ int main(int argc, char** argv) {
   if (!system_points.empty() && oddci::bench::metrics_enabled(argc, argv)) {
     oddci::bench::write_metrics("bench_kernel_scaling",
                                 system_points.back().metrics);
+  }
+
+  if (profile_overhead && overhead_gate > 0.0 &&
+      overhead.overhead_pct > overhead_gate) {
+    std::cerr << "profiler overhead " << overhead.overhead_pct
+              << "% exceeds the gate (" << overhead_gate << "%)\n";
+    return 1;
   }
   return 0;
 }

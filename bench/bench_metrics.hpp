@@ -1,7 +1,10 @@
 #pragma once
 
+#include <unistd.h>
+
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -13,6 +16,26 @@
 /// exporter wiring is exercised on every bench run and the trajectory has
 /// machine-readable output. Pass `--no-metrics` to suppress the files.
 namespace oddci::bench {
+
+/// One-line JSON host descriptor shared by every BENCH_*.json writer —
+/// wall-clock numbers only mean anything relative to the machine that
+/// produced them, so each file records it next to the measurements.
+inline std::string host_json() {
+  std::string out = "{\"hardware_concurrency\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += ", \"page_size\": ";
+  out += std::to_string(sysconf(_SC_PAGESIZE));
+  out += ", \"os\": \"";
+#if defined(__linux__)
+  out += "linux";
+#elif defined(__APPLE__)
+  out += "darwin";
+#else
+  out += "unknown";
+#endif
+  out += "\"}";
+  return out;
+}
 
 inline bool metrics_enabled(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

@@ -3,18 +3,28 @@
 // the measured metrics next to the paper's analytical model.
 //
 // Usage:
-//   oddci_runner <scenario.cfg> [key=value overrides...]
+//   oddci_runner <scenario.cfg> [--progress] [key=value overrides...]
 //
 // Every parameter has a default, so `oddci_runner /dev/null` runs a sane
 // baseline scenario. Overrides on the command line win over the file.
+// `--progress` (or progress=1) streams one NDJSON line of run telemetry
+// to stderr every `progress_every_s` of sim time (wall-gated to >= 2 Hz).
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "analytical/models.hpp"
 #include "control/policy.hpp"
 #include "core/system.hpp"
 #include "obs/export.hpp"
+#include "obs/health.hpp"
+#include "obs/profiler.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 #include "workload/job.hpp"
@@ -22,6 +32,73 @@
 namespace {
 
 using namespace oddci;
+
+/// Resident set size in MiB (Linux /proc; 0.0 where unavailable).
+double resident_mb() {
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t pages = 0;
+  std::uint64_t resident = 0;
+  if (!(statm >> pages >> resident)) return 0.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident) *
+         static_cast<double>(page > 0 ? page : 4096) / (1024.0 * 1024.0);
+}
+
+/// Hang the NDJSON progress stream on the kernel's coordinator hook: every
+/// `progress_every_s` of sim time (and at most ~2 lines per wall second)
+/// one `oddci.progress.v1` object goes to stderr — sim time, event totals
+/// and throughput, RSS, and per-shard executed/pending/lag. Stderr only:
+/// stdout stays the report the scenario scripts parse.
+void install_progress(core::OddciSystem& system, double every_s) {
+  struct State {
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point last_emit;
+    std::uint64_t last_events = 0;
+    double last_wall = 0.0;
+  };
+  auto state = std::make_shared<State>();
+  state->start = std::chrono::steady_clock::now();
+  state->last_emit = state->start - std::chrono::seconds(1);
+  core::OddciSystem* sys = &system;
+  system.kernel().set_progress(
+      [sys, state] {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - state->last_emit < std::chrono::milliseconds(500)) return;
+        state->last_emit = now;
+        auto& kernel = sys->kernel();
+        const std::size_t shards = kernel.shard_count();
+        std::uint64_t events = 0;
+        double max_now_s = 0.0;
+        for (std::size_t s = 0; s < shards; ++s) {
+          events += kernel.shard(s).events_executed();
+          max_now_s = std::max(max_now_s, kernel.shard(s).now().seconds());
+        }
+        const double wall =
+            std::chrono::duration<double>(now - state->start).count();
+        const double dw = wall - state->last_wall;
+        const double rate =
+            dw > 0.0
+                ? static_cast<double>(events - state->last_events) / dw
+                : 0.0;
+        state->last_wall = wall;
+        state->last_events = events;
+        std::cerr << "{\"schema\":\"oddci.progress.v1\",\"sim_s\":"
+                  << max_now_s << ",\"wall_s\":" << wall
+                  << ",\"events\":" << events << ",\"events_per_s\":" << rate
+                  << ",\"rss_mb\":" << resident_mb() << ",\"shards\":[";
+        for (std::size_t s = 0; s < shards; ++s) {
+          const sim::Simulation& shard = kernel.shard(s);
+          if (s > 0) std::cerr << ',';
+          std::cerr << "{\"shard\":" << s
+                    << ",\"executed\":" << shard.events_executed()
+                    << ",\"pending\":" << shard.pending_events()
+                    << ",\"lag_s\":" << max_now_s - shard.now().seconds()
+                    << '}';
+        }
+        std::cerr << "]}\n";
+      },
+      sim::SimTime::from_seconds(every_s));
+}
 
 core::SystemConfig system_config(const util::Config& cfg) {
   core::SystemConfig config;
@@ -56,6 +133,12 @@ core::SystemConfig system_config(const util::Config& cfg) {
       static_cast<std::size_t>(cfg.get_int("aggregators", 0));
   config.obs.sample_interval =
       sim::SimTime::from_seconds(cfg.get_double("sample_interval_s", 10.0));
+  // Kernel profiler: on when asked for explicitly or when a profile export
+  // path is configured. (The `profile` key names the device profile.)
+  config.obs.profile = cfg.get_bool("kernel_profile", false) ||
+                       !cfg.get_string("profile_json", "").empty();
+  config.obs.health_tamper_lost =
+      static_cast<std::uint64_t>(cfg.get_int("health_tamper_lost", 0));
   config.fanout_fast_path = cfg.get_bool("fanout_fast_path", true);
   // Sharded parallel kernel: worker-thread shard count ("threads" is an
   // accepted alias). 1 = the classic single-threaded kernel; existing
@@ -176,6 +259,10 @@ int main(int argc, char** argv) {
   try {
     cfg = util::Config::load(argv[1]);
     for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--progress") == 0) {
+        cfg.set("progress", "1");
+        continue;
+      }
       const char* eq = std::strchr(argv[i], '=');
       if (eq == nullptr) {
         throw std::runtime_error(std::string("override without '=': ") +
@@ -208,6 +295,9 @@ int main(int argc, char** argv) {
               << job.avg_reference_seconds() << " s\n\n";
 
     core::OddciSystem system(config);
+    if (cfg.get_bool("progress", false)) {
+      install_progress(system, cfg.get_double("progress_every_s", 30.0));
+    }
     const auto result = system.run_job(
         job, instance_size, sim::SimTime::from_hours(deadline_h));
 
@@ -294,6 +384,34 @@ int main(int argc, char** argv) {
     if (!series_csv.empty()) {
       obs::write_series_csv(series_csv, result.metrics);
       std::cout << "  wrote " << series_csv << "\n";
+    }
+
+    if (system.profiler() != nullptr) {
+      const obs::ProfileSnapshot prof = system.profile_snapshot();
+      std::cout << "  profile: " << prof.run_wall_seconds << " s wall, "
+                << prof.windows << " windows, utilization "
+                << util::Table::fmt(prof.utilization_mean, 3)
+                << ", imbalance " << util::Table::fmt(prof.imbalance_mean, 2)
+                << " (max " << util::Table::fmt(prof.imbalance_max, 2)
+                << ")\n";
+      const std::string profile_json = cfg.get_string("profile_json", "");
+      if (!profile_json.empty()) {
+        obs::write_profile_json(profile_json, prof);
+        std::cout << "  wrote " << profile_json << "\n";
+      }
+    }
+
+    // Conservation audit: a Warning/Critical finding means a counter
+    // balance the simulation must preserve did not close — fail loudly
+    // with its own exit code so CI and scripts can tell it apart.
+    if (!result.health.findings.empty()) {
+      std::cout << "  health: "
+                << obs::to_string(result.health.worst()) << " ("
+                << result.health.samples << " samples)\n";
+    }
+    if (!result.health.ok()) {
+      std::cerr << "HEALTH VIOLATION:\n" << result.health.to_text();
+      return 4;
     }
     return result.completed ? 0 : 1;
   } catch (const std::exception& e) {

@@ -5,9 +5,11 @@
 //   oddci_trace validate <trace.json>
 //       Strictly parse the file as an oddci.trace.v1 Chrome trace; print a
 //       one-line inventory. Exit 0 iff the file is well formed.
-//   oddci_trace summary <trace.json>
+//   oddci_trace summary <trace.json | metrics.json>
 //       Event counts per kind and per component, distinct causal chains,
-//       covered sim-time range.
+//       covered sim-time range. Given an oddci.metrics.v1 snapshot instead,
+//       prints the histograms as quantile summaries (count/mean/p50/p90/
+//       p99/max) rather than raw bucket dumps.
 //   oddci_trace timeline <trace.json> <trace_id>
 //       Chronological hops of one causal chain (as printed by summary or
 //       carried in the export's args.trace field).
@@ -17,9 +19,15 @@
 //   oddci_trace slowest <trace.json> [N]
 //       The N slowest confirmed wakeups (wakeup.accepted ->
 //       member.joined), decomposed into acquire and confirm phases.
+//   oddci_trace profile <run.profile.json> [trace.json]
+//       Bottleneck report from an oddci.profile.v1 kernel profile: phase
+//       wall shares, slowest shard, barrier-stall fraction, window
+//       utilization and mailbox depth; an optional flight-recorder trace
+//       is merged in as a per-component event overlay.
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
@@ -27,7 +35,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_export.hpp"
 #include "util/table.hpp"
 
@@ -252,6 +263,147 @@ int cmd_slowest(const std::vector<TraceEvent>& events, std::size_t n) {
   return 0;
 }
 
+/// First bytes of `path`, for schema sniffing (the JSON exports all carry
+/// a leading "schema" member).
+std::string file_head(const std::string& path) {
+  std::ifstream in(path);
+  std::string head(256, '\0');
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  head.resize(static_cast<std::size_t>(std::max<std::streamsize>(
+      0, in.gcount())));
+  return head;
+}
+
+int cmd_metrics_summary(const oddci::obs::MetricsSnapshot& snap) {
+  using oddci::util::Table;
+  std::cout << "metrics snapshot at t = " << snap.taken_at_seconds << " s: "
+            << snap.counters.size() << " counters, " << snap.gauges.size()
+            << " gauges, " << snap.histograms.size() << " histograms, "
+            << snap.series.size() << " series, " << snap.spans.size()
+            << " spans\n";
+  if (snap.histograms.empty()) return 0;
+  Table table({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+  for (const auto& h : snap.histograms) {
+    const double mean =
+        h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+    table.add_row(
+        {h.name, Table::fmt_int(static_cast<long long>(h.count)),
+         Table::fmt(mean, 6),
+         Table::fmt(oddci::obs::histogram_quantile(h, 0.50), 6),
+         Table::fmt(oddci::obs::histogram_quantile(h, 0.90), 6),
+         Table::fmt(oddci::obs::histogram_quantile(h, 0.99), 6),
+         Table::fmt(h.max, 6)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_profile(const std::string& path, const char* trace_path) {
+  using oddci::util::Table;
+  const oddci::obs::ProfileSnapshot p = oddci::obs::read_profile_json(path);
+  const double exec = p.execute_seconds_total();
+  const double barrier = p.barrier_seconds_total();
+  const double accounted = exec + barrier + p.drain_seconds + p.global_seconds;
+
+  std::cout << path << ": " << p.shards << " shard(s), "
+            << p.sim_seconds << " sim-s in " << p.run_wall_seconds
+            << " wall-s";
+  if (p.run_wall_seconds > 0.0) {
+    std::cout << " (" << Table::fmt(p.sim_seconds / p.run_wall_seconds, 1)
+              << "x real time)";
+  }
+  std::cout << " over " << p.runs << " run(s)\n\n";
+
+  // Top phases by wall share (of the phase-accounted total, which spans
+  // all shards — at K > 1 it can exceed the coordinator's run wall).
+  struct Phase {
+    const char* name;
+    double seconds;
+  };
+  std::vector<Phase> phases{{"execute", exec},
+                            {"barrier-wait", barrier},
+                            {"mailbox-drain", p.drain_seconds},
+                            {"global-tasks", p.global_seconds}};
+  std::stable_sort(phases.begin(), phases.end(),
+                   [](const Phase& a, const Phase& b) {
+                     return a.seconds > b.seconds;
+                   });
+  Table phase_table({"phase", "wall (s)", "share"});
+  for (const Phase& ph : phases) {
+    phase_table.add_row(
+        {ph.name, Table::fmt(ph.seconds, 3),
+         accounted > 0.0
+             ? Table::fmt(100.0 * ph.seconds / accounted, 1) + "%"
+             : "-"});
+  }
+  phase_table.print(std::cout);
+
+  if (p.windows > 0) {
+    const double worker_wall =
+        static_cast<double>(p.shards) * p.window_span_seconds;
+    std::cout << "\nwindows: " << p.windows << " spanning "
+              << Table::fmt(p.window_span_seconds, 3)
+              << " wall-s, utilization "
+              << Table::fmt(p.utilization_mean, 3) << ", imbalance "
+              << Table::fmt(p.imbalance_mean, 2) << " mean / "
+              << Table::fmt(p.imbalance_max, 2) << " max\n"
+              << "barrier stall: "
+              << (worker_wall > 0.0
+                      ? Table::fmt(100.0 * barrier / worker_wall, 1) + "%"
+                      : std::string("-"))
+              << " of worker window time\n"
+              << "mailbox: " << p.mail_items << " items over "
+              << p.drain_calls << " drains (max " << p.mail_items_max
+              << " per drain), " << p.cross_posts << " cross posts, "
+              << p.clamped_posts << " clamped\n";
+  }
+
+  if (!p.per_shard.empty()) {
+    Table shard_table({"shard", "execute (s)", "calls", "barrier (s)",
+                       "executed", "pending"});
+    std::size_t slowest = 0;
+    for (std::size_t s = 0; s < p.per_shard.size(); ++s) {
+      const auto& sh = p.per_shard[s];
+      if (sh.execute_seconds > p.per_shard[slowest].execute_seconds) {
+        slowest = s;
+      }
+      shard_table.add_row(
+          {std::to_string(s), Table::fmt(sh.execute_seconds, 3),
+           Table::fmt_int(static_cast<long long>(sh.execute_calls)),
+           Table::fmt(sh.barrier_seconds, 3),
+           Table::fmt_int(static_cast<long long>(sh.events_executed)),
+           Table::fmt_int(static_cast<long long>(sh.events_pending))});
+    }
+    std::cout << "\n";
+    shard_table.print(std::cout);
+    if (p.per_shard.size() > 1 && exec > 0.0) {
+      std::cout << "slowest shard: " << slowest << " ("
+                << Table::fmt(
+                       100.0 * p.per_shard[slowest].execute_seconds / exec, 1)
+                << "% of execute time)\n";
+    }
+  }
+
+  if (trace_path != nullptr) {
+    // Flight-recorder overlay: what the sim was doing while the kernel
+    // burned that wall time.
+    const std::vector<TraceEvent> events =
+        oddci::obs::read_chrome_trace(trace_path);
+    std::map<TraceComponent, std::uint64_t> by_component;
+    for (const TraceEvent& e : events) ++by_component[e.component];
+    Table overlay({"component", "events"});
+    for (const auto& [component, count] : by_component) {
+      overlay.add_row({std::string(to_string(component)),
+                       Table::fmt_int(static_cast<long long>(count))});
+    }
+    std::cout << "\ntrace overlay (" << trace_path << ", " << events.size()
+              << " events):\n";
+    overlay.print(std::cout);
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage: oddci_trace <command> <trace.json> [args]\n"
@@ -260,7 +412,12 @@ int usage() {
          "  timeline <trace.json> <trace_id>  hops of one causal chain\n"
          "  funnel   <trace.json>             per-instance join funnel\n"
          "  slowest  <trace.json> [N]         N slowest wakeups (default "
-         "10)\n";
+         "10)\n"
+         "  profile  <run.profile.json> [trace.json]\n"
+         "                                    kernel bottleneck report\n"
+         "\n"
+         "summary also accepts an oddci.metrics.v1 snapshot and prints\n"
+         "histogram quantile summaries.\n";
   return 2;
 }
 
@@ -273,6 +430,14 @@ int main(int argc, char** argv) {
 
   try {
     if (command == "validate") return cmd_validate(path);
+    if (command == "profile") {
+      return cmd_profile(path, argc > 3 ? argv[3] : nullptr);
+    }
+    if (command == "summary" &&
+        file_head(path).find(oddci::obs::kMetricsSchema) !=
+            std::string::npos) {
+      return cmd_metrics_summary(oddci::obs::read_json(path));
+    }
 
     const std::vector<TraceEvent> events =
         oddci::obs::read_chrome_trace(path);

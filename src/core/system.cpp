@@ -102,8 +102,18 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   simulation_ = &sharded_->control();
   const std::size_t K = sharded_->shard_count();
 
+  if (config_.obs.profile) {
+    profiler_ = std::make_unique<obs::KernelProfiler>(K);
+    sharded_->set_profiler(profiler_.get());
+  }
+
   network_ = std::make_unique<net::Network>(*simulation_);
   if (K > 1) network_->set_sharded(sharded_.get());
+  // Tag the heartbeat stream for conservation accounting: net (and the
+  // fault injector below) stay ignorant of core's message taxonomy and
+  // receive the raw tag value; the health auditor balances emitted vs
+  // received vs lost over these cells.
+  network_->set_tracked_tag(static_cast<int>(kTagHeartbeat));
   // Every receiver, every aggregator, the Controller, and the Backend get
   // an endpoint; size the table once up front.
   network_->reserve_endpoints(config_.receivers + config_.aggregators + 2);
@@ -318,6 +328,7 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
     injector_ = std::make_unique<fault::FaultInjector>(*simulation_,
                                                        config_.fault, fseed);
     if (K > 1) injector_->set_sharded(sharded_.get());
+    injector_->set_tracked_tag(static_cast<int>(kTagHeartbeat));
     network_->set_interposer(injector_.get());
     injector_->set_controller_hooks([this] { controller_->crash(); },
                                     [this] { controller_->restart(); });
@@ -595,6 +606,12 @@ void OddciSystem::wire_observability() {
       return sum;
     });
   }
+  // Conservation auditor, sampled at the same parked tick points the
+  // series probes use; run_job folds the final verdict into RunResult.
+  health_ = std::make_unique<obs::HealthAuditor>(
+      [this] { return health_ledger(); });
+  sampler_->set_on_tick(
+      [this] { health_->sample(simulation_->now().seconds()); });
   sampler_->start();
 }
 
@@ -608,6 +625,75 @@ broadcast::BroadcastMedium& OddciSystem::channel(std::size_t i) {
 obs::MetricsSnapshot OddciSystem::metrics_snapshot() const {
   if (!registry_) return obs::MetricsSnapshot{};
   return registry_->snapshot(simulation_->now().seconds());
+}
+
+obs::ProfileSnapshot OddciSystem::profile_snapshot() const {
+  if (!profiler_) return obs::ProfileSnapshot{};
+  return obs::take_profile(*profiler_, *sharded_);
+}
+
+obs::HealthLedger OddciSystem::health_ledger() const {
+  obs::HealthLedger ledger;
+  const net::NetworkStats net = network_->stats();
+  ledger.messages_sent = net.messages_sent;
+  ledger.arrivals_scheduled = net.arrivals_scheduled;
+  ledger.messages_delivered = net.messages_delivered;
+  ledger.messages_dropped = net.messages_dropped;
+  ledger.heartbeats_dropped = net.tracked_dropped;
+  if (injector_) {
+    const fault::FaultInjector::Stats faults = injector_->stats();
+    // Partition drops never reach schedule_arrival either, so they count
+    // with the wire losses on the "removed before arrival" side.
+    ledger.messages_lost = faults.messages_lost + faults.partition_dropped;
+    ledger.messages_duplicated = faults.messages_duplicated;
+    ledger.heartbeats_lost = faults.tracked_lost;
+    ledger.heartbeats_duplicated = faults.tracked_duplicated;
+  }
+  const std::size_t K = sharded_->shard_count();
+  if (K == 1) {
+    ledger.heartbeats_emitted = pna_counters_.heartbeats_sent.value();
+  } else {
+    for (const auto& c : shard_pna_counters_) {
+      ledger.heartbeats_emitted += c.heartbeats_sent.value();
+    }
+  }
+  ledger.heartbeats_received = controller_->stats().heartbeats_received;
+  for (const auto& aggregator : aggregators_) {
+    ledger.heartbeats_received += aggregator->stats().heartbeats_received;
+  }
+  ledger.shards.reserve(K);
+  for (std::size_t s = 0; s < K; ++s) {
+    const sim::Simulation& shard = sharded_->shard(s);
+    obs::HealthLedger::ShardEvents events;
+    events.scheduled = shard.events_scheduled();
+    events.executed = shard.events_executed();
+    events.cancelled = shard.events_cancelled();
+    events.pending = shard.pending_events();
+    ledger.shards.push_back(events);
+  }
+  // Pool balance only holds on the fan-out fast path, where every emitted
+  // heartbeat goes through exactly one pool acquire.
+  if (heartbeat_pool_) {
+    ledger.pool_active = true;
+    ledger.pool_acquired = heartbeat_pool_->reused().value() +
+                           heartbeat_pool_->allocated().value();
+    ledger.pool_expected = ledger.heartbeats_emitted;
+  } else if (!shard_heartbeat_pools_.empty()) {
+    ledger.pool_active = true;
+    for (const auto& pool : shard_heartbeat_pools_) {
+      ledger.pool_acquired +=
+          pool->reused().value() + pool->allocated().value();
+    }
+    ledger.pool_expected = ledger.heartbeats_emitted;
+  }
+  if (config_.obs.health_tamper_lost > 0) {
+    // Seeded violation hook: under-report wire losses so the arrival
+    // balance no longer closes (tests and the runner's exit-code path).
+    const std::uint64_t cut =
+        std::min(config_.obs.health_tamper_lost, ledger.messages_lost);
+    ledger.messages_lost -= cut;
+  }
+  return ledger;
 }
 
 OddciSystem::~OddciSystem() {
@@ -742,6 +828,9 @@ RunResult OddciSystem::run_job(const workload::Job& job,
   result.network = network_->stats();
   if (registry_) {
     result.metrics = registry_->snapshot(simulation_->now().seconds());
+  }
+  if (health_) {
+    result.health = health_->finalize(simulation_->now().seconds());
   }
 
   provider_->release_instance(id);

@@ -17,7 +17,9 @@
 #include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/sharded.hpp"
@@ -138,6 +140,17 @@ struct SystemConfig {
     /// Ring capacity of the flight recorder, in events; the oldest events
     /// are overwritten when a run outgrows it.
     std::size_t trace_capacity = 1 << 16;
+    /// Kernel wall-clock profiler (see obs/profiler.hpp): per-shard
+    /// execute / barrier / drain / global phase attribution exported as
+    /// `oddci.profile.v1`. Wall-clock data never reaches the metrics
+    /// snapshot or Chrome trace, so seeded exports stay byte-identical
+    /// with this on or off. Works with obs.enabled false too (the
+    /// profiler needs no registry).
+    bool profile = false;
+    /// Test hook for the health auditor: under-report this many injected
+    /// message losses in the conservation ledger, forcing a seeded
+    /// violation (exercises the runner's nonzero-exit path). 0 = honest.
+    std::uint64_t health_tamper_lost = 0;
   };
   ObsOptions obs;
 
@@ -175,6 +188,9 @@ struct RunResult {
   /// latency), sampled series (instance size, idle pool, heartbeat rate)
   /// and trace spans. Empty when SystemConfig::obs.enabled is false.
   obs::MetricsSnapshot metrics;
+  /// Conservation-invariant audit at run end (plus periodic samples during
+  /// the run). Empty — trivially ok() — when obs is disabled.
+  obs::HealthReport health;
 
   /// Efficiency per the paper's Eq. (2): E = n * p / (M * N) with p the
   /// per-task time on the member device (pass the *device-scaled* value).
@@ -243,6 +259,20 @@ class OddciSystem {
   /// Empty unless SystemConfig::obs.trace.
   [[nodiscard]] std::vector<const obs::FlightRecorder*> flight_recorders()
       const;
+
+  /// Kernel wall-clock profiler; nullptr unless SystemConfig::obs.profile.
+  [[nodiscard]] obs::KernelProfiler* profiler() { return profiler_.get(); }
+  [[nodiscard]] const obs::KernelProfiler* profiler() const {
+    return profiler_.get();
+  }
+  /// Profile snapshot including per-shard kernel event counters. Default
+  /// (empty) when no profiler is attached. Call between runs.
+  [[nodiscard]] obs::ProfileSnapshot profile_snapshot() const;
+
+  /// Conservation ledger over the current counters (see obs/health.hpp).
+  /// Heartbeat/pool balances need the obs counter wiring, so call only
+  /// with SystemConfig::obs.enabled; the auditor and tests use this.
+  [[nodiscard]] obs::HealthLedger health_ledger() const;
 
   /// Fan-out fast-path components; nullptr when
   /// SystemConfig::fanout_fast_path is false.
@@ -330,6 +360,10 @@ class OddciSystem {
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::Sampler> sampler_;
+  /// Wall-clock profiler (obs.profile) and conservation auditor
+  /// (obs.enabled); both read-only with respect to the event trajectory.
+  std::unique_ptr<obs::KernelProfiler> profiler_;
+  std::unique_ptr<obs::HealthAuditor> health_;
   obs::PnaCounters pna_counters_;
   obs::BroadcastCounters broadcast_counters_;
   obs::LogHistogram pna_acquire_latency_{1e-3};

@@ -330,11 +330,15 @@ FaultInjector::Stats FaultInjector::stats() const {
   s.messages_duplicated = messages_duplicated_.value();
   s.latency_spikes = latency_spikes_.value();
   s.partition_dropped = partition_dropped_.value();
+  s.tracked_lost = tracked_lost_.value();
+  s.tracked_duplicated = tracked_duplicated_.value();
   for (const WireShard& wire : wire_shards_) {
     s.messages_lost += wire.lost;
     s.messages_duplicated += wire.duplicated;
     s.latency_spikes += wire.spikes;
     s.partition_dropped += wire.partition_dropped;
+    s.tracked_lost += wire.tracked_lost;
+    s.tracked_duplicated += wire.tracked_duplicated;
   }
   s.partitions_started = partitions_started_.value();
   s.partitions_healed = partitions_healed_.value();
@@ -360,6 +364,7 @@ net::SendInterposer::Action FaultInjector::on_send(
   if (active_partitions_ != 0 && (blackholed(from) || blackholed(to))) {
     action.drop = true;
     ++partition_dropped_;
+    if (tracked(message)) ++tracked_lost_;
     emit(obs::TraceEventKind::kFaultMessageLost, obs::TraceComponent::kNetwork,
          to, static_cast<std::uint64_t>(message.tag()));
     return action;
@@ -369,6 +374,7 @@ net::SendInterposer::Action FaultInjector::on_send(
   if (options_.message_loss > 0.0 && wire_rng_.bernoulli(options_.message_loss)) {
     action.drop = true;
     ++messages_lost_;
+    if (tracked(message)) ++tracked_lost_;
     emit(obs::TraceEventKind::kFaultMessageLost, obs::TraceComponent::kNetwork,
          to, static_cast<std::uint64_t>(message.tag()));
     return action;
@@ -377,6 +383,7 @@ net::SendInterposer::Action FaultInjector::on_send(
       wire_rng_.bernoulli(options_.message_duplication)) {
     action.duplicate = true;
     ++messages_duplicated_;
+    if (tracked(message)) ++tracked_duplicated_;
     emit(obs::TraceEventKind::kFaultMessageDuplicated,
          obs::TraceComponent::kNetwork, to,
          static_cast<std::uint64_t>(message.tag()));
@@ -404,6 +411,7 @@ net::SendInterposer::Action FaultInjector::on_send_sharded(
   if (active_partitions_ != 0 && (blackholed(from) || blackholed(to))) {
     action.drop = true;
     ++wire.partition_dropped;
+    if (tracked(message)) ++wire.tracked_lost;
     emit_wire(src_shard, obs::TraceEventKind::kFaultMessageLost, to,
               static_cast<std::uint64_t>(message.tag()));
     return action;
@@ -412,6 +420,7 @@ net::SendInterposer::Action FaultInjector::on_send_sharded(
       wire.rng.bernoulli(options_.message_loss)) {
     action.drop = true;
     ++wire.lost;
+    if (tracked(message)) ++wire.tracked_lost;
     emit_wire(src_shard, obs::TraceEventKind::kFaultMessageLost, to,
               static_cast<std::uint64_t>(message.tag()));
     return action;
@@ -420,6 +429,7 @@ net::SendInterposer::Action FaultInjector::on_send_sharded(
       wire.rng.bernoulli(options_.message_duplication)) {
     action.duplicate = true;
     ++wire.duplicated;
+    if (tracked(message)) ++wire.tracked_duplicated;
     emit_wire(src_shard, obs::TraceEventKind::kFaultMessageDuplicated, to,
               static_cast<std::uint64_t>(message.tag()));
   }

@@ -141,6 +141,13 @@ class FaultInjector final : public net::SendInterposer {
   /// snapshot() calls.
   void link_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Count wire faults against messages with this tag separately
+  /// (Stats::tracked_lost / tracked_duplicated). The system passes the
+  /// heartbeat tag as a plain int — consistent with this layer never
+  /// including core headers — so the health auditor can balance the
+  /// heartbeat stream. -1 disables.
+  void set_tracked_tag(int tag) { tracked_tag_ = tag; }
+
   /// Build and schedule the seeded plan: the one-shot crash events and the
   /// Poisson chains for partitions, aggregator crashes, PNA faults, and
   /// control corruption. Call once, after all hooks are registered.
@@ -151,6 +158,10 @@ class FaultInjector final : public net::SendInterposer {
     std::uint64_t messages_duplicated = 0;
     std::uint64_t latency_spikes = 0;
     std::uint64_t partition_dropped = 0;
+    /// Tracked-tag slice of the wire faults (losses include partition
+    /// drops); see set_tracked_tag.
+    std::uint64_t tracked_lost = 0;
+    std::uint64_t tracked_duplicated = 0;
     std::uint64_t partitions_started = 0;
     std::uint64_t partitions_healed = 0;
     std::uint64_t controller_crashes = 0;
@@ -182,6 +193,8 @@ class FaultInjector final : public net::SendInterposer {
     std::uint64_t duplicated = 0;
     std::uint64_t spikes = 0;
     std::uint64_t partition_dropped = 0;
+    std::uint64_t tracked_lost = 0;
+    std::uint64_t tracked_duplicated = 0;
   };
 
   struct Region {
@@ -194,6 +207,9 @@ class FaultInjector final : public net::SendInterposer {
 
   [[nodiscard]] bool blackholed(net::NodeId id) const {
     return id < blackholed_.size() && blackholed_[id] != 0;
+  }
+  [[nodiscard]] bool tracked(const net::Message& message) const {
+    return tracked_tag_ >= 0 && message.tag() == tracked_tag_;
   }
   void set_blackholed(net::NodeId id, bool on);
 
@@ -244,6 +260,10 @@ class FaultInjector final : public net::SendInterposer {
   std::vector<char> blackholed_;
   std::size_t active_partitions_ = 0;
   bool started_ = false;
+
+  int tracked_tag_ = -1;
+  obs::Counter tracked_lost_;
+  obs::Counter tracked_duplicated_;
 
   obs::Counter messages_lost_;
   obs::Counter messages_duplicated_;

@@ -79,6 +79,8 @@ NetworkStats Network::stats() const {
     s.messages_delivered += c.messages_delivered.value();
     s.messages_dropped += c.messages_dropped.value();
     s.bits_sent += static_cast<std::int64_t>(c.bits_sent.value());
+    s.arrivals_scheduled += c.arrivals_scheduled.value();
+    s.tracked_dropped += c.tracked_dropped.value();
   }
   return s;
 }
@@ -159,6 +161,7 @@ void Network::schedule_arrival(sim::SimTime at, NodeId from, NodeId to,
                                MessagePtr message) {
   const std::uint32_t src_shard = node_shards_[from];
   const std::uint32_t dst_shard = node_shards_[to];
+  ++cells_[src_shard].arrivals_scheduled;
   if (sharded_ != nullptr && dst_shard != src_shard) {
     // Cross-shard hop: through the kernel mailbox, landing at the first
     // window boundary >= the edge-arrival time.
@@ -195,6 +198,9 @@ void Network::arrive(NodeId from, NodeId to, std::uint32_t dst_shard,
         Node& d = nodes_[to];
         if (d.endpoint == nullptr) {
           ++cells_[dst_shard].messages_dropped;
+          if (tracked_tag_ >= 0 && message->tag() == tracked_tag_) {
+            ++cells_[dst_shard].tracked_dropped;
+          }
           obs::FlightRecorder* recorder = recorders_[dst_shard];
           if (recorder != nullptr) {
             recorder->emit(sim_of(dst_shard).now(),

@@ -42,6 +42,13 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;  ///< destination unregistered/offline
   std::int64_t bits_sent = 0;
+  /// Copies actually scheduled toward a destination (a send that survives
+  /// the interposer contributes one copy, or two when duplicated). The
+  /// health auditor balances this against sent/lost/duplicated and against
+  /// delivered/dropped.
+  std::uint64_t arrivals_scheduled = 0;
+  /// Detached-endpoint drops of tracked-tag messages (see set_tracked_tag).
+  std::uint64_t tracked_dropped = 0;
 };
 
 /// Hook interposed on every Network::send (fault injection). The verdict is
@@ -138,6 +145,13 @@ class Network {
   /// build without the hook.
   void set_interposer(SendInterposer* interposer) { interposer_ = interposer; }
 
+  /// Count detached-endpoint drops of messages with this tag separately
+  /// (NetworkStats::tracked_dropped). The system sets the heartbeat tag so
+  /// the health auditor can balance the heartbeat stream; -1 disables. The
+  /// tag value crosses the layer as a plain int — net stays ignorant of
+  /// core's message taxonomy.
+  void set_tracked_tag(int tag) { tracked_tag_ = tag; }
+
   [[nodiscard]] std::size_t endpoint_count() const { return nodes_.size(); }
 
   /// Time at which `node`'s uplink frees up (diagnostics/backpressure).
@@ -158,6 +172,8 @@ class Network {
     obs::Counter messages_delivered;
     obs::Counter messages_dropped;
     obs::Counter bits_sent;
+    obs::Counter arrivals_scheduled;  ///< incremented on the sending shard
+    obs::Counter tracked_dropped;     ///< incremented on the receiving shard
   };
 
   Node& node_at(NodeId id);
@@ -182,6 +198,7 @@ class Network {
   std::vector<ShardCells> cells_;
   std::vector<obs::FlightRecorder*> recorders_;
   SendInterposer* interposer_ = nullptr;
+  int tracked_tag_ = -1;
 };
 
 }  // namespace oddci::net

@@ -78,6 +78,15 @@ std::string to_json(const MetricsSnapshot& snap) {
                  append_double(o, h.min);
                  o += ",\"max\":";
                  append_double(o, h.max);
+                 // Quantiles are derived from the buckets at export time
+                 // (not parsed back), so re-exporting a parsed snapshot
+                 // recomputes byte-identical values.
+                 o += ",\"p50\":";
+                 append_double(o, histogram_quantile(h, 0.50));
+                 o += ",\"p90\":";
+                 append_double(o, histogram_quantile(h, 0.90));
+                 o += ",\"p99\":";
+                 append_double(o, histogram_quantile(h, 0.99));
                  // Sparse bucket encoding: only non-empty buckets.
                  o += ",\"bucket_count\":";
                  append_u64(o, h.buckets.size());

@@ -103,6 +103,35 @@ void TimeSeries::record(double t_seconds, double value) {
 
 // --- MetricsSnapshot --------------------------------------------------------
 
+double histogram_quantile(const HistogramSample& sample, double q) {
+  if (sample.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return sample.min;
+  if (q >= 1.0) return sample.max;
+  const std::size_t n = sample.buckets.size();
+  const double rank = q * static_cast<double>(sample.count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sample.buckets[i] == 0) continue;
+    const std::uint64_t next = seen + sample.buckets[i];
+    if (rank <= static_cast<double>(next)) {
+      const double bucket_lo =
+          i == 0 ? 0.0
+                 : sample.min_value * std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double bucket_hi =
+          i + 1 >= n ? sample.max
+                     : sample.min_value * std::ldexp(1.0, static_cast<int>(i));
+      const double lo = std::max(bucket_lo, sample.min);
+      const double hi = std::min(bucket_hi, sample.max);
+      const double within = (rank - static_cast<double>(seen)) /
+                            static_cast<double>(sample.buckets[i]);
+      return lo + (std::max(hi, lo) - lo) * within;
+    }
+    seen = next;
+  }
+  return sample.max;
+}
+
 namespace {
 
 template <typename Sample>

@@ -163,6 +163,13 @@ struct HistogramSample {
   bool operator==(const HistogramSample&) const = default;
 };
 
+/// Quantile estimate over an exported `HistogramSample`, mirroring
+/// LogHistogram::quantile exactly: same power-of-two bucket geometry,
+/// linear interpolation within the bucket, exact min/max at q <= 0 / >= 1.
+/// 0.0 on an empty histogram.
+[[nodiscard]] double histogram_quantile(const HistogramSample& sample,
+                                        double q);
+
 struct SeriesSample {
   std::string name;
   std::uint64_t dropped = 0;

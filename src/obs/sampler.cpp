@@ -102,6 +102,7 @@ void Sampler::tick() {
         now, static_cast<double>(value - probe.last) / dt);
     probe.last = value;
   }
+  if (on_tick_) on_tick_();
 }
 
 }  // namespace oddci::obs

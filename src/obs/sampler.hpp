@@ -47,6 +47,13 @@ class Sampler {
   void add_rate_series_fn(std::string_view name,
                           std::function<std::uint64_t()> fn);
 
+  /// Side hook invoked after the probes at every tick — the system hangs
+  /// periodic health audits here, reusing the sampler's coordinator-safe
+  /// tick points (all shards parked under the sharded kernel). The hook
+  /// must not schedule events or mutate sim state. Call before start();
+  /// null disables.
+  void set_on_tick(std::function<void()> hook) { on_tick_ = std::move(hook); }
+
   /// Drive ticks through the sharded kernel's global-task queue instead of
   /// a shard-local timer: each tick runs on the coordinator at a window
   /// boundary, with every shard parked, so probes may read state spanning
@@ -87,6 +94,7 @@ class Sampler {
   std::vector<GaugeProbe> gauges_;
   std::vector<RateProbe> rates_;
   std::vector<RateFnProbe> rate_fns_;
+  std::function<void()> on_tick_;
   sim::PeriodicTask task_;
   sim::ShardedSimulation* sharded_ = nullptr;
   sim::SimTime next_tick_at_;

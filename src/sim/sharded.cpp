@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"  // header-only recording; no link dependency
+
 namespace oddci::sim {
 
 void ShardedSimulation::Options::validate() const {
@@ -80,6 +82,27 @@ void ShardedSimulation::post_global(std::size_t src, SimTime at, EventFn fn) {
       Mail{at, std::move(fn), EventPriority::kMonitor});
 }
 
+void ShardedSimulation::set_profiler(obs::KernelProfiler* profiler) {
+  if (profiler != nullptr && profiler->shard_count() != shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedSimulation: profiler shard count mismatch");
+  }
+  profiler_ = profiler;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->set_profiler(profiler, static_cast<std::uint32_t>(i));
+  }
+}
+
+void ShardedSimulation::set_progress(std::function<void()> fn,
+                                     SimTime stride) {
+  if (fn && stride <= SimTime::zero()) {
+    throw std::invalid_argument(
+        "ShardedSimulation: progress stride must be positive");
+  }
+  progress_ = std::move(fn);
+  progress_stride_ = stride;
+}
+
 void ShardedSimulation::worker_loop(std::size_t shard_index) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
@@ -111,6 +134,8 @@ void ShardedSimulation::worker_loop(std::size_t shard_index) {
 }
 
 void ShardedSimulation::parallel_window(SimTime w1, bool inclusive) {
+  const std::uint64_t span_start =
+      profiler_ != nullptr ? obs::KernelProfiler::now_nanos() : 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     target_ = w1;
@@ -132,6 +157,11 @@ void ShardedSimulation::parallel_window(SimTime w1, bool inclusive) {
     std::unique_lock<std::mutex> lock(mutex_);
     work_done_.wait(lock, [&] { return outstanding_ == 0; });
   }
+  if (profiler_ != nullptr) {
+    // Every worker is parked (the barrier mutex published their execute
+    // cells); charge each shard's idle remainder to barrier stall.
+    profiler_->on_window(obs::KernelProfiler::now_nanos() - span_start);
+  }
   ++windows_run_;
   for (auto& error : worker_errors_) {
     if (error != nullptr) {
@@ -144,6 +174,12 @@ void ShardedSimulation::parallel_window(SimTime w1, bool inclusive) {
 bool ShardedSimulation::drain(SimTime boundary) {
   const std::size_t k = shards_.size();
   bool delivered_due = false;
+  const bool prof = profiler_ != nullptr;
+  const std::uint64_t drain_start =
+      prof ? obs::KernelProfiler::now_nanos() : 0;
+  std::uint64_t mail_items = 0;
+  std::uint64_t global_nanos = 0;
+  std::uint64_t global_tasks = 0;
   // Fixpoint: a global task (sampler tick, fault plan step, deferred
   // removal) may itself post mail or further globals; keep draining until
   // one pass moves nothing. Ordering stays deterministic because each pass
@@ -158,6 +194,7 @@ bool ShardedSimulation::drain(SimTime boundary) {
       Simulation& target = *shards_[dst];
       for (std::size_t src = 0; src < k; ++src) {
         auto& items = box(src, dst).items;
+        mail_items += items.size();
         for (auto& mail : items) {
           SimTime at = mail.at;
           if (at < boundary) {
@@ -188,7 +225,14 @@ bool ShardedSimulation::drain(SimTime boundary) {
       if (globals_[i].at <= boundary) {
         EventFn fn = std::move(globals_[i].fn);
         moved = true;
-        fn();
+        if (prof) {
+          const std::uint64_t g0 = obs::KernelProfiler::now_nanos();
+          fn();
+          global_nanos += obs::KernelProfiler::now_nanos() - g0;
+          ++global_tasks;
+        } else {
+          fn();
+        }
       } else {
         if (kept != i) globals_[kept] = std::move(globals_[i]);
         ++kept;
@@ -197,13 +241,43 @@ bool ShardedSimulation::drain(SimTime boundary) {
     globals_.resize(kept);
     if (!moved) break;
   }
+  if (prof) {
+    const std::uint64_t total =
+        obs::KernelProfiler::now_nanos() - drain_start;
+    profiler_->add_drain(total > global_nanos ? total - global_nanos : 0,
+                         mail_items);
+    profiler_->add_global(global_nanos, global_tasks);
+  }
   return delivered_due;
 }
 
 void ShardedSimulation::run_until(SimTime t) {
+  const SimTime start_now = now();
+  if (profiler_ != nullptr) profiler_->begin_run();
+  run_until_impl(t);
+  if (profiler_ != nullptr) {
+    profiler_->end_run((now() - start_now).micros());
+  }
+}
+
+void ShardedSimulation::run_until_impl(SimTime t) {
   stopping_ = false;
+  progress_due_ = now() + progress_stride_;
   if (shards_.size() == 1) {
-    shards_[0]->run_until(t);
+    Simulation& s = *shards_[0];
+    if (!progress_) {
+      s.run_until(t);
+      return;
+    }
+    // Slice the delegated run into stride-long segments so the observer
+    // fires between events. Intermediate horizons never change the event
+    // trajectory — run_until(x) then run_until(t) executes the same
+    // events in the same order as run_until(t) alone.
+    while (!stopping_ && s.now() < t) {
+      const SimTime next = std::min(t, s.now() + progress_stride_);
+      s.run_until(next);
+      progress_();
+    }
     return;
   }
   if (t < now()) {
@@ -258,6 +332,11 @@ void ShardedSimulation::run_until(SimTime t) {
       return;
     }
     bool due = drain(w1);
+    if (progress_ && shards_[0]->now() >= progress_due_) {
+      // All shards parked at the boundary: safe to read cross-shard state.
+      progress_();
+      progress_due_ = shards_[0]->now() + progress_stride_;
+    }
     if (final_pass) {
       // Mail delivered at exactly the horizon must still run (run_until
       // semantics: events at exactly `t` execute). Iterate to fixpoint;

@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -100,6 +101,20 @@ class ShardedSimulation {
   /// called from control-shard code (or between windows).
   void stop();
 
+  /// Attach a wall-clock profiler (or detach with nullptr). Also attaches
+  /// every shard kernel, so execute time lands in per-shard cells; window
+  /// spans, barrier stalls, drains and global tasks are recorded by the
+  /// coordinator. The profiler must have been built for this shard count
+  /// and never perturbs the event trajectory.
+  void set_profiler(obs::KernelProfiler* profiler);
+
+  /// Install a progress observer: `fn` runs on the coordinator thread with
+  /// every shard parked, at most once per `stride` of simulated time. With
+  /// K = 1 the delegated run is sliced into stride-long run_until segments
+  /// (event-trajectory-identical). The observer may read shard state but
+  /// must not mutate it or schedule events. Null `fn` disables.
+  void set_progress(std::function<void()> fn, SimTime stride);
+
   // --- merged counters (valid between windows / after run_until) -----------
   [[nodiscard]] std::uint64_t events_executed() const;
   [[nodiscard]] std::uint64_t events_scheduled() const;
@@ -142,6 +157,7 @@ class ShardedSimulation {
   /// delivered (the run loop uses this for the fixpoint at the horizon).
   bool drain(SimTime boundary);
   void worker_loop(std::size_t shard_index);
+  void run_until_impl(SimTime t);
 
   Options options_;
   std::vector<std::unique_ptr<Simulation>> shards_;
@@ -156,6 +172,11 @@ class ShardedSimulation {
   std::uint64_t cross_posts_ = 0;
   std::uint64_t clamped_posts_ = 0;
   std::uint64_t windows_run_ = 0;
+
+  obs::KernelProfiler* profiler_ = nullptr;
+  std::function<void()> progress_;
+  SimTime progress_stride_;
+  SimTime progress_due_;
 
   // --- barrier (phaser) machinery ------------------------------------------
   std::mutex mutex_;

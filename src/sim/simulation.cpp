@@ -5,7 +5,37 @@
 #include <string>
 #include <utility>
 
+#include "obs/profiler.hpp"  // header-only recording; no link dependency
+
 namespace oddci::sim {
+namespace {
+
+/// RAII execute-phase timer: two steady_clock reads when a profiler is
+/// attached, nothing otherwise.
+class ExecuteScope {
+ public:
+  ExecuteScope(obs::KernelProfiler* profiler, std::uint32_t shard)
+      : profiler_(profiler),
+        shard_(shard),
+        start_(profiler != nullptr ? obs::KernelProfiler::now_nanos() : 0) {}
+
+  ~ExecuteScope() {
+    if (profiler_ != nullptr) {
+      profiler_->add_execute(shard_,
+                             obs::KernelProfiler::now_nanos() - start_);
+    }
+  }
+
+  ExecuteScope(const ExecuteScope&) = delete;
+  ExecuteScope& operator=(const ExecuteScope&) = delete;
+
+ private:
+  obs::KernelProfiler* profiler_;
+  std::uint32_t shard_;
+  std::uint64_t start_;
+};
+
+}  // namespace
 
 std::string SimTime::to_string() const {
   const double s = seconds();
@@ -112,6 +142,7 @@ bool Simulation::step() {
 
 void Simulation::run() {
   stopping_ = false;
+  ExecuteScope scope(profiler_, profiler_shard_);
   while (!stopping_ && step()) {
   }
 }
@@ -121,6 +152,7 @@ void Simulation::run_until(SimTime t) {
     throw std::invalid_argument("Simulation: run_until into the past");
   }
   stopping_ = false;
+  ExecuteScope scope(profiler_, profiler_shard_);
   while (!stopping_ && skim_top()) {
     if (heap_.front().time > t) break;  // beyond the horizon: leave queued
     Entry e;
@@ -137,6 +169,7 @@ void Simulation::run_window(SimTime end) {
     throw std::invalid_argument("Simulation: run_window into the past");
   }
   stopping_ = false;
+  ExecuteScope scope(profiler_, profiler_shard_);
   while (!stopping_ && skim_top()) {
     if (heap_.front().time >= end) break;  // next window's business
     Entry e;

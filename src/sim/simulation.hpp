@@ -20,6 +20,10 @@
 /// with lazy heap deletion, and recurring work (heartbeats, monitor loops,
 /// churn arrivals) goes through a hierarchical timer wheel instead of
 /// churning the heap. See timer_wheel.hpp for the wheel's ordering caveat.
+namespace oddci::obs {
+class KernelProfiler;
+}  // namespace oddci::obs
+
 namespace oddci::sim {
 
 class Simulation {
@@ -106,6 +110,15 @@ class Simulation {
     return events_cancelled_;
   }
 
+  /// Attach a wall-clock profiler: run()/run_until()/run_window() bodies
+  /// are attributed to `shard`'s execute phase (two steady_clock reads per
+  /// call — nothing per event). Null detaches. The profiler never touches
+  /// sim state, so a seeded trajectory is identical with or without it.
+  void set_profiler(obs::KernelProfiler* profiler, std::uint32_t shard) {
+    profiler_ = profiler;
+    profiler_shard_ = shard;
+  }
+
  private:
   /// Pooled callback slot. `generation` tags EventIds so stale handles
   /// (executed/cancelled, slot possibly reused) are rejected in O(1).
@@ -149,6 +162,8 @@ class Simulation {
 
   SimTime now_;
   bool stopping_ = false;
+  obs::KernelProfiler* profiler_ = nullptr;
+  std::uint32_t profiler_shard_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t events_cancelled_ = 0;
