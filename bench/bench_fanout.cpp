@@ -53,6 +53,7 @@ struct Point {
   std::size_t receivers = 0;
   std::size_t shards = 1;
   bool fast_path = false;
+  core::HeartbeatMode hb_mode = core::HeartbeatMode::kNaive;
   double fanout_wall_s = 0.0;
   double storm_wall_s = 0.0;
   double wall_seconds = 0.0;
@@ -66,13 +67,21 @@ struct Point {
   std::uint64_t pool_reused = 0;
   std::uint64_t pool_allocated = 0;
   std::uint64_t pooled_bytes = 0;
+  std::uint64_t report_bytes_ingested = 0;
+  double controller_tick_wall_s = 0.0;
 };
 
-Point run_point(std::size_t receivers, bool fast_path, std::size_t shards) {
+const char* hb_mode_name(core::HeartbeatMode m) {
+  return m == core::HeartbeatMode::kDelta ? "delta" : "naive";
+}
+
+Point run_point(std::size_t receivers, bool fast_path, std::size_t shards,
+                core::HeartbeatMode hb_mode) {
   Point point;
   point.receivers = receivers;
   point.shards = shards;
   point.fast_path = fast_path;
+  point.hb_mode = hb_mode;
 
   core::SystemConfig config;
   config.receivers = receivers;
@@ -82,6 +91,7 @@ Point run_point(std::size_t receivers, bool fast_path, std::size_t shards) {
   config.controller.default_heartbeat = sim::SimTime::from_seconds(10);
   config.fanout_fast_path = fast_path;
   config.shards = shards;
+  config.heartbeat.mode = hb_mode;
 
   const double rss_before = current_rss_mb();
   const auto t0 = Clock::now();
@@ -111,20 +121,21 @@ Point run_point(std::size_t receivers, bool fast_path, std::size_t shards) {
   point.pool_reused = snap.counter_value("heartbeat.pool_reused");
   point.pool_allocated = snap.counter_value("heartbeat.pool_allocated");
   point.pooled_bytes = snap.counter_value("heartbeat.pooled_bytes");
+  point.report_bytes_ingested = system.controller().report_bytes_ingested();
+  point.controller_tick_wall_s = system.controller().monitor_wall_seconds();
   return point;
 }
 
 void print_point(const Point& p) {
-  std::printf("%9zu | %-8s | %8.2f | %8.2f | %8.3g | %7.1f | %s\n",
+  std::printf("%9zu | %-8s | %-5s | %8.2f | %8.2f | %8.3g | %7.1f | %s\n",
               p.receivers, p.fast_path ? "fast" : "baseline",
-              p.fanout_wall_s, p.storm_wall_s, p.events_per_sec,
-              p.rss_delta_mb,
-              p.fast_path
-                  ? ("verify " + std::to_string(p.verify_misses) + "/" +
-                     std::to_string(p.controls_seen) + " pool " +
-                     std::to_string(p.pool_reused) + "r")
-                        .c_str()
-                  : "-");
+              hb_mode_name(p.hb_mode), p.fanout_wall_s, p.storm_wall_s,
+              p.events_per_sec, p.rss_delta_mb,
+              ("ingest " + std::to_string(p.report_bytes_ingested / 1024) +
+               " KiB" +
+               (p.fast_path ? ", pool " + std::to_string(p.pool_reused) + "r"
+                            : std::string()))
+                  .c_str());
 }
 
 void write_json(const std::string& path, const std::vector<Point>& points) {
@@ -144,6 +155,7 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
     out << "    {\"receivers\": " << p.receivers
         << ", \"shards\": " << p.shards << ", \"mode\": \""
         << (p.fast_path ? "fast" : "baseline") << "\""
+        << ", \"heartbeat_mode\": \"" << hb_mode_name(p.hb_mode) << "\""
         << ", \"fanout_wall_s\": " << p.fanout_wall_s
         << ", \"storm_wall_s\": " << p.storm_wall_s
         << ", \"wall_seconds\": " << p.wall_seconds
@@ -156,21 +168,60 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
         << ", \"heartbeats_sent\": " << p.heartbeats
         << ", \"pool_reused\": " << p.pool_reused
         << ", \"pool_allocated\": " << p.pool_allocated
-        << ", \"pooled_bytes\": " << p.pooled_bytes << "}"
-        << (i + 1 < points.size() ? "," : "") << "\n";
+        << ", \"pooled_bytes\": " << p.pooled_bytes
+        << ", \"report_bytes_ingested\": " << p.report_bytes_ingested
+        << ", \"controller_tick_wall_s\": " << p.controller_tick_wall_s
+        << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
+  // Fast-path A/B within each heartbeat mode.
   out << "  ],\n  \"speedups\": [\n";
   bool first = true;
-  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
-    const auto& base = points[i];
-    const auto& fast = points[i + 1];
-    if (base.receivers != fast.receivers) continue;
-    if (!first) out << ",\n";
-    first = false;
-    out << "    {\"receivers\": " << base.receivers
-        << ", \"wall_speedup\": " << base.wall_seconds / fast.wall_seconds
-        << ", \"storm_speedup\": " << base.storm_wall_s / fast.storm_wall_s
-        << "}";
+  for (const auto& base : points) {
+    if (base.fast_path) continue;
+    for (const auto& fast : points) {
+      if (!fast.fast_path || fast.receivers != base.receivers ||
+          fast.hb_mode != base.hb_mode) {
+        continue;
+      }
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"receivers\": " << base.receivers
+          << ", \"heartbeat_mode\": \"" << hb_mode_name(base.hb_mode) << "\""
+          << ", \"wall_speedup\": " << base.wall_seconds / fast.wall_seconds
+          << ", \"storm_speedup\": " << base.storm_wall_s / fast.storm_wall_s
+          << "}";
+    }
+  }
+  // Naive-vs-delta at the same fast-path setting: the O(changes) return
+  // channel's win in ingested report bytes, Controller tick wall time and
+  // storm wall time.
+  out << "\n  ],\n  \"delta_speedups\": [\n";
+  first = true;
+  for (const auto& naive : points) {
+    if (naive.hb_mode != core::HeartbeatMode::kNaive) continue;
+    for (const auto& delta : points) {
+      if (delta.hb_mode != core::HeartbeatMode::kDelta ||
+          delta.receivers != naive.receivers ||
+          delta.fast_path != naive.fast_path) {
+        continue;
+      }
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"receivers\": " << naive.receivers << ", \"mode\": \""
+          << (naive.fast_path ? "fast" : "baseline") << "\""
+          << ", \"ingest_bytes_ratio\": "
+          << (delta.report_bytes_ingested > 0
+                  ? static_cast<double>(naive.report_bytes_ingested) /
+                        static_cast<double>(delta.report_bytes_ingested)
+                  : 0.0)
+          << ", \"tick_speedup\": "
+          << (delta.controller_tick_wall_s > 0.0
+                  ? naive.controller_tick_wall_s / delta.controller_tick_wall_s
+                  : 0.0)
+          << ", \"storm_speedup\": " << naive.storm_wall_s / delta.storm_wall_s
+          << ", \"wall_speedup\": " << naive.wall_seconds / delta.wall_seconds
+          << "}";
+    }
   }
   out << "\n  ]\n}\n";
 }
@@ -179,6 +230,7 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string hb_arg = "naive";
   bool quick = false;
   std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
@@ -188,6 +240,11 @@ int main(int argc, char** argv) {
     if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::stoull(argv[++i]));
     }
+    if (arg == "--heartbeat-mode" && i + 1 < argc) hb_arg = argv[++i];
+  }
+  if (hb_arg != "naive" && hb_arg != "delta" && hb_arg != "both") {
+    std::cerr << "--heartbeat-mode must be naive, delta or both\n";
+    return 2;
   }
 
   const std::vector<std::size_t> populations =
@@ -196,24 +253,73 @@ int main(int argc, char** argv) {
 
   std::cout << "== Broadcast fan-out + heartbeat storm: baseline "
             << "(per-receiver verify, per-beat allocation) vs fast path ==\n";
-  std::cout << "receivers | mode     | fanout s | storm s  | ev/s     |"
-            << " dRSS MB | fast-path counters\n";
+  std::cout << "receivers | mode     | hb    | fanout s | storm s  | ev/s    "
+            << " | dRSS MB | counters\n";
+  // Sweep, per population:
+  //  naive / delta : {baseline, fast} in the requested encoding;
+  //  both          : the naive A/B pair plus one fast+delta point — the
+  //                  direct naive-vs-delta comparison at the same
+  //                  fast-path setting (delta_speedups in the JSON).
+  struct Cell {
+    bool fast;
+    core::HeartbeatMode mode;
+  };
+  std::vector<Cell> cells;
+  if (hb_arg == "naive" || hb_arg == "both") {
+    cells.push_back({false, core::HeartbeatMode::kNaive});
+    cells.push_back({true, core::HeartbeatMode::kNaive});
+  }
+  if (hb_arg == "delta") {
+    cells.push_back({false, core::HeartbeatMode::kDelta});
+  }
+  if (hb_arg == "delta" || hb_arg == "both") {
+    cells.push_back({true, core::HeartbeatMode::kDelta});
+  }
   std::vector<Point> points;
   for (const auto receivers : populations) {
     // Baseline first, then fast. Note the ordering caveat: the allocator
     // is warm with pages the baseline point freed, which can understate
     // the fast point's RSS delta (see rss_note in the JSON).
-    for (const bool fast : {false, true}) {
-      points.push_back(run_point(receivers, fast, shards));
+    for (const Cell& cell : cells) {
+      points.push_back(run_point(receivers, cell.fast, shards, cell.mode));
       print_point(points.back());
     }
   }
 
-  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
-    std::printf("%9zu receivers: wall %.2fx, storm %.2fx\n",
-                points[i].receivers,
-                points[i].wall_seconds / points[i + 1].wall_seconds,
-                points[i].storm_wall_s / points[i + 1].storm_wall_s);
+  for (const auto& base : points) {
+    if (base.fast_path) continue;
+    for (const auto& fast : points) {
+      if (!fast.fast_path || fast.receivers != base.receivers ||
+          fast.hb_mode != base.hb_mode) {
+        continue;
+      }
+      std::printf("%9zu receivers (%s): wall %.2fx, storm %.2fx\n",
+                  base.receivers, hb_mode_name(base.hb_mode),
+                  base.wall_seconds / fast.wall_seconds,
+                  base.storm_wall_s / fast.storm_wall_s);
+    }
+  }
+  for (const auto& naive : points) {
+    if (naive.hb_mode != core::HeartbeatMode::kNaive) continue;
+    for (const auto& delta : points) {
+      if (delta.hb_mode != core::HeartbeatMode::kDelta ||
+          delta.receivers != naive.receivers ||
+          delta.fast_path != naive.fast_path) {
+        continue;
+      }
+      std::printf(
+          "%9zu receivers naive->delta: ingest %.1fx fewer bytes, "
+          "storm %.2fx, tick %.2fx\n",
+          naive.receivers,
+          delta.report_bytes_ingested > 0
+              ? static_cast<double>(naive.report_bytes_ingested) /
+                    static_cast<double>(delta.report_bytes_ingested)
+              : 0.0,
+          naive.storm_wall_s / delta.storm_wall_s,
+          delta.controller_tick_wall_s > 0.0
+              ? naive.controller_tick_wall_s / delta.controller_tick_wall_s
+              : 0.0);
+    }
   }
 
   if (!json_path.empty()) {

@@ -581,6 +581,13 @@ int main(int argc, char** argv) {
           << ", \"on_wall_seconds\": " << overhead.on_wall_s
           << ", \"overhead_pct\": " << overhead.overhead_pct << "},\n";
     }
+    out << "  \"heartbeat_note\": \"all sweeps run the default naive "
+        << "heartbeat path (heartbeat_mode flags off), which the delta "
+        << "return-channel PR keeps byte-identical — these numbers are the "
+        << "O(receivers) baseline, including the 10M point. The "
+        << "O(changes) delta-mode comparison (Controller ingest bytes, "
+        << "monitor-tick wall) is recorded per population in "
+        << "BENCH_fanout.json under delta_speedups.\",\n";
     out << "  \"rss_note\": \"peak_rss_mb is the process-global "
         << "high-water mark (ru_maxrss) and is monotone across sweeps — "
         << "identical values for consecutive points mean an earlier/larger "

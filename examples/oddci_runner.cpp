@@ -25,6 +25,7 @@
 #include "obs/export.hpp"
 #include "obs/health.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace_export.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 #include "workload/job.hpp"
@@ -131,12 +132,49 @@ core::SystemConfig system_config(const util::Config& cfg) {
   config.tuned_fraction = cfg.get_double("tuned_fraction", 1.0);
   config.aggregators =
       static_cast<std::size_t>(cfg.get_int("aggregators", 0));
+  // O(changes) return channel: delta-encoded aggregate reports, optional
+  // relay tier, paced heartbeats, and the modeled (bounded-queue) links on
+  // the PNA -> aggregator -> Controller path. All default off.
+  const std::string hb_mode = cfg.get_string("heartbeat_mode", "naive");
+  if (hb_mode == "delta") {
+    config.heartbeat.mode = core::HeartbeatMode::kDelta;
+  } else if (hb_mode != "naive") {
+    throw std::runtime_error("heartbeat_mode must be 'naive' or 'delta'");
+  }
+  config.heartbeat.resync_every =
+      static_cast<std::uint32_t>(cfg.get_int("resync_every", 30));
+  const double expiry_s = cfg.get_double("heartbeat_expiry_s", 0.0);
+  if (expiry_s > 0.0) {
+    config.heartbeat.expiry = sim::SimTime::from_seconds(expiry_s);
+  }
+  config.heartbeat.tree_fanin =
+      static_cast<std::size_t>(cfg.get_int("tree_fanin", 0));
+  config.heartbeat.paced = cfg.get_bool("heartbeat_paced", false);
+  const double pace_window_s = cfg.get_double("pace_window_s", 0.0);
+  if (pace_window_s > 0.0) {
+    config.heartbeat.pace_window = sim::SimTime::from_seconds(pace_window_s);
+  }
+  if (cfg.get_bool("return_channel", false)) {
+    config.return_channel.enabled = true;
+    config.return_channel.aggregator_uplink = util::BitRate::from_mbps(
+        cfg.get_double("return_channel_agg_up_mbps", 2.0));
+    config.return_channel.aggregator_downlink = util::BitRate::from_mbps(
+        cfg.get_double("return_channel_agg_down_mbps", 8.0));
+    config.return_channel.controller_downlink = util::BitRate::from_mbps(
+        cfg.get_double("return_channel_ctl_down_mbps", 16.0));
+    config.return_channel.queue_limit = sim::SimTime::from_seconds(
+        cfg.get_double("return_channel_queue_s", 2.0));
+  }
   config.obs.sample_interval =
       sim::SimTime::from_seconds(cfg.get_double("sample_interval_s", 10.0));
   // Kernel profiler: on when asked for explicitly or when a profile export
   // path is configured. (The `profile` key names the device profile.)
   config.obs.profile = cfg.get_bool("kernel_profile", false) ||
                        !cfg.get_string("profile_json", "").empty();
+  // Causal flight recorder: on when a trace export path is configured.
+  config.obs.trace = !cfg.get_string("trace_json", "").empty();
+  config.obs.trace_capacity = static_cast<std::size_t>(
+      cfg.get_int("trace_capacity", 1 << 16));
   config.obs.health_tamper_lost =
       static_cast<std::uint64_t>(cfg.get_int("health_tamper_lost", 0));
   config.fanout_fast_path = cfg.get_bool("fanout_fast_path", true);
@@ -384,6 +422,15 @@ int main(int argc, char** argv) {
     if (!series_csv.empty()) {
       obs::write_series_csv(series_csv, result.metrics);
       std::cout << "  wrote " << series_csv << "\n";
+    }
+    const std::string trace_json = cfg.get_string("trace_json", "");
+    if (!trace_json.empty() && system.flight_recorder() != nullptr) {
+      // Merge the per-shard rings so a K>1 run exports one chronological
+      // population-wide trace, byte-identical per (seed, K).
+      std::ofstream trace_out(trace_json, std::ios::binary);
+      trace_out << obs::to_chrome_trace(
+          obs::merge_events(system.flight_recorders()));
+      std::cout << "  wrote " << trace_json << "\n";
     }
 
     if (system.profiler() != nullptr) {

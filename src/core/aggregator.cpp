@@ -17,9 +17,19 @@ HeartbeatAggregator::HeartbeatAggregator(sim::Simulation& simulation,
     throw std::invalid_argument(
         "HeartbeatAggregator: report interval must be > 0");
   }
+  if (options_.mode == HeartbeatMode::kDelta && options_.resync_every == 0) {
+    throw std::invalid_argument(
+        "HeartbeatAggregator: resync_every must be >= 1");
+  }
+  if (options_.flush_phase < sim::SimTime::zero() ||
+      options_.flush_phase >= options_.report_interval) {
+    throw std::invalid_argument(
+        "HeartbeatAggregator: flush phase must be in [0, report interval)");
+  }
   node_id_ = network_.register_endpoint(this, link);
   reporter_ = sim::PeriodicTask(
-      simulation_, simulation_.now() + options_.report_interval,
+      simulation_,
+      simulation_.now() + options_.report_interval + options_.flush_phase,
       options_.report_interval, [this] { flush(); });
 }
 
@@ -36,10 +46,22 @@ void HeartbeatAggregator::set_shard(std::uint64_t stride,
 
 void HeartbeatAggregator::on_message(net::NodeId /*from*/,
                                      const net::MessagePtr& message) {
+  if (message->tag() == kTagDeltaReport &&
+      options_.mode == HeartbeatMode::kDelta) {
+    // Controller resync request (an empty downstream kResync frame): make
+    // the next flush a full frame, so a desynced Controller recovers in
+    // about one window instead of waiting out the resync_every cadence.
+    next_resync_ = 0;
+    return;
+  }
   if (message->tag() != kTagHeartbeat) return;
   const auto& hb = static_cast<const HeartbeatMessage&>(*message);
   ++stats_.heartbeats_received;
   const std::uint64_t id = hb.pna_id();
+  if (options_.mode == HeartbeatMode::kDelta) {
+    ledger_note(id, hb);
+    return;
+  }
   if (id % shard_stride_ == shard_phase_) {
     const std::uint64_t slot = id / shard_stride_;
     if (slot < kMaxDenseSlots) {
@@ -56,7 +78,48 @@ void HeartbeatAggregator::on_message(net::NodeId /*from*/,
   overflow_[id] = Record{hb.state(), hb.instance(), hb.trace()};
 }
 
+void HeartbeatAggregator::ledger_note(std::uint64_t id,
+                                      const HeartbeatMessage& hb) {
+  announcing_ = false;
+  auto note = [&](LedgerRecord& rec, auto mark_dirty) {
+    const bool changed = !rec.known || rec.state != hb.state() ||
+                         rec.instance != hb.instance();
+    if (!rec.known) {
+      rec.known = true;
+      ++ledger_members_;
+    }
+    if (changed && !rec.dirty) {
+      rec.dirty = true;
+      mark_dirty();
+    }
+    rec.state = hb.state();
+    rec.instance = hb.instance();
+    rec.trace = hb.trace();
+    rec.last_seen = simulation_.now();
+  };
+  if (id % shard_stride_ == shard_phase_) {
+    const std::uint64_t slot = id / shard_stride_;
+    if (slot < kMaxDenseSlots) {
+      if (slot >= ledger_.size()) ledger_.resize(slot + 1);
+      LedgerRecord& rec = ledger_[slot];
+      const bool fresh = !rec.known;
+      note(rec, [&] {
+        ledger_dirty_.push_back(static_cast<std::uint32_t>(slot));
+      });
+      if (fresh) {
+        ledger_order_.push_back(static_cast<std::uint32_t>(slot));
+      }
+      return;
+    }
+  }
+  note(ledger_overflow_[id], [&] { overflow_dirty_.push_back(id); });
+}
+
 void HeartbeatAggregator::flush() {
+  if (options_.mode == HeartbeatMode::kDelta) {
+    flush_delta();
+    return;
+  }
   if (touched_.empty() && overflow_.empty()) {
     if (!announcing_) return;
     // Still cut off from our shard after a restart: repeat the recovery
@@ -95,16 +158,142 @@ void HeartbeatAggregator::flush() {
                 std::make_shared<AggregateReportMessage>(std::move(entries)));
 }
 
+void HeartbeatAggregator::flush_delta() {
+  const auto now = simulation_.now();
+  std::vector<DeltaReportMessage::Entry> entries;
+
+  // Expire members silent past the horizon, compacting the first-seen
+  // order list in place. This walk is O(ledger) per window — the same
+  // asymptotic work the aggregator already does absorbing its shard's
+  // heartbeats — and it is what lets the *upstream* path be O(changes).
+  if (options_.expiry > sim::SimTime::zero()) {
+    std::size_t keep = 0;
+    for (const std::uint32_t slot : ledger_order_) {
+      LedgerRecord& rec = ledger_[slot];
+      if (!rec.known) continue;  // vacated earlier
+      if (now - rec.last_seen > options_.expiry) {
+        entries.push_back({slot * shard_stride_ + shard_phase_,
+                           DeltaReportMessage::Op::kExpire, rec.state,
+                           rec.instance, {}});
+        rec.known = false;
+        rec.dirty = false;
+        --ledger_members_;
+        continue;
+      }
+      ledger_order_[keep++] = slot;
+    }
+    ledger_order_.resize(keep);
+    for (auto it = ledger_overflow_.begin(); it != ledger_overflow_.end();) {
+      if (now - it->second.last_seen > options_.expiry) {
+        entries.push_back({it->first, DeltaReportMessage::Op::kExpire,
+                           it->second.state, it->second.instance, {}});
+        --ledger_members_;
+        it = ledger_overflow_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stats_.expiries_sent += entries.size();
+  }
+
+  const bool resync = next_resync_ == 0;
+  std::uint64_t checksum = 0;
+  if (resync) {
+    next_resync_ = options_.resync_every - 1;
+    // A resync replaces the Controller's whole slice, so explicit expiry
+    // entries are redundant — the frame is exactly the live ledger.
+    entries.clear();
+    entries.reserve(ledger_members_);
+    for (const std::uint32_t slot : ledger_order_) {
+      LedgerRecord& rec = ledger_[slot];
+      if (!rec.known) continue;
+      rec.dirty = false;
+      entries.push_back({slot * shard_stride_ + shard_phase_,
+                         DeltaReportMessage::Op::kUpdate, rec.state,
+                         rec.instance, rec.trace});
+      checksum ^= delta_member_mix(entries.back().pna_id, rec.state,
+                                   rec.instance);
+    }
+    for (auto& [id, rec] : ledger_overflow_) {
+      rec.dirty = false;
+      entries.push_back({id, DeltaReportMessage::Op::kUpdate, rec.state,
+                         rec.instance, rec.trace});
+      checksum ^= delta_member_mix(id, rec.state, rec.instance);
+    }
+    ledger_dirty_.clear();
+    overflow_dirty_.clear();
+    ++stats_.resyncs_sent;
+  } else {
+    --next_resync_;
+    for (const std::uint32_t slot : ledger_dirty_) {
+      LedgerRecord& rec = ledger_[slot];
+      if (!rec.dirty) continue;  // expired above
+      rec.dirty = false;
+      entries.push_back({slot * shard_stride_ + shard_phase_,
+                         DeltaReportMessage::Op::kUpdate, rec.state,
+                         rec.instance, rec.trace});
+    }
+    ledger_dirty_.clear();
+    for (const std::uint64_t id : overflow_dirty_) {
+      auto it = ledger_overflow_.find(id);
+      if (it == ledger_overflow_.end() || !it->second.dirty) continue;
+      it->second.dirty = false;
+      entries.push_back({id, DeltaReportMessage::Op::kUpdate,
+                         it->second.state, it->second.instance,
+                         it->second.trace});
+    }
+    overflow_dirty_.clear();
+    // Nothing ever reported and nothing to say: stay silent, like the
+    // naive tier before its first window (the Controller's failover clock
+    // only arms after an aggregator's first report).
+    if (entries.empty() && delta_epoch_ == 0 && !announcing_) {
+      ++next_resync_;  // the skipped frame doesn't advance the cadence
+      return;
+    }
+    // An empty delta still goes out: it advances the epoch and doubles as
+    // the liveness keepalive that stops the Controller failing us over.
+  }
+
+  ++delta_epoch_;
+  if (recorder_ != nullptr) {
+    recorder_->emit(simulation_.now(), obs::TraceEventKind::kAggregateFlush,
+                    obs::TraceComponent::kAggregator, {}, node_id_,
+                    entries.size());
+  }
+  stats_.entries_forwarded += entries.size();
+  ++stats_.reports_sent;
+  network_.send(node_id_, controller_,
+                std::make_shared<DeltaReportMessage>(
+                    options_.origin, delta_epoch_,
+                    resync ? DeltaReportMessage::Kind::kResync
+                           : DeltaReportMessage::Kind::kDelta,
+                    checksum, std::move(entries)));
+}
+
+void HeartbeatAggregator::clear_ledger() {
+  for (const std::uint32_t slot : ledger_order_) {
+    ledger_[slot] = LedgerRecord{};
+  }
+  ledger_order_.clear();
+  ledger_dirty_.clear();
+  ledger_overflow_.clear();
+  overflow_dirty_.clear();
+  ledger_members_ = 0;
+}
+
 void HeartbeatAggregator::crash() {
   if (crashed_) return;
   crashed_ = true;
   network_.unregister_endpoint(node_id_);
   reporter_.cancel();
   // The unreported window dies with the process; the PNAs it covered will
-  // be re-heard on their next heartbeat.
+  // be re-heard on their next heartbeat. The delta ledger dies too — a
+  // restarted process has no memory of who it covered, which is exactly
+  // why its first frame back is a (possibly empty) resync.
   touched_.clear();
   ++epoch_;
   overflow_.clear();
+  clear_ledger();
 }
 
 void HeartbeatAggregator::restart() {
@@ -112,13 +301,22 @@ void HeartbeatAggregator::restart() {
   crashed_ = false;
   network_.reattach_endpoint(node_id_, this);
   reporter_ = sim::PeriodicTask(
-      simulation_, simulation_.now() + options_.report_interval,
+      simulation_,
+      simulation_.now() + options_.report_interval + options_.flush_phase,
       options_.report_interval, [this] { flush(); });
   // Announce recovery with an empty report: if the Controller failed this
   // aggregator over while it was down, its shard is heartbeating the
   // Controller directly and would never repopulate the window here — the
   // announcement is what restores the routing slot.
   announcing_ = true;
+  if (options_.mode == HeartbeatMode::kDelta) {
+    // The announcement is a resync (the ledger was lost in the crash, so
+    // it is empty): the Controller must rebuild this origin's slice from
+    // scratch, never trust post-restart deltas against pre-crash state.
+    next_resync_ = 0;
+    flush_delta();
+    return;
+  }
   ++stats_.reports_sent;
   network_.send(
       node_id_, controller_,
@@ -139,6 +337,65 @@ void HeartbeatAggregator::link_metrics(obs::MetricsRegistry& registry,
   });
   registry.link_probe(prefix + ".window_size", [this] {
     return static_cast<double>(window_size());
+  });
+  if (options_.mode == HeartbeatMode::kDelta) {
+    registry.link_probe(prefix + ".resyncs_sent", [this] {
+      return static_cast<double>(stats_.resyncs_sent);
+    });
+    registry.link_probe(prefix + ".expiries_sent", [this] {
+      return static_cast<double>(stats_.expiries_sent);
+    });
+    registry.link_probe(prefix + ".ledger_members", [this] {
+      return static_cast<double>(ledger_members_);
+    });
+  }
+}
+
+AggregatorRelay::AggregatorRelay(sim::Simulation& simulation,
+                                 net::Network& network, net::NodeId controller,
+                                 const net::LinkSpec& link,
+                                 sim::SimTime report_interval,
+                                 sim::SimTime flush_phase)
+    : simulation_(simulation), network_(network), controller_(controller) {
+  if (report_interval <= sim::SimTime::zero()) {
+    throw std::invalid_argument("AggregatorRelay: report interval must be > 0");
+  }
+  if (flush_phase < sim::SimTime::zero() || flush_phase >= report_interval) {
+    throw std::invalid_argument(
+        "AggregatorRelay: flush phase must be in [0, report interval)");
+  }
+  node_id_ = network_.register_endpoint(this, link);
+  reporter_ = sim::PeriodicTask(simulation_,
+                                simulation_.now() + report_interval +
+                                    flush_phase,
+                                report_interval, [this] { flush(); });
+}
+
+AggregatorRelay::~AggregatorRelay() { reporter_.cancel(); }
+
+void AggregatorRelay::on_message(net::NodeId /*from*/,
+                                 const net::MessagePtr& message) {
+  if (message->tag() != kTagDeltaReport) return;
+  ++stats_.frames_received;
+  pending_.push_back(
+      std::static_pointer_cast<const DeltaReportMessage>(message));
+}
+
+void AggregatorRelay::flush() {
+  if (pending_.empty()) return;
+  ++stats_.batches_sent;
+  network_.send(node_id_, controller_,
+                std::make_shared<DeltaBatchMessage>(std::move(pending_)));
+  pending_.clear();
+}
+
+void AggregatorRelay::link_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.link_probe(prefix + ".frames_received", [this] {
+    return static_cast<double>(stats_.frames_received);
+  });
+  registry.link_probe(prefix + ".batches_sent", [this] {
+    return static_cast<double>(stats_.batches_sent);
   });
 }
 

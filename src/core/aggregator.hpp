@@ -28,6 +28,25 @@ namespace oddci::core {
 struct AggregatorOptions {
   /// How often the consolidated report is sent upstream.
   sim::SimTime report_interval = sim::SimTime::from_seconds(10);
+  /// Report encoding. kDelta keeps a persistent membership ledger and
+  /// ships only changes (plus periodic resyncs) instead of every member
+  /// heard in the window.
+  HeartbeatMode mode = HeartbeatMode::kNaive;
+  /// Delta mode: every Nth frame is a full checksummed resync, bounding
+  /// how long a lost delta can leave the Controller's view stale.
+  std::uint32_t resync_every = 30;
+  /// Delta mode: a ledger member silent past this horizon is expired with
+  /// an explicit kExpire delta (the aggregator takes over the staleness
+  /// pruning the Controller did in naive mode). Zero disables expiry.
+  sim::SimTime expiry = sim::SimTime::zero();
+  /// Delta mode: stable identity carried in every frame's origin field, so
+  /// the Controller can attribute deltas even when they arrive batched
+  /// through a relay tier.
+  std::uint32_t origin = 0;
+  /// Deterministic offset of this aggregator's flush boundary within the
+  /// report interval (paced mode de-synchronizes the tier's upstream
+  /// bursts). Zero = legacy aligned windows.
+  sim::SimTime flush_phase = sim::SimTime::zero();
 };
 
 class HeartbeatAggregator final : public net::Endpoint {
@@ -51,12 +70,23 @@ class HeartbeatAggregator final : public net::Endpoint {
   /// standalone/unsharded use keeps its old semantics.
   void set_shard(std::uint64_t stride, std::uint64_t phase);
 
+  /// Re-point the upstream hop (defaults to the Controller passed at
+  /// construction); the relay tier points leaf aggregators at their relay.
+  void set_upstream(net::NodeId upstream) { controller_ = upstream; }
+
   struct Stats {
     std::uint64_t heartbeats_received = 0;
     std::uint64_t reports_sent = 0;
     std::uint64_t entries_forwarded = 0;
+    std::uint64_t resyncs_sent = 0;    ///< delta mode: full-state frames
+    std::uint64_t expiries_sent = 0;   ///< delta mode: kExpire entries
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Delta mode: current ledger membership (known, unexpired reporters).
+  [[nodiscard]] std::uint64_t ledger_members() const {
+    return ledger_members_;
+  }
 
   /// Expose this aggregator's counters and window size under
   /// "<prefix>.*" in `registry` (use a distinct prefix per aggregator,
@@ -85,6 +115,9 @@ class HeartbeatAggregator final : public net::Endpoint {
 
  private:
   void flush();
+  void flush_delta();
+  void ledger_note(std::uint64_t id, const HeartbeatMessage& hb);
+  void clear_ledger();
 
   sim::Simulation& simulation_;
   net::Network& network_;
@@ -124,6 +157,26 @@ class HeartbeatAggregator final : public net::Endpoint {
   /// Ids outside the shard pattern or past the dense cap; cleared per
   /// flush like the old hash window.
   std::unordered_map<std::uint64_t, Record> overflow_;
+
+  /// Delta-mode ledger: persistent latest-known state per reporter (the
+  /// naive window structures above stay untouched in delta mode).
+  struct LedgerRecord {
+    PnaState state = PnaState::kIdle;
+    InstanceId instance = kNoInstance;
+    obs::TraceContext trace;
+    sim::SimTime last_seen;
+    bool known = false;
+    bool dirty = false;  ///< has an unreported change this window
+  };
+  std::vector<LedgerRecord> ledger_;           ///< dense slot -> record
+  std::vector<std::uint32_t> ledger_order_;    ///< known slots, first-seen order
+  std::vector<std::uint32_t> ledger_dirty_;    ///< dirty slots, arrival order
+  std::unordered_map<std::uint64_t, LedgerRecord> ledger_overflow_;
+  std::vector<std::uint64_t> overflow_dirty_;
+  std::uint32_t delta_epoch_ = 0;   ///< wrapping serial of the last frame
+  std::uint32_t next_resync_ = 0;   ///< frames until resync; 0 = next is one
+  std::uint64_t ledger_members_ = 0;
+
   sim::PeriodicTask reporter_;
   bool crashed_ = false;
   /// Restarted but no heartbeat heard yet: keep sending empty
@@ -132,6 +185,48 @@ class HeartbeatAggregator final : public net::Endpoint {
   bool announcing_ = false;
   Stats stats_;
   obs::FlightRecorder* recorder_ = nullptr;
+};
+
+/// Optional intermediate aggregation tier (delta mode): a relay collects
+/// the delta frames of `tree_fanin` leaf aggregators and forwards them to
+/// the Controller as one batch per window, so Controller ingress message
+/// rate scales with relays, not leaves, and per-frame transport headers
+/// are amortized away. Frames are forwarded verbatim in arrival order, so
+/// per-origin epoch ordering is preserved end to end.
+class AggregatorRelay final : public net::Endpoint {
+ public:
+  AggregatorRelay(sim::Simulation& simulation, net::Network& network,
+                  net::NodeId controller, const net::LinkSpec& link,
+                  sim::SimTime report_interval,
+                  sim::SimTime flush_phase = sim::SimTime::zero());
+  ~AggregatorRelay() override;
+
+  AggregatorRelay(const AggregatorRelay&) = delete;
+  AggregatorRelay& operator=(const AggregatorRelay&) = delete;
+
+  [[nodiscard]] net::NodeId node_id() const { return node_id_; }
+
+  struct Stats {
+    std::uint64_t frames_received = 0;
+    std::uint64_t batches_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  void link_metrics(obs::MetricsRegistry& registry,
+                    const std::string& prefix) const;
+
+  void on_message(net::NodeId from, const net::MessagePtr& message) override;
+
+ private:
+  void flush();
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  net::NodeId controller_;
+  net::NodeId node_id_ = net::kInvalidNode;
+  std::vector<std::shared_ptr<const DeltaReportMessage>> pending_;
+  sim::PeriodicTask reporter_;
+  Stats stats_;
 };
 
 }  // namespace oddci::core

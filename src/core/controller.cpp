@@ -1,6 +1,7 @@
 #include "core/controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "util/logging.hpp"
@@ -219,8 +220,8 @@ InstanceId Controller::create_instance(const InstanceSpec& spec,
     }
     wakeup.probability = given;
   } else {
-    wakeup.probability =
-        engine_->initial_probability(observe(id, inst, idle_pool_estimate()));
+    wakeup.probability = engine_->initial_probability(
+        observe(id, inst, recruitment_idle_pool()));
   }
   wakeup.trace = parent;
 
@@ -370,7 +371,20 @@ const Controller::PnaRecord* Controller::find_pna(std::uint64_t id) const {
   return it == pna_overflow_.end() ? nullptr : &it->second;
 }
 
+Controller::PnaRecord* Controller::find_pna_mutable(std::uint64_t id) {
+  if (id < kMaxDensePnas) {
+    if (id >= pna_dense_.size() || !pna_dense_[id].known) return nullptr;
+    return &pna_dense_[id];
+  }
+  const auto it = pna_overflow_.find(id);
+  return it == pna_overflow_.end() ? nullptr : &it->second;
+}
+
 std::size_t Controller::idle_pool_estimate() const {
+  // Delta mode maintains freshness incrementally: aggregator expiries and
+  // the direct prune remove stale records outright, so the latest-report
+  // mirror IS the windowed estimate — without the O(population) scan.
+  if (options_.heartbeat_mode == HeartbeatMode::kDelta) return idle_known_;
   const sim::SimTime horizon =
       sim::SimTime::from_seconds(default_heartbeat_.seconds() *
                                  options_.policy.stale_factor);
@@ -385,6 +399,7 @@ std::size_t Controller::idle_pool_estimate() const {
 }
 
 std::size_t Controller::known_pna_count() const {
+  if (options_.heartbeat_mode == HeartbeatMode::kDelta) return pnas_known_;
   const sim::SimTime horizon =
       sim::SimTime::from_seconds(default_heartbeat_.seconds() *
                                  options_.policy.stale_factor);
@@ -393,6 +408,12 @@ std::size_t Controller::known_pna_count() const {
     if (simulation_.now() - rec.last_seen <= horizon) ++count;
   });
   return count;
+}
+
+std::size_t Controller::recruitment_idle_pool() const {
+  return options_.heartbeat_mode == HeartbeatMode::kDelta
+             ? idle_known_
+             : idle_pool_estimate();
 }
 
 void Controller::set_size_callback(SizeCallback callback) {
@@ -414,6 +435,26 @@ void Controller::link_metrics(obs::MetricsRegistry& registry) const {
                           aggregator_failovers_);
     registry.link_counter("recovery.aggregator_restores",
                           aggregator_restores_);
+  }
+  // Both modes carry the ingest-bytes cell: it is the naive-vs-delta
+  // payload comparison the fan-out bench reads.
+  registry.link_counter("controller.report_bytes_ingested",
+                        report_bytes_ingested_);
+  if (options_.heartbeat_mode == HeartbeatMode::kDelta) {
+    registry.link_counter("controller.delta_frames_received",
+                          delta_frames_received_);
+    registry.link_counter("controller.delta_entries_applied",
+                          delta_entries_applied_);
+    registry.link_counter("controller.delta_expires_applied",
+                          delta_expires_applied_);
+    registry.link_counter("controller.delta_resyncs", delta_resyncs_);
+    registry.link_counter("controller.delta_gaps", delta_gaps_);
+    registry.link_counter("controller.delta_frames_skipped",
+                          delta_frames_skipped_);
+    registry.link_counter("controller.delta_resync_requests",
+                          delta_resync_requests_);
+    registry.link_counter("controller.delta_checksum_failures",
+                          delta_checksum_failures_);
   }
   registry.link_histogram("controller.join_latency_seconds", join_latency_);
   // O(1) incremental mirrors — safe to evaluate every snapshot/sample.
@@ -458,13 +499,26 @@ void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
     case kTagHeartbeat: {
       const auto& hb = static_cast<const HeartbeatMessage&>(*message);
       ++heartbeats_received_;
-      handle_status(hb.pna_id(), hb.state(), hb.instance(), from, hb.trace());
+      PnaRecord& rec =
+          handle_status(hb.pna_id(), hb.state(), hb.instance(), from,
+                        hb.trace());
+      if (options_.heartbeat_mode == HeartbeatMode::kDelta) {
+        // Heard directly (failover fallback): this record is now ours to
+        // staleness-check until an aggregator claims it back.
+        rec.origin = kDirectOrigin;
+        if (!rec.direct_listed) {
+          rec.direct_listed = true;
+          direct_ids_.push_back(hb.pna_id());
+        }
+      }
       break;
     }
     case kTagAggregateReport: {
       const auto& report =
           static_cast<const AggregateReportMessage&>(*message);
       ++aggregate_reports_received_;
+      report_bytes_ingested_ +=
+          static_cast<std::uint64_t>(report.wire_size().count() / 8);
       for (const auto& entry : report.entries()) {
         // The PNA id is its direct-channel address, so unicast replies can
         // bypass the aggregation tier.
@@ -476,16 +530,44 @@ void Controller::on_message(net::NodeId from, const net::MessagePtr& message) {
       }
       break;
     }
+    case kTagDeltaReport: {
+      const auto& frame = static_cast<const DeltaReportMessage&>(*message);
+      report_bytes_ingested_ +=
+          static_cast<std::uint64_t>(frame.wire_size().count() / 8);
+      apply_delta_frame(frame);
+      break;
+    }
+    case kTagDeltaBatch: {
+      const auto& batch = static_cast<const DeltaBatchMessage&>(*message);
+      report_bytes_ingested_ +=
+          static_cast<std::uint64_t>(batch.wire_size().count() / 8);
+      for (const auto& frame : batch.frames()) apply_delta_frame(*frame);
+      break;
+    }
     default:
       break;
   }
 }
 
-void Controller::handle_status(std::uint64_t pna_id, PnaState state,
-                               InstanceId instance, net::NodeId reply_to,
-                               obs::TraceContext trace) {
+Controller::PnaRecord& Controller::handle_status(std::uint64_t pna_id,
+                                                 PnaState state,
+                                                 InstanceId instance,
+                                                 net::NodeId reply_to,
+                                                 obs::TraceContext trace) {
   const net::NodeId from = reply_to;
   const auto [rec, first_report] = ensure_pna(pna_id);
+  if (rec.suppress_busy) {
+    // A trim reset is in flight to this agent (delta mode). One stale busy
+    // report may still arrive from its aggregator, emitted before the
+    // agent could obey; swallowing it keeps the just-trimmed member out.
+    // If the reset was lost, the agent's *next* report re-adds it — the
+    // flag is one-shot. (Never set in naive mode.)
+    rec.suppress_busy = false;
+    if (state == PnaState::kBusy) {
+      rec.last_seen = simulation_.now();
+      return rec;
+    }
+  }
   const PnaState old_state = rec.state;
   const InstanceId old_instance = rec.instance;
   // idle_known_ mirrors "latest report was idle" without rescanning the
@@ -567,6 +649,7 @@ void Controller::handle_status(std::uint64_t pna_id, PnaState state,
       }
     }
   }
+  return rec;
 }
 
 void Controller::note_aggregator_alive(net::NodeId from) {
@@ -585,6 +668,225 @@ void Controller::note_aggregator_alive(net::NodeId from) {
       rebroadcast_routing();
     }
     return;
+  }
+}
+
+void Controller::note_origin_alive(std::size_t origin) {
+  if (origin >= aggregator_nodes_.size()) return;
+  aggregator_last_seen_[origin] = simulation_.now();
+  aggregator_reported_[origin] = true;
+  if (aggregators_[origin] == net::kInvalidNode) {
+    aggregators_[origin] = aggregator_nodes_[origin];
+    ++aggregator_restores_;
+    if (recorder_ != nullptr) {
+      recorder_->emit(simulation_.now(),
+                      obs::TraceEventKind::kRecoveryAggregatorRestore,
+                      obs::TraceComponent::kController, {}, origin,
+                      aggregator_nodes_[origin]);
+    }
+    rebroadcast_routing();
+  }
+}
+
+void Controller::apply_delta_frame(const DeltaReportMessage& frame) {
+  ++delta_frames_received_;
+  const std::uint32_t o = frame.origin();
+  // An origin index far beyond any plausible tier size would balloon
+  // origins_; such a frame is garbage, not protocol state.
+  if (o > 1'000'000u) return;
+  if (o >= origins_.size()) origins_.resize(o + 1);
+  OriginState& os = origins_[o];
+  if (options_.aggregator_timeout > sim::SimTime::zero()) {
+    note_origin_alive(o);
+  }
+
+  if (frame.kind() == DeltaReportMessage::Kind::kResync) {
+    ++delta_resyncs_;
+    os.resync_requested = false;
+    // Verify the frame is internally consistent before trusting it as the
+    // new truth: the checksum covers the aggregator's ledger after this
+    // frame, which for a resync is exactly the frame's kUpdate entries.
+    std::uint64_t checksum = 0;
+    for (const auto& e : frame.entries()) {
+      if (e.op == DeltaReportMessage::Op::kUpdate) {
+        checksum ^= delta_member_mix(e.pna_id, e.state, e.instance);
+      }
+    }
+    if (checksum != frame.checksum()) ++delta_checksum_failures_;
+    // Mark-and-sweep slice replacement: everything the frame lists is
+    // stamped, everything this origin claimed before but no longer lists
+    // is forgotten.
+    ++resync_mark_counter_;
+    std::vector<std::uint64_t> old_ids = std::move(os.ids);
+    os.ids.clear();
+    for (const auto& e : frame.entries()) apply_delta_entry(o, e, true);
+    for (std::uint64_t id : old_ids) {
+      PnaRecord* rec = find_pna_mutable(id);
+      if (rec != nullptr && rec->origin == o &&
+          rec->resync_mark != resync_mark_counter_) {
+        remove_record(id);
+        ++delta_expires_applied_;
+      }
+    }
+    os.expected_epoch = frame.epoch() + 1;
+    os.synced = true;
+    return;
+  }
+
+  // Delta frame: applying it out of order (or before any resync) would
+  // silently diverge the membership view — skip it and ask the origin for
+  // a full frame instead.
+  if (!os.synced) {
+    ++delta_frames_skipped_;
+    request_resync(o, os);
+    return;
+  }
+  if (frame.epoch() != os.expected_epoch) {
+    os.synced = false;
+    ++delta_gaps_;
+    ++delta_frames_skipped_;
+    request_resync(o, os);
+    return;
+  }
+  for (const auto& e : frame.entries()) apply_delta_entry(o, e, false);
+  os.expected_epoch = frame.epoch() + 1;
+}
+
+void Controller::apply_delta_entry(std::uint32_t origin,
+                                   const DeltaReportMessage::Entry& entry,
+                                   bool in_resync) {
+  if (entry.op == DeltaReportMessage::Op::kExpire) {
+    PnaRecord* rec = find_pna_mutable(entry.pna_id);
+    // Only the owning origin may expire a record: a stale expiry from a
+    // previous owner must not kill a member that re-homed elsewhere.
+    if (rec != nullptr && rec->origin == origin) {
+      remove_record(entry.pna_id);
+      ++delta_expires_applied_;
+    }
+    return;
+  }
+  // The PNA id is its direct-channel address, so unicast replies bypass
+  // the aggregation tier (same convention as the naive report).
+  PnaRecord& rec =
+      handle_status(entry.pna_id, entry.state, entry.instance,
+                    static_cast<net::NodeId>(entry.pna_id), entry.trace);
+  ++delta_entries_applied_;
+  OriginState& os = origins_[origin];
+  if (in_resync) {
+    os.ids.push_back(entry.pna_id);
+    rec.resync_mark = resync_mark_counter_;
+    if (rec.origin != origin) {
+      rec.origin = origin;
+      rec.direct_listed = false;
+    }
+  } else if (rec.origin != origin) {
+    rec.origin = origin;
+    rec.direct_listed = false;
+    os.ids.push_back(entry.pna_id);
+  }
+}
+
+void Controller::remove_record(std::uint64_t pna_id) {
+  PnaRecord* rec = find_pna_mutable(pna_id);
+  if (rec == nullptr) return;
+  if (rec->instance != kNoInstance) {
+    auto it = instances_.find(rec->instance);
+    if (it != instances_.end()) {
+      Instance& inst = it->second;
+      inst.joining.erase(pna_id);
+      if (inst.members.erase(pna_id)) {
+        --members_total_;
+        ++members_pruned_;
+        ++inst.pruned_since_tick;
+        if (recorder_ != nullptr) {
+          recorder_->emit(simulation_.now(),
+                          obs::TraceEventKind::kMemberPruned,
+                          obs::TraceComponent::kController, inst.trace,
+                          pna_id, rec->instance);
+        }
+        note_member_change(inst);
+      }
+    }
+  }
+  if (rec->state == PnaState::kIdle) --idle_known_;
+  --pnas_known_;
+  if (pna_id < kMaxDensePnas) {
+    *rec = PnaRecord{};
+  } else {
+    pna_overflow_.erase(pna_id);
+  }
+}
+
+void Controller::request_resync(std::uint32_t origin, OriginState& os) {
+  if (os.resync_requested) return;
+  if (origin >= aggregator_nodes_.size()) return;
+  const net::NodeId target = aggregator_nodes_[origin];
+  if (target == net::kInvalidNode) return;
+  os.resync_requested = true;
+  ++delta_resync_requests_;
+  // An empty kResync frame sent *downstream* is the resync request: the
+  // aggregator answers by making its next flush a full frame, bounding
+  // recovery to about one window instead of the resync_every cadence.
+  network_.send(node_id_, target,
+                std::make_shared<DeltaReportMessage>(
+                    origin, 0, DeltaReportMessage::Kind::kResync, 0,
+                    std::vector<DeltaReportMessage::Entry>{}));
+}
+
+void Controller::prune_direct() {
+  const sim::SimTime horizon =
+      sim::SimTime::from_seconds(default_heartbeat_.seconds() *
+                                 options_.policy.stale_factor);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < direct_ids_.size(); ++i) {
+    const std::uint64_t id = direct_ids_[i];
+    PnaRecord* rec = find_pna_mutable(id);
+    if (rec == nullptr || rec->origin != kDirectOrigin ||
+        !rec->direct_listed) {
+      continue;  // re-homed to an aggregator or already gone: drop it
+    }
+    if (simulation_.now() - rec->last_seen > horizon) {
+      rec->direct_listed = false;
+      remove_record(id);
+      continue;
+    }
+    direct_ids_[kept++] = id;
+  }
+  direct_ids_.resize(kept);
+}
+
+void Controller::trim_direct(Instance& inst, std::size_t count) {
+  if (count == 0) return;
+  // The Controller only hears *changes* in delta mode, so steady-state
+  // members never re-report and the naive trim-on-heartbeat would starve;
+  // pick members now and reset them by unicast immediately.
+  std::vector<std::uint64_t> victims;
+  victims.reserve(count);
+  for (std::uint64_t id : inst.members) {
+    if (victims.size() >= count) break;
+    victims.push_back(id);
+  }
+  for (std::uint64_t id : victims) {
+    ++inst.status.unicast_resets;
+    ++unicast_resets_;
+    if (recorder_ != nullptr) {
+      recorder_->emit(simulation_.now(), obs::TraceEventKind::kTrimReset,
+                      obs::TraceComponent::kController, inst.trace, id,
+                      inst.status.id);
+    }
+    network_.send(node_id_, static_cast<net::NodeId>(id),
+                  std::make_shared<HeartbeatReplyMessage>(
+                      inst.status.id, HeartbeatCommand::kReset));
+    inst.members.erase(id);
+    --members_total_;
+    note_member_change(inst);
+    PnaRecord* rec = find_pna_mutable(id);
+    if (rec != nullptr) {
+      rec->instance = kNoInstance;
+      if (rec->state != PnaState::kIdle) ++idle_known_;
+      rec->state = PnaState::kIdle;
+      rec->suppress_busy = true;
+    }
   }
 }
 
@@ -615,10 +917,13 @@ void Controller::crash() {
   pnas_known_ = 0;
   idle_known_ = 0;
   members_total_ = 0;
+  origins_.clear();
+  direct_ids_.clear();
   for (auto& [id, inst] : instances_) {
     inst.members.clear();
     inst.joining.clear();
     inst.pending_trims = 0;
+    inst.pruned_since_tick = 0;
     note_member_change(inst);
   }
 }
@@ -682,6 +987,14 @@ sim::SimTime Controller::staleness_horizon(const Instance& inst) const {
 }
 
 void Controller::monitor_tick() {
+  const auto wall0 = std::chrono::steady_clock::now();
+  monitor_tick_impl();
+  monitor_wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+}
+
+void Controller::monitor_tick_impl() {
   // Aggregator failover: void silent aggregators from the routing so their
   // PNAs re-home to the Controller. Sticky until a report resumes
   // (note_aggregator_alive restores the slot).
@@ -714,9 +1027,22 @@ void Controller::monitor_tick() {
   // act on), so interleaving prune and decide — the old single-pass loop —
   // handed later instances' decisions a snapshot in which earlier
   // instances were current but their own staleness was not yet applied.
-  for (auto& [id, inst] : instances_) {
-    if (!inst.status.active) continue;
-    prune_instance(id, inst);
+  if (options_.heartbeat_mode == HeartbeatMode::kDelta) {
+    // Delta mode: staleness pruning happened upstream (aggregator expiry
+    // deltas arrive between ticks and are applied on ingest); only direct
+    // reporters — the failover fallback — need a windowed walk, and it is
+    // over that small worklist, not the whole membership.
+    prune_direct();
+    for (auto& [id, inst] : instances_) {
+      if (!inst.status.active) continue;
+      inst.pruned_last_tick = inst.pruned_since_tick;
+      inst.pruned_since_tick = 0;
+    }
+  } else {
+    for (auto& [id, inst] : instances_) {
+      if (!inst.status.active) continue;
+      prune_instance(id, inst);
+    }
   }
 
   // Phase 2: per-instance decisions against the fully rebuilt view.
@@ -739,10 +1065,10 @@ void Controller::monitor_tick() {
       if (simulation_.now() - inst.last_wakeup_at < cooldown) {
         continue;
       }
-      // The windowed idle-pool scan is O(population); it stays confined to
-      // the recruitment path past the cooldown, exactly as before the
-      // engine carve-out.
-      const std::size_t idle = idle_pool_estimate();
+      // Naive mode: the windowed idle-pool scan is O(population) and stays
+      // confined to the recruitment path past the cooldown. Delta mode
+      // reads the O(1) incremental mirror instead.
+      const std::size_t idle = recruitment_idle_pool();
       if (idle == 0) {
         // Nobody to recruit: rebroadcasting would only churn the carousel.
         // A future idle heartbeat re-enables recomposition.
@@ -766,14 +1092,24 @@ void Controller::monitor_tick() {
         ++inst.status.wakeups_broadcast;
         ++recompositions_;
       }
-      inst.pending_trims = action.trim;
+      if (options_.heartbeat_mode == HeartbeatMode::kDelta) {
+        trim_direct(inst, action.trim);
+        inst.pending_trims = 0;
+      } else {
+        inst.pending_trims = action.trim;
+      }
     } else if (inst.members.size() > target) {
       // Trim only confirmed members; joiners that push past the target are
       // shed as their busy heartbeats arrive. The engine decides how many
       // (a hysteresis band may hold some back); no idle-pool scan here.
       const control::ControlAction action =
           engine_->decide(observe(id, inst, /*idle_pool=*/0));
-      inst.pending_trims = action.trim;
+      if (options_.heartbeat_mode == HeartbeatMode::kDelta) {
+        trim_direct(inst, action.trim);
+        inst.pending_trims = 0;
+      } else {
+        inst.pending_trims = action.trim;
+      }
     } else {
       inst.pending_trims = 0;
     }

@@ -89,6 +89,12 @@ struct ControllerOptions {
   /// (its PNAs re-home to the Controller) until it reports again. Zero
   /// disables failover (the pre-fault-injection behaviour).
   sim::SimTime aggregator_timeout = sim::SimTime::zero();
+  /// Report encoding expected from the aggregation tier. kDelta switches
+  /// the Controller to incremental membership: epoch-stamped delta frames
+  /// are applied as they arrive, the monitor tick stops scanning the PNA
+  /// slab, and staleness pruning is delegated to aggregator-side expiry
+  /// (direct reporters — failover fallback — keep a windowed prune).
+  HeartbeatMode heartbeat_mode = HeartbeatMode::kNaive;
 };
 
 /// Test hook: re-arm the one-time ControllerOptions alias deprecation
@@ -207,6 +213,51 @@ class Controller final : public net::Endpoint {
     return aggregator_restores_.value();
   }
 
+  /// Delta-mode protocol counters (all zero in naive mode).
+  struct DeltaStats {
+    std::uint64_t frames_received = 0;
+    std::uint64_t entries_applied = 0;
+    std::uint64_t expires_applied = 0;
+    std::uint64_t resyncs_applied = 0;
+    std::uint64_t gaps_detected = 0;
+    std::uint64_t frames_skipped = 0;    ///< out-of-sync deltas discarded
+    std::uint64_t resync_requests = 0;
+    std::uint64_t checksum_failures = 0;
+  };
+  [[nodiscard]] DeltaStats delta_stats() const {
+    return DeltaStats{delta_frames_received_.value(),
+                      delta_entries_applied_.value(),
+                      delta_expires_applied_.value(),
+                      delta_resyncs_.value(),
+                      delta_gaps_.value(),
+                      delta_frames_skipped_.value(),
+                      delta_resync_requests_.value(),
+                      delta_checksum_failures_.value()};
+  }
+
+  /// Bytes of aggregate-report payload ingested (naive reports, delta
+  /// frames, relay batches) — the O(changes)-vs-O(members) comparison the
+  /// fan-out bench records.
+  [[nodiscard]] std::uint64_t report_bytes_ingested() const {
+    return report_bytes_ingested_.value();
+  }
+
+  /// Σ instance members across all instances, recomputed from the actual
+  /// membership sets — the HealthAuditor compares this against the
+  /// incrementally maintained total_member_count() to prove delta
+  /// application reconstructed the view exactly.
+  [[nodiscard]] std::size_t membership_view_count() const {
+    std::size_t n = 0;
+    for (const auto& [id, inst] : instances_) n += inst.members.size();
+    return n;
+  }
+
+  /// Wall-clock seconds spent inside monitor_tick() so far (host time;
+  /// never enters simulation state — bench telemetry only).
+  [[nodiscard]] double monitor_wall_seconds() const {
+    return monitor_wall_seconds_;
+  }
+
   /// Join latency: wakeup broadcast -> confirmed member, per join.
   [[nodiscard]] const obs::LogHistogram& join_latency() const {
     return join_latency_;
@@ -267,13 +318,30 @@ class Controller final : public net::Endpoint {
   void on_message(net::NodeId from, const net::MessagePtr& message) override;
 
  private:
+  /// Delta mode: PnaRecord::origin value for direct reporters (failover
+  /// fallback path) and for records no aggregator has claimed.
+  static constexpr std::uint32_t kDirectOrigin = 0xFFFFFFFFu;
+
   struct PnaRecord {
     PnaState state = PnaState::kIdle;
     /// A dense slot exists for every id below the high-water mark; only
     /// slots that actually reported are real records.
     bool known = false;
+    /// Delta mode: a trim reset was just sent; one in-flight busy report
+    /// (emitted by the aggregator before it learned of the reset) may
+    /// still arrive and must not re-add the member.
+    bool suppress_busy = false;
+    /// Delta mode: already listed in direct_ids_ (dedup for the direct
+    /// reporters' staleness walk).
+    bool direct_listed = false;
     InstanceId instance = kNoInstance;
     sim::SimTime last_seen;
+    /// Delta mode: the aggregator slice this record belongs to
+    /// (kDirectOrigin = heard directly).
+    std::uint32_t origin = kDirectOrigin;
+    /// Delta mode: stamp of the last resync that listed this record
+    /// (mark-and-sweep slice replacement).
+    std::uint32_t resync_mark = 0;
   };
 
   /// Dense cap for the PNA directory: ids are direct-channel addresses
@@ -309,6 +377,10 @@ class Controller final : public net::Endpoint {
     /// Members the most recent maintenance tick pruned (churn signal for
     /// the decision engine's observation).
     std::size_t pruned_last_tick = 0;
+    /// Delta mode: expiry-driven member removals since the last tick
+    /// (they arrive as messages between ticks; the tick rolls them into
+    /// pruned_last_tick so the engine's churn signal keeps its meaning).
+    std::size_t pruned_since_tick = 0;
     bool recruiting = true;
     /// Last wakeup broadcast, for recomposition rate-limiting: a retransmit
     /// sooner than the expected acquisition time would bump the carousel
@@ -338,12 +410,47 @@ class Controller final : public net::Endpoint {
   [[nodiscard]] control::ControlObservation observe(
       InstanceId id, const Instance& inst, std::size_t idle_pool) const;
   [[nodiscard]] sim::SimTime staleness_horizon(const Instance& inst) const;
-  void handle_status(std::uint64_t pna_id, PnaState state,
-                     InstanceId instance, net::NodeId reply_to,
-                     obs::TraceContext trace = {});
+  PnaRecord& handle_status(std::uint64_t pna_id, PnaState state,
+                           InstanceId instance, net::NodeId reply_to,
+                           obs::TraceContext trace = {});
   /// A consolidated report arrived from `from`: refresh its liveness and
   /// restore it into the routing if it had been failed over.
   void note_aggregator_alive(net::NodeId from);
+  /// Same, keyed by tier index (delta frames carry their origin, so
+  /// liveness survives relays re-sending them from another node id).
+  void note_origin_alive(std::size_t origin);
+
+  // --- delta-mode incremental membership -----------------------------------
+  struct OriginState {
+    std::uint32_t expected_epoch = 0;  ///< epoch the next delta must carry
+    bool synced = false;               ///< false until a resync is applied
+    bool resync_requested = false;     ///< outstanding downstream request
+    /// Ids attributed to this origin (lazily compacted; rebuilt from each
+    /// resync frame).
+    std::vector<std::uint64_t> ids;
+  };
+  void apply_delta_frame(const DeltaReportMessage& frame);
+  void apply_delta_entry(std::uint32_t origin,
+                         const DeltaReportMessage::Entry& entry,
+                         bool in_resync);
+  /// Forget a record entirely: membership, idle mirror, directory slot.
+  void remove_record(std::uint64_t pna_id);
+  /// Ask an out-of-sync origin for a full frame on its next flush (sent at
+  /// most once per desync period).
+  void request_resync(std::uint32_t origin, OriginState& os);
+  /// Delta mode's phase-1 staleness pass: only direct reporters need a
+  /// windowed scan (aggregator-covered members are expired upstream).
+  void prune_direct();
+  /// Delta mode's trimming: the Controller only hears *changes*, so
+  /// steady-state members never re-report and trim-on-heartbeat would
+  /// starve; resets go out by unicast to chosen members immediately.
+  void trim_direct(Instance& inst, std::size_t count);
+  /// Idle-pool feed for recruitment decisions: the windowed O(population)
+  /// scan in naive mode, the O(1) incremental mirror in delta mode (kept
+  /// fresh by aggregator expiries + the direct prune).
+  [[nodiscard]] std::size_t recruitment_idle_pool() const;
+  [[nodiscard]] PnaRecord* find_pna_mutable(std::uint64_t id);
+  void monitor_tick_impl();
   /// Re-air the deployment hello so PNAs pick up the current (possibly
   /// failover-voided) aggregator routing.
   void rebroadcast_routing();
@@ -400,6 +507,22 @@ class Controller final : public net::Endpoint {
   obs::Counter members_pruned_;
   obs::Counter aggregator_failovers_;
   obs::Counter aggregator_restores_;
+  // Delta-mode cells (registered only when heartbeat_mode == kDelta).
+  obs::Counter delta_frames_received_;
+  obs::Counter delta_entries_applied_;
+  obs::Counter delta_expires_applied_;
+  obs::Counter delta_resyncs_;
+  obs::Counter delta_gaps_;
+  obs::Counter delta_frames_skipped_;
+  obs::Counter delta_resync_requests_;
+  obs::Counter delta_checksum_failures_;
+  /// Registered in both modes: the naive-vs-delta ingest comparison.
+  obs::Counter report_bytes_ingested_;
+  /// Per-origin delta protocol state and the direct reporters' worklist.
+  std::vector<OriginState> origins_;
+  std::vector<std::uint64_t> direct_ids_;
+  std::uint32_t resync_mark_counter_ = 0;
+  double monitor_wall_seconds_ = 0.0;
   obs::LogHistogram join_latency_{1e-3};
   /// Incremental mirrors of the membership maps (O(1) sampler probes).
   std::size_t idle_known_ = 0;

@@ -118,7 +118,15 @@ enum MessageTag : int {
   kTagTaskAbort = 9,
   kTagAggregateReport = 10,
   kTagTaskResultAck = 11,
+  kTagDeltaReport = 12,
+  kTagDeltaBatch = 13,
 };
+
+/// Aggregate-report encoding selected by `SystemConfig::heartbeat.mode`.
+/// kNaive ships every member heard in the window (the original tree);
+/// kDelta ships only membership changes plus periodic checksummed resyncs,
+/// making the upstream path O(changes) instead of O(members).
+enum class HeartbeatMode : std::uint8_t { kNaive = 0, kDelta = 1 };
 
 /// Fixed protocol header modelled on a compact binary encoding.
 inline constexpr util::Bits kHeaderBits = util::Bits(64 * 8);
@@ -357,6 +365,116 @@ class AggregateReportMessage final : public net::Message {
 
  private:
   std::vector<Entry> entries_;
+};
+
+/// Order-independent fingerprint of one ledger member. XORing the mixes of
+/// every member yields a set checksum the aggregator and the Controller can
+/// both compute without agreeing on iteration order; the SplitMix64-style
+/// finalizer makes single-member differences visible in the XOR.
+[[nodiscard]] inline std::uint64_t delta_member_mix(std::uint64_t pna_id,
+                                                    PnaState state,
+                                                    InstanceId instance) {
+  std::uint64_t x = pna_id * 0x9E3779B97F4A7C15ull;
+  x ^= static_cast<std::uint64_t>(state) * 0xBF58476D1CE4E5B9ull;
+  x ^= instance * 0x94D049BB133111EBull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// RFC 1982-style serial comparison for the 32-bit delta epoch: the
+/// successor of 0xFFFFFFFF is 0, so a long-lived aggregator wraps cleanly.
+[[nodiscard]] constexpr bool epoch_follows(std::uint32_t next,
+                                           std::uint32_t prev) {
+  return static_cast<std::uint32_t>(next - prev) == 1u;
+}
+
+/// Aggregator -> Controller, delta mode: the membership changes observed
+/// since the previous frame (kDelta), or the full checksummed ledger
+/// (kResync). Frames from one origin carry a monotone (wrapping) epoch; a
+/// gap tells the Controller a frame was lost and it must wait for the next
+/// resync instead of silently diverging. `checksum` is the XOR of
+/// `delta_member_mix` over the aggregator's entire ledger *after* this
+/// frame, carried on resyncs so the Controller can verify reconstruction.
+class DeltaReportMessage final : public net::Message {
+ public:
+  enum class Kind : std::uint8_t { kDelta = 0, kResync = 1 };
+  enum class Op : std::uint8_t { kUpdate = 0, kExpire = 1 };
+
+  struct Entry {
+    std::uint64_t pna_id = 0;
+    Op op = Op::kUpdate;
+    PnaState state = PnaState::kIdle;
+    InstanceId instance = kNoInstance;
+    /// Trace context of the consolidated heartbeat (transport metadata;
+    /// not part of the modelled 18-byte entry payload).
+    obs::TraceContext trace = {};
+  };
+
+  DeltaReportMessage(std::uint32_t origin, std::uint32_t epoch, Kind kind,
+                     std::uint64_t checksum, std::vector<Entry> entries)
+      : origin_(origin),
+        epoch_(epoch),
+        kind_(kind),
+        checksum_(checksum),
+        entries_(std::move(entries)) {}
+
+  /// Modelled frame payload: origin + epoch + kind + checksum (17 bytes)
+  /// plus 18 bytes per entry (id, op/state, instance, like the naive
+  /// report's 16 plus the op and change-set framing).
+  [[nodiscard]] static util::Bits payload_bits(std::size_t entry_count) {
+    return util::Bits::from_bytes(
+        17 + static_cast<std::int64_t>(entry_count) * 18);
+  }
+
+  [[nodiscard]] util::Bits wire_size() const override {
+    return kHeaderBits + payload_bits(entries_.size());
+  }
+  [[nodiscard]] int tag() const override { return kTagDeltaReport; }
+
+  [[nodiscard]] std::uint32_t origin() const { return origin_; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::uint32_t origin_;
+  std::uint32_t epoch_;
+  Kind kind_;
+  std::uint64_t checksum_;
+  std::vector<Entry> entries_;
+};
+
+/// Relay -> Controller: one aggregation window's worth of child delta
+/// frames shipped under a single transport header (the relay tier's
+/// bandwidth saving — frame payloads are forwarded verbatim, per-frame
+/// headers are amortized away).
+class DeltaBatchMessage final : public net::Message {
+ public:
+  explicit DeltaBatchMessage(
+      std::vector<std::shared_ptr<const DeltaReportMessage>> frames)
+      : frames_(std::move(frames)) {}
+
+  [[nodiscard]] util::Bits wire_size() const override {
+    util::Bits total = kHeaderBits;
+    for (const auto& f : frames_) {
+      total = total + DeltaReportMessage::payload_bits(f->entries().size());
+    }
+    return total;
+  }
+  [[nodiscard]] int tag() const override { return kTagDeltaBatch; }
+
+  [[nodiscard]] const std::vector<std::shared_ptr<const DeltaReportMessage>>&
+  frames() const {
+    return frames_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const DeltaReportMessage>> frames_;
 };
 
 /// Generic payload message used by the remote (BLASTCL3-style) workload:

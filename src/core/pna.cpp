@@ -52,6 +52,7 @@ void PnaXlet::pause_xlet() {
 void PnaXlet::destroy_xlet(bool /*unconditional*/) {
   *alive_ = false;
   started_ = false;
+  pace_pending_ = false;
   if (heartbeat_running_) {
     heartbeat_.cancel();
     heartbeat_running_ = false;
@@ -347,6 +348,51 @@ void PnaXlet::ensure_heartbeat(const ControlMessage& message) {
 
 void PnaXlet::send_heartbeat() {
   if (!started_ || heartbeat_target_ == net::kInvalidNode) return;
+  const sim::SimTime window = env_->heartbeat_pace_window;
+  if (window <= sim::SimTime::zero()) {
+    send_heartbeat_now();
+    return;
+  }
+  // Paced mode: a beat already queued for our next phase slot absorbs this
+  // one (the slot transmits the state current at release time, so nothing
+  // is lost — only the redundant intermediate report).
+  if (pace_pending_) {
+    if (env_->counters != nullptr) ++env_->counters->heartbeats_paced;
+    return;
+  }
+  pace_pending_ = true;
+  // Deterministic per-agent phase in [0, window): a pure hash of the
+  // pacing stream seed and the agent id — no live generator draw, so
+  // enabling pacing cannot perturb any other stream.
+  const std::uint64_t mix =
+      util::SplitMix64(env_->heartbeat_phase_seed ^
+                       (pna_id() * 0x9E3779B97F4A7C15ull))
+          .next();
+  const double frac =
+      static_cast<double>(mix >> 11) * (1.0 / 9007199254740992.0);
+  auto& simulation = context_->simulation();
+  const sim::SimTime now = simulation.now();
+  const std::int64_t wus = window.micros();
+  const std::int64_t phase_us =
+      static_cast<std::int64_t>(frac * static_cast<double>(wus));
+  sim::SimTime release =
+      sim::SimTime::from_micros((now.micros() / wus) * wus + phase_us);
+  if (release <= now) release += window;
+  std::weak_ptr<bool> alive = alive_;
+  simulation.schedule_timer_in(
+      release - now,
+      [this, alive] {
+        auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        pace_pending_ = false;
+        if (!started_ || hung_) return;
+        send_heartbeat_now();
+      },
+      sim::SimTime::zero(), sim::EventPriority::kDefault);
+}
+
+void PnaXlet::send_heartbeat_now() {
+  if (!started_ || heartbeat_target_ == net::kInvalidNode) return;
   ++stats_.heartbeats_sent;
   if (env_->counters != nullptr) ++env_->counters->heartbeats_sent;
   // Heartbeats chain off the join in progress when there is one (they are
@@ -537,6 +583,7 @@ bool PnaXlet::fault_crash() {
   *alive_ = false;
   alive_ = std::make_shared<bool>(true);
   hung_ = false;
+  pace_pending_ = false;  // the pending release timer died with the token
   if (heartbeat_running_) {
     heartbeat_.cancel();
     heartbeat_running_ = false;
@@ -577,6 +624,7 @@ bool PnaXlet::fault_hang(sim::SimTime duration) {
   // agent *looks* alive (stale membership) until the watchdog acts.
   *alive_ = false;
   alive_ = std::make_shared<bool>(true);
+  pace_pending_ = false;
   if (heartbeat_running_) {
     heartbeat_.cancel();
     heartbeat_running_ = false;

@@ -44,6 +44,17 @@ struct PnaEnvironment {
   /// contexts onto outgoing messages.
   obs::FlightRecorder* recorder = nullptr;
 
+  /// Heartbeat pacing window (zero = off, the legacy fire-immediately
+  /// path). With a window, every beat — periodic or event-driven — is
+  /// deferred to this agent's deterministic phase slot within the window
+  /// and beats that coalesce while one is pending are absorbed, so a
+  /// population-wide wakeup storm spreads over the window instead of
+  /// landing on the return channel in one burst.
+  sim::SimTime heartbeat_pace_window;
+  /// Root of the per-agent pacing phase (a dedicated named RNG stream, so
+  /// enabling pacing never perturbs the population's draw sequences).
+  std::uint64_t heartbeat_phase_seed = 0;
+
   // --- fan-out fast path (both nullable: agents fall back to the
   // per-message decode/verify/allocate slow path) ---------------------------
 
@@ -147,7 +158,11 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   void leave_instance();
 
   void ensure_heartbeat(const ControlMessage& message);
+  /// Pacing gate: immediate in the legacy path, deferred to this agent's
+  /// phase slot (coalescing) when the environment sets a pace window.
   void send_heartbeat();
+  /// Build and transmit the beat (the legacy send_heartbeat body).
+  void send_heartbeat_now();
 
   void request_task();
   void schedule_task_poll();
@@ -185,6 +200,9 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   net::NodeId backend_node_ = net::kInvalidNode;
   sim::PeriodicTask heartbeat_;
   bool heartbeat_running_ = false;
+  /// A paced beat is already scheduled for this agent's next phase slot;
+  /// further beats coalesce into it (the slot sends the *current* state).
+  bool pace_pending_ = false;
   sim::SimTime heartbeat_interval_;
   /// Content ids of the last configuration handled and of the read in
   /// flight: the same broadcast generation announced twice (launch

@@ -69,6 +69,39 @@ void SystemConfig::validate() const {
     throw std::invalid_argument(
         "SystemConfig: obs.trace requires obs.enabled");
   }
+  if (heartbeat.mode == HeartbeatMode::kDelta && heartbeat.resync_every == 0) {
+    throw std::invalid_argument(
+        "SystemConfig: heartbeat.resync_every must be >= 1 in delta mode");
+  }
+  if (heartbeat.tree_fanin > 0) {
+    if (heartbeat.mode != HeartbeatMode::kDelta) {
+      throw std::invalid_argument(
+          "SystemConfig: heartbeat.tree_fanin requires delta mode (relays "
+          "batch delta frames)");
+    }
+    if (aggregators == 0) {
+      throw std::invalid_argument(
+          "SystemConfig: heartbeat.tree_fanin requires an aggregator tier");
+    }
+  }
+  if (heartbeat.expiry < sim::SimTime::zero() ||
+      heartbeat.pace_window < sim::SimTime::zero()) {
+    throw std::invalid_argument(
+        "SystemConfig: heartbeat.expiry and heartbeat.pace_window must be "
+        ">= 0");
+  }
+  if (return_channel.enabled) {
+    if (return_channel.aggregator_uplink.bps() <= 0.0 ||
+        return_channel.aggregator_downlink.bps() <= 0.0 ||
+        return_channel.controller_downlink.bps() <= 0.0) {
+      throw std::invalid_argument(
+          "SystemConfig: return_channel capacities must be > 0");
+    }
+    if (return_channel.queue_limit <= sim::SimTime::zero()) {
+      throw std::invalid_argument(
+          "SystemConfig: return_channel.queue_limit must be > 0");
+    }
+  }
   if (fault.enabled) fault.validate();
 }
 
@@ -114,9 +147,15 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   // receive the raw tag value; the health auditor balances emitted vs
   // received vs lost over these cells.
   network_->set_tracked_tag(static_cast<int>(kTagHeartbeat));
-  // Every receiver, every aggregator, the Controller, and the Backend get
-  // an endpoint; size the table once up front.
-  network_->reserve_endpoints(config_.receivers + config_.aggregators + 2);
+  // Every receiver, every aggregator, every relay, the Controller, and the
+  // Backend get an endpoint; size the table once up front.
+  const std::size_t relay_count =
+      config_.heartbeat.tree_fanin > 0 && config_.aggregators > 0
+          ? (config_.aggregators + config_.heartbeat.tree_fanin - 1) /
+                config_.heartbeat.tree_fanin
+          : 0;
+  network_->reserve_endpoints(config_.receivers + config_.aggregators +
+                              relay_count + 2);
   store_ = std::make_unique<ContentStore>();
   store_->set_concurrent(K > 1);
 
@@ -162,16 +201,65 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   if (config_.fault.enabled && config_.aggregators > 0) {
     copts.aggregator_timeout = config_.fault.aggregator_failover_timeout;
   }
+  copts.heartbeat_mode = config_.heartbeat.mode;
+  // The Controller's ingress (downlink) is where consolidated reports
+  // land; the constrained return-channel model caps it and bounds its
+  // queue. Its uplink (control replies, trim resets) stays provisioned.
+  net::LinkSpec controller_link = server_link;
+  if (config_.return_channel.enabled) {
+    controller_link.downlink = config_.return_channel.controller_downlink;
+    controller_link.downlink_queue = config_.return_channel.queue_limit;
+  }
   std::vector<broadcast::BroadcastMedium*> channel_ptrs;
   channel_ptrs.reserve(channels_.size());
   for (auto& c : channels_) channel_ptrs.push_back(c.get());
   controller_ = std::make_unique<Controller>(*simulation_, *network_,
                                              std::move(channel_ptrs), *store_,
-                                             key_, server_link, copts);
+                                             key_, controller_link, copts);
 
   if (config_.aggregators > 0) {
+    // Constrained return channel: the tier's access links get finite
+    // capacity and bounded queues (tail drop past the limit).
+    net::LinkSpec tier_link = server_link;
+    if (config_.return_channel.enabled) {
+      tier_link.uplink = config_.return_channel.aggregator_uplink;
+      tier_link.downlink = config_.return_channel.aggregator_downlink;
+      tier_link.uplink_queue = config_.return_channel.queue_limit;
+      tier_link.downlink_queue = config_.return_channel.queue_limit;
+    }
     AggregatorOptions aopts;
     aopts.report_interval = config_.aggregator_report_interval;
+    aopts.mode = config_.heartbeat.mode;
+    aopts.resync_every = config_.heartbeat.resync_every;
+    if (config_.heartbeat.mode == HeartbeatMode::kDelta) {
+      // Aggregator-side expiry takes over naive-mode staleness pruning;
+      // auto mode mirrors the Controller's horizon exactly.
+      aopts.expiry = config_.heartbeat.expiry > sim::SimTime::zero()
+                         ? config_.heartbeat.expiry
+                         : sim::SimTime::from_seconds(
+                               config_.controller.default_heartbeat.seconds() *
+                               copts.effective_policy().stale_factor);
+    }
+    // Paced mode de-synchronizes the tier's flush boundaries with a
+    // dedicated named stream (enabling it never perturbs other draws).
+    util::SplitMix64 flush_phases(
+        util::stream_seed(config_.seed, "aggregator.flush.phase"));
+    const auto draw_phase = [&]() {
+      const std::int64_t interval_us = aopts.report_interval.micros();
+      if (!config_.heartbeat.paced || interval_us <= 0) {
+        return sim::SimTime::zero();
+      }
+      return sim::SimTime::from_micros(static_cast<std::int64_t>(
+          flush_phases.next() % static_cast<std::uint64_t>(interval_us)));
+    };
+    // Relay tier first (the leaves point upstream at it). Relays live on
+    // the control shard: their upstream hop to the Controller is
+    // intra-shard; leaf-to-relay hops cross through the kernel mailboxes.
+    for (std::size_t r = 0; r < relay_count; ++r) {
+      relays_.push_back(std::make_unique<AggregatorRelay>(
+          *simulation_, *network_, controller_->node_id(), tier_link,
+          aopts.report_interval, draw_phase()));
+    }
     std::vector<net::NodeId> aggregator_nodes;
     for (std::size_t a = 0; a < config_.aggregators; ++a) {
       // Aggregator `a` lives on shard a % K; its endpoint registers there
@@ -180,13 +268,19 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
       if (K > 1) {
         network_->set_register_shard(static_cast<std::uint32_t>(a % K));
       }
+      aopts.origin = static_cast<std::uint32_t>(a);
+      aopts.flush_phase = draw_phase();
       aggregators_.push_back(std::make_unique<HeartbeatAggregator>(
           K > 1 ? sharded_->shard(a % K) : *simulation_, *network_,
-          controller_->node_id(), server_link, aopts));
+          controller_->node_id(), tier_link, aopts));
       // Agents pick aggregators[pna_id % k], so aggregator `a` only ever
       // hears ids congruent to a (mod k) — declare that shard so its
       // window is a dense vector instead of a hash map.
       aggregators_.back()->set_shard(config_.aggregators, a);
+      if (!relays_.empty()) {
+        aggregators_.back()->set_upstream(
+            relays_[a / config_.heartbeat.tree_fanin]->node_id());
+      }
       aggregator_nodes.push_back(aggregators_.back()->node_id());
     }
     if (K > 1) network_->set_register_shard(0);
@@ -210,6 +304,16 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   pna_env_.content_store = store_.get();
   pna_env_.trusted_key = key_;
   pna_env_.task_poll_interval = config_.task_poll_interval;
+  if (config_.heartbeat.paced) {
+    sim::SimTime pace_window = config_.heartbeat.pace_window;
+    if (pace_window <= sim::SimTime::zero()) {
+      pace_window = std::min(config_.aggregator_report_interval,
+                             config_.controller.default_heartbeat);
+    }
+    pna_env_.heartbeat_pace_window = pace_window;
+    pna_env_.heartbeat_phase_seed =
+        util::stream_seed(config_.seed, "heartbeat.pace.phase");
+  }
   if (config_.fanout_fast_path && K == 1) {
     verify_cache_ = std::make_unique<broadcast::VerifyCache>();
     // The ring must outlast the in-flight window or acquires find their
@@ -254,8 +358,13 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
     }
   }
 
-  const net::LinkSpec stb_link{config_.delta, config_.delta,
-                               config_.receiver_latency};
+  net::LinkSpec stb_link{config_.delta, config_.delta,
+                         config_.receiver_latency};
+  if (config_.return_channel.enabled) {
+    // The PNA leg of the constrained path: a storm of beats that outruns
+    // the uplink's committed backlog sheds at the set-top box.
+    stb_link.uplink_queue = config_.return_channel.queue_limit;
+  }
   receivers_.reserve(config_.receivers);
   const std::size_t A = config_.aggregators;
   for (std::size_t i = 0; i < config_.receivers; ++i) {
@@ -383,6 +492,34 @@ void OddciSystem::wire_observability() {
     aggregators_[a]->link_metrics(*registry_,
                                   "aggregator." + std::to_string(a));
   }
+  for (std::size_t r = 0; r < relays_.size(); ++r) {
+    relays_[r]->link_metrics(*registry_, "relay." + std::to_string(r));
+  }
+  // Return-channel health: queue-drop counters and snapshot-time backlog
+  // gauges over the constrained reporting path. Registered only when the
+  // model is on, so legacy snapshots stay byte-identical.
+  if (config_.return_channel.enabled) {
+    network_->link_queue_metrics(*registry_);
+    registry_->link_probe("net.controller_downlink_backlog_seconds", [this] {
+      return network_->downlink_backlog_seconds(controller_->node_id());
+    });
+    registry_->link_probe("net.aggregator_uplink_backlog_seconds", [this] {
+      double worst = 0.0;
+      for (const auto& a : aggregators_) {
+        worst =
+            std::max(worst, network_->uplink_backlog_seconds(a->node_id()));
+      }
+      return worst;
+    });
+    registry_->link_probe("net.aggregator_downlink_backlog_seconds", [this] {
+      double worst = 0.0;
+      for (const auto& a : aggregators_) {
+        worst =
+            std::max(worst, network_->downlink_backlog_seconds(a->node_id()));
+      }
+      return worst;
+    });
+  }
 
   // Shared blocks: owned here, incremented by the population / the media.
   // Under a sharded kernel each shard increments its own cells and the
@@ -431,6 +568,21 @@ void OddciSystem::wire_observability() {
     for (std::size_t s = 0; s < K; ++s) {
       shard_envs_[s].counters = &shard_pna_counters_[s];
       shard_envs_[s].acquire_latency = &shard_acquire_latency_[s];
+    }
+  }
+  // Pacing effectiveness counter — registered only when pacing is on (no
+  // phantom zero cell in unpaced snapshots).
+  if (config_.heartbeat.paced) {
+    if (K == 1) {
+      pna_counters_.link_paced(*registry_);
+    } else {
+      registry_->link_counter_fn("pna.heartbeats_paced", [this] {
+        std::uint64_t sum = 0;
+        for (const auto& c : shard_pna_counters_) {
+          sum += c.heartbeats_paced.value();
+        }
+        return sum;
+      });
     }
   }
   broadcast_counters_.link(*registry_);
@@ -640,6 +792,18 @@ obs::HealthLedger OddciSystem::health_ledger() const {
   ledger.messages_delivered = net.messages_delivered;
   ledger.messages_dropped = net.messages_dropped;
   ledger.heartbeats_dropped = net.tracked_dropped;
+  ledger.uplink_queue_dropped = net.uplink_queue_dropped;
+  ledger.downlink_queue_dropped = net.downlink_queue_dropped;
+  ledger.heartbeats_uplink_queue_dropped = net.tracked_uplink_queue_dropped;
+  ledger.heartbeats_downlink_queue_dropped =
+      net.tracked_downlink_queue_dropped;
+  if (config_.heartbeat.mode == HeartbeatMode::kDelta) {
+    ledger.delta_active = true;
+    ledger.delta_checksum_failures =
+        controller_->delta_stats().checksum_failures;
+    ledger.delta_members_incremental = controller_->total_member_count();
+    ledger.delta_members_view = controller_->membership_view_count();
+  }
   if (injector_) {
     const fault::FaultInjector::Stats faults = injector_->stats();
     // Partition drops never reach schedule_arrival either, so they count

@@ -95,6 +95,56 @@ struct SystemConfig {
   std::size_t aggregators = 0;
   sim::SimTime aggregator_report_interval = sim::SimTime::from_seconds(10);
 
+  /// Return-channel encoding and pacing: the O(changes) heartbeat path.
+  /// Everything here defaults off, leaving the naive O(receivers) tree
+  /// event-trajectory-identical to prior versions.
+  struct HeartbeatOptions {
+    /// Report encoding between the aggregation tier and the Controller.
+    /// kDelta keeps per-aggregator membership ledgers and ships only
+    /// joins/leaves/expiries plus periodic checksummed resyncs; the
+    /// Controller applies epoch-stamped frames incrementally instead of
+    /// rescanning its PNA directory every monitor tick.
+    HeartbeatMode mode = HeartbeatMode::kNaive;
+    /// Delta mode: every Nth frame per aggregator is a full resync.
+    std::uint32_t resync_every = 30;
+    /// Delta mode: aggregator-side silence horizon before a ledger member
+    /// is expired with an explicit delta. Zero = auto (default_heartbeat *
+    /// the policy's stale_factor — the same horizon naive pruning uses).
+    sim::SimTime expiry = sim::SimTime::zero();
+    /// Optional relay tier (delta mode only): leaf aggregators per relay.
+    /// Relays batch their leaves' frames into one upstream message per
+    /// window, so Controller ingress message rate stays flat as the leaf
+    /// tier widens. Zero = leaves report straight to the Controller.
+    std::size_t tree_fanin = 0;
+    /// Pace heartbeats: defer every beat to the agent's deterministic
+    /// phase slot within the pacing window (coalescing bursts), and
+    /// phase-jitter the aggregators' flush boundaries. Phases come from
+    /// dedicated named RNG streams, so unpaced trajectories are unchanged.
+    bool paced = false;
+    /// Pacing window; zero = auto (min(aggregator_report_interval,
+    /// controller.default_heartbeat)).
+    sim::SimTime pace_window = sim::SimTime::zero();
+  };
+  HeartbeatOptions heartbeat;
+
+  /// Constrained return channel: finite bandwidth and bounded queues on
+  /// the PNA -> aggregator -> Controller reporting path (deterministic
+  /// tail drop past the queue bound). Disabled = the legacy
+  /// well-provisioned server links, byte-identical trajectories.
+  struct ReturnChannelOptions {
+    bool enabled = false;
+    /// Aggregator access link (uplink carries reports to the Controller,
+    /// downlink absorbs the PNA heartbeat fan-in).
+    util::BitRate aggregator_uplink = util::BitRate::from_mbps(2.0);
+    util::BitRate aggregator_downlink = util::BitRate::from_mbps(8.0);
+    /// Controller ingress capacity for the consolidated reports.
+    util::BitRate controller_downlink = util::BitRate::from_mbps(16.0);
+    /// Per-direction queue bound, in seconds of committed serialization
+    /// backlog; exceeding it tail-drops deterministically.
+    sim::SimTime queue_limit = sim::SimTime::from_seconds(2);
+  };
+  ReturnChannelOptions return_channel;
+
   std::optional<ChurnOptions> churn;  ///< nullopt = static population
   std::uint64_t seed = 42;
 
@@ -226,6 +276,11 @@ class OddciSystem {
   aggregators() const {
     return aggregators_;
   }
+  /// Relay tier (heartbeat.tree_fanin > 0 only; empty otherwise).
+  [[nodiscard]] const std::vector<std::unique_ptr<AggregatorRelay>>& relays()
+      const {
+    return relays_;
+  }
   [[nodiscard]] const std::vector<std::unique_ptr<dtv::Receiver>>& receivers()
       const {
     return receivers_;
@@ -338,6 +393,8 @@ class OddciSystem {
   /// stream only serves its shard-0 listeners.
   std::vector<util::Random> shard_loss_rngs_;
   std::unique_ptr<Controller> controller_;
+  /// Relay tier declared before the leaves: leaves hold its node ids.
+  std::vector<std::unique_ptr<AggregatorRelay>> relays_;
   std::vector<std::unique_ptr<HeartbeatAggregator>> aggregators_;
   std::unique_ptr<Provider> provider_;
   std::unique_ptr<Backend> backend_;

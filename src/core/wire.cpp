@@ -186,6 +186,28 @@ std::string encode(const net::Message& message) {
   return w.take();
 }
 
+namespace {
+
+// Shared by the standalone frame and the relay batch: a batch is framed as
+// a count followed by the same per-frame encoding.
+void encode_delta_frame(const DeltaReportMessage& m, Writer& w) {
+  w.u32(m.origin());
+  w.u32(m.epoch());
+  w.u8(static_cast<std::uint8_t>(m.kind()));
+  w.u64(m.checksum());
+  w.u32(static_cast<std::uint32_t>(m.entries().size()));
+  for (const auto& e : m.entries()) {
+    w.u64(e.pna_id);
+    w.u8(static_cast<std::uint8_t>(e.op));
+    w.u8(static_cast<std::uint8_t>(e.state));
+    w.u64(e.instance);
+    w.u64(e.trace.trace_id);
+    w.u64(e.trace.parent_span);
+  }
+}
+
+}  // namespace
+
 void encode_into(const net::Message& message, Writer& w) {
   w.u8(static_cast<std::uint8_t>(message.tag()));
   switch (message.tag()) {
@@ -257,6 +279,17 @@ void encode_into(const net::Message& message, Writer& w) {
       }
       break;
     }
+    case kTagDeltaReport: {
+      const auto& m = static_cast<const DeltaReportMessage&>(message);
+      encode_delta_frame(m, w);
+      break;
+    }
+    case kTagDeltaBatch: {
+      const auto& m = static_cast<const DeltaBatchMessage&>(message);
+      w.u32(static_cast<std::uint32_t>(m.frames().size()));
+      for (const auto& f : m.frames()) encode_delta_frame(*f, w);
+      break;
+    }
     default:
       throw std::invalid_argument("wire::encode: tag has no wire format");
   }
@@ -268,6 +301,40 @@ PnaState decode_state(std::uint8_t raw) {
     throw WireError("decode_message: invalid PNA state");
   }
   return static_cast<PnaState>(raw);
+}
+
+std::shared_ptr<DeltaReportMessage> decode_delta_frame(Reader& r) {
+  const auto origin = r.u32();
+  const auto epoch = r.u32();
+  const auto kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(DeltaReportMessage::Kind::kResync)) {
+    throw WireError("decode_message: invalid delta frame kind");
+  }
+  const auto checksum = r.u64();
+  const std::uint32_t count = r.u32();
+  // Each encoded entry is at least 34 bytes; a count promising more data
+  // than remains is a foreign or corrupted frame, not a big one.
+  if (static_cast<std::size_t>(count) * 34 > r.remaining()) {
+    throw WireError("decode_message: implausible delta size");
+  }
+  std::vector<DeltaReportMessage::Entry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DeltaReportMessage::Entry e;
+    e.pna_id = r.u64();
+    const auto op = r.u8();
+    if (op > static_cast<std::uint8_t>(DeltaReportMessage::Op::kExpire)) {
+      throw WireError("decode_message: invalid delta op");
+    }
+    e.op = static_cast<DeltaReportMessage::Op>(op);
+    e.state = decode_state(r.u8());
+    e.instance = r.u64();
+    e.trace = obs::TraceContext{r.u64(), r.u64()};
+    entries.push_back(e);
+  }
+  return std::make_shared<DeltaReportMessage>(
+      origin, epoch, static_cast<DeltaReportMessage::Kind>(kind), checksum,
+      std::move(entries));
 }
 }  // namespace
 
@@ -348,6 +415,24 @@ net::MessagePtr decode_message(std::string_view bytes) {
         entries.push_back(e);
       }
       out = std::make_shared<AggregateReportMessage>(std::move(entries));
+      break;
+    }
+    case kTagDeltaReport: {
+      out = decode_delta_frame(r);
+      break;
+    }
+    case kTagDeltaBatch: {
+      const std::uint32_t frames = r.u32();
+      // A frame is at least 21 bytes even when empty.
+      if (static_cast<std::size_t>(frames) * 21 > r.remaining()) {
+        throw WireError("decode_message: implausible batch size");
+      }
+      std::vector<std::shared_ptr<const DeltaReportMessage>> decoded;
+      decoded.reserve(frames);
+      for (std::uint32_t i = 0; i < frames; ++i) {
+        decoded.push_back(decode_delta_frame(r));
+      }
+      out = std::make_shared<DeltaBatchMessage>(std::move(decoded));
       break;
     }
     default:

@@ -72,6 +72,24 @@ sim::SimTime Network::uplink_free_at(NodeId id) const {
   return node_at(id).uplink_busy_until;
 }
 
+double Network::uplink_backlog_seconds(NodeId id) const {
+  const Node& node = node_at(id);
+  const sim::SimTime now = sharded_ != nullptr
+                               ? sharded_->shard(node_shards_[id]).now()
+                               : simulation_.now();
+  const sim::SimTime backlog = node.uplink_busy_until - now;
+  return backlog > sim::SimTime::zero() ? backlog.seconds() : 0.0;
+}
+
+double Network::downlink_backlog_seconds(NodeId id) const {
+  const Node& node = node_at(id);
+  const sim::SimTime now = sharded_ != nullptr
+                               ? sharded_->shard(node_shards_[id]).now()
+                               : simulation_.now();
+  const sim::SimTime backlog = node.downlink_busy_until - now;
+  return backlog > sim::SimTime::zero() ? backlog.seconds() : 0.0;
+}
+
 NetworkStats Network::stats() const {
   NetworkStats s;
   for (const ShardCells& c : cells_) {
@@ -81,6 +99,11 @@ NetworkStats Network::stats() const {
     s.bits_sent += static_cast<std::int64_t>(c.bits_sent.value());
     s.arrivals_scheduled += c.arrivals_scheduled.value();
     s.tracked_dropped += c.tracked_dropped.value();
+    s.uplink_queue_dropped += c.uplink_queue_dropped.value();
+    s.downlink_queue_dropped += c.downlink_queue_dropped.value();
+    s.tracked_uplink_queue_dropped += c.tracked_uplink_queue_dropped.value();
+    s.tracked_downlink_queue_dropped +=
+        c.tracked_downlink_queue_dropped.value();
   }
   return s;
 }
@@ -108,6 +131,21 @@ void Network::link_metrics(obs::MetricsRegistry& registry) const {
   });
 }
 
+void Network::link_queue_metrics(obs::MetricsRegistry& registry) const {
+  registry.link_counter_fn("net.uplink_queue_dropped", [this] {
+    std::uint64_t total = 0;
+    for (const ShardCells& c : cells_) total += c.uplink_queue_dropped.value();
+    return total;
+  });
+  registry.link_counter_fn("net.downlink_queue_dropped", [this] {
+    std::uint64_t total = 0;
+    for (const ShardCells& c : cells_) {
+      total += c.downlink_queue_dropped.value();
+    }
+    return total;
+  });
+}
+
 void Network::set_recorder(obs::FlightRecorder* recorder) {
   for (auto& slot : recorders_) slot = recorder;
 }
@@ -130,13 +168,34 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   const std::uint32_t src_shard = node_shards_[from];
   sim::Simulation& ssim = sim_of(src_shard);
 
+  ShardCells& cells = cells_[src_shard];
+  ++cells.messages_sent;
+
+  // Bounded uplink queue: if the committed backlog already exceeds the
+  // cap, the message is tail-dropped before entering the queue — it never
+  // consumes serialization time or bits, and the interposer never sees it
+  // (the loss happens at the sender, upstream of the wire). Deterministic:
+  // no randomness, purely a function of the busy window.
+  if (src.spec.uplink_queue > sim::SimTime::zero() &&
+      src.uplink_busy_until - ssim.now() > src.spec.uplink_queue) {
+    ++cells.uplink_queue_dropped;
+    if (tracked_tag_ >= 0 && message->tag() == tracked_tag_) {
+      ++cells.tracked_uplink_queue_dropped;
+    }
+    obs::FlightRecorder* recorder = recorders_[src_shard];
+    if (recorder != nullptr) {
+      recorder->emit(ssim.now(), obs::TraceEventKind::kQueueDropped,
+                     obs::TraceComponent::kNetwork, {}, from,
+                     static_cast<std::uint64_t>(message->tag()));
+    }
+    return;
+  }
+
   SendInterposer::Action action;
   if (interposer_ != nullptr) {
     action = interposer_->on_send(from, to, *message, src_shard);
   }
 
-  ShardCells& cells = cells_[src_shard];
-  ++cells.messages_sent;
   cells.bits_sent += static_cast<std::uint64_t>(message->wire_size().count());
 
   // Serialize on the sender's uplink (FIFO). This happens even for a
@@ -187,6 +246,23 @@ void Network::arrive(NodeId from, NodeId to, std::uint32_t dst_shard,
   // Runs on (and only on) the destination's shard.
   sim::Simulation& dsim = sim_of(dst_shard);
   Node& dst = nodes_[to];
+  // Bounded downlink queue: shed at edge arrival when the receiver's
+  // committed backlog exceeds the cap (the message crossed the wire but
+  // the access queue is full — classic tail drop).
+  if (dst.spec.downlink_queue > sim::SimTime::zero() &&
+      dst.downlink_busy_until - dsim.now() > dst.spec.downlink_queue) {
+    ++cells_[dst_shard].downlink_queue_dropped;
+    if (tracked_tag_ >= 0 && message->tag() == tracked_tag_) {
+      ++cells_[dst_shard].tracked_downlink_queue_dropped;
+    }
+    obs::FlightRecorder* recorder = recorders_[dst_shard];
+    if (recorder != nullptr) {
+      recorder->emit(dsim.now(), obs::TraceEventKind::kQueueDropped,
+                     obs::TraceComponent::kNetwork, {}, to,
+                     static_cast<std::uint64_t>(message->tag()));
+    }
+    return;
+  }
   const double tx_down =
       util::transmission_seconds(message->wire_size(), dst.spec.downlink);
   const sim::SimTime begin = std::max(dsim.now(), dst.downlink_busy_until);

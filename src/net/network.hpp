@@ -34,6 +34,12 @@ struct LinkSpec {
   util::BitRate uplink;    ///< endpoint -> network capacity
   util::BitRate downlink;  ///< network -> endpoint capacity
   sim::SimTime latency;    ///< one-way propagation delay
+  /// Maximum queueing backlog tolerated per direction before deterministic
+  /// tail drop, expressed as serialization time already committed (i.e.
+  /// seconds of traffic queued ahead). Zero = unbounded (the legacy
+  /// model, where a wakeup storm just stretches the busy window forever).
+  sim::SimTime uplink_queue;
+  sim::SimTime downlink_queue;
 };
 
 /// Point-in-time view of the network counters (see Network::stats()).
@@ -49,6 +55,14 @@ struct NetworkStats {
   std::uint64_t arrivals_scheduled = 0;
   /// Detached-endpoint drops of tracked-tag messages (see set_tracked_tag).
   std::uint64_t tracked_dropped = 0;
+  /// Tail drops at a bounded sender uplink queue (never scheduled) and at a
+  /// bounded receiver downlink queue (scheduled but shed on edge arrival).
+  /// Zero unless some LinkSpec sets a queue bound.
+  std::uint64_t uplink_queue_dropped = 0;
+  std::uint64_t downlink_queue_dropped = 0;
+  /// The tracked-tag slices of the queue drops (heartbeat conservation).
+  std::uint64_t tracked_uplink_queue_dropped = 0;
+  std::uint64_t tracked_downlink_queue_dropped = 0;
 };
 
 /// Hook interposed on every Network::send (fault injection). The verdict is
@@ -131,6 +145,11 @@ class Network {
   /// must outlive any snapshot() call on the registry.
   void link_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Expose the bounded-queue drop counters under "net.*". Registered
+  /// separately so configurations without queue bounds keep their metric
+  /// set (and exports) byte-identical.
+  void link_queue_metrics(obs::MetricsRegistry& registry) const;
+
   /// Attach a flight recorder for every shard: deliveries to detached
   /// endpoints (powered off receivers) are emitted as message.dropped
   /// events. nullptr detaches.
@@ -157,6 +176,12 @@ class Network {
   /// Time at which `node`'s uplink frees up (diagnostics/backpressure).
   [[nodiscard]] sim::SimTime uplink_free_at(NodeId node) const;
 
+  /// Current queueing backlog on `node`'s links, in seconds of committed
+  /// serialization time (0 when the link is idle). Snapshot gauges for the
+  /// return-channel health view; call between windows.
+  [[nodiscard]] double uplink_backlog_seconds(NodeId node) const;
+  [[nodiscard]] double downlink_backlog_seconds(NodeId node) const;
+
  private:
   struct Node {
     Endpoint* endpoint = nullptr;  // nullptr while detached
@@ -174,6 +199,10 @@ class Network {
     obs::Counter bits_sent;
     obs::Counter arrivals_scheduled;  ///< incremented on the sending shard
     obs::Counter tracked_dropped;     ///< incremented on the receiving shard
+    obs::Counter uplink_queue_dropped;          ///< sending shard
+    obs::Counter downlink_queue_dropped;        ///< receiving shard
+    obs::Counter tracked_uplink_queue_dropped;  ///< sending shard
+    obs::Counter tracked_downlink_queue_dropped;  ///< receiving shard
   };
 
   Node& node_at(NodeId id);

@@ -61,6 +61,8 @@ std::string_view to_string(TraceEventKind kind) {
       return "control.admit";
     case TraceEventKind::kControlDefer:
       return "control.defer";
+    case TraceEventKind::kQueueDropped:
+      return "net.queue_drop";
   }
   return "unknown";
 }
@@ -82,7 +84,7 @@ std::string_view to_string(TraceComponent component) {
 namespace {
 // The enumerators are dense and small; scan rather than maintain a map.
 constexpr TraceEventKind kFirstKind = TraceEventKind::kInstanceRequest;
-constexpr TraceEventKind kLastKind = TraceEventKind::kControlDefer;
+constexpr TraceEventKind kLastKind = TraceEventKind::kQueueDropped;
 constexpr TraceComponent kFirstComponent = TraceComponent::kProvider;
 constexpr TraceComponent kLastComponent = TraceComponent::kNetwork;
 }  // namespace

@@ -88,6 +88,7 @@ enum class TraceEventKind : std::uint8_t {
   kControlTrim,      ///< engine requested member trimming (arg: count)
   kControlAdmit,     ///< Phi admission passed a job (arg: Phi * 1e6)
   kControlDefer,     ///< Phi admission deferred a job (arg: Phi * 1e6)
+  kQueueDropped,     ///< bounded link queue tail-dropped a message (arg: tag)
 };
 
 /// Which component emitted the event — one export track per component.

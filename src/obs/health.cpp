@@ -18,21 +18,31 @@ void add_finding(HealthReport& report, HealthSeverity severity,
 /// exact) and the delivery side (scheduled - delivered - dropped ==
 /// in-flight >= 0).
 void check_messages(const HealthLedger& l, bool at_end, HealthReport& out) {
-  const std::uint64_t survived = l.messages_sent - l.messages_lost;
-  const std::uint64_t expected_scheduled = survived + l.messages_duplicated;
-  if (l.messages_lost > l.messages_sent ||
+  // Uplink queue drops are shed before the interposer and before any
+  // arrival is scheduled, so they leave the balance on the "removed before
+  // arrival" side next to the injected losses.
+  const std::uint64_t removed = l.messages_lost + l.uplink_queue_dropped;
+  const std::uint64_t expected_scheduled =
+      l.messages_sent - removed + l.messages_duplicated;
+  if (removed > l.messages_sent ||
       l.arrivals_scheduled != expected_scheduled) {
     add_finding(out, HealthSeverity::kCritical, "net.message_conservation",
                 "arrivals_scheduled=" + u64(l.arrivals_scheduled) +
-                    " != sent-lost+duplicated=" + u64(l.messages_sent) + "-" +
-                    u64(l.messages_lost) + "+" + u64(l.messages_duplicated));
+                    " != sent-lost-uplink_qdrop+duplicated=" +
+                    u64(l.messages_sent) + "-" + u64(l.messages_lost) + "-" +
+                    u64(l.uplink_queue_dropped) + "+" +
+                    u64(l.messages_duplicated));
     return;
   }
-  const std::uint64_t accounted = l.messages_delivered + l.messages_dropped;
+  const std::uint64_t accounted = l.messages_delivered + l.messages_dropped +
+                                  l.downlink_queue_dropped;
   if (accounted > l.arrivals_scheduled) {
     add_finding(out, HealthSeverity::kCritical, "net.message_conservation",
-                "delivered+dropped=" + u64(l.messages_delivered) + "+" +
-                    u64(l.messages_dropped) + " exceeds arrivals_scheduled=" +
+                "delivered+dropped+downlink_qdrop=" +
+                    u64(l.messages_delivered) + "+" +
+                    u64(l.messages_dropped) + "+" +
+                    u64(l.downlink_queue_dropped) +
+                    " exceeds arrivals_scheduled=" +
                     u64(l.arrivals_scheduled));
     return;
   }
@@ -53,21 +63,28 @@ void check_messages(const HealthLedger& l, bool at_end, HealthReport& out) {
 /// heartbeats emitted = aggregated + lost + dropped + in-flight, over the
 /// heartbeat-tagged slice of the wire counters.
 void check_heartbeats(const HealthLedger& l, bool at_end, HealthReport& out) {
-  if (l.heartbeats_lost > l.heartbeats_emitted) {
+  const std::uint64_t removed =
+      l.heartbeats_lost + l.heartbeats_uplink_queue_dropped;
+  if (removed > l.heartbeats_emitted) {
     add_finding(out, HealthSeverity::kCritical, "hb.conservation",
-                "heartbeats_lost=" + u64(l.heartbeats_lost) +
+                "heartbeats_lost+uplink_qdrop=" + u64(l.heartbeats_lost) +
+                    "+" + u64(l.heartbeats_uplink_queue_dropped) +
                     " exceeds emitted=" + u64(l.heartbeats_emitted));
     return;
   }
   const std::uint64_t on_wire =
-      l.heartbeats_emitted - l.heartbeats_lost + l.heartbeats_duplicated;
-  const std::uint64_t accounted =
-      l.heartbeats_received + l.heartbeats_dropped;
+      l.heartbeats_emitted - removed + l.heartbeats_duplicated;
+  const std::uint64_t accounted = l.heartbeats_received +
+                                  l.heartbeats_dropped +
+                                  l.heartbeats_downlink_queue_dropped;
   if (accounted > on_wire) {
     add_finding(out, HealthSeverity::kCritical, "hb.conservation",
-                "received+dropped=" + u64(l.heartbeats_received) + "+" +
-                    u64(l.heartbeats_dropped) +
-                    " exceeds emitted-lost+duplicated=" + u64(on_wire));
+                "received+dropped+downlink_qdrop=" +
+                    u64(l.heartbeats_received) + "+" +
+                    u64(l.heartbeats_dropped) + "+" +
+                    u64(l.heartbeats_downlink_queue_dropped) +
+                    " exceeds emitted-lost-uplink_qdrop+duplicated=" +
+                    u64(on_wire));
     return;
   }
   const std::uint64_t in_flight = on_wire - accounted;
@@ -115,6 +132,33 @@ void check_pool(const HealthLedger& l, HealthReport& out) {
   }
   add_finding(out, HealthSeverity::kOk, "pool.acquire_balance",
               "acquired=" + u64(l.pool_acquired) + " matches emissions");
+}
+
+/// Delta-mode membership reconstruction: the incrementally maintained
+/// member total must equal the recomputed per-instance view exactly, and
+/// no resync checksum may ever have failed — either breach means delta
+/// application silently diverged from the aggregators' ledgers. Emits
+/// nothing at all in naive mode (no phantom check in the report).
+void check_delta_membership(const HealthLedger& l, HealthReport& out) {
+  if (!l.delta_active) return;
+  if (l.delta_checksum_failures > 0) {
+    add_finding(out, HealthSeverity::kCritical, "delta.membership",
+                u64(l.delta_checksum_failures) +
+                    " resync checksum failure(s): aggregator ledger and "
+                    "controller view disagree");
+    return;
+  }
+  if (l.delta_members_incremental != l.delta_members_view) {
+    add_finding(out, HealthSeverity::kCritical, "delta.membership",
+                "incremental member total=" +
+                    u64(l.delta_members_incremental) +
+                    " != recomputed membership view=" +
+                    u64(l.delta_members_view));
+    return;
+  }
+  add_finding(out, HealthSeverity::kOk, "delta.membership",
+              "members=" + u64(l.delta_members_view) +
+                  " reconstructed exactly from deltas and resyncs");
 }
 
 }  // namespace
@@ -167,6 +211,7 @@ HealthReport HealthAuditor::evaluate(const HealthLedger& ledger,
   check_heartbeats(ledger, at_end, report);
   check_shards(ledger, report);
   check_pool(ledger, report);
+  check_delta_membership(ledger, report);
   return report;
 }
 

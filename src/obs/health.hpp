@@ -51,12 +51,29 @@ struct HealthLedger {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;     ///< detached-endpoint drops
 
+  // Bounded-queue tail drops (return-channel model only; all zero when no
+  // LinkSpec sets a queue bound). Uplink drops are shed before an arrival
+  // is scheduled; downlink drops are shed at edge arrival.
+  std::uint64_t uplink_queue_dropped = 0;
+  std::uint64_t downlink_queue_dropped = 0;
+
   // Heartbeat stream (heartbeat-tagged subset of the wire accounting).
   std::uint64_t heartbeats_emitted = 0;     ///< PNA sends
   std::uint64_t heartbeats_received = 0;    ///< controller + aggregators
   std::uint64_t heartbeats_lost = 0;        ///< tagged injector losses
   std::uint64_t heartbeats_duplicated = 0;  ///< tagged injected duplicates
   std::uint64_t heartbeats_dropped = 0;     ///< tagged detached drops
+  std::uint64_t heartbeats_uplink_queue_dropped = 0;    ///< tagged tail drops
+  std::uint64_t heartbeats_downlink_queue_dropped = 0;  ///< tagged tail drops
+
+  // Delta-mode membership reconstruction (kDelta heartbeat encoding only).
+  // The incremental count is the Controller's O(1) mirror maintained by
+  // delta application; the view count recomputes Σ members from the actual
+  // instance sets. Divergence means a delta/resync was mis-applied.
+  bool delta_active = false;
+  std::uint64_t delta_checksum_failures = 0;
+  std::uint64_t delta_members_incremental = 0;
+  std::uint64_t delta_members_view = 0;
 
   // Per-shard kernel event accounting.
   struct ShardEvents {

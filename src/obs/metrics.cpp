@@ -347,6 +347,10 @@ void PnaCounters::link(MetricsRegistry& registry) const {
   registry.link_counter("pna.heartbeats_sent", heartbeats_sent);
 }
 
+void PnaCounters::link_paced(MetricsRegistry& registry) const {
+  registry.link_counter("pna.heartbeats_paced", heartbeats_paced);
+}
+
 void BroadcastCounters::link(MetricsRegistry& registry) const {
   registry.link_counter("broadcast.commits", commits);
   registry.link_counter("broadcast.files_staged", files_staged);

@@ -291,8 +291,12 @@ struct PnaCounters {
   Counter resets;
   Counter tasks_completed;
   Counter heartbeats_sent;
+  /// Beats deferred to a pacing-window slot (paced heartbeat mode only;
+  /// registered separately so unpaced snapshots carry no phantom cell).
+  Counter heartbeats_paced;
 
   void link(MetricsRegistry& registry) const;
+  void link_paced(MetricsRegistry& registry) const;
 };
 
 /// Shared counters for all broadcast media of one system (carousel and

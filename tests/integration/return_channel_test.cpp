@@ -1,0 +1,239 @@
+// O(changes) return channel, end to end: delta encoding must deliver the
+// same job outcome as the naive tree for a fraction of the Controller's
+// ingest bytes, stay byte-identical under seeded replay per (seed, K,
+// mode) — including the fault matrix with aggregator failover forcing
+// resyncs — and survive a constrained, queue-bounded return channel
+// without violating any conservation invariant.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/system.hpp"
+#include "obs/export.hpp"
+#include "obs/trace_export.hpp"
+#include "workload/job.hpp"
+
+namespace oddci::core {
+namespace {
+
+SystemConfig base_config(HeartbeatMode mode, std::size_t shards,
+                         std::size_t receivers) {
+  SystemConfig config;
+  config.receivers = receivers;
+  config.channels = 2;
+  config.aggregators = 4;
+  config.shards = shards;
+  config.seed = 20260809;
+  config.control.overshoot_margin = 1.3;
+  config.heartbeat.mode = mode;
+  return config;
+}
+
+RunResult run_small_job(OddciSystem& system, std::size_t tasks,
+                        std::size_t instance_size) {
+  const auto job = workload::make_uniform_job(
+      "return-channel", util::Bits::from_megabytes(2), tasks,
+      util::Bits::from_bytes(512), util::Bits::from_bytes(512), 10.0);
+  return system.run_job(job, instance_size);
+}
+
+TEST(ReturnChannel, DeltaMatchesNaiveOutcomeAndCutsIngestBytes) {
+  // Long enough that steady-state windows dominate the delta path's
+  // one-time resync cost (the 10x acceptance point lives in the fan-out
+  // bench at 1M; this guards the asymptotic shape at test scale).
+  SystemConfig naive_cfg =
+      base_config(HeartbeatMode::kNaive, 1, 5'000);
+  OddciSystem naive(naive_cfg);
+  const RunResult naive_result = run_small_job(naive, 600, 50);
+  const std::uint64_t naive_bytes = naive.controller().report_bytes_ingested();
+
+  SystemConfig delta_cfg =
+      base_config(HeartbeatMode::kDelta, 1, 5'000);
+  OddciSystem delta(delta_cfg);
+  const RunResult delta_result = run_small_job(delta, 600, 50);
+  const std::uint64_t delta_bytes = delta.controller().report_bytes_ingested();
+
+  // Identical work done, per mode.
+  EXPECT_TRUE(naive_result.completed);
+  EXPECT_TRUE(delta_result.completed);
+  EXPECT_EQ(naive_result.job.results_received,
+            delta_result.job.results_received);
+  EXPECT_EQ(naive_result.job.tasks_failed, delta_result.job.tasks_failed);
+  EXPECT_EQ(delta_result.final_instance_size,
+            naive_result.final_instance_size);
+
+  // The point of the PR: steady-state members are never re-shipped, so the
+  // Controller ingests a fraction of the naive report volume.
+  EXPECT_GT(naive_bytes, 0u);
+  EXPECT_LT(delta_bytes * 5, naive_bytes);
+
+  // Delta application reconstructed the membership view exactly.
+  EXPECT_TRUE(delta_result.health.ok()) << delta_result.health.to_text();
+  EXPECT_EQ(delta.controller().delta_stats().checksum_failures, 0u);
+}
+
+// Per (seed, K, mode): two in-process runs must export byte-identical
+// metrics JSON and Chrome traces. This pins the delta path (and pacing-free
+// naive path) to the kernel's determinism contract across shard counts.
+TEST(ReturnChannel, SeededExportsAreByteIdenticalPerSeedShardsMode) {
+  struct Export {
+    std::string metrics_json;
+    std::string chrome_trace;
+    bool completed = false;
+  };
+  auto run_once = [](HeartbeatMode mode, std::size_t shards) {
+    SystemConfig config = base_config(mode, shards, 2'000);
+    config.obs.trace = true;
+    config.obs.trace_capacity = 1 << 16;
+    OddciSystem system(config);
+    const RunResult result = run_small_job(system, 100, 40);
+    Export e;
+    e.metrics_json = obs::to_json(result.metrics);
+    e.chrome_trace = obs::to_chrome_trace(*system.flight_recorder());
+    e.completed = result.completed;
+    return e;
+  };
+
+  for (const HeartbeatMode mode :
+       {HeartbeatMode::kNaive, HeartbeatMode::kDelta}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      const Export first = run_once(mode, shards);
+      const Export second = run_once(mode, shards);
+      EXPECT_TRUE(first.completed)
+          << "mode=" << static_cast<int>(mode) << " K=" << shards;
+      EXPECT_EQ(first.metrics_json, second.metrics_json)
+          << "mode=" << static_cast<int>(mode) << " K=" << shards;
+      EXPECT_EQ(first.chrome_trace, second.chrome_trace)
+          << "mode=" << static_cast<int>(mode) << " K=" << shards;
+    }
+  }
+}
+
+// Full fault matrix in delta mode with a relay tier: aggregator
+// crash-restarts must force post-restart resyncs, the job must lose and
+// double-count nothing, and the whole trajectory must replay byte for
+// byte.
+TEST(ReturnChannel, FaultMatrixAggregatorFailoverForcesResyncAndReplays) {
+  struct Export {
+    std::string metrics_json;
+    bool completed = false;
+    std::uint64_t unique_results = 0;
+    std::uint64_t tasks_failed = 0;
+    std::uint64_t resyncs_applied = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t checksum_failures = 0;
+    bool health_ok = false;
+    std::string health_text;
+  };
+  auto run_matrix = [] {
+    SystemConfig config = base_config(HeartbeatMode::kDelta, 1, 20'000);
+    config.heartbeat.tree_fanin = 2;  // 4 leaves -> 2 relays
+    config.fault.enabled = true;
+    config.fault.message_loss = 0.01;
+    config.fault.message_duplication = 0.01;
+    config.fault.partitions_per_hour = 6.0;
+    config.fault.partition_duration = sim::SimTime::from_seconds(30);
+    config.fault.aggregator_crashes_per_hour = 60.0;
+    config.fault.pna_crashes_per_hour = 20.0;
+    OddciSystem system(config);
+    const RunResult result = run_small_job(system, 400, 50);
+    Export e;
+    e.metrics_json = obs::to_json(result.metrics);
+    e.completed = result.completed;
+    e.unique_results = result.job.results_received -
+                       result.job.duplicate_results - result.job.late_results;
+    e.tasks_failed = result.job.tasks_failed;
+    const auto delta = system.controller().delta_stats();
+    e.resyncs_applied = delta.resyncs_applied;
+    e.frames_received = delta.frames_received;
+    e.checksum_failures = delta.checksum_failures;
+    e.health_ok = result.health.ok();
+    e.health_text = result.health.to_text();
+    return e;
+  };
+
+  const Export first = run_matrix();
+  const Export second = run_matrix();
+
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  EXPECT_EQ(first.resyncs_applied, second.resyncs_applied);
+  EXPECT_EQ(first.frames_received, second.frames_received);
+
+  EXPECT_TRUE(first.completed);
+  EXPECT_EQ(first.unique_results, 400u);
+  EXPECT_EQ(first.tasks_failed, 0u);
+  EXPECT_TRUE(first.health_ok) << first.health_text;
+  EXPECT_EQ(first.checksum_failures, 0u);
+
+  // Every leaf resyncs once at startup; failover-forced resyncs push the
+  // count past the leaf count (4 here).
+  EXPECT_GT(first.resyncs_applied, 4u);
+  EXPECT_GT(first.frames_received, 0u);
+}
+
+// Wakeup storm over the modeled return channel with pacing on: the run
+// must converge, the new queue/pacing observability must be present in the
+// snapshot, and no conservation check may fire.
+TEST(ReturnChannel, ConstrainedChannelStormConvergesWithHealthyQueues) {
+  SystemConfig config = base_config(HeartbeatMode::kDelta, 1, 20'000);
+  config.heartbeat.paced = true;
+  config.return_channel.enabled = true;
+  OddciSystem system(config);
+  const RunResult result = run_small_job(system, 200, 100);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.health.ok()) << result.health.to_text();
+
+  // Return-channel health is visible: queue-drop counters, backlog gauges
+  // and the pacing counter all registered.
+  const std::string json = obs::to_json(result.metrics);
+  EXPECT_NE(json.find("net.uplink_queue_dropped"), std::string::npos);
+  EXPECT_NE(json.find("net.downlink_queue_dropped"), std::string::npos);
+  EXPECT_NE(json.find("net.controller_downlink_backlog_seconds"),
+            std::string::npos);
+  EXPECT_NE(json.find("net.aggregator_uplink_backlog_seconds"),
+            std::string::npos);
+  EXPECT_NE(json.find("pna.heartbeats_paced"), std::string::npos);
+  EXPECT_NE(json.find("controller.delta_frames_received"), std::string::npos);
+
+  // The delta membership conservation check ran and passed.
+  bool saw_delta_check = false;
+  for (const auto& finding : result.health.findings) {
+    if (finding.check == "delta.membership") {
+      saw_delta_check = true;
+      EXPECT_EQ(finding.severity, obs::HealthSeverity::kOk) << finding.detail;
+    }
+  }
+  EXPECT_TRUE(saw_delta_check);
+}
+
+// Starve the Controller's downlink until delta frames tail-drop (the four
+// leaves' window-aligned resync bursts collide there): drops must be
+// counted (not silently lost), the delta protocol must notice (gaps,
+// skips or resync requests), and every conservation balance must still
+// hold.
+TEST(ReturnChannel, TailDropsAreAccountedAndNeverBreakConservation) {
+  SystemConfig config = base_config(HeartbeatMode::kDelta, 1, 4'000);
+  config.return_channel.enabled = true;
+  config.return_channel.controller_downlink = util::BitRate::from_mbps(0.2);
+  config.return_channel.queue_limit = sim::SimTime::from_millis(500);
+  OddciSystem system(config);
+  const RunResult result = run_small_job(system, 100, 40);
+
+  // The starved channel sheds frames...
+  EXPECT_GT(result.network.downlink_queue_dropped, 0u);
+  // ...but every shed frame is accounted: no critical conservation finding
+  // (in-flight residue at run end is kInfo and fine).
+  EXPECT_TRUE(result.health.ok()) << result.health.to_text();
+  // And the Controller observed the disruption through the protocol, not
+  // through silent divergence.
+  const auto delta = system.controller().delta_stats();
+  EXPECT_EQ(delta.checksum_failures, 0u);
+  EXPECT_GT(delta.gaps_detected + delta.frames_skipped + delta.resync_requests,
+            0u);
+}
+
+}  // namespace
+}  // namespace oddci::core
