@@ -272,6 +272,46 @@ core::SystemConfig system_config(const util::Config& cfg) {
         static_cast<int>(cfg.get_int("fault_task_retry_cap", 16));
     f.aggregator_failover_timeout = sim::SimTime::from_seconds(
         cfg.get_double("fault_failover_s", 60.0));
+    // Byzantine adversary profiles (require fault=1): seeded fractions of
+    // result forgers and free-riders, plus one colluding group sharing a
+    // forgery seed.
+    f.byzantine_forger_fraction = cfg.get_double("byzantine_forgers", 0.0);
+    f.byzantine_freerider_fraction =
+        cfg.get_double("byzantine_freeriders", 0.0);
+    f.byzantine_collusion_size =
+        static_cast<std::uint32_t>(cfg.get_int("byzantine_collusion", 0));
+  }
+
+  // Backend-side Byzantine defense: redundant dispatch + quorum voting,
+  // seeded spot checks, and the reputation ledger. Off by default (the
+  // naive path stays byte-identical to the pre-verification tree).
+  if (cfg.get_bool("verify", false)) {
+    core::VerifyOptions& v = config.verify;
+    v.enabled = true;
+    v.redundancy =
+        static_cast<std::uint32_t>(cfg.get_int("verify_redundancy", 2));
+    v.trusted_redundancy = static_cast<std::uint32_t>(
+        cfg.get_int("verify_trusted_redundancy", 1));
+    v.max_redundancy =
+        static_cast<std::uint32_t>(cfg.get_int("verify_max_redundancy", 5));
+    v.spot_check_rate = cfg.get_double("verify_spot_rate", 0.05);
+    v.quarantine_spot_boost =
+        cfg.get_double("verify_quarantine_boost", 4.0);
+    v.parole_failure_limit = static_cast<std::uint32_t>(
+        cfg.get_int("verify_parole_failure_limit", 4));
+    v.implausible_speedup =
+        cfg.get_double("verify_implausible_speedup", 64.0);
+    v.eager_replicas = cfg.get_bool("verify_eager", false);
+    v.ewma_alpha = cfg.get_double("reputation_alpha", 0.25);
+    v.initial_reputation = cfg.get_double("reputation_initial", 0.5);
+    v.quarantine_below =
+        cfg.get_double("reputation_quarantine_below", 0.25);
+    v.trusted_above = cfg.get_double("reputation_trusted_above", 0.9);
+    v.min_observations = static_cast<std::uint32_t>(
+        cfg.get_int("reputation_min_observations", 8));
+    v.parole_checks = static_cast<std::uint32_t>(
+        cfg.get_int("reputation_parole_checks", 3));
+    v.seed = static_cast<std::uint64_t>(cfg.get_int("verify_seed", 0));
   }
   return config;
 }
@@ -399,14 +439,58 @@ int main(int argc, char** argv) {
                 << " tasks failed\n";
       // Invariant: a completed job received every task exactly once —
       // duplicates and stragglers were deduped, nothing was lost or
-      // double-counted.
+      // double-counted. Under verification the per-task result count is
+      // the quorum size, so the invariant moves to the verify gate below
+      // (every task concluded by exactly one accepted quorum).
       const std::uint64_t unique = result.job.results_received -
                                    result.job.duplicate_results -
                                    result.job.late_results;
-      if (result.completed && unique != job.task_count()) {
+      if (system.verifier() == nullptr && result.completed &&
+          unique != job.task_count()) {
         std::cerr << "INVARIANT VIOLATION: " << unique
                   << " unique results for " << job.task_count()
                   << " tasks\n";
+        return 3;
+      }
+    }
+
+    // Verification report + acceptance gate: with the defense on, print
+    // the quorum/ledger tallies and fail (exit 3) if any wrong result was
+    // accepted or the measured redundancy overhead — (replica + spot
+    // dispatches) per verified task — exceeds the configured bound.
+    if (const core::Verifier* verifier = system.verifier()) {
+      const auto vs = verifier->stats();
+      const double overhead =
+          vs.tasks_verified > 0
+              ? static_cast<double>(vs.dispatched + vs.spot_dispatched) /
+                    static_cast<double>(vs.tasks_verified)
+              : 0.0;
+      std::cout << "  verify: " << vs.tasks_verified << " tasks verified, "
+                << vs.wrong_results << " wrong, " << vs.outvoted
+                << " outvoted, " << vs.escalations << " escalations, "
+                << vs.spot_failed << "/" << vs.spot_dispatched
+                << " spot fails, " << vs.implausible_returns
+                << " implausible returns\n"
+                << "  reputation: " << vs.quarantines << " quarantines ("
+                << vs.quarantined_now << " now), " << vs.paroles
+                << " paroles, " << vs.trusted_promotions
+                << " trusted promotions; overhead "
+                << util::Table::fmt(overhead, 2) << "x per verified task\n";
+      const double max_overhead = cfg.get_double("verify_max_overhead", 0.0);
+      if (result.completed && vs.tasks_verified != job.task_count()) {
+        std::cerr << "INVARIANT VIOLATION: " << vs.tasks_verified
+                  << " verified quorums for " << job.task_count()
+                  << " tasks\n";
+        return 3;
+      }
+      if (vs.wrong_results > 0) {
+        std::cerr << "VERIFY VIOLATION: " << vs.wrong_results
+                  << " wrong result(s) accepted\n";
+        return 3;
+      }
+      if (max_overhead > 0.0 && overhead > max_overhead) {
+        std::cerr << "VERIFY VIOLATION: redundancy overhead " << overhead
+                  << " exceeds bound " << max_overhead << "\n";
         return 3;
       }
     }

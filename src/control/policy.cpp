@@ -77,9 +77,14 @@ Admission DecisionEngine::admit(const AdmissionRequest& request) {
   // (no metric increments, no trace events), keeping default runs
   // byte-identical to the pre-engine tree.
   if (options_.min_suitability <= 0.0) return Admission::kAdmit;
-  const double phi = analytical::suitability(
+  double phi = analytical::suitability(
       request.input_bits, request.result_bits, request.delta,
       request.task_seconds);
+  // Verified execution discount: each verified task costs verify_overhead
+  // dispatches, so the effective suitability shrinks by that factor. The
+  // guard keeps a malformed (< 1) factor from inflating Phi, and leaves
+  // the verification-off value of exactly 1.0 a no-op.
+  if (request.verify_overhead > 1.0) phi /= request.verify_overhead;
   const bool ok = phi >= options_.min_suitability;
   // Phi in parts-per-million so huge suitabilities survive the u64 arg.
   const auto phi_ppm = static_cast<std::uint64_t>(phi * 1e6);

@@ -156,6 +156,12 @@ struct AdmissionRequest {
   double result_bits = 0.0;   ///< average per-task result r
   double task_seconds = 0.0;  ///< average per-task time on the device, p
   util::BitRate delta;        ///< per-node direct-channel capacity
+  /// Redundancy overhead factor of verified execution (dispatches per
+  /// verified task, >= 1): the suitability Phi is divided by it, so a
+  /// population that needs 2x replication halves its verified throughput
+  /// in the admission signal. 1.0 (the default, and the value whenever
+  /// verification is off) leaves Phi untouched.
+  double verify_overhead = 1.0;
 };
 
 enum class Admission : std::uint8_t {

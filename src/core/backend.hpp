@@ -22,7 +22,16 @@
 /// Fault tolerance: tasks assigned to PNAs that disappear (churn) are
 /// re-queued after `task_timeout`; duplicate results (a re-queued task
 /// completed twice) are counted but only the first is kept.
+///
+/// Byzantine defense: with a Verifier attached (set_verifier), dispatch
+/// becomes k-way redundant with quorum voting over result digests, task
+/// polls may be answered with seeded spot-checks, and the outstanding
+/// table is keyed per (task, replica). Without one, every verified-path
+/// branch is skipped and the naive trajectory is byte-identical to the
+/// pre-verification tree.
 namespace oddci::core {
+
+class Verifier;
 
 struct BackendOptions {
   /// An outstanding assignment is re-queued after this long. Zero disables
@@ -117,6 +126,13 @@ class Backend final : public net::Endpoint {
     admission_slowdown_ = task_slowdown;
   }
 
+  /// Attach the Byzantine-defense verifier consulted on every dispatch and
+  /// result (nullptr, the default, keeps the naive single-dispatch path).
+  /// Attach before the first submit(); the verifier must outlive the
+  /// Backend's jobs.
+  void set_verifier(Verifier* verifier) { verifier_ = verifier; }
+  [[nodiscard]] Verifier* verifier() const { return verifier_; }
+
   [[nodiscard]] bool job_active() const { return active_; }
   /// True once a task exhausted its retry cap: the job ended (on_complete
   /// fired) but did not succeed.
@@ -174,12 +190,29 @@ class Backend final : public net::Endpoint {
     obs::TraceContext trace;  ///< context of the dispatch event
   };
 
+  /// Outstanding-table key: task index in the low bits, replica slot in the
+  /// high 16. The naive path always dispatches replica 0, so its keys stay
+  /// numerically identical to the raw task index.
+  static constexpr std::uint64_t kReplicaShift = 48;
+  static constexpr std::uint64_t kIndexMask = (1ull << kReplicaShift) - 1;
+  [[nodiscard]] static constexpr std::uint64_t vkey(
+      std::uint64_t index, std::uint32_t replica) noexcept {
+    return index | (static_cast<std::uint64_t>(replica) << kReplicaShift);
+  }
+
   void handle_request(net::NodeId from, const TaskRequestMessage& request);
+  void handle_request_verified(net::NodeId from,
+                               const TaskRequestMessage& request);
   void handle_result(net::NodeId from, const TaskResultMessage& result);
+  void handle_result_verified(net::NodeId from,
+                              const TaskResultMessage& result);
   void sweep_timeouts();
   /// Re-queue `index` unless it exhausted the retry cap (then the task —
   /// and with it the job — is failed). Returns true when re-queued.
   bool note_retry(std::uint64_t index);
+  /// Mark-aware pending push: in verified mode a task needing more replicas
+  /// may already sit in the queue; it is never queued twice.
+  void push_pending(std::uint64_t index);
   void fail_task(std::uint64_t index);
   void check_job_done();
   void arm_sweeper();
@@ -216,10 +249,21 @@ class Backend final : public net::Endpoint {
   util::BitRate admission_delta_;
   double admission_slowdown_ = 1.0;
 
+  Verifier* verifier_ = nullptr;
+  /// Verified mode only: 1 while the task index sits in pending_ (a task
+  /// needing several replicas is queued once, not once per replica).
+  std::vector<std::uint8_t> pending_marks_;
+  /// Verified mode only: quorum-driven re-queues (escalations and dropped
+  /// rounds) per task — deliberately separate from retry_counts_ so a
+  /// noisy vote can never trip the loss-retry cap.
+  std::vector<std::uint16_t> revote_counts_;
+
   obs::LogHistogram task_cycle_{1e-3};
   /// Retry count of each task at first-result time (how many dispatches a
   /// completed task actually took).
   obs::LogHistogram task_retries_{1.0};
+  /// Verified mode: revote count of each task at conclusion time.
+  obs::LogHistogram task_revotes_{1.0};
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
 };

@@ -208,18 +208,23 @@ class TaskRequestMessage final : public net::Message {
 };
 
 /// Backend -> PNA: a task assignment; the wire size includes the task's
-/// input payload (the paper's s term).
+/// input payload (the paper's s term). `replica` distinguishes the k
+/// redundant dispatches of one task under verified execution (0 for the
+/// first/only copy); it rides the modelled transport-header budget, so
+/// wire_size is unchanged whether or not verification is on.
 class TaskAssignMessage final : public net::Message {
  public:
   TaskAssignMessage(InstanceId instance, std::uint64_t task_index,
                     util::Bits input_size, util::Bits result_size,
-                    double reference_seconds, obs::TraceContext trace = {})
+                    double reference_seconds, obs::TraceContext trace = {},
+                    std::uint32_t replica = 0)
       : instance_(instance),
         task_index_(task_index),
         input_size_(input_size),
         result_size_(result_size),
         reference_seconds_(reference_seconds),
-        trace_(trace) {}
+        trace_(trace),
+        replica_(replica) {}
 
   [[nodiscard]] util::Bits wire_size() const override {
     return kHeaderBits + input_size_;
@@ -232,6 +237,7 @@ class TaskAssignMessage final : public net::Message {
   [[nodiscard]] util::Bits result_size() const { return result_size_; }
   [[nodiscard]] double reference_seconds() const { return reference_seconds_; }
   [[nodiscard]] obs::TraceContext trace() const { return trace_; }
+  [[nodiscard]] std::uint32_t replica() const { return replica_; }
 
  private:
   InstanceId instance_;
@@ -240,19 +246,27 @@ class TaskAssignMessage final : public net::Message {
   util::Bits result_size_;
   double reference_seconds_;
   obs::TraceContext trace_;
+  std::uint32_t replica_;
 };
 
 /// PNA -> Backend: a task's result; wire size includes the r payload.
+/// `digest` is the canonical result digest (fault::honest_result_digest
+/// for an honest computation; 0 when verification is off — the pre-verify
+/// protocol) and `replica` echoes the TaskAssign replica id. Both ride the
+/// modelled transport-header budget: wire_size is unchanged.
 class TaskResultMessage final : public net::Message {
  public:
   TaskResultMessage(InstanceId instance, std::uint64_t task_index,
                     std::uint64_t pna_id, util::Bits result_size,
-                    obs::TraceContext trace = {})
+                    obs::TraceContext trace = {}, std::uint64_t digest = 0,
+                    std::uint32_t replica = 0)
       : instance_(instance),
         task_index_(task_index),
         pna_id_(pna_id),
         result_size_(result_size),
-        trace_(trace) {}
+        trace_(trace),
+        digest_(digest),
+        replica_(replica) {}
 
   [[nodiscard]] util::Bits wire_size() const override {
     return kHeaderBits + result_size_;
@@ -263,6 +277,8 @@ class TaskResultMessage final : public net::Message {
   [[nodiscard]] std::uint64_t task_index() const { return task_index_; }
   [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
   [[nodiscard]] obs::TraceContext trace() const { return trace_; }
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+  [[nodiscard]] std::uint32_t replica() const { return replica_; }
 
  private:
   InstanceId instance_;
@@ -270,6 +286,8 @@ class TaskResultMessage final : public net::Message {
   std::uint64_t pna_id_;
   util::Bits result_size_;
   obs::TraceContext trace_;
+  std::uint64_t digest_;
+  std::uint32_t replica_;
 };
 
 /// Backend -> PNA: idempotent acknowledgement of a received result. Only
@@ -296,15 +314,19 @@ class TaskResultAckMessage final : public net::Message {
 /// result (it was reset while executing — trimming or instance teardown).
 /// Lets the Backend requeue immediately instead of waiting for the
 /// re-dispatch timeout. A power-off cannot send this; those losses are
-/// still covered by the timeout sweep.
+/// still covered by the timeout sweep. `replica` echoes the TaskAssign
+/// replica id so the abort addresses exactly the dispatched copy; like the
+/// other verification fields it rides the transport-header budget.
 class TaskAbortMessage final : public net::Message {
  public:
   TaskAbortMessage(InstanceId instance, std::uint64_t task_index,
-                   std::uint64_t pna_id, obs::TraceContext trace = {})
+                   std::uint64_t pna_id, obs::TraceContext trace = {},
+                   std::uint32_t replica = 0)
       : instance_(instance),
         task_index_(task_index),
         pna_id_(pna_id),
-        trace_(trace) {}
+        trace_(trace),
+        replica_(replica) {}
 
   [[nodiscard]] util::Bits wire_size() const override { return kHeaderBits; }
   [[nodiscard]] int tag() const override { return kTagTaskAbort; }
@@ -313,12 +335,14 @@ class TaskAbortMessage final : public net::Message {
   [[nodiscard]] std::uint64_t task_index() const { return task_index_; }
   [[nodiscard]] std::uint64_t pna_id() const { return pna_id_; }
   [[nodiscard]] obs::TraceContext trace() const { return trace_; }
+  [[nodiscard]] std::uint32_t replica() const { return replica_; }
 
  private:
   InstanceId instance_;
   std::uint64_t task_index_;
   std::uint64_t pna_id_;
   obs::TraceContext trace_;
+  std::uint32_t replica_;
 };
 
 /// Backend -> PNA: queue exhausted (the PNA stays a member of the instance

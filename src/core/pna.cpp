@@ -69,7 +69,8 @@ void PnaXlet::destroy_xlet(bool /*unconditional*/) {
     context_->receiver().send(
         backend_node_,
         std::make_shared<TaskAbortMessage>(dve_->instance(), *running_task_,
-                                           pna_id(), running_task_ctx_));
+                                           pna_id(), running_task_ctx_,
+                                           running_replica_));
     running_task_.reset();
   }
   if (context_ != nullptr) {
@@ -298,7 +299,8 @@ void PnaXlet::leave_instance() {
     context_->receiver().send(
         backend_node_,
         std::make_shared<TaskAbortMessage>(dve_->instance(), *running_task_,
-                                           pna_id(), running_task_ctx_));
+                                           pna_id(), running_task_ctx_,
+                                           running_replica_));
   }
   if (dve_ || pending_join_) {
     trace_emit(obs::TraceEventKind::kResetApplied, join_ctx_, instance());
@@ -473,7 +475,8 @@ void PnaXlet::arm_result_retry() {
             backend_node_,
             std::make_shared<TaskResultMessage>(
                 pending_result_->instance, pending_result_->task_index,
-                pna_id(), pending_result_->result_size, ctx));
+                pna_id(), pending_result_->result_size, ctx,
+                pending_result_->digest, pending_result_->replica));
         arm_result_retry();
       },
       sim::SimTime::zero(), sim::EventPriority::kDefault);
@@ -524,16 +527,70 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
       const std::uint64_t task_index = assign.task_index();
       const util::Bits result_size = assign.result_size();
       const InstanceId instance = dve_->instance();
+      const std::uint32_t replica = assign.replica();
+
+      // Byzantine gate: with a profile block attached, this agent stamps a
+      // result digest — the canonical one when honest, a forged one when
+      // adversarial. Without a block, digest 0 keeps the pre-verification
+      // wire bytes bit for bit.
+      auto profile = fault::ByzantineProfile::kHonest;
+      std::uint64_t digest = 0;
+      if (env_->byzantine != nullptr) {
+        const auto* table = env_->byzantine->table;
+        const auto index =
+            static_cast<std::size_t>(pna_id() - env_->byzantine->base);
+        if (table != nullptr) profile = table->profile(index);
+        digest = profile == fault::ByzantineProfile::kHonest
+                     ? fault::honest_result_digest(instance, task_index)
+                     : fault::forged_result_digest(table->forge_seed(index),
+                                                   instance, task_index);
+      }
+
+      if (profile == fault::ByzantineProfile::kFreeRider) {
+        // Free-rider: accept the task, skip the compute entirely, return
+        // garbage immediately — to the Backend it looks like an absurdly
+        // fast completion; only the digest (and the spot-check record)
+        // gives it away.
+        ++stats_.tasks_completed;
+        if (env_->counters != nullptr) {
+          ++env_->counters->tasks_completed;
+          ++env_->counters->results_freeridden;
+        }
+        dve_->record_task_completed();
+        const obs::TraceContext done = trace_emit(
+            obs::TraceEventKind::kTaskExecuted, assign.trace(), task_index);
+        context_->receiver().send(
+            backend_node_,
+            std::make_shared<TaskResultMessage>(instance, task_index,
+                                                pna_id(), result_size, done,
+                                                digest, replica));
+        if (env_->recovery != nullptr) {
+          pending_result_ = PendingResult{instance,    task_index,
+                                          result_size, done,
+                                          0,           digest,
+                                          replica};
+          arm_result_retry();
+        }
+        request_task();
+        break;
+      }
+
       running_task_ = task_index;
+      running_replica_ = replica;
       running_task_ctx_ = assign.trace();
+      const bool forged = profile != fault::ByzantineProfile::kHonest;
       running_exec_ = context_->receiver().execute(
           assign.reference_seconds(),
-          [this, task_index, result_size, instance] {
+          [this, task_index, result_size, instance, digest, replica,
+           forged] {
             running_exec_.reset();
             running_task_.reset();
             if (!dve_ || dve_->instance() != instance) return;
             ++stats_.tasks_completed;
-            if (env_->counters != nullptr) ++env_->counters->tasks_completed;
+            if (env_->counters != nullptr) {
+              ++env_->counters->tasks_completed;
+              if (forged) ++env_->counters->results_forged;
+            }
             dve_->record_task_completed();
             const obs::TraceContext done =
                 trace_emit(obs::TraceEventKind::kTaskExecuted,
@@ -542,11 +599,13 @@ void PnaXlet::on_direct_message(net::NodeId /*from*/,
             context_->receiver().send(
                 backend_node_, std::make_shared<TaskResultMessage>(
                                    instance, task_index, pna_id(),
-                                   result_size, done));
+                                   result_size, done, digest, replica));
             if (env_->recovery != nullptr) {
               // Hold the result for bounded retry until the Backend acks.
-              pending_result_ =
-                  PendingResult{instance, task_index, result_size, done, 0};
+              pending_result_ = PendingResult{instance,    task_index,
+                                              result_size, done,
+                                              0,           digest,
+                                              replica};
               arm_result_retry();
             }
             request_task();

@@ -10,6 +10,7 @@
 #include "core/messages.hpp"
 #include "dtv/receiver.hpp"
 #include "dtv/xlet.hpp"
+#include "fault/byzantine.hpp"
 #include "net/message_pool.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
@@ -82,6 +83,21 @@ struct PnaEnvironment {
     obs::Counter request_retries;
   };
   Recovery* recovery = nullptr;
+
+  // --- Byzantine adversary model (nullable: with no block attached the
+  // agent stamps no result digests — the pre-verification wire bytes,
+  // bit for bit) -------------------------------------------------------------
+
+  /// Adversarial profile table plus the node-id base mapping node ids back
+  /// to receiver indices. Attached when Byzantine profiles or verified
+  /// execution are configured; honest agents then stamp the canonical
+  /// digest on every result, adversaries follow their profile. A null
+  /// `table` (verification on, zero adversaries) means everyone is honest.
+  struct Byzantine {
+    const fault::ByzantineTable* table = nullptr;
+    net::NodeId base = 0;  ///< node id of receiver index 0
+  };
+  const Byzantine* byzantine = nullptr;
 };
 
 struct PnaStats {
@@ -213,6 +229,8 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
   std::optional<dtv::Receiver::ExecToken> running_exec_;
   /// Task index currently executing (for abort notification on reset).
   std::optional<std::uint64_t> running_task_;
+  /// Replica slot of the running task (echoed on results and aborts).
+  std::uint32_t running_replica_ = 0;
   /// When the pending join's image read started (acquire latency).
   sim::SimTime join_started_at_;
   /// Trace contexts threading the causal chain: the last verified control
@@ -231,6 +249,8 @@ class PnaXlet final : public dtv::Xlet, public dtv::CarouselAware {
     util::Bits result_size;
     obs::TraceContext trace;
     int attempts = 0;
+    std::uint64_t digest = 0;    ///< result digest the retry re-sends
+    std::uint32_t replica = 0;   ///< replica slot the retry re-sends
   };
   std::optional<PendingResult> pending_result_;
   /// Generation guards invalidating in-flight retry/watchdog timers (the

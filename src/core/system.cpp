@@ -103,6 +103,13 @@ void SystemConfig::validate() const {
     }
   }
   if (fault.enabled) fault.validate();
+  if (verify.enabled) verify.validate();
+  if (!fault.enabled && (fault.byzantine_forger_fraction > 0.0 ||
+                         fault.byzantine_freerider_fraction > 0.0 ||
+                         fault.byzantine_collusion_size > 0)) {
+    throw std::invalid_argument(
+        "SystemConfig: byzantine_* profiles require fault.enabled");
+  }
 }
 
 double RunResult::efficiency(std::size_t n, double device_task_seconds,
@@ -301,6 +308,29 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
   backend_->set_admission_context(
       config_.delta, config_.profile.slowdown(dtv::PowerMode::kInUse));
 
+  if (config_.verify.enabled) {
+    // The Verifier's stream is named off the system seed (overridable), so
+    // turning verification on never perturbs population seeding, and its
+    // draws happen in Backend handler order on the control shard — the
+    // verified trajectory replays byte-identically per (seed, K).
+    const std::uint64_t vseed =
+        config_.verify.seed != 0
+            ? config_.verify.seed
+            : util::stream_seed(config_.seed, "verify.dispatch");
+    verifier_ =
+        std::make_unique<Verifier>(*simulation_, config_.verify, vseed);
+    if (config_.aggregators >= 2) {
+      // Collusion correlates with the aggregator region (one neighborhood,
+      // one modified firmware image), and pna id % A is exactly the
+      // region routing agents use — tell the replica scheduler.
+      const std::uint64_t A = config_.aggregators;
+      verifier_->set_region_fn([A](std::uint64_t pna_id) {
+        return static_cast<std::uint32_t>(pna_id % A);
+      });
+    }
+    backend_->set_verifier(verifier_.get());
+  }
+
   pna_env_.content_store = store_.get();
   pna_env_.trusted_key = key_;
   pna_env_.task_poll_interval = config_.task_poll_interval;
@@ -403,6 +433,39 @@ OddciSystem::OddciSystem(const SystemConfig& config) : config_(config) {
     for (auto& r : receivers_) r->activate_shard_routing();
   }
 
+  // Adversarial profile table: built after the receivers so it can key
+  // collusion on their aggregator regions (node id % A). The table is a
+  // pure hash of the fault seed's "fault.byzantine" stream — no live
+  // draws, so enabling profiles never perturbs the PR 5 fault plan.
+  if (config_.fault.enabled &&
+      (config_.fault.byzantine_forger_fraction > 0.0 ||
+       config_.fault.byzantine_freerider_fraction > 0.0 ||
+       config_.fault.byzantine_collusion_size >= 2)) {
+    const std::uint64_t fseed = config_.fault.seed != 0
+                                    ? config_.fault.seed
+                                    : (config_.seed ^ 0x0DDC1FA17ull);
+    std::vector<std::uint32_t> regions;
+    regions.reserve(receivers_.size());
+    for (const auto& r : receivers_) {
+      regions.push_back(
+          A > 0 ? static_cast<std::uint32_t>(r->node_id() % A) : 0u);
+    }
+    byz_table_ = std::make_unique<fault::ByzantineTable>(
+        util::stream_seed(fseed, "fault.byzantine"), receivers_.size(),
+        config_.fault.byzantine_forger_fraction,
+        config_.fault.byzantine_freerider_fraction,
+        config_.fault.byzantine_collusion_size, regions);
+  }
+  if ((byz_table_ && byz_table_->active()) || verifier_) {
+    // Agents need the block whenever results carry digests: adversaries to
+    // forge them, and — under verification — honest agents to compute them.
+    byz_block_.table = byz_table_.get();
+    byz_block_.base =
+        receivers_.empty() ? 0 : receivers_.front()->node_id();
+    pna_env_.byzantine = &byz_block_;
+    for (auto& env : shard_envs_) env.byzantine = &byz_block_;
+  }
+
   if (config_.churn) {
     const std::uint64_t churn_seed = rng.engine().next();
     if (K == 1) {
@@ -487,6 +550,9 @@ void OddciSystem::wire_observability() {
   controller_->set_tracer(tracer_.get());
   backend_->link_metrics(*registry_);
   backend_->set_tracer(tracer_.get());
+  // Verify/reputation cells — only when the defense is on, so verify-off
+  // snapshots are byte-identical to a build without the subsystem.
+  if (verifier_) verifier_->link_metrics(*registry_);
   provider_->link_metrics(*registry_);
   for (std::size_t a = 0; a < aggregators_.size(); ++a) {
     aggregators_[a]->link_metrics(*registry_,
@@ -585,6 +651,28 @@ void OddciSystem::wire_observability() {
       });
     }
   }
+  // Adversarial-behaviour counters — registered only when the profile
+  // table seeded at least one adversary (no phantom zero cells otherwise).
+  if (byz_table_ && byz_table_->active()) {
+    if (K == 1) {
+      pna_counters_.link_byzantine(*registry_);
+    } else {
+      registry_->link_counter_fn("pna.results_forged", [this] {
+        std::uint64_t sum = 0;
+        for (const auto& c : shard_pna_counters_) {
+          sum += c.results_forged.value();
+        }
+        return sum;
+      });
+      registry_->link_counter_fn("pna.results_freeridden", [this] {
+        std::uint64_t sum = 0;
+        for (const auto& c : shard_pna_counters_) {
+          sum += c.results_freeridden.value();
+        }
+        return sum;
+      });
+    }
+  }
   broadcast_counters_.link(*registry_);
   for (auto& channel : channels_) {
     channel->set_counters(&broadcast_counters_);
@@ -672,6 +760,7 @@ void OddciSystem::wire_observability() {
     // attaching the recorder costs nothing by default.
     controller_->engine().set_flight_recorder(recorder_.get());
     backend_->set_flight_recorder(recorder_.get());
+    if (verifier_) verifier_->set_flight_recorder(recorder_.get());
     for (auto& aggregator : aggregators_) {
       aggregator->set_flight_recorder(recorder_.get());
     }
@@ -702,6 +791,8 @@ void OddciSystem::wire_observability() {
     // right home for control.* events at any K.
     controller_->engine().set_flight_recorder(control_rec);
     backend_->set_flight_recorder(control_rec);
+    // Quorum decisions happen in Backend handlers on the control shard.
+    if (verifier_) verifier_->set_flight_recorder(control_rec);
     for (std::size_t a = 0; a < aggregators_.size(); ++a) {
       aggregators_[a]->set_flight_recorder(shard_recorders_[a % K].get());
     }
@@ -849,6 +940,41 @@ obs::HealthLedger OddciSystem::health_ledger() const {
           pool->reused().value() + pool->allocated().value();
     }
     ledger.pool_expected = ledger.heartbeats_emitted;
+  }
+  if (verifier_) {
+    const Verifier::Stats v = verifier_->stats();
+    ledger.verify_active = true;
+    ledger.verify_dispatched = v.dispatched;
+    ledger.verify_verified = v.verified;
+    ledger.verify_outvoted = v.outvoted;
+    ledger.verify_discarded = v.discarded;
+    ledger.verify_outstanding = v.outstanding;
+    ledger.spot_dispatched = v.spot_dispatched;
+    ledger.spot_passed = v.spot_passed;
+    ledger.spot_failed = v.spot_failed;
+    ledger.spot_flushed = v.spot_flushed;
+    ledger.spot_outstanding = v.spot_outstanding;
+  }
+  if (verifier_ && byz_table_ && byz_table_->active()) {
+    // Detection audit: a seeded adversary that accumulated enough ledger
+    // observations to be caught yet still stands above the quarantine
+    // threshold is a defense failure the auditor should flag.
+    ledger.byz_active = true;
+    ledger.byz_adversaries = byz_table_->adversaries();
+    const double threshold = verifier_->options().quarantine_below;
+    for (std::size_t i = 0; i < byz_table_->size(); ++i) {
+      if (byz_table_->profile(i) == fault::ByzantineProfile::kHonest) {
+        continue;
+      }
+      const ReputationEntry* entry =
+          verifier_->reputation(byz_block_.base + i);
+      if (entry == nullptr) continue;  // never dispatched to: nothing to catch
+      if (entry->observations >= 4 &&
+          entry->state != ReputationState::kQuarantined &&
+          entry->score >= threshold) {
+        ++ledger.byz_undetected;
+      }
+    }
   }
   if (config_.obs.health_tamper_lost > 0) {
     // Seeded violation hook: under-report wire losses so the arrival

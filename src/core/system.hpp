@@ -13,6 +13,7 @@
 #include "core/controller.hpp"
 #include "core/pna.hpp"
 #include "core/provider.hpp"
+#include "core/verify.hpp"
 #include "dtv/receiver.hpp"
 #include "fault/fault.hpp"
 #include "net/network.hpp"
@@ -211,6 +212,13 @@ struct SystemConfig {
   /// cells.
   fault::FaultOptions fault;
 
+  /// Byzantine defense: k-way redundant dispatch with quorum voting,
+  /// seeded spot checks, and the reputation ledger (see core/verify.hpp).
+  /// Disabled by default; with `verify.enabled` false the Backend never
+  /// constructs a Verifier and the dispatch path is byte-identical to the
+  /// pre-verification tree.
+  VerifyOptions verify;
+
   void validate() const;
 };
 
@@ -348,6 +356,17 @@ class OddciSystem {
     return injector_.get();
   }
 
+  /// Backend-side Byzantine defense; nullptr when
+  /// SystemConfig::verify.enabled is false.
+  [[nodiscard]] Verifier* verifier() { return verifier_.get(); }
+  [[nodiscard]] const Verifier* verifier() const { return verifier_.get(); }
+
+  /// Seeded adversarial-profile table; nullptr unless fault injection is
+  /// on with a nonzero byzantine_* knob.
+  [[nodiscard]] const fault::ByzantineTable* byzantine_table() const {
+    return byz_table_.get();
+  }
+
   /// Number of PNAs currently busy (joined or joining an instance).
   [[nodiscard]] std::size_t busy_pna_count() const;
 
@@ -397,9 +416,17 @@ class OddciSystem {
   std::vector<std::unique_ptr<AggregatorRelay>> relays_;
   std::vector<std::unique_ptr<HeartbeatAggregator>> aggregators_;
   std::unique_ptr<Provider> provider_;
+  /// Byzantine-defense verifier (only with config_.verify.enabled).
+  /// Declared before the Backend, which holds a raw pointer into it.
+  std::unique_ptr<Verifier> verifier_;
   std::unique_ptr<Backend> backend_;
   /// Fault plan + wire interposer (only with config_.fault.enabled).
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// Adversarial PNA profile table (fault.byzantine_* knobs) and the
+  /// nullable environment block the agents read it through; both declared
+  /// before receivers_, whose agents hold pointers into them.
+  std::unique_ptr<fault::ByzantineTable> byz_table_;
+  PnaEnvironment::Byzantine byz_block_;
   std::vector<std::unique_ptr<dtv::Receiver>> receivers_;
   PnaEnvironment pna_env_;
   /// PNA-side recovery parameters + counters; pna_env_.recovery points

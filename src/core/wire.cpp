@@ -241,6 +241,7 @@ void encode_into(const net::Message& message, Writer& w) {
       w.f64(m.reference_seconds());
       w.u64(m.trace().trace_id);
       w.u64(m.trace().parent_span);
+      w.u32(m.replica());
       break;
     }
     case kTagTaskResult: {
@@ -251,6 +252,8 @@ void encode_into(const net::Message& message, Writer& w) {
       w.i64(m.wire_size().count() - kHeaderBits.count());
       w.u64(m.trace().trace_id);
       w.u64(m.trace().parent_span);
+      w.u64(m.digest());
+      w.u32(m.replica());
       break;
     }
     case kTagNoTask: {
@@ -265,6 +268,7 @@ void encode_into(const net::Message& message, Writer& w) {
       w.u64(m.pna_id());
       w.u64(m.trace().trace_id);
       w.u64(m.trace().parent_span);
+      w.u32(m.replica());
       break;
     }
     case kTagAggregateReport: {
@@ -374,8 +378,10 @@ net::MessagePtr decode_message(std::string_view bytes) {
       const auto result = util::Bits(r.i64());
       const auto seconds = r.f64();
       const obs::TraceContext trace{r.u64(), r.u64()};
+      const auto replica = r.u32();
       out = std::make_shared<TaskAssignMessage>(instance, index, input,
-                                                result, seconds, trace);
+                                                result, seconds, trace,
+                                                replica);
       break;
     }
     case kTagTaskResult: {
@@ -384,8 +390,10 @@ net::MessagePtr decode_message(std::string_view bytes) {
       const auto pna = r.u64();
       const auto result = util::Bits(r.i64());
       const obs::TraceContext trace{r.u64(), r.u64()};
+      const auto digest = r.u64();
+      const auto replica = r.u32();
       out = std::make_shared<TaskResultMessage>(instance, index, pna, result,
-                                                trace);
+                                                trace, digest, replica);
       break;
     }
     case kTagNoTask:
@@ -396,7 +404,9 @@ net::MessagePtr decode_message(std::string_view bytes) {
       const auto index = r.u64();
       const auto pna = r.u64();
       const obs::TraceContext trace{r.u64(), r.u64()};
-      out = std::make_shared<TaskAbortMessage>(instance, index, pna, trace);
+      const auto replica = r.u32();
+      out = std::make_shared<TaskAbortMessage>(instance, index, pna, trace,
+                                               replica);
       break;
     }
     case kTagAggregateReport: {

@@ -1,0 +1,106 @@
+#include "fault/byzantine.hpp"
+
+namespace oddci::fault {
+
+std::string_view to_string(ByzantineProfile profile) {
+  switch (profile) {
+    case ByzantineProfile::kHonest:
+      return "honest";
+    case ByzantineProfile::kForger:
+      return "forger";
+    case ByzantineProfile::kFreeRider:
+      return "freerider";
+    case ByzantineProfile::kColluder:
+      return "colluder";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Pure per-receiver classification hash in [0, 1). Hash-based (not a
+/// sequential stream) so the table is identical no matter what order or
+/// shard the receivers are built on.
+double classify_uniform(std::uint64_t seed, std::size_t index) {
+  util::SplitMix64 mix(seed ^ (0xA24BAED4963EE407ull +
+                               static_cast<std::uint64_t>(index) *
+                                   0x9E3779B97F4A7C15ull));
+  // 53-bit mantissa fill, same convention as util::Random::uniform.
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t private_seed(std::uint64_t seed, std::size_t index) {
+  util::SplitMix64 mix(seed ^ 0xD1B54A32D192ED03ull);
+  const std::uint64_t base = mix.next();
+  util::SplitMix64 mix2(base + static_cast<std::uint64_t>(index));
+  return mix2.next();
+}
+
+}  // namespace
+
+ByzantineTable::ByzantineTable(std::uint64_t seed, std::size_t receivers,
+                               double forger_fraction,
+                               double freerider_fraction,
+                               std::size_t collusion_size,
+                               const std::vector<std::uint32_t>& regions)
+    : seed_(seed) {
+  util::SplitMix64 group_mix(seed ^ 0x8CB92BA72F3D8DD7ull);
+  group_seed_ = group_mix.next();
+
+  profiles_.assign(receivers, ByzantineProfile::kHonest);
+  for (std::size_t i = 0; i < receivers; ++i) {
+    const double u = classify_uniform(seed, i);
+    if (u < forger_fraction) {
+      profiles_[i] = ByzantineProfile::kForger;
+      ++forgers_;
+    } else if (u < forger_fraction + freerider_fraction) {
+      profiles_[i] = ByzantineProfile::kFreeRider;
+      ++freeriders_;
+    }
+  }
+
+  if (collusion_size >= 2 && receivers > 0) {
+    // Recruit the group from one aggregator region: the region of the
+    // first forger, or region 0 of an otherwise honest population.
+    // Forgers of that region are promoted first; if the region runs out
+    // of forgers, honest neighbors are conscripted (the group's size is
+    // the experiment's contract, the overlap with the forger fraction is
+    // not).
+    std::uint32_t home = 0;
+    for (std::size_t i = 0; i < receivers; ++i) {
+      if (profiles_[i] == ByzantineProfile::kForger) {
+        home = i < regions.size() ? regions[i] : 0;
+        break;
+      }
+    }
+    auto region_of = [&](std::size_t i) -> std::uint32_t {
+      return i < regions.size() ? regions[i] : 0;
+    };
+    for (int pass = 0; pass < 2 && collusion_group_.size() < collusion_size;
+         ++pass) {
+      const bool want_forgers = pass == 0;
+      for (std::size_t i = 0;
+           i < receivers && collusion_group_.size() < collusion_size; ++i) {
+        if (region_of(i) != home) continue;
+        const bool is_forger = profiles_[i] == ByzantineProfile::kForger;
+        if (is_forger != want_forgers) continue;
+        if (profiles_[i] == ByzantineProfile::kFreeRider) continue;
+        if (profiles_[i] == ByzantineProfile::kColluder) continue;
+        if (is_forger) --forgers_;
+        profiles_[i] = ByzantineProfile::kColluder;
+        ++colluders_;
+        collusion_group_.push_back(i);
+      }
+    }
+  }
+}
+
+std::uint64_t ByzantineTable::forge_seed(std::size_t receiver_index) const {
+  if (receiver_index < profiles_.size() &&
+      profiles_[receiver_index] == ByzantineProfile::kColluder) {
+    return group_seed_;
+  }
+  return private_seed(seed_, receiver_index);
+}
+
+}  // namespace oddci::fault

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+/// Adversarial PNA profiles.
+///
+/// PR 5's injector models *crash/omission* faults — messages lost, nodes
+/// down. An open receiver population also contains *Byzantine* nodes that
+/// stay perfectly live on the wire while lying about the work: result
+/// forgers (compute, then corrupt the payload before upload), free-riders
+/// (accept tasks, never compute, return instantly with garbage), and
+/// colluding groups that share a forgery seed so their wrong answers
+/// *agree* — the case that defeats naive 2-way voting.
+///
+/// The profile assignment is a deterministic table built once at system
+/// construction from a named stream of the fault seed
+/// (`util::stream_seed(fault_seed, "fault.byzantine")`): each receiver
+/// index is classified by a pure SplitMix64 hash against the configured
+/// fractions, so the table is identical for any shard count and costs no
+/// live RNG draws — enabling Byzantine profiles never perturbs the PR 5
+/// fault plan or wire verdict streams. Colluders are recruited from the
+/// forgers of a single aggregator region (collusion is modeled as
+/// region-correlated: one neighborhood, one modified firmware image),
+/// which is exactly the correlation the Backend's replica routing is told
+/// to avoid.
+///
+/// This layer never includes core headers; the digest helpers below are
+/// pure functions over (instance, task index) that core/verify.cpp and
+/// core/pna.cpp share as the canonical result-digest model.
+namespace oddci::fault {
+
+enum class ByzantineProfile : std::uint8_t {
+  kHonest = 0,
+  kForger,     ///< computes on time, uploads a corrupted digest
+  kFreeRider,  ///< skips the compute, returns garbage immediately
+  kColluder,   ///< forger sharing the group forgery seed
+};
+
+[[nodiscard]] std::string_view to_string(ByzantineProfile profile);
+
+/// Canonical digest of an honestly computed result for (instance, task).
+/// The simulation does not carry real payload bytes, so the digest *is*
+/// the result: a pure mix of the task identity that every honest replica
+/// reproduces exactly (byte-for-byte quorum agreement) and that the
+/// Backend can precompute for seeded spot-check tasks.
+[[nodiscard]] constexpr std::uint64_t honest_result_digest(
+    std::uint64_t instance, std::uint64_t task_index) {
+  util::SplitMix64 mix(instance ^ 0x9E3779B97F4A7C15ull);
+  const std::uint64_t a = mix.next();
+  util::SplitMix64 mix2(a ^ task_index);
+  return mix2.next() | 1ull;  // never 0: 0 means "no digest on the wire"
+}
+
+/// A forged result: deterministic in (forge_seed, instance, task), wrong
+/// with overwhelming probability, and *equal across forgers that share
+/// forge_seed* — that sharing is what makes a colluding group dangerous.
+[[nodiscard]] constexpr std::uint64_t forged_result_digest(
+    std::uint64_t forge_seed, std::uint64_t instance,
+    std::uint64_t task_index) {
+  util::SplitMix64 mix(forge_seed ^
+                       honest_result_digest(instance, task_index));
+  return mix.next() | 1ull;
+}
+
+/// Deterministic per-receiver profile table.
+class ByzantineTable {
+ public:
+  /// `regions[i]` is receiver i's aggregator region (the collusion
+  /// correlation key); empty regions are treated as a single region 0.
+  ByzantineTable(std::uint64_t seed, std::size_t receivers,
+                 double forger_fraction, double freerider_fraction,
+                 std::size_t collusion_size,
+                 const std::vector<std::uint32_t>& regions);
+
+  [[nodiscard]] std::size_t size() const { return profiles_.size(); }
+  [[nodiscard]] ByzantineProfile profile(std::size_t receiver_index) const {
+    return receiver_index < profiles_.size() ? profiles_[receiver_index]
+                                             : ByzantineProfile::kHonest;
+  }
+  /// Forgery seed for a non-honest receiver: colluders share the group
+  /// seed, every other adversary gets a private one (their garbage never
+  /// agrees with anyone's).
+  [[nodiscard]] std::uint64_t forge_seed(std::size_t receiver_index) const;
+
+  [[nodiscard]] bool active() const {
+    return forgers_ + freeriders_ + colluders_ > 0;
+  }
+  [[nodiscard]] std::size_t forgers() const { return forgers_; }
+  [[nodiscard]] std::size_t freeriders() const { return freeriders_; }
+  [[nodiscard]] std::size_t colluders() const { return colluders_; }
+  [[nodiscard]] std::size_t adversaries() const {
+    return forgers_ + freeriders_ + colluders_;
+  }
+  /// Receiver indices of the colluding group (ascending).
+  [[nodiscard]] const std::vector<std::size_t>& collusion_group() const {
+    return collusion_group_;
+  }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t group_seed_ = 0;
+  std::vector<ByzantineProfile> profiles_;
+  std::vector<std::size_t> collusion_group_;
+  std::size_t forgers_ = 0;
+  std::size_t freeriders_ = 0;
+  std::size_t colluders_ = 0;
+};
+
+}  // namespace oddci::fault

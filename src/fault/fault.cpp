@@ -61,6 +61,18 @@ void FaultOptions::validate() const {
   if (!backend_crash_at.empty()) {
     check_positive(backend_downtime, "fault backend_downtime");
   }
+  check_probability(byzantine_forger_fraction,
+                    "fault byzantine_forger_fraction");
+  check_probability(byzantine_freerider_fraction,
+                    "fault byzantine_freerider_fraction");
+  if (byzantine_forger_fraction + byzantine_freerider_fraction > 1.0) {
+    throw std::invalid_argument(
+        "fault byzantine fractions must sum to <= 1");
+  }
+  if (byzantine_collusion_size == 1) {
+    throw std::invalid_argument(
+        "fault byzantine_collusion_size must be 0 or >= 2");
+  }
   if (result_retry_limit < 0) {
     throw std::invalid_argument("fault result_retry_limit must be >= 0");
   }

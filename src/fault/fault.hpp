@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -65,6 +66,17 @@ struct FaultOptions {
   double pna_crashes_per_hour = 0.0;  ///< kill + immediate watchdog relaunch
   double pna_hangs_per_hour = 0.0;    ///< freeze, then watchdog kill+relaunch
   sim::SimTime pna_hang_duration = sim::SimTime::from_seconds(60);
+
+  // --- Byzantine receiver profiles (see fault/byzantine.hpp) ---
+  /// Fraction of receivers that compute but upload corrupted results.
+  double byzantine_forger_fraction = 0.0;
+  /// Fraction that accept tasks and return garbage instantly, never
+  /// computing (they still heartbeat like honest members).
+  double byzantine_freerider_fraction = 0.0;
+  /// Size of one colluding group sharing a forgery seed (their wrong
+  /// answers agree, defeating naive 2-way voting). 0 disables; >= 2
+  /// otherwise. Recruited from a single aggregator region.
+  std::size_t byzantine_collusion_size = 0;
 
   // --- control-plane corruption (tampered signed config on the air) ---
   double control_corruptions_per_hour = 0.0;

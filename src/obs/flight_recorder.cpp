@@ -63,6 +63,13 @@ std::string_view to_string(TraceEventKind kind) {
       return "control.defer";
     case TraceEventKind::kQueueDropped:
       return "net.queue_drop";
+    case TraceEventKind::kVerifyQuorum: return "verify.quorum";
+    case TraceEventKind::kVerifyOutvoted: return "verify.outvoted";
+    case TraceEventKind::kVerifyEscalated: return "verify.escalated";
+    case TraceEventKind::kVerifySpotFailed: return "verify.spot_failed";
+    case TraceEventKind::kReputationQuarantined:
+      return "reputation.quarantined";
+    case TraceEventKind::kReputationParoled: return "reputation.paroled";
   }
   return "unknown";
 }
@@ -84,7 +91,7 @@ std::string_view to_string(TraceComponent component) {
 namespace {
 // The enumerators are dense and small; scan rather than maintain a map.
 constexpr TraceEventKind kFirstKind = TraceEventKind::kInstanceRequest;
-constexpr TraceEventKind kLastKind = TraceEventKind::kQueueDropped;
+constexpr TraceEventKind kLastKind = TraceEventKind::kReputationParoled;
 constexpr TraceComponent kFirstComponent = TraceComponent::kProvider;
 constexpr TraceComponent kLastComponent = TraceComponent::kNetwork;
 }  // namespace

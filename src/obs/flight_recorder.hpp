@@ -89,6 +89,12 @@ enum class TraceEventKind : std::uint8_t {
   kControlAdmit,     ///< Phi admission passed a job (arg: Phi * 1e6)
   kControlDefer,     ///< Phi admission deferred a job (arg: Phi * 1e6)
   kQueueDropped,     ///< bounded link queue tail-dropped a message (arg: tag)
+  kVerifyQuorum,     ///< quorum accepted a result (actor: votes, arg: index)
+  kVerifyOutvoted,   ///< vote rejected by a quorum (actor: pna, arg: index)
+  kVerifyEscalated,  ///< tied vote widened (actor: new target, arg: index)
+  kVerifySpotFailed, ///< spot-check answer wrong (actor: pna, arg: index)
+  kReputationQuarantined, ///< agent quarantined (actor: pna, arg: epoch)
+  kReputationParoled,     ///< agent paroled (actor: pna, arg: epoch)
 };
 
 /// Which component emitted the event — one export track per component.

@@ -161,6 +161,69 @@ void check_delta_membership(const HealthLedger& l, HealthReport& out) {
                   " reconstructed exactly from deltas and resyncs");
 }
 
+/// Verified-execution result conservation: every dispatched replica is
+/// verified, outvoted, written off, or still outstanding — exactly; spot
+/// checks balance on their own identity. Silent in non-verify runs.
+void check_verify_conservation(const HealthLedger& l, bool at_end,
+                               HealthReport& out) {
+  if (!l.verify_active) return;
+  const std::uint64_t accounted =
+      l.verify_verified + l.verify_outvoted + l.verify_discarded +
+      l.verify_outstanding;
+  if (accounted != l.verify_dispatched) {
+    add_finding(out, HealthSeverity::kCritical, "verify.result_conservation",
+                "verified+outvoted+discarded+outstanding=" +
+                    u64(l.verify_verified) + "+" + u64(l.verify_outvoted) +
+                    "+" + u64(l.verify_discarded) + "+" +
+                    u64(l.verify_outstanding) +
+                    " != dispatched=" + u64(l.verify_dispatched));
+    return;
+  }
+  const std::uint64_t spot_accounted =
+      l.spot_passed + l.spot_failed + l.spot_flushed + l.spot_outstanding;
+  if (spot_accounted != l.spot_dispatched) {
+    add_finding(out, HealthSeverity::kCritical, "verify.result_conservation",
+                "spot passed+failed+flushed+outstanding=" +
+                    u64(l.spot_passed) + "+" + u64(l.spot_failed) + "+" +
+                    u64(l.spot_flushed) + "+" + u64(l.spot_outstanding) +
+                    " != spot dispatched=" + u64(l.spot_dispatched));
+    return;
+  }
+  if (at_end && l.verify_outstanding + l.spot_outstanding > 0) {
+    add_finding(out, HealthSeverity::kInfo, "verify.result_conservation",
+                u64(l.verify_outstanding) + " replica(s) and " +
+                    u64(l.spot_outstanding) +
+                    " spot check(s) unresolved at run end");
+    return;
+  }
+  add_finding(out, HealthSeverity::kOk, "verify.result_conservation",
+              "dispatched=" + u64(l.verify_dispatched) + " verified=" +
+                  u64(l.verify_verified) + " outvoted=" +
+                  u64(l.verify_outvoted) + " discarded=" +
+                  u64(l.verify_discarded) + " outstanding=" +
+                  u64(l.verify_outstanding));
+}
+
+/// Byzantine detection audit: with seeded adversaries and verification
+/// both on, any adversary that accumulated enough reputation observations
+/// yet finished the run above the quarantine threshold escaped the
+/// defense. Only meaningful at run end. Silent without seeded adversaries.
+void check_byzantine_detection(const HealthLedger& l, bool at_end,
+                               HealthReport& out) {
+  if (!l.byz_active) return;
+  if (at_end && l.byz_undetected > 0) {
+    add_finding(out, HealthSeverity::kWarning, "byzantine.detection",
+                u64(l.byz_undetected) + " of " + u64(l.byz_adversaries) +
+                    " seeded adversaries observed repeatedly yet still "
+                    "above the quarantine threshold");
+    return;
+  }
+  add_finding(out, HealthSeverity::kOk, "byzantine.detection",
+              u64(l.byz_adversaries) +
+                  " seeded adversaries, none unquarantined after repeated "
+                  "observation");
+}
+
 }  // namespace
 
 std::string_view to_string(HealthSeverity severity) {
@@ -212,6 +275,8 @@ HealthReport HealthAuditor::evaluate(const HealthLedger& ledger,
   check_shards(ledger, report);
   check_pool(ledger, report);
   check_delta_membership(ledger, report);
+  check_verify_conservation(ledger, at_end, report);
+  check_byzantine_detection(ledger, at_end, report);
   return report;
 }
 

@@ -90,6 +90,31 @@ struct HealthLedger {
   std::uint64_t pool_acquired = 0;  ///< reused + allocated
   std::uint64_t pool_expected = 0;  ///< heartbeats sent through the pool
 
+  // Verified-execution result conservation (verify mode only). Every
+  // dispatched replica must be accounted for: verified by a quorum,
+  // outvoted by one, written off (timeout/abort/crash/dropped round), or
+  // still outstanding (live or awaiting a quorum). Spot checks balance
+  // separately.
+  bool verify_active = false;
+  std::uint64_t verify_dispatched = 0;
+  std::uint64_t verify_verified = 0;
+  std::uint64_t verify_outvoted = 0;
+  std::uint64_t verify_discarded = 0;
+  std::uint64_t verify_outstanding = 0;
+  std::uint64_t spot_dispatched = 0;
+  std::uint64_t spot_passed = 0;
+  std::uint64_t spot_failed = 0;
+  std::uint64_t spot_flushed = 0;
+  std::uint64_t spot_outstanding = 0;
+
+  // Byzantine detection audit (seeded adversaries + verification on).
+  // `byz_undetected` counts known-seeded adversaries that finished the run
+  // with enough reputation observations to have been caught yet still
+  // stand above the quarantine threshold.
+  bool byz_active = false;
+  std::uint64_t byz_adversaries = 0;
+  std::uint64_t byz_undetected = 0;
+
   bool operator==(const HealthLedger&) const = default;
 };
 

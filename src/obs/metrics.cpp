@@ -351,6 +351,11 @@ void PnaCounters::link_paced(MetricsRegistry& registry) const {
   registry.link_counter("pna.heartbeats_paced", heartbeats_paced);
 }
 
+void PnaCounters::link_byzantine(MetricsRegistry& registry) const {
+  registry.link_counter("pna.results_forged", results_forged);
+  registry.link_counter("pna.results_freeridden", results_freeridden);
+}
+
 void BroadcastCounters::link(MetricsRegistry& registry) const {
   registry.link_counter("broadcast.commits", commits);
   registry.link_counter("broadcast.files_staged", files_staged);

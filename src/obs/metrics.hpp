@@ -294,9 +294,16 @@ struct PnaCounters {
   /// Beats deferred to a pacing-window slot (paced heartbeat mode only;
   /// registered separately so unpaced snapshots carry no phantom cell).
   Counter heartbeats_paced;
+  /// Results uploaded with a deliberately wrong digest (forgers and
+  /// colluders) and tasks returned without computing (free-riders).
+  /// Byzantine profiles only; registered separately so honest-population
+  /// snapshots carry no phantom cells.
+  Counter results_forged;
+  Counter results_freeridden;
 
   void link(MetricsRegistry& registry) const;
   void link_paced(MetricsRegistry& registry) const;
+  void link_byzantine(MetricsRegistry& registry) const;
 };
 
 /// Shared counters for all broadcast media of one system (carousel and

@@ -202,6 +202,40 @@ TEST(DirectWire, AllMessageTypesRoundTrip) {
   EXPECT_EQ(repd.entries()[1].instance, 9u);
 }
 
+// Verified-execution fields (replica slot on assigns/results/aborts, the
+// result digest) must survive the wire exactly: the quorum's composite
+// outstanding keys and vote tallies are keyed on them.
+TEST(DirectWire, VerifyFieldsRoundTrip) {
+  const TaskAssignMessage assign(7, 3, util::Bits(4096), util::Bits(2048),
+                                 12.5, {}, 2);
+  const auto assign2 = decode_message(encode(assign));
+  const auto& ad = static_cast<const TaskAssignMessage&>(*assign2);
+  EXPECT_EQ(ad.replica(), 2u);
+  // The verify fields ride the modelled transport-header budget: the
+  // analytic wire size (what the timing model charges) is unchanged.
+  EXPECT_EQ(ad.wire_size(), assign.wire_size());
+
+  const TaskResultMessage result(7, 3, 42, util::Bits(2048), {},
+                                 0xC0FFEE0DDC1ull, 4);
+  const auto result2 = decode_message(encode(result));
+  const auto& resd = static_cast<const TaskResultMessage&>(*result2);
+  EXPECT_EQ(resd.digest(), 0xC0FFEE0DDC1ull);
+  EXPECT_EQ(resd.replica(), 4u);
+  EXPECT_EQ(resd.wire_size(), result.wire_size());
+
+  const TaskAbortMessage abort_msg(7, 3, 42, {}, 1);
+  const auto abort2 = decode_message(encode(abort_msg));
+  const auto& abd = static_cast<const TaskAbortMessage&>(*abort2);
+  EXPECT_EQ(abd.replica(), 1u);
+
+  // Verify-off messages keep the pre-verification defaults on the wire.
+  const TaskResultMessage naive(7, 3, 42, util::Bits(2048));
+  const auto naive2 = decode_message(encode(naive));
+  const auto& nd = static_cast<const TaskResultMessage&>(*naive2);
+  EXPECT_EQ(nd.digest(), 0u);
+  EXPECT_EQ(nd.replica(), 0u);
+}
+
 TEST(DirectWire, MalformedInputsThrow) {
   EXPECT_THROW(decode_message(""), WireError);
   EXPECT_THROW(decode_message("\x7f"), WireError);  // unknown tag
